@@ -1,0 +1,75 @@
+//! Benchmarks for the §3.2 score calculation — the paper reports that
+//! text-level + YAML-aware scores over the whole dataset take 21.9 s
+//! (against the 10+ hours of real-cluster unit tests). `full_dataset_*`
+//! measures our equivalent.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn dataset_pairs() -> Vec<(String, String)> {
+    let ds = cedataset::Dataset::generate();
+    ds.problems()
+        .iter()
+        .map(|p| {
+            // Score a realistic near-miss answer, not the identity pair.
+            let candidate = p.clean_reference().replace("latest", "1.25");
+            (p.labeled_reference.clone(), candidate)
+        })
+        .collect()
+}
+
+fn bench_individual_metrics(c: &mut Criterion) {
+    let pairs = dataset_pairs();
+    let (reference, candidate) = pairs[0].clone();
+    c.bench_function("bleu_single", |b| {
+        b.iter(|| cescore::bleu(black_box(&reference), black_box(&candidate), cescore::Smoothing::Epsilon))
+    });
+    c.bench_function("edit_distance_single", |b| {
+        b.iter(|| cescore::edit_distance_score(black_box(&reference), black_box(&candidate)))
+    });
+    c.bench_function("kv_exact_single", |b| {
+        b.iter(|| cescore::kv_exact_match(black_box(&reference), black_box(&candidate)))
+    });
+    c.bench_function("kv_wildcard_single", |b| {
+        b.iter(|| cescore::kv_wildcard_match(black_box(&reference), black_box(&candidate)))
+    });
+}
+
+fn bench_full_dataset_static_scores(c: &mut Criterion) {
+    let pairs = dataset_pairs();
+    // All five static metrics over all 337 problems (the paper's "21.9
+    // seconds to compute over the entire dataset" workload, modulo 3x for
+    // the variants, which share references).
+    let mut group = c.benchmark_group("full_dataset");
+    group.sample_size(10);
+    group.bench_function("static_scores_337", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (reference, candidate) in &pairs {
+                let s = cescore::score_pair(black_box(reference), black_box(candidate));
+                acc += s.bleu + s.kv_wildcard;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_unit_test_single(c: &mut Criterion) {
+    let ds = cedataset::Dataset::generate();
+    let p = ds.get("pod-000").expect("pod-000 exists");
+    let answer = p.clean_reference();
+    let mut group = c.benchmark_group("unit_test");
+    group.sample_size(20);
+    group.bench_function("single_problem", |b| {
+        b.iter(|| minishell::run_unit_test(black_box(&p.unit_test), black_box(&answer)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_individual_metrics,
+    bench_full_dataset_static_scores,
+    bench_unit_test_single
+);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Micro-benchmarks of the substrate crates: YAML engine, JSONPath,
+//! Kubernetes simulator, shell interpreter, Envoy router.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const DEPLOY: &str = "\
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: nginx-deployment
+  labels:
+    app: nginx
+spec:
+  replicas: 3
+  selector:
+    matchLabels:
+      app: nginx
+  template:
+    metadata:
+      labels:
+        app: nginx
+    spec:
+      containers:
+      - name: nginx-container
+        image: nginx:latest
+        ports:
+        - containerPort: 80
+        env:
+        - name: MODE
+          value: production
+        resources:
+          limits:
+            cpu: 500m
+            memory: 256Mi
+";
+
+fn bench_yaml(c: &mut Criterion) {
+    c.bench_function("yaml_parse_deployment", |b| {
+        b.iter(|| yamlkit::parse(black_box(DEPLOY)).unwrap())
+    });
+    let value = yamlkit::parse_one(DEPLOY).unwrap().to_value();
+    c.bench_function("yaml_emit_deployment", |b| b.iter(|| yamlkit::emit(black_box(&value))));
+    c.bench_function("yaml_round_trip", |b| {
+        b.iter(|| yamlkit::canonicalize(black_box(DEPLOY)).unwrap())
+    });
+}
+
+fn bench_jsonpath(c: &mut Criterion) {
+    let doc = yamlkit::parse_one(DEPLOY).unwrap().to_value();
+    let path = yamlkit::path::JsonPath::compile(".spec.template.spec.containers[0].env[*].name")
+        .unwrap();
+    c.bench_function("jsonpath_select", |b| b.iter(|| path.render(black_box(&doc))));
+    c.bench_function("jsonpath_compile", |b| {
+        b.iter(|| {
+            yamlkit::path::JsonPath::compile(black_box(
+                "{.items[?(@.metadata.name==\"x\")].spec.containers[*].image}",
+            ))
+            .unwrap()
+        })
+    });
+}
+
+fn bench_kubesim(c: &mut Criterion) {
+    c.bench_function("cluster_apply_and_reconcile", |b| {
+        b.iter(|| {
+            let mut cluster = kubesim::Cluster::new();
+            cluster.apply_manifest(black_box(DEPLOY), "default").unwrap();
+            cluster.advance(10_000);
+            cluster
+        })
+    });
+    c.bench_function("kubectl_get_jsonpath", |b| {
+        let mut cluster = kubesim::Cluster::new();
+        cluster.apply_manifest(DEPLOY, "default").unwrap();
+        cluster.advance(10_000);
+        let args: Vec<String> = "get pods -l app=nginx -o jsonpath={.items[*].metadata.name}"
+            .split_whitespace()
+            .map(str::to_owned)
+            .collect();
+        b.iter(|| kubesim::kubectl::run(&mut cluster, black_box(&args), "", &|_| None))
+    });
+}
+
+fn bench_minishell(c: &mut Criterion) {
+    let script = r#"
+total=0
+for i in 1 2 3 4 5 6 7 8 9 10; do
+  ((total += i))
+done
+if [ "$total" -eq 55 ]; then echo ok; fi
+echo "a b c" | tr ' ' '\n' | grep -c .
+"#;
+    c.bench_function("shell_parse", |b| b.iter(|| minishell::lang::parse(black_box(script)).unwrap()));
+    c.bench_function("shell_run_loop_script", |b| {
+        b.iter(|| {
+            let mut sandbox = minishell::EmptySandbox;
+            let mut sh = minishell::Interp::new(&mut sandbox);
+            sh.run_script(black_box(script)).unwrap()
+        })
+    });
+}
+
+fn bench_envoy(c: &mut Criterion) {
+    c.bench_function("envoy_parse_validate", |b| {
+        b.iter(|| envoysim::EnvoyConfig::parse(black_box(envoysim::SAMPLE_CONFIG)).unwrap())
+    });
+    let cfg = envoysim::EnvoyConfig::parse(envoysim::SAMPLE_CONFIG).unwrap();
+    c.bench_function("envoy_route", |b| {
+        b.iter(|| cfg.route(black_box(10000), black_box("example.com"), black_box("/api/v1")))
+    });
+}
+
+fn bench_regex(c: &mut Criterion) {
+    let re = minishell::regex::Regex::new("unit_test_pass(ed)?").unwrap();
+    let haystack = "long transcript line with cn1000_unit_test_passed marker at the end";
+    c.bench_function("shell_regex_match", |b| b.iter(|| re.is_match(black_box(haystack))));
+}
+
+criterion_group!(
+    benches,
+    bench_yaml,
+    bench_jsonpath,
+    bench_kubesim,
+    bench_minishell,
+    bench_envoy,
+    bench_regex
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Regenerates every table and figure from the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p cloudeval-bench --bin repro -- all
+//! cargo run --release -p cloudeval-bench --bin repro -- table4 fig8
+//! cargo run --release -p cloudeval-bench --bin repro -- --stride 4 all
+//! ```
+//!
+//! `--stride N` evaluates every N-th problem (default 1 = the complete
+//! 337/1011-problem benchmark).
+
+use cloudeval_bench::experiments::Experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stride = 1usize;
+    let mut targets: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--stride" => {
+                i += 1;
+                stride = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--stride needs a positive integer"));
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            t => targets.push(t.to_owned()),
+        }
+        i += 1;
+    }
+    if targets.is_empty() {
+        print_usage();
+        return;
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = ALL_TARGETS.iter().map(|s| (*s).to_owned()).collect();
+    }
+    eprintln!("# generating dataset and calibrating 12 models (stride {stride})...");
+    let experiments = Experiments::new(stride);
+    for target in &targets {
+        let started = std::time::Instant::now();
+        let output = match target.as_str() {
+            "table1" => experiments.table1(),
+            "table2" => experiments.table2(),
+            "table3" => experiments.table3(),
+            "table4" => experiments.table4(),
+            "table5" => experiments.table5(),
+            "table6" => experiments.table6(),
+            "table7" => experiments.table7(),
+            "table8" => experiments.table8(),
+            "table9" => experiments.table9(),
+            "fig5" => experiments.fig5(),
+            "fig6" => experiments.fig6(),
+            "fig7" => experiments.fig7(),
+            "fig8" => experiments.fig8(16),
+            "fig9" => experiments.fig9(),
+            other => {
+                eprintln!("unknown target {other:?} (see --help)");
+                continue;
+            }
+        };
+        println!("==================== {} ====================", target.to_uppercase());
+        println!("{output}");
+        eprintln!("# {target} took {:.1}s", started.elapsed().as_secs_f64());
+    }
+}
+
+const ALL_TARGETS: &[&str] = &[
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
+    "fig5", "fig6", "fig7", "fig8", "fig9",
+];
+
+fn print_usage() {
+    eprintln!("usage: repro [--stride N] <target>...");
+    eprintln!("targets: {} | all", ALL_TARGETS.join(" | "));
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

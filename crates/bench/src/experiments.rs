@@ -1,0 +1,237 @@
+//! One function per paper table/figure, each returning rendered text.
+//!
+//! `stride` subsamples the dataset (1 = the full benchmark, matching the
+//! paper's problem counts; larger values trade fidelity for speed and are
+//! used by the test suite).
+
+use std::sync::Arc;
+
+use cedataset::{Dataset, Variant};
+use cloudeval_core::analysis::{factor_analysis, failure_modes};
+use cloudeval_core::harness::{evaluate, mean_scores, pass_count, EvalOptions, EvalRecord};
+use cloudeval_core::passk::{pass_at_k, PassAtK};
+use cloudeval_core::predict::{leave_one_model_out, shap_importance};
+use cloudeval_core::tables;
+use llmsim::{standard_models, GenParams, SimulatedModel};
+
+/// Worker threads for unit-test execution.
+const WORKERS: usize = 8;
+
+/// A lazily-evaluated benchmark context shared across experiments.
+pub struct Experiments {
+    dataset: Arc<Dataset>,
+    models: Vec<SimulatedModel>,
+    stride: usize,
+}
+
+impl Experiments {
+    /// Builds the context. `stride` of 1 runs the complete benchmark.
+    pub fn new(stride: usize) -> Experiments {
+        let dataset = Arc::new(Dataset::generate());
+        let models = standard_models(Arc::clone(&dataset));
+        Experiments { dataset, models, stride: stride.max(1) }
+    }
+
+    /// The shared dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    fn eval(&self, model: &SimulatedModel, variants: Vec<Variant>, shots: usize) -> Vec<EvalRecord> {
+        evaluate(
+            model,
+            &self.dataset,
+            &EvalOptions {
+                variants,
+                shots,
+                params: GenParams::default(),
+                workers: WORKERS,
+                stride: self.stride,
+            },
+        )
+    }
+
+    /// Table 1: practical data augmentation statistics.
+    pub fn table1(&self) -> String {
+        cedataset::stats::table1(&self.dataset)
+    }
+
+    /// Table 2: dataset statistics per category.
+    pub fn table2(&self) -> String {
+        cedataset::stats::table2(&self.dataset)
+    }
+
+    /// Table 3: running cost, using evaluation hours from the Figure 5
+    /// simulation.
+    pub fn table3(&self) -> String {
+        let rows = evalcluster::figure5(evalcluster::des::DEFAULT_OVERHEAD_S);
+        let hours_x1 = rows[0].2; // 1 worker, with cache
+        let hours_x64 = rows[3].2; // 64 workers, with cache
+        let (cost_rows, min_total, max_total) = evalcluster::table3(hours_x1, hours_x64);
+        let mut out = String::from("Sample Running Cost of the Benchmark in $\n");
+        for r in &cost_rows {
+            out.push_str(&format!("  {:<38}${:>6.2}\n", r.label, r.dollars));
+        }
+        out.push_str(&format!("Total cost range: ${min_total:.2} - ${max_total:.2}\n"));
+        out
+    }
+
+    /// Table 4: zero-shot benchmark of all 12 models across all metrics
+    /// over the three-variant dataset.
+    pub fn table4(&self) -> String {
+        let mut rows = Vec::new();
+        for model in &self.models {
+            let records = self.eval(model, Variant::ALL.to_vec(), 0);
+            // PaLM's English-only API: translated questions are excluded
+            // from its averages (Table 4 footnote).
+            let records: Vec<EvalRecord> = if model.profile().passes_translated.is_none() {
+                records.into_iter().filter(|r| r.variant != Variant::Translated).collect()
+            } else {
+                records
+            };
+            rows.push(tables::Table4Row {
+                model: model.profile().name.to_owned(),
+                size_b: model.profile().size_b,
+                open_source: model.profile().open_source,
+                scores: mean_scores(&records),
+            });
+        }
+        tables::table4(&rows)
+    }
+
+    /// Table 5: unit-test passes per dataset variant.
+    pub fn table5(&self) -> String {
+        let mut rows = Vec::new();
+        for model in &self.models {
+            let orig = pass_count(&self.eval(model, vec![Variant::Original], 0));
+            let simp = pass_count(&self.eval(model, vec![Variant::Simplified], 0));
+            let trans = if model.profile().passes_translated.is_none() {
+                None
+            } else {
+                Some(pass_count(&self.eval(model, vec![Variant::Translated], 0)))
+            };
+            rows.push((model.profile().name.to_owned(), orig, simp, trans));
+        }
+        tables::table5(&rows)
+    }
+
+    /// Table 6: few-shot prompting for the three models the paper reports.
+    pub fn table6(&self) -> String {
+        let mut rows = Vec::new();
+        for name in ["gpt-3.5", "llama-2-70b-chat", "llama-2-7b-chat"] {
+            let model = self.model(name);
+            let mut counts = [0usize; 4];
+            for (shots, slot) in counts.iter_mut().enumerate() {
+                *slot = pass_count(&self.eval(model, vec![Variant::Original], shots));
+            }
+            rows.push((name.to_owned(), counts));
+        }
+        tables::table6(&rows)
+    }
+
+    /// Table 7: benchmark landscape comparison (static).
+    pub fn table7(&self) -> String {
+        cloudeval_core::related::table7()
+    }
+
+    /// Table 8: the CNCF YAML survey (static).
+    pub fn table8(&self) -> String {
+        cloudeval_core::survey::table8()
+    }
+
+    /// Table 9 / Figure 6: per-factor unit-test scores for all models.
+    pub fn table9(&self) -> String {
+        let mut rows = Vec::new();
+        for model in &self.models {
+            let records = self.eval(model, vec![Variant::Original], 0);
+            rows.push(factor_analysis(model.profile().name, &records));
+        }
+        tables::figure6(&rows)
+    }
+
+    /// Figure 5: evaluation time vs worker count, with/without the shared
+    /// image cache.
+    pub fn fig5(&self) -> String {
+        tables::figure5(&evalcluster::figure5(evalcluster::des::DEFAULT_OVERHEAD_S))
+    }
+
+    /// Figure 6 is the graphical form of Table 9.
+    pub fn fig6(&self) -> String {
+        self.table9()
+    }
+
+    /// Figure 7: failure-mode histogram for GPT-4 and Llama-2 70B/7B.
+    pub fn fig7(&self) -> String {
+        let mut rows = Vec::new();
+        for name in ["gpt-4", "llama-2-70b-chat", "llama-2-7b-chat"] {
+            let model = self.model(name);
+            let records = self.eval(model, vec![Variant::Original], 0);
+            rows.push((name.to_owned(), failure_modes(name, &records)));
+        }
+        tables::figure7(&rows)
+    }
+
+    /// Figure 8: pass@k for the four best models (GPT-4 limited to 6
+    /// samples, like the paper's rate-limited run).
+    pub fn fig8(&self, max_k: usize) -> String {
+        let mut curves: Vec<PassAtK> = Vec::new();
+        for (name, k) in [
+            ("gpt-4", max_k.min(6)),
+            ("gpt-3.5", max_k),
+            ("palm-2-bison", max_k),
+            ("llama-2-70b-chat", max_k),
+        ] {
+            let model = self.model(name);
+            curves.push(pass_at_k(model, &self.dataset, k, self.stride, WORKERS));
+        }
+        tables::figure8(&curves)
+    }
+
+    /// Figure 9: unit-test prediction study over all models' original-set
+    /// answers.
+    pub fn fig9(&self) -> String {
+        let mut records = Vec::new();
+        for model in &self.models {
+            records.extend(self.eval(model, vec![Variant::Original], 0));
+        }
+        let lomo = leave_one_model_out(&records);
+        let shap = shap_importance(&records, 200);
+        tables::figure9(&lomo, &shap)
+    }
+
+    fn model(&self, name: &str) -> &SimulatedModel {
+        self.models
+            .iter()
+            .find(|m| m.profile().name == name)
+            .unwrap_or_else(|| panic!("unknown model {name}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A coarse-stride context shared by the smoke tests.
+    fn quick() -> Experiments {
+        Experiments::new(16)
+    }
+
+    #[test]
+    fn static_tables_render() {
+        let e = quick();
+        assert!(e.table1().contains("Avg. words"));
+        assert!(e.table2().contains("337"));
+        assert!(e.table3().contains("Total cost range"));
+        assert!(e.table7().contains("CloudEval-YAML"));
+        assert!(e.table8().contains("Kubernetes"));
+        assert!(e.fig5().contains("Speedup"));
+    }
+
+    #[test]
+    fn fig7_renders_three_models() {
+        let e = quick();
+        let out = e.fig7();
+        assert!(out.contains("gpt-4"));
+        assert!(out.contains("llama-2-7b-chat"));
+    }
+}

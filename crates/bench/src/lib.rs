@@ -1,0 +1,10 @@
+//! # cloudeval-bench
+//!
+//! The experiment harness: [`experiments`] computes every table and figure
+//! in the paper from a fresh benchmark run; the `repro` binary prints
+//! them (`cargo run --release -p cloudeval-bench --bin repro -- all`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;

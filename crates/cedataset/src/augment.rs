@@ -1,0 +1,287 @@
+//! Practical data augmentation (§2.2): simplification and translation.
+//!
+//! The paper drafts these rewrites with GPT-4 and reviews them manually;
+//! offline we substitute deterministic rule-based rewriters that produce
+//! the same *kind* of text: the simplifier abbreviates domain terms and
+//! strips politeness (targeting the paper's −25.7% word count), and the
+//! translator renders the question in the Chinese a cloud operations team
+//! would write, keeping YAML fragments and identifiers untouched.
+
+/// Domain abbreviations applied by the simplifier, longest-first.
+const ABBREVIATIONS: &[(&str, &str)] = &[
+    ("Kubernetes", "k8s"),
+    ("kubernetes", "k8s"),
+    ("configuration file", "config"),
+    ("configuration", "config"),
+    ("environment variables", "env vars"),
+    ("environment variable", "env var"),
+    ("deployment", "deploy"),
+    ("Deployment", "Deploy"),
+    ("namespace", "ns"),
+    ("service", "svc"),
+    ("Service", "Svc"),
+    ("container port", "port"),
+    ("load balancer", "LB"),
+    ("load balancing", "LB"),
+    ("load balanced", "LB'd"),
+    ("resource requests", "req"),
+    ("resource limits", "limits"),
+    ("manifest", "yaml"),
+    ("application", "app"),
+    ("additionally", "also"),
+    ("Additionally", "Also"),
+    ("specific", ""),
+    ("respectively", "resp."),
+];
+
+/// Filler phrases removed entirely.
+const FILLERS: &[&str] = &[
+    "Please write ",
+    "Please provide ",
+    "please provide ",
+    "Please add ",
+    "please help me ",
+    "I need ",
+    "I want ",
+    "Craft ",
+    "so that services can select it later",
+    "so the scheduler and the kubelet can enforce them",
+    "The configuration must pass",
+    "Remember that",
+    "double-check field names before answering",
+    "which together with no rules means",
+    "Ensure that ",
+    "Ensure ",
+    "must become ready",
+    "exactly as described when probed with curl",
+    "Provide only the full YAML with static_resources at the top level",
+    "Please provide me the entire YAML configuration for this",
+    "and return the entire modified YAML",
+];
+
+/// Rewrites a question concisely with abbreviations — the paper's
+/// simplified variant.
+///
+/// Fenced code blocks are preserved verbatim.
+///
+/// # Examples
+///
+/// ```
+/// let s = cedataset::augment::simplify(
+///     "Please write a Kubernetes Deployment manifest with environment variables.",
+/// );
+/// assert!(s.contains("k8s"));
+/// assert!(!s.contains("Please"));
+/// ```
+pub fn simplify(description: &str) -> String {
+    transform_outside_code(description, |text| {
+        let mut s = text.to_owned();
+        for f in FILLERS {
+            s = s.replace(f, "");
+        }
+        for (long, short) in ABBREVIATIONS {
+            s = s.replace(long, short);
+        }
+        // Politeness and hedging tokens.
+        for w in ["Please ", "please ", "kindly ", "simply ", " very", " just"] {
+            s = s.replace(w, " ");
+        }
+        // Drop low-information stopwords, the dominant source of the
+        // paper's −25.7% word-count reduction. Quoted identifiers are
+        // single tokens with quote characters, so they never match.
+        let kept: Vec<&str> = s
+            .split_whitespace()
+            .filter(|w| {
+                let bare = w.trim_matches(|c: char| c == ',' || c == '.');
+                !STOPWORDS.contains(&bare.to_lowercase().as_str()) || w.ends_with(':')
+            })
+            .collect();
+        collapse_spaces(&kept.join(" "))
+    })
+}
+
+/// Words the simplifier drops outright.
+const STOPWORDS: &[&str] = &[
+    "the", "a", "an", "that", "which", "it", "its", "be", "been", "is", "are", "was", "were",
+    "should", "must", "please", "kindly", "very", "just", "also", "so", "such", "will",
+    "would", "can", "could", "to", "in", "into", "of", "for", "on", "under", "inside",
+    "within", "there", "their", "this", "these", "those", "your", "our", "my", "me", "i",
+    "we", "you", "and", "then", "when", "while",
+];
+
+/// Domain glossary for the pseudo-translation. Identifiers (quoted names,
+/// YAML keys, numbers) survive untouched, as in the paper's examples.
+const GLOSSARY: &[(&str, &str)] = &[
+    ("Please write a YAML file", "请写一个 YAML 文件"),
+    ("Write a YAML file", "写一个 YAML 文件"),
+    ("Write a yaml file", "写一个 yaml 文件"),
+    ("Write a Kubernetes", "写一个 Kubernetes"),
+    ("Write YAML", "写 YAML"),
+    ("Write an", "写一个"),
+    ("Write a", "写一个"),
+    ("Create a", "创建一个"),
+    ("Create an", "创建一个"),
+    ("Create", "创建"),
+    ("Generate YAML", "生成 YAML"),
+    ("Craft a yaml file", "写一个 yaml 文件"),
+    ("I need a", "我需要一个"),
+    ("I need an", "我需要一个"),
+    ("Please write", "请写"),
+    ("Please provide", "请提供"),
+    ("that defines", "，其中定义"),
+    ("that runs", "，运行"),
+    ("It must", "它必须"),
+    ("It runs", "它运行"),
+    ("using the", "使用"),
+    ("exposes", "暴露"),
+    ("expose", "暴露"),
+    ("Given the following", "给定以下"),
+    ("Given this", "给定这个"),
+    ("named", "名为"),
+    ("the cluster", "集群"),
+    ("cluster", "集群"),
+    ("container", "容器"),
+    ("image", "镜像"),
+    ("port", "端口"),
+    ("replicas", "副本"),
+    ("namespace", "命名空间"),
+    ("environment variable", "环境变量"),
+    ("label", "标签"),
+    ("selector", "选择器"),
+    ("load balancer", "负载均衡器"),
+    ("load balanced", "负载均衡"),
+    ("traffic", "流量"),
+    ("request", "请求"),
+    ("memory", "内存"),
+    ("storage", "存储"),
+    ("schedule", "调度"),
+    ("service", "服务"),
+    ("route", "路由"),
+    ("configuration", "配置"),
+    ("should be", "应为"),
+    ("must", "必须"),
+    ("and", "和"),
+    ("with", "带有"),
+    ("the", ""),
+];
+
+/// Renders the question in developer-tone Chinese — the paper's translated
+/// variant. The output deliberately mixes Chinese prose with untranslated
+/// identifiers/YAML, matching the examples in Appendix D.
+///
+/// # Examples
+///
+/// ```
+/// let t = cedataset::augment::translate("Create a Kubernetes Pod named \"web\".");
+/// assert!(t.contains("创建"));
+/// assert!(t.contains("\"web\""));
+/// ```
+pub fn translate(description: &str) -> String {
+    transform_outside_code(description, |text| {
+        let mut s = text.to_owned();
+        for (en, zh) in GLOSSARY {
+            s = s.replace(en, zh);
+        }
+        let s = collapse_spaces(&s);
+        format!("{s}。请为此提供完整的 YAML。")
+    })
+}
+
+/// Applies `f` to prose, leaving ``` fenced blocks untouched.
+fn transform_outside_code(text: &str, f: impl Fn(&str) -> String) -> String {
+    let mut out = String::new();
+    let mut in_code = false;
+    for (i, part) in text.split("```").enumerate() {
+        if i > 0 {
+            out.push_str("```");
+            in_code = !in_code;
+        }
+        if in_code {
+            out.push_str(part);
+        } else {
+            out.push_str(&f(part));
+        }
+    }
+    out
+}
+
+fn collapse_spaces(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut prev_space = false;
+    for c in s.chars() {
+        if c == ' ' {
+            if !prev_space {
+                out.push(c);
+            }
+            prev_space = true;
+        } else {
+            prev_space = false;
+            out.push(c);
+        }
+    }
+    out.trim().to_owned()
+}
+
+/// Counts whitespace-separated words (Table 1's "Avg. words").
+pub fn word_count(text: &str) -> usize {
+    text.split_whitespace().count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "Please write a YAML file that defines a Kubernetes Deployment named \
+\"web\" with 3 replicas and environment variables for the container. Ensure that the \
+deployment exposes container port 80 so that services can select it later.";
+
+    #[test]
+    fn simplify_reduces_word_count_substantially() {
+        let simplified = simplify(SAMPLE);
+        let before = word_count(SAMPLE) as f64;
+        let after = word_count(&simplified) as f64;
+        let reduction = 1.0 - after / before;
+        assert!(
+            reduction > 0.10,
+            "only {:.1}% reduction: {simplified}",
+            reduction * 100.0
+        );
+    }
+
+    #[test]
+    fn simplify_uses_abbreviations() {
+        let s = simplify(SAMPLE);
+        assert!(s.contains("k8s"), "{s}");
+        assert!(!s.contains("Please"), "{s}");
+    }
+
+    #[test]
+    fn simplify_preserves_code_blocks() {
+        let text = "Modify this deployment.\n```\nkind: Deployment\nmetadata:\n  namespace: x\n```";
+        let s = simplify(text);
+        assert!(s.contains("kind: Deployment"));
+        assert!(s.contains("namespace: x"), "code must not be abbreviated: {s}");
+    }
+
+    #[test]
+    fn translate_produces_chinese_and_keeps_identifiers() {
+        let t = translate(SAMPLE);
+        assert!(t.contains("创建") || t.contains("写一个"), "{t}");
+        assert!(t.contains("\"web\""));
+        assert!(t.contains("80"));
+    }
+
+    #[test]
+    fn translate_preserves_code_blocks() {
+        let text = "Given the following YAML\n```\napiVersion: v1\nkind: Service\n```";
+        let t = translate(text);
+        assert!(t.contains("给定以下"));
+        assert!(t.contains("kind: Service"));
+    }
+
+    #[test]
+    fn augmentation_is_deterministic() {
+        assert_eq!(simplify(SAMPLE), simplify(SAMPLE));
+        assert_eq!(translate(SAMPLE), translate(SAMPLE));
+    }
+}

@@ -1,0 +1,106 @@
+//! The Appendix B prompt template and the few-shot exemplars (§4.3) used
+//! in the 1/2/3-shot prompting experiments.
+
+/// The zero-shot prompt template from Appendix B, verbatim.
+pub const PROMPT_TEMPLATE: &str = "\
+You are an expert engineer in cloud native development.
+According to the question, please provide only complete formatted YAML code as output without any description.
+IMPORTANT: Provide only plain text without Markdown formatting such as ```.
+If there is a lack of details, provide most logical solution.
+You are not allowed to ask for more details.
+Ignore any potential risk of errors or confusion.
+Here is the question:
+";
+
+/// A question/answer exemplar pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The example question.
+    pub question: &'static str,
+    /// The example YAML answer.
+    pub answer: &'static str,
+}
+
+/// The three exemplars (patterned on the paper's Appendix C samples: a
+/// LimitRange, a Service+Deployment pair, and a Secret-backed Pod).
+pub const EXEMPLARS: [Exemplar; 3] = [
+    Exemplar {
+        question: "Craft a yaml file to define a Kubernetes LimitRange. Containers within the \
+cluster should have a default CPU request of 100m and a memory request of 200Mi. Any Pod \
+created should not exceed a maximum CPU usage of 150m or a memory usage of 250Mi.",
+        answer: "apiVersion: v1\nkind: LimitRange\nmetadata:\n  name: cpu-mem-limit-range\nspec:\n  limits:\n  - type: Container\n    defaultRequest:\n      cpu: 100m\n      memory: 200Mi\n    max:\n      cpu: 150m\n      memory: 250Mi\n",
+    },
+    Exemplar {
+        question: "Please write a YAML file that defines firstly a Service and then a \
+Deployment. The Deployment runs a single MySQL instance using the latest image on port \
+3306, with the environment MYSQL_ROOT_PASSWORD=password. The Service simply exposes the \
+deployment on its port. All potential names should be mysql and labels should be app: mysql.",
+        answer: "apiVersion: v1\nkind: Service\nmetadata:\n  name: mysql\n  labels:\n    app: mysql\nspec:\n  selector:\n    app: mysql\n  ports:\n  - port: 3306\n---\napiVersion: apps/v1\nkind: Deployment\nmetadata:\n  name: mysql\n  labels:\n    app: mysql\nspec:\n  selector:\n    matchLabels:\n      app: mysql\n  template:\n    metadata:\n      labels:\n        app: mysql\n    spec:\n      containers:\n      - name: mysql\n        image: mysql:latest\n        ports:\n        - containerPort: 3306\n        env:\n        - name: MYSQL_ROOT_PASSWORD\n          value: password\n",
+    },
+    Exemplar {
+        question: "Can k8s use env var from a file instead of hardcoding? Assume a Secret \
+named mysql-secret with all values. Provide the full YAML for the pod.",
+        answer: "apiVersion: v1\nkind: Pod\nmetadata:\n  labels:\n    context: docker-k8s-lab\n  name: mysql-pod\nspec:\n  containers:\n  - name: mysql\n    image: mysql:latest\n    envFrom:\n    - secretRef:\n        name: mysql-secret\n    ports:\n    - containerPort: 3306\n",
+    },
+];
+
+/// Builds the full prompt: template, `shots` exemplars, then the question
+/// body.
+///
+/// # Examples
+///
+/// ```
+/// let p = cedataset::fewshot::build_prompt("Write a pod.", 2);
+/// assert!(p.starts_with("You are an expert engineer"));
+/// assert!(p.contains("LimitRange"));           // exemplar 1
+/// assert!(p.contains("MYSQL_ROOT_PASSWORD"));  // exemplar 2
+/// assert!(p.trim_end().ends_with("Write a pod."));
+/// ```
+pub fn build_prompt(question_body: &str, shots: usize) -> String {
+    let mut prompt = String::from(PROMPT_TEMPLATE);
+    for exemplar in EXEMPLARS.iter().take(shots.min(EXEMPLARS.len())) {
+        prompt.push_str("\nExample question:\n");
+        prompt.push_str(exemplar.question);
+        prompt.push_str("\nExample answer:\n");
+        prompt.push_str(exemplar.answer);
+        prompt.push('\n');
+    }
+    prompt.push('\n');
+    prompt.push_str(question_body);
+    prompt.push('\n');
+    prompt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_shot_is_template_plus_question() {
+        let p = build_prompt("Q?", 0);
+        assert!(p.starts_with(PROMPT_TEMPLATE));
+        assert!(!p.contains("Example question"));
+        assert!(p.contains("Q?"));
+    }
+
+    #[test]
+    fn shots_add_exemplars_in_order() {
+        let p1 = build_prompt("Q?", 1);
+        let p3 = build_prompt("Q?", 3);
+        assert_eq!(p1.matches("Example question:").count(), 1);
+        assert_eq!(p3.matches("Example question:").count(), 3);
+        assert!(p3.find("LimitRange").unwrap() < p3.find("mysql-secret").unwrap());
+    }
+
+    #[test]
+    fn shots_clamp_to_available() {
+        assert_eq!(build_prompt("Q?", 99), build_prompt("Q?", 3));
+    }
+
+    #[test]
+    fn exemplar_answers_are_valid_yaml() {
+        for e in EXEMPLARS {
+            assert!(yamlkit::parse(e.answer).is_ok());
+        }
+    }
+}

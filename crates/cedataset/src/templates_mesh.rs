@@ -1,0 +1,308 @@
+//! Envoy and Istio problem templates. Envoy problems have the longest
+//! solutions in the dataset (Table 2: 85.85 average lines vs 28.35
+//! overall), which this generator preserves by emitting full
+//! `static_resources` configurations.
+
+use crate::problem::{Category, Problem};
+use crate::templates_k8s::finish_problem;
+
+fn pick<T>(options: &[T], i: usize) -> &T {
+    &options[i % options.len()]
+}
+
+// ---------------------------------------------------------------------
+// Envoy (41)
+// ---------------------------------------------------------------------
+
+/// Builds the i-th Envoy problem.
+pub fn envoy(i: usize) -> Problem {
+    let id = format!("envoy-{i:03}");
+    let n = i / 4;
+    match i % 4 {
+        0 => envoy_basic_route(id, n),
+        1 => envoy_two_routes(id, n),
+        2 => envoy_direct_response(id, n),
+        _ => envoy_weighted(id, n),
+    }
+}
+
+fn listener_header(port: u16) -> String {
+    format!(
+        "static_resources:
+  listeners:
+  - name: listener_0
+    address:
+      socket_address:
+        address: 0.0.0.0
+        port_value: {port}
+    filter_chains:
+    - filters:
+      - name: envoy.filters.network.http_connection_manager
+        typed_config:
+          \"@type\": type.googleapis.com/envoy.extensions.filters.network.http_connection_manager.v3.HttpConnectionManager
+          stat_prefix: ingress_http
+          route_config:
+            name: local_route
+            virtual_hosts:
+"
+    )
+}
+
+fn cluster_block(name: &str, port: u16) -> String {
+    format!(
+        "  - name: {name}
+    connect_timeout: 0.25s
+    type: STATIC
+    lb_policy: ROUND_ROBIN
+    load_assignment:
+      cluster_name: {name}
+      endpoints:
+      - lb_endpoints:
+        - endpoint:
+            address:
+              socket_address:
+                address: 127.0.0.1
+                port_value: {port}
+"
+    )
+}
+
+fn envoy_basic_route(id: String, n: usize) -> Problem {
+    let port = 10000 + (n as u16 % 4) * 1000;
+    let cluster = *pick(&["service_backend", "app_cluster", "web_upstream", "api_cluster"], n);
+    let upstream_port = 8080 + (n as u16 % 3) * 100;
+    let description = format!(
+        "Write a complete Envoy static configuration in YAML. It must define one listener named \
+\"listener_0\" bound to address 0.0.0.0 on port {port}, with an HTTP connection manager \
+whose route configuration has a single virtual host matching all domains (\"*\"). Every \
+request with path prefix \"/\" must be routed to a cluster named \"{cluster}\". Then \
+define that cluster: type STATIC, ROUND_ROBIN load balancing, connect timeout 0.25s, and a \
+single endpoint at 127.0.0.1 port {upstream_port} under load_assignment. The configuration \
+must pass `envoy --mode validate` and serve requests on port {port}. Remember that the \
+route cluster name must exactly match the declared cluster, and that the listener uses \
+socket_address with port_value — Envoy rejects configurations where these are missing or \
+mismatched, so double-check field names before answering."
+    );
+    let labeled_reference = format!(
+        "{header}            - name: backend # *\n              domains: [\"*\"]\n              routes:\n              - match:\n                  prefix: /\n                route:\n                  cluster: {cluster}\n  clusters:\n{cluster_block}",
+        header = listener_header(port),
+        cluster_block = cluster_block(cluster, upstream_port),
+    );
+    let unit_test = format!(
+        r#"envoy --mode validate -c labeled_code.yaml || exit 1
+envoy-start -c labeled_code.yaml
+code=$(curl -s -o /dev/null -w "%{{http_code}}" localhost:{port}/)
+body=$(curl -s localhost:{port}/anything)
+if [ "$code" == "200" ] && [[ $body == *"{cluster}"* ]]; then
+  echo unit_test_passed
+fi
+"#
+    );
+    finish_problem(id, Category::Envoy, description, None, labeled_reference, unit_test)
+}
+
+fn envoy_two_routes(id: String, n: usize) -> Problem {
+    let port = 9000 + (n as u16 % 4) * 500;
+    let api_cluster = *pick(&["api_service", "grpc_backend", "v2_service"], n);
+    let default_cluster = *pick(&["static_files", "web_default", "fallback"], n);
+    let prefix = *pick(&["/api", "/v2", "/rpc"], n);
+    let description = format!(
+        "I need an Envoy YAML configuration implementing path-based routing. Create one listener \
+on 0.0.0.0:{port} with an http_connection_manager. Its virtual host (domains [\"*\"]) \
+routes requests whose path starts with \"{prefix}\" to the cluster \"{api_cluster}\" and \
+everything else (prefix \"/\") to the cluster \"{default_cluster}\"; order matters, the \
+more specific prefix must come first. Define both clusters as STATIC with ROUND_ROBIN \
+load balancing: {api_cluster} has an endpoint at 127.0.0.1:8081 and {default_cluster} at \
+127.0.0.1:8082 via load_assignment. The file must validate with envoy --mode validate, and \
+a request to {prefix}/users must land on {api_cluster} while /index.html lands on \
+{default_cluster}. Provide only the full YAML with static_resources at the top level."
+    );
+    let labeled_reference = format!(
+        "{header}            - name: backend # *\n              domains: [\"*\"]\n              routes:\n              - match:\n                  prefix: {prefix}\n                route:\n                  cluster: {api_cluster}\n              - match:\n                  prefix: /\n                route:\n                  cluster: {default_cluster}\n  clusters:\n{c1}{c2}",
+        header = listener_header(port),
+        c1 = cluster_block(api_cluster, 8081),
+        c2 = cluster_block(default_cluster, 8082),
+    );
+    let unit_test = format!(
+        r#"envoy --mode validate -c labeled_code.yaml || exit 1
+envoy-start -c labeled_code.yaml
+api=$(curl -s localhost:{port}{prefix}/users)
+other=$(curl -s localhost:{port}/index.html)
+if [[ $api == *"{api_cluster}"* ]] && [[ $other == *"{default_cluster}"* ]]; then
+  echo unit_test_passed
+fi
+"#
+    );
+    finish_problem(id, Category::Envoy, description, None, labeled_reference, unit_test)
+}
+
+fn envoy_direct_response(id: String, n: usize) -> Problem {
+    let port = 10000 + (n as u16 % 5) * 123;
+    let status = *pick(&[403u16, 404, 429, 503], n);
+    let body = *pick(&["access denied", "not here", "slow down", "maintenance"], n);
+    let health_cluster = "health_backend";
+    let description = format!(
+        "Write an Envoy static configuration YAML with a listener on 0.0.0.0:{port}. The HTTP \
+connection manager's virtual host must match all domains and contain two routes, evaluated \
+in order: first, requests with path prefix \"/health\" are routed to a STATIC cluster named \
+\"{health_cluster}\" (ROUND_ROBIN, one endpoint 127.0.0.1:9901 declared through \
+load_assignment with lb_endpoints). Second, every other request (prefix \"/\") must be \
+answered directly by Envoy without any upstream, using a direct_response with HTTP status \
+{status} and the inline_string body \"{body}\". Direct responses are configured on the \
+route itself with a body.inline_string field. The configuration must pass validation and \
+behave exactly as described when probed with curl."
+    );
+    let labeled_reference = format!(
+        "{header}            - name: backend # *\n              domains: [\"*\"]\n              routes:\n              - match:\n                  prefix: /health\n                route:\n                  cluster: {health_cluster}\n              - match:\n                  prefix: /\n                direct_response:\n                  status: {status}\n                  body:\n                    inline_string: {body_yaml}\n  clusters:\n{c1}",
+        header = listener_header(port),
+        body_yaml = format!("\"{body}\""),
+        c1 = cluster_block(health_cluster, 9901),
+    );
+    let unit_test = format!(
+        r#"envoy --mode validate -c labeled_code.yaml || exit 1
+envoy-start -c labeled_code.yaml
+code=$(curl -s -o /dev/null -w "%{{http_code}}" localhost:{port}/blocked)
+health=$(curl -s localhost:{port}/health)
+resp=$(curl -s localhost:{port}/other)
+if [ "$code" == "{status}" ] && [[ $health == *"{health_cluster}"* ]] && [[ $resp == *"{body}"* ]]; then
+  echo unit_test_passed
+fi
+"#
+    );
+    finish_problem(id, Category::Envoy, description, None, labeled_reference, unit_test)
+}
+
+fn envoy_weighted(id: String, n: usize) -> Problem {
+    let port = 8800 + (n as u16 % 4) * 250;
+    let primary = *pick(&["service_v1", "stable", "blue"], n);
+    let canary = *pick(&["service_v2", "canary", "green"], n);
+    let weight = *pick(&[80u32, 90, 75], n);
+    let description = format!(
+        "Create an Envoy configuration YAML implementing a canary traffic split. One listener on \
+0.0.0.0:{port} with an http_connection_manager; the single virtual host (all domains) has \
+one route matching prefix \"/\" whose action is weighted_clusters: send {weight}% of \
+traffic to cluster \"{primary}\" and the remaining {rest}% to cluster \"{canary}\" (weights \
+{weight} and {rest} under route.weighted_clusters.clusters, each entry carrying name and \
+weight). Define both clusters as STATIC/ROUND_ROBIN with endpoints 127.0.0.1:8181 for \
+{primary} and 127.0.0.1:8282 for {canary}, declared with load_assignment, connect_timeout \
+0.25s. The file must pass envoy --mode validate; the majority of probes must reach \
+{primary}.",
+        rest = 100 - weight,
+    );
+    let labeled_reference = format!(
+        "{header}            - name: backend # *\n              domains: [\"*\"]\n              routes:\n              - match:\n                  prefix: /\n                route:\n                  weighted_clusters:\n                    clusters:\n                    - name: {primary}\n                      weight: {weight}\n                    - name: {canary}\n                      weight: {rest}\n  clusters:\n{c1}{c2}",
+        header = listener_header(port),
+        rest = 100 - weight,
+        c1 = cluster_block(primary, 8181),
+        c2 = cluster_block(canary, 8282),
+    );
+    let unit_test = format!(
+        r#"envoy --mode validate -c labeled_code.yaml || exit 1
+envoy-start -c labeled_code.yaml
+body=$(curl -s localhost:{port}/)
+if [[ $body == *"{primary}"* ]]; then
+  echo unit_test_passed
+fi
+"#
+    );
+    finish_problem(id, Category::Envoy, description, None, labeled_reference, unit_test)
+}
+
+// ---------------------------------------------------------------------
+// Istio (13)
+// ---------------------------------------------------------------------
+
+/// Builds the i-th Istio problem.
+pub fn istio(i: usize) -> Problem {
+    let id = format!("istio-{i:03}");
+    let n = i / 3;
+    match i % 3 {
+        0 => istio_destination_rule(id, n),
+        1 => istio_virtual_service(id, n),
+        _ => istio_gateway(id, n),
+    }
+}
+
+fn istio_destination_rule(id: String, n: usize) -> Problem {
+    let svc = *pick(&["ratings", "reviews", "productpage", "details"], n);
+    let ns = *pick(&["prod", "staging"], n / 4);
+    let subset_version = *pick(&["v3", "v2"], n / 2);
+    let description = format!(
+        "I need a Istio destination rule YAML set up for the bookinfo application's {svc} \
+service in the {ns} namespace. This rule had the main traffic load balanced using the \
+LEAST_REQUEST strategy. Additionally, there was a specific subset named testversion using \
+version {subset_version} labels, and for this subset, the traffic was load balanced with a \
+ROUND_ROBIN approach. Please provide me the entire YAML configuration for this."
+    );
+    let labeled_reference = format!(
+        "apiVersion: networking.istio.io/v1alpha3\nkind: DestinationRule\nmetadata:\n  name: {svc} # *\n  namespace: {ns}\nspec:\n  host: {svc}\n  trafficPolicy:\n    loadBalancer:\n      simple: LEAST_REQUEST\n  subsets:\n  - name: testversion\n    labels:\n      version: {subset_version}\n    trafficPolicy:\n      loadBalancer:\n        simple: ROUND_ROBIN\n"
+    );
+    let unit_test = format!(
+        r#"kubectl create ns {ns} || true
+kubectl apply -f labeled_code.yaml
+dr=$(kubectl get destinationrule -n {ns} -o jsonpath='{{.items[0].metadata.name}}')
+host=$(kubectl get destinationrule $dr -n {ns} -o jsonpath={{.spec.host}})
+lb=$(kubectl get destinationrule $dr -n {ns} -o jsonpath='{{.spec.trafficPolicy.loadBalancer.simple}}')
+subset=$(kubectl get destinationrule $dr -n {ns} -o jsonpath='{{.spec.subsets[0].name}}')
+sublb=$(kubectl get destinationrule $dr -n {ns} -o jsonpath='{{.spec.subsets[0].trafficPolicy.loadBalancer.simple}}')
+istioctl analyze | grep "No validation issues" || exit 1
+if [ "$host" == "{svc}" ] && [ "$lb" == "LEAST_REQUEST" ] && [ "$subset" == "testversion" ] && [ "$sublb" == "ROUND_ROBIN" ]; then
+  echo unit_test_passed
+fi
+"#
+    );
+    finish_problem(id, Category::Istio, description, None, labeled_reference, unit_test)
+}
+
+fn istio_virtual_service(id: String, n: usize) -> Problem {
+    let svc = *pick(&["reviews", "ratings"], n);
+    let weight = *pick(&[90i64, 75], n / 2);
+    let description = format!(
+        "Write an Istio VirtualService YAML named \"{svc}-route\" for host \"{svc}\". It defines \
+one http route with two weighted destinations: {weight}% of traffic goes to host {svc} \
+subset v1 and the rest to subset v2 (weights {weight} and {rest}). Each route entry uses \
+destination.host, destination.subset and weight.",
+        rest = 100 - weight,
+    );
+    let labeled_reference = format!(
+        "apiVersion: networking.istio.io/v1alpha3\nkind: VirtualService\nmetadata:\n  name: {svc}-route # *\nspec:\n  hosts:\n  - {svc}\n  http:\n  - route:\n    - destination:\n        host: {svc}\n        subset: v1\n      weight: {weight}\n    - destination:\n        host: {svc}\n        subset: v2\n      weight: {rest}\n",
+        rest = 100 - weight,
+    );
+    let unit_test = format!(
+        r#"kubectl apply -f labeled_code.yaml
+vs=$(kubectl get virtualservice -o jsonpath='{{.items[0].metadata.name}}')
+host=$(kubectl get virtualservice $vs -o jsonpath='{{.spec.hosts[0]}}')
+w1=$(kubectl get virtualservice $vs -o jsonpath='{{.spec.http[0].route[0].weight}}')
+s2=$(kubectl get virtualservice $vs -o jsonpath='{{.spec.http[0].route[1].destination.subset}}')
+if [ "$host" == "{svc}" ] && [ "$w1" == "{weight}" ] && [ "$s2" == "v2" ]; then
+  echo unit_test_passed
+fi
+"#
+    );
+    finish_problem(id, Category::Istio, description, None, labeled_reference, unit_test)
+}
+
+fn istio_gateway(id: String, n: usize) -> Problem {
+    let host = *pick(&["bookinfo.example.com", "shop.example.com"], n);
+    let port = *pick(&[80i64, 8080], n / 2);
+    let description = format!(
+        "Create an Istio Gateway YAML named \"web-gateway\" using the standard istio ingress \
+gateway selector (istio: ingressgateway). It must declare one server on port number {port}, \
+port name \"http\", protocol HTTP, accepting traffic for the host \"{host}\"."
+    );
+    let labeled_reference = format!(
+        "apiVersion: networking.istio.io/v1alpha3\nkind: Gateway\nmetadata:\n  name: web-gateway # *\nspec:\n  selector:\n    istio: ingressgateway\n  servers:\n  - port:\n      number: {port}\n      name: http\n      protocol: HTTP\n    hosts:\n    - {host}\n"
+    );
+    let unit_test = format!(
+        r#"kubectl apply -f labeled_code.yaml
+gw=$(kubectl get gateway -o jsonpath='{{.items[0].metadata.name}}')
+portnum=$(kubectl get gateway $gw -o jsonpath='{{.spec.servers[0].port.number}}')
+proto=$(kubectl get gateway $gw -o jsonpath='{{.spec.servers[0].port.protocol}}')
+host=$(kubectl get gateway $gw -o jsonpath='{{.spec.servers[0].hosts[0]}}')
+if [ "$portnum" == "{port}" ] && [ "$proto" == "HTTP" ] && [ "$host" == "{host}" ]; then
+  echo unit_test_passed
+fi
+"#
+    );
+    finish_problem(id, Category::Istio, description, None, labeled_reference, unit_test)
+}

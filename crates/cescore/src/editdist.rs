@@ -1,0 +1,113 @@
+//! Line-level edit distance, mirroring the paper's use of Python's
+//! `difflib.Differ` (§3.2): the distance is the number of added plus
+//! removed lines in the diff, scaled by the reference length:
+//! `score = 1 - edit_distance / len(reference_lines)`, clamped to `[0, 1]`.
+
+/// Number of line insertions + deletions needed to turn `candidate` into
+/// `reference` (equivalently, lines flagged `+`/`-` by `difflib.Differ`).
+pub fn line_edit_distance(reference: &str, candidate: &str) -> usize {
+    let ref_lines: Vec<&str> = reference.lines().collect();
+    let cand_lines: Vec<&str> = candidate.lines().collect();
+    let lcs = lcs_len(&ref_lines, &cand_lines);
+    (ref_lines.len() - lcs) + (cand_lines.len() - lcs)
+}
+
+/// The paper's edit-distance score: `1 - distance / len(reference)`,
+/// clamped below at 0. Identical inputs score 1.0.
+///
+/// # Examples
+///
+/// ```
+/// let r = "a: 1\nb: 2\nc: 3\n";
+/// assert_eq!(cescore::edit_distance_score(r, r), 1.0);
+/// assert!(cescore::edit_distance_score(r, "a: 1\nb: 99\nc: 3\n") < 1.0);
+/// ```
+pub fn edit_distance_score(reference: &str, candidate: &str) -> f64 {
+    let ref_len = reference.lines().count();
+    if ref_len == 0 {
+        return if candidate.lines().count() == 0 { 1.0 } else { 0.0 };
+    }
+    let dist = line_edit_distance(reference, candidate);
+    (1.0 - dist as f64 / ref_len as f64).max(0.0)
+}
+
+/// Classic O(n·m) longest-common-subsequence length over lines, with an
+/// O(min(n,m)) rolling row.
+fn lcs_len(a: &[&str], b: &[&str]) -> usize {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; short.len() + 1];
+    let mut cur = vec![0usize; short.len() + 1];
+    for &l in long {
+        for (j, &s) in short.iter().enumerate() {
+            cur[j + 1] = if l == s {
+                prev[j] + 1
+            } else {
+                cur[j].max(prev[j + 1])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_is_zero_distance() {
+        assert_eq!(line_edit_distance("a\nb\nc", "a\nb\nc"), 0);
+        assert_eq!(edit_distance_score("a\nb\nc", "a\nb\nc"), 1.0);
+    }
+
+    #[test]
+    fn single_line_change_costs_two() {
+        // One removal + one insertion, like difflib.Differ output.
+        assert_eq!(line_edit_distance("a\nb\nc", "a\nX\nc"), 2);
+    }
+
+    #[test]
+    fn insertion_costs_one() {
+        assert_eq!(line_edit_distance("a\nc", "a\nb\nc"), 1);
+    }
+
+    #[test]
+    fn deletion_costs_one() {
+        assert_eq!(line_edit_distance("a\nb\nc", "a\nc"), 1);
+    }
+
+    #[test]
+    fn score_clamps_at_zero() {
+        // Candidate much longer than reference: distance exceeds ref length.
+        let score = edit_distance_score("a", "x\ny\nz\nw\n");
+        assert_eq!(score, 0.0);
+    }
+
+    #[test]
+    fn empty_reference() {
+        assert_eq!(edit_distance_score("", ""), 1.0);
+        assert_eq!(edit_distance_score("", "a\n"), 0.0);
+    }
+
+    #[test]
+    fn completely_different_scores_zero() {
+        assert_eq!(edit_distance_score("a\nb", "x\ny"), 0.0);
+    }
+
+    #[test]
+    fn partial_match_scales() {
+        // 4 ref lines, one changed: distance 2, score 1 - 2/4 = 0.5.
+        let r = "a\nb\nc\nd";
+        let c = "a\nb\nX\nd";
+        assert!((edit_distance_score(r, c) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lcs_handles_asymmetric_lengths() {
+        assert_eq!(lcs_len(&["a"], &["b", "a", "c"]), 1);
+        assert_eq!(lcs_len(&[], &["a"]), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! YAML-aware metrics (§3.2): key-value exact match and key-value wildcard
+//! match. Both load documents into order-insensitive structures instead of
+//! comparing text, so cosmetic reordering does not hurt the score.
+
+use yamlkit::labels::MatchTree;
+use yamlkit::{parse, Node, Yaml};
+
+/// Key-value exact match: 1 when both texts parse as YAML and every
+/// document compares equal as an (unordered) dictionary, else 0.
+///
+/// # Examples
+///
+/// ```
+/// let reference = "a: 1\nb: 2\n";
+/// let reordered = "b: 2\na: 1\n";
+/// assert_eq!(cescore::kv_exact_match(reference, reordered), 1.0);
+/// assert_eq!(cescore::kv_exact_match(reference, "a: 1\n"), 0.0);
+/// ```
+pub fn kv_exact_match(reference: &str, candidate: &str) -> f64 {
+    let Ok(ref_docs) = parse(reference) else {
+        return 0.0;
+    };
+    let Ok(cand_docs) = parse(candidate) else {
+        return 0.0;
+    };
+    if ref_docs.is_empty() || ref_docs.len() != cand_docs.len() {
+        return 0.0;
+    }
+    let all_equal = ref_docs
+        .iter()
+        .zip(&cand_docs)
+        .all(|(r, c)| r.to_value().eq_unordered(&c.to_value()));
+    if all_equal {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Key-value wildcard match: IoU of matched leaves between the labeled
+/// reference and the candidate (0 when the candidate is not valid YAML).
+///
+/// Multi-document streams pair documents by index; leaves of unpaired
+/// documents count toward the union only.
+///
+/// # Examples
+///
+/// ```
+/// let reference = "metadata:\n  name: web # *\nport: 80\n";
+/// let candidate = "metadata:\n  name: anything\nport: 80\n";
+/// assert_eq!(cescore::kv_wildcard_match(reference, candidate), 1.0);
+/// ```
+pub fn kv_wildcard_match(reference: &str, candidate: &str) -> f64 {
+    let Ok(ref_docs) = parse(reference) else {
+        return 0.0;
+    };
+    let Ok(cand_docs) = parse(candidate) else {
+        return 0.0;
+    };
+    if ref_docs.is_empty() {
+        return 0.0;
+    }
+    let cand_values: Vec<Yaml> = cand_docs.iter().map(Node::to_value).collect();
+    let mut matched = 0usize;
+    let mut ref_leaves = 0usize;
+    let mut cand_leaves: usize = cand_values.iter().map(Yaml::leaf_count).sum();
+    if cand_docs.is_empty() {
+        cand_leaves = 0;
+    }
+    for (i, ref_doc) in ref_docs.iter().enumerate() {
+        let tree = MatchTree::from_node(ref_doc);
+        ref_leaves += tree.leaf_count();
+        if let Some(cand) = cand_values.get(i) {
+            matched += tree.matched_leaves(cand);
+        }
+    }
+    let union = ref_leaves + cand_leaves - matched;
+    if union == 0 {
+        1.0
+    } else {
+        matched as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kv_exact_ignores_order_and_format() {
+        let r = "spec:\n  replicas: 3\n  selector:\n    app: web\n";
+        let c = "spec:\n  selector: {app: web}\n  replicas: 3\n";
+        assert_eq!(kv_exact_match(r, c), 1.0);
+    }
+
+    #[test]
+    fn kv_exact_sees_value_differences() {
+        assert_eq!(kv_exact_match("a: 1\n", "a: 2\n"), 0.0);
+    }
+
+    #[test]
+    fn kv_exact_rejects_invalid_candidate() {
+        assert_eq!(kv_exact_match("a: 1\n", "a: [1,\n"), 0.0);
+    }
+
+    #[test]
+    fn kv_exact_multi_document() {
+        let r = "a: 1\n---\nb: 2\n";
+        assert_eq!(kv_exact_match(r, "a: 1\n---\nb: 2\n"), 1.0);
+        assert_eq!(kv_exact_match(r, "b: 2\n---\na: 1\n"), 0.0);
+        assert_eq!(kv_exact_match(r, "a: 1\n"), 0.0);
+    }
+
+    #[test]
+    fn wildcard_uses_labels() {
+        let r = "image: ubuntu:22.04 # v in ['20.04', '22.04']\nname: x # *\n";
+        assert_eq!(kv_wildcard_match(r, "image: ubuntu:20.04\nname: whatever\n"), 1.0);
+        assert!(kv_wildcard_match(r, "image: alpine\nname: whatever\n") < 1.0);
+    }
+
+    #[test]
+    fn wildcard_partial_credit() {
+        let r = "a: 1\nb: 2\nc: 3\nd: 4\n";
+        let c = "a: 1\nb: 2\n";
+        // 2 matched, union = 4 + 2 - 2 = 4.
+        assert!((kv_wildcard_match(r, c) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wildcard_penalizes_extra_docs() {
+        let r = "a: 1\n";
+        let c = "a: 1\n---\nb: 2\n";
+        assert!(kv_wildcard_match(r, c) < 1.0);
+    }
+
+    #[test]
+    fn wildcard_invalid_candidate_is_zero() {
+        assert_eq!(kv_wildcard_match("a: 1\n", "not: [valid\n"), 0.0);
+    }
+
+    #[test]
+    fn wildcard_empty_candidate_is_zero() {
+        assert_eq!(kv_wildcard_match("a: 1\n", ""), 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the scoring metrics: boundedness, reflexivity, and
+//! the ordering relationships the paper's evaluation relies on.
+
+use proptest::prelude::*;
+
+fn arb_yaml_text() -> impl Strategy<Value = String> {
+    // Small random mappings emitted through yamlkit guarantee valid YAML.
+    prop::collection::vec(("[a-z]{1,6}", "[a-z0-9:/.-]{0,8}"), 1..6).prop_map(|pairs| {
+        let mut seen = std::collections::HashSet::new();
+        let map = yamlkit::Yaml::Map(
+            pairs
+                .into_iter()
+                .filter(|(k, _)| seen.insert(k.clone()))
+                .map(|(k, v)| (k, yamlkit::Yaml::Str(v)))
+                .collect(),
+        );
+        yamlkit::emit(&map)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn all_metrics_bounded(r in arb_yaml_text(), c in arb_yaml_text()) {
+        let s = cescore::score_pair(&r, &c);
+        for (name, v) in cescore::METRIC_NAMES.iter().zip(s.static_metrics().iter().chain([&s.unit_test])) {
+            prop_assert!((0.0..=1.0).contains(v), "{name} = {v} out of bounds");
+        }
+    }
+
+    #[test]
+    fn self_score_is_perfect(r in arb_yaml_text()) {
+        let s = cescore::score_pair(&r, &r);
+        prop_assert!((s.bleu - 1.0).abs() < 1e-9);
+        prop_assert_eq!(s.edit_distance, 1.0);
+        prop_assert_eq!(s.exact_match, 1.0);
+        prop_assert_eq!(s.kv_exact, 1.0);
+        prop_assert_eq!(s.kv_wildcard, 1.0);
+    }
+
+    /// Exact match implies every other static metric is perfect.
+    #[test]
+    fn exact_match_dominates(r in arb_yaml_text(), c in arb_yaml_text()) {
+        let s = cescore::score_pair(&r, &c);
+        if s.exact_match == 1.0 {
+            prop_assert_eq!(s.kv_exact, 1.0);
+            prop_assert_eq!(s.kv_wildcard, 1.0);
+            prop_assert_eq!(s.edit_distance, 1.0);
+        }
+        // kv-exact implies wildcard-perfect on unlabeled references.
+        if s.kv_exact == 1.0 {
+            prop_assert!((s.kv_wildcard - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Appending junk to the candidate never raises kv-wildcard.
+    #[test]
+    fn extra_content_never_helps_wildcard(r in arb_yaml_text()) {
+        let base = cescore::kv_wildcard_match(&r, &r);
+        let bloated = format!("{r}zzz_extra_key_1: junk\nzzz_extra_key_2: junk\n");
+        let worse = cescore::kv_wildcard_match(&r, &bloated);
+        prop_assert!(worse <= base + 1e-12, "bloated {worse} > base {base}");
+    }
+
+    /// Edit distance score decreases monotonically as more lines change.
+    #[test]
+    fn edit_distance_monotone_in_changes(r in arb_yaml_text()) {
+        let lines: Vec<&str> = r.lines().collect();
+        let mut prev = cescore::edit_distance_score(&r, &r);
+        for k in 1..=lines.len() {
+            let mutated: Vec<String> = lines
+                .iter()
+                .enumerate()
+                .map(|(i, l)| if i < k { format!("CHANGED_{i}: x") } else { (*l).to_owned() })
+                .collect();
+            let score = cescore::edit_distance_score(&r, &mutated.join("\n"));
+            prop_assert!(score <= prev + 1e-12);
+            prev = score;
+        }
+    }
+}

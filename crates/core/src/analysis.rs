@@ -1,0 +1,138 @@
+//! Post-hoc analysis: the per-factor breakdowns of Figure 6 / Table 9 and
+//! the failure-mode histogram of Figure 7.
+
+use cedataset::Application;
+use llmsim::AnswerCategory;
+
+use crate::harness::EvalRecord;
+
+/// Unit-test score of a record subset.
+fn unit_test_score<'a, I: Iterator<Item = &'a EvalRecord>>(records: I) -> f64 {
+    let mut n = 0usize;
+    let mut sum = 0.0;
+    for r in records {
+        n += 1;
+        sum += r.scores.unit_test;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// One model's Table 9 row: unit-test score per factor bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactorRow {
+    /// Model name.
+    pub model: String,
+    /// By application: Kubernetes, Envoy, Istio.
+    pub by_application: [f64; 3],
+    /// With vs without code context.
+    pub by_context: [f64; 2],
+    /// Reference length buckets `[0,15)`, `[15,30)`, `>=30` lines.
+    pub by_ref_length: [f64; 3],
+    /// Question token buckets `[0,50)`, `[50,100)`, `>=100`.
+    pub by_question_tokens: [f64; 3],
+}
+
+/// Computes the Table 9 / Figure 6 factor analysis for one model's
+/// records.
+pub fn factor_analysis(model: &str, records: &[EvalRecord]) -> FactorRow {
+    let of_model: Vec<&EvalRecord> = records.iter().filter(|r| r.model == model).collect();
+    let by_application = [
+        unit_test_score(of_model.iter().copied().filter(|r| r.category.application() == Application::Kubernetes)),
+        unit_test_score(of_model.iter().copied().filter(|r| r.category.application() == Application::Envoy)),
+        unit_test_score(of_model.iter().copied().filter(|r| r.category.application() == Application::Istio)),
+    ];
+    let by_context = [
+        unit_test_score(of_model.iter().copied().filter(|r| r.has_context)),
+        unit_test_score(of_model.iter().copied().filter(|r| !r.has_context)),
+    ];
+    let by_ref_length = [
+        unit_test_score(of_model.iter().copied().filter(|r| r.reference_lines < 15)),
+        unit_test_score(of_model.iter().copied().filter(|r| (15..30).contains(&r.reference_lines))),
+        unit_test_score(of_model.iter().copied().filter(|r| r.reference_lines >= 30)),
+    ];
+    let by_question_tokens = [
+        unit_test_score(of_model.iter().copied().filter(|r| r.question_tokens < 50)),
+        unit_test_score(of_model.iter().copied().filter(|r| (50..100).contains(&r.question_tokens))),
+        unit_test_score(of_model.iter().copied().filter(|r| r.question_tokens >= 100)),
+    ];
+    FactorRow {
+        model: model.to_owned(),
+        by_application,
+        by_context,
+        by_ref_length,
+        by_question_tokens,
+    }
+}
+
+/// Figure 7: counts per answer category (1–6) for one model.
+pub fn failure_modes(model: &str, records: &[EvalRecord]) -> [usize; 6] {
+    let mut counts = [0usize; 6];
+    for r in records.iter().filter(|r| r.model == model) {
+        let idx = match r.answer_class {
+            AnswerCategory::EmptyOrTiny => 0,
+            AnswerCategory::NoKind => 1,
+            AnswerCategory::IncompleteYaml => 2,
+            AnswerCategory::WrongKind => 3,
+            AnswerCategory::FailsTest => 4,
+            AnswerCategory::Correct => 5,
+        };
+        counts[idx] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{evaluate, EvalOptions};
+    use cedataset::Dataset;
+    use llmsim::{ModelProfile, SimulatedModel};
+    use std::sync::Arc;
+
+    fn records(model_name: &str, stride: usize) -> Vec<EvalRecord> {
+        let ds = Arc::new(Dataset::generate());
+        let model =
+            SimulatedModel::new(ModelProfile::by_name(model_name).unwrap(), Arc::clone(&ds));
+        evaluate(&model, &ds, &EvalOptions { stride, ..EvalOptions::default() })
+    }
+
+    #[test]
+    fn envoy_scores_below_kubernetes() {
+        // Use a moderate subsample for speed; shape is robust.
+        let recs = records("gpt-4", 3);
+        let row = factor_analysis("gpt-4", &recs);
+        let [k8s, envoy, _istio] = row.by_application;
+        assert!(envoy < k8s, "envoy {envoy} !< k8s {k8s}");
+    }
+
+    #[test]
+    fn longer_references_score_lower() {
+        let recs = records("gpt-4", 3);
+        let row = factor_analysis("gpt-4", &recs);
+        let [short, medium, long] = row.by_ref_length;
+        assert!(short >= medium, "short {short} < medium {medium}");
+        assert!(medium >= long, "medium {medium} < long {long}");
+        assert!(short > long, "no gradient: {short} vs {long}");
+    }
+
+    #[test]
+    fn failure_mode_counts_sum_to_records() {
+        let recs = records("llama-2-70b-chat", 5);
+        let counts = failure_modes("llama-2-70b-chat", &recs);
+        assert_eq!(counts.iter().sum::<usize>(), recs.len());
+        // Llama-2 70B's dominant failure is category 5 (Figure 7).
+        let max_fail = counts[..5].iter().max().copied().unwrap_or(0);
+        assert_eq!(counts[4], max_fail, "{counts:?}");
+    }
+
+    #[test]
+    fn unknown_model_yields_empty_analysis() {
+        let recs = records("gpt-4", 20);
+        let counts = failure_modes("nonexistent", &recs);
+        assert_eq!(counts.iter().sum::<usize>(), 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! The end-to-end benchmark pipeline (Figure 3): dataset → prompt →
+//! query → post-process → score → cloud evaluation.
+
+use cedataset::{Category, Dataset, Problem, Variant};
+use cescore::Scores;
+use evalcluster::executor::{run_jobs, UnitTestJob};
+use llmsim::{extract_yaml, AnswerCategory, GenParams, LanguageModel, QueryConfig, SimulatedModel};
+
+/// One scored (model, problem, variant) evaluation.
+#[derive(Debug, Clone)]
+pub struct EvalRecord {
+    /// Model name.
+    pub model: String,
+    /// Problem id.
+    pub problem_id: String,
+    /// Dataset variant.
+    pub variant: Variant,
+    /// Problem category.
+    pub category: Category,
+    /// Whether the question carried a YAML context.
+    pub has_context: bool,
+    /// Reference solution length in lines.
+    pub reference_lines: usize,
+    /// Question length in (approximate) tokens.
+    pub question_tokens: usize,
+    /// Extracted YAML (after §3.1 post-processing).
+    pub extracted: String,
+    /// All six metrics, including the unit-test outcome.
+    pub scores: Scores,
+    /// Figure 7 failure class.
+    pub answer_class: AnswerCategory,
+}
+
+/// Evaluation options.
+#[derive(Debug, Clone)]
+pub struct EvalOptions {
+    /// Variants to include.
+    pub variants: Vec<Variant>,
+    /// Few-shot exemplar count (0–3).
+    pub shots: usize,
+    /// Generation parameters.
+    pub params: GenParams,
+    /// Unit-test worker threads.
+    pub workers: usize,
+    /// Optional problem subsample: keep every `stride`-th problem
+    /// (1 = full dataset). Used by fast tests.
+    pub stride: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            variants: vec![Variant::Original],
+            shots: 0,
+            params: GenParams::default(),
+            workers: 8,
+            stride: 1,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// All three variants (Table 4's full 1011-problem evaluation).
+    pub fn full() -> EvalOptions {
+        EvalOptions { variants: Variant::ALL.to_vec(), ..EvalOptions::default() }
+    }
+}
+
+/// Runs the full pipeline for one model.
+pub fn evaluate(model: &SimulatedModel, dataset: &Dataset, options: &EvalOptions) -> Vec<EvalRecord> {
+    let problems: Vec<&Problem> = dataset
+        .problems()
+        .iter()
+        .step_by(options.stride.max(1))
+        .collect();
+    // 1. YAML generation: prompts through the query module.
+    let mut coords: Vec<(&Problem, Variant)> = Vec::new();
+    for &variant in &options.variants {
+        for p in &problems {
+            coords.push((p, variant));
+        }
+    }
+    let prompts: Vec<String> = coords
+        .iter()
+        .map(|(p, v)| cedataset::fewshot::build_prompt(&p.prompt_body(*v), options.shots))
+        .collect();
+    let batch = llmsim::query_batch(
+        model,
+        &prompts,
+        &options.params,
+        &QueryConfig { parallelism: options.workers.max(1), ..QueryConfig::default() },
+    );
+    // 2. Post-processing + static scoring.
+    let extracted: Vec<String> = batch.responses.iter().map(|r| extract_yaml(r)).collect();
+    // 3. Function-level scoring on the evaluation cluster.
+    let jobs: Vec<UnitTestJob> = coords
+        .iter()
+        .zip(&extracted)
+        .map(|((p, v), yaml)| UnitTestJob {
+            problem_id: format!("{}@{v:?}", p.id),
+            script: p.unit_test.clone(),
+            candidate_yaml: yaml.clone(),
+        })
+        .collect();
+    let report = run_jobs(&jobs, options.workers);
+    // 4. Assemble records.
+    coords
+        .into_iter()
+        .zip(extracted)
+        .zip(report.results)
+        .map(|(((problem, variant), yaml), job_result)| {
+            let mut scores = cescore::score_pair(&problem.labeled_reference, &yaml);
+            scores.unit_test = f64::from(u8::from(job_result.passed));
+            let answer_class =
+                llmsim::classify_answer(&yaml, &problem.clean_reference(), job_result.passed);
+            EvalRecord {
+                model: model.name().to_owned(),
+                problem_id: problem.id.clone(),
+                variant,
+                category: problem.category,
+                has_context: problem.has_context(),
+                reference_lines: problem.reference_lines(),
+                question_tokens: cedataset::stats::token_count(problem.description_for(variant)),
+                extracted: yaml,
+                scores,
+                answer_class,
+            }
+        })
+        .collect()
+}
+
+/// Mean scores over records (a Table 4 row).
+pub fn mean_scores(records: &[EvalRecord]) -> Scores {
+    cescore::ScoreTable::aggregate(records.iter().map(|r| &r.scores)).mean
+}
+
+/// Count of unit-test passes.
+pub fn pass_count(records: &[EvalRecord]) -> usize {
+    records.iter().filter(|r| r.scores.unit_test > 0.5).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsim::ModelProfile;
+    use std::sync::Arc;
+
+    fn quick_eval(model_name: &str, stride: usize) -> Vec<EvalRecord> {
+        let dataset = Arc::new(Dataset::generate());
+        let model = SimulatedModel::new(
+            ModelProfile::by_name(model_name).unwrap(),
+            Arc::clone(&dataset),
+        );
+        evaluate(
+            &model,
+            &dataset,
+            &EvalOptions { stride, workers: 8, ..EvalOptions::default() },
+        )
+    }
+
+    #[test]
+    fn pipeline_produces_scored_records() {
+        let records = quick_eval("gpt-4", 10); // 34 problems
+        assert_eq!(records.len(), 34);
+        for r in &records {
+            let s = &r.scores;
+            for v in [s.bleu, s.edit_distance, s.exact_match, s.kv_exact, s.kv_wildcard, s.unit_test] {
+                assert!((0.0..=1.0).contains(&v), "{v} out of range for {}", r.problem_id);
+            }
+        }
+        // GPT-4 passes a healthy share even on a subsample.
+        let passes = pass_count(&records);
+        assert!(passes >= 10, "gpt-4 passed only {passes}/34");
+    }
+
+    #[test]
+    fn weak_model_rarely_passes() {
+        let records = quick_eval("codellama-13b-instruct", 10);
+        let passes = pass_count(&records);
+        assert!(passes <= 4, "codellama passed {passes}/34");
+    }
+
+    #[test]
+    fn passing_records_have_consistent_classification() {
+        let records = quick_eval("gpt-3.5", 12);
+        for r in &records {
+            if r.scores.unit_test > 0.5 {
+                assert_eq!(r.answer_class, AnswerCategory::Correct, "{}", r.problem_id);
+            } else {
+                assert_ne!(r.answer_class, AnswerCategory::Correct, "{}", r.problem_id);
+            }
+        }
+    }
+
+    #[test]
+    fn metric_ordering_better_model_wins() {
+        let strong = mean_scores(&quick_eval("gpt-4", 8));
+        let weak = mean_scores(&quick_eval("llama-7b", 8));
+        assert!(strong.unit_test > weak.unit_test);
+        assert!(strong.bleu > weak.bleu);
+        assert!(strong.kv_wildcard > weak.kv_wildcard);
+    }
+}

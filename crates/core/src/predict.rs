@@ -1,0 +1,168 @@
+//! Predicting unit-test results from static scores (§4.4, Figure 9).
+//!
+//! The paper trains an XGBoost classifier on ~4000 scored YAML files from
+//! 12 models (features: BLEU, edit distance, exact match, kv-exact,
+//! kv-wildcard; label: unit-test pass), evaluates it leave-one-model-out,
+//! and uses SHAP to rank feature importance. Here the classifier is
+//! `gboost` and the study runs over the harness's records.
+
+use gboost::{BoostParams, Classifier};
+
+use crate::harness::EvalRecord;
+
+/// Feature vector for the classifier: the five static metrics.
+pub fn features(record: &EvalRecord) -> Vec<f64> {
+    record.scores.static_metrics().to_vec()
+}
+
+/// One leave-one-model-out result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LomoResult {
+    /// Held-out model.
+    pub model: String,
+    /// Ground-truth unit-test passes.
+    pub actual: usize,
+    /// Predicted passes (count of positive classifications).
+    pub predicted: usize,
+}
+
+impl LomoResult {
+    /// Relative error in percent (against max(actual, 1)).
+    pub fn relative_error_pct(&self) -> f64 {
+        let a = self.actual.max(1) as f64;
+        (self.predicted as f64 - a).abs() / a * 100.0
+    }
+}
+
+/// Runs the leave-one-model-out study of Figure 9(a).
+pub fn leave_one_model_out(records: &[EvalRecord]) -> Vec<LomoResult> {
+    let mut model_names: Vec<String> = records.iter().map(|r| r.model.clone()).collect();
+    model_names.sort();
+    model_names.dedup();
+    let mut results = Vec::new();
+    for held_out in &model_names {
+        let mut train_x = Vec::new();
+        let mut train_y = Vec::new();
+        let mut test_x = Vec::new();
+        let mut actual = 0usize;
+        for r in records {
+            if &r.model == held_out {
+                test_x.push(features(r));
+                if r.scores.unit_test > 0.5 {
+                    actual += 1;
+                }
+            } else {
+                train_x.push(features(r));
+                train_y.push(r.scores.unit_test);
+            }
+        }
+        if train_x.is_empty() || test_x.is_empty() {
+            continue;
+        }
+        let clf = Classifier::fit(&train_x, &train_y, &BoostParams::default());
+        let predicted = test_x.iter().filter(|x| clf.predict(x)).count();
+        results.push(LomoResult { model: held_out.clone(), actual, predicted });
+    }
+    results
+}
+
+/// Kendall-tau-style rank agreement between actual and predicted scores:
+/// fraction of concordant model pairs (1.0 = identical ranking).
+pub fn rank_agreement(results: &[LomoResult]) -> f64 {
+    let mut concordant = 0usize;
+    let mut total = 0usize;
+    for i in 0..results.len() {
+        for j in i + 1..results.len() {
+            let (a, b) = (&results[i], &results[j]);
+            if a.actual == b.actual {
+                continue;
+            }
+            total += 1;
+            let actual_order = a.actual > b.actual;
+            let predicted_order = a.predicted > b.predicted
+                || (a.predicted == b.predicted && actual_order);
+            if actual_order == predicted_order {
+                concordant += 1;
+            }
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        concordant as f64 / total as f64
+    }
+}
+
+/// Figure 9(b): mean |SHAP| per feature from a classifier trained on all
+/// records. Returns values in [`cescore::METRIC_NAMES`] static-metric
+/// order: bleu, edit_distance, exact_match, kv_exact, kv_wildcard.
+pub fn shap_importance(records: &[EvalRecord], sample_cap: usize) -> Vec<f64> {
+    let xs: Vec<Vec<f64>> = records.iter().map(features).collect();
+    let ys: Vec<f64> = records.iter().map(|r| r.scores.unit_test).collect();
+    let clf = Classifier::fit(&xs, &ys, &BoostParams::default());
+    // SHAP over a deterministic subsample keeps the study fast.
+    let step = (xs.len() / sample_cap.max(1)).max(1);
+    let sample: Vec<Vec<f64>> = xs.iter().step_by(step).cloned().collect();
+    gboost::mean_abs_shap(&clf, &sample)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{evaluate, EvalOptions};
+    use cedataset::Dataset;
+    use llmsim::{ModelProfile, SimulatedModel};
+    use std::sync::Arc;
+
+    /// Records from a handful of models on a subsample.
+    fn study_records(stride: usize) -> Vec<EvalRecord> {
+        let ds = Arc::new(Dataset::generate());
+        let mut records = Vec::new();
+        for name in ["gpt-4", "gpt-3.5", "llama-2-70b-chat", "llama-7b"] {
+            let model =
+                SimulatedModel::new(ModelProfile::by_name(name).unwrap(), Arc::clone(&ds));
+            records.extend(evaluate(&model, &ds, &EvalOptions { stride, ..Default::default() }));
+        }
+        records
+    }
+
+    #[test]
+    fn lomo_preserves_model_ranking() {
+        let records = study_records(4);
+        let results = leave_one_model_out(&records);
+        assert_eq!(results.len(), 4);
+        let agreement = rank_agreement(&results);
+        assert!(agreement >= 0.8, "rank agreement {agreement}: {results:?}");
+    }
+
+    #[test]
+    fn predictions_are_rough_but_not_wild() {
+        // The paper: "most errors between 5% to 30%", worst ~80%.
+        let records = study_records(4);
+        let results = leave_one_model_out(&records);
+        for r in &results {
+            assert!(
+                r.relative_error_pct() <= 120.0,
+                "{}: {} vs {} ({}%)",
+                r.model,
+                r.predicted,
+                r.actual,
+                r.relative_error_pct()
+            );
+        }
+    }
+
+    #[test]
+    fn kv_wildcard_dominates_shap() {
+        let records = study_records(4);
+        let importance = shap_importance(&records, 150);
+        assert_eq!(importance.len(), 5);
+        let kv_wildcard = importance[4];
+        for (i, v) in importance.iter().enumerate().take(4) {
+            assert!(
+                kv_wildcard >= *v,
+                "kv_wildcard ({kv_wildcard:.3}) not dominant over feature {i} ({v:.3}): {importance:?}"
+            );
+        }
+    }
+}

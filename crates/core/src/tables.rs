@@ -1,0 +1,263 @@
+//! Text renderers for every table and figure in the paper's evaluation.
+//! The `repro` binary in `cloudeval-bench` calls these with freshly
+//! computed data.
+
+use cescore::Scores;
+
+use crate::analysis::FactorRow;
+use crate::passk::PassAtK;
+use crate::predict::LomoResult;
+
+/// A Table 4 row: model metadata plus mean scores.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// Model name.
+    pub model: String,
+    /// Parameter count in billions, if disclosed.
+    pub size_b: Option<u32>,
+    /// Open-source?
+    pub open_source: bool,
+    /// Mean of all six metrics over the evaluated set.
+    pub scores: Scores,
+}
+
+/// Renders Table 4 (zero-shot benchmark, all metrics), sorted by unit-test
+/// score descending.
+pub fn table4(rows: &[Table4Row]) -> String {
+    let mut sorted: Vec<&Table4Row> = rows.iter().collect();
+    sorted.sort_by(|a, b| {
+        b.scores
+            .unit_test
+            .partial_cmp(&a.scores.unit_test)
+            .expect("scores are finite")
+    });
+    let mut out = String::from(
+        "Rank  Model                     Size  Open    BLEU  EditD  Exact  KVExact  KVWild  UnitTest\n",
+    );
+    for (i, r) in sorted.iter().enumerate() {
+        let size = r.size_b.map(|s| format!("{s}B")).unwrap_or_else(|| "?".to_owned());
+        out.push_str(&format!(
+            "{:<6}{:<26}{:<6}{:<6}{:>6.3} {:>6.3} {:>6.3} {:>8.3} {:>7.3} {:>9.3}\n",
+            i + 1,
+            r.model,
+            size,
+            if r.open_source { "Y" } else { "N" },
+            r.scores.bleu,
+            r.scores.edit_distance,
+            r.scores.exact_match,
+            r.scores.kv_exact,
+            r.scores.kv_wildcard,
+            r.scores.unit_test,
+        ));
+    }
+    out
+}
+
+/// Renders Table 5 (passes on original / simplified / translated).
+pub fn table5(rows: &[(String, usize, usize, Option<usize>)]) -> String {
+    let mut out = String::from("Model                      Original  Simplified   Translated\n");
+    for (model, orig, simp, trans) in rows {
+        let t = trans
+            .map(|t| format!("{t} ({:+})", t as i64 - *orig as i64))
+            .unwrap_or_else(|| "N/A".to_owned());
+        out.push_str(&format!(
+            "{:<27}{:>8}  {:>5} ({:+})  {:>11}\n",
+            model,
+            orig,
+            simp,
+            *simp as i64 - *orig as i64,
+            t
+        ));
+    }
+    out
+}
+
+/// Renders Table 6 (few-shot prompting; passes for 0–3 shots).
+pub fn table6(rows: &[(String, [usize; 4])]) -> String {
+    let mut out = String::from("Model                      0-shot   1-shot   2-shot   3-shot\n");
+    for (model, counts) in rows {
+        out.push_str(&format!(
+            "{:<27}{:>6}  {:>4} ({:+})  {:>3} ({:+})  {:>3} ({:+})\n",
+            model,
+            counts[0],
+            counts[1],
+            counts[1] as i64 - counts[0] as i64,
+            counts[2],
+            counts[2] as i64 - counts[0] as i64,
+            counts[3],
+            counts[3] as i64 - counts[0] as i64,
+        ));
+    }
+    out
+}
+
+/// Renders Figure 5 (evaluation time vs workers, with/without cache).
+pub fn figure5(rows: &[(usize, f64, f64)]) -> String {
+    let mut out = String::from("Workers   w/o caching (h)   w/ caching (h)\n");
+    for (workers, without, with) in rows {
+        out.push_str(&format!("{workers:>7}   {without:>15.2}   {with:>14.2}\n"));
+    }
+    if let (Some(first), Some(last)) = (rows.first(), rows.last()) {
+        out.push_str(&format!(
+            "\nSpeedup (1 worker w/o cache -> {} workers w/ cache): {:.1}x\n",
+            last.0,
+            first.1 / last.2.max(1e-9)
+        ));
+    }
+    out
+}
+
+/// Renders Figure 6 / Table 9 (factor analysis rows per model).
+pub fn figure6(rows: &[FactorRow]) -> String {
+    let mut out = String::from(
+        "Model                      K8s    Envoy  Istio | w/ctx  w/o   | <15L   15-30  >=30  | <50t   50-100 >=100\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<26}{:>5.3}  {:>5.3}  {:>5.3} | {:>5.3} {:>5.3} | {:>5.3}  {:>5.3} {:>5.3} | {:>5.3}  {:>5.3} {:>5.3}\n",
+            r.model,
+            r.by_application[0],
+            r.by_application[1],
+            r.by_application[2],
+            r.by_context[0],
+            r.by_context[1],
+            r.by_ref_length[0],
+            r.by_ref_length[1],
+            r.by_ref_length[2],
+            r.by_question_tokens[0],
+            r.by_question_tokens[1],
+            r.by_question_tokens[2],
+        ));
+    }
+    out
+}
+
+/// Renders Figure 7 (failure-mode histogram).
+pub fn figure7(rows: &[(String, [usize; 6])]) -> String {
+    let mut out = String::from("Model                       #1    #2    #3    #4    #5    #6\n");
+    for (model, counts) in rows {
+        out.push_str(&format!(
+            "{:<26}{:>4}  {:>4}  {:>4}  {:>4}  {:>4}  {:>4}\n",
+            model, counts[0], counts[1], counts[2], counts[3], counts[4], counts[5]
+        ));
+    }
+    out.push_str("\n(#1 empty/<3 lines, #2 no kind, #3 incomplete YAML, #4 wrong kind, #5 fails test, #6 passes)\n");
+    out
+}
+
+/// Renders Figure 8 (pass@k curves + normalized performance).
+pub fn figure8(curves: &[PassAtK]) -> String {
+    let mut out = String::from("pass@k:\n");
+    let max_k = curves.iter().map(|c| c.curve.len()).max().unwrap_or(0);
+    out.push_str("k      ");
+    for k in 1..=max_k {
+        out.push_str(&format!("{k:>6}"));
+    }
+    out.push('\n');
+    for c in curves {
+        out.push_str(&format!("{:<7}", c.model));
+        for v in &c.curve {
+            out.push_str(&format!("{v:>6}"));
+        }
+        out.push('\n');
+    }
+    out.push_str("\nnormalized (pass@k / pass@1):\n");
+    for c in curves {
+        let norm = c.normalized();
+        out.push_str(&format!("{:<22}", c.model));
+        for v in &norm {
+            out.push_str(&format!("{v:>6.2}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders Figure 9 (predicted vs actual unit-test scores and SHAP
+/// importances).
+pub fn figure9(lomo: &[LomoResult], shap: &[f64]) -> String {
+    let mut out = String::from("(a) Leave-one-model-out prediction:\n");
+    out.push_str("Model                      Predicted   Ground Truth   Rel. Error\n");
+    let mut sorted: Vec<&LomoResult> = lomo.iter().collect();
+    sorted.sort_by_key(|r| std::cmp::Reverse(r.actual));
+    for r in sorted {
+        out.push_str(&format!(
+            "{:<27}{:>9}   {:>12}   {:>9.1}%\n",
+            r.model,
+            r.predicted,
+            r.actual,
+            r.relative_error_pct()
+        ));
+    }
+    out.push_str("\n(b) SHAP importance (mean |phi|):\n");
+    let names = ["bleu", "edit_distance", "exact_match", "kv_match", "kv_wildcard"];
+    let max = shap.iter().cloned().fold(1e-12, f64::max);
+    let mut ranked: Vec<(usize, f64)> = shap.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite shap"));
+    for (i, v) in ranked {
+        let bar = "#".repeat(((v / max) * 40.0).round() as usize);
+        out.push_str(&format!("{:<14}{:>8.4}  {bar}\n", names[i], v));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_sorts_by_unit_test() {
+        let rows = vec![
+            Table4Row {
+                model: "weak".into(),
+                size_b: Some(7),
+                open_source: true,
+                scores: Scores { unit_test: 0.1, ..Default::default() },
+            },
+            Table4Row {
+                model: "strong".into(),
+                size_b: None,
+                open_source: false,
+                scores: Scores { unit_test: 0.5, ..Default::default() },
+            },
+        ];
+        let t = table4(&rows);
+        let strong_at = t.find("strong").unwrap();
+        let weak_at = t.find("weak").unwrap();
+        assert!(strong_at < weak_at, "{t}");
+    }
+
+    #[test]
+    fn table5_shows_deltas_and_na() {
+        let t = table5(&[
+            ("gpt-4".into(), 179, 164, Some(178)),
+            ("palm".into(), 120, 97, None),
+        ]);
+        assert!(t.contains("(-15)"), "{t}");
+        assert!(t.contains("N/A"));
+    }
+
+    #[test]
+    fn figure7_renders_all_categories() {
+        let t = figure7(&[("gpt-4".into(), [8, 1, 42, 30, 77, 179])]);
+        assert!(t.contains("179"));
+        assert!(t.contains("#6"));
+    }
+
+    #[test]
+    fn figure8_normalized_starts_at_one() {
+        let t = figure8(&[PassAtK { model: "m".into(), curve: vec![10, 12, 13] }]);
+        assert!(t.contains("1.00"));
+        assert!(t.contains("1.30"));
+    }
+
+    #[test]
+    fn figure9_ranks_shap() {
+        let lomo = vec![LomoResult { model: "m".into(), actual: 100, predicted: 90 }];
+        let t = figure9(&lomo, &[0.1, 0.2, 0.05, 0.3, 0.9]);
+        let kv_wild_at = t.find("kv_wildcard").unwrap();
+        let bleu_at = t.find("bleu").unwrap();
+        assert!(kv_wild_at < bleu_at, "{t}");
+        assert!(t.contains("10.0%"));
+    }
+}

@@ -1,0 +1,137 @@
+//! The benchmark's running-cost model (§3.4, Table 3): LLM inference cost
+//! plus cloud evaluation cost for three cluster configurations.
+
+/// Inference pricing options from Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InferenceOption {
+    /// OpenAI GPT-3.5 API (token-priced).
+    Gpt35Api,
+    /// Llama-7b hosted on replicate.com (time-priced).
+    Llama7bReplicate,
+}
+
+/// Cloud evaluation options from Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloudOption {
+    /// One GCP spot instance (4-core/8GB).
+    GcpSpotX1,
+    /// 64 GCP spot instances.
+    GcpSpotX64,
+    /// 64 GCP standard instances.
+    GcpStdX64,
+}
+
+/// Hourly rate for a 4-core/8 GB GCP instance (e2-standard-4-like).
+const SPOT_RATE_PER_H: f64 = 0.069;
+const STD_RATE_PER_H: f64 = 0.172;
+
+/// GPT-3.5-turbo 4k pricing at the paper's submission time (footnote 4).
+const GPT35_PER_1K_TOKENS: f64 = 0.002;
+/// Replicate A100 time-pricing for llama-7b, effective per problem.
+const LLAMA_REPLICATE_PER_PROBLEM: f64 = 2.90 / 1011.0;
+
+/// Average tokens per problem: prompt (≈500 per Table 1) + answer.
+const AVG_TOKENS_PER_PROBLEM: f64 = 300.0;
+
+/// Cost of running LLM inference over `problems` problems, in dollars.
+pub fn inference_cost(option: InferenceOption, problems: usize) -> f64 {
+    match option {
+        InferenceOption::Gpt35Api => {
+            problems as f64 * AVG_TOKENS_PER_PROBLEM / 1000.0 * GPT35_PER_1K_TOKENS
+        }
+        InferenceOption::Llama7bReplicate => problems as f64 * LLAMA_REPLICATE_PER_PROBLEM,
+    }
+}
+
+/// Cost of the cloud evaluation for a given option, using evaluation hours
+/// from the Figure 5 simulation.
+pub fn evaluation_cost(option: CloudOption, hours_x1: f64, hours_x64: f64) -> f64 {
+    match option {
+        CloudOption::GcpSpotX1 => hours_x1 * SPOT_RATE_PER_H,
+        CloudOption::GcpSpotX64 => hours_x64 * 64.0 * SPOT_RATE_PER_H,
+        CloudOption::GcpStdX64 => hours_x64 * 64.0 * STD_RATE_PER_H,
+    }
+}
+
+/// One row of the Table 3 reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostRow {
+    /// Human-readable label.
+    pub label: String,
+    /// Dollars.
+    pub dollars: f64,
+}
+
+/// Computes the full Table 3: inference options, evaluation options, and
+/// the min/max total range.
+pub fn table3(hours_x1: f64, hours_x64: f64) -> (Vec<CostRow>, f64, f64) {
+    let rows = vec![
+        CostRow {
+            label: "GPT-3.5 inference".into(),
+            dollars: inference_cost(InferenceOption::Gpt35Api, 1011),
+        },
+        CostRow {
+            label: "Llama-7b (replicate.com) inference".into(),
+            dollars: inference_cost(InferenceOption::Llama7bReplicate, 1011),
+        },
+        CostRow {
+            label: "GCP spot x1 evaluation".into(),
+            dollars: evaluation_cost(CloudOption::GcpSpotX1, hours_x1, hours_x64),
+        },
+        CostRow {
+            label: "GCP spot x64 evaluation".into(),
+            dollars: evaluation_cost(CloudOption::GcpSpotX64, hours_x1, hours_x64),
+        },
+        CostRow {
+            label: "GCP std x64 evaluation".into(),
+            dollars: evaluation_cost(CloudOption::GcpStdX64, hours_x1, hours_x64),
+        },
+    ];
+    let inference_min = rows[0].dollars.min(rows[1].dollars);
+    let inference_max = rows[0].dollars.max(rows[1].dollars);
+    let eval_min = rows[2..].iter().map(|r| r.dollars).fold(f64::INFINITY, f64::min);
+    let eval_max = rows[2..].iter().map(|r| r.dollars).fold(0.0, f64::max);
+    (rows, inference_min + eval_min, inference_max + eval_max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpt35_inference_matches_paper() {
+        // Paper: $0.60 for all 1011 problems.
+        let c = inference_cost(InferenceOption::Gpt35Api, 1011);
+        assert!((c - 0.60).abs() < 0.05, "{c}");
+    }
+
+    #[test]
+    fn llama_inference_matches_paper() {
+        let c = inference_cost(InferenceOption::Llama7bReplicate, 1011);
+        assert!((c - 2.90).abs() < 0.01);
+    }
+
+    #[test]
+    fn evaluation_costs_match_paper_at_paper_hours() {
+        // With the paper's measured hours (10.3h x1, 0.50h x64):
+        let spot1 = evaluation_cost(CloudOption::GcpSpotX1, 10.3, 0.50);
+        let spot64 = evaluation_cost(CloudOption::GcpSpotX64, 10.3, 0.50);
+        let std64 = evaluation_cost(CloudOption::GcpStdX64, 10.3, 0.50);
+        assert!((spot1 - 0.71).abs() < 0.03, "{spot1}");
+        assert!((spot64 - 2.20).abs() < 0.05, "{spot64}");
+        assert!((std64 - 5.51).abs() < 0.1, "{std64}");
+    }
+
+    #[test]
+    fn cheapest_total_is_about_1_31() {
+        let (_, min_total, max_total) = table3(10.3, 0.50);
+        assert!((min_total - 1.31).abs() < 0.1, "{min_total}");
+        assert!((max_total - 8.41).abs() < 0.3, "{max_total}");
+    }
+
+    #[test]
+    fn costs_scale_with_problem_count() {
+        assert!(inference_cost(InferenceOption::Gpt35Api, 2022)
+            > inference_cost(InferenceOption::Gpt35Api, 1011));
+    }
+}

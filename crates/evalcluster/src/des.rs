@@ -1,0 +1,254 @@
+//! Discrete-event simulation of the cloud evaluation platform: the
+//! experiment behind Figure 5 ("Evaluation time over all 1011 problems")
+//! and the shared-Docker-image-cache architecture of Figure 4.
+//!
+//! Model:
+//! * `W` workers (4-core/8 GB VMs) process unit-test jobs FIFO;
+//! * each job needs a set of container images; a worker pulls an image
+//!   only if it is not in its local Docker cache;
+//! * all internet pulls share one uplink (the paper provisions 100 Mbps)
+//!   modeled as a serialized link with busy-until semantics;
+//! * with the shared pull-through cache (Figure 4), the first pull of an
+//!   image goes to the internet and later pulls by *other* workers hit the
+//!   master's registry over the fast LAN instead.
+
+use std::collections::HashSet;
+
+/// A unit-test job for the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimJob {
+    /// Images the test needs: (reference, size in MiB).
+    pub images: Vec<(String, f64)>,
+    /// Pure test runtime in seconds (apply, waits, probes, cleanup),
+    /// excluding pulls.
+    pub test_runtime_s: f64,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Worker count.
+    pub workers: usize,
+    /// Shared pull-through registry cache enabled?
+    pub shared_cache: bool,
+    /// Internet uplink for the whole cluster, in Mbps (paper: 100).
+    pub internet_mbps: f64,
+    /// Master-to-worker LAN bandwidth, in Mbps.
+    pub lan_mbps: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { workers: 64, shared_cache: true, internet_mbps: 100.0, lan_mbps: 2_000.0 }
+    }
+}
+
+/// Simulation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Makespan in hours.
+    pub total_hours: f64,
+    /// Bytes fetched over the internet, in GiB.
+    pub internet_gib: f64,
+    /// Pulls served by the shared cache.
+    pub cache_hits: usize,
+    /// Pulls that had to go to the internet.
+    pub internet_pulls: usize,
+}
+
+/// Runs the discrete-event simulation.
+pub fn simulate(jobs: &[SimJob], config: &SimConfig) -> SimResult {
+    let workers = config.workers.max(1);
+    // Per-worker availability time and local image cache.
+    let mut worker_free = vec![0.0f64; workers];
+    let mut local_cache: Vec<HashSet<String>> = vec![HashSet::new(); workers];
+    // Master's shared registry cache contents.
+    let mut shared: HashSet<String> = HashSet::new();
+    // Uplink contention: concurrent pulls share the 100 Mbps link. Without
+    // the shared cache every worker re-pulls every image, pull phases
+    // overlap heavily, and each transfer sees only a fair share of the
+    // link. With the pull-through cache each image crosses the uplink once
+    // — a handful of early transfers that essentially never contend.
+    let est_concurrent_pullers = if config.shared_cache {
+        1.0
+    } else {
+        (workers as f64 / 4.0).clamp(1.0, 16.0)
+    };
+    let internet_share_mbps = config.internet_mbps / est_concurrent_pullers;
+    let mut internet_bytes_mib = 0.0;
+    let mut cache_hits = 0usize;
+    let mut internet_pulls = 0usize;
+
+    for job in jobs {
+        // FIFO dispatch to the earliest-free worker.
+        let (w, _) = worker_free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN times"))
+            .expect("at least one worker");
+        let mut t = worker_free[w];
+        for (image, size_mib) in &job.images {
+            if local_cache[w].contains(image) {
+                continue;
+            }
+            let from_shared = config.shared_cache && shared.contains(image);
+            if from_shared {
+                // LAN transfer from the master's registry; no uplink use.
+                t += size_mib * 8.0 / config.lan_mbps;
+                cache_hits += 1;
+            } else {
+                t += size_mib * 8.0 / internet_share_mbps;
+                internet_bytes_mib += size_mib;
+                internet_pulls += 1;
+                if config.shared_cache {
+                    shared.insert(image.clone());
+                }
+            }
+            local_cache[w].insert(image.clone());
+        }
+        t += job.test_runtime_s;
+        worker_free[w] = t;
+    }
+    let makespan = worker_free.iter().cloned().fold(0.0, f64::max);
+    SimResult {
+        total_hours: makespan / 3600.0,
+        internet_gib: internet_bytes_mib / 1024.0,
+        cache_hits,
+        internet_pulls,
+    }
+}
+
+/// Builds the 1011-job workload from the generated dataset: image sets are
+/// extracted from each problem's reference solution, and test runtime uses
+/// a fixed per-test overhead (environment setup, polling, cleanup) plus a
+/// per-line apply cost.
+pub fn dataset_workload(per_test_overhead_s: f64) -> Vec<SimJob> {
+    let dataset = cedataset::Dataset::generate();
+    let mut jobs = Vec::with_capacity(1011);
+    for (problem, _variant) in dataset.expanded() {
+        let mut images = Vec::new();
+        let reference = problem.clean_reference();
+        for line in reference.lines() {
+            let trimmed = line.trim();
+            if let Some(image_ref) = trimmed.strip_prefix("image: ") {
+                let image_ref = image_ref.trim().trim_matches('"');
+                if let Some(info) = kubesim::images::lookup(image_ref) {
+                    images.push((image_ref.to_owned(), info.size_mib));
+                }
+            }
+        }
+        // Envoy tests run the proxy container.
+        if reference.contains("static_resources") {
+            images.push(("envoyproxy/envoy".to_owned(), 120.0));
+        }
+        let runtime = per_test_overhead_s + reference.lines().count() as f64 * 0.25;
+        jobs.push(SimJob { images, test_runtime_s: runtime });
+    }
+    jobs
+}
+
+/// Reproduces Figure 5: evaluation time for worker counts {1, 4, 16, 64},
+/// with and without the shared image cache. Returns rows of
+/// `(workers, hours_without_cache, hours_with_cache)`.
+pub fn figure5(per_test_overhead_s: f64) -> Vec<(usize, f64, f64)> {
+    let jobs = dataset_workload(per_test_overhead_s);
+    [1usize, 4, 16, 64]
+        .into_iter()
+        .map(|workers| {
+            let without = simulate(
+                &jobs,
+                &SimConfig { workers, shared_cache: false, ..SimConfig::default() },
+            );
+            let with = simulate(
+                &jobs,
+                &SimConfig { workers, shared_cache: true, ..SimConfig::default() },
+            );
+            (workers, without.total_hours, with.total_hours)
+        })
+        .collect()
+}
+
+/// The paper's default per-test overhead: tens of seconds per problem
+/// ("it usually takes several minutes to create the cluster, pull
+/// corresponding images, initialize and apply configurations").
+pub const DEFAULT_OVERHEAD_S: f64 = 28.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_jobs() -> Vec<SimJob> {
+        (0..100)
+            .map(|i| SimJob {
+                images: vec![(format!("img{}", i % 5), 100.0)],
+                test_runtime_s: 10.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn more_workers_is_faster() {
+        let jobs = tiny_jobs();
+        let t1 = simulate(&jobs, &SimConfig { workers: 1, ..SimConfig::default() }).total_hours;
+        let t4 = simulate(&jobs, &SimConfig { workers: 4, ..SimConfig::default() }).total_hours;
+        let t16 = simulate(&jobs, &SimConfig { workers: 16, ..SimConfig::default() }).total_hours;
+        assert!(t1 > t4);
+        assert!(t4 > t16);
+    }
+
+    #[test]
+    fn cache_reduces_internet_traffic() {
+        let jobs = tiny_jobs();
+        let with = simulate(&jobs, &SimConfig { workers: 16, shared_cache: true, ..SimConfig::default() });
+        let without = simulate(&jobs, &SimConfig { workers: 16, shared_cache: false, ..SimConfig::default() });
+        assert!(with.internet_gib < without.internet_gib);
+        assert!(with.cache_hits > 0);
+        assert_eq!(without.cache_hits, 0);
+        // 5 distinct images: exactly 5 internet pulls with the cache.
+        assert_eq!(with.internet_pulls, 5);
+    }
+
+    #[test]
+    fn single_worker_cache_is_nearly_irrelevant() {
+        // A single worker's local Docker cache already deduplicates pulls;
+        // the shared cache adds almost nothing (Figure 5's 10.4 vs 10.3).
+        let jobs = tiny_jobs();
+        let with = simulate(&jobs, &SimConfig { workers: 1, shared_cache: true, ..SimConfig::default() });
+        let without = simulate(&jobs, &SimConfig { workers: 1, shared_cache: false, ..SimConfig::default() });
+        assert!((with.total_hours - without.total_hours).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure5_shape_matches_paper() {
+        let rows = figure5(DEFAULT_OVERHEAD_S);
+        assert_eq!(rows.len(), 4);
+        let (_, t1_no, t1_yes) = rows[0];
+        let (_, t64_no, t64_yes) = rows[3];
+        // Single machine takes ~10 hours (paper: 10.4 / 10.3).
+        assert!((7.0..14.0).contains(&t1_no), "t1 = {t1_no:.2}h");
+        // 64 workers with cache finish in well under an hour (paper: 0.50).
+        assert!(t64_yes < 1.0, "t64 cached = {t64_yes:.2}h");
+        // Overall speedup is >= 13x (paper: >20x).
+        assert!(t1_no / t64_yes > 13.0, "speedup {:.1}", t1_no / t64_yes);
+        // Caching matters much more at high worker counts.
+        let gain64 = t64_no / t64_yes;
+        let gain1 = t1_no / t1_yes;
+        assert!(gain64 > gain1, "gain64 {gain64:.2} <= gain1 {gain1:.2}");
+        assert!(gain64 > 1.25, "cache gain at 64 workers only {gain64:.2}");
+        // Monotone decrease in workers, both curves.
+        for pair in rows.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+            assert!(pair[0].2 >= pair[1].2);
+        }
+    }
+
+    #[test]
+    fn workload_has_1011_jobs_with_images() {
+        let jobs = dataset_workload(DEFAULT_OVERHEAD_S);
+        assert_eq!(jobs.len(), 1011);
+        // Many `others` problems (RBAC, ConfigMaps, quotas...) legitimately
+        // pull nothing; the majority of the workload still does.
+        let with_images = jobs.iter().filter(|j| !j.images.is_empty()).count();
+        assert!(with_images > 550, "only {with_images} jobs pull images");
+    }
+}

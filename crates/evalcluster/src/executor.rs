@@ -1,0 +1,190 @@
+//! The real parallel unit-test executor: master/worker over the
+//! [`MiniRedis`](crate::miniredis::MiniRedis) queue, running actual
+//! `minishell` unit tests against per-worker simulated clusters.
+//!
+//! This is the live counterpart of §3.3's "Scalable Evaluation Cluster":
+//! users dispatch unit-testing jobs to the master, available workers claim
+//! them, and results flow back keyed by problem. Because every job gets a
+//! fresh [`minishell::ClusterSandbox`], tests are hermetic — the clean
+//! environment guarantee the paper gets from tearing clusters down.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::miniredis::MiniRedis;
+
+/// One unit-test job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitTestJob {
+    /// Problem identifier.
+    pub problem_id: String,
+    /// The bash unit-test script.
+    pub script: String,
+    /// Candidate YAML mounted at `labeled_code.yaml`.
+    pub candidate_yaml: String,
+}
+
+/// Result of one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobResult {
+    /// Problem identifier.
+    pub problem_id: String,
+    /// Did the transcript contain `unit_test_passed`?
+    pub passed: bool,
+    /// Simulated in-cluster seconds the test consumed (sleeps + waits).
+    pub simulated_ms: u64,
+    /// Which worker ran it.
+    pub worker: usize,
+}
+
+/// Outcome of a full run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Per-job results, in input order.
+    pub results: Vec<JobResult>,
+    /// Real wall-clock time of the parallel run.
+    pub wall: Duration,
+    /// Worker count used.
+    pub workers: usize,
+}
+
+impl RunReport {
+    /// Number of passed jobs.
+    pub fn passed(&self) -> usize {
+        self.results.iter().filter(|r| r.passed).count()
+    }
+}
+
+const QUEUE: &str = "cloudeval:jobs";
+const RESULTS: &str = "cloudeval:results";
+
+/// Runs all jobs over `workers` threads; results come back in input order.
+pub fn run_jobs(jobs: &[UnitTestJob], workers: usize) -> RunReport {
+    let redis = Arc::new(MiniRedis::new());
+    let start = Instant::now();
+    // Master: enqueue jobs keyed by index; store payloads in hashes.
+    for (i, job) in jobs.iter().enumerate() {
+        let key = format!("job:{i}");
+        redis.hset(&key, "problem", &job.problem_id);
+        redis.hset(&key, "script", &job.script);
+        redis.hset(&key, "candidate", &job.candidate_yaml);
+        redis.rpush(QUEUE, i.to_string());
+    }
+    let workers = workers.max(1);
+    crossbeam::scope(|scope| {
+        for w in 0..workers {
+            let redis = Arc::clone(&redis);
+            scope.spawn(move |_| {
+                while let Some(idx) = redis.blpop(QUEUE, Duration::from_millis(20)) {
+                    let key = format!("job:{idx}");
+                    let problem = redis.hget(&key, "problem").unwrap_or_default();
+                    let script = redis.hget(&key, "script").unwrap_or_default();
+                    let candidate = redis.hget(&key, "candidate").unwrap_or_default();
+                    let (passed, simulated_ms) = run_one(&script, &candidate);
+                    redis.hset(
+                        RESULTS,
+                        &idx,
+                        format!("{problem}\u{1}{}\u{1}{simulated_ms}\u{1}{w}", u8::from(passed)),
+                    );
+                    redis.incr("completed");
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    let mut results = Vec::with_capacity(jobs.len());
+    for i in 0..jobs.len() {
+        let raw = redis
+            .hget(RESULTS, &i.to_string())
+            .unwrap_or_else(|| String::from("?\u{1}0\u{1}0\u{1}0"));
+        let mut parts = raw.split('\u{1}');
+        let problem_id = parts.next().unwrap_or("?").to_owned();
+        let passed = parts.next() == Some("1");
+        let simulated_ms: u64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+        let worker: usize = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+        results.push(JobResult { problem_id, passed, simulated_ms, worker });
+    }
+    RunReport { results, wall: start.elapsed(), workers }
+}
+
+/// Runs one unit test hermetically. Returns (passed, simulated cluster ms).
+fn run_one(script: &str, candidate: &str) -> (bool, u64) {
+    let mut sandbox = minishell::ClusterSandbox::new();
+    let mut shell = minishell::Interp::new(&mut sandbox);
+    shell
+        .files
+        .insert("labeled_code.yaml".to_owned(), candidate.to_owned());
+    match shell.run_script(script) {
+        Ok(outcome) => {
+            let simulated = sandbox.cluster.now_ms();
+            (outcome.combined.contains("unit_test_passed"), simulated)
+        }
+        Err(_) => (false, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_jobs(n: usize) -> Vec<UnitTestJob> {
+        let manifest = "apiVersion: v1\nkind: Pod\nmetadata:\n  name: web\n  labels:\n    app: t\nspec:\n  containers:\n  - name: c\n    image: nginx\n";
+        let script = "kubectl apply -f labeled_code.yaml\nkubectl wait --for=condition=Ready pod -l app=t --timeout=60s && echo unit_test_passed";
+        (0..n)
+            .map(|i| UnitTestJob {
+                problem_id: format!("p{i}"),
+                script: script.to_owned(),
+                candidate_yaml: manifest.to_owned(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_jobs_complete_and_pass() {
+        let jobs = sample_jobs(24);
+        let report = run_jobs(&jobs, 4);
+        assert_eq!(report.results.len(), 24);
+        assert_eq!(report.passed(), 24);
+        // Results ordered by input.
+        for (i, r) in report.results.iter().enumerate() {
+            assert_eq!(r.problem_id, format!("p{i}"));
+            assert!(r.simulated_ms > 0);
+        }
+    }
+
+    #[test]
+    fn failing_candidate_fails() {
+        let mut jobs = sample_jobs(3);
+        jobs[1].candidate_yaml = "apiVersion: v1\nkind: ConfigMap\nmetadata:\n  name: x\n".into();
+        let report = run_jobs(&jobs, 2);
+        assert!(report.results[0].passed);
+        assert!(!report.results[1].passed);
+        assert!(report.results[2].passed);
+    }
+
+    #[test]
+    fn work_spreads_across_workers() {
+        // Enough jobs that a single worker cannot drain the queue before
+        // its peers start pulling (scheduling is inherently racy).
+        let jobs = sample_jobs(200);
+        let report = run_jobs(&jobs, 4);
+        let distinct: std::collections::HashSet<usize> =
+            report.results.iter().map(|r| r.worker).collect();
+        assert!(distinct.len() >= 2, "expected multiple workers, got {distinct:?}");
+        assert_eq!(report.passed(), 200);
+    }
+
+    #[test]
+    fn single_worker_works() {
+        let jobs = sample_jobs(5);
+        let report = run_jobs(&jobs, 1);
+        assert_eq!(report.passed(), 5);
+        assert_eq!(report.workers, 1);
+    }
+
+    #[test]
+    fn empty_job_list() {
+        let report = run_jobs(&[], 4);
+        assert!(report.results.is_empty());
+    }
+}

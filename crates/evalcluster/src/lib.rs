@@ -1,0 +1,39 @@
+//! # evalcluster
+//!
+//! The CloudEval-YAML scalable evaluation platform (§3.3–§3.4):
+//!
+//! * [`miniredis`] — the master's Redis-like coordination store (job
+//!   contexts, inputs, outputs; blocking work queues);
+//! * [`executor`] — a real master/worker pool that runs `minishell` unit
+//!   tests in parallel against hermetic per-job simulated clusters;
+//! * [`des`] — a discrete-event simulation of the cloud deployment
+//!   (N× 4-core VMs, a shared 100 Mbps uplink, the Figure 4 pull-through
+//!   Docker registry cache) that regenerates Figure 5;
+//! * [`cost`] — the Table 3 running-cost model.
+//!
+//! # Examples
+//!
+//! ```
+//! use evalcluster::executor::{run_jobs, UnitTestJob};
+//!
+//! let job = UnitTestJob {
+//!     problem_id: "demo".into(),
+//!     script: "kubectl apply -f labeled_code.yaml && echo unit_test_passed".into(),
+//!     candidate_yaml: "apiVersion: v1\nkind: Pod\nmetadata:\n  name: x\nspec:\n  containers:\n  - name: c\n    image: nginx\n".into(),
+//! };
+//! let report = run_jobs(&[job], 2);
+//! assert_eq!(report.passed(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod des;
+pub mod executor;
+pub mod miniredis;
+
+pub use cost::{evaluation_cost, inference_cost, table3, CloudOption, InferenceOption};
+pub use des::{dataset_workload, figure5, simulate, SimConfig, SimJob, SimResult};
+pub use executor::{run_jobs, JobResult, RunReport, UnitTestJob};
+pub use miniredis::MiniRedis;

@@ -1,0 +1,304 @@
+//! An embedded Redis-like store: the master node's coordination substrate
+//! (§3.3: "the master employs a Redis database to manage unit test
+//! contexts, inputs, and outputs associated with each problem and
+//! benchmark user").
+//!
+//! Implements the command subset the evaluation platform needs: string get/set,
+//! hashes, counters, and lists with blocking pop for work queues. All
+//! operations are thread-safe; `blpop` parks on a condvar like the real
+//! `BLPOP`.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    List(Vec<String>),
+    Hash(HashMap<String, String>),
+}
+
+/// The store. Cheap to share via `Arc`.
+#[derive(Default)]
+pub struct MiniRedis {
+    data: Mutex<HashMap<String, Value>>,
+    list_signal: Condvar,
+}
+
+impl MiniRedis {
+    /// Creates an empty store.
+    pub fn new() -> MiniRedis {
+        MiniRedis::default()
+    }
+
+    /// `SET key value`.
+    pub fn set(&self, key: &str, value: impl Into<String>) {
+        self.data.lock().insert(key.to_owned(), Value::Str(value.into()));
+    }
+
+    /// `GET key`.
+    pub fn get(&self, key: &str) -> Option<String> {
+        match self.data.lock().get(key) {
+            Some(Value::Str(s)) => Some(s.clone()),
+            _ => None,
+        }
+    }
+
+    /// `DEL key` — returns whether the key existed.
+    pub fn del(&self, key: &str) -> bool {
+        self.data.lock().remove(key).is_some()
+    }
+
+    /// `INCR key` — missing or non-numeric keys count from 0.
+    pub fn incr(&self, key: &str) -> i64 {
+        let mut data = self.data.lock();
+        let current = match data.get(key) {
+            Some(Value::Str(s)) => s.parse().unwrap_or(0),
+            _ => 0,
+        };
+        let next = current + 1;
+        data.insert(key.to_owned(), Value::Str(next.to_string()));
+        next
+    }
+
+    /// `HSET key field value`.
+    pub fn hset(&self, key: &str, field: &str, value: impl Into<String>) {
+        let mut data = self.data.lock();
+        let entry = data
+            .entry(key.to_owned())
+            .or_insert_with(|| Value::Hash(HashMap::new()));
+        if let Value::Hash(h) = entry {
+            h.insert(field.to_owned(), value.into());
+        } else {
+            let mut h = HashMap::new();
+            h.insert(field.to_owned(), value.into());
+            *entry = Value::Hash(h);
+        }
+    }
+
+    /// `HGET key field`.
+    pub fn hget(&self, key: &str, field: &str) -> Option<String> {
+        match self.data.lock().get(key) {
+            Some(Value::Hash(h)) => h.get(field).cloned(),
+            _ => None,
+        }
+    }
+
+    /// `HGETALL key`.
+    pub fn hgetall(&self, key: &str) -> Vec<(String, String)> {
+        match self.data.lock().get(key) {
+            Some(Value::Hash(h)) => {
+                let mut v: Vec<(String, String)> =
+                    h.iter().map(|(k, val)| (k.clone(), val.clone())).collect();
+                v.sort();
+                v
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// `RPUSH key value` — returns the new length.
+    pub fn rpush(&self, key: &str, value: impl Into<String>) -> usize {
+        let mut data = self.data.lock();
+        let entry = data
+            .entry(key.to_owned())
+            .or_insert_with(|| Value::List(Vec::new()));
+        let len = if let Value::List(l) = entry {
+            l.push(value.into());
+            l.len()
+        } else {
+            *entry = Value::List(vec![value.into()]);
+            1
+        };
+        drop(data);
+        self.list_signal.notify_all();
+        len
+    }
+
+    /// `LPOP key`.
+    pub fn lpop(&self, key: &str) -> Option<String> {
+        let mut data = self.data.lock();
+        match data.get_mut(key) {
+            Some(Value::List(l)) if !l.is_empty() => Some(l.remove(0)),
+            _ => None,
+        }
+    }
+
+    /// `BLPOP key timeout` — blocks until an element arrives or the
+    /// timeout elapses.
+    pub fn blpop(&self, key: &str, timeout: Duration) -> Option<String> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut data = self.data.lock();
+        loop {
+            if let Some(Value::List(l)) = data.get_mut(key) {
+                if !l.is_empty() {
+                    return Some(l.remove(0));
+                }
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            if self
+                .list_signal
+                .wait_until(&mut data, deadline)
+                .timed_out()
+            {
+                // Check once more after a timed-out wait.
+                if let Some(Value::List(l)) = data.get_mut(key) {
+                    if !l.is_empty() {
+                        return Some(l.remove(0));
+                    }
+                }
+                return None;
+            }
+        }
+    }
+
+    /// `LLEN key`.
+    pub fn llen(&self, key: &str) -> usize {
+        match self.data.lock().get(key) {
+            Some(Value::List(l)) => l.len(),
+            _ => 0,
+        }
+    }
+
+    /// `KEYS pattern` with `*` suffix/prefix globbing.
+    pub fn keys(&self, pattern: &str) -> Vec<String> {
+        let data = self.data.lock();
+        let mut out: Vec<String> = data
+            .keys()
+            .filter(|k| glob_matches(pattern, k))
+            .cloned()
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+fn glob_matches(pattern: &str, key: &str) -> bool {
+    if pattern == "*" {
+        return true;
+    }
+    match (pattern.strip_prefix('*'), pattern.strip_suffix('*')) {
+        (Some(suffix), _) if !pattern.ends_with('*') => key.ends_with(suffix),
+        (_, Some(prefix)) if !pattern.starts_with('*') => key.starts_with(prefix),
+        _ => {
+            if let Some(stripped) = pattern.strip_prefix('*').and_then(|p| p.strip_suffix('*')) {
+                key.contains(stripped)
+            } else {
+                key == pattern
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn string_ops() {
+        let r = MiniRedis::new();
+        assert_eq!(r.get("k"), None);
+        r.set("k", "v");
+        assert_eq!(r.get("k"), Some("v".into()));
+        assert!(r.del("k"));
+        assert!(!r.del("k"));
+    }
+
+    #[test]
+    fn counter_ops() {
+        let r = MiniRedis::new();
+        assert_eq!(r.incr("c"), 1);
+        assert_eq!(r.incr("c"), 2);
+        r.set("c", "41");
+        assert_eq!(r.incr("c"), 42);
+    }
+
+    #[test]
+    fn hash_ops() {
+        let r = MiniRedis::new();
+        r.hset("job:1", "status", "running");
+        r.hset("job:1", "worker", "w3");
+        assert_eq!(r.hget("job:1", "status"), Some("running".into()));
+        assert_eq!(r.hgetall("job:1").len(), 2);
+        assert_eq!(r.hget("job:1", "missing"), None);
+    }
+
+    #[test]
+    fn list_fifo_order() {
+        let r = MiniRedis::new();
+        r.rpush("q", "a");
+        r.rpush("q", "b");
+        assert_eq!(r.llen("q"), 2);
+        assert_eq!(r.lpop("q"), Some("a".into()));
+        assert_eq!(r.lpop("q"), Some("b".into()));
+        assert_eq!(r.lpop("q"), None);
+    }
+
+    #[test]
+    fn blpop_times_out() {
+        let r = MiniRedis::new();
+        let start = Instant::now();
+        assert_eq!(r.blpop("empty", Duration::from_millis(50)), None);
+        assert!(start.elapsed() >= Duration::from_millis(45));
+    }
+
+    #[test]
+    fn blpop_wakes_on_push() {
+        let r = Arc::new(MiniRedis::new());
+        let r2 = Arc::clone(&r);
+        let handle = std::thread::spawn(move || r2.blpop("q", Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(30));
+        r.rpush("q", "wake");
+        assert_eq!(handle.join().unwrap(), Some("wake".into()));
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_preserve_all_items() {
+        let r = Arc::new(MiniRedis::new());
+        let n = 500;
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let r = Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..n {
+                    r.rpush("work", format!("{t}:{i}"));
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..4 {
+            let r = Arc::clone(&r);
+            consumers.push(std::thread::spawn(move || {
+                let mut got = 0;
+                while r.blpop("work", Duration::from_millis(200)).is_some() {
+                    got += 1;
+                }
+                got
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 4 * n);
+    }
+
+    #[test]
+    fn keys_globbing() {
+        let r = MiniRedis::new();
+        r.set("job:1", "x");
+        r.set("job:2", "x");
+        r.set("result:1", "x");
+        assert_eq!(r.keys("job:*").len(), 2);
+        assert_eq!(r.keys("*:1").len(), 2);
+        assert_eq!(r.keys("*"), vec!["job:1", "job:2", "result:1"]);
+        assert_eq!(r.keys("job:1"), vec!["job:1"]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Grid-sweep invariants for the discrete-event cluster simulation.
+//!
+//! True invariants: the shared cache never hurts (time or bytes), the
+//! cached curve is monotone in workers (its uplink bytes are fixed at one
+//! pull per image), and cached internet traffic never grows with workers.
+//! The *uncached* curve is deliberately NOT asserted monotone at high
+//! worker counts: duplicating pulls across more workers costs real uplink
+//! bytes, and on pull-heavy workloads the 100 Mbps link saturates — which
+//! is exactly the phenomenon the paper's shared cache exists to fix.
+
+#[test]
+fn des_invariants_hold_over_random_workloads() {
+    let jobs: Vec<evalcluster::SimJob> = (0..200)
+        .map(|i| evalcluster::SimJob {
+            images: vec![(format!("img{}", i % 7), 50.0 + (i % 5) as f64 * 30.0)],
+            test_runtime_s: 20.0 + (i % 9) as f64,
+        })
+        .collect();
+    let mut prev_yes = f64::INFINITY;
+    let mut prev_yes_gib = f64::INFINITY;
+    for workers in [1usize, 2, 4, 8, 16, 32, 64] {
+        let no = evalcluster::simulate(
+            &jobs,
+            &evalcluster::SimConfig { workers, shared_cache: false, ..Default::default() },
+        );
+        let yes = evalcluster::simulate(
+            &jobs,
+            &evalcluster::SimConfig { workers, shared_cache: true, ..Default::default() },
+        );
+        assert!(yes.total_hours <= prev_yes + 1e-9, "w={workers}: cached curve not monotone");
+        assert!(yes.total_hours <= no.total_hours + 1e-9, "w={workers}: cache hurt wall time");
+        assert!(yes.internet_gib <= no.internet_gib + 1e-9, "w={workers}: cache hurt bytes");
+        assert!(yes.internet_gib <= prev_yes_gib + 1e-9, "w={workers}: cached bytes grew");
+        // With the cache, exactly one internet pull per distinct image.
+        assert_eq!(yes.internet_pulls, 7, "w={workers}");
+        prev_yes = yes.total_hours;
+        prev_yes_gib = yes.internet_gib;
+    }
+}

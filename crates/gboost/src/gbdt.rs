@@ -1,0 +1,180 @@
+//! Gradient-boosted binary classifier with logistic loss — the XGBoost
+//! stand-in for the §4.4 unit-test predictor.
+
+use crate::tree::{Tree, TreeParams};
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoostParams {
+    /// Number of boosting rounds.
+    pub rounds: usize,
+    /// Shrinkage (learning rate).
+    pub learning_rate: f64,
+    /// Per-tree parameters.
+    pub tree: TreeParams,
+}
+
+impl Default for BoostParams {
+    fn default() -> Self {
+        BoostParams { rounds: 60, learning_rate: 0.2, tree: TreeParams::default() }
+    }
+}
+
+/// A trained boosted classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Classifier {
+    base_score: f64,
+    trees: Vec<Tree>,
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Classifier {
+    /// Trains on binary labels (`0.0`/`1.0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input or mismatched lengths.
+    pub fn fit(features: &[Vec<f64>], labels: &[f64], params: &BoostParams) -> Classifier {
+        assert_eq!(features.len(), labels.len(), "row count mismatch");
+        assert!(!features.is_empty(), "empty training set");
+        let pos = labels.iter().sum::<f64>().clamp(1e-6, labels.len() as f64 - 1e-6);
+        let prior = pos / labels.len() as f64;
+        let base_score = (prior / (1.0 - prior)).ln();
+        let mut margins = vec![base_score; labels.len()];
+        let mut trees = Vec::with_capacity(params.rounds);
+        for _ in 0..params.rounds {
+            // Negative gradient of logistic loss: y - p.
+            let residuals: Vec<f64> = margins
+                .iter()
+                .zip(labels)
+                .map(|(m, y)| y - sigmoid(*m))
+                .collect();
+            let mut tree = Tree::fit(features, &residuals, &params.tree);
+            tree.scale(params.learning_rate * 4.0); // ≈ Newton step for p(1-p)≤1/4
+            for (m, x) in margins.iter_mut().zip(features) {
+                *m += tree.predict(x);
+            }
+            trees.push(tree);
+        }
+        Classifier { base_score, trees }
+    }
+
+    /// Predicted probability of the positive class.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        sigmoid(self.margin(x))
+    }
+
+    /// Predicted label with a 0.5 threshold.
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.predict_proba(x) >= 0.5
+    }
+
+    /// Raw margin (log-odds).
+    pub fn margin(&self, x: &[f64]) -> f64 {
+        self.base_score + self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
+    }
+
+    /// Margin when only features in `known_mask` are observed; the rest
+    /// marginalize via cover weights. Basis for Shapley values.
+    pub fn expected_margin(&self, x: &[f64], known_mask: u32) -> f64 {
+        self.base_score
+            + self
+                .trees
+                .iter()
+                .map(|t| t.expected_value(x, known_mask))
+                .sum::<f64>()
+    }
+
+    /// The trained trees (for inspection).
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Classification accuracy on a labeled set.
+    pub fn accuracy(&self, features: &[Vec<f64>], labels: &[f64]) -> f64 {
+        if features.is_empty() {
+            return 0.0;
+        }
+        let correct = features
+            .iter()
+            .zip(labels)
+            .filter(|(x, y)| self.predict(x) == (**y >= 0.5))
+            .count();
+        correct as f64 / features.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Labels depend on a noisy linear score of 3 features.
+    fn synthetic(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut state = 0x12345678u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 1000.0
+        };
+        for _ in 0..n {
+            let a = rng();
+            let b = rng();
+            let c = rng();
+            let score = 2.0 * a + 0.5 * b - 0.1 * c;
+            xs.push(vec![a, b, c]);
+            ys.push(if score > 1.2 { 1.0 } else { 0.0 });
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_synthetic_rule() {
+        let (xs, ys) = synthetic(600);
+        let clf = Classifier::fit(&xs, &ys, &BoostParams::default());
+        let acc = clf.accuracy(&xs, &ys);
+        assert!(acc > 0.93, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn generalizes_to_held_out_data() {
+        let (xs, ys) = synthetic(900);
+        let (train_x, test_x) = xs.split_at(600);
+        let (train_y, test_y) = ys.split_at(600);
+        let clf = Classifier::fit(train_x, train_y, &BoostParams::default());
+        let acc = clf.accuracy(test_x, test_y);
+        assert!(acc > 0.88, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_are_calibrated_ish() {
+        let (xs, ys) = synthetic(600);
+        let clf = Classifier::fit(&xs, &ys, &BoostParams::default());
+        let mean_p: f64 = xs.iter().map(|x| clf.predict_proba(x)).sum::<f64>() / xs.len() as f64;
+        let base_rate: f64 = ys.iter().sum::<f64>() / ys.len() as f64;
+        assert!((mean_p - base_rate).abs() < 0.08, "mean p {mean_p} vs base {base_rate}");
+    }
+
+    #[test]
+    fn all_positive_labels_predict_positive() {
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let ys = vec![1.0; 40];
+        let clf = Classifier::fit(&xs, &ys, &BoostParams::default());
+        assert!(clf.predict(&[5.0]));
+        assert!(clf.predict_proba(&[5.0]) > 0.9);
+    }
+
+    #[test]
+    fn expected_margin_full_mask_equals_margin() {
+        let (xs, ys) = synthetic(300);
+        let clf = Classifier::fit(&xs, &ys, &BoostParams::default());
+        for x in xs.iter().take(5) {
+            assert!((clf.expected_margin(x, 0b111) - clf.margin(x)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # gboost
+//!
+//! Gradient-boosted decision trees with exact Shapley attributions — the
+//! offline stand-in for XGBoost (Chen & Guestrin, 2016) and SHAP
+//! (Lundberg et al., 2020) in the paper's §4.4 study: *can text-level and
+//! YAML-aware scores predict unit-test outcomes?*
+//!
+//! The pieces:
+//! * [`Tree`] — regression trees fit by variance reduction, with
+//!   cover-weighted conditional expectations;
+//! * [`Classifier`] — logistic-loss boosting over those trees;
+//! * [`shap_values`] — exact coalition-enumeration Shapley values of the
+//!   margin (the benchmark has 5 features, so 32 coalitions).
+//!
+//! # Examples
+//!
+//! ```
+//! use gboost::{BoostParams, Classifier};
+//!
+//! // Pass/fail depends mostly on the first score.
+//! let features: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 10) as f64 / 10.0, 0.5]).collect();
+//! let labels: Vec<f64> = features.iter().map(|x| f64::from(x[0] > 0.6)).collect();
+//! let clf = Classifier::fit(&features, &labels, &BoostParams::default());
+//! assert!(clf.predict(&[0.9, 0.5]));
+//! assert!(!clf.predict(&[0.1, 0.5]));
+//!
+//! let phi = gboost::shap_values(&clf, &[0.9, 0.5]);
+//! assert!(phi[0].abs() > phi[1].abs());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gbdt;
+mod shap;
+mod tree;
+
+pub use gbdt::{BoostParams, Classifier};
+pub use shap::{base_value, mean_abs_shap, shap_values};
+pub use tree::{Tree, TreeParams};

@@ -1,0 +1,140 @@
+//! Shapley value attributions for the boosted classifier (the SHAP
+//! analysis of Figure 9(b)).
+//!
+//! Feature counts in this benchmark are tiny (5 scoring metrics), so we
+//! compute **exact** Shapley values by enumerating all 2^d feature
+//! coalitions, with coalition values given by the tree-conditional
+//! expectation (`cover`-weighted marginalization) — the same value
+//! function TreeSHAP uses.
+
+use crate::gbdt::Classifier;
+
+/// Exact Shapley values of the margin for one instance. Returns one value
+/// per feature; they satisfy local accuracy:
+/// `base + Σφ = margin(x)`.
+///
+/// # Panics
+///
+/// Panics if `x.len() > 20` (coalition enumeration is exponential; the
+/// benchmark uses 5 features).
+pub fn shap_values(clf: &Classifier, x: &[f64]) -> Vec<f64> {
+    let d = x.len();
+    assert!(d <= 20, "exact enumeration supports at most 20 features");
+    let full: u32 = if d == 32 { u32::MAX } else { (1u32 << d) - 1 };
+    // Precompute v(S) for all coalitions.
+    let mut value = vec![0.0f64; (full as usize) + 1];
+    for (mask, slot) in value.iter_mut().enumerate() {
+        *slot = clf.expected_margin(x, mask as u32);
+    }
+    let mut factorial = vec![1.0f64; d + 1];
+    for i in 1..=d {
+        factorial[i] = factorial[i - 1] * i as f64;
+    }
+    let d_fact = factorial[d];
+    let mut phi = vec![0.0f64; d];
+    for (feature, phi_f) in phi.iter_mut().enumerate() {
+        let bit = 1u32 << feature;
+        for mask in 0..=full {
+            if mask & bit != 0 {
+                continue;
+            }
+            let s = (mask.count_ones()) as usize;
+            let weight = factorial[s] * factorial[d - s - 1] / d_fact;
+            *phi_f += weight * (value[(mask | bit) as usize] - value[mask as usize]);
+        }
+    }
+    phi
+}
+
+/// The model's base value (expected margin with nothing observed).
+pub fn base_value(clf: &Classifier, num_features: usize) -> f64 {
+    clf.expected_margin(&vec![0.0; num_features], 0)
+}
+
+/// Mean absolute SHAP value per feature over a sample of rows — the
+/// global importance ranking shown in Figure 9(b).
+pub fn mean_abs_shap(clf: &Classifier, rows: &[Vec<f64>]) -> Vec<f64> {
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let d = rows[0].len();
+    let mut sums = vec![0.0; d];
+    for x in rows {
+        for (s, phi) in sums.iter_mut().zip(shap_values(clf, x)) {
+            *s += phi.abs();
+        }
+    }
+    for s in &mut sums {
+        *s /= rows.len() as f64;
+    }
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gbdt::BoostParams;
+
+    /// Label depends almost entirely on feature 0.
+    fn one_feature_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..400 {
+            let a = (i % 20) as f64 / 20.0;
+            let b = ((i * 7) % 20) as f64 / 20.0;
+            let c = ((i * 13) % 20) as f64 / 20.0;
+            xs.push(vec![a, b, c]);
+            ys.push(if a > 0.5 { 1.0 } else { 0.0 });
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn local_accuracy_holds() {
+        let (xs, ys) = one_feature_data();
+        let clf = Classifier::fit(&xs, &ys, &BoostParams::default());
+        for x in xs.iter().take(16) {
+            let phi = shap_values(&clf, x);
+            let reconstructed = base_value(&clf, x.len()) + phi.iter().sum::<f64>();
+            let margin = clf.margin(x);
+            assert!(
+                (reconstructed - margin).abs() < 1e-9,
+                "{reconstructed} != {margin}"
+            );
+        }
+    }
+
+    #[test]
+    fn dominant_feature_gets_dominant_attribution() {
+        let (xs, ys) = one_feature_data();
+        let clf = Classifier::fit(&xs, &ys, &BoostParams::default());
+        let importance = mean_abs_shap(&clf, &xs[..100].to_vec());
+        assert!(importance[0] > 5.0 * importance[1], "{importance:?}");
+        assert!(importance[0] > 5.0 * importance[2], "{importance:?}");
+    }
+
+    #[test]
+    fn symmetric_features_get_equal_attribution() {
+        // y depends on x0 + x1 symmetrically.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..400 {
+            let a = (i % 20) as f64 / 20.0;
+            let b = ((i / 20) % 20) as f64 / 20.0;
+            xs.push(vec![a, b]);
+            ys.push(if a + b > 1.0 { 1.0 } else { 0.0 });
+        }
+        let clf = Classifier::fit(&xs, &ys, &BoostParams::default());
+        let importance = mean_abs_shap(&clf, &xs);
+        let ratio = importance[0] / importance[1];
+        assert!((0.6..1.7).contains(&ratio), "asymmetric: {importance:?}");
+    }
+
+    #[test]
+    fn shap_of_irrelevant_feature_is_near_zero_for_single_instance() {
+        let (xs, ys) = one_feature_data();
+        let clf = Classifier::fit(&xs, &ys, &BoostParams::default());
+        let phi = shap_values(&clf, &[0.9, 0.5, 0.5]);
+        assert!(phi[0].abs() > phi[1].abs());
+    }
+}

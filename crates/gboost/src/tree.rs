@@ -1,0 +1,266 @@
+//! Regression trees fit to gradients — the weak learner inside the
+//! boosted classifier.
+
+/// A binary regression tree stored as a flat arena.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tree {
+    nodes: Vec<Node>,
+}
+
+/// One node. Leaves have `feature == usize::MAX`.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Node {
+    pub feature: usize,
+    pub threshold: f64,
+    pub left: usize,
+    pub right: usize,
+    /// Leaf output (undefined for internal nodes).
+    pub value: f64,
+    /// Number of training rows that reached this node ("cover").
+    pub cover: f64,
+}
+
+const LEAF: usize = usize::MAX;
+
+/// Hyper-parameters for a single tree fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum rows in a node eligible for splitting.
+    pub min_samples_split: usize,
+    /// Minimum variance-reduction gain required to split.
+    pub min_gain: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: 3, min_samples_split: 10, min_gain: 1e-7 }
+    }
+}
+
+impl Tree {
+    /// Fits a regression tree to `(features, targets)` by greedy variance
+    /// reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` and `targets` lengths differ or the matrix is
+    /// empty.
+    pub fn fit(features: &[Vec<f64>], targets: &[f64], params: &TreeParams) -> Tree {
+        assert_eq!(features.len(), targets.len(), "row count mismatch");
+        assert!(!features.is_empty(), "cannot fit an empty tree");
+        let mut tree = Tree { nodes: Vec::new() };
+        let rows: Vec<usize> = (0..features.len()).collect();
+        tree.build(features, targets, &rows, 0, params);
+        tree
+    }
+
+    fn build(
+        &mut self,
+        features: &[Vec<f64>],
+        targets: &[f64],
+        rows: &[usize],
+        depth: usize,
+        params: &TreeParams,
+    ) -> usize {
+        let mean = rows.iter().map(|&r| targets[r]).sum::<f64>() / rows.len() as f64;
+        let node_idx = self.nodes.len();
+        self.nodes.push(Node {
+            feature: LEAF,
+            threshold: 0.0,
+            left: 0,
+            right: 0,
+            value: mean,
+            cover: rows.len() as f64,
+        });
+        if depth >= params.max_depth || rows.len() < params.min_samples_split {
+            return node_idx;
+        }
+        let Some((feature, threshold, gain)) = best_split(features, targets, rows) else {
+            return node_idx;
+        };
+        if gain < params.min_gain {
+            return node_idx;
+        }
+        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+            rows.iter().partition(|&&r| features[r][feature] <= threshold);
+        if left_rows.is_empty() || right_rows.is_empty() {
+            return node_idx;
+        }
+        let left = self.build(features, targets, &left_rows, depth + 1, params);
+        let right = self.build(features, targets, &right_rows, depth + 1, params);
+        let node = &mut self.nodes[node_idx];
+        node.feature = feature;
+        node.threshold = threshold;
+        node.left = left;
+        node.right = right;
+        node_idx
+    }
+
+    /// Predicts the leaf value for one row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut i = 0;
+        loop {
+            let n = &self.nodes[i];
+            if n.feature == LEAF {
+                return n.value;
+            }
+            i = if x[n.feature] <= n.threshold { n.left } else { n.right };
+        }
+    }
+
+    /// Scales every leaf by the learning rate (post-fit shrinkage).
+    pub fn scale(&mut self, factor: f64) {
+        for n in &mut self.nodes {
+            if n.feature == LEAF {
+                n.value *= factor;
+            }
+        }
+    }
+
+    /// Expected prediction when only the features in `known_mask` are
+    /// fixed to `x`'s values; unknown features marginalize over the
+    /// training distribution via cover weights (the tree-conditional
+    /// expectation SHAP uses).
+    pub fn expected_value(&self, x: &[f64], known_mask: u32) -> f64 {
+        self.expected_from(0, x, known_mask)
+    }
+
+    fn expected_from(&self, idx: usize, x: &[f64], known_mask: u32) -> f64 {
+        let n = &self.nodes[idx];
+        if n.feature == LEAF {
+            return n.value;
+        }
+        if known_mask & (1 << n.feature) != 0 {
+            let next = if x[n.feature] <= n.threshold { n.left } else { n.right };
+            self.expected_from(next, x, known_mask)
+        } else {
+            let lc = self.nodes[n.left].cover;
+            let rc = self.nodes[n.right].cover;
+            let total = (lc + rc).max(1.0);
+            (lc / total) * self.expected_from(n.left, x, known_mask)
+                + (rc / total) * self.expected_from(n.right, x, known_mask)
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is a single leaf.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+}
+
+/// Finds the (feature, threshold) split maximizing variance reduction.
+fn best_split(features: &[Vec<f64>], targets: &[f64], rows: &[usize]) -> Option<(usize, f64, f64)> {
+    let dims = features[rows[0]].len();
+    let total_sum: f64 = rows.iter().map(|&r| targets[r]).sum();
+    let total_sq: f64 = rows.iter().map(|&r| targets[r] * targets[r]).sum();
+    let n = rows.len() as f64;
+    let base_sse = total_sq - total_sum * total_sum / n;
+    let mut best: Option<(usize, f64, f64)> = None;
+    for f in 0..dims {
+        let mut sorted: Vec<usize> = rows.to_vec();
+        sorted.sort_by(|&a, &b| {
+            features[a][f].partial_cmp(&features[b][f]).expect("no NaN features")
+        });
+        let mut left_sum = 0.0;
+        let mut left_sq = 0.0;
+        for (k, &r) in sorted.iter().enumerate().take(sorted.len() - 1) {
+            let y = targets[r];
+            left_sum += y;
+            left_sq += y * y;
+            let x_here = features[r][f];
+            let x_next = features[sorted[k + 1]][f];
+            if x_here == x_next {
+                continue; // cannot split between equal values
+            }
+            let ln = (k + 1) as f64;
+            let rn = n - ln;
+            let right_sum = total_sum - left_sum;
+            let right_sq = total_sq - left_sq;
+            let sse = (left_sq - left_sum * left_sum / ln) + (right_sq - right_sum * right_sum / rn);
+            let gain = base_sse - sse;
+            let threshold = 0.5 * (x_here + x_next);
+            if best.map(|(_, _, g)| gain > g).unwrap_or(gain > 0.0) {
+                best = Some((f, threshold, gain));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_ish_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = 1 if x0 > 0.5, plus noise-free structure on x1.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..100 {
+            let x0 = (i % 10) as f64 / 10.0;
+            let x1 = (i / 10) as f64 / 10.0;
+            xs.push(vec![x0, x1]);
+            ys.push(if x0 > 0.45 { 1.0 } else { 0.0 });
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_a_threshold() {
+        let (xs, ys) = xor_ish_data();
+        let tree = Tree::fit(&xs, &ys, &TreeParams::default());
+        assert!(tree.predict(&[0.9, 0.1]) > 0.9);
+        assert!(tree.predict(&[0.1, 0.9]) < 0.1);
+    }
+
+    #[test]
+    fn depth_zero_is_the_mean() {
+        let (xs, ys) = xor_ish_data();
+        let tree = Tree::fit(&xs, &ys, &TreeParams { max_depth: 0, ..Default::default() });
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        assert!((tree.predict(&[0.0, 0.0]) - mean).abs() < 1e-12);
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn constant_targets_never_split() {
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let ys = vec![3.0; 50];
+        let tree = Tree::fit(&xs, &ys, &TreeParams::default());
+        assert!(tree.is_empty());
+        assert!((tree.predict(&[17.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_value_full_mask_equals_predict() {
+        let (xs, ys) = xor_ish_data();
+        let tree = Tree::fit(&xs, &ys, &TreeParams::default());
+        for x in xs.iter().take(10) {
+            assert!((tree.expected_value(x, 0b11) - tree.predict(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn expected_value_empty_mask_is_cover_weighted_mean() {
+        let (xs, ys) = xor_ish_data();
+        let tree = Tree::fit(&xs, &ys, &TreeParams::default());
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let e = tree.expected_value(&[0.0, 0.0], 0);
+        assert!((e - mean).abs() < 0.05, "{e} vs {mean}");
+    }
+
+    #[test]
+    fn scale_shrinks_leaves() {
+        let (xs, ys) = xor_ish_data();
+        let mut tree = Tree::fit(&xs, &ys, &TreeParams::default());
+        let before = tree.predict(&[0.9, 0.5]);
+        tree.scale(0.5);
+        assert!((tree.predict(&[0.9, 0.5]) - before * 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,835 @@
+//! Strict-decoding schemas for the Kubernetes API types the benchmark
+//! exercises.
+//!
+//! The real API server rejects manifests with unknown fields using errors
+//! like the one in the paper's Appendix C.3 sample:
+//!
+//! ```text
+//! Ingress in version "v1" cannot be handled as a Ingress: strict decoding
+//! error: unknown field "spec.rules[0].http.paths[0].backend.serviceName"
+//! ```
+//!
+//! [`validate`] reproduces that behaviour: unknown fields, missing required
+//! fields, and type mismatches are reported with full JSON-style paths.
+
+use yamlkit::Yaml;
+
+/// Structural schema for one field subtree.
+#[derive(Debug, Clone)]
+pub enum Schema {
+    /// Anything is accepted (used for subtrees we model loosely).
+    Any,
+    /// Any scalar value.
+    Scalar,
+    /// A string (or something that renders as one).
+    Str,
+    /// An integer.
+    Int,
+    /// A boolean.
+    Bool,
+    /// An integer or string (e.g. `targetPort: 80` / `targetPort: http`).
+    IntOrStr,
+    /// A Kubernetes quantity: `100m`, `50Mi`, `2`, `1.5`.
+    Quantity,
+    /// A mapping of string to scalar (labels, annotations, data).
+    StrMap,
+    /// A mapping of string to quantity (resource lists).
+    QuantityMap,
+    /// A sequence of elements.
+    Seq(Box<Schema>),
+    /// A closed mapping: fields not listed are strict-decoding errors.
+    Map(Vec<Field>),
+}
+
+/// A named field in a closed mapping.
+#[derive(Debug, Clone)]
+pub struct Field {
+    name: &'static str,
+    required: bool,
+    schema: Schema,
+}
+
+/// Optional field.
+fn opt(name: &'static str, schema: Schema) -> Field {
+    Field { name, required: false, schema }
+}
+
+/// Required field.
+fn req(name: &'static str, schema: Schema) -> Field {
+    Field { name, required: true, schema }
+}
+
+fn map(fields: Vec<Field>) -> Schema {
+    Schema::Map(fields)
+}
+
+fn seq(s: Schema) -> Schema {
+    Schema::Seq(Box::new(s))
+}
+
+/// One validation problem found in a manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A field the type does not define.
+    UnknownField(String),
+    /// A required field that is absent.
+    MissingField(String),
+    /// A value of the wrong type; payload is `(path, expected)`.
+    WrongType(String, &'static str),
+}
+
+impl Violation {
+    /// Renders in the API server's phrasing.
+    pub fn render(&self) -> String {
+        match self {
+            Violation::UnknownField(p) => format!("unknown field \"{p}\""),
+            Violation::MissingField(p) => format!("missing required field \"{p}\""),
+            Violation::WrongType(p, expected) => {
+                format!("cannot unmarshal field \"{p}\": expected {expected}")
+            }
+        }
+    }
+}
+
+/// Validates a manifest body against the schema for its kind.
+/// Returns all violations (empty = valid). Unknown kinds validate loosely
+/// (only `apiVersion`/`kind`/`metadata` are required).
+pub fn validate(body: &Yaml) -> Vec<Violation> {
+    let kind = body.get("kind").and_then(Yaml::as_str).unwrap_or("");
+    let schema = top_level(kind);
+    let mut violations = Vec::new();
+    check(&schema, body, "", &mut violations);
+    violations
+}
+
+/// Expected apiVersion prefixes per kind; [`None`] when the kind itself is
+/// unknown to the cluster.
+pub fn expected_api_versions(kind: &str) -> Option<&'static [&'static str]> {
+    Some(match kind {
+        "Pod" | "Service" | "ConfigMap" | "Secret" | "Namespace" | "ServiceAccount"
+        | "PersistentVolume" | "PersistentVolumeClaim" | "LimitRange" | "ResourceQuota"
+        | "Node" | "Endpoints" => &["v1"],
+        "Deployment" | "ReplicaSet" | "DaemonSet" | "StatefulSet" => &["apps/v1"],
+        "Job" | "CronJob" => &["batch/v1", "batch/v1beta1"],
+        "Ingress" | "NetworkPolicy" | "IngressClass" => &["networking.k8s.io/v1"],
+        "Role" | "RoleBinding" | "ClusterRole" | "ClusterRoleBinding" => {
+            &["rbac.authorization.k8s.io/v1"]
+        }
+        "HorizontalPodAutoscaler" => &["autoscaling/v1", "autoscaling/v2"],
+        "VirtualService" | "DestinationRule" | "Gateway" | "ServiceEntry" => {
+            &["networking.istio.io/v1alpha3", "networking.istio.io/v1beta1", "networking.istio.io/v1"]
+        }
+        _ => return None,
+    })
+}
+
+fn check(schema: &Schema, value: &Yaml, path: &str, out: &mut Vec<Violation>) {
+    match schema {
+        Schema::Any => {}
+        Schema::Scalar => {
+            if !value.is_scalar() {
+                out.push(Violation::WrongType(path.to_owned(), "scalar"));
+            }
+        }
+        Schema::Str => {
+            if !matches!(value, Yaml::Str(_)) && !value.is_scalar() {
+                out.push(Violation::WrongType(path.to_owned(), "string"));
+            }
+        }
+        Schema::Int => {
+            if !matches!(value, Yaml::Int(_)) {
+                out.push(Violation::WrongType(path.to_owned(), "integer"));
+            }
+        }
+        Schema::Bool => {
+            if !matches!(value, Yaml::Bool(_)) {
+                out.push(Violation::WrongType(path.to_owned(), "boolean"));
+            }
+        }
+        Schema::IntOrStr => {
+            if !matches!(value, Yaml::Int(_) | Yaml::Str(_)) {
+                out.push(Violation::WrongType(path.to_owned(), "integer or string"));
+            }
+        }
+        Schema::Quantity => {
+            let ok = match value {
+                Yaml::Int(_) | Yaml::Float(_) => true,
+                Yaml::Str(s) => parse_quantity(s).is_some(),
+                _ => false,
+            };
+            if !ok {
+                out.push(Violation::WrongType(path.to_owned(), "quantity"));
+            }
+        }
+        Schema::StrMap => match value {
+            Yaml::Map(entries) => {
+                for (k, v) in entries {
+                    if !v.is_scalar() {
+                        out.push(Violation::WrongType(join(path, k), "string"));
+                    }
+                }
+            }
+            _ => out.push(Violation::WrongType(path.to_owned(), "map of strings")),
+        },
+        Schema::QuantityMap => match value {
+            Yaml::Map(entries) => {
+                for (k, v) in entries {
+                    check(&Schema::Quantity, v, &join(path, k), out);
+                }
+            }
+            _ => out.push(Violation::WrongType(path.to_owned(), "map of quantities")),
+        },
+        Schema::Seq(inner) => match value {
+            Yaml::Seq(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    check(inner, item, &format!("{path}[{i}]"), out);
+                }
+            }
+            _ => out.push(Violation::WrongType(path.to_owned(), "list")),
+        },
+        Schema::Map(fields) => match value {
+            Yaml::Map(entries) => {
+                for (k, v) in entries {
+                    match fields.iter().find(|f| f.name == k) {
+                        Some(f) => check(&f.schema, v, &join(path, k), out),
+                        None => out.push(Violation::UnknownField(join(path, k))),
+                    }
+                }
+                for f in fields.iter().filter(|f| f.required) {
+                    if value.get(f.name).is_none() {
+                        out.push(Violation::MissingField(join(path, f.name)));
+                    }
+                }
+            }
+            Yaml::Null => {
+                for f in fields.iter().filter(|f| f.required) {
+                    out.push(Violation::MissingField(join(path, f.name)));
+                }
+            }
+            _ => out.push(Violation::WrongType(path.to_owned(), "object")),
+        },
+    }
+}
+
+fn join(path: &str, field: &str) -> String {
+    if path.is_empty() {
+        field.to_owned()
+    } else {
+        format!("{path}.{field}")
+    }
+}
+
+/// Parses a Kubernetes quantity (`100m`, `50Mi`, `1.5`, `2Gi`) into a raw
+/// f64 in base units. Returns `None` for malformed quantities.
+pub fn parse_quantity(s: &str) -> Option<f64> {
+    let s = s.trim();
+    if s.is_empty() {
+        return None;
+    }
+    let suffixes: [(&str, f64); 12] = [
+        ("Ki", 1024.0),
+        ("Mi", 1024.0 * 1024.0),
+        ("Gi", 1024.0 * 1024.0 * 1024.0),
+        ("Ti", 1024f64.powi(4)),
+        ("Pi", 1024f64.powi(5)),
+        ("m", 1e-3),
+        ("k", 1e3),
+        ("M", 1e6),
+        ("G", 1e9),
+        ("T", 1e12),
+        ("P", 1e15),
+        ("E", 1e18),
+    ];
+    for (suffix, mult) in suffixes {
+        if let Some(num) = s.strip_suffix(suffix) {
+            return num.parse::<f64>().ok().map(|v| v * mult);
+        }
+    }
+    s.parse::<f64>().ok()
+}
+
+// ---------------------------------------------------------------------------
+// Schema definitions
+// ---------------------------------------------------------------------------
+
+fn metadata() -> Schema {
+    map(vec![
+        opt("name", Schema::Str),
+        opt("generateName", Schema::Str),
+        opt("namespace", Schema::Str),
+        opt("labels", Schema::StrMap),
+        opt("annotations", Schema::StrMap),
+        opt("finalizers", seq(Schema::Str)),
+        opt("ownerReferences", Schema::Any),
+        opt("creationTimestamp", Schema::Scalar),
+        opt("uid", Schema::Str),
+        opt("resourceVersion", Schema::Str),
+        opt("generation", Schema::Int),
+    ])
+}
+
+fn top(kind_spec_fields: Vec<Field>) -> Schema {
+    let mut fields = vec![
+        req("apiVersion", Schema::Str),
+        req("kind", Schema::Str),
+        req("metadata", metadata()),
+        opt("status", Schema::Any),
+    ];
+    fields.extend(kind_spec_fields);
+    map(fields)
+}
+
+fn probe() -> Schema {
+    map(vec![
+        opt("httpGet", map(vec![
+            opt("path", Schema::Str),
+            opt("port", Schema::IntOrStr),
+            opt("host", Schema::Str),
+            opt("scheme", Schema::Str),
+            opt("httpHeaders", Schema::Any),
+        ])),
+        opt("tcpSocket", map(vec![opt("port", Schema::IntOrStr), opt("host", Schema::Str)])),
+        opt("exec", map(vec![opt("command", seq(Schema::Str))])),
+        opt("grpc", Schema::Any),
+        opt("initialDelaySeconds", Schema::Int),
+        opt("periodSeconds", Schema::Int),
+        opt("timeoutSeconds", Schema::Int),
+        opt("successThreshold", Schema::Int),
+        opt("failureThreshold", Schema::Int),
+        opt("terminationGracePeriodSeconds", Schema::Int),
+    ])
+}
+
+fn env_var() -> Schema {
+    map(vec![
+        req("name", Schema::Str),
+        opt("value", Schema::Scalar),
+        opt("valueFrom", map(vec![
+            opt("configMapKeyRef", map(vec![
+                req("name", Schema::Str),
+                req("key", Schema::Str),
+                opt("optional", Schema::Bool),
+            ])),
+            opt("secretKeyRef", map(vec![
+                req("name", Schema::Str),
+                req("key", Schema::Str),
+                opt("optional", Schema::Bool),
+            ])),
+            opt("fieldRef", map(vec![req("fieldPath", Schema::Str), opt("apiVersion", Schema::Str)])),
+            opt("resourceFieldRef", Schema::Any),
+        ])),
+    ])
+}
+
+fn container() -> Schema {
+    map(vec![
+        req("name", Schema::Str),
+        opt("image", Schema::Str),
+        opt("command", seq(Schema::Scalar)),
+        opt("args", seq(Schema::Scalar)),
+        opt("workingDir", Schema::Str),
+        opt("env", seq(env_var())),
+        opt("envFrom", seq(map(vec![
+            opt("configMapRef", map(vec![req("name", Schema::Str), opt("optional", Schema::Bool)])),
+            opt("secretRef", map(vec![req("name", Schema::Str), opt("optional", Schema::Bool)])),
+            opt("prefix", Schema::Str),
+        ]))),
+        opt("ports", seq(map(vec![
+            opt("name", Schema::Str),
+            req("containerPort", Schema::Int),
+            opt("hostPort", Schema::Int),
+            opt("hostIP", Schema::Str),
+            opt("protocol", Schema::Str),
+        ]))),
+        opt("resources", map(vec![
+            opt("limits", Schema::QuantityMap),
+            opt("requests", Schema::QuantityMap),
+            opt("claims", Schema::Any),
+        ])),
+        opt("volumeMounts", seq(map(vec![
+            req("name", Schema::Str),
+            req("mountPath", Schema::Str),
+            opt("readOnly", Schema::Bool),
+            opt("subPath", Schema::Str),
+            opt("mountPropagation", Schema::Str),
+        ]))),
+        opt("volumeDevices", Schema::Any),
+        opt("livenessProbe", probe()),
+        opt("readinessProbe", probe()),
+        opt("startupProbe", probe()),
+        opt("lifecycle", Schema::Any),
+        opt("imagePullPolicy", Schema::Str),
+        opt("securityContext", Schema::Any),
+        opt("stdin", Schema::Bool),
+        opt("tty", Schema::Bool),
+        opt("terminationMessagePath", Schema::Str),
+        opt("terminationMessagePolicy", Schema::Str),
+    ])
+}
+
+fn volume() -> Schema {
+    map(vec![
+        req("name", Schema::Str),
+        opt("emptyDir", Schema::Any),
+        opt("hostPath", map(vec![req("path", Schema::Str), opt("type", Schema::Str)])),
+        opt("configMap", map(vec![
+            opt("name", Schema::Str),
+            opt("items", Schema::Any),
+            opt("defaultMode", Schema::Int),
+            opt("optional", Schema::Bool),
+        ])),
+        opt("secret", map(vec![
+            opt("secretName", Schema::Str),
+            opt("items", Schema::Any),
+            opt("defaultMode", Schema::Int),
+            opt("optional", Schema::Bool),
+        ])),
+        opt("persistentVolumeClaim", map(vec![
+            req("claimName", Schema::Str),
+            opt("readOnly", Schema::Bool),
+        ])),
+        opt("nfs", Schema::Any),
+        opt("downwardAPI", Schema::Any),
+        opt("projected", Schema::Any),
+        opt("csi", Schema::Any),
+    ])
+}
+
+fn pod_spec() -> Schema {
+    map(vec![
+        opt("containers", seq(container())),
+        opt("initContainers", seq(container())),
+        opt("volumes", seq(volume())),
+        opt("restartPolicy", Schema::Str),
+        opt("nodeSelector", Schema::StrMap),
+        opt("nodeName", Schema::Str),
+        opt("serviceAccountName", Schema::Str),
+        opt("serviceAccount", Schema::Str),
+        opt("automountServiceAccountToken", Schema::Bool),
+        opt("affinity", Schema::Any),
+        opt("tolerations", Schema::Any),
+        opt("hostNetwork", Schema::Bool),
+        opt("hostPID", Schema::Bool),
+        opt("dnsPolicy", Schema::Str),
+        opt("dnsConfig", Schema::Any),
+        opt("hostname", Schema::Str),
+        opt("subdomain", Schema::Str),
+        opt("schedulerName", Schema::Str),
+        opt("priorityClassName", Schema::Str),
+        opt("priority", Schema::Int),
+        opt("imagePullSecrets", seq(map(vec![opt("name", Schema::Str)]))),
+        opt("securityContext", Schema::Any),
+        opt("terminationGracePeriodSeconds", Schema::Int),
+        opt("activeDeadlineSeconds", Schema::Int),
+        opt("topologySpreadConstraints", Schema::Any),
+        opt("runtimeClassName", Schema::Str),
+        opt("enableServiceLinks", Schema::Bool),
+        opt("shareProcessNamespace", Schema::Bool),
+    ])
+}
+
+fn pod_template() -> Schema {
+    map(vec![opt("metadata", metadata()), opt("spec", pod_spec())])
+}
+
+fn workload_selector() -> Schema {
+    map(vec![
+        opt("matchLabels", Schema::StrMap),
+        opt("matchExpressions", seq(map(vec![
+            req("key", Schema::Str),
+            req("operator", Schema::Str),
+            opt("values", seq(Schema::Scalar)),
+        ]))),
+    ])
+}
+
+fn job_spec_fields() -> Vec<Field> {
+    vec![
+        req("template", pod_template()),
+        opt("backoffLimit", Schema::Int),
+        opt("completions", Schema::Int),
+        opt("parallelism", Schema::Int),
+        opt("activeDeadlineSeconds", Schema::Int),
+        opt("ttlSecondsAfterFinished", Schema::Int),
+        opt("completionMode", Schema::Str),
+        opt("suspend", Schema::Bool),
+        opt("selector", workload_selector()),
+        opt("manualSelector", Schema::Bool),
+    ]
+}
+
+fn service_port() -> Schema {
+    map(vec![
+        opt("name", Schema::Str),
+        req("port", Schema::Int),
+        opt("targetPort", Schema::IntOrStr),
+        opt("nodePort", Schema::Int),
+        opt("protocol", Schema::Str),
+        opt("appProtocol", Schema::Str),
+    ])
+}
+
+fn ingress_backend() -> Schema {
+    // networking.k8s.io/v1 shape: `service.name` + `service.port`, NOT the
+    // old `serviceName`/`servicePort` — exactly the trap in Appendix C.3.
+    map(vec![
+        opt("service", map(vec![
+            req("name", Schema::Str),
+            opt("port", map(vec![opt("number", Schema::Int), opt("name", Schema::Str)])),
+        ])),
+        opt("resource", Schema::Any),
+    ])
+}
+
+/// The complete top-level schema for a kind.
+pub fn top_level(kind: &str) -> Schema {
+    match kind {
+        "Pod" => top(vec![req("spec", pod_spec())]),
+        "Deployment" | "ReplicaSet" => top(vec![req("spec", map(vec![
+            opt("replicas", Schema::Int),
+            req("selector", workload_selector()),
+            req("template", pod_template()),
+            opt("strategy", map(vec![
+                opt("type", Schema::Str),
+                opt("rollingUpdate", map(vec![
+                    opt("maxSurge", Schema::IntOrStr),
+                    opt("maxUnavailable", Schema::IntOrStr),
+                ])),
+            ])),
+            opt("minReadySeconds", Schema::Int),
+            opt("revisionHistoryLimit", Schema::Int),
+            opt("progressDeadlineSeconds", Schema::Int),
+            opt("paused", Schema::Bool),
+        ]))]),
+        "DaemonSet" => top(vec![req("spec", map(vec![
+            req("selector", workload_selector()),
+            req("template", pod_template()),
+            opt("updateStrategy", Schema::Any),
+            opt("minReadySeconds", Schema::Int),
+            opt("revisionHistoryLimit", Schema::Int),
+        ]))]),
+        "StatefulSet" => top(vec![req("spec", map(vec![
+            req("serviceName", Schema::Str),
+            req("selector", workload_selector()),
+            req("template", pod_template()),
+            opt("replicas", Schema::Int),
+            opt("volumeClaimTemplates", Schema::Any),
+            opt("updateStrategy", Schema::Any),
+            opt("podManagementPolicy", Schema::Str),
+            opt("minReadySeconds", Schema::Int),
+        ]))]),
+        "Job" => top(vec![req("spec", map(job_spec_fields()))]),
+        "CronJob" => top(vec![req("spec", map(vec![
+            req("schedule", Schema::Str),
+            req("jobTemplate", map(vec![
+                opt("metadata", metadata()),
+                opt("spec", map(job_spec_fields())),
+            ])),
+            opt("concurrencyPolicy", Schema::Str),
+            opt("startingDeadlineSeconds", Schema::Int),
+            opt("successfulJobsHistoryLimit", Schema::Int),
+            opt("failedJobsHistoryLimit", Schema::Int),
+            opt("suspend", Schema::Bool),
+            opt("timeZone", Schema::Str),
+        ]))]),
+        "Service" => top(vec![req("spec", map(vec![
+            opt("selector", Schema::StrMap),
+            opt("ports", seq(service_port())),
+            opt("type", Schema::Str),
+            opt("clusterIP", Schema::Str),
+            opt("externalName", Schema::Str),
+            opt("sessionAffinity", Schema::Str),
+            opt("externalTrafficPolicy", Schema::Str),
+            opt("internalTrafficPolicy", Schema::Str),
+            opt("loadBalancerIP", Schema::Str),
+            opt("loadBalancerSourceRanges", seq(Schema::Str)),
+            opt("externalIPs", seq(Schema::Str)),
+            opt("ipFamilies", Schema::Any),
+            opt("ipFamilyPolicy", Schema::Str),
+            opt("publishNotReadyAddresses", Schema::Bool),
+        ]))]),
+        "ConfigMap" => top(vec![
+            opt("data", Schema::StrMap),
+            opt("binaryData", Schema::StrMap),
+            opt("immutable", Schema::Bool),
+        ]),
+        "Secret" => top(vec![
+            opt("data", Schema::StrMap),
+            opt("stringData", Schema::StrMap),
+            opt("type", Schema::Str),
+            opt("immutable", Schema::Bool),
+        ]),
+        "Namespace" => top(vec![opt("spec", map(vec![opt("finalizers", seq(Schema::Str))]))]),
+        "ServiceAccount" => top(vec![
+            opt("secrets", Schema::Any),
+            opt("imagePullSecrets", Schema::Any),
+            opt("automountServiceAccountToken", Schema::Bool),
+        ]),
+        "Role" | "ClusterRole" => top(vec![
+            opt("rules", seq(map(vec![
+                opt("apiGroups", seq(Schema::Str)),
+                opt("resources", seq(Schema::Str)),
+                req("verbs", seq(Schema::Str)),
+                opt("resourceNames", seq(Schema::Str)),
+                opt("nonResourceURLs", seq(Schema::Str)),
+            ]))),
+            opt("aggregationRule", Schema::Any),
+        ]),
+        "RoleBinding" | "ClusterRoleBinding" => top(vec![
+            opt("subjects", seq(map(vec![
+                req("kind", Schema::Str),
+                req("name", Schema::Str),
+                opt("apiGroup", Schema::Str),
+                opt("namespace", Schema::Str),
+            ]))),
+            req("roleRef", map(vec![
+                req("kind", Schema::Str),
+                req("name", Schema::Str),
+                req("apiGroup", Schema::Str),
+            ])),
+        ]),
+        "Ingress" => top(vec![req("spec", map(vec![
+            opt("ingressClassName", Schema::Str),
+            opt("defaultBackend", ingress_backend()),
+            opt("rules", seq(map(vec![
+                opt("host", Schema::Str),
+                opt("http", map(vec![req("paths", seq(map(vec![
+                    opt("path", Schema::Str),
+                    req("pathType", Schema::Str),
+                    req("backend", ingress_backend()),
+                ])))])),
+            ]))),
+            opt("tls", Schema::Any),
+        ]))]),
+        "NetworkPolicy" => top(vec![req("spec", map(vec![
+            req("podSelector", workload_selector()),
+            opt("policyTypes", seq(Schema::Str)),
+            opt("ingress", Schema::Any),
+            opt("egress", Schema::Any),
+        ]))]),
+        "PersistentVolume" => top(vec![req("spec", map(vec![
+            req("capacity", Schema::QuantityMap),
+            req("accessModes", seq(Schema::Str)),
+            opt("persistentVolumeReclaimPolicy", Schema::Str),
+            opt("storageClassName", Schema::Str),
+            opt("volumeMode", Schema::Str),
+            opt("mountOptions", seq(Schema::Str)),
+            opt("hostPath", map(vec![req("path", Schema::Str), opt("type", Schema::Str)])),
+            opt("nfs", Schema::Any),
+            opt("local", Schema::Any),
+            opt("csi", Schema::Any),
+            opt("claimRef", Schema::Any),
+            opt("nodeAffinity", Schema::Any),
+        ]))]),
+        "PersistentVolumeClaim" => top(vec![req("spec", map(vec![
+            req("accessModes", seq(Schema::Str)),
+            opt("resources", map(vec![
+                opt("requests", Schema::QuantityMap),
+                opt("limits", Schema::QuantityMap),
+            ])),
+            opt("storageClassName", Schema::Str),
+            opt("volumeName", Schema::Str),
+            opt("volumeMode", Schema::Str),
+            opt("selector", workload_selector()),
+        ]))]),
+        "LimitRange" => top(vec![req("spec", map(vec![req("limits", seq(map(vec![
+            req("type", Schema::Str),
+            opt("default", Schema::QuantityMap),
+            opt("defaultRequest", Schema::QuantityMap),
+            opt("max", Schema::QuantityMap),
+            opt("min", Schema::QuantityMap),
+            opt("maxLimitRequestRatio", Schema::QuantityMap),
+        ])))]))]),
+        "ResourceQuota" => top(vec![req("spec", map(vec![
+            opt("hard", Schema::QuantityMap),
+            opt("scopes", seq(Schema::Str)),
+            opt("scopeSelector", Schema::Any),
+        ]))]),
+        "HorizontalPodAutoscaler" => top(vec![req("spec", map(vec![
+            req("scaleTargetRef", map(vec![
+                opt("apiVersion", Schema::Str),
+                req("kind", Schema::Str),
+                req("name", Schema::Str),
+            ])),
+            opt("minReplicas", Schema::Int),
+            req("maxReplicas", Schema::Int),
+            opt("targetCPUUtilizationPercentage", Schema::Int),
+            opt("metrics", Schema::Any),
+            opt("behavior", Schema::Any),
+        ]))]),
+        // --- Istio CRDs -----------------------------------------------
+        "VirtualService" => top(vec![req("spec", map(vec![
+            opt("hosts", seq(Schema::Str)),
+            opt("gateways", seq(Schema::Str)),
+            opt("exportTo", seq(Schema::Str)),
+            opt("http", seq(map(vec![
+                opt("name", Schema::Str),
+                opt("match", Schema::Any),
+                opt("route", seq(map(vec![
+                    req("destination", map(vec![
+                        req("host", Schema::Str),
+                        opt("subset", Schema::Str),
+                        opt("port", map(vec![opt("number", Schema::Int)])),
+                    ])),
+                    opt("weight", Schema::Int),
+                    opt("headers", Schema::Any),
+                ]))),
+                opt("fault", Schema::Any),
+                opt("timeout", Schema::Str),
+                opt("retries", Schema::Any),
+                opt("rewrite", Schema::Any),
+                opt("redirect", Schema::Any),
+                opt("mirror", Schema::Any),
+                opt("mirrorPercentage", Schema::Any),
+                opt("corsPolicy", Schema::Any),
+                opt("headers", Schema::Any),
+            ]))),
+            opt("tcp", Schema::Any),
+            opt("tls", Schema::Any),
+        ]))]),
+        "DestinationRule" => top(vec![req("spec", map(vec![
+            req("host", Schema::Str),
+            opt("trafficPolicy", traffic_policy()),
+            opt("subsets", seq(map(vec![
+                req("name", Schema::Str),
+                opt("labels", Schema::StrMap),
+                opt("trafficPolicy", traffic_policy()),
+            ]))),
+            opt("exportTo", seq(Schema::Str)),
+            opt("workloadSelector", Schema::Any),
+        ]))]),
+        "Gateway" => top(vec![req("spec", map(vec![
+            req("selector", Schema::StrMap),
+            req("servers", seq(map(vec![
+                req("port", map(vec![
+                    req("number", Schema::Int),
+                    req("name", Schema::Str),
+                    req("protocol", Schema::Str),
+                    opt("targetPort", Schema::Int),
+                ])),
+                req("hosts", seq(Schema::Str)),
+                opt("tls", Schema::Any),
+                opt("name", Schema::Str),
+            ]))),
+        ]))]),
+        "ServiceEntry" => top(vec![req("spec", Schema::Any)]),
+        // Unknown kinds: loose validation.
+        _ => top(vec![opt("spec", Schema::Any), opt("data", Schema::Any)]),
+    }
+}
+
+fn traffic_policy() -> Schema {
+    map(vec![
+        opt("loadBalancer", map(vec![
+            opt("simple", Schema::Str),
+            opt("consistentHash", Schema::Any),
+            opt("localityLbSetting", Schema::Any),
+        ])),
+        opt("connectionPool", Schema::Any),
+        opt("outlierDetection", Schema::Any),
+        opt("tls", Schema::Any),
+        opt("portLevelSettings", Schema::Any),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violations(src: &str) -> Vec<Violation> {
+        validate(&yamlkit::parse_one(src).unwrap().to_value())
+    }
+
+    #[test]
+    fn valid_pod_passes() {
+        let v = violations(
+            "apiVersion: v1\nkind: Pod\nmetadata:\n  name: x\nspec:\n  containers:\n  - name: c\n    image: nginx\n    ports:\n    - containerPort: 80\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn paper_ingress_sample_reports_unknown_fields() {
+        // Appendix C.3: old extensions/v1beta1 backend fields under v1.
+        let v = violations(
+            "apiVersion: networking.k8s.io/v1\nkind: Ingress\nmetadata:\n  name: test-ingress\n  annotations:\n    nginx.ingress.kubernetes.io/rewrite-target: /\nspec:\n  rules:\n  - http:\n      paths:\n      - path: /\n        backend:\n          serviceName: test-app\n          servicePort: 5000\n",
+        );
+        let rendered: Vec<String> = v.iter().map(Violation::render).collect();
+        assert!(rendered.contains(&"unknown field \"spec.rules[0].http.paths[0].backend.serviceName\"".to_owned()), "{rendered:?}");
+        assert!(rendered.contains(&"unknown field \"spec.rules[0].http.paths[0].backend.servicePort\"".to_owned()));
+        assert!(rendered.contains(&"missing required field \"spec.rules[0].http.paths[0].pathType\"".to_owned()));
+    }
+
+    #[test]
+    fn fixed_ingress_passes() {
+        let v = violations(
+            "apiVersion: networking.k8s.io/v1\nkind: Ingress\nmetadata:\n  name: minimal-ingress\n  annotations:\n    nginx.ingress.kubernetes.io/rewrite-target: /\nspec:\n  rules:\n  - http:\n      paths:\n      - path: /\n        pathType: Prefix\n        backend:\n          service:\n            name: test-app\n            port:\n              number: 5000\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn deployment_requires_selector_and_template() {
+        let v = violations("apiVersion: apps/v1\nkind: Deployment\nmetadata:\n  name: d\nspec:\n  replicas: 2\n");
+        let rendered: Vec<String> = v.iter().map(Violation::render).collect();
+        assert!(rendered.iter().any(|r| r.contains("spec.selector")));
+        assert!(rendered.iter().any(|r| r.contains("spec.template")));
+    }
+
+    #[test]
+    fn misspelled_field_is_unknown() {
+        let v = violations(
+            "apiVersion: v1\nkind: Pod\nmetadata:\n  name: x\nspec:\n  containers:\n  - name: c\n    imagee: nginx\n",
+        );
+        assert_eq!(v, vec![Violation::UnknownField("spec.containers[0].imagee".into())]);
+    }
+
+    #[test]
+    fn wrong_type_reported() {
+        let v = violations(
+            "apiVersion: v1\nkind: Pod\nmetadata:\n  name: x\nspec:\n  containers:\n  - name: c\n    ports:\n    - containerPort: http\n",
+        );
+        assert!(matches!(&v[0], Violation::WrongType(p, _) if p == "spec.containers[0].ports[0].containerPort"));
+    }
+
+    #[test]
+    fn quantities_validate() {
+        assert_eq!(parse_quantity("100m"), Some(0.1));
+        assert_eq!(parse_quantity("50Mi"), Some(50.0 * 1024.0 * 1024.0));
+        assert_eq!(parse_quantity("2"), Some(2.0));
+        assert_eq!(parse_quantity("1.5"), Some(1.5));
+        assert_eq!(parse_quantity("abc"), None);
+        let v = violations(
+            "apiVersion: v1\nkind: Pod\nmetadata:\n  name: x\nspec:\n  containers:\n  - name: c\n    resources:\n      limits:\n        cpu: wrong-cpu\n",
+        );
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn rolebinding_requires_roleref() {
+        let v = violations(
+            "apiVersion: rbac.authorization.k8s.io/v1\nkind: RoleBinding\nmetadata:\n  name: rb\nsubjects:\n- kind: User\n  name: dave\n  apiGroup: rbac.authorization.k8s.io\n",
+        );
+        assert!(v.iter().any(|x| matches!(x, Violation::MissingField(p) if p == "roleRef")));
+    }
+
+    #[test]
+    fn istio_destination_rule_validates() {
+        let v = violations(
+            "apiVersion: networking.istio.io/v1alpha3\nkind: DestinationRule\nmetadata:\n  name: ratings\nspec:\n  host: ratings\n  trafficPolicy:\n    loadBalancer:\n      simple: LEAST_REQUEST\n  subsets:\n  - name: testversion\n    labels:\n      version: v3\n    trafficPolicy:\n      loadBalancer:\n        simple: ROUND_ROBIN\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn api_versions_known() {
+        assert_eq!(expected_api_versions("Deployment"), Some(&["apps/v1"][..]));
+        assert!(expected_api_versions("FooBar").is_none());
+    }
+
+    #[test]
+    fn unknown_kind_validates_loosely() {
+        let v = violations("apiVersion: example.com/v1\nkind: Widget\nmetadata:\n  name: w\nspec:\n  anything: [1, 2]\n");
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,234 @@
+//! Label selectors: the `-l key=value,key2!=v` CLI syntax and the
+//! `matchLabels` / `matchExpressions` spec form.
+
+use yamlkit::Yaml;
+
+/// One selector requirement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Requirement {
+    /// `key=value`
+    Equals(String, String),
+    /// `key!=value`
+    NotEquals(String, String),
+    /// `key` — label must exist.
+    Exists(String),
+    /// `!key` — label must not exist.
+    NotExists(String),
+    /// `key in (a,b)`
+    In(String, Vec<String>),
+    /// `key notin (a,b)`
+    NotIn(String, Vec<String>),
+}
+
+impl Requirement {
+    fn matches(&self, labels: &[(String, String)]) -> bool {
+        let get = |k: &str| labels.iter().find(|(lk, _)| lk == k).map(|(_, v)| v.as_str());
+        match self {
+            Requirement::Equals(k, v) => get(k) == Some(v.as_str()),
+            Requirement::NotEquals(k, v) => get(k) != Some(v.as_str()),
+            Requirement::Exists(k) => get(k).is_some(),
+            Requirement::NotExists(k) => get(k).is_none(),
+            Requirement::In(k, vs) => get(k).is_some_and(|v| vs.iter().any(|o| o == v)),
+            Requirement::NotIn(k, vs) => !get(k).is_some_and(|v| vs.iter().any(|o| o == v)),
+        }
+    }
+}
+
+/// A conjunctive label selector.
+///
+/// # Examples
+///
+/// ```
+/// use kubesim::selector::Selector;
+/// let s = Selector::parse_cli("app=nginx,tier!=db").unwrap();
+/// assert!(s.matches(&[("app".into(), "nginx".into()), ("tier".into(), "web".into())]));
+/// assert!(!s.matches(&[("app".into(), "redis".into())]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Selector {
+    requirements: Vec<Requirement>,
+}
+
+impl Selector {
+    /// The empty selector, which matches everything.
+    pub fn everything() -> Selector {
+        Selector::default()
+    }
+
+    /// Parses the `kubectl -l` comma-separated syntax.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed requirements.
+    pub fn parse_cli(expr: &str) -> Result<Selector, String> {
+        let mut requirements = Vec::new();
+        for raw in split_requirements(expr) {
+            let part = raw.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if let Some((k, v)) = part.split_once("!=") {
+                requirements.push(Requirement::NotEquals(k.trim().into(), v.trim().into()));
+            } else if let Some((k, v)) = part.split_once("==") {
+                requirements.push(Requirement::Equals(k.trim().into(), v.trim().into()));
+            } else if let Some((k, v)) = part.split_once('=') {
+                requirements.push(Requirement::Equals(k.trim().into(), v.trim().into()));
+            } else if let Some(rest) = part.strip_prefix('!') {
+                requirements.push(Requirement::NotExists(rest.trim().into()));
+            } else if let Some((k, vs)) = parse_set_expr(part, " notin ") {
+                requirements.push(Requirement::NotIn(k, vs));
+            } else if let Some((k, vs)) = parse_set_expr(part, " in ") {
+                requirements.push(Requirement::In(k, vs));
+            } else if part.chars().all(|c| c.is_alphanumeric() || "-._/".contains(c)) {
+                requirements.push(Requirement::Exists(part.into()));
+            } else {
+                return Err(format!("unable to parse requirement: {part:?}"));
+            }
+        }
+        Ok(Selector { requirements })
+    }
+
+    /// Builds a selector from a `spec.selector` object: either the bare
+    /// `{app: nginx}` map form (Services) or the `matchLabels` /
+    /// `matchExpressions` form (workloads).
+    pub fn from_spec(spec: &Yaml) -> Selector {
+        let mut requirements = Vec::new();
+        let label_map = spec.get("matchLabels").or(if spec.get("matchExpressions").is_some() {
+            None
+        } else {
+            Some(spec)
+        });
+        if let Some(map) = label_map {
+            for (k, v) in map.entries() {
+                requirements.push(Requirement::Equals(k.to_owned(), v.render_scalar()));
+            }
+        }
+        if let Some(exprs) = spec.get("matchExpressions") {
+            for e in exprs.items() {
+                let key = e.get("key").map(Yaml::render_scalar).unwrap_or_default();
+                let values: Vec<String> = e
+                    .get("values")
+                    .map(|vs| vs.items().map(Yaml::render_scalar).collect())
+                    .unwrap_or_default();
+                match e.get("operator").and_then(Yaml::as_str) {
+                    Some("In") => requirements.push(Requirement::In(key, values)),
+                    Some("NotIn") => requirements.push(Requirement::NotIn(key, values)),
+                    Some("Exists") => requirements.push(Requirement::Exists(key)),
+                    Some("DoesNotExist") => requirements.push(Requirement::NotExists(key)),
+                    _ => {}
+                }
+            }
+        }
+        Selector { requirements }
+    }
+
+    /// Whether the selector selects nothing in particular (matches all).
+    pub fn is_empty(&self) -> bool {
+        self.requirements.is_empty()
+    }
+
+    /// Tests a label set.
+    pub fn matches(&self, labels: &[(String, String)]) -> bool {
+        self.requirements.iter().all(|r| r.matches(labels))
+    }
+}
+
+/// Splits on commas that are not inside `(...)` value lists.
+fn split_requirements(expr: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0;
+    let mut start = 0;
+    for (i, c) in expr.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth -= 1,
+            ',' if depth == 0 => {
+                parts.push(&expr[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&expr[start..]);
+    parts
+}
+
+fn parse_set_expr(part: &str, op: &str) -> Option<(String, Vec<String>)> {
+    let (k, rest) = part.split_once(op)?;
+    let rest = rest.trim();
+    let inner = rest.strip_prefix('(')?.strip_suffix(')')?;
+    Some((
+        k.trim().to_owned(),
+        inner.split(',').map(|v| v.trim().to_owned()).collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs.iter().map(|(k, v)| ((*k).into(), (*v).into())).collect()
+    }
+
+    #[test]
+    fn equality_and_inequality() {
+        let s = Selector::parse_cli("app=nginx,tier!=db").unwrap();
+        assert!(s.matches(&labels(&[("app", "nginx")])));
+        assert!(!s.matches(&labels(&[("app", "nginx"), ("tier", "db")])));
+    }
+
+    #[test]
+    fn double_equals() {
+        let s = Selector::parse_cli("app==web").unwrap();
+        assert!(s.matches(&labels(&[("app", "web")])));
+    }
+
+    #[test]
+    fn exists_and_not_exists() {
+        let s = Selector::parse_cli("app,!debug").unwrap();
+        assert!(s.matches(&labels(&[("app", "x")])));
+        assert!(!s.matches(&labels(&[("app", "x"), ("debug", "1")])));
+        assert!(!s.matches(&labels(&[])));
+    }
+
+    #[test]
+    fn set_expressions() {
+        let s = Selector::parse_cli("env in (prod,staging),region notin (eu)").unwrap();
+        assert!(s.matches(&labels(&[("env", "prod"), ("region", "us")])));
+        assert!(!s.matches(&labels(&[("env", "dev")])));
+        assert!(!s.matches(&labels(&[("env", "prod"), ("region", "eu")])));
+    }
+
+    #[test]
+    fn empty_selector_matches_all() {
+        assert!(Selector::everything().matches(&labels(&[("x", "y")])));
+        assert!(Selector::parse_cli("").unwrap().matches(&[]));
+    }
+
+    #[test]
+    fn from_spec_bare_map() {
+        let y = yamlkit::parse_one("app: nginx\n").unwrap().to_value();
+        let s = Selector::from_spec(&y);
+        assert!(s.matches(&labels(&[("app", "nginx")])));
+        assert!(!s.matches(&labels(&[("app", "other")])));
+    }
+
+    #[test]
+    fn from_spec_match_labels_and_expressions() {
+        let y = yamlkit::parse_one(
+            "matchLabels:\n  app: web\nmatchExpressions:\n- key: tier\n  operator: In\n  values: [frontend, backend]\n",
+        )
+        .unwrap()
+        .to_value();
+        let s = Selector::from_spec(&y);
+        assert!(s.matches(&labels(&[("app", "web"), ("tier", "frontend")])));
+        assert!(!s.matches(&labels(&[("app", "web"), ("tier", "cache")])));
+        assert!(!s.matches(&labels(&[("tier", "frontend")])));
+    }
+
+    #[test]
+    fn malformed_requirement_is_error() {
+        assert!(Selector::parse_cli("a=@=b=c,???").is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the cluster simulator: store invariants under
+//! random apply/delete/advance sequences, and selector algebra.
+
+use proptest::prelude::*;
+
+fn pod_manifest(name: &str, app: &str, image: &str) -> String {
+    format!(
+        "apiVersion: v1\nkind: Pod\nmetadata:\n  name: {name}\n  labels:\n    app: {app}\nspec:\n  containers:\n  - name: c\n    image: {image}\n"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Apply-then-get returns the object; delete-then-get does not.
+    /// Repeated applies never duplicate.
+    #[test]
+    fn store_apply_delete_invariants(
+        names in prop::collection::btree_set("[a-z][a-z0-9]{0,6}", 1..6),
+        advance_ms in 0u64..30_000,
+    ) {
+        let mut cluster = kubesim::Cluster::new();
+        let names: Vec<String> = names.into_iter().collect();
+        for n in &names {
+            let m = pod_manifest(n, "app", "nginx");
+            cluster.apply_manifest(&m, "default").unwrap();
+            cluster.apply_manifest(&m, "default").unwrap(); // idempotent
+        }
+        cluster.advance(advance_ms);
+        let pods = cluster.get("Pod", Some("default"), None);
+        prop_assert_eq!(pods.len(), names.len());
+        // Delete half; the rest survive.
+        let (gone, kept) = names.split_at(names.len() / 2);
+        for n in gone {
+            cluster.delete("pod", "default", n).unwrap();
+        }
+        for n in gone {
+            prop_assert!(cluster.get("Pod", Some("default"), Some(n)).is_empty());
+        }
+        for n in kept {
+            prop_assert_eq!(cluster.get("Pod", Some("default"), Some(n)).len(), 1);
+        }
+    }
+
+    /// Advancing time never decreases readiness for pullable images, and
+    /// the clock is monotonic.
+    #[test]
+    fn readiness_is_monotone(steps in prop::collection::vec(100u64..5000, 1..8)) {
+        let mut cluster = kubesim::Cluster::new();
+        cluster
+            .apply_manifest(&pod_manifest("w", "web", "nginx"), "default")
+            .unwrap();
+        let mut was_ready = false;
+        let mut last_now = 0;
+        for step in steps {
+            cluster.advance(step);
+            prop_assert!(cluster.now_ms() > last_now);
+            last_now = cluster.now_ms();
+            let ready = cluster
+                .get("Pod", Some("default"), Some("w"))
+                .pop()
+                .and_then(|p| p.condition("Ready"))
+                == Some(true);
+            prop_assert!(!was_ready || ready, "readiness regressed");
+            was_ready = ready;
+        }
+    }
+
+    /// Deployment replica counts are tracked exactly after convergence.
+    #[test]
+    fn deployment_converges_to_replicas(replicas in 1i64..6) {
+        let manifest = format!(
+            "apiVersion: apps/v1\nkind: Deployment\nmetadata:\n  name: d\nspec:\n  replicas: {replicas}\n  selector:\n    matchLabels:\n      app: d\n  template:\n    metadata:\n      labels:\n        app: d\n    spec:\n      containers:\n      - name: c\n        image: nginx\n"
+        );
+        let mut cluster = kubesim::Cluster::new();
+        cluster.apply_manifest(&manifest, "default").unwrap();
+        cluster.advance(20_000);
+        let pods = cluster.get("Pod", Some("default"), None);
+        prop_assert_eq!(pods.len() as i64, replicas);
+        let d = cluster.get("Deployment", Some("default"), Some("d")).pop().unwrap();
+        prop_assert_eq!(
+            d.status.get("readyReplicas").and_then(yamlkit::Yaml::as_i64),
+            Some(replicas)
+        );
+    }
+
+    /// CLI selector semantics: `k=v` partitions resources exactly.
+    #[test]
+    fn selector_partitions(labels in prop::collection::vec(("[ab]", "[xy]"), 1..8)) {
+        use kubesim::selector::Selector;
+        let sets: Vec<Vec<(String, String)>> = labels
+            .iter()
+            .map(|(k, v)| vec![(k.clone(), v.clone())])
+            .collect();
+        let sel = Selector::parse_cli("a=x").unwrap();
+        for set in &sets {
+            let matched = sel.matches(set);
+            let expected = set.iter().any(|(k, v)| k == "a" && v == "x");
+            prop_assert_eq!(matched, expected);
+        }
+    }
+
+    /// Strict decoding is deterministic and stable under re-validation.
+    #[test]
+    fn validation_is_deterministic(port in 1i64..70000) {
+        let manifest = format!(
+            "apiVersion: v1\nkind: Pod\nmetadata:\n  name: p\nspec:\n  containers:\n  - name: c\n    image: nginx\n    ports:\n    - containerPort: {port}\n"
+        );
+        let body = yamlkit::parse_one(&manifest).unwrap().to_value();
+        let v1 = kubesim::schema::validate(&body);
+        let v2 = kubesim::schema::validate(&body);
+        prop_assert_eq!(v1, v2);
+    }
+}

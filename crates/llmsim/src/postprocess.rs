@@ -1,0 +1,170 @@
+//! §3.1 post-processing: extracting a clean YAML file from a chatty LLM
+//! response.
+//!
+//! The three policies from the paper, in order:
+//! 1. remove all content before a line containing the keyword `Here`;
+//! 2. remove all content before the line starting the YAML document
+//!    (`apiVersion:` for Kubernetes, `static_resources:` for Envoy);
+//! 3. extract text enclosed by delimiters: ``` fences, `<code>`…`</code>`,
+//!    `\begin{code}`…`\end{code}`, `START SOLUTION`…`END SOLUTION`.
+
+/// Extracts the YAML payload from a raw model response.
+///
+/// # Examples
+///
+/// ```
+/// let raw = "Sure! Here is the YAML:\n```yaml\nkind: Pod\nmetadata:\n  name: x\n```\nEnjoy!";
+/// let clean = llmsim::extract_yaml(raw);
+/// assert!(clean.starts_with("kind: Pod"));
+/// assert!(!clean.contains("```"));
+/// ```
+pub fn extract_yaml(response: &str) -> String {
+    // Policy 3 first when delimiters exist: they bound the payload on both
+    // sides, which the prefix-cut policies cannot do.
+    for (open, close) in [
+        ("```", "```"),
+        ("<code>", "</code>"),
+        ("\\begin{code}", "\\end{code}"),
+        ("START SOLUTION", "END SOLUTION"),
+    ] {
+        if let Some(inner) = extract_delimited(response, open, close) {
+            // Fences may still carry a language tag line or prose; recurse
+            // once to apply the prefix policies inside.
+            return strip_prefix_noise(&inner);
+        }
+    }
+    strip_prefix_noise(response)
+}
+
+fn extract_delimited(text: &str, open: &str, close: &str) -> Option<String> {
+    let start = text.find(open)?;
+    let after_open = &text[start + open.len()..];
+    let end = after_open.find(close)?;
+    let mut inner = &after_open[..end];
+    // ```yaml / ```yml language tags occupy the first line.
+    if open == "```" {
+        if let Some(nl) = inner.find('\n') {
+            let first = inner[..nl].trim();
+            if first.len() <= 8 && first.chars().all(|c| c.is_ascii_alphanumeric()) {
+                inner = &inner[nl + 1..];
+            }
+        }
+    }
+    Some(inner.trim_matches('\n').to_owned())
+}
+
+fn strip_prefix_noise(text: &str) -> String {
+    let lines: Vec<&str> = text.lines().collect();
+    // Policy 1: drop everything up to and including a "Here" prose line.
+    let mut start = 0;
+    for (i, line) in lines.iter().enumerate() {
+        if line.contains("Here") && !line.trim_start().starts_with('#') && line.contains(' ') {
+            start = i + 1;
+            break;
+        }
+    }
+    // Policy 2: a document-start keyword overrides.
+    for (i, line) in lines.iter().enumerate() {
+        let t = line.trim_start();
+        if t.starts_with("apiVersion:") || t.starts_with("static_resources:") {
+            // Only move forward; document start cannot precede policy 1's cut.
+            if i >= start {
+                start = i;
+            }
+            break;
+        }
+    }
+    let mut kept: Vec<&str> = lines[start.min(lines.len())..].to_vec();
+    // Trim trailing prose: lines that look like sentences, not YAML.
+    while let Some(last) = kept.last() {
+        let t = last.trim();
+        let looks_prose = !t.is_empty()
+            && !t.contains(':')
+            && !t.starts_with('-')
+            && !t.starts_with('#')
+            && t.contains(' ');
+        if looks_prose || t.is_empty() {
+            kept.pop();
+        } else {
+            break;
+        }
+    }
+    let mut out = kept.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const YAML: &str = "apiVersion: v1\nkind: Pod\nmetadata:\n  name: x\n";
+
+    #[test]
+    fn passthrough_for_clean_yaml() {
+        assert_eq!(extract_yaml(YAML), YAML);
+    }
+
+    #[test]
+    fn strips_here_prefix() {
+        let raw = format!("Sure thing. Here is what you need:\n{YAML}");
+        assert_eq!(extract_yaml(&raw), YAML);
+    }
+
+    #[test]
+    fn strips_before_api_version() {
+        let raw = format!("I suggest the following configuration.\n{YAML}");
+        assert_eq!(extract_yaml(&raw), YAML);
+    }
+
+    #[test]
+    fn strips_before_static_resources() {
+        let raw = "The Envoy config:\nstatic_resources:\n  listeners: []\n";
+        assert_eq!(extract_yaml(raw), "static_resources:\n  listeners: []\n");
+    }
+
+    #[test]
+    fn extracts_fenced_block_with_language_tag() {
+        let raw = format!("Answer below.\n```yaml\n{YAML}```\nHope this helps!");
+        assert_eq!(extract_yaml(&raw), YAML);
+    }
+
+    #[test]
+    fn extracts_code_tags() {
+        let raw = format!("<code>\n{YAML}</code>");
+        assert_eq!(extract_yaml(&raw), YAML);
+    }
+
+    #[test]
+    fn extracts_latex_code_env() {
+        let raw = format!("\\begin{{code}}\n{YAML}\\end{{code}}");
+        assert_eq!(extract_yaml(&raw), YAML);
+    }
+
+    #[test]
+    fn extracts_start_end_solution() {
+        let raw = format!("START SOLUTION\n{YAML}END SOLUTION");
+        assert_eq!(extract_yaml(&raw), YAML);
+    }
+
+    #[test]
+    fn trailing_prose_removed() {
+        let raw = format!("{YAML}This completes the configuration you asked about.");
+        assert_eq!(extract_yaml(&raw), YAML);
+    }
+
+    #[test]
+    fn prose_only_yields_little_or_nothing() {
+        let out = extract_yaml("I cannot produce configuration for that request right now.");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn comments_with_here_are_not_cut_points() {
+        let raw = "# Here we define the pod\napiVersion: v1\nkind: Pod\nmetadata:\n  name: x\n";
+        let out = extract_yaml(raw);
+        assert!(out.contains("kind: Pod"));
+    }
+}

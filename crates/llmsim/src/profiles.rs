@@ -1,0 +1,314 @@
+//! The 12 benchmark models and their calibration targets.
+//!
+//! Targets come straight from the paper: Table 5 gives per-variant
+//! unit-test pass counts on the 337-problem splits, Table 6 gives few-shot
+//! deltas, and Figure 7 gives the failure-mode mixture for three anchor
+//! models (interpolated for the rest by tier).
+
+use cedataset::Variant;
+
+/// Model family, which controls failure style and augmentation
+/// sensitivity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Frontier proprietary chat models (GPT-4/GPT-3.5/PaLM-2).
+    Proprietary,
+    /// Large open chat models (Llama-2 70B/13B).
+    OpenLarge,
+    /// Small open chat models (Llama-2 7B, Llama 7B, LoRA).
+    OpenSmall,
+    /// Code-specialized models (WizardCoder, CodeLlama).
+    Code,
+}
+
+/// Static description of a simulated model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelProfile {
+    /// Model name as reported in Table 4.
+    pub name: &'static str,
+    /// Parameter count in billions (`None` for undisclosed proprietary).
+    pub size_b: Option<u32>,
+    /// Open-source?
+    pub open_source: bool,
+    /// Family tier.
+    pub tier: Tier,
+    /// Expected unit-test passes on the 337 originals (Table 5 col 1).
+    pub passes_original: usize,
+    /// Expected passes on the simplified set (Table 5 col 2).
+    pub passes_simplified: usize,
+    /// Expected passes on the translated set; `None` = unsupported
+    /// language (PaLM's English-only API).
+    pub passes_translated: Option<usize>,
+    /// Few-shot pass counts on the originals for 1/2/3 shots (Table 6);
+    /// `None` entries fall back to the zero-shot count.
+    pub fewshot_passes: [Option<usize>; 3],
+    /// Failure-mode mixture over categories 1–5 (Figure 7), conditioned
+    /// on failing. Need not be normalized.
+    pub failure_weights: [f64; 5],
+    /// Probability an answer is wrapped in prose/markdown (§3.1's
+    /// post-processing motivation). Chat models chat; code models less so.
+    pub wrap_prob: f64,
+    /// Inference cost per 1k output tokens in USD (§3.4/Table 3 scale).
+    pub cost_per_1k_tokens: f64,
+}
+
+/// Figure 7 anchors, conditioned on failure: [cat1, cat2, cat3, cat4, cat5].
+const FAIL_GPT4: [f64; 5] = [8.0, 1.0, 42.0, 30.0, 77.0];
+const FAIL_L70: [f64; 5] = [0.0, 2.0, 88.0, 37.0, 180.0];
+const FAIL_L7: [f64; 5] = [2.0, 2.0, 97.0, 42.0, 181.0];
+/// Code models emit more truncated / non-YAML answers.
+const FAIL_CODE: [f64; 5] = [10.0, 30.0, 120.0, 40.0, 120.0];
+
+/// All 12 models in Table 4 rank order.
+pub fn all_models() -> Vec<ModelProfile> {
+    vec![
+        ModelProfile {
+            name: "gpt-4",
+            size_b: None,
+            open_source: false,
+            tier: Tier::Proprietary,
+            passes_original: 179,
+            passes_simplified: 164,
+            passes_translated: Some(178),
+            fewshot_passes: [Some(185), Some(181), Some(188)],
+            failure_weights: FAIL_GPT4,
+            wrap_prob: 0.25,
+            cost_per_1k_tokens: 0.06,
+        },
+        ModelProfile {
+            name: "gpt-3.5",
+            size_b: None,
+            open_source: false,
+            tier: Tier::Proprietary,
+            passes_original: 142,
+            passes_simplified: 143,
+            passes_translated: Some(132),
+            fewshot_passes: [Some(150), Some(143), Some(154)],
+            failure_weights: FAIL_GPT4,
+            wrap_prob: 0.35,
+            cost_per_1k_tokens: 0.002,
+        },
+        ModelProfile {
+            name: "palm-2-bison",
+            size_b: None,
+            open_source: false,
+            tier: Tier::Proprietary,
+            passes_original: 120,
+            passes_simplified: 97,
+            passes_translated: None, // English-only API
+            fewshot_passes: [None, None, None],
+            failure_weights: FAIL_GPT4,
+            wrap_prob: 0.30,
+            cost_per_1k_tokens: 0.004,
+        },
+        ModelProfile {
+            name: "llama-2-70b-chat",
+            size_b: Some(70),
+            open_source: true,
+            tier: Tier::OpenLarge,
+            passes_original: 30,
+            passes_simplified: 24,
+            passes_translated: Some(32),
+            fewshot_passes: [Some(23), Some(26), Some(29)],
+            failure_weights: FAIL_L70,
+            wrap_prob: 0.65,
+            cost_per_1k_tokens: 0.003,
+        },
+        ModelProfile {
+            name: "llama-2-13b-chat",
+            size_b: Some(13),
+            open_source: true,
+            tier: Tier::OpenLarge,
+            passes_original: 26,
+            passes_simplified: 17,
+            passes_translated: Some(25),
+            fewshot_passes: [None, None, None],
+            failure_weights: FAIL_L70,
+            wrap_prob: 0.70,
+            cost_per_1k_tokens: 0.001,
+        },
+        ModelProfile {
+            name: "wizardcoder-34b-v1.0",
+            size_b: Some(34),
+            open_source: true,
+            tier: Tier::Code,
+            passes_original: 24,
+            passes_simplified: 31,
+            passes_translated: Some(2),
+            fewshot_passes: [None, None, None],
+            failure_weights: FAIL_CODE,
+            wrap_prob: 0.40,
+            cost_per_1k_tokens: 0.002,
+        },
+        ModelProfile {
+            name: "llama-2-7b-chat",
+            size_b: Some(7),
+            open_source: true,
+            tier: Tier::OpenSmall,
+            passes_original: 13,
+            passes_simplified: 9,
+            passes_translated: Some(5),
+            fewshot_passes: [Some(14), Some(13), Some(15)],
+            failure_weights: FAIL_L7,
+            wrap_prob: 0.75,
+            cost_per_1k_tokens: 0.0007,
+        },
+        ModelProfile {
+            name: "wizardcoder-15b-v1.0",
+            size_b: Some(15),
+            open_source: true,
+            tier: Tier::Code,
+            passes_original: 12,
+            passes_simplified: 11,
+            passes_translated: Some(3),
+            fewshot_passes: [None, None, None],
+            failure_weights: FAIL_CODE,
+            wrap_prob: 0.40,
+            cost_per_1k_tokens: 0.001,
+        },
+        ModelProfile {
+            name: "llama-7b",
+            size_b: Some(7),
+            open_source: true,
+            tier: Tier::OpenSmall,
+            passes_original: 12,
+            passes_simplified: 7,
+            passes_translated: Some(4),
+            fewshot_passes: [None, None, None],
+            failure_weights: FAIL_L7,
+            wrap_prob: 0.55,
+            cost_per_1k_tokens: 0.0007,
+        },
+        ModelProfile {
+            name: "llama-13b-lora",
+            size_b: Some(13),
+            open_source: true,
+            tier: Tier::OpenSmall,
+            passes_original: 8,
+            passes_simplified: 9,
+            passes_translated: Some(4),
+            fewshot_passes: [None, None, None],
+            failure_weights: FAIL_L7,
+            wrap_prob: 0.55,
+            cost_per_1k_tokens: 0.001,
+        },
+        ModelProfile {
+            name: "codellama-7b-instruct",
+            size_b: Some(7),
+            open_source: true,
+            tier: Tier::Code,
+            passes_original: 5,
+            passes_simplified: 6,
+            passes_translated: Some(4),
+            fewshot_passes: [None, None, None],
+            failure_weights: FAIL_CODE,
+            wrap_prob: 0.45,
+            cost_per_1k_tokens: 0.0007,
+        },
+        ModelProfile {
+            name: "codellama-13b-instruct",
+            size_b: Some(13),
+            open_source: true,
+            tier: Tier::Code,
+            passes_original: 5,
+            passes_simplified: 2,
+            passes_translated: Some(5),
+            fewshot_passes: [None, None, None],
+            failure_weights: FAIL_CODE,
+            wrap_prob: 0.45,
+            cost_per_1k_tokens: 0.001,
+        },
+    ]
+}
+
+impl ModelProfile {
+    /// Looks up a profile by name.
+    pub fn by_name(name: &str) -> Option<ModelProfile> {
+        all_models().into_iter().find(|m| m.name == name)
+    }
+
+    /// Target pass count for a dataset variant (zero-shot). `None` means
+    /// the model cannot answer the variant (PaLM × translated).
+    pub fn target_passes(&self, variant: Variant, shots: usize) -> Option<usize> {
+        let base = match variant {
+            Variant::Original => Some(self.passes_original),
+            Variant::Simplified => Some(self.passes_simplified),
+            Variant::Translated => self.passes_translated,
+        }?;
+        if shots == 0 || variant != Variant::Original {
+            return Some(base);
+        }
+        Some(
+            self.fewshot_passes
+                .get(shots - 1)
+                .copied()
+                .flatten()
+                .unwrap_or(base),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_models_in_rank_order() {
+        let models = all_models();
+        assert_eq!(models.len(), 12);
+        // Unit-test rank order is strictly decreasing by original passes
+        // (except ties at the bottom, matching Table 5).
+        for pair in models.windows(2) {
+            assert!(pair[0].passes_original >= pair[1].passes_original);
+        }
+        assert_eq!(models[0].name, "gpt-4");
+    }
+
+    #[test]
+    fn totals_match_table_4_unit_test_scores() {
+        // Table 4's unit-test column equals (sum of Table 5 passes)/1011.
+        let gpt4 = ModelProfile::by_name("gpt-4").unwrap();
+        let total = gpt4.passes_original + gpt4.passes_simplified + gpt4.passes_translated.unwrap();
+        assert!((total as f64 / 1011.0 - 0.515).abs() < 0.01);
+        let gpt35 = ModelProfile::by_name("gpt-3.5").unwrap();
+        let total = gpt35.passes_original + gpt35.passes_simplified + gpt35.passes_translated.unwrap();
+        assert!((total as f64 / 1011.0 - 0.412).abs() < 0.01);
+    }
+
+    #[test]
+    fn palm_has_no_translated_target() {
+        let palm = ModelProfile::by_name("palm-2-bison").unwrap();
+        assert_eq!(palm.target_passes(Variant::Translated, 0), None);
+        assert_eq!(palm.target_passes(Variant::Original, 0), Some(120));
+    }
+
+    #[test]
+    fn fewshot_targets_match_table_6() {
+        let gpt35 = ModelProfile::by_name("gpt-3.5").unwrap();
+        assert_eq!(gpt35.target_passes(Variant::Original, 1), Some(150));
+        assert_eq!(gpt35.target_passes(Variant::Original, 3), Some(154));
+        let l70 = ModelProfile::by_name("llama-2-70b-chat").unwrap();
+        assert_eq!(l70.target_passes(Variant::Original, 1), Some(23));
+        // Models without few-shot data fall back to zero-shot.
+        let w34 = ModelProfile::by_name("wizardcoder-34b-v1.0").unwrap();
+        assert_eq!(w34.target_passes(Variant::Original, 2), Some(24));
+    }
+
+    #[test]
+    fn proprietary_beat_open_source_by_a_large_gap() {
+        let models = all_models();
+        let best_open = models
+            .iter()
+            .filter(|m| m.open_source)
+            .map(|m| m.passes_original)
+            .max()
+            .unwrap();
+        let worst_prop = models
+            .iter()
+            .filter(|m| !m.open_source)
+            .map(|m| m.passes_original)
+            .min()
+            .unwrap();
+        assert!(worst_prop as f64 >= best_open as f64 * 3.0);
+    }
+}

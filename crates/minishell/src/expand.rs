@@ -1,0 +1,432 @@
+//! Shell arithmetic (`(( ))` / `$(( ))`) and glob pattern matching for
+//! `[[ x == pattern ]]`.
+
+use std::collections::HashMap;
+
+/// Evaluates a shell arithmetic expression, mutating variables for
+/// assignment and increment operators, and returns the value.
+///
+/// # Errors
+///
+/// Returns a message for malformed expressions or division by zero.
+///
+/// # Examples
+///
+/// ```
+/// use std::collections::HashMap;
+/// let mut env = HashMap::new();
+/// env.insert("passed_tests".to_owned(), "2".to_owned());
+/// let v = minishell::expand::arith_eval("passed_tests++", &mut env).unwrap();
+/// assert_eq!(v, 2); // post-increment returns the old value
+/// assert_eq!(env["passed_tests"], "3");
+/// ```
+pub fn arith_eval(expr: &str, env: &mut HashMap<String, String>) -> Result<i64, String> {
+    let tokens = arith_lex(expr)?;
+    let mut p = ArithParser { tokens, pos: 0, env };
+    let v = p.assign()?;
+    if p.pos != p.tokens.len() {
+        return Err(format!("unexpected token in arithmetic: {:?}", p.tokens[p.pos]));
+    }
+    Ok(v)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ATok {
+    Num(i64),
+    Var(String),
+    Op(String),
+}
+
+fn arith_lex(expr: &str) -> Result<Vec<ATok>, String> {
+    let chars: Vec<char> = expr.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' => i += 1,
+            '0'..='9' => {
+                let mut n = String::new();
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    n.push(chars[i]);
+                    i += 1;
+                }
+                out.push(ATok::Num(n.parse().map_err(|_| "bad number")?));
+            }
+            c if c.is_alphabetic() || c == '_' || c == '$' => {
+                let mut name = String::new();
+                if c == '$' {
+                    i += 1; // `$x` inside arithmetic is the same as `x`
+                }
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    name.push(chars[i]);
+                    i += 1;
+                }
+                if name.is_empty() {
+                    return Err("bad variable".into());
+                }
+                out.push(ATok::Var(name));
+            }
+            _ => {
+                let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+                let ops2 = ["++", "--", "+=", "-=", "*=", "/=", "%=", "==", "!=", "<=", ">=", "&&", "||"];
+                if ops2.contains(&two.as_str()) {
+                    out.push(ATok::Op(two));
+                    i += 2;
+                } else if "+-*/%()<>=!".contains(c) {
+                    out.push(ATok::Op(c.to_string()));
+                    i += 1;
+                } else {
+                    return Err(format!("unexpected character {c:?} in arithmetic"));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct ArithParser<'a> {
+    tokens: Vec<ATok>,
+    pos: usize,
+    env: &'a mut HashMap<String, String>,
+}
+
+impl ArithParser<'_> {
+    fn get(&self, name: &str) -> i64 {
+        self.env.get(name).and_then(|v| v.trim().parse().ok()).unwrap_or(0)
+    }
+
+    fn set(&mut self, name: &str, v: i64) {
+        self.env.insert(name.to_owned(), v.to_string());
+    }
+
+    fn peek_op(&self) -> Option<&str> {
+        match self.tokens.get(self.pos) {
+            Some(ATok::Op(o)) => Some(o),
+            _ => None,
+        }
+    }
+
+    fn assign(&mut self) -> Result<i64, String> {
+        // var (=|+=|-=|*=|/=|%=) expr
+        if let (Some(ATok::Var(name)), Some(ATok::Op(op))) =
+            (self.tokens.get(self.pos).cloned(), self.tokens.get(self.pos + 1).cloned())
+        {
+            if matches!(op.as_str(), "=" | "+=" | "-=" | "*=" | "/=" | "%=") {
+                self.pos += 2;
+                let rhs = self.assign()?;
+                let old = self.get(&name);
+                let v = match op.as_str() {
+                    "=" => rhs,
+                    "+=" => old + rhs,
+                    "-=" => old - rhs,
+                    "*=" => old * rhs,
+                    "/=" => old.checked_div(rhs).ok_or("division by zero")?,
+                    _ => old.checked_rem(rhs).ok_or("division by zero")?,
+                };
+                self.set(&name, v);
+                return Ok(v);
+            }
+        }
+        self.or()
+    }
+
+    fn or(&mut self) -> Result<i64, String> {
+        let mut v = self.and()?;
+        while self.peek_op() == Some("||") {
+            self.pos += 1;
+            let r = self.and()?;
+            v = i64::from(v != 0 || r != 0);
+        }
+        Ok(v)
+    }
+
+    fn and(&mut self) -> Result<i64, String> {
+        let mut v = self.cmp()?;
+        while self.peek_op() == Some("&&") {
+            self.pos += 1;
+            let r = self.cmp()?;
+            v = i64::from(v != 0 && r != 0);
+        }
+        Ok(v)
+    }
+
+    fn cmp(&mut self) -> Result<i64, String> {
+        let mut v = self.add()?;
+        while let Some(op) = self.peek_op() {
+            let op = op.to_owned();
+            if !matches!(op.as_str(), "<" | ">" | "<=" | ">=" | "==" | "!=") {
+                break;
+            }
+            self.pos += 1;
+            let r = self.add()?;
+            v = i64::from(match op.as_str() {
+                "<" => v < r,
+                ">" => v > r,
+                "<=" => v <= r,
+                ">=" => v >= r,
+                "==" => v == r,
+                _ => v != r,
+            });
+        }
+        Ok(v)
+    }
+
+    fn add(&mut self) -> Result<i64, String> {
+        let mut v = self.mul()?;
+        while let Some(op) = self.peek_op() {
+            let op = op.to_owned();
+            if op != "+" && op != "-" {
+                break;
+            }
+            self.pos += 1;
+            let r = self.mul()?;
+            v = if op == "+" { v + r } else { v - r };
+        }
+        Ok(v)
+    }
+
+    fn mul(&mut self) -> Result<i64, String> {
+        let mut v = self.unary()?;
+        while let Some(op) = self.peek_op() {
+            let op = op.to_owned();
+            if !matches!(op.as_str(), "*" | "/" | "%") {
+                break;
+            }
+            self.pos += 1;
+            let r = self.unary()?;
+            v = match op.as_str() {
+                "*" => v * r,
+                "/" => v.checked_div(r).ok_or("division by zero")?,
+                _ => v.checked_rem(r).ok_or("division by zero")?,
+            };
+        }
+        Ok(v)
+    }
+
+    fn unary(&mut self) -> Result<i64, String> {
+        match self.peek_op() {
+            Some("-") => {
+                self.pos += 1;
+                Ok(-self.unary()?)
+            }
+            Some("+") => {
+                self.pos += 1;
+                self.unary()
+            }
+            Some("!") => {
+                self.pos += 1;
+                Ok(i64::from(self.unary()? == 0))
+            }
+            Some("++") | Some("--") => {
+                let op = self.peek_op().expect("peeked").to_owned();
+                self.pos += 1;
+                let Some(ATok::Var(name)) = self.tokens.get(self.pos).cloned() else {
+                    return Err("++/-- needs a variable".into());
+                };
+                self.pos += 1;
+                let v = self.get(&name) + if op == "++" { 1 } else { -1 };
+                self.set(&name, v);
+                Ok(v)
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<i64, String> {
+        match self.tokens.get(self.pos).cloned() {
+            Some(ATok::Num(n)) => {
+                self.pos += 1;
+                Ok(n)
+            }
+            Some(ATok::Var(name)) => {
+                self.pos += 1;
+                let old = self.get(&name);
+                match self.peek_op() {
+                    Some("++") => {
+                        self.pos += 1;
+                        self.set(&name, old + 1);
+                        Ok(old)
+                    }
+                    Some("--") => {
+                        self.pos += 1;
+                        self.set(&name, old - 1);
+                        Ok(old)
+                    }
+                    _ => Ok(old),
+                }
+            }
+            Some(ATok::Op(o)) if o == "(" => {
+                self.pos += 1;
+                let v = self.assign()?;
+                if self.peek_op() != Some(")") {
+                    return Err("expected )".into());
+                }
+                self.pos += 1;
+                Ok(v)
+            }
+            other => Err(format!("unexpected arithmetic token {other:?}")),
+        }
+    }
+}
+
+/// Matches a glob pattern against text. In the pattern, `\x` is a literal
+/// `x` (used to protect quoted regions), `*` matches any run, `?` one
+/// character, `[abc]`/`[a-z]` a class.
+///
+/// # Examples
+///
+/// ```
+/// assert!(minishell::expand::glob_match("*REGISTRY_HOST*", "A REGISTRY_HOST B"));
+/// assert!(minishell::expand::glob_match(r"literal\*star", "literal*star"));
+/// assert!(!minishell::expand::glob_match("pod-?", "pod-10"));
+/// ```
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    glob_rec(&p, 0, &t, 0)
+}
+
+fn glob_rec(p: &[char], pi: usize, t: &[char], ti: usize) -> bool {
+    if pi == p.len() {
+        return ti == t.len();
+    }
+    match p[pi] {
+        '\\' if pi + 1 < p.len() => {
+            ti < t.len() && t[ti] == p[pi + 1] && glob_rec(p, pi + 2, t, ti + 1)
+        }
+        '*' => {
+            for k in ti..=t.len() {
+                if glob_rec(p, pi + 1, t, k) {
+                    return true;
+                }
+            }
+            false
+        }
+        '?' => ti < t.len() && glob_rec(p, pi + 1, t, ti + 1),
+        '[' => {
+            let close = p[pi..].iter().position(|c| *c == ']').map(|o| pi + o);
+            match close {
+                Some(end) if end > pi + 1 => {
+                    if ti >= t.len() {
+                        return false;
+                    }
+                    let body = &p[pi + 1..end];
+                    let (negated, body) = if body.first() == Some(&'^') || body.first() == Some(&'!') {
+                        (true, &body[1..])
+                    } else {
+                        (false, body)
+                    };
+                    let mut matched = false;
+                    let mut k = 0;
+                    while k < body.len() {
+                        if k + 2 < body.len() && body[k + 1] == '-' {
+                            if t[ti] >= body[k] && t[ti] <= body[k + 2] {
+                                matched = true;
+                            }
+                            k += 3;
+                        } else {
+                            if t[ti] == body[k] {
+                                matched = true;
+                            }
+                            k += 1;
+                        }
+                    }
+                    matched != negated && glob_rec(p, end + 1, t, ti + 1)
+                }
+                _ => ti < t.len() && t[ti] == '[' && glob_rec(p, pi + 1, t, ti + 1),
+            }
+        }
+        c => ti < t.len() && t[ti] == c && glob_rec(p, pi + 1, t, ti + 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env_with(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+        pairs.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect()
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let mut env = HashMap::new();
+        assert_eq!(arith_eval("1 + 2 * 3", &mut env).unwrap(), 7);
+        assert_eq!(arith_eval("(1 + 2) * 3", &mut env).unwrap(), 9);
+        assert_eq!(arith_eval("10 / 3", &mut env).unwrap(), 3);
+        assert_eq!(arith_eval("10 % 3", &mut env).unwrap(), 1);
+        assert_eq!(arith_eval("-4 + 1", &mut env).unwrap(), -3);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let mut env = env_with(&[("a", "3")]);
+        assert_eq!(arith_eval("a >= 3", &mut env).unwrap(), 1);
+        assert_eq!(arith_eval("a == 4", &mut env).unwrap(), 0);
+        assert_eq!(arith_eval("a > 1 && a < 5", &mut env).unwrap(), 1);
+        assert_eq!(arith_eval("!a", &mut env).unwrap(), 0);
+    }
+
+    #[test]
+    fn increments_mutate_env() {
+        let mut env = env_with(&[("n", "5")]);
+        assert_eq!(arith_eval("n++", &mut env).unwrap(), 5);
+        assert_eq!(env["n"], "6");
+        assert_eq!(arith_eval("++n", &mut env).unwrap(), 7);
+        assert_eq!(arith_eval("n--", &mut env).unwrap(), 7);
+        assert_eq!(env["n"], "6");
+    }
+
+    #[test]
+    fn assignments() {
+        let mut env = HashMap::new();
+        assert_eq!(arith_eval("x = 4", &mut env).unwrap(), 4);
+        assert_eq!(arith_eval("x += 3", &mut env).unwrap(), 7);
+        assert_eq!(env["x"], "7");
+    }
+
+    #[test]
+    fn dollar_prefixed_vars_work() {
+        let mut env = env_with(&[("total", "3")]);
+        assert_eq!(arith_eval("$total * 2", &mut env).unwrap(), 6);
+    }
+
+    #[test]
+    fn unset_variables_are_zero() {
+        let mut env = HashMap::new();
+        assert_eq!(arith_eval("missing + 1", &mut env).unwrap(), 1);
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        let mut env = HashMap::new();
+        assert!(arith_eval("1 / 0", &mut env).is_err());
+    }
+
+    #[test]
+    fn glob_basics() {
+        assert!(glob_match("*", ""));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("pod-*", "pod-abc"));
+        assert!(!glob_match("pod-*", "rs-abc"));
+        assert!(glob_match("*passed*", "unit_test_passed!"));
+        assert!(glob_match("a?c", "abc"));
+        assert!(!glob_match("a?c", "ac"));
+    }
+
+    #[test]
+    fn glob_classes() {
+        assert!(glob_match("pod-[0-9]", "pod-3"));
+        assert!(!glob_match("pod-[0-9]", "pod-x"));
+        assert!(glob_match("[!x]y", "ay"));
+        assert!(!glob_match("[!x]y", "xy"));
+    }
+
+    #[test]
+    fn escaped_glob_chars_are_literal() {
+        assert!(glob_match(r"\*", "*"));
+        assert!(!glob_match(r"\*", "x"));
+        assert!(glob_match(r"a\?b", "a?b"));
+    }
+}

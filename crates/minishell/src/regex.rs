@@ -1,0 +1,498 @@
+//! A small backtracking regex engine for `grep` and `[[ =~ ]]`.
+//!
+//! Supported: literals, `.`, `*`, `+`, `?`, `^`, `$`, character classes
+//! `[a-z]` / `[^...]`, alternation `|`, groups `(...)`, and the escapes
+//! `\d \w \s \. \\` etc. Quantifiers are greedy. This covers every pattern
+//! in the generated unit-test corpus; exotic PCRE is out of scope.
+
+/// A compiled pattern.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    alternatives: Vec<Vec<Piece>>,
+    anchored_start: bool,
+    anchored_end: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Char(char),
+    Any,
+    Class { negated: bool, ranges: Vec<(char, char)> },
+    Group(Vec<Vec<Piece>>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Quant {
+    One,
+    Star,
+    Plus,
+    Opt,
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    quant: Quant,
+}
+
+impl Regex {
+    /// Compiles a pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax problem.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let re = minishell::regex::Regex::new("unit_test_pass(ed)?").unwrap();
+    /// assert!(re.is_match("cn1000_unit_test_passed"));
+    /// assert!(!re.is_match("unit test failed"));
+    /// ```
+    pub fn new(pattern: &str) -> Result<Regex, String> {
+        let mut chars: Vec<char> = pattern.chars().collect();
+        let anchored_start = chars.first() == Some(&'^');
+        if anchored_start {
+            chars.remove(0);
+        }
+        let anchored_end = chars.last() == Some(&'$') && !ends_with_escape(&chars[..chars.len().saturating_sub(1)]);
+        if anchored_end {
+            chars.pop();
+        }
+        let (alternatives, used) = parse_alternatives(&chars, 0)?;
+        if used != chars.len() {
+            return Err(format!("unexpected ')' at {used}"));
+        }
+        Ok(Regex { alternatives, anchored_start, anchored_end })
+    }
+
+    /// Whether the pattern matches anywhere in `text` (or at the anchors).
+    pub fn is_match(&self, text: &str) -> bool {
+        self.find(text).is_some()
+    }
+
+    /// First match as (start, end) byte-ish indices over the char vector.
+    pub fn find(&self, text: &str) -> Option<(usize, usize)> {
+        let chars: Vec<char> = text.chars().collect();
+        let starts: Vec<usize> = if self.anchored_start {
+            vec![0]
+        } else {
+            (0..=chars.len()).collect()
+        };
+        for start in starts {
+            for alt in &self.alternatives {
+                if let Some(end) = match_pieces(alt, &chars, start) {
+                    if !self.anchored_end || end == chars.len() {
+                        return Some((start, end));
+                    }
+                    // Greedy match may overshoot the anchor; try to find an
+                    // exact-to-end match by requiring end == len.
+                    if match_to_end(alt, &chars, start) {
+                        return Some((start, chars.len()));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// All non-overlapping matched substrings (for `grep -o`).
+    pub fn find_all<'a>(&self, text: &'a str) -> Vec<&'a str> {
+        let mut out = Vec::new();
+        let chars: Vec<char> = text.chars().collect();
+        let mut pos = 0;
+        while pos <= chars.len() {
+            let slice: String = chars[pos..].iter().collect();
+            match self.find(&slice) {
+                Some((s, e)) if e > s => {
+                    let byte_start = char_to_byte(text, pos + s);
+                    let byte_end = char_to_byte(text, pos + e);
+                    out.push(&text[byte_start..byte_end]);
+                    pos += e.max(1);
+                }
+                Some((_, _)) => pos += 1,
+                None => break,
+            }
+            if self.anchored_start {
+                break;
+            }
+        }
+        out
+    }
+}
+
+fn char_to_byte(s: &str, char_idx: usize) -> usize {
+    s.char_indices().nth(char_idx).map(|(b, _)| b).unwrap_or(s.len())
+}
+
+fn ends_with_escape(chars: &[char]) -> bool {
+    let mut n = 0;
+    for c in chars.iter().rev() {
+        if *c == '\\' {
+            n += 1;
+        } else {
+            break;
+        }
+    }
+    n % 2 == 1
+}
+
+fn parse_alternatives(chars: &[char], mut i: usize) -> Result<(Vec<Vec<Piece>>, usize), String> {
+    let mut alternatives = Vec::new();
+    let mut current = Vec::new();
+    while i < chars.len() {
+        match chars[i] {
+            ')' => break,
+            '|' => {
+                alternatives.push(std::mem::take(&mut current));
+                i += 1;
+            }
+            _ => {
+                let (atom, used) = parse_atom(chars, i)?;
+                i = used;
+                let quant = match chars.get(i) {
+                    Some('*') => {
+                        i += 1;
+                        Quant::Star
+                    }
+                    Some('+') => {
+                        i += 1;
+                        Quant::Plus
+                    }
+                    Some('?') => {
+                        i += 1;
+                        Quant::Opt
+                    }
+                    _ => Quant::One,
+                };
+                current.push(Piece { atom, quant });
+            }
+        }
+    }
+    alternatives.push(current);
+    Ok((alternatives, i))
+}
+
+fn parse_atom(chars: &[char], i: usize) -> Result<(Atom, usize), String> {
+    match chars[i] {
+        '.' => Ok((Atom::Any, i + 1)),
+        '(' => {
+            let (alts, used) = parse_alternatives(chars, i + 1)?;
+            if chars.get(used) != Some(&')') {
+                return Err("unbalanced group".into());
+            }
+            Ok((Atom::Group(alts), used + 1))
+        }
+        '[' => {
+            let mut j = i + 1;
+            let negated = chars.get(j) == Some(&'^');
+            if negated {
+                j += 1;
+            }
+            let mut ranges = Vec::new();
+            let mut first = true;
+            while j < chars.len() && (chars[j] != ']' || first) {
+                first = false;
+                let lo = if chars[j] == '\\' && j + 1 < chars.len() {
+                    j += 1;
+                    chars[j]
+                } else {
+                    chars[j]
+                };
+                if chars.get(j + 1) == Some(&'-') && chars.get(j + 2).is_some_and(|c| *c != ']') {
+                    ranges.push((lo, chars[j + 2]));
+                    j += 3;
+                } else {
+                    ranges.push((lo, lo));
+                    j += 1;
+                }
+            }
+            if chars.get(j) != Some(&']') {
+                return Err("unterminated character class".into());
+            }
+            Ok((Atom::Class { negated, ranges }, j + 1))
+        }
+        '\\' => {
+            let next = *chars.get(i + 1).ok_or("dangling escape")?;
+            let atom = match next {
+                'd' => Atom::Class { negated: false, ranges: vec![('0', '9')] },
+                'w' => Atom::Class {
+                    negated: false,
+                    ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+                },
+                's' => Atom::Class {
+                    negated: false,
+                    ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')],
+                },
+                c => Atom::Char(c),
+            };
+            Ok((atom, i + 2))
+        }
+        c => Ok((Atom::Char(c), i + 1)),
+    }
+}
+
+fn atom_matches(atom: &Atom, c: char) -> bool {
+    match atom {
+        Atom::Char(a) => *a == c,
+        Atom::Any => c != '\n',
+        Atom::Class { negated, ranges } => {
+            let inside = ranges.iter().any(|(lo, hi)| c >= *lo && c <= *hi);
+            inside != *negated
+        }
+        Atom::Group(_) => false,
+    }
+}
+
+/// Returns the end position of a match of `pieces` starting at `pos`, or
+/// `None`. Greedy with backtracking.
+fn match_pieces(pieces: &[Piece], chars: &[char], pos: usize) -> Option<usize> {
+    let Some((piece, rest)) = pieces.split_first() else {
+        return Some(pos);
+    };
+    match (&piece.atom, piece.quant) {
+        (Atom::Group(alts), quant) => {
+            let try_once = |p: usize| -> Vec<usize> {
+                alts.iter().filter_map(|alt| match_pieces(alt, chars, p)).collect()
+            };
+            match quant {
+                Quant::One => {
+                    for end in try_once(pos) {
+                        if let Some(e) = match_pieces(rest, chars, end) {
+                            return Some(e);
+                        }
+                    }
+                    None
+                }
+                Quant::Opt => {
+                    for end in try_once(pos) {
+                        if let Some(e) = match_pieces(rest, chars, end) {
+                            return Some(e);
+                        }
+                    }
+                    match_pieces(rest, chars, pos)
+                }
+                Quant::Star | Quant::Plus => {
+                    // Collect reachable positions via repeated application.
+                    let mut frontier = vec![pos];
+                    let mut reachable = vec![pos];
+                    let mut guard = 0;
+                    while let Some(p) = frontier.pop() {
+                        guard += 1;
+                        if guard > 10_000 {
+                            break;
+                        }
+                        for end in try_once(p) {
+                            if end > p && !reachable.contains(&end) {
+                                reachable.push(end);
+                                frontier.push(end);
+                            }
+                        }
+                    }
+                    reachable.sort_unstable();
+                    let min_reps_met = |p: &usize| quant == Quant::Star || *p > pos;
+                    for p in reachable.iter().rev().filter(|p| min_reps_met(p)) {
+                        if let Some(e) = match_pieces(rest, chars, *p) {
+                            return Some(e);
+                        }
+                    }
+                    None
+                }
+            }
+        }
+        (atom, Quant::One) => {
+            if pos < chars.len() && atom_matches(atom, chars[pos]) {
+                match_pieces(rest, chars, pos + 1)
+            } else {
+                None
+            }
+        }
+        (atom, Quant::Opt) => {
+            if pos < chars.len() && atom_matches(atom, chars[pos]) {
+                if let Some(e) = match_pieces(rest, chars, pos + 1) {
+                    return Some(e);
+                }
+            }
+            match_pieces(rest, chars, pos)
+        }
+        (atom, Quant::Star | Quant::Plus) => {
+            let mut max = pos;
+            while max < chars.len() && atom_matches(atom, chars[max]) {
+                max += 1;
+            }
+            let min = if piece.quant == Quant::Plus { pos + 1 } else { pos };
+            let mut k = max;
+            loop {
+                if k < min {
+                    return None;
+                }
+                if let Some(e) = match_pieces(rest, chars, k) {
+                    return Some(e);
+                }
+                if k == 0 {
+                    return None;
+                }
+                k -= 1;
+            }
+        }
+    }
+}
+
+/// Like [`match_pieces`] but requires consuming exactly to the end.
+fn match_to_end(pieces: &[Piece], chars: &[char], pos: usize) -> bool {
+    // Simple exhaustive search: try every split point via match_pieces on
+    // prefixes. For the small patterns in test scripts this is plenty.
+    match_ends(pieces, chars, pos).contains(&chars.len())
+}
+
+fn match_ends(pieces: &[Piece], chars: &[char], pos: usize) -> Vec<usize> {
+    let Some((piece, rest)) = pieces.split_first() else {
+        return vec![pos];
+    };
+    let mut ends = Vec::new();
+    let advance: Vec<usize> = match (&piece.atom, piece.quant) {
+        (Atom::Group(alts), quant) => {
+            let mut positions = vec![pos];
+            if quant == Quant::Star || quant == Quant::Plus {
+                let mut frontier = vec![pos];
+                while let Some(p) = frontier.pop() {
+                    for alt in alts {
+                        for e in match_ends(alt, chars, p) {
+                            if e > p && !positions.contains(&e) {
+                                positions.push(e);
+                                frontier.push(e);
+                            }
+                        }
+                    }
+                }
+                if quant == Quant::Plus {
+                    positions.retain(|p| *p > pos);
+                }
+            } else {
+                let mut one: Vec<usize> =
+                    alts.iter().flat_map(|alt| match_ends(alt, chars, pos)).collect();
+                if quant == Quant::Opt {
+                    one.push(pos);
+                }
+                positions = one;
+            }
+            positions
+        }
+        (atom, Quant::One) => {
+            if pos < chars.len() && atom_matches(atom, chars[pos]) {
+                vec![pos + 1]
+            } else {
+                vec![]
+            }
+        }
+        (atom, Quant::Opt) => {
+            let mut v = vec![pos];
+            if pos < chars.len() && atom_matches(atom, chars[pos]) {
+                v.push(pos + 1);
+            }
+            v
+        }
+        (atom, q) => {
+            let mut v = if q == Quant::Star { vec![pos] } else { vec![] };
+            let mut p = pos;
+            while p < chars.len() && atom_matches(atom, chars[p]) {
+                p += 1;
+                v.push(p);
+            }
+            v
+        }
+    };
+    for a in advance {
+        ends.extend(match_ends(rest, chars, a));
+    }
+    ends.sort_unstable();
+    ends.dedup();
+    ends
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pattern: &str, text: &str) -> bool {
+        Regex::new(pattern).unwrap().is_match(text)
+    }
+
+    #[test]
+    fn literals_and_substring() {
+        assert!(m("unit_test_passed", "echo cn1000_unit_test_passed done"));
+        assert!(!m("unit_test_passed", "unit test passed"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^pod/", "pod/web"));
+        assert!(!m("^pod/", "my pod/web"));
+        assert!(m("passed$", "test passed"));
+        assert!(!m("passed$", "passed test"));
+        assert!(m("^exact$", "exact"));
+        assert!(!m("^exact$", "exactly"));
+    }
+
+    #[test]
+    fn dot_and_star() {
+        assert!(m("a.c", "abc"));
+        assert!(m("ab*c", "ac"));
+        assert!(m("ab*c", "abbbc"));
+        assert!(m(".*", ""));
+        assert!(m("a.*z", "a middle z"));
+    }
+
+    #[test]
+    fn plus_and_opt() {
+        assert!(m("ab+c", "abbc"));
+        assert!(!m("ab+c", "ac"));
+        assert!(m("colou?r", "color"));
+        assert!(m("colou?r", "colour"));
+    }
+
+    #[test]
+    fn classes() {
+        assert!(m("[0-9]+", "port 8080"));
+        assert!(!m("[0-9]+", "no digits"));
+        assert!(m("[^a-z]", "ABC"));
+        assert!(m("\\d+\\.\\d+", "version 1.25"));
+        assert!(m("\\w+@\\w+", "user@host"));
+    }
+
+    #[test]
+    fn groups_and_alternation() {
+        assert!(m("(ab)+", "ababab"));
+        assert!(m("cat|dog", "hotdog stand"));
+        assert!(m("^(http|https)://", "https://x"));
+        assert!(!m("^(http|https)://", "ftp://x"));
+    }
+
+    #[test]
+    fn escaped_specials() {
+        assert!(m("10\\.0\\.0\\.1", "ip 10.0.0.1 here"));
+        assert!(!m("10\\.0\\.0\\.1", "10x0y0z1"));
+        assert!(m("\\$\\{var\\}", "${var}"));
+    }
+
+    #[test]
+    fn find_all_non_overlapping() {
+        let re = Regex::new("[0-9]+").unwrap();
+        assert_eq!(re.find_all("a1b22c333"), vec!["1", "22", "333"]);
+    }
+
+    #[test]
+    fn grep_like_paper_pattern() {
+        assert!(m(
+            "Opening service default/nginx-service in default browser",
+            "*  Opening service default/nginx-service in default browser...",
+        ));
+    }
+
+    #[test]
+    fn bad_patterns_error() {
+        assert!(Regex::new("(unclosed").is_err());
+        assert!(Regex::new("[unclosed").is_err());
+        assert!(Regex::new("dangling\\").is_err());
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the shell substrate: arithmetic agrees with a
+//! reference evaluator, glob matching obeys its algebra, and the
+//! interpreter is total (no panics) on generated scripts.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------
+// Arithmetic: compare against a tiny independent evaluator on a safe
+// expression grammar (no division, to dodge div-by-zero).
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Expr {
+    Num(i64),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn render(&self) -> String {
+        match self {
+            Expr::Num(n) => n.to_string(),
+            Expr::Add(a, b) => format!("({} + {})", a.render(), b.render()),
+            Expr::Sub(a, b) => format!("({} - {})", a.render(), b.render()),
+            Expr::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
+        }
+    }
+
+    fn eval(&self) -> i64 {
+        match self {
+            Expr::Num(n) => *n,
+            Expr::Add(a, b) => a.eval() + b.eval(),
+            Expr::Sub(a, b) => a.eval() - b.eval(),
+            Expr::Mul(a, b) => a.eval() * b.eval(),
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = (-50i64..50).prop_map(Expr::Num);
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arithmetic_matches_reference(e in arb_expr()) {
+        let mut env = HashMap::new();
+        let got = minishell::expand::arith_eval(&e.render(), &mut env).unwrap();
+        prop_assert_eq!(got, e.eval());
+    }
+
+    /// `echo $((expr))` prints the same value the evaluator computes.
+    #[test]
+    fn arith_expansion_matches(e in arb_expr()) {
+        let mut sandbox = minishell::EmptySandbox;
+        let mut sh = minishell::Interp::new(&mut sandbox);
+        let out = sh.run_script(&format!("echo $(({}))", e.render())).unwrap();
+        prop_assert_eq!(out.stdout.trim(), e.eval().to_string());
+    }
+
+    /// Literal patterns (no metacharacters) match exactly themselves.
+    #[test]
+    fn glob_literal_is_equality(s in "[a-zA-Z0-9_.:-]{0,16}", t in "[a-zA-Z0-9_.:-]{0,16}") {
+        prop_assert_eq!(minishell::expand::glob_match(&s, &t), s == t);
+    }
+
+    /// `*s*` matches exactly the strings containing s.
+    #[test]
+    fn glob_star_wrap_is_contains(s in "[a-z]{1,6}", t in "[a-z]{0,20}") {
+        let pattern = format!("*{s}*");
+        prop_assert_eq!(minishell::expand::glob_match(&pattern, &t), t.contains(&s));
+    }
+
+    /// A fully-escaped pattern matches exactly its unescaped self.
+    #[test]
+    fn glob_escaped_matches_self(s in "[a-z*?\\[\\]]{0,12}") {
+        let escaped: String = s.chars().flat_map(|c| ['\\', c]).collect();
+        prop_assert!(minishell::expand::glob_match(&escaped, &s));
+    }
+
+    /// Variable round trip through assignment and expansion.
+    #[test]
+    fn assignment_round_trips(value in "[a-zA-Z0-9_.:/-]{0,24}") {
+        let mut sandbox = minishell::EmptySandbox;
+        let mut sh = minishell::Interp::new(&mut sandbox);
+        let out = sh.run_script(&format!("v='{value}'\necho \"$v\"")).unwrap();
+        prop_assert_eq!(out.stdout.trim_end_matches('\n'), value);
+    }
+
+    /// The interpreter never panics on echo/grep pipelines with arbitrary
+    /// words (totality under fuzzing).
+    #[test]
+    fn interpreter_is_total_on_pipelines(words in prop::collection::vec("[a-zA-Z0-9_.:-]{1,8}", 1..5), pat in "[a-z]{1,4}") {
+        let script = format!("echo {} | grep {pat} | wc -l", words.join(" "));
+        let mut sandbox = minishell::EmptySandbox;
+        let mut sh = minishell::Interp::new(&mut sandbox);
+        let out = sh.run_script(&script).unwrap();
+        let n: i64 = out.stdout.trim().parse().unwrap();
+        prop_assert!(n == 0 || n == 1);
+    }
+
+    /// Regex literals behave as substring search.
+    #[test]
+    fn regex_literal_is_contains(needle in "[a-z]{1,8}", hay in "[a-z ]{0,30}") {
+        let re = minishell::regex::Regex::new(&needle).unwrap();
+        prop_assert_eq!(re.is_match(&hay), hay.contains(&needle));
+    }
+}

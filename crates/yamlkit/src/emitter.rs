@@ -1,0 +1,324 @@
+//! Canonical YAML emitter.
+//!
+//! Emits block style with two-space indentation, quoting strings only when
+//! a plain scalar would be re-typed or mis-parsed. `parse(emit(v)) == v`
+//! holds for every value (checked by property tests).
+
+use crate::parser::plain_scalar;
+use crate::value::{format_float, Yaml};
+
+/// Emits a value as a YAML document (no `---` header, trailing newline).
+///
+/// # Examples
+///
+/// ```
+/// use yamlkit::{ymap, Yaml};
+/// let doc = ymap! { "kind" => "Pod", "spec" => ymap!{ "replicas" => 3i64 } };
+/// assert_eq!(yamlkit::emit(&doc), "kind: Pod\nspec:\n  replicas: 3\n");
+/// ```
+pub fn emit(value: &Yaml) -> String {
+    let mut out = String::new();
+    match value {
+        Yaml::Seq(_) | Yaml::Map(_) => emit_block(value, 0, &mut out),
+        scalar => {
+            out.push_str(&emit_scalar(scalar));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Emits a multi-document stream separated by `---`.
+pub fn emit_all(docs: &[Yaml]) -> String {
+    let mut out = String::new();
+    for (i, d) in docs.iter().enumerate() {
+        if i > 0 || docs.len() > 1 {
+            out.push_str("---\n");
+        }
+        out.push_str(&emit(d));
+    }
+    out
+}
+
+fn emit_block(value: &Yaml, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match value {
+        Yaml::Map(entries) if !entries.is_empty() => {
+            for (k, v) in entries {
+                out.push_str(&pad);
+                out.push_str(&emit_key(k));
+                out.push(':');
+                emit_value_after_key(v, indent, out);
+            }
+        }
+        Yaml::Seq(items) if !items.is_empty() => {
+            for item in items {
+                out.push_str(&pad);
+                out.push('-');
+                emit_seq_item(item, indent, out);
+            }
+        }
+        Yaml::Map(_) => {
+            out.push_str(&pad);
+            out.push_str("{}\n");
+        }
+        Yaml::Seq(_) => {
+            out.push_str(&pad);
+            out.push_str("[]\n");
+        }
+        scalar => {
+            out.push_str(&pad);
+            out.push_str(&emit_scalar(scalar));
+            out.push('\n');
+        }
+    }
+}
+
+fn emit_value_after_key(value: &Yaml, indent: usize, out: &mut String) {
+    match value {
+        Yaml::Map(entries) if !entries.is_empty() => {
+            out.push('\n');
+            emit_block(value, indent + 1, out);
+            let _ = entries;
+        }
+        Yaml::Seq(items) if !items.is_empty() => {
+            out.push('\n');
+            // Sequences under a key are indented one level, the dominant
+            // style in Kubernetes documentation.
+            emit_block(value, indent, out);
+            let _ = items;
+        }
+        Yaml::Map(_) => out.push_str(" {}\n"),
+        Yaml::Seq(_) => out.push_str(" []\n"),
+        Yaml::Str(s) if s.contains('\n') => emit_literal_block(s, indent + 1, out),
+        scalar => {
+            out.push(' ');
+            out.push_str(&emit_scalar(scalar));
+            out.push('\n');
+        }
+    }
+}
+
+fn emit_seq_item(item: &Yaml, indent: usize, out: &mut String) {
+    match item {
+        Yaml::Map(entries) if !entries.is_empty() => {
+            // `- key: value` inline for the first entry, aligned after.
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i == 0 {
+                    out.push(' ');
+                } else {
+                    out.push_str(&"  ".repeat(indent + 1));
+                }
+                out.push_str(&emit_key(k));
+                out.push(':');
+                emit_value_after_key(v, indent + 1, out);
+            }
+        }
+        Yaml::Seq(items) if !items.is_empty() => {
+            out.push('\n');
+            emit_block(item, indent + 1, out);
+            let _ = items;
+        }
+        Yaml::Map(_) => out.push_str(" {}\n"),
+        Yaml::Seq(_) => out.push_str(" []\n"),
+        Yaml::Str(s) if s.contains('\n') => emit_literal_block(s, indent + 1, out),
+        scalar => {
+            out.push(' ');
+            out.push_str(&emit_scalar(scalar));
+            out.push('\n');
+        }
+    }
+}
+
+fn emit_literal_block(s: &str, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    // Choose chomping so the original string round-trips.
+    if let Some(body) = s.strip_suffix('\n') {
+        if body.ends_with('\n') || body.is_empty() {
+            // Trailing blank lines need keep-chomping.
+            out.push_str(" |+\n");
+            for line in s.split('\n') {
+                if line.is_empty() {
+                    out.push('\n');
+                } else {
+                    out.push_str(&pad);
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+            // split('\n') yields a final empty item for the trailing \n;
+            // the loop already emitted it as a bare newline, remove one.
+            out.pop();
+            return;
+        }
+        out.push_str(" |\n");
+        for line in body.split('\n') {
+            if line.is_empty() {
+                out.push('\n');
+            } else {
+                out.push_str(&pad);
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+    } else {
+        out.push_str(" |-\n");
+        for line in s.split('\n') {
+            if line.is_empty() {
+                out.push('\n');
+            } else {
+                out.push_str(&pad);
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+    }
+}
+
+fn emit_key(key: &str) -> String {
+    if key.is_empty() || needs_quoting(key) || key.contains(": ") || key.ends_with(':') {
+        quote(key)
+    } else {
+        key.to_owned()
+    }
+}
+
+/// Emits a scalar, quoting strings that would otherwise change type or
+/// structure when re-parsed.
+pub fn emit_scalar(value: &Yaml) -> String {
+    match value {
+        Yaml::Null => "null".to_owned(),
+        Yaml::Bool(b) => b.to_string(),
+        Yaml::Int(i) => i.to_string(),
+        Yaml::Float(f) => format_float(*f),
+        Yaml::Str(s) => {
+            if needs_quoting(s) {
+                quote(s)
+            } else {
+                s.clone()
+            }
+        }
+        Yaml::Seq(_) | Yaml::Map(_) => unreachable!("collections handled by emit_block"),
+    }
+}
+
+fn needs_quoting(s: &str) -> bool {
+    if s.is_empty() {
+        return true;
+    }
+    // Would re-type as non-string?
+    if !matches!(plain_scalar(s), Yaml::Str(_)) {
+        return true;
+    }
+    let first = s.chars().next().unwrap();
+    if matches!(
+        first,
+        '&' | '*' | '!' | '%' | '@' | '`' | '"' | '\'' | '[' | ']' | '{' | '}' | '#' | '|' | '>' | '-' | '?' | ',' | ' '
+    ) && !(first == '-' && s.len() > 1 && !s.starts_with("- "))
+    {
+        return true;
+    }
+    if s.ends_with(' ') {
+        return true;
+    }
+    // `: ` or trailing `:` would be taken as a mapping; ` #` starts a comment.
+    s.contains(": ") || s.ends_with(':') || s.contains(" #") || s.contains('\n') || s.contains('\t')
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_one, ymap, yseq};
+
+    fn round_trip(v: &Yaml) {
+        let text = emit(v);
+        let back = parse_one(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        assert_eq!(&back.to_value(), v, "round trip failed for:\n{text}");
+    }
+
+    #[test]
+    fn emits_nested_map() {
+        let v = ymap! { "metadata" => ymap!{ "name" => "x" }, "kind" => "Pod" };
+        assert_eq!(emit(&v), "metadata:\n  name: x\nkind: Pod\n");
+    }
+
+    #[test]
+    fn emits_sequence_of_maps() {
+        let v = ymap! { "containers" => Yaml::Seq(vec![ymap!{"name" => "a", "image" => "nginx"}]) };
+        assert_eq!(emit(&v), "containers:\n- name: a\n  image: nginx\n");
+    }
+
+    #[test]
+    fn quotes_numeric_looking_strings() {
+        let v = ymap! { "port" => "5000", "v" => "true", "n" => "null" };
+        let text = emit(&v);
+        assert!(text.contains("port: \"5000\""), "{text}");
+        round_trip(&v);
+    }
+
+    #[test]
+    fn round_trips_special_strings() {
+        for s in [
+            "a: b", "a #c", "- item", "*alias", "&anchor", "100m", "", " lead", "trail ",
+            "it's", "he said \"hi\"", "line1\nline2", ":", "a:",
+        ] {
+            round_trip(&ymap! { "k" => s });
+        }
+    }
+
+    #[test]
+    fn round_trips_multiline_strings() {
+        for s in ["a\nb", "a\nb\n", "a\n\nb\n", "a\nb\n\n"] {
+            round_trip(&ymap! { "k" => s });
+        }
+    }
+
+    #[test]
+    fn round_trips_deep_structure() {
+        let v = ymap! {
+            "spec" => ymap!{
+                "replicas" => 3i64,
+                "template" => ymap!{
+                    "containers" => Yaml::Seq(vec![
+                        ymap!{"name" => "c", "ports" => Yaml::Seq(vec![ymap!{"containerPort" => 80i64}])},
+                    ]),
+                },
+            },
+            "empty_map" => Yaml::Map(vec![]),
+            "empty_seq" => Yaml::Seq(vec![]),
+            "floats" => yseq![1.5f64, 2.0f64],
+        };
+        round_trip(&v);
+    }
+
+    #[test]
+    fn emit_all_separates_documents() {
+        let docs = vec![ymap! {"a" => 1i64}, ymap! {"b" => 2i64}];
+        let text = emit_all(&docs);
+        assert_eq!(crate::parse(&text).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn top_level_scalar() {
+        assert_eq!(emit(&Yaml::Int(42)), "42\n");
+        assert_eq!(emit(&Yaml::Str("x".into())), "x\n");
+    }
+}

@@ -1,0 +1,146 @@
+//! Compact JSON rendering of [`Yaml`] values, used by the `kubectl -o json`
+//! output path and by JSONPath rendering of non-scalar results.
+
+use crate::value::Yaml;
+
+/// Renders a value as compact JSON.
+///
+/// # Examples
+///
+/// ```
+/// use yamlkit::ymap;
+/// let v = ymap! { "a" => 1i64, "b" => "x" };
+/// assert_eq!(yamlkit::json::to_json(&v), r#"{"a":1,"b":"x"}"#);
+/// ```
+pub fn to_json(value: &Yaml) -> String {
+    let mut out = String::new();
+    write_json(value, &mut out);
+    out
+}
+
+/// Renders a value as pretty-printed JSON with two-space indentation.
+pub fn to_json_pretty(value: &Yaml) -> String {
+    let mut out = String::new();
+    write_json_pretty(value, 0, &mut out);
+    out.push('\n');
+    out
+}
+
+fn write_json(value: &Yaml, out: &mut String) {
+    match value {
+        Yaml::Null => out.push_str("null"),
+        Yaml::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Yaml::Int(i) => out.push_str(&i.to_string()),
+        Yaml::Float(f) => {
+            if f.is_finite() {
+                out.push_str(&format!("{f}"));
+            } else {
+                out.push_str("null"); // JSON has no inf/nan
+            }
+        }
+        Yaml::Str(s) => write_json_string(s, out),
+        Yaml::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json(item, out);
+            }
+            out.push(']');
+        }
+        Yaml::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(k, out);
+                out.push(':');
+                write_json(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_json_pretty(value: &Yaml, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent + 1);
+    let close_pad = "  ".repeat(indent);
+    match value {
+        Yaml::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                write_json_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&close_pad);
+            out.push(']');
+        }
+        Yaml::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                write_json_string(k, out);
+                out.push_str(": ");
+                write_json_pretty(v, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&close_pad);
+            out.push('}');
+        }
+        other => write_json(other, out),
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ymap, yseq, Yaml};
+
+    #[test]
+    fn compact_json() {
+        let v = ymap! { "n" => Yaml::Null, "s" => yseq![1i64, true], "q" => "a\"b" };
+        assert_eq!(to_json(&v), r#"{"n":null,"s":[1,true],"q":"a\"b"}"#);
+    }
+
+    #[test]
+    fn pretty_json_nests() {
+        let v = ymap! { "a" => ymap!{ "b" => 1i64 } };
+        assert_eq!(to_json_pretty(&v), "{\n  \"a\": {\n    \"b\": 1\n  }\n}\n");
+    }
+
+    #[test]
+    fn empty_collections() {
+        assert_eq!(to_json(&Yaml::Seq(vec![])), "[]");
+        assert_eq!(to_json(&Yaml::Map(vec![])), "{}");
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        assert_eq!(to_json(&Yaml::Str("\u{1}".into())), "\"\\u0001\"");
+    }
+}

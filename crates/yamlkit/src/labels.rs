@@ -1,0 +1,318 @@
+//! Reference-YAML match labels (CloudEval-YAML §2.1, §3.2).
+//!
+//! Reference solutions annotate scalars with comments that relax the
+//! comparison performed by the *key-value wildcard match* metric:
+//!
+//! * `# *` — wildcard: any value is acceptable;
+//! * `# v in ['20.04', '22.04']` — conditional: any listed value matches;
+//! * no label — exact match (the default).
+//!
+//! [`MatchTree::from_node`] lifts a parsed [`Node`] into a tree of match
+//! rules; [`MatchTree::iou`] scores a candidate document by intersection
+//! over union of matched leaves, exactly the shape the paper describes
+//! ("a tree with leaf nodes marked in exact/set/wildcard match and then
+//! calculate the IoU of dictionaries").
+
+use crate::parser::{parse_one, Node, NodeKind};
+use crate::value::Yaml;
+
+/// Rule attached to a scalar leaf of the reference document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatchRule {
+    /// Value must equal the reference exactly.
+    Exact(Yaml),
+    /// Any value is acceptable (`# *`).
+    Wildcard,
+    /// Value must be one of the listed alternatives (`# v in [...]`).
+    ///
+    /// Two forms are accepted, both present in the paper: the options may
+    /// be complete values, or — as in `image: ubuntu:22.04 # v in
+    /// ['20.04', '22.04']` — substrings of the reference value that are
+    /// allowed to vary, with the rest of the value fixed.
+    OneOf {
+        /// The labeled reference value.
+        reference: Yaml,
+        /// Acceptable alternatives.
+        options: Vec<Yaml>,
+    },
+}
+
+impl MatchRule {
+    /// Whether `candidate` satisfies this rule.
+    pub fn matches(&self, candidate: &Yaml) -> bool {
+        match self {
+            MatchRule::Exact(v) => v == candidate || loose_scalar_eq(v, candidate),
+            MatchRule::Wildcard => true,
+            MatchRule::OneOf { reference, options } => {
+                if options
+                    .iter()
+                    .any(|v| v == candidate || loose_scalar_eq(v, candidate))
+                {
+                    return true;
+                }
+                // Substring form: the reference contains one option; the
+                // candidate must equal the reference with that fragment
+                // replaced by any listed option.
+                let (Yaml::Str(reference), Yaml::Str(candidate)) = (reference, candidate) else {
+                    return false;
+                };
+                let Some(varying) = options
+                    .iter()
+                    .map(Yaml::render_scalar)
+                    .find(|o| !o.is_empty() && reference.contains(o.as_str()))
+                else {
+                    return false;
+                };
+                options
+                    .iter()
+                    .map(Yaml::render_scalar)
+                    .any(|o| reference.replace(&varying, &o) == *candidate)
+            }
+        }
+    }
+}
+
+/// Scalars that differ only in numeric representation (e.g. `5000` vs
+/// `"5000"` is *not* loose-equal, but `1.0` and `1` are): YAML dictionary
+/// comparison in the reference implementation goes through Python where
+/// `1 == 1.0`.
+fn loose_scalar_eq(a: &Yaml, b: &Yaml) -> bool {
+    match (a, b) {
+        (Yaml::Int(i), Yaml::Float(f)) | (Yaml::Float(f), Yaml::Int(i)) => *i as f64 == *f,
+        _ => false,
+    }
+}
+
+/// The reference document lifted into match rules.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatchTree {
+    /// Scalar leaf with its comparison rule.
+    Leaf(MatchRule),
+    /// Ordered sequence of subtrees.
+    Seq(Vec<MatchTree>),
+    /// Mapping from key to subtree (order-insensitive comparison).
+    Map(Vec<(String, MatchTree)>),
+}
+
+impl MatchTree {
+    /// Builds a match tree from an annotated parse [`Node`].
+    pub fn from_node(node: &Node) -> MatchTree {
+        match &node.kind {
+            NodeKind::Scalar(v) => MatchTree::Leaf(parse_label(node.comment.as_deref(), v)),
+            NodeKind::Seq(items) => MatchTree::Seq(items.iter().map(MatchTree::from_node).collect()),
+            NodeKind::Map(entries) => MatchTree::Map(
+                entries
+                    .iter()
+                    .map(|(k, v)| (k.clone(), MatchTree::from_node(v)))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Parses reference YAML text and builds the match tree.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parser errors from malformed reference YAML.
+    pub fn parse(reference: &str) -> Result<MatchTree, crate::ParseYamlError> {
+        Ok(MatchTree::from_node(&parse_one(reference)?))
+    }
+
+    /// Number of scalar leaves in the tree.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            MatchTree::Leaf(_) => 1,
+            MatchTree::Seq(items) if !items.is_empty() => {
+                items.iter().map(MatchTree::leaf_count).sum()
+            }
+            MatchTree::Map(entries) if !entries.is_empty() => {
+                entries.iter().map(|(_, t)| t.leaf_count()).sum()
+            }
+            _ => 1, // empty containers count once, like Yaml::leaf_count
+        }
+    }
+
+    /// Intersection-over-union score of `candidate` against this reference:
+    /// `matched_leaves / (reference_leaves + candidate_leaves - matched)`.
+    /// Ranges over `[0, 1]`; 1.0 means every leaf matches both ways.
+    pub fn iou(&self, candidate: &Yaml) -> f64 {
+        let matched = self.matched_leaves(candidate);
+        let union = self.leaf_count() + candidate.leaf_count() - matched;
+        if union == 0 {
+            1.0
+        } else {
+            matched as f64 / union as f64
+        }
+    }
+
+    /// Counts reference leaves that a structurally-corresponding candidate
+    /// leaf satisfies. Mappings align by key; sequences align by index.
+    pub fn matched_leaves(&self, candidate: &Yaml) -> usize {
+        match (self, candidate) {
+            (MatchTree::Leaf(rule), v) if v.is_scalar() => usize::from(rule.matches(v)),
+            // Empty reference containers count as one leaf and match empty
+            // candidate containers (checked before the recursive arms).
+            (MatchTree::Map(entries), v) if entries.is_empty() => {
+                usize::from(v.map_len() == Some(0))
+            }
+            (MatchTree::Seq(items), v) if items.is_empty() => {
+                usize::from(v.seq_len() == Some(0))
+            }
+            (MatchTree::Map(entries), Yaml::Map(_)) => entries
+                .iter()
+                .map(|(k, sub)| candidate.get(k).map_or(0, |v| sub.matched_leaves(v)))
+                .sum(),
+            (MatchTree::Seq(items), Yaml::Seq(cand)) => items
+                .iter()
+                .enumerate()
+                .map(|(i, sub)| cand.get(i).map_or(0, |v| sub.matched_leaves(v)))
+                .sum(),
+            _ => 0,
+        }
+    }
+
+    /// Whether every reference leaf is matched (ignoring extra candidate
+    /// content) — a one-way containment check used by unit-test authoring.
+    pub fn contained_in(&self, candidate: &Yaml) -> bool {
+        self.matched_leaves(candidate) == self.leaf_count()
+    }
+}
+
+/// Interprets a trailing comment as a label.
+fn parse_label(comment: Option<&str>, value: &Yaml) -> MatchRule {
+    let Some(c) = comment else {
+        return MatchRule::Exact(value.clone());
+    };
+    let c = c.trim();
+    if c == "*" {
+        return MatchRule::Wildcard;
+    }
+    // `v in [...]` — the list uses YAML/Python literal syntax.
+    if let Some(rest) = c.strip_prefix("v in ") {
+        let rest = rest.trim();
+        if rest.starts_with('[') && rest.ends_with(']') {
+            if let Ok(node) = parse_one(&format!("opts: {rest}\n")) {
+                if let Some(Yaml::Seq(options)) = node.to_value().get("opts").cloned() {
+                    return MatchRule::OneOf {
+                        reference: value.clone(),
+                        options,
+                    };
+                }
+            }
+        }
+    }
+    // Unrecognised comments are documentation, not labels.
+    MatchRule::Exact(value.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ymap;
+
+    const REF: &str = "\
+apiVersion: apps/v1
+kind: DaemonSet
+metadata:
+  name: kube-registry-proxy-modified # *
+spec:
+  image: ubuntu:22.04 # v in ['20.04', '22.04']
+  port: 80
+";
+
+    #[test]
+    fn wildcard_label_accepts_anything() {
+        let tree = MatchTree::parse(REF).unwrap();
+        let mut cand = crate::parse_one(REF).unwrap().to_value();
+        cand.get_mut("metadata")
+            .unwrap()
+            .insert("name", Yaml::Str("completely-different".into()));
+        assert_eq!(tree.iou(&cand), 1.0);
+    }
+
+    #[test]
+    fn one_of_label_accepts_listed_values_only() {
+        let tree = MatchTree::parse(REF).unwrap();
+        let mut cand = crate::parse_one(REF).unwrap().to_value();
+        cand.get_mut("spec").unwrap().insert("image", Yaml::Str("20.04".into()));
+        assert_eq!(tree.iou(&cand), 1.0);
+        cand.get_mut("spec").unwrap().insert("image", Yaml::Str("18.04".into()));
+        assert!(tree.iou(&cand) < 1.0);
+    }
+
+    #[test]
+    fn one_of_label_substring_form() {
+        // The paper's example: either ubuntu version is correct.
+        let tree = MatchTree::parse(REF).unwrap();
+        let mut cand = crate::parse_one(REF).unwrap().to_value();
+        cand.get_mut("spec").unwrap().insert("image", Yaml::Str("ubuntu:20.04".into()));
+        assert_eq!(tree.iou(&cand), 1.0);
+        cand.get_mut("spec").unwrap().insert("image", Yaml::Str("ubuntu:18.04".into()));
+        assert!(tree.iou(&cand) < 1.0);
+        cand.get_mut("spec").unwrap().insert("image", Yaml::Str("debian:22.04".into()));
+        assert!(tree.iou(&cand) < 1.0);
+    }
+
+    #[test]
+    fn set_label_with_integers() {
+        let tree = MatchTree::parse("v: 2 # v in [2,3,4]\n").unwrap();
+        assert!(tree.contained_in(&ymap! {"v" => 3i64}));
+        assert!(!tree.contained_in(&ymap! {"v" => 5i64}));
+    }
+
+    #[test]
+    fn exact_is_default() {
+        let tree = MatchTree::parse("a: 1\nb: x\n").unwrap();
+        assert_eq!(tree.iou(&ymap! {"a" => 1i64, "b" => "x"}), 1.0);
+        assert!(tree.iou(&ymap! {"a" => 2i64, "b" => "x"}) < 1.0);
+    }
+
+    #[test]
+    fn iou_penalizes_extra_candidate_content() {
+        let tree = MatchTree::parse("a: 1\n").unwrap();
+        let cand = ymap! {"a" => 1i64, "extra" => "y"};
+        assert!((tree.iou(&cand) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iou_penalizes_missing_content() {
+        let tree = MatchTree::parse("a: 1\nb: 2\n").unwrap();
+        let cand = ymap! {"a" => 1i64};
+        assert!((tree.iou(&cand) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iou_is_order_insensitive_for_maps() {
+        let tree = MatchTree::parse("a: 1\nb: 2\n").unwrap();
+        let cand = crate::parse_one("b: 2\na: 1\n").unwrap().to_value();
+        assert_eq!(tree.iou(&cand), 1.0);
+    }
+
+    #[test]
+    fn sequences_align_by_index() {
+        let tree = MatchTree::parse("s:\n- 1\n- 2\n").unwrap();
+        let good = crate::parse_one("s:\n- 1\n- 2\n").unwrap().to_value();
+        let swapped = crate::parse_one("s:\n- 2\n- 1\n").unwrap().to_value();
+        assert_eq!(tree.iou(&good), 1.0);
+        assert!(tree.iou(&swapped) < 1.0);
+    }
+
+    #[test]
+    fn int_float_are_loosely_equal() {
+        let tree = MatchTree::parse("cpu: 1.0\n").unwrap();
+        assert!(tree.contained_in(&ymap! {"cpu" => 1i64}));
+    }
+
+    #[test]
+    fn quoted_vs_unquoted_numbers_differ() {
+        // `hostPort: "5000"` and `hostPort: 5000` are different values.
+        let tree = MatchTree::parse("p: \"5000\"\n").unwrap();
+        assert!(!tree.contained_in(&ymap! {"p" => 5000i64}));
+    }
+
+    #[test]
+    fn non_label_comment_is_ignored() {
+        let tree = MatchTree::parse("a: 1 # just a note\n").unwrap();
+        assert_eq!(tree, MatchTree::Map(vec![("a".into(), MatchTree::Leaf(MatchRule::Exact(Yaml::Int(1))))]));
+    }
+}

@@ -1,0 +1,375 @@
+//! A JSONPath subset covering what `kubectl -o jsonpath=...` queries use in
+//! CloudEval-YAML unit tests.
+//!
+//! Supported inside a `{...}` template:
+//!
+//! * `.field` and `['field']` child access,
+//! * `[3]` sequence index, `[*]` sequence/mapping splat,
+//! * `..field` recursive descent,
+//! * `[?(@.field=="value")]` equality filters,
+//! * plain text between `{...}` groups (kubectl template behaviour).
+
+use std::fmt;
+
+use crate::value::Yaml;
+
+/// Error for malformed JSONPath expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePathError(String);
+
+impl fmt::Display for ParsePathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid jsonpath: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParsePathError {}
+
+/// One step of a compiled path.
+#[derive(Debug, Clone, PartialEq)]
+enum Step {
+    Child(String),
+    Index(i64),
+    Splat,
+    Recursive(String),
+    Filter { field: Vec<String>, equals: Yaml },
+}
+
+/// A compiled JSONPath expression.
+///
+/// # Examples
+///
+/// ```
+/// use yamlkit::path::JsonPath;
+/// let doc = yamlkit::parse_one("items:\n- metadata:\n    name: a\n- metadata:\n    name: b\n")
+///     .unwrap()
+///     .to_value();
+/// let p = JsonPath::compile(".items[*].metadata.name").unwrap();
+/// assert_eq!(p.render(&doc), "a b");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonPath {
+    steps: Vec<Step>,
+}
+
+impl JsonPath {
+    /// Compiles an expression. Leading `$`, surrounding `{}` and a leading
+    /// `.` are all optional, matching how kubectl users write them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParsePathError`] on unbalanced brackets or bad filters.
+    pub fn compile(expr: &str) -> Result<JsonPath, ParsePathError> {
+        let expr = expr.trim();
+        let expr = expr.strip_prefix('{').and_then(|e| e.strip_suffix('}')).unwrap_or(expr);
+        let expr = expr.strip_prefix('$').unwrap_or(expr);
+        let mut steps = Vec::new();
+        let bytes = expr.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'.' => {
+                    if bytes.get(i + 1) == Some(&b'.') {
+                        // Recursive descent: `..name`
+                        let start = i + 2;
+                        let end = segment_end(expr, start);
+                        if start == end {
+                            return Err(ParsePathError("empty recursive segment".into()));
+                        }
+                        steps.push(Step::Recursive(expr[start..end].to_owned()));
+                        i = end;
+                    } else {
+                        let start = i + 1;
+                        let end = segment_end(expr, start);
+                        if start < end {
+                            steps.push(Step::Child(expr[start..end].to_owned()));
+                        }
+                        i = end;
+                    }
+                }
+                b'[' => {
+                    let close = find_close(expr, i)?;
+                    let inner = expr[i + 1..close].trim();
+                    steps.push(parse_bracket(inner)?);
+                    i = close + 1;
+                }
+                _ => {
+                    // Bare leading segment, e.g. `items[0]`.
+                    let end = segment_end(expr, i);
+                    if i == end {
+                        return Err(ParsePathError(format!("unexpected character at {i}")));
+                    }
+                    steps.push(Step::Child(expr[i..end].to_owned()));
+                    i = end;
+                }
+            }
+        }
+        Ok(JsonPath { steps })
+    }
+
+    /// Evaluates the path, returning every matching node.
+    pub fn select<'a>(&self, root: &'a Yaml) -> Vec<&'a Yaml> {
+        let mut current: Vec<&Yaml> = vec![root];
+        for step in &self.steps {
+            let mut next = Vec::new();
+            for node in current {
+                apply(step, node, &mut next);
+            }
+            current = next;
+        }
+        current
+    }
+
+    /// Renders matches the way kubectl does: scalar values joined by a
+    /// single space, collections as compact JSON.
+    pub fn render(&self, root: &Yaml) -> String {
+        self.select(root)
+            .iter()
+            .map(|v| v.render_scalar())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+fn apply<'a>(step: &Step, node: &'a Yaml, out: &mut Vec<&'a Yaml>) {
+    match step {
+        Step::Child(name) => {
+            if let Some(v) = node.get(name) {
+                out.push(v);
+            }
+        }
+        Step::Index(i) => {
+            if let Yaml::Seq(items) = node {
+                let idx = if *i < 0 { items.len() as i64 + i } else { *i };
+                if idx >= 0 {
+                    if let Some(v) = items.get(idx as usize) {
+                        out.push(v);
+                    }
+                }
+            }
+        }
+        Step::Splat => match node {
+            Yaml::Seq(items) => out.extend(items.iter()),
+            Yaml::Map(entries) => out.extend(entries.iter().map(|(_, v)| v)),
+            _ => {}
+        },
+        Step::Recursive(name) => collect_recursive(node, name, out),
+        Step::Filter { field, equals } => {
+            if let Yaml::Seq(items) = node {
+                for item in items {
+                    let mut cur = Some(item);
+                    for f in field {
+                        cur = cur.and_then(|c| c.get(f));
+                    }
+                    if cur.is_some_and(|v| v == equals) {
+                        out.push(item);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn collect_recursive<'a>(node: &'a Yaml, name: &str, out: &mut Vec<&'a Yaml>) {
+    match node {
+        Yaml::Map(entries) => {
+            for (k, v) in entries {
+                if k == name {
+                    out.push(v);
+                }
+                collect_recursive(v, name, out);
+            }
+        }
+        Yaml::Seq(items) => {
+            for item in items {
+                collect_recursive(item, name, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn segment_end(expr: &str, start: usize) -> usize {
+    expr[start..]
+        .find(['.', '['])
+        .map(|off| start + off)
+        .unwrap_or(expr.len())
+}
+
+fn find_close(expr: &str, open: usize) -> Result<usize, ParsePathError> {
+    let bytes = expr.as_bytes();
+    let mut depth = 0;
+    let mut in_str: Option<u8> = None;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match (in_str, b) {
+            (Some(q), _) if b == q => in_str = None,
+            (Some(_), _) => {}
+            (None, b'\'') | (None, b'"') => in_str = Some(b),
+            (None, b'[') => depth += 1,
+            (None, b']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    Err(ParsePathError("unbalanced bracket".into()))
+}
+
+fn parse_bracket(inner: &str) -> Result<Step, ParsePathError> {
+    if inner == "*" {
+        return Ok(Step::Splat);
+    }
+    if let Ok(i) = inner.parse::<i64>() {
+        return Ok(Step::Index(i));
+    }
+    if (inner.starts_with('\'') && inner.ends_with('\'') && inner.len() >= 2)
+        || (inner.starts_with('"') && inner.ends_with('"') && inner.len() >= 2)
+    {
+        return Ok(Step::Child(inner[1..inner.len() - 1].to_owned()));
+    }
+    if let Some(filter) = inner.strip_prefix("?(").and_then(|f| f.strip_suffix(')')) {
+        let (lhs, rhs) = filter
+            .split_once("==")
+            .ok_or_else(|| ParsePathError(format!("unsupported filter: {inner}")))?;
+        let lhs = lhs.trim();
+        let field_path = lhs
+            .strip_prefix("@.")
+            .ok_or_else(|| ParsePathError(format!("filter must start with @. : {inner}")))?;
+        let field: Vec<String> = field_path.split('.').map(str::to_owned).collect();
+        let rhs = rhs.trim();
+        let equals = if (rhs.starts_with('"') && rhs.ends_with('"'))
+            || (rhs.starts_with('\'') && rhs.ends_with('\''))
+        {
+            Yaml::Str(rhs[1..rhs.len() - 1].to_owned())
+        } else {
+            crate::parser::plain_scalar(rhs)
+        };
+        return Ok(Step::Filter { field, equals });
+    }
+    Err(ParsePathError(format!("unsupported bracket expression: [{inner}]")))
+}
+
+/// Evaluates a full kubectl jsonpath *template*: literal text with one or
+/// more `{expr}` groups substituted.
+///
+/// # Errors
+///
+/// Fails when any embedded expression is malformed.
+pub fn render_template(template: &str, root: &Yaml) -> Result<String, ParsePathError> {
+    let mut out = String::new();
+    let mut rest = template;
+    while let Some(open) = rest.find('{') {
+        out.push_str(&rest[..open]);
+        let close = rest[open..]
+            .find('}')
+            .map(|c| open + c)
+            .ok_or_else(|| ParsePathError("unbalanced { in template".into()))?;
+        let expr = &rest[open + 1..close];
+        let quoted = expr.len() >= 2 && expr.starts_with('"') && expr.ends_with('"');
+        let literal = if quoted { &expr[1..expr.len() - 1] } else { expr };
+        match literal {
+            "\\n" => out.push('\n'),
+            "\\t" => out.push('\t'),
+            _ if quoted => out.push_str(literal),
+            _ => out.push_str(&JsonPath::compile(expr)?.render(root)),
+        }
+        rest = &rest[close + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_one;
+
+    fn doc() -> Yaml {
+        parse_one(
+            "items:\n- metadata:\n    name: pod-a\n  spec:\n    containers:\n    - name: c1\n      env:\n      - name: A\n      - name: B\n- metadata:\n    name: pod-b\n  spec:\n    containers:\n    - name: c2\nstatus:\n  hostIP: 10.0.0.1\n",
+        )
+        .unwrap()
+        .to_value()
+    }
+
+    #[test]
+    fn simple_field_chain() {
+        let p = JsonPath::compile("{.status.hostIP}").unwrap();
+        assert_eq!(p.render(&doc()), "10.0.0.1");
+    }
+
+    #[test]
+    fn index_and_field() {
+        let p = JsonPath::compile(".items[0].metadata.name").unwrap();
+        assert_eq!(p.render(&doc()), "pod-a");
+    }
+
+    #[test]
+    fn negative_index() {
+        let p = JsonPath::compile(".items[-1].metadata.name").unwrap();
+        assert_eq!(p.render(&doc()), "pod-b");
+    }
+
+    #[test]
+    fn splat_over_items() {
+        let p = JsonPath::compile(".items[*].metadata.name").unwrap();
+        assert_eq!(p.render(&doc()), "pod-a pod-b");
+    }
+
+    #[test]
+    fn env_star_name_like_paper_unit_test() {
+        let p = JsonPath::compile("{.items[0].spec.containers[0].env[*].name}").unwrap();
+        assert_eq!(p.render(&doc()), "A B");
+    }
+
+    #[test]
+    fn recursive_descent() {
+        let p = JsonPath::compile("{.items..metadata.name}").unwrap();
+        assert_eq!(p.render(&doc()), "pod-a pod-b");
+    }
+
+    #[test]
+    fn filter_equality() {
+        let p = JsonPath::compile("{.items[?(@.metadata.name==\"pod-b\")].spec.containers[0].name}")
+            .unwrap();
+        assert_eq!(p.render(&doc()), "c2");
+    }
+
+    #[test]
+    fn quoted_child_access() {
+        let d = parse_one("m:\n  \"app.kubernetes.io/name\": web\n").unwrap().to_value();
+        let p = JsonPath::compile(".m['app.kubernetes.io/name']").unwrap();
+        assert_eq!(p.render(&d), "web");
+    }
+
+    #[test]
+    fn missing_path_renders_empty() {
+        let p = JsonPath::compile(".nope.nothing").unwrap();
+        assert_eq!(p.render(&doc()), "");
+    }
+
+    #[test]
+    fn template_mixes_text_and_groups() {
+        let s = render_template("host={.status.hostIP} first={.items[0].metadata.name}", &doc())
+            .unwrap();
+        assert_eq!(s, "host=10.0.0.1 first=pod-a");
+    }
+
+    #[test]
+    fn template_newline_escape() {
+        let s = render_template("{.status.hostIP}{\"\\n\"}", &doc());
+        // kubectl writes {"\n"}; we accept {\n} too.
+        let s2 = render_template("{.status.hostIP}{\\n}", &doc()).unwrap();
+        assert_eq!(s2, "10.0.0.1\n");
+        drop(s);
+    }
+
+    #[test]
+    fn compile_errors() {
+        assert!(JsonPath::compile(".a[").is_err());
+        assert!(JsonPath::compile("[?(@.x>1)]").is_err());
+    }
+}

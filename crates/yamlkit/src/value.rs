@@ -1,0 +1,435 @@
+//! The YAML document model.
+//!
+//! [`Yaml`] is an ordered, owned representation of a parsed YAML document.
+//! Mappings preserve insertion order (YAML mappings are unordered for
+//! equality purposes, which [`Yaml::eq_unordered`] implements, but order is
+//! kept so that emitted documents round-trip the way cloud configuration
+//! files are written).
+
+use std::fmt;
+
+/// A parsed YAML value.
+///
+/// # Examples
+///
+/// ```
+/// use yamlkit::Yaml;
+/// let doc = yamlkit::parse_one("a: 1\nb: [x, y]\n").unwrap().to_value();
+/// assert_eq!(doc.get("a").and_then(Yaml::as_i64), Some(1));
+/// assert_eq!(doc.get("b").and_then(|b| b.seq_len()), Some(2));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
+pub enum Yaml {
+    /// The null value (`~`, `null`, or an empty scalar).
+    #[default]
+    Null,
+    /// A boolean scalar.
+    Bool(bool),
+    /// An integer scalar.
+    Int(i64),
+    /// A floating point scalar.
+    Float(f64),
+    /// A string scalar (plain or quoted).
+    Str(String),
+    /// A sequence (`- item` block style or `[a, b]` flow style).
+    Seq(Vec<Yaml>),
+    /// A mapping with insertion order preserved. Keys are strings, which is
+    /// sufficient for every cloud-native configuration dialect this crate
+    /// targets (Kubernetes, Istio, Envoy).
+    Map(Vec<(String, Yaml)>),
+}
+
+impl Yaml {
+    /// Returns the string slice if the value is a string scalar.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Yaml::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer if the value is an integer scalar.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Yaml::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the float if the value is a float (or integer) scalar.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Yaml::Float(f) => Some(*f),
+            Yaml::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if the value is a boolean scalar.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Yaml::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for `Yaml::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Yaml::Null)
+    }
+
+    /// Returns `true` for scalar values (everything except `Seq` and `Map`).
+    pub fn is_scalar(&self) -> bool {
+        !matches!(self, Yaml::Seq(_) | Yaml::Map(_))
+    }
+
+    /// Looks up a key in a mapping.
+    pub fn get(&self, key: &str) -> Option<&Yaml> {
+        match self {
+            Yaml::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Mutable mapping lookup.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Yaml> {
+        match self {
+            Yaml::Map(entries) => entries
+                .iter_mut()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Indexes into a sequence.
+    pub fn idx(&self, index: usize) -> Option<&Yaml> {
+        match self {
+            Yaml::Seq(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// Number of elements in a sequence, if this is one.
+    pub fn seq_len(&self) -> Option<usize> {
+        match self {
+            Yaml::Seq(items) => Some(items.len()),
+            _ => None,
+        }
+    }
+
+    /// Number of entries in a mapping, if this is one.
+    pub fn map_len(&self) -> Option<usize> {
+        match self {
+            Yaml::Map(entries) => Some(entries.len()),
+            _ => None,
+        }
+    }
+
+    /// Walks a `.`-free path of mapping keys, e.g. `["spec", "replicas"]`.
+    pub fn get_path(&self, path: &[&str]) -> Option<&Yaml> {
+        let mut cur = self;
+        for key in path {
+            cur = cur.get(key)?;
+        }
+        Some(cur)
+    }
+
+    /// Inserts or replaces a key in a mapping. Turns `Null` into an empty
+    /// mapping first, so building documents incrementally is convenient.
+    ///
+    /// Returns the previous value when the key already existed.
+    pub fn insert(&mut self, key: impl Into<String>, value: Yaml) -> Option<Yaml> {
+        if self.is_null() {
+            *self = Yaml::Map(Vec::new());
+        }
+        let key = key.into();
+        match self {
+            Yaml::Map(entries) => {
+                for (k, v) in entries.iter_mut() {
+                    if *k == key {
+                        return Some(std::mem::replace(v, value));
+                    }
+                }
+                entries.push((key, value));
+                None
+            }
+            _ => None,
+        }
+    }
+
+    /// Removes a key from a mapping, returning the value if present.
+    pub fn remove(&mut self, key: &str) -> Option<Yaml> {
+        match self {
+            Yaml::Map(entries) => {
+                let pos = entries.iter().position(|(k, _)| k == key)?;
+                Some(entries.remove(pos).1)
+            }
+            _ => None,
+        }
+    }
+
+    /// Iterates over mapping entries (empty iterator for non-mappings).
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &Yaml)> {
+        let entries: &[(String, Yaml)] = match self {
+            Yaml::Map(entries) => entries,
+            _ => &[],
+        };
+        entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterates over sequence items (empty iterator for non-sequences).
+    pub fn items(&self) -> impl Iterator<Item = &Yaml> {
+        let items: &[Yaml] = match self {
+            Yaml::Seq(items) => items,
+            _ => &[],
+        };
+        items.iter()
+    }
+
+    /// Renders the scalar the way `kubectl -o jsonpath` renders leaf values.
+    /// Collections render as compact JSON.
+    pub fn render_scalar(&self) -> String {
+        match self {
+            Yaml::Null => String::new(),
+            Yaml::Bool(b) => b.to_string(),
+            Yaml::Int(i) => i.to_string(),
+            Yaml::Float(f) => format_float(*f),
+            Yaml::Str(s) => s.clone(),
+            other => crate::json::to_json(other),
+        }
+    }
+
+    /// Structural equality that ignores mapping order, the comparison the
+    /// paper's *key-value exact match* metric requires (§3.2: "loads both
+    /// ... into dictionaries and checks if the resulting dictionaries are
+    /// the same").
+    ///
+    /// Duplicate keys compare by last occurrence, mirroring a dictionary
+    /// load. Sequences stay order-sensitive: YAML lists are ordered.
+    pub fn eq_unordered(&self, other: &Yaml) -> bool {
+        match (self, other) {
+            (Yaml::Map(a), Yaml::Map(b)) => {
+                let keys_a = dedup_keys(a);
+                let keys_b = dedup_keys(b);
+                if keys_a.len() != keys_b.len() {
+                    return false;
+                }
+                keys_a.iter().all(|(k, va)| {
+                    keys_b
+                        .iter()
+                        .find(|(kb, _)| kb == k)
+                        .is_some_and(|(_, vb)| va.eq_unordered(vb))
+                })
+            }
+            (Yaml::Seq(a), Yaml::Seq(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.eq_unordered(y))
+            }
+            (a, b) => a == b,
+        }
+    }
+
+    /// Counts scalar leaves in the value tree. Empty containers count as a
+    /// single leaf so that `spec: {}` is not free to omit.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Yaml::Seq(items) if !items.is_empty() => items.iter().map(Yaml::leaf_count).sum(),
+            Yaml::Map(entries) if !entries.is_empty() => {
+                entries.iter().map(|(_, v)| v.leaf_count()).sum()
+            }
+            _ => 1,
+        }
+    }
+}
+
+/// Keeps only the last occurrence of each key, preserving first-seen order.
+fn dedup_keys(entries: &[(String, Yaml)]) -> Vec<(&String, &Yaml)> {
+    let mut out: Vec<(&String, &Yaml)> = Vec::with_capacity(entries.len());
+    for (k, v) in entries {
+        if let Some(slot) = out.iter_mut().find(|(ok, _)| *ok == k) {
+            slot.1 = v;
+        } else {
+            out.push((k, v));
+        }
+    }
+    out
+}
+
+/// Formats a float without the noise `{:?}` adds, matching YAML emitters.
+pub(crate) fn format_float(f: f64) -> String {
+    if f.is_nan() {
+        ".nan".to_owned()
+    } else if f.is_infinite() {
+        if f > 0.0 { ".inf".to_owned() } else { "-.inf".to_owned() }
+    } else if f == f.trunc() && f.abs() < 1e15 {
+        format!("{f:.1}")
+    } else {
+        let s = format!("{f}");
+        s
+    }
+}
+
+
+impl fmt::Display for Yaml {
+    /// Displays the canonical emitted form (see [`crate::emit`]).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::emitter::emit(self))
+    }
+}
+
+impl From<bool> for Yaml {
+    fn from(b: bool) -> Self {
+        Yaml::Bool(b)
+    }
+}
+
+impl From<i64> for Yaml {
+    fn from(i: i64) -> Self {
+        Yaml::Int(i)
+    }
+}
+
+impl From<i32> for Yaml {
+    fn from(i: i32) -> Self {
+        Yaml::Int(i64::from(i))
+    }
+}
+
+impl From<f64> for Yaml {
+    fn from(f: f64) -> Self {
+        Yaml::Float(f)
+    }
+}
+
+impl From<&str> for Yaml {
+    fn from(s: &str) -> Self {
+        Yaml::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Yaml {
+    fn from(s: String) -> Self {
+        Yaml::Str(s)
+    }
+}
+
+impl<T: Into<Yaml>> FromIterator<T> for Yaml {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Yaml::Seq(iter.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Builds a [`Yaml::Map`] in place.
+///
+/// # Examples
+///
+/// ```
+/// use yamlkit::{ymap, Yaml};
+/// let m = ymap! { "name" => "nginx", "replicas" => 3i64 };
+/// assert_eq!(m.get("replicas").and_then(Yaml::as_i64), Some(3));
+/// ```
+#[macro_export]
+macro_rules! ymap {
+    ( $( $k:expr => $v:expr ),* $(,)? ) => {
+        $crate::Yaml::Map(vec![ $( ($k.to_string(), $crate::Yaml::from($v)) ),* ])
+    };
+}
+
+/// Builds a [`Yaml::Seq`] in place.
+///
+/// # Examples
+///
+/// ```
+/// use yamlkit::{yseq, Yaml};
+/// let s = yseq!["a", "b"];
+/// assert_eq!(s.seq_len(), Some(2));
+/// ```
+#[macro_export]
+macro_rules! yseq {
+    ( $( $v:expr ),* $(,)? ) => {
+        $crate::Yaml::Seq(vec![ $( $crate::Yaml::from($v) ),* ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_and_insert_round_trip() {
+        let mut m = Yaml::Null;
+        assert_eq!(m.insert("a", Yaml::Int(1)), None);
+        assert_eq!(m.insert("a", Yaml::Int(2)), Some(Yaml::Int(1)));
+        assert_eq!(m.get("a"), Some(&Yaml::Int(2)));
+        assert_eq!(m.remove("a"), Some(Yaml::Int(2)));
+        assert_eq!(m.get("a"), None);
+    }
+
+    #[test]
+    fn eq_unordered_ignores_map_order() {
+        let a = ymap! { "x" => 1i64, "y" => 2i64 };
+        let b = ymap! { "y" => 2i64, "x" => 1i64 };
+        assert!(a.eq_unordered(&b));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn eq_unordered_is_order_sensitive_for_sequences() {
+        let a = yseq![1i64, 2i64];
+        let b = yseq![2i64, 1i64];
+        assert!(!a.eq_unordered(&b));
+    }
+
+    #[test]
+    fn eq_unordered_nested() {
+        let a = ymap! { "m" => ymap!{ "p" => 1i64, "q" => yseq!["a"] } };
+        let b = ymap! { "m" => ymap!{ "q" => yseq!["a"], "p" => 1i64 } };
+        assert!(a.eq_unordered(&b));
+    }
+
+    #[test]
+    fn eq_unordered_duplicate_keys_take_last() {
+        let a = Yaml::Map(vec![
+            ("k".into(), Yaml::Int(1)),
+            ("k".into(), Yaml::Int(2)),
+        ]);
+        let b = ymap! { "k" => 2i64 };
+        assert!(a.eq_unordered(&b));
+    }
+
+    #[test]
+    fn leaf_count_counts_scalars_and_empty_containers() {
+        let v = ymap! {
+            "a" => 1i64,
+            "b" => yseq![1i64, 2i64],
+            "c" => Yaml::Map(vec![]),
+        };
+        assert_eq!(v.leaf_count(), 4);
+    }
+
+    #[test]
+    fn get_path_walks_nested_maps() {
+        let v = ymap! { "spec" => ymap!{ "replicas" => 3i64 } };
+        assert_eq!(
+            v.get_path(&["spec", "replicas"]).and_then(Yaml::as_i64),
+            Some(3)
+        );
+        assert_eq!(v.get_path(&["spec", "missing"]), None);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(format_float(1.0), "1.0");
+        assert_eq!(format_float(0.25), "0.25");
+        assert_eq!(format_float(f64::INFINITY), ".inf");
+    }
+
+    #[test]
+    fn render_scalar_matches_kubectl_style() {
+        assert_eq!(Yaml::Str("x".into()).render_scalar(), "x");
+        assert_eq!(Yaml::Int(80).render_scalar(), "80");
+        assert_eq!(Yaml::Bool(true).render_scalar(), "true");
+        assert_eq!(Yaml::Null.render_scalar(), "");
+    }
+}

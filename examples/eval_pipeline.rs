@@ -1,0 +1,59 @@
+//! Benchmark a pair of models on a dataset slice and print a mini
+//! Table 4, a factor analysis and the failure-mode histogram.
+//!
+//! ```text
+//! cargo run --release --example eval_pipeline
+//! ```
+
+use std::sync::Arc;
+
+use cloudeval::core::analysis::{factor_analysis, failure_modes};
+use cloudeval::core::harness::{evaluate, mean_scores, pass_count, EvalOptions};
+use cloudeval::core::tables;
+use cloudeval::dataset::Dataset;
+use cloudeval::llm::{ModelProfile, SimulatedModel};
+
+fn main() {
+    let dataset = Arc::new(Dataset::generate());
+    // Every 4th problem keeps the example fast (~85 problems/model).
+    let options = EvalOptions { stride: 4, workers: 8, ..EvalOptions::default() };
+
+    let mut rows = Vec::new();
+    let mut all_records = Vec::new();
+    for name in ["gpt-4", "llama-2-70b-chat"] {
+        let model = SimulatedModel::new(
+            ModelProfile::by_name(name).expect("known model"),
+            Arc::clone(&dataset),
+        );
+        let records = evaluate(&model, &dataset, &options);
+        println!(
+            "{name}: {}/{} unit tests passed",
+            pass_count(&records),
+            records.len()
+        );
+        rows.push(tables::Table4Row {
+            model: name.to_owned(),
+            size_b: model.profile().size_b,
+            open_source: model.profile().open_source,
+            scores: mean_scores(&records),
+        });
+        all_records.extend(records);
+    }
+
+    println!("\n== Mini Table 4 (stride 4) ==");
+    println!("{}", tables::table4(&rows));
+
+    println!("== Factor analysis (Figure 6 / Table 9) ==");
+    let factor_rows: Vec<_> = ["gpt-4", "llama-2-70b-chat"]
+        .iter()
+        .map(|m| factor_analysis(m, &all_records))
+        .collect();
+    println!("{}", tables::figure6(&factor_rows));
+
+    println!("== Failure modes (Figure 7) ==");
+    let failure_rows: Vec<_> = ["gpt-4", "llama-2-70b-chat"]
+        .iter()
+        .map(|m| ((*m).to_owned(), failure_modes(m, &all_records)))
+        .collect();
+    println!("{}", tables::figure7(&failure_rows));
+}

@@ -1,0 +1,50 @@
+//! Multi-sample generation (pass@k) and the unit-test predictor: the §4.2
+//! and §4.4 studies on a dataset slice.
+//!
+//! ```text
+//! cargo run --release --example model_report
+//! ```
+
+use std::sync::Arc;
+
+use cloudeval::core::harness::{evaluate, EvalOptions};
+use cloudeval::core::passk::pass_at_k;
+use cloudeval::core::predict::{leave_one_model_out, shap_importance};
+use cloudeval::core::tables;
+use cloudeval::dataset::Dataset;
+use cloudeval::llm::{ModelProfile, SimulatedModel};
+
+fn main() {
+    let dataset = Arc::new(Dataset::generate());
+    let stride = 4;
+
+    // --- pass@k (Figure 8) ------------------------------------------
+    println!("== pass@k, stride {stride} ==");
+    let mut curves = Vec::new();
+    for name in ["gpt-3.5", "llama-2-70b-chat"] {
+        let model = SimulatedModel::new(
+            ModelProfile::by_name(name).expect("known model"),
+            Arc::clone(&dataset),
+        );
+        curves.push(pass_at_k(&model, &dataset, 8, stride, 8));
+    }
+    println!("{}", tables::figure8(&curves));
+
+    // --- unit-test predictor (Figure 9) ------------------------------
+    println!("== unit-test predictor ==");
+    let mut records = Vec::new();
+    for name in ["gpt-4", "gpt-3.5", "llama-2-70b-chat", "llama-7b"] {
+        let model = SimulatedModel::new(
+            ModelProfile::by_name(name).expect("known model"),
+            Arc::clone(&dataset),
+        );
+        records.extend(evaluate(
+            &model,
+            &dataset,
+            &EvalOptions { stride, workers: 8, ..EvalOptions::default() },
+        ));
+    }
+    let lomo = leave_one_model_out(&records);
+    let shap = shap_importance(&records, 150);
+    println!("{}", tables::figure9(&lomo, &shap));
+}

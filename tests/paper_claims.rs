@@ -1,0 +1,118 @@
+//! Tests pinning the paper's headline quantitative claims to this
+//! reproduction: dataset statistics, platform scaling, cost figures, and
+//! the exact Table 5 calibration.
+
+use std::sync::Arc;
+
+use cloudeval::dataset::{Dataset, Variant};
+use cloudeval::llm::{ModelProfile, SimulatedModel};
+
+#[test]
+fn dataset_is_337_times_3() {
+    let ds = Dataset::generate();
+    assert_eq!(ds.len(), 337);
+    assert_eq!(ds.expanded().len(), 1011);
+}
+
+#[test]
+fn solution_length_dwarfs_humaneval() {
+    // §2.3: average solution lines 28.35 ≈ 4x HumanEval's 6.3.
+    let ds = Dataset::generate();
+    let avg: f64 = ds.problems().iter().map(|p| p.reference_lines() as f64).sum::<f64>()
+        / ds.len() as f64;
+    assert!(avg > 6.3 * 2.5, "avg solution lines {avg:.1} not >> HumanEval's 6.3");
+}
+
+#[test]
+fn expected_pass_mass_equals_table5_for_every_cell() {
+    // The calibrated models' expected pass counts equal the paper's
+    // Table 5 numbers exactly.
+    let ds = Arc::new(Dataset::generate());
+    let expected: &[(&str, [Option<usize>; 3])] = &[
+        ("gpt-4", [Some(179), Some(164), Some(178)]),
+        ("gpt-3.5", [Some(142), Some(143), Some(132)]),
+        ("palm-2-bison", [Some(120), Some(97), None]),
+        ("llama-2-70b-chat", [Some(30), Some(24), Some(32)]),
+        ("llama-2-13b-chat", [Some(26), Some(17), Some(25)]),
+        ("wizardcoder-34b-v1.0", [Some(24), Some(31), Some(2)]),
+        ("llama-2-7b-chat", [Some(13), Some(9), Some(5)]),
+        ("wizardcoder-15b-v1.0", [Some(12), Some(11), Some(3)]),
+        ("llama-7b", [Some(12), Some(7), Some(4)]),
+        ("llama-13b-lora", [Some(8), Some(9), Some(4)]),
+        ("codellama-7b-instruct", [Some(5), Some(6), Some(4)]),
+        ("codellama-13b-instruct", [Some(5), Some(2), Some(5)]),
+    ];
+    for (name, targets) in expected {
+        let m = SimulatedModel::new(ModelProfile::by_name(name).unwrap(), Arc::clone(&ds));
+        for (variant, target) in Variant::ALL.into_iter().zip(targets) {
+            let mass: f64 = (0..ds.len()).map(|i| m.pass_probability(i, variant, 0)).sum();
+            match target {
+                Some(t) => assert!(
+                    (mass - *t as f64).abs() < 0.5,
+                    "{name} {variant:?}: {mass:.2} != {t}"
+                ),
+                None => assert_eq!(mass, 0.0, "{name} {variant:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn figure5_headline_numbers() {
+    // ~10 hours on one machine, under an hour on 64 workers with the
+    // shared image cache, with a 13x+ overall speedup.
+    let rows = cloudeval::cluster::figure5(cloudeval::cluster::des::DEFAULT_OVERHEAD_S);
+    let (w1, t1_no, _) = rows[0];
+    let (w64, t64_no, t64_yes) = rows[3];
+    assert_eq!((w1, w64), (1, 64));
+    assert!((7.0..14.0).contains(&t1_no), "single machine: {t1_no:.1}h");
+    assert!(t64_yes < 1.0, "64 workers cached: {t64_yes:.2}h");
+    assert!(t1_no / t64_yes > 13.0);
+    assert!(t64_no > t64_yes, "cache must help at 64 workers");
+}
+
+#[test]
+fn cheapest_run_is_about_a_dollar_thirty() {
+    // Table 3: GPT-3.5 + one spot instance ≈ $1.31 per full run.
+    let (_, min_total, max_total) = cloudeval::cluster::table3(10.3, 0.50);
+    assert!((1.0..1.7).contains(&min_total), "min ${min_total:.2}");
+    assert!((7.5..9.5).contains(&max_total), "max ${max_total:.2}");
+}
+
+#[test]
+fn survey_motivates_yaml_focus() {
+    // Appendix A: 90 of the top-100 CNCF repos have 10+ YAML files.
+    assert_eq!(cloudeval::core::survey::repos_with_at_least(10), 90);
+}
+
+#[test]
+fn augmentation_shrinks_questions() {
+    // Table 1: simplified questions are meaningfully shorter.
+    let ds = Dataset::generate();
+    let stats = cloudeval::dataset::stats::variant_stats(&ds);
+    assert_eq!(stats[0].count, 337);
+    let reduction = 1.0 - stats[1].avg_words / stats[0].avg_words;
+    assert!(reduction > 0.10, "only {:.1}% shorter", reduction * 100.0);
+    assert!(stats[1].avg_tokens < stats[0].avg_tokens);
+}
+
+#[test]
+fn query_module_parallel_speedup_is_two_orders() {
+    // §3.1: parallel querying "can significantly increase the speed by
+    // two orders of magnitude" (128 raylets).
+    let ds = Arc::new(Dataset::generate());
+    let m = SimulatedModel::new(ModelProfile::by_name("gpt-4").unwrap(), Arc::clone(&ds));
+    let prompts: Vec<String> = ds
+        .problems()
+        .iter()
+        .take(256)
+        .map(|p| cloudeval::dataset::fewshot::build_prompt(&p.prompt_body(Variant::Original), 0))
+        .collect();
+    let report = cloudeval::llm::query_batch(
+        &m,
+        &prompts,
+        &cloudeval::llm::GenParams::default(),
+        &cloudeval::llm::QueryConfig { parallelism: 128, ..Default::default() },
+    );
+    assert!(report.speedup() > 100.0, "speedup {:.0}x", report.speedup());
+}
