@@ -38,7 +38,10 @@ fn bench_des(c: &mut Criterion) {
         b.iter(|| {
             evalcluster::simulate(
                 black_box(&jobs),
-                &evalcluster::SimConfig { workers: 64, ..Default::default() },
+                &evalcluster::SimConfig {
+                    workers: 64,
+                    ..Default::default()
+                },
             )
         })
     });
@@ -62,17 +65,24 @@ fn bench_query_module(c: &mut Criterion) {
     let mut group = c.benchmark_group("query_batch");
     group.sample_size(10);
     for parallelism in [1usize, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(parallelism), &parallelism, |b, &p| {
-            let config = llmsim::QueryConfig { parallelism: p, ..Default::default() };
-            b.iter(|| {
-                llmsim::query_batch(
-                    black_box(&model),
-                    black_box(&prompts),
-                    &llmsim::GenParams::default(),
-                    &config,
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(parallelism),
+            &parallelism,
+            |b, &p| {
+                let config = llmsim::QueryConfig {
+                    parallelism: p,
+                    ..Default::default()
+                };
+                b.iter(|| {
+                    llmsim::query_batch(
+                        black_box(&model),
+                        black_box(&prompts),
+                        &llmsim::GenParams::default(),
+                        &config,
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -96,7 +106,13 @@ fn bench_predictor(c: &mut Criterion) {
         ys.push(pass);
     }
     c.bench_function("gbdt_fit_2000x5", |b| {
-        b.iter(|| gboost::Classifier::fit(black_box(&xs), black_box(&ys), &gboost::BoostParams::default()))
+        b.iter(|| {
+            gboost::Classifier::fit(
+                black_box(&xs),
+                black_box(&ys),
+                &gboost::BoostParams::default(),
+            )
+        })
     });
     let clf = gboost::Classifier::fit(&xs, &ys, &gboost::BoostParams::default());
     c.bench_function("shap_values_single", |b| {

@@ -21,7 +21,13 @@ fn bench_individual_metrics(c: &mut Criterion) {
     let pairs = dataset_pairs();
     let (reference, candidate) = pairs[0].clone();
     c.bench_function("bleu_single", |b| {
-        b.iter(|| cescore::bleu(black_box(&reference), black_box(&candidate), cescore::Smoothing::Epsilon))
+        b.iter(|| {
+            cescore::bleu(
+                black_box(&reference),
+                black_box(&candidate),
+                cescore::Smoothing::Epsilon,
+            )
+        })
     });
     c.bench_function("edit_distance_single", |b| {
         b.iter(|| cescore::edit_distance_score(black_box(&reference), black_box(&candidate)))

@@ -39,7 +39,9 @@ fn bench_yaml(c: &mut Criterion) {
         b.iter(|| yamlkit::parse(black_box(DEPLOY)).unwrap())
     });
     let value = yamlkit::parse_one(DEPLOY).unwrap().to_value();
-    c.bench_function("yaml_emit_deployment", |b| b.iter(|| yamlkit::emit(black_box(&value))));
+    c.bench_function("yaml_emit_deployment", |b| {
+        b.iter(|| yamlkit::emit(black_box(&value)))
+    });
     c.bench_function("yaml_round_trip", |b| {
         b.iter(|| yamlkit::canonicalize(black_box(DEPLOY)).unwrap())
     });
@@ -47,9 +49,11 @@ fn bench_yaml(c: &mut Criterion) {
 
 fn bench_jsonpath(c: &mut Criterion) {
     let doc = yamlkit::parse_one(DEPLOY).unwrap().to_value();
-    let path = yamlkit::path::JsonPath::compile(".spec.template.spec.containers[0].env[*].name")
-        .unwrap();
-    c.bench_function("jsonpath_select", |b| b.iter(|| path.render(black_box(&doc))));
+    let path =
+        yamlkit::path::JsonPath::compile(".spec.template.spec.containers[0].env[*].name").unwrap();
+    c.bench_function("jsonpath_select", |b| {
+        b.iter(|| path.render(black_box(&doc)))
+    });
     c.bench_function("jsonpath_compile", |b| {
         b.iter(|| {
             yamlkit::path::JsonPath::compile(black_box(
@@ -64,7 +68,9 @@ fn bench_kubesim(c: &mut Criterion) {
     c.bench_function("cluster_apply_and_reconcile", |b| {
         b.iter(|| {
             let mut cluster = kubesim::Cluster::new();
-            cluster.apply_manifest(black_box(DEPLOY), "default").unwrap();
+            cluster
+                .apply_manifest(black_box(DEPLOY), "default")
+                .unwrap();
             cluster.advance(10_000);
             cluster
         })
@@ -90,7 +96,9 @@ done
 if [ "$total" -eq 55 ]; then echo ok; fi
 echo "a b c" | tr ' ' '\n' | grep -c .
 "#;
-    c.bench_function("shell_parse", |b| b.iter(|| minishell::lang::parse(black_box(script)).unwrap()));
+    c.bench_function("shell_parse", |b| {
+        b.iter(|| minishell::lang::parse(black_box(script)).unwrap())
+    });
     c.bench_function("shell_run_loop_script", |b| {
         b.iter(|| {
             let mut sandbox = minishell::EmptySandbox;
@@ -106,14 +114,22 @@ fn bench_envoy(c: &mut Criterion) {
     });
     let cfg = envoysim::EnvoyConfig::parse(envoysim::SAMPLE_CONFIG).unwrap();
     c.bench_function("envoy_route", |b| {
-        b.iter(|| cfg.route(black_box(10000), black_box("example.com"), black_box("/api/v1")))
+        b.iter(|| {
+            cfg.route(
+                black_box(10000),
+                black_box("example.com"),
+                black_box("/api/v1"),
+            )
+        })
     });
 }
 
 fn bench_regex(c: &mut Criterion) {
     let re = minishell::regex::Regex::new("unit_test_pass(ed)?").unwrap();
     let haystack = "long transcript line with cn1000_unit_test_passed marker at the end";
-    c.bench_function("shell_regex_match", |b| b.iter(|| re.is_match(black_box(haystack))));
+    c.bench_function("shell_regex_match", |b| {
+        b.iter(|| re.is_match(black_box(haystack)))
+    });
 }
 
 criterion_group!(

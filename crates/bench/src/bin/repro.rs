@@ -64,7 +64,10 @@ fn main() {
                 continue;
             }
         };
-        println!("==================== {} ====================", target.to_uppercase());
+        println!(
+            "==================== {} ====================",
+            target.to_uppercase()
+        );
         println!("{output}");
         eprintln!("# {target} took {:.1}s", started.elapsed().as_secs_f64());
     }

@@ -29,7 +29,11 @@ impl Experiments {
     pub fn new(stride: usize) -> Experiments {
         let dataset = Arc::new(Dataset::generate());
         let models = standard_models(Arc::clone(&dataset));
-        Experiments { dataset, models, stride: stride.max(1) }
+        Experiments {
+            dataset,
+            models,
+            stride: stride.max(1),
+        }
     }
 
     /// The shared dataset.
@@ -37,7 +41,12 @@ impl Experiments {
         &self.dataset
     }
 
-    fn eval(&self, model: &SimulatedModel, variants: Vec<Variant>, shots: usize) -> Vec<EvalRecord> {
+    fn eval(
+        &self,
+        model: &SimulatedModel,
+        variants: Vec<Variant>,
+        shots: usize,
+    ) -> Vec<EvalRecord> {
         evaluate(
             model,
             &self.dataset,
@@ -72,7 +81,9 @@ impl Experiments {
         for r in &cost_rows {
             out.push_str(&format!("  {:<38}${:>6.2}\n", r.label, r.dollars));
         }
-        out.push_str(&format!("Total cost range: ${min_total:.2} - ${max_total:.2}\n"));
+        out.push_str(&format!(
+            "Total cost range: ${min_total:.2} - ${max_total:.2}\n"
+        ));
         out
     }
 
@@ -85,7 +96,10 @@ impl Experiments {
             // PaLM's English-only API: translated questions are excluded
             // from its averages (Table 4 footnote).
             let records: Vec<EvalRecord> = if model.profile().passes_translated.is_none() {
-                records.into_iter().filter(|r| r.variant != Variant::Translated).collect()
+                records
+                    .into_iter()
+                    .filter(|r| r.variant != Variant::Translated)
+                    .collect()
             } else {
                 records
             };

@@ -103,10 +103,10 @@ pub fn simplify(description: &str) -> String {
 /// Words the simplifier drops outright.
 const STOPWORDS: &[&str] = &[
     "the", "a", "an", "that", "which", "it", "its", "be", "been", "is", "are", "was", "were",
-    "should", "must", "please", "kindly", "very", "just", "also", "so", "such", "will",
-    "would", "can", "could", "to", "in", "into", "of", "for", "on", "under", "inside",
-    "within", "there", "their", "this", "these", "those", "your", "our", "my", "me", "i",
-    "we", "you", "and", "then", "when", "while",
+    "should", "must", "please", "kindly", "very", "just", "also", "so", "such", "will", "would",
+    "can", "could", "to", "in", "into", "of", "for", "on", "under", "inside", "within", "there",
+    "their", "this", "these", "those", "your", "our", "my", "me", "i", "we", "you", "and", "then",
+    "when", "while",
 ];
 
 /// Domain glossary for the pseudo-translation. Identifiers (quoted names,
@@ -260,7 +260,10 @@ deployment exposes container port 80 so that services can select it later.";
         let text = "Modify this deployment.\n```\nkind: Deployment\nmetadata:\n  namespace: x\n```";
         let s = simplify(text);
         assert!(s.contains("kind: Deployment"));
-        assert!(s.contains("namespace: x"), "code must not be abbreviated: {s}");
+        assert!(
+            s.contains("namespace: x"),
+            "code must not be abbreviated: {s}"
+        );
     }
 
     #[test]

@@ -134,7 +134,11 @@ mod tests {
         for p in ds.problems() {
             assert!(!p.description.is_empty(), "{}", p.id);
             assert!(!p.simplified.is_empty(), "{}", p.id);
-            assert!(p.translated.contains('。') || p.translated.contains('写'), "{}", p.id);
+            assert!(
+                p.translated.contains('。') || p.translated.contains('写'),
+                "{}",
+                p.id
+            );
         }
     }
 

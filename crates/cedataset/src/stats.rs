@@ -49,7 +49,10 @@ fn stats_for(category: Category, problems: &[&Problem]) -> CategoryStats {
     let n = problems.len().max(1) as f64;
     let words: usize = problems.iter().map(|p| word_count(&p.description)).sum();
     let sol_lines: usize = problems.iter().map(|p| p.reference_lines()).sum();
-    let sol_tokens: Vec<usize> = problems.iter().map(|p| token_count(&p.clean_reference())).collect();
+    let sol_tokens: Vec<usize> = problems
+        .iter()
+        .map(|p| token_count(&p.clean_reference()))
+        .collect();
     let test_lines: usize = problems
         .iter()
         .map(|p| p.unit_test.trim().lines().count())
@@ -116,9 +119,16 @@ pub fn table2(dataset: &Dataset) -> String {
         line
     };
     let total_count: usize = rows.iter().map(|r| r.count).sum();
-    out.push_str(&fmt_row("Total Problem Count", &|r| r.count.to_string(), total_count.to_string()));
+    out.push_str(&fmt_row(
+        "Total Problem Count",
+        &|r| r.count.to_string(),
+        total_count.to_string(),
+    ));
     let avg = |extract: &dyn Fn(&CategoryStats) -> f64| -> f64 {
-        rows.iter().map(|r| extract(r) * r.count as f64).sum::<f64>() / total_count as f64
+        rows.iter()
+            .map(|r| extract(r) * r.count as f64)
+            .sum::<f64>()
+            / total_count as f64
     };
     out.push_str(&fmt_row(
         "Avg. Question Words",
@@ -138,7 +148,11 @@ pub fn table2(dataset: &Dataset) -> String {
     out.push_str(&fmt_row(
         "Max Tokens of Solution",
         &|r| r.max_solution_tokens.to_string(),
-        rows.iter().map(|r| r.max_solution_tokens).max().unwrap_or(0).to_string(),
+        rows.iter()
+            .map(|r| r.max_solution_tokens)
+            .max()
+            .unwrap_or(0)
+            .to_string(),
     ));
     out.push_str(&fmt_row(
         "Avg. Lines of Unit Test",
@@ -190,8 +204,16 @@ mod tests {
         // Envoy questions and solutions are the longest, as in the paper.
         let envoy = rows.iter().find(|r| r.category == Category::Envoy).unwrap();
         for r in rows.iter().filter(|r| r.category != Category::Envoy) {
-            assert!(envoy.avg_solution_lines > r.avg_solution_lines, "{:?}", r.category);
-            assert!(envoy.avg_question_words > r.avg_question_words, "{:?}", r.category);
+            assert!(
+                envoy.avg_solution_lines > r.avg_solution_lines,
+                "{:?}",
+                r.category
+            );
+            assert!(
+                envoy.avg_question_words > r.avg_question_words,
+                "{:?}",
+                r.category
+            );
         }
     }
 

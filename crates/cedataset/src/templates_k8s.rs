@@ -15,7 +15,16 @@ fn pick<T>(options: &[T], i: usize) -> &T {
 }
 
 const HTTP_IMAGES: [(&str, u16); 3] = [("nginx", 80), ("httpd", 80), ("registry", 5000)];
-const APP_WORDS: [&str; 8] = ["web", "frontend", "api", "cache-proxy", "gateway", "store", "metrics", "portal"];
+const APP_WORDS: [&str; 8] = [
+    "web",
+    "frontend",
+    "api",
+    "cache-proxy",
+    "gateway",
+    "store",
+    "metrics",
+    "portal",
+];
 const NAMESPACES: [&str; 4] = ["default", "development", "prod", "staging"];
 
 pub(crate) fn finish_problem(
@@ -83,7 +92,14 @@ if [[ $image == *"{image}"* && $port == "{port}" && $phase == "Running" ]]; then
 fi
 "#
     );
-    finish_problem(id, Category::Pod, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::Pod,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }
 
 fn pod_env(id: String, n: usize) -> Problem {
@@ -112,7 +128,14 @@ if [[ $envs == *"{var1}"* && $envs == *"{var2}"* && $v1 == "{val1}" ]]; then
 fi
 "#
     );
-    finish_problem(id, Category::Pod, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::Pod,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }
 
 fn pod_resources(id: String, n: usize) -> Problem {
@@ -142,12 +165,27 @@ if [ "$cpu" == "{cpu_req}" ] && [ "$mem" == "{mem_lim}" ]; then
 fi
 "#
     );
-    finish_problem(id, Category::Pod, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::Pod,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }
 
 fn pod_command(id: String, n: usize) -> Problem {
     let app = pick(&APP_WORDS, n);
-    let msg = pick(&["hello-cloud", "bootstrap-done", "job-finished", "ready-to-serve"], n);
+    let msg = pick(
+        &[
+            "hello-cloud",
+            "bootstrap-done",
+            "job-finished",
+            "ready-to-serve",
+        ],
+        n,
+    );
     let name = format!("{app}-task");
     let description = format!(
         "Write a Kubernetes Pod YAML for a one-shot task. Name the Pod \"{name}\" with label \
@@ -168,7 +206,14 @@ if [ "$policy" == "Never" ]; then
 fi
 "#
     );
-    finish_problem(id, Category::Pod, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::Pod,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }
 
 fn pod_hostport(id: String, n: usize) -> Problem {
@@ -195,7 +240,14 @@ if [ "$code" == "200" ]; then
 fi
 "#
     );
-    finish_problem(id, Category::Pod, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::Pod,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }
 
 fn pod_volume(id: String, n: usize) -> Problem {
@@ -222,7 +274,14 @@ if [ "$vol" == "{vol}" ] && [ "$path" == "{mount}" ]; then
 fi
 "#
     );
-    finish_problem(id, Category::Pod, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::Pod,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -241,7 +300,10 @@ pub fn daemonset(i: usize) -> Problem {
 }
 
 fn daemonset_registry_proxy(id: String, n: usize) -> Problem {
-    let app = format!("kube-registry-{}", pick(&["modified", "edge", "node", "mirror"], n));
+    let app = format!(
+        "kube-registry-{}",
+        pick(&["modified", "edge", "node", "mirror"], n)
+    );
     let host_port = 5000 + (n as u16 % 5) * 10;
     let cpu = pick(&["100m", "150m", "200m"], n);
     let mem = pick(&["50Mi", "100Mi", "200Mi"], n);
@@ -283,12 +345,33 @@ if [ $passed_tests -eq $total_tests ]; then
 fi
 "#
     );
-    finish_problem(id, Category::DaemonSet, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::DaemonSet,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }
 
 fn daemonset_log_agent(id: String, n: usize) -> Problem {
-    let agent = format!("{}-{n}", pick(&["log-agent", "node-exporter", "metrics-shipper", "trace-agent"], n));
-    let host_path = pick(&["/var/log", "/var/lib/docker/containers", "/proc", "/sys"], n);
+    let agent = format!(
+        "{}-{n}",
+        pick(
+            &[
+                "log-agent",
+                "node-exporter",
+                "metrics-shipper",
+                "trace-agent"
+            ],
+            n
+        )
+    );
+    let host_path = pick(
+        &["/var/log", "/var/lib/docker/containers", "/proc", "/sys"],
+        n,
+    );
     let description = format!(
         "Write a YAML file for a Kubernetes DaemonSet named \"{agent}\" so that every node in \
 the cluster runs one agent pod. Use the busybox image with the command `echo agent-started`, \
@@ -309,11 +392,21 @@ if [ "$count" -ge "1" ] && [ "$path" == "{host_path}" ]; then
 fi
 "#
     );
-    finish_problem(id, Category::DaemonSet, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::DaemonSet,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }
 
 fn daemonset_modify_context(id: String, n: usize) -> Problem {
-    let app = format!("{}-{n}", pick(&["proxy", "sidecar-injector", "cni-agent", "dns-cache"], n));
+    let app = format!(
+        "{}-{n}",
+        pick(&["proxy", "sidecar-injector", "cni-agent", "dns-cache"], n)
+    );
     let new_image = pick(&["httpd", "nginx", "registry"], n);
     let context = format!(
         "apiVersion: apps/v1\nkind: DaemonSet\nmetadata:\n  name: {app}-ds\nspec:\n  selector:\n    matchLabels:\n      app: {app}\n  template:\n    metadata:\n      labels:\n        app: {app}\n    spec:\n      containers:\n      - name: main\n        image: busybox\n"
@@ -337,7 +430,14 @@ if [[ $image == *"{new_image}"* && $mode == "edge" ]]; then
 fi
 "#
     );
-    finish_problem(id, Category::DaemonSet, description, Some(context), labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::DaemonSet,
+        description,
+        Some(context),
+        labeled_reference,
+        unit_test,
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -391,11 +491,21 @@ grep "Opening service default/$svc in default browser" bash_output.txt && echo u
 "#,
         context = context.trim_end()
     );
-    finish_problem(id, Category::Service, description, Some(context), labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::Service,
+        description,
+        Some(context),
+        labeled_reference,
+        unit_test,
+    )
 }
 
 fn service_clusterip(id: String, n: usize) -> Problem {
-    let app = format!("{}{n}", pick(&["api", "backend", "search", "auth", "billing"], n));
+    let app = format!(
+        "{}{n}",
+        pick(&["api", "backend", "search", "auth", "billing"], n)
+    );
     let port = 8000 + (n as u16 % 5) * 100;
     let context = deployment_context(&app, 1);
     let description = format!(
@@ -420,7 +530,14 @@ fi
 "#,
         context = context.trim_end()
     );
-    finish_problem(id, Category::Service, description, Some(context), labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::Service,
+        description,
+        Some(context),
+        labeled_reference,
+        unit_test,
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -461,7 +578,14 @@ if [ "$succeeded" == "1" ] && [ "$backoff" == "{backoff}" ]; then
 fi
 "#
     );
-    finish_problem(id, Category::Job, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::Job,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }
 
 fn job_completions(id: String, n: usize) -> Problem {
@@ -486,7 +610,14 @@ if [ "$succeeded" == "{completions}" ]; then
 fi
 "#
     );
-    finish_problem(id, Category::Job, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::Job,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -525,7 +656,14 @@ if [ "$ready" == "{replicas}" ] && [ "$count" == "{replicas}" ]; then
 fi
 "#
     );
-    finish_problem(id, Category::Deployment, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::Deployment,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }
 
 fn deployment_scale_context(id: String, n: usize) -> Problem {
@@ -551,7 +689,14 @@ if [ "$replicas" == "{new_replicas}" ] && [[ $image == *"{new_image}"* ]]; then
 fi
 "#
     );
-    finish_problem(id, Category::Deployment, description, Some(context), labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::Deployment,
+        description,
+        Some(context),
+        labeled_reference,
+        unit_test,
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -601,7 +746,14 @@ if [ "$mode" == "{mode}" ] && [ "$retries" == "{retries}" ]; then
 fi
 "#
     );
-    finish_problem(id, Category::KubernetesOther, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::KubernetesOther,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }
 
 fn secret_problem(id: String, n: usize) -> Problem {
@@ -625,7 +777,14 @@ if [ "$t" == "Opaque" ] && [ "$u" == "{user}" ]; then
 fi
 "#
     );
-    finish_problem(id, Category::KubernetesOther, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::KubernetesOther,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }
 
 fn namespace_quota(id: String, n: usize) -> Problem {
@@ -648,13 +807,23 @@ if [ "$ns" == "team-{team}" ] && [ "$quota" == "{pods}" ]; then
 fi
 "#
     );
-    finish_problem(id, Category::KubernetesOther, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::KubernetesOther,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }
 
 fn rolebinding_problem(id: String, n: usize) -> Problem {
     let user = pick(&["dave", "alice", "bob", "carol", "erin"], n);
     let ns = pick(&NAMESPACES[1..], n);
-    let role = pick(&["secret-reader", "pod-viewer", "config-editor", "log-reader"], n);
+    let role = pick(
+        &["secret-reader", "pod-viewer", "config-editor", "log-reader"],
+        n,
+    );
     let description = format!(
         "Write a yaml file to create a Kubernetes RoleBinding in the {ns} namespace with the \
 name \"read-secrets\". This RoleBinding should bind the user \"{user}\" to the ClusterRole \
@@ -675,7 +844,14 @@ if [[ $namespace == "{ns}" && $subject_name == "{user}" && $role_ref_name == "{r
 fi
 "#
     );
-    finish_problem(id, Category::KubernetesOther, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::KubernetesOther,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }
 
 fn clusterrole_problem(id: String, n: usize) -> Problem {
@@ -699,11 +875,21 @@ if [ "$res" == "{what}" ] && [[ $verbs == *"watch"* ]]; then
 fi
 "#
     );
-    finish_problem(id, Category::KubernetesOther, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::KubernetesOther,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }
 
 fn ingress_problem(id: String, n: usize) -> Problem {
-    let svc = format!("{}-{n}", pick(&["test-app", "web-app", "api-server", "frontend-svc"], n));
+    let svc = format!(
+        "{}-{n}",
+        pick(&["test-app", "web-app", "api-server", "frontend-svc"], n)
+    );
     let svc = svc.as_str();
     let port = 5000 + (n as u16 % 4) * 1000;
     if n.is_multiple_of(2) {
@@ -729,9 +915,19 @@ ing=$(kubectl get ingress -o jsonpath='{{.items[0].metadata.name}}')
 kubectl describe ingress $ing | grep "{svc}:{port}" && echo unit_test_passed
 "#
         );
-        finish_problem(id, Category::KubernetesOther, description, Some(buggy), labeled_reference, unit_test)
+        finish_problem(
+            id,
+            Category::KubernetesOther,
+            description,
+            Some(buggy),
+            labeled_reference,
+            unit_test,
+        )
     } else {
-        let host = pick(&["shop.example.com", "docs.example.com", "api.example.com"], n);
+        let host = pick(
+            &["shop.example.com", "docs.example.com", "api.example.com"],
+            n,
+        );
         let description = format!(
             "Write YAML for a Kubernetes Ingress (networking.k8s.io/v1) named \"{svc}-ingress\". \
 Route HTTP traffic for host \"{host}\" with path \"/\" (pathType Prefix) to the backend \
@@ -751,7 +947,14 @@ if [ "$host" == "{host}" ]; then
 fi
 "#
         );
-        finish_problem(id, Category::KubernetesOther, description, None, labeled_reference, unit_test)
+        finish_problem(
+            id,
+            Category::KubernetesOther,
+            description,
+            None,
+            labeled_reference,
+            unit_test,
+        )
     }
 }
 
@@ -780,7 +983,14 @@ if [ "$cpu" == "{cpu_default}" ] && [ "$maxmem" == "{mem_max}" ]; then
 fi
 "#
     );
-    finish_problem(id, Category::KubernetesOther, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::KubernetesOther,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }
 
 fn pvc_problem(id: String, n: usize) -> Problem {
@@ -805,7 +1015,14 @@ if [ "$size" == "{size}" ] && [ "$mode" == "{mode}" ]; then
 fi
 "#
     );
-    finish_problem(id, Category::KubernetesOther, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::KubernetesOther,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }
 
 fn hpa_problem(id: String, n: usize) -> Problem {
@@ -835,7 +1052,14 @@ fi
 "#,
         context = context.trim_end()
     );
-    finish_problem(id, Category::KubernetesOther, description, Some(context), labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::KubernetesOther,
+        description,
+        Some(context),
+        labeled_reference,
+        unit_test,
+    )
 }
 
 fn cronjob_problem(id: String, n: usize) -> Problem {
@@ -860,11 +1084,21 @@ if [ "$sched" == "{schedule}" ] && [ "$jobs" -ge "1" ]; then
 fi
 "#
     );
-    finish_problem(id, Category::KubernetesOther, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::KubernetesOther,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }
 
 fn netpol_problem(id: String, n: usize) -> Problem {
-    let app = format!("{}-{n}", pick(&["db", "vault", "internal-api", "billing"], n));
+    let app = format!(
+        "{}-{n}",
+        pick(&["db", "vault", "internal-api", "billing"], n)
+    );
     let description = format!(
         "Create a NetworkPolicy YAML named \"deny-{app}\" that selects pods labeled app: {app} \
 (spec.podSelector.matchLabels) and declares both policy types Ingress and Egress, which \
@@ -883,7 +1117,14 @@ if [ "$sel" == "{app}" ] && [[ $types == *"Ingress"* && $types == *"Egress"* ]];
 fi
 "#
     );
-    finish_problem(id, Category::KubernetesOther, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::KubernetesOther,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }
 
 fn statefulset_problem(id: String, n: usize) -> Problem {
@@ -909,12 +1150,23 @@ if [ "$first" == "{db}-set{n}-0" ] && [ "$svc" == "{db}-headless" ] && [ "$count
 fi
 "#
     );
-    finish_problem(id, Category::KubernetesOther, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::KubernetesOther,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }
 
 fn multi_doc_problem(id: String, n: usize) -> Problem {
     let db = pick(&["mysql", "postgres"], n);
-    let port = if *pick(&["mysql", "postgres"], n) == "mysql" { 3306 } else { 5432 };
+    let port = if *pick(&["mysql", "postgres"], n) == "mysql" {
+        3306
+    } else {
+        5432
+    };
     let description = format!(
         "Please write a YAML file that defines firstly a Service and then a Deployment. The \
 Deployment runs a single {db} instance using the latest image on port {port}, with the \
@@ -937,5 +1189,12 @@ if [ "$svc_port" == "{port}" ] && [[ $image == *"{db}"* ]] && [ "$env_name" == "
 fi
 "#
     );
-    finish_problem(id, Category::KubernetesOther, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::KubernetesOther,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }

@@ -69,7 +69,15 @@ fn cluster_block(name: &str, port: u16) -> String {
 
 fn envoy_basic_route(id: String, n: usize) -> Problem {
     let port = 10000 + (n as u16 % 4) * 1000;
-    let cluster = *pick(&["service_backend", "app_cluster", "web_upstream", "api_cluster"], n);
+    let cluster = *pick(
+        &[
+            "service_backend",
+            "app_cluster",
+            "web_upstream",
+            "api_cluster",
+        ],
+        n,
+    );
     let upstream_port = 8080 + (n as u16 % 3) * 100;
     let description = format!(
         "Write a complete Envoy static configuration in YAML. It must define one listener named \
@@ -98,7 +106,14 @@ if [ "$code" == "200" ] && [[ $body == *"{cluster}"* ]]; then
 fi
 "#
     );
-    finish_problem(id, Category::Envoy, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::Envoy,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }
 
 fn envoy_two_routes(id: String, n: usize) -> Problem {
@@ -133,13 +148,23 @@ if [[ $api == *"{api_cluster}"* ]] && [[ $other == *"{default_cluster}"* ]]; the
 fi
 "#
     );
-    finish_problem(id, Category::Envoy, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::Envoy,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }
 
 fn envoy_direct_response(id: String, n: usize) -> Problem {
     let port = 10000 + (n as u16 % 5) * 123;
     let status = *pick(&[403u16, 404, 429, 503], n);
-    let body = *pick(&["access denied", "not here", "slow down", "maintenance"], n);
+    let body = *pick(
+        &["access denied", "not here", "slow down", "maintenance"],
+        n,
+    );
     let health_cluster = "health_backend";
     let description = format!(
         "Write an Envoy static configuration YAML with a listener on 0.0.0.0:{port}. The HTTP \
@@ -152,10 +177,10 @@ answered directly by Envoy without any upstream, using a direct_response with HT
 route itself with a body.inline_string field. The configuration must pass validation and \
 behave exactly as described when probed with curl."
     );
+    let body_yaml = format!("\"{body}\"");
     let labeled_reference = format!(
         "{header}            - name: backend # *\n              domains: [\"*\"]\n              routes:\n              - match:\n                  prefix: /health\n                route:\n                  cluster: {health_cluster}\n              - match:\n                  prefix: /\n                direct_response:\n                  status: {status}\n                  body:\n                    inline_string: {body_yaml}\n  clusters:\n{c1}",
         header = listener_header(port),
-        body_yaml = format!("\"{body}\""),
         c1 = cluster_block(health_cluster, 9901),
     );
     let unit_test = format!(
@@ -169,7 +194,14 @@ if [ "$code" == "{status}" ] && [[ $health == *"{health_cluster}"* ]] && [[ $res
 fi
 "#
     );
-    finish_problem(id, Category::Envoy, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::Envoy,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }
 
 fn envoy_weighted(id: String, n: usize) -> Problem {
@@ -205,7 +237,14 @@ if [[ $body == *"{primary}"* ]]; then
 fi
 "#
     );
-    finish_problem(id, Category::Envoy, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::Envoy,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -251,7 +290,14 @@ if [ "$host" == "{svc}" ] && [ "$lb" == "LEAST_REQUEST" ] && [ "$subset" == "tes
 fi
 "#
     );
-    finish_problem(id, Category::Istio, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::Istio,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }
 
 fn istio_virtual_service(id: String, n: usize) -> Problem {
@@ -279,7 +325,14 @@ if [ "$host" == "{svc}" ] && [ "$w1" == "{weight}" ] && [ "$s2" == "v2" ]; then
 fi
 "#
     );
-    finish_problem(id, Category::Istio, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::Istio,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }
 
 fn istio_gateway(id: String, n: usize) -> Problem {
@@ -304,5 +357,12 @@ if [ "$portnum" == "{port}" ] && [ "$proto" == "HTTP" ] && [ "$host" == "{host}"
 fi
 "#
     );
-    finish_problem(id, Category::Istio, description, None, labeled_reference, unit_test)
+    finish_problem(
+        id,
+        Category::Istio,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
 }

@@ -142,7 +142,10 @@ mod tests {
 
     #[test]
     fn disjoint_text_scores_zero_without_smoothing() {
-        assert_eq!(bleu("aaa bbb ccc ddd", "eee fff ggg hhh", Smoothing::None), 0.0);
+        assert_eq!(
+            bleu("aaa bbb ccc ddd", "eee fff ggg hhh", Smoothing::None),
+            0.0
+        );
     }
 
     #[test]

@@ -25,7 +25,11 @@ pub fn line_edit_distance(reference: &str, candidate: &str) -> usize {
 pub fn edit_distance_score(reference: &str, candidate: &str) -> f64 {
     let ref_len = reference.lines().count();
     if ref_len == 0 {
-        return if candidate.lines().count() == 0 { 1.0 } else { 0.0 };
+        return if candidate.lines().count() == 0 {
+            1.0
+        } else {
+            0.0
+        };
     }
     let dist = line_edit_distance(reference, candidate);
     (1.0 - dist as f64 / ref_len as f64).max(0.0)

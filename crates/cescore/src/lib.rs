@@ -265,8 +265,16 @@ spec:
     #[test]
     fn aggregate_means() {
         let scores = [
-            Scores { bleu: 1.0, unit_test: 1.0, ..Default::default() },
-            Scores { bleu: 0.0, unit_test: 0.0, ..Default::default() },
+            Scores {
+                bleu: 1.0,
+                unit_test: 1.0,
+                ..Default::default()
+            },
+            Scores {
+                bleu: 0.0,
+                unit_test: 0.0,
+                ..Default::default()
+            },
         ];
         let t = ScoreTable::aggregate(scores.iter());
         assert_eq!(t.count, 2);

@@ -114,7 +114,10 @@ mod tests {
     #[test]
     fn wildcard_uses_labels() {
         let r = "image: ubuntu:22.04 # v in ['20.04', '22.04']\nname: x # *\n";
-        assert_eq!(kv_wildcard_match(r, "image: ubuntu:20.04\nname: whatever\n"), 1.0);
+        assert_eq!(
+            kv_wildcard_match(r, "image: ubuntu:20.04\nname: whatever\n"),
+            1.0
+        );
         assert!(kv_wildcard_match(r, "image: alpine\nname: whatever\n") < 1.0);
     }
 

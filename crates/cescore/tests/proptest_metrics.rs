@@ -63,6 +63,68 @@ proptest! {
         prop_assert!(worse <= base + 1e-12, "bloated {worse} > base {base}");
     }
 
+    /// Individual metric functions stay in [0, 1] even on arbitrary
+    /// non-YAML text (scorers must be total over model output).
+    #[test]
+    fn raw_metrics_bounded_on_arbitrary_text(
+        r in "[a-zA-Z0-9 :#\\n-]{0,60}",
+        c in "[a-zA-Z0-9 :#\\n-]{0,60}",
+    ) {
+        for v in [
+            cescore::bleu(&r, &c, cescore::Smoothing::Epsilon),
+            cescore::edit_distance_score(&r, &c),
+            cescore::exact_match(&r, &c),
+            cescore::kv_exact_match(&r, &c),
+            cescore::kv_wildcard_match(&r, &c),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&v), "metric {v} out of bounds");
+        }
+    }
+
+    /// Identity: every text-level metric is perfect on (x, x), including
+    /// for non-YAML text.
+    #[test]
+    fn text_metrics_identity(x in "[a-zA-Z0-9 :\\n-]{1,60}") {
+        prop_assert!((cescore::bleu(&x, &x, cescore::Smoothing::Epsilon) - 1.0).abs() < 1e-9);
+        prop_assert_eq!(cescore::edit_distance_score(&x, &x), 1.0);
+        prop_assert_eq!(cescore::exact_match(&x, &x), 1.0);
+    }
+
+    /// Wildcard ⊇ exact: the wildcard metric accepts at least everything
+    /// the exact metric accepts, on every generated pair.
+    #[test]
+    fn wildcard_dominates_exact(r in arb_yaml_text(), c in arb_yaml_text()) {
+        let exact = cescore::kv_exact_match(&r, &c);
+        let wildcard = cescore::kv_wildcard_match(&r, &c);
+        prop_assert!(
+            wildcard >= exact - 1e-12,
+            "wildcard {wildcard} < exact {exact}"
+        );
+    }
+
+    /// Relaxing a reference leaf to a wildcard label never lowers the
+    /// wildcard score against any candidate (the match set only grows).
+    #[test]
+    fn wildcard_label_only_relaxes(r in arb_yaml_text(), c in arb_yaml_text(), pick in 0usize..8) {
+        let lines: Vec<&str> = r.lines().collect();
+        let idx = pick % lines.len().max(1);
+        let labeled: Vec<String> = lines
+            .iter()
+            .enumerate()
+            .map(|(i, l)| if i == idx { format!("{l} # *") } else { (*l).to_owned() })
+            .collect();
+        let labeled = labeled.join("\n") + "\n";
+        let plain = cescore::kv_wildcard_match(&r, &c);
+        let relaxed = cescore::kv_wildcard_match(&labeled, &c);
+        prop_assert!(
+            relaxed >= plain - 1e-12,
+            "labeling lowered the score: {plain} -> {relaxed}\nref:\n{r}"
+        );
+        // And the labeled reference still fully matches the original
+        // unlabeled document.
+        prop_assert!((cescore::kv_wildcard_match(&labeled, &r) - 1.0).abs() < 1e-12);
+    }
+
     /// Edit distance score decreases monotonically as more lines change.
     #[test]
     fn edit_distance_monotone_in_changes(r in arb_yaml_text()) {

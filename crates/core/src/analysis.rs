@@ -41,9 +41,24 @@ pub struct FactorRow {
 pub fn factor_analysis(model: &str, records: &[EvalRecord]) -> FactorRow {
     let of_model: Vec<&EvalRecord> = records.iter().filter(|r| r.model == model).collect();
     let by_application = [
-        unit_test_score(of_model.iter().copied().filter(|r| r.category.application() == Application::Kubernetes)),
-        unit_test_score(of_model.iter().copied().filter(|r| r.category.application() == Application::Envoy)),
-        unit_test_score(of_model.iter().copied().filter(|r| r.category.application() == Application::Istio)),
+        unit_test_score(
+            of_model
+                .iter()
+                .copied()
+                .filter(|r| r.category.application() == Application::Kubernetes),
+        ),
+        unit_test_score(
+            of_model
+                .iter()
+                .copied()
+                .filter(|r| r.category.application() == Application::Envoy),
+        ),
+        unit_test_score(
+            of_model
+                .iter()
+                .copied()
+                .filter(|r| r.category.application() == Application::Istio),
+        ),
     ];
     let by_context = [
         unit_test_score(of_model.iter().copied().filter(|r| r.has_context)),
@@ -51,13 +66,28 @@ pub fn factor_analysis(model: &str, records: &[EvalRecord]) -> FactorRow {
     ];
     let by_ref_length = [
         unit_test_score(of_model.iter().copied().filter(|r| r.reference_lines < 15)),
-        unit_test_score(of_model.iter().copied().filter(|r| (15..30).contains(&r.reference_lines))),
+        unit_test_score(
+            of_model
+                .iter()
+                .copied()
+                .filter(|r| (15..30).contains(&r.reference_lines)),
+        ),
         unit_test_score(of_model.iter().copied().filter(|r| r.reference_lines >= 30)),
     ];
     let by_question_tokens = [
         unit_test_score(of_model.iter().copied().filter(|r| r.question_tokens < 50)),
-        unit_test_score(of_model.iter().copied().filter(|r| (50..100).contains(&r.question_tokens))),
-        unit_test_score(of_model.iter().copied().filter(|r| r.question_tokens >= 100)),
+        unit_test_score(
+            of_model
+                .iter()
+                .copied()
+                .filter(|r| (50..100).contains(&r.question_tokens)),
+        ),
+        unit_test_score(
+            of_model
+                .iter()
+                .copied()
+                .filter(|r| r.question_tokens >= 100),
+        ),
     ];
     FactorRow {
         model: model.to_owned(),
@@ -97,7 +127,14 @@ mod tests {
         let ds = Arc::new(Dataset::generate());
         let model =
             SimulatedModel::new(ModelProfile::by_name(model_name).unwrap(), Arc::clone(&ds));
-        evaluate(&model, &ds, &EvalOptions { stride, ..EvalOptions::default() })
+        evaluate(
+            &model,
+            &ds,
+            &EvalOptions {
+                stride,
+                ..EvalOptions::default()
+            },
+        )
     }
 
     #[test]

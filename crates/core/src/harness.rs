@@ -62,12 +62,19 @@ impl Default for EvalOptions {
 impl EvalOptions {
     /// All three variants (Table 4's full 1011-problem evaluation).
     pub fn full() -> EvalOptions {
-        EvalOptions { variants: Variant::ALL.to_vec(), ..EvalOptions::default() }
+        EvalOptions {
+            variants: Variant::ALL.to_vec(),
+            ..EvalOptions::default()
+        }
     }
 }
 
 /// Runs the full pipeline for one model.
-pub fn evaluate(model: &SimulatedModel, dataset: &Dataset, options: &EvalOptions) -> Vec<EvalRecord> {
+pub fn evaluate(
+    model: &SimulatedModel,
+    dataset: &Dataset,
+    options: &EvalOptions,
+) -> Vec<EvalRecord> {
     let problems: Vec<&Problem> = dataset
         .problems()
         .iter()
@@ -88,7 +95,10 @@ pub fn evaluate(model: &SimulatedModel, dataset: &Dataset, options: &EvalOptions
         model,
         &prompts,
         &options.params,
-        &QueryConfig { parallelism: options.workers.max(1), ..QueryConfig::default() },
+        &QueryConfig {
+            parallelism: options.workers.max(1),
+            ..QueryConfig::default()
+        },
     );
     // 2. Post-processing + static scoring.
     let extracted: Vec<String> = batch.responses.iter().map(|r| extract_yaml(r)).collect();
@@ -154,7 +164,11 @@ mod tests {
         evaluate(
             &model,
             &dataset,
-            &EvalOptions { stride, workers: 8, ..EvalOptions::default() },
+            &EvalOptions {
+                stride,
+                workers: 8,
+                ..EvalOptions::default()
+            },
         )
     }
 
@@ -164,8 +178,19 @@ mod tests {
         assert_eq!(records.len(), 34);
         for r in &records {
             let s = &r.scores;
-            for v in [s.bleu, s.edit_distance, s.exact_match, s.kv_exact, s.kv_wildcard, s.unit_test] {
-                assert!((0.0..=1.0).contains(&v), "{v} out of range for {}", r.problem_id);
+            for v in [
+                s.bleu,
+                s.edit_distance,
+                s.exact_match,
+                s.kv_exact,
+                s.kv_wildcard,
+                s.unit_test,
+            ] {
+                assert!(
+                    (0.0..=1.0).contains(&v),
+                    "{v} out of range for {}",
+                    r.problem_id
+                );
             }
         }
         // GPT-4 passes a healthy share even on a subsample.

@@ -64,15 +64,18 @@ pub fn pass_at_k(
     let mut curve = vec![0usize; k];
     for (p_idx, _) in problems.iter().enumerate() {
         let mut passed_yet = false;
-        for sample in 0..k {
+        for (sample, passes) in curve.iter_mut().enumerate() {
             let job = &report.results[p_idx * k + sample];
             passed_yet |= job.passed;
             if passed_yet {
-                curve[sample] += 1;
+                *passes += 1;
             }
         }
     }
-    PassAtK { model: model.name().to_owned(), curve }
+    PassAtK {
+        model: model.name().to_owned(),
+        curve,
+    }
 }
 
 #[cfg(test)]

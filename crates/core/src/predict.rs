@@ -61,7 +61,11 @@ pub fn leave_one_model_out(records: &[EvalRecord]) -> Vec<LomoResult> {
         }
         let clf = Classifier::fit(&train_x, &train_y, &BoostParams::default());
         let predicted = test_x.iter().filter(|x| clf.predict(x)).count();
-        results.push(LomoResult { model: held_out.clone(), actual, predicted });
+        results.push(LomoResult {
+            model: held_out.clone(),
+            actual,
+            predicted,
+        });
     }
     results
 }
@@ -79,8 +83,8 @@ pub fn rank_agreement(results: &[LomoResult]) -> f64 {
             }
             total += 1;
             let actual_order = a.actual > b.actual;
-            let predicted_order = a.predicted > b.predicted
-                || (a.predicted == b.predicted && actual_order);
+            let predicted_order =
+                a.predicted > b.predicted || (a.predicted == b.predicted && actual_order);
             if actual_order == predicted_order {
                 concordant += 1;
             }
@@ -119,9 +123,15 @@ mod tests {
         let ds = Arc::new(Dataset::generate());
         let mut records = Vec::new();
         for name in ["gpt-4", "gpt-3.5", "llama-2-70b-chat", "llama-7b"] {
-            let model =
-                SimulatedModel::new(ModelProfile::by_name(name).unwrap(), Arc::clone(&ds));
-            records.extend(evaluate(&model, &ds, &EvalOptions { stride, ..Default::default() }));
+            let model = SimulatedModel::new(ModelProfile::by_name(name).unwrap(), Arc::clone(&ds));
+            records.extend(evaluate(
+                &model,
+                &ds,
+                &EvalOptions {
+                    stride,
+                    ..Default::default()
+                },
+            ));
         }
         records
     }

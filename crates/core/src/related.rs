@@ -19,21 +19,126 @@ pub struct BenchmarkInfo {
 
 /// The comparison rows of Table 7.
 pub const RELATED: &[BenchmarkInfo] = &[
-    BenchmarkInfo { dataset: "HumanEval", domain: "Python algorithm", special_metric: "Unit tests", problems: "164", source: "Hand-written", languages: "EN" },
-    BenchmarkInfo { dataset: "MBPP", domain: "Basic Python", special_metric: "Unit tests", problems: "974", source: "Hand-verified", languages: "EN" },
-    BenchmarkInfo { dataset: "WikiSQL", domain: "SQL query", special_metric: "Execution Accuracy", problems: "88k", source: "Hand-annotated", languages: "EN" },
-    BenchmarkInfo { dataset: "CodeApex", domain: "C++ algorithm", special_metric: "Unit tests", problems: "476", source: "Online judge system", languages: "EN, ZH" },
-    BenchmarkInfo { dataset: "MCoNaLa", domain: "Python", special_metric: "-", problems: "896", source: "StackOverflow", languages: "EN, ES, JA, RU" },
-    BenchmarkInfo { dataset: "Lyra", domain: "Python w/ embed. SQL", special_metric: "Code exec./AST", problems: "2000", source: "GitHub", languages: "EN, ZH" },
-    BenchmarkInfo { dataset: "APPS", domain: "Python", special_metric: "Unit tests", problems: "10k", source: "Codeforces, Kattis", languages: "EN" },
-    BenchmarkInfo { dataset: "CoNaLa", domain: "Python, Java", special_metric: "-", problems: "2879", source: "StackOverflow", languages: "EN" },
-    BenchmarkInfo { dataset: "Django", domain: "Python Django", special_metric: "Human study", problems: "19k", source: "Django codebase", languages: "EN" },
-    BenchmarkInfo { dataset: "Shellcode_IA32", domain: "Assembly", special_metric: "-", problems: "3200", source: "shell-storm, Exploit", languages: "EN" },
-    BenchmarkInfo { dataset: "CodeXGLUE", domain: "Python, Java", special_metric: "-", problems: "645k", source: "Various sources", languages: "EN" },
-    BenchmarkInfo { dataset: "CONCODE", domain: "Java classes", special_metric: "-", problems: "100k", source: "GitHub repositories", languages: "EN" },
-    BenchmarkInfo { dataset: "DS-1000", domain: "Python data science", special_metric: "Unit tests", problems: "1000", source: "StackOverflow", languages: "EN" },
-    BenchmarkInfo { dataset: "Ansible", domain: "YAML for Ansible", special_metric: "K-V match", problems: "112k", source: "GitHub, GitLab", languages: "EN" },
-    BenchmarkInfo { dataset: "CloudEval-YAML", domain: "YAML for Cloud apps", special_metric: "Unit tests, K-V wildcard", problems: "1011", source: "Hand-written (337/1011)", languages: "EN, ZH" },
+    BenchmarkInfo {
+        dataset: "HumanEval",
+        domain: "Python algorithm",
+        special_metric: "Unit tests",
+        problems: "164",
+        source: "Hand-written",
+        languages: "EN",
+    },
+    BenchmarkInfo {
+        dataset: "MBPP",
+        domain: "Basic Python",
+        special_metric: "Unit tests",
+        problems: "974",
+        source: "Hand-verified",
+        languages: "EN",
+    },
+    BenchmarkInfo {
+        dataset: "WikiSQL",
+        domain: "SQL query",
+        special_metric: "Execution Accuracy",
+        problems: "88k",
+        source: "Hand-annotated",
+        languages: "EN",
+    },
+    BenchmarkInfo {
+        dataset: "CodeApex",
+        domain: "C++ algorithm",
+        special_metric: "Unit tests",
+        problems: "476",
+        source: "Online judge system",
+        languages: "EN, ZH",
+    },
+    BenchmarkInfo {
+        dataset: "MCoNaLa",
+        domain: "Python",
+        special_metric: "-",
+        problems: "896",
+        source: "StackOverflow",
+        languages: "EN, ES, JA, RU",
+    },
+    BenchmarkInfo {
+        dataset: "Lyra",
+        domain: "Python w/ embed. SQL",
+        special_metric: "Code exec./AST",
+        problems: "2000",
+        source: "GitHub",
+        languages: "EN, ZH",
+    },
+    BenchmarkInfo {
+        dataset: "APPS",
+        domain: "Python",
+        special_metric: "Unit tests",
+        problems: "10k",
+        source: "Codeforces, Kattis",
+        languages: "EN",
+    },
+    BenchmarkInfo {
+        dataset: "CoNaLa",
+        domain: "Python, Java",
+        special_metric: "-",
+        problems: "2879",
+        source: "StackOverflow",
+        languages: "EN",
+    },
+    BenchmarkInfo {
+        dataset: "Django",
+        domain: "Python Django",
+        special_metric: "Human study",
+        problems: "19k",
+        source: "Django codebase",
+        languages: "EN",
+    },
+    BenchmarkInfo {
+        dataset: "Shellcode_IA32",
+        domain: "Assembly",
+        special_metric: "-",
+        problems: "3200",
+        source: "shell-storm, Exploit",
+        languages: "EN",
+    },
+    BenchmarkInfo {
+        dataset: "CodeXGLUE",
+        domain: "Python, Java",
+        special_metric: "-",
+        problems: "645k",
+        source: "Various sources",
+        languages: "EN",
+    },
+    BenchmarkInfo {
+        dataset: "CONCODE",
+        domain: "Java classes",
+        special_metric: "-",
+        problems: "100k",
+        source: "GitHub repositories",
+        languages: "EN",
+    },
+    BenchmarkInfo {
+        dataset: "DS-1000",
+        domain: "Python data science",
+        special_metric: "Unit tests",
+        problems: "1000",
+        source: "StackOverflow",
+        languages: "EN",
+    },
+    BenchmarkInfo {
+        dataset: "Ansible",
+        domain: "YAML for Ansible",
+        special_metric: "K-V match",
+        problems: "112k",
+        source: "GitHub, GitLab",
+        languages: "EN",
+    },
+    BenchmarkInfo {
+        dataset: "CloudEval-YAML",
+        domain: "YAML for Cloud apps",
+        special_metric: "Unit tests, K-V wildcard",
+        problems: "1011",
+        source: "Hand-written (337/1011)",
+        languages: "EN, ZH",
+    },
 ];
 
 /// Renders Table 7 as aligned text.

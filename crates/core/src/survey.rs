@@ -18,106 +18,606 @@ pub struct RepoStat {
 
 /// The full survey table (Table 8), transcribed from the paper.
 pub const SURVEY: &[RepoStat] = &[
-    RepoStat { name: "GitLab", stars: 23368, total_files: 58372, yaml_files: 4721 },
-    RepoStat { name: "Kubernetes", stars: 101881, total_files: 29662, yaml_files: 4715 },
-    RepoStat { name: "Elastic", stars: 65213, total_files: 35747, yaml_files: 3143 },
-    RepoStat { name: "GraphQL", stars: 30135, total_files: 13667, yaml_files: 2169 },
-    RepoStat { name: "Istio", stars: 33694, total_files: 6261, yaml_files: 2081 },
-    RepoStat { name: "Ansible", stars: 58659, total_files: 7236, yaml_files: 1914 },
-    RepoStat { name: "ShardingSphere", stars: 18807, total_files: 21945, yaml_files: 1632 },
-    RepoStat { name: "llvm", stars: 21975, total_files: 148442, yaml_files: 1202 },
-    RepoStat { name: "Argo", stars: 14145, total_files: 4172, yaml_files: 1118 },
-    RepoStat { name: "Skaffold", stars: 14219, total_files: 16345, yaml_files: 1044 },
-    RepoStat { name: "Kubespray", stars: 14472, total_files: 2093, yaml_files: 900 },
-    RepoStat { name: "SkyWalking", stars: 22442, total_files: 5999, yaml_files: 802 },
-    RepoStat { name: "Cilium", stars: 16516, total_files: 19972, yaml_files: 780 },
-    RepoStat { name: "MongoDB", stars: 24425, total_files: 49784, yaml_files: 743 },
-    RepoStat { name: "Backstage", stars: 23285, total_files: 12300, yaml_files: 613 },
-    RepoStat { name: "Grafana Loki", stars: 20163, total_files: 15520, yaml_files: 554 },
-    RepoStat { name: "Helm", stars: 24953, total_files: 1784, yaml_files: 540 },
-    RepoStat { name: "Envoy", stars: 22759, total_files: 13470, yaml_files: 520 },
-    RepoStat { name: "Pulumi", stars: 17622, total_files: 8179, yaml_files: 467 },
-    RepoStat { name: "Teleport", stars: 14225, total_files: 8884, yaml_files: 419 },
-    RepoStat { name: "Traefik", stars: 44719, total_files: 1870, yaml_files: 339 },
-    RepoStat { name: "minikube", stars: 27261, total_files: 2368, yaml_files: 316 },
-    RepoStat { name: "SlimToolkit", stars: 17269, total_files: 6545, yaml_files: 305 },
-    RepoStat { name: "Prometheus", stars: 49987, total_files: 1389, yaml_files: 255 },
-    RepoStat { name: "Grafana", stars: 57207, total_files: 15782, yaml_files: 242 },
-    RepoStat { name: "Podman", stars: 19128, total_files: 10589, yaml_files: 203 },
-    RepoStat { name: "ClickHouse", stars: 30874, total_files: 27331, yaml_files: 200 },
-    RepoStat { name: "Rancher K8s", stars: 21560, total_files: 3655, yaml_files: 196 },
-    RepoStat { name: "Netdata", stars: 65199, total_files: 3069, yaml_files: 190 },
-    RepoStat { name: "Dapr", stars: 22320, total_files: 2027, yaml_files: 186 },
-    RepoStat { name: "Trivy", stars: 18709, total_files: 2250, yaml_files: 178 },
-    RepoStat { name: "Vector", stars: 14432, total_files: 9320, yaml_files: 174 },
-    RepoStat { name: "JHipster", stars: 20853, total_files: 3874, yaml_files: 173 },
-    RepoStat { name: "RethinkDB", stars: 26257, total_files: 2121, yaml_files: 165 },
-    RepoStat { name: "Dgraph", stars: 19620, total_files: 2231, yaml_files: 161 },
-    RepoStat { name: "Salt Project", stars: 13513, total_files: 7242, yaml_files: 153 },
-    RepoStat { name: "Docker Compose", stars: 30543, total_files: 466, yaml_files: 147 },
-    RepoStat { name: "Vitess", stars: 16897, total_files: 5579, yaml_files: 142 },
-    RepoStat { name: "containerd", stars: 14857, total_files: 6523, yaml_files: 138 },
-    RepoStat { name: "Serverless", stars: 45187, total_files: 1805, yaml_files: 131 },
-    RepoStat { name: "CockroachDB", stars: 27828, total_files: 18499, yaml_files: 118 },
-    RepoStat { name: "k3s", stars: 24517, total_files: 750, yaml_files: 97 },
-    RepoStat { name: "Logstash", stars: 13639, total_files: 3835, yaml_files: 88 },
-    RepoStat { name: "Apache Spark", stars: 36800, total_files: 24415, yaml_files: 85 },
-    RepoStat { name: "Kong", stars: 35947, total_files: 1888, yaml_files: 75 },
-    RepoStat { name: "SST", stars: 17715, total_files: 4683, yaml_files: 73 },
-    RepoStat { name: "Rust", stars: 85579, total_files: 46998, yaml_files: 69 },
-    RepoStat { name: "gRPC", stars: 39066, total_files: 12629, yaml_files: 68 },
-    RepoStat { name: "Vault", stars: 27546, total_files: 9175, yaml_files: 66 },
-    RepoStat { name: "DragonflyDB", stars: 21064, total_files: 615, yaml_files: 64 },
-    RepoStat { name: "Consul", stars: 26921, total_files: 13084, yaml_files: 62 },
-    RepoStat { name: "Keycloak", stars: 17472, total_files: 14535, yaml_files: 59 },
-    RepoStat { name: "Presto", stars: 15087, total_files: 13493, yaml_files: 57 },
-    RepoStat { name: "InfluxData", stars: 26133, total_files: 2007, yaml_files: 56 },
-    RepoStat { name: "ORY Hydra", stars: 14434, total_files: 2556, yaml_files: 56 },
-    RepoStat { name: "OpenAPI", stars: 27136, total_files: 181, yaml_files: 55 },
-    RepoStat { name: "Sentry", stars: 35169, total_files: 14388, yaml_files: 54 },
-    RepoStat { name: "TDengine", stars: 21762, total_files: 4620, yaml_files: 51 },
-    RepoStat { name: "Jaeger", stars: 18318, total_files: 1469, yaml_files: 48 },
-    RepoStat { name: "MinIO", stars: 40904, total_files: 1391, yaml_files: 46 },
-    RepoStat { name: "Zipkin", stars: 16425, total_files: 1076, yaml_files: 43 },
-    RepoStat { name: "k6", stars: 21566, total_files: 3382, yaml_files: 40 },
-    RepoStat { name: "Nomad", stars: 13968, total_files: 6080, yaml_files: 39 },
-    RepoStat { name: "Timescale", stars: 15534, total_files: 2289, yaml_files: 39 },
-    RepoStat { name: "etcd", stars: 44537, total_files: 1600, yaml_files: 38 },
-    RepoStat { name: "Gradle Build Tool", stars: 15205, total_files: 35647, yaml_files: 38 },
-    RepoStat { name: "Terraform", stars: 38875, total_files: 5704, yaml_files: 36 },
-    RepoStat { name: "Apache RocketMQ", stars: 19814, total_files: 2985, yaml_files: 36 },
-    RepoStat { name: "Flink", stars: 21993, total_files: 27228, yaml_files: 30 },
-    RepoStat { name: "Apollo", stars: 28360, total_files: 1512, yaml_files: 28 },
-    RepoStat { name: "gVisor", stars: 14172, total_files: 3723, yaml_files: 26 },
-    RepoStat { name: "Sentinel", stars: 21422, total_files: 3487, yaml_files: 25 },
-    RepoStat { name: "go-zero", stars: 25550, total_files: 1382, yaml_files: 22 },
-    RepoStat { name: "Seata", stars: 24226, total_files: 3904, yaml_files: 21 },
-    RepoStat { name: "Packer", stars: 14612, total_files: 1450, yaml_files: 20 },
-    RepoStat { name: "Wasmer", stars: 16300, total_files: 2007, yaml_files: 19 },
-    RepoStat { name: "Portainer", stars: 26644, total_files: 3063, yaml_files: 19 },
-    RepoStat { name: "Golang", stars: 114620, total_files: 14022, yaml_files: 18 },
-    RepoStat { name: "SOPS", stars: 13823, total_files: 190, yaml_files: 18 },
-    RepoStat { name: "Redis", stars: 61572, total_files: 1679, yaml_files: 16 },
-    RepoStat { name: "kratos", stars: 21387, total_files: 861, yaml_files: 16 },
-    RepoStat { name: "NATS", stars: 24451, total_files: 580, yaml_files: 16 },
-    RepoStat { name: "Zig", stars: 26009, total_files: 16173, yaml_files: 15 },
-    RepoStat { name: "Jenkins", stars: 21453, total_files: 13139, yaml_files: 15 },
-    RepoStat { name: "Apache Hadoop", stars: 13858, total_files: 9562, yaml_files: 14 },
-    RepoStat { name: "Dubbo", stars: 39400, total_files: 5399, yaml_files: 14 },
-    RepoStat { name: "TiDB", stars: 34880, total_files: 6235, yaml_files: 14 },
-    RepoStat { name: "OpenFaaS", stars: 23512, total_files: 1100, yaml_files: 14 },
-    RepoStat { name: "emscripten", stars: 24266, total_files: 9596, yaml_files: 11 },
-    RepoStat { name: "OpenCV", stars: 71360, total_files: 8613, yaml_files: 10 },
-    RepoStat { name: "Caddy", stars: 49844, total_files: 465, yaml_files: 9 },
-    RepoStat { name: "Apache bRPC", stars: 15290, total_files: 1632, yaml_files: 9 },
-    RepoStat { name: "Firecracker", stars: 22578, total_files: 822, yaml_files: 8 },
-    RepoStat { name: "Nacos", stars: 27577, total_files: 3501, yaml_files: 6 },
-    RepoStat { name: "Kotlin", stars: 45845, total_files: 98293, yaml_files: 5 },
-    RepoStat { name: "TiKV", stars: 13617, total_files: 1705, yaml_files: 3 },
-    RepoStat { name: "Kafka", stars: 25883, total_files: 7020, yaml_files: 2 },
-    RepoStat { name: "V8", stars: 21722, total_files: 14237, yaml_files: 1 },
-    RepoStat { name: "FFmpeg", stars: 38520, total_files: 8287, yaml_files: 1 },
-    RepoStat { name: "NGINX(Wasm)", stars: 19089, total_files: 559, yaml_files: 0 },
+    RepoStat {
+        name: "GitLab",
+        stars: 23368,
+        total_files: 58372,
+        yaml_files: 4721,
+    },
+    RepoStat {
+        name: "Kubernetes",
+        stars: 101881,
+        total_files: 29662,
+        yaml_files: 4715,
+    },
+    RepoStat {
+        name: "Elastic",
+        stars: 65213,
+        total_files: 35747,
+        yaml_files: 3143,
+    },
+    RepoStat {
+        name: "GraphQL",
+        stars: 30135,
+        total_files: 13667,
+        yaml_files: 2169,
+    },
+    RepoStat {
+        name: "Istio",
+        stars: 33694,
+        total_files: 6261,
+        yaml_files: 2081,
+    },
+    RepoStat {
+        name: "Ansible",
+        stars: 58659,
+        total_files: 7236,
+        yaml_files: 1914,
+    },
+    RepoStat {
+        name: "ShardingSphere",
+        stars: 18807,
+        total_files: 21945,
+        yaml_files: 1632,
+    },
+    RepoStat {
+        name: "llvm",
+        stars: 21975,
+        total_files: 148442,
+        yaml_files: 1202,
+    },
+    RepoStat {
+        name: "Argo",
+        stars: 14145,
+        total_files: 4172,
+        yaml_files: 1118,
+    },
+    RepoStat {
+        name: "Skaffold",
+        stars: 14219,
+        total_files: 16345,
+        yaml_files: 1044,
+    },
+    RepoStat {
+        name: "Kubespray",
+        stars: 14472,
+        total_files: 2093,
+        yaml_files: 900,
+    },
+    RepoStat {
+        name: "SkyWalking",
+        stars: 22442,
+        total_files: 5999,
+        yaml_files: 802,
+    },
+    RepoStat {
+        name: "Cilium",
+        stars: 16516,
+        total_files: 19972,
+        yaml_files: 780,
+    },
+    RepoStat {
+        name: "MongoDB",
+        stars: 24425,
+        total_files: 49784,
+        yaml_files: 743,
+    },
+    RepoStat {
+        name: "Backstage",
+        stars: 23285,
+        total_files: 12300,
+        yaml_files: 613,
+    },
+    RepoStat {
+        name: "Grafana Loki",
+        stars: 20163,
+        total_files: 15520,
+        yaml_files: 554,
+    },
+    RepoStat {
+        name: "Helm",
+        stars: 24953,
+        total_files: 1784,
+        yaml_files: 540,
+    },
+    RepoStat {
+        name: "Envoy",
+        stars: 22759,
+        total_files: 13470,
+        yaml_files: 520,
+    },
+    RepoStat {
+        name: "Pulumi",
+        stars: 17622,
+        total_files: 8179,
+        yaml_files: 467,
+    },
+    RepoStat {
+        name: "Teleport",
+        stars: 14225,
+        total_files: 8884,
+        yaml_files: 419,
+    },
+    RepoStat {
+        name: "Traefik",
+        stars: 44719,
+        total_files: 1870,
+        yaml_files: 339,
+    },
+    RepoStat {
+        name: "minikube",
+        stars: 27261,
+        total_files: 2368,
+        yaml_files: 316,
+    },
+    RepoStat {
+        name: "SlimToolkit",
+        stars: 17269,
+        total_files: 6545,
+        yaml_files: 305,
+    },
+    RepoStat {
+        name: "Prometheus",
+        stars: 49987,
+        total_files: 1389,
+        yaml_files: 255,
+    },
+    RepoStat {
+        name: "Grafana",
+        stars: 57207,
+        total_files: 15782,
+        yaml_files: 242,
+    },
+    RepoStat {
+        name: "Podman",
+        stars: 19128,
+        total_files: 10589,
+        yaml_files: 203,
+    },
+    RepoStat {
+        name: "ClickHouse",
+        stars: 30874,
+        total_files: 27331,
+        yaml_files: 200,
+    },
+    RepoStat {
+        name: "Rancher K8s",
+        stars: 21560,
+        total_files: 3655,
+        yaml_files: 196,
+    },
+    RepoStat {
+        name: "Netdata",
+        stars: 65199,
+        total_files: 3069,
+        yaml_files: 190,
+    },
+    RepoStat {
+        name: "Dapr",
+        stars: 22320,
+        total_files: 2027,
+        yaml_files: 186,
+    },
+    RepoStat {
+        name: "Trivy",
+        stars: 18709,
+        total_files: 2250,
+        yaml_files: 178,
+    },
+    RepoStat {
+        name: "Vector",
+        stars: 14432,
+        total_files: 9320,
+        yaml_files: 174,
+    },
+    RepoStat {
+        name: "JHipster",
+        stars: 20853,
+        total_files: 3874,
+        yaml_files: 173,
+    },
+    RepoStat {
+        name: "RethinkDB",
+        stars: 26257,
+        total_files: 2121,
+        yaml_files: 165,
+    },
+    RepoStat {
+        name: "Dgraph",
+        stars: 19620,
+        total_files: 2231,
+        yaml_files: 161,
+    },
+    RepoStat {
+        name: "Salt Project",
+        stars: 13513,
+        total_files: 7242,
+        yaml_files: 153,
+    },
+    RepoStat {
+        name: "Docker Compose",
+        stars: 30543,
+        total_files: 466,
+        yaml_files: 147,
+    },
+    RepoStat {
+        name: "Vitess",
+        stars: 16897,
+        total_files: 5579,
+        yaml_files: 142,
+    },
+    RepoStat {
+        name: "containerd",
+        stars: 14857,
+        total_files: 6523,
+        yaml_files: 138,
+    },
+    RepoStat {
+        name: "Serverless",
+        stars: 45187,
+        total_files: 1805,
+        yaml_files: 131,
+    },
+    RepoStat {
+        name: "CockroachDB",
+        stars: 27828,
+        total_files: 18499,
+        yaml_files: 118,
+    },
+    RepoStat {
+        name: "k3s",
+        stars: 24517,
+        total_files: 750,
+        yaml_files: 97,
+    },
+    RepoStat {
+        name: "Logstash",
+        stars: 13639,
+        total_files: 3835,
+        yaml_files: 88,
+    },
+    RepoStat {
+        name: "Apache Spark",
+        stars: 36800,
+        total_files: 24415,
+        yaml_files: 85,
+    },
+    RepoStat {
+        name: "Kong",
+        stars: 35947,
+        total_files: 1888,
+        yaml_files: 75,
+    },
+    RepoStat {
+        name: "SST",
+        stars: 17715,
+        total_files: 4683,
+        yaml_files: 73,
+    },
+    RepoStat {
+        name: "Rust",
+        stars: 85579,
+        total_files: 46998,
+        yaml_files: 69,
+    },
+    RepoStat {
+        name: "gRPC",
+        stars: 39066,
+        total_files: 12629,
+        yaml_files: 68,
+    },
+    RepoStat {
+        name: "Vault",
+        stars: 27546,
+        total_files: 9175,
+        yaml_files: 66,
+    },
+    RepoStat {
+        name: "DragonflyDB",
+        stars: 21064,
+        total_files: 615,
+        yaml_files: 64,
+    },
+    RepoStat {
+        name: "Consul",
+        stars: 26921,
+        total_files: 13084,
+        yaml_files: 62,
+    },
+    RepoStat {
+        name: "Keycloak",
+        stars: 17472,
+        total_files: 14535,
+        yaml_files: 59,
+    },
+    RepoStat {
+        name: "Presto",
+        stars: 15087,
+        total_files: 13493,
+        yaml_files: 57,
+    },
+    RepoStat {
+        name: "InfluxData",
+        stars: 26133,
+        total_files: 2007,
+        yaml_files: 56,
+    },
+    RepoStat {
+        name: "ORY Hydra",
+        stars: 14434,
+        total_files: 2556,
+        yaml_files: 56,
+    },
+    RepoStat {
+        name: "OpenAPI",
+        stars: 27136,
+        total_files: 181,
+        yaml_files: 55,
+    },
+    RepoStat {
+        name: "Sentry",
+        stars: 35169,
+        total_files: 14388,
+        yaml_files: 54,
+    },
+    RepoStat {
+        name: "TDengine",
+        stars: 21762,
+        total_files: 4620,
+        yaml_files: 51,
+    },
+    RepoStat {
+        name: "Jaeger",
+        stars: 18318,
+        total_files: 1469,
+        yaml_files: 48,
+    },
+    RepoStat {
+        name: "MinIO",
+        stars: 40904,
+        total_files: 1391,
+        yaml_files: 46,
+    },
+    RepoStat {
+        name: "Zipkin",
+        stars: 16425,
+        total_files: 1076,
+        yaml_files: 43,
+    },
+    RepoStat {
+        name: "k6",
+        stars: 21566,
+        total_files: 3382,
+        yaml_files: 40,
+    },
+    RepoStat {
+        name: "Nomad",
+        stars: 13968,
+        total_files: 6080,
+        yaml_files: 39,
+    },
+    RepoStat {
+        name: "Timescale",
+        stars: 15534,
+        total_files: 2289,
+        yaml_files: 39,
+    },
+    RepoStat {
+        name: "etcd",
+        stars: 44537,
+        total_files: 1600,
+        yaml_files: 38,
+    },
+    RepoStat {
+        name: "Gradle Build Tool",
+        stars: 15205,
+        total_files: 35647,
+        yaml_files: 38,
+    },
+    RepoStat {
+        name: "Terraform",
+        stars: 38875,
+        total_files: 5704,
+        yaml_files: 36,
+    },
+    RepoStat {
+        name: "Apache RocketMQ",
+        stars: 19814,
+        total_files: 2985,
+        yaml_files: 36,
+    },
+    RepoStat {
+        name: "Flink",
+        stars: 21993,
+        total_files: 27228,
+        yaml_files: 30,
+    },
+    RepoStat {
+        name: "Apollo",
+        stars: 28360,
+        total_files: 1512,
+        yaml_files: 28,
+    },
+    RepoStat {
+        name: "gVisor",
+        stars: 14172,
+        total_files: 3723,
+        yaml_files: 26,
+    },
+    RepoStat {
+        name: "Sentinel",
+        stars: 21422,
+        total_files: 3487,
+        yaml_files: 25,
+    },
+    RepoStat {
+        name: "go-zero",
+        stars: 25550,
+        total_files: 1382,
+        yaml_files: 22,
+    },
+    RepoStat {
+        name: "Seata",
+        stars: 24226,
+        total_files: 3904,
+        yaml_files: 21,
+    },
+    RepoStat {
+        name: "Packer",
+        stars: 14612,
+        total_files: 1450,
+        yaml_files: 20,
+    },
+    RepoStat {
+        name: "Wasmer",
+        stars: 16300,
+        total_files: 2007,
+        yaml_files: 19,
+    },
+    RepoStat {
+        name: "Portainer",
+        stars: 26644,
+        total_files: 3063,
+        yaml_files: 19,
+    },
+    RepoStat {
+        name: "Golang",
+        stars: 114620,
+        total_files: 14022,
+        yaml_files: 18,
+    },
+    RepoStat {
+        name: "SOPS",
+        stars: 13823,
+        total_files: 190,
+        yaml_files: 18,
+    },
+    RepoStat {
+        name: "Redis",
+        stars: 61572,
+        total_files: 1679,
+        yaml_files: 16,
+    },
+    RepoStat {
+        name: "kratos",
+        stars: 21387,
+        total_files: 861,
+        yaml_files: 16,
+    },
+    RepoStat {
+        name: "NATS",
+        stars: 24451,
+        total_files: 580,
+        yaml_files: 16,
+    },
+    RepoStat {
+        name: "Zig",
+        stars: 26009,
+        total_files: 16173,
+        yaml_files: 15,
+    },
+    RepoStat {
+        name: "Jenkins",
+        stars: 21453,
+        total_files: 13139,
+        yaml_files: 15,
+    },
+    RepoStat {
+        name: "Apache Hadoop",
+        stars: 13858,
+        total_files: 9562,
+        yaml_files: 14,
+    },
+    RepoStat {
+        name: "Dubbo",
+        stars: 39400,
+        total_files: 5399,
+        yaml_files: 14,
+    },
+    RepoStat {
+        name: "TiDB",
+        stars: 34880,
+        total_files: 6235,
+        yaml_files: 14,
+    },
+    RepoStat {
+        name: "OpenFaaS",
+        stars: 23512,
+        total_files: 1100,
+        yaml_files: 14,
+    },
+    RepoStat {
+        name: "emscripten",
+        stars: 24266,
+        total_files: 9596,
+        yaml_files: 11,
+    },
+    RepoStat {
+        name: "OpenCV",
+        stars: 71360,
+        total_files: 8613,
+        yaml_files: 10,
+    },
+    RepoStat {
+        name: "Caddy",
+        stars: 49844,
+        total_files: 465,
+        yaml_files: 9,
+    },
+    RepoStat {
+        name: "Apache bRPC",
+        stars: 15290,
+        total_files: 1632,
+        yaml_files: 9,
+    },
+    RepoStat {
+        name: "Firecracker",
+        stars: 22578,
+        total_files: 822,
+        yaml_files: 8,
+    },
+    RepoStat {
+        name: "Nacos",
+        stars: 27577,
+        total_files: 3501,
+        yaml_files: 6,
+    },
+    RepoStat {
+        name: "Kotlin",
+        stars: 45845,
+        total_files: 98293,
+        yaml_files: 5,
+    },
+    RepoStat {
+        name: "TiKV",
+        stars: 13617,
+        total_files: 1705,
+        yaml_files: 3,
+    },
+    RepoStat {
+        name: "Kafka",
+        stars: 25883,
+        total_files: 7020,
+        yaml_files: 2,
+    },
+    RepoStat {
+        name: "V8",
+        stars: 21722,
+        total_files: 14237,
+        yaml_files: 1,
+    },
+    RepoStat {
+        name: "FFmpeg",
+        stars: 38520,
+        total_files: 8287,
+        yaml_files: 1,
+    },
+    RepoStat {
+        name: "NGINX(Wasm)",
+        stars: 19089,
+        total_files: 559,
+        yaml_files: 0,
+    },
 ];
 
 /// Repositories with at least `threshold` YAML files (the paper's "more

@@ -35,7 +35,10 @@ pub fn table4(rows: &[Table4Row]) -> String {
         "Rank  Model                     Size  Open    BLEU  EditD  Exact  KVExact  KVWild  UnitTest\n",
     );
     for (i, r) in sorted.iter().enumerate() {
-        let size = r.size_b.map(|s| format!("{s}B")).unwrap_or_else(|| "?".to_owned());
+        let size = r
+            .size_b
+            .map(|s| format!("{s}B"))
+            .unwrap_or_else(|| "?".to_owned());
         out.push_str(&format!(
             "{:<6}{:<26}{:<6}{:<6}{:>6.3} {:>6.3} {:>6.3} {:>8.3} {:>7.3} {:>9.3}\n",
             i + 1,
@@ -190,7 +193,13 @@ pub fn figure9(lomo: &[LomoResult], shap: &[f64]) -> String {
         ));
     }
     out.push_str("\n(b) SHAP importance (mean |phi|):\n");
-    let names = ["bleu", "edit_distance", "exact_match", "kv_match", "kv_wildcard"];
+    let names = [
+        "bleu",
+        "edit_distance",
+        "exact_match",
+        "kv_match",
+        "kv_wildcard",
+    ];
     let max = shap.iter().cloned().fold(1e-12, f64::max);
     let mut ranked: Vec<(usize, f64)> = shap.iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite shap"));
@@ -212,13 +221,19 @@ mod tests {
                 model: "weak".into(),
                 size_b: Some(7),
                 open_source: true,
-                scores: Scores { unit_test: 0.1, ..Default::default() },
+                scores: Scores {
+                    unit_test: 0.1,
+                    ..Default::default()
+                },
             },
             Table4Row {
                 model: "strong".into(),
                 size_b: None,
                 open_source: false,
-                scores: Scores { unit_test: 0.5, ..Default::default() },
+                scores: Scores {
+                    unit_test: 0.5,
+                    ..Default::default()
+                },
             },
         ];
         let t = table4(&rows);
@@ -246,14 +261,21 @@ mod tests {
 
     #[test]
     fn figure8_normalized_starts_at_one() {
-        let t = figure8(&[PassAtK { model: "m".into(), curve: vec![10, 12, 13] }]);
+        let t = figure8(&[PassAtK {
+            model: "m".into(),
+            curve: vec![10, 12, 13],
+        }]);
         assert!(t.contains("1.00"));
         assert!(t.contains("1.30"));
     }
 
     #[test]
     fn figure9_ranks_shap() {
-        let lomo = vec![LomoResult { model: "m".into(), actual: 100, predicted: 90 }];
+        let lomo = vec![LomoResult {
+            model: "m".into(),
+            actual: 100,
+            predicted: 90,
+        }];
         let t = figure9(&lomo, &[0.1, 0.2, 0.05, 0.3, 0.9]);
         let kv_wild_at = t.find("kv_wildcard").unwrap();
         let bleu_at = t.find("bleu").unwrap();

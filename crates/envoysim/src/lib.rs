@@ -109,7 +109,9 @@ impl PathMatch {
         match self {
             PathMatch::Prefix(p) => path.starts_with(p.as_str()),
             PathMatch::Exact(p) => path == p,
-            PathMatch::Regex(r) => path.contains(r.trim_matches(['^', '$', '.', '*']).trim_matches('\\')),
+            PathMatch::Regex(r) => {
+                path.contains(r.trim_matches(['^', '$', '.', '*']).trim_matches('\\'))
+            }
         }
     }
 }
@@ -227,10 +229,20 @@ impl EnvoyConfig {
             return Err(EnvoyConfigError::new("missing static_resources"));
         };
         let mut config = EnvoyConfig::default();
-        for (i, c) in static_resources.get("clusters").into_iter().flat_map(Yaml::items).enumerate() {
+        for (i, c) in static_resources
+            .get("clusters")
+            .into_iter()
+            .flat_map(Yaml::items)
+            .enumerate()
+        {
             config.clusters.push(parse_cluster(c, i)?);
         }
-        for (i, l) in static_resources.get("listeners").into_iter().flat_map(Yaml::items).enumerate() {
+        for (i, l) in static_resources
+            .get("listeners")
+            .into_iter()
+            .flat_map(Yaml::items)
+            .enumerate()
+        {
             config.listeners.push(parse_listener(l, i)?);
         }
         config.validate()?;
@@ -241,7 +253,10 @@ impl EnvoyConfig {
         let mut names: Vec<&str> = Vec::new();
         for c in &self.clusters {
             if names.contains(&c.name.as_str()) {
-                return Err(EnvoyConfigError::new(format!("duplicate cluster name: {}", c.name)));
+                return Err(EnvoyConfigError::new(format!(
+                    "duplicate cluster name: {}",
+                    c.name
+                )));
             }
             names.push(&c.name);
         }
@@ -371,7 +386,9 @@ fn parse_socket_address(addr: &Yaml, what: &str) -> Result<(String, u16), EnvoyC
         .and_then(Yaml::as_i64)
         .ok_or_else(|| EnvoyConfigError::new(format!("{what}: missing port_value")))?;
     if !(1..=65535).contains(&port) {
-        return Err(EnvoyConfigError::new(format!("{what}: invalid port {port}")));
+        return Err(EnvoyConfigError::new(format!(
+            "{what}: invalid port {port}"
+        )));
     }
     Ok((address, port as u16))
 }
@@ -395,12 +412,21 @@ fn parse_listener(l: &Yaml, index: usize) -> Result<Listener, EnvoyConfigError> 
                 .cloned()
                 .unwrap_or(Yaml::Null);
             let route_config = cfg.get("route_config").cloned().unwrap_or(Yaml::Null);
-            for vh in route_config.get("virtual_hosts").into_iter().flat_map(Yaml::items) {
+            for vh in route_config
+                .get("virtual_hosts")
+                .into_iter()
+                .flat_map(Yaml::items)
+            {
                 virtual_hosts.push(parse_virtual_host(vh)?);
             }
         }
     }
-    Ok(Listener { name, address, port, virtual_hosts })
+    Ok(Listener {
+        name,
+        address,
+        port,
+        virtual_hosts,
+    })
 }
 
 fn parse_virtual_host(vh: &Yaml) -> Result<VirtualHost, EnvoyConfigError> {
@@ -416,9 +442,9 @@ fn parse_virtual_host(vh: &Yaml) -> Result<VirtualHost, EnvoyConfigError> {
         .collect();
     let mut routes = Vec::new();
     for r in vh.get("routes").into_iter().flat_map(Yaml::items) {
-        let m = r
-            .get("match")
-            .ok_or_else(|| EnvoyConfigError::new(format!("virtual host {name}: route missing match")))?;
+        let m = r.get("match").ok_or_else(|| {
+            EnvoyConfigError::new(format!("virtual host {name}: route missing match"))
+        })?;
         let matcher = if let Some(p) = m.get("prefix") {
             PathMatch::Prefix(p.render_scalar())
         } else if let Some(p) = m.get("path") {
@@ -475,9 +501,17 @@ fn parse_virtual_host(vh: &Yaml) -> Result<VirtualHost, EnvoyConfigError> {
             .get("route")
             .and_then(|x| x.get("prefix_rewrite"))
             .map(Yaml::render_scalar);
-        routes.push(Route { matcher, action, prefix_rewrite });
+        routes.push(Route {
+            matcher,
+            action,
+            prefix_rewrite,
+        });
     }
-    Ok(VirtualHost { name, domains, routes })
+    Ok(VirtualHost {
+        name,
+        domains,
+        routes,
+    })
 }
 
 fn parse_cluster(c: &Yaml, index: usize) -> Result<Cluster, EnvoyConfigError> {
@@ -494,8 +528,16 @@ fn parse_cluster(c: &Yaml, index: usize) -> Result<Cluster, EnvoyConfigError> {
         .map(Yaml::render_scalar)
         .unwrap_or_else(|| "ROUND_ROBIN".to_owned());
     let mut endpoints = Vec::new();
-    for ep_group in c.get_path(&["load_assignment", "endpoints"]).into_iter().flat_map(Yaml::items) {
-        for lb in ep_group.get("lb_endpoints").into_iter().flat_map(Yaml::items) {
+    for ep_group in c
+        .get_path(&["load_assignment", "endpoints"])
+        .into_iter()
+        .flat_map(Yaml::items)
+    {
+        for lb in ep_group
+            .get("lb_endpoints")
+            .into_iter()
+            .flat_map(Yaml::items)
+        {
             if let Some(addr) = lb.get_path(&["endpoint", "address"]) {
                 endpoints.push(parse_socket_address(addr, &format!("cluster {name}"))?);
             }
@@ -505,7 +547,12 @@ fn parse_cluster(c: &Yaml, index: usize) -> Result<Cluster, EnvoyConfigError> {
     for h in c.get("hosts").into_iter().flat_map(Yaml::items) {
         endpoints.push(parse_socket_address(h, &format!("cluster {name}"))?);
     }
-    Ok(Cluster { name, discovery, lb_policy, endpoints })
+    Ok(Cluster {
+        name,
+        discovery,
+        lb_policy,
+        endpoints,
+    })
 }
 
 #[cfg(test)]
@@ -517,7 +564,10 @@ mod tests {
         let cfg = EnvoyConfig::parse(SAMPLE_CONFIG).unwrap();
         assert_eq!(cfg.listeners.len(), 1);
         assert_eq!(cfg.clusters.len(), 1);
-        assert_eq!(cfg.route(10000, "anything", "/api"), RouteOutcome::Cluster("service_backend".into()));
+        assert_eq!(
+            cfg.route(10000, "anything", "/api"),
+            RouteOutcome::Cluster("service_backend".into())
+        );
         assert_eq!(cfg.route(9999, "x", "/"), RouteOutcome::NoListener);
     }
 
@@ -530,19 +580,29 @@ mod tests {
 
     #[test]
     fn domain_matching() {
-        let cfg = EnvoyConfig::parse(
-            &SAMPLE_CONFIG.replace("domains: [\"*\"]", "domains: [\"example.com\", \"*.internal\"]"),
-        )
+        let cfg = EnvoyConfig::parse(&SAMPLE_CONFIG.replace(
+            "domains: [\"*\"]",
+            "domains: [\"example.com\", \"*.internal\"]",
+        ))
         .unwrap();
-        assert_eq!(cfg.route(10000, "example.com", "/"), RouteOutcome::Cluster("service_backend".into()));
-        assert_eq!(cfg.route(10000, "svc.internal", "/"), RouteOutcome::Cluster("service_backend".into()));
+        assert_eq!(
+            cfg.route(10000, "example.com", "/"),
+            RouteOutcome::Cluster("service_backend".into())
+        );
+        assert_eq!(
+            cfg.route(10000, "svc.internal", "/"),
+            RouteOutcome::Cluster("service_backend".into())
+        );
         assert_eq!(cfg.route(10000, "other.com", "/"), RouteOutcome::NotFound);
     }
 
     #[test]
     fn exact_path_match() {
         let cfg = EnvoyConfig::parse(&SAMPLE_CONFIG.replace("prefix: /", "path: /health")).unwrap();
-        assert_eq!(cfg.route(10000, "h", "/health"), RouteOutcome::Cluster("service_backend".into()));
+        assert_eq!(
+            cfg.route(10000, "h", "/health"),
+            RouteOutcome::Cluster("service_backend".into())
+        );
         assert_eq!(cfg.route(10000, "h", "/other"), RouteOutcome::NotFound);
     }
 
@@ -580,7 +640,10 @@ mod tests {
             )
             + "  - name: service_v2\n    type: STATIC\n";
         let cfg = EnvoyConfig::parse(&cfg_text).unwrap();
-        assert_eq!(cfg.route(10000, "x", "/"), RouteOutcome::Cluster("service_backend".into()));
+        assert_eq!(
+            cfg.route(10000, "x", "/"),
+            RouteOutcome::Cluster("service_backend".into())
+        );
     }
 
     #[test]
@@ -590,13 +653,19 @@ mod tests {
             "                direct_response:\n                  status: 403\n                  body:\n                    inline_string: denied\n",
         );
         let cfg = EnvoyConfig::parse(&dr).unwrap();
-        assert_eq!(cfg.route(10000, "x", "/"), RouteOutcome::DirectResponse(403, "denied".into()));
+        assert_eq!(
+            cfg.route(10000, "x", "/"),
+            RouteOutcome::DirectResponse(403, "denied".into())
+        );
         let rd = SAMPLE_CONFIG.replace(
             "                route:\n                  cluster: service_backend\n",
             "                redirect:\n                  host_redirect: new.example.com\n",
         );
         let cfg = EnvoyConfig::parse(&rd).unwrap();
-        assert_eq!(cfg.route(10000, "x", "/"), RouteOutcome::Redirect("new.example.com".into()));
+        assert_eq!(
+            cfg.route(10000, "x", "/"),
+            RouteOutcome::Redirect("new.example.com".into())
+        );
     }
 
     #[test]
@@ -615,7 +684,13 @@ mod tests {
             "              routes:\n              - match:\n                  prefix: /api\n                route:\n                  cluster: api_svc\n              - match:\n                  prefix: /\n                route:\n                  cluster: service_backend\n",
         ) + "  - name: api_svc\n    type: STATIC\n";
         let cfg = EnvoyConfig::parse(&cfg_text).unwrap();
-        assert_eq!(cfg.route(10000, "x", "/api/v1"), RouteOutcome::Cluster("api_svc".into()));
-        assert_eq!(cfg.route(10000, "x", "/other"), RouteOutcome::Cluster("service_backend".into()));
+        assert_eq!(
+            cfg.route(10000, "x", "/api/v1"),
+            RouteOutcome::Cluster("api_svc".into())
+        );
+        assert_eq!(
+            cfg.route(10000, "x", "/other"),
+            RouteOutcome::Cluster("service_backend".into())
+        );
     }
 }

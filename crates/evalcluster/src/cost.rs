@@ -89,7 +89,10 @@ pub fn table3(hours_x1: f64, hours_x64: f64) -> (Vec<CostRow>, f64, f64) {
     ];
     let inference_min = rows[0].dollars.min(rows[1].dollars);
     let inference_max = rows[0].dollars.max(rows[1].dollars);
-    let eval_min = rows[2..].iter().map(|r| r.dollars).fold(f64::INFINITY, f64::min);
+    let eval_min = rows[2..]
+        .iter()
+        .map(|r| r.dollars)
+        .fold(f64::INFINITY, f64::min);
     let eval_max = rows[2..].iter().map(|r| r.dollars).fold(0.0, f64::max);
     (rows, inference_min + eval_min, inference_max + eval_max)
 }
@@ -131,7 +134,9 @@ mod tests {
 
     #[test]
     fn costs_scale_with_problem_count() {
-        assert!(inference_cost(InferenceOption::Gpt35Api, 2022)
-            > inference_cost(InferenceOption::Gpt35Api, 1011));
+        assert!(
+            inference_cost(InferenceOption::Gpt35Api, 2022)
+                > inference_cost(InferenceOption::Gpt35Api, 1011)
+        );
     }
 }

@@ -39,7 +39,12 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { workers: 64, shared_cache: true, internet_mbps: 100.0, lan_mbps: 2_000.0 }
+        SimConfig {
+            workers: 64,
+            shared_cache: true,
+            internet_mbps: 100.0,
+            lan_mbps: 2_000.0,
+        }
     }
 }
 
@@ -142,7 +147,10 @@ pub fn dataset_workload(per_test_overhead_s: f64) -> Vec<SimJob> {
             images.push(("envoyproxy/envoy".to_owned(), 120.0));
         }
         let runtime = per_test_overhead_s + reference.lines().count() as f64 * 0.25;
-        jobs.push(SimJob { images, test_runtime_s: runtime });
+        jobs.push(SimJob {
+            images,
+            test_runtime_s: runtime,
+        });
     }
     jobs
 }
@@ -157,11 +165,19 @@ pub fn figure5(per_test_overhead_s: f64) -> Vec<(usize, f64, f64)> {
         .map(|workers| {
             let without = simulate(
                 &jobs,
-                &SimConfig { workers, shared_cache: false, ..SimConfig::default() },
+                &SimConfig {
+                    workers,
+                    shared_cache: false,
+                    ..SimConfig::default()
+                },
             );
             let with = simulate(
                 &jobs,
-                &SimConfig { workers, shared_cache: true, ..SimConfig::default() },
+                &SimConfig {
+                    workers,
+                    shared_cache: true,
+                    ..SimConfig::default()
+                },
             );
             (workers, without.total_hours, with.total_hours)
         })
@@ -189,9 +205,30 @@ mod tests {
     #[test]
     fn more_workers_is_faster() {
         let jobs = tiny_jobs();
-        let t1 = simulate(&jobs, &SimConfig { workers: 1, ..SimConfig::default() }).total_hours;
-        let t4 = simulate(&jobs, &SimConfig { workers: 4, ..SimConfig::default() }).total_hours;
-        let t16 = simulate(&jobs, &SimConfig { workers: 16, ..SimConfig::default() }).total_hours;
+        let t1 = simulate(
+            &jobs,
+            &SimConfig {
+                workers: 1,
+                ..SimConfig::default()
+            },
+        )
+        .total_hours;
+        let t4 = simulate(
+            &jobs,
+            &SimConfig {
+                workers: 4,
+                ..SimConfig::default()
+            },
+        )
+        .total_hours;
+        let t16 = simulate(
+            &jobs,
+            &SimConfig {
+                workers: 16,
+                ..SimConfig::default()
+            },
+        )
+        .total_hours;
         assert!(t1 > t4);
         assert!(t4 > t16);
     }
@@ -199,8 +236,22 @@ mod tests {
     #[test]
     fn cache_reduces_internet_traffic() {
         let jobs = tiny_jobs();
-        let with = simulate(&jobs, &SimConfig { workers: 16, shared_cache: true, ..SimConfig::default() });
-        let without = simulate(&jobs, &SimConfig { workers: 16, shared_cache: false, ..SimConfig::default() });
+        let with = simulate(
+            &jobs,
+            &SimConfig {
+                workers: 16,
+                shared_cache: true,
+                ..SimConfig::default()
+            },
+        );
+        let without = simulate(
+            &jobs,
+            &SimConfig {
+                workers: 16,
+                shared_cache: false,
+                ..SimConfig::default()
+            },
+        );
         assert!(with.internet_gib < without.internet_gib);
         assert!(with.cache_hits > 0);
         assert_eq!(without.cache_hits, 0);
@@ -213,8 +264,22 @@ mod tests {
         // A single worker's local Docker cache already deduplicates pulls;
         // the shared cache adds almost nothing (Figure 5's 10.4 vs 10.3).
         let jobs = tiny_jobs();
-        let with = simulate(&jobs, &SimConfig { workers: 1, shared_cache: true, ..SimConfig::default() });
-        let without = simulate(&jobs, &SimConfig { workers: 1, shared_cache: false, ..SimConfig::default() });
+        let with = simulate(
+            &jobs,
+            &SimConfig {
+                workers: 1,
+                shared_cache: true,
+                ..SimConfig::default()
+            },
+        );
+        let without = simulate(
+            &jobs,
+            &SimConfig {
+                workers: 1,
+                shared_cache: false,
+                ..SimConfig::default()
+            },
+        );
         assert!((with.total_hours - without.total_hours).abs() < 1e-9);
     }
 

@@ -71,10 +71,10 @@ pub fn run_jobs(jobs: &[UnitTestJob], workers: usize) -> RunReport {
         redis.rpush(QUEUE, i.to_string());
     }
     let workers = workers.max(1);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for w in 0..workers {
             let redis = Arc::clone(&redis);
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 while let Some(idx) = redis.blpop(QUEUE, Duration::from_millis(20)) {
                     let key = format!("job:{idx}");
                     let problem = redis.hget(&key, "problem").unwrap_or_default();
@@ -84,14 +84,16 @@ pub fn run_jobs(jobs: &[UnitTestJob], workers: usize) -> RunReport {
                     redis.hset(
                         RESULTS,
                         &idx,
-                        format!("{problem}\u{1}{}\u{1}{simulated_ms}\u{1}{w}", u8::from(passed)),
+                        format!(
+                            "{problem}\u{1}{}\u{1}{simulated_ms}\u{1}{w}",
+                            u8::from(passed)
+                        ),
                     );
                     redis.incr("completed");
                 }
             });
         }
-    })
-    .expect("worker panicked");
+    });
     let mut results = Vec::with_capacity(jobs.len());
     for i in 0..jobs.len() {
         let raw = redis
@@ -102,9 +104,18 @@ pub fn run_jobs(jobs: &[UnitTestJob], workers: usize) -> RunReport {
         let passed = parts.next() == Some("1");
         let simulated_ms: u64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
         let worker: usize = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
-        results.push(JobResult { problem_id, passed, simulated_ms, worker });
+        results.push(JobResult {
+            problem_id,
+            passed,
+            simulated_ms,
+            worker,
+        });
     }
-    RunReport { results, wall: start.elapsed(), workers }
+    RunReport {
+        results,
+        wall: start.elapsed(),
+        workers,
+    }
 }
 
 /// Runs one unit test hermetically. Returns (passed, simulated cluster ms).
@@ -170,7 +181,10 @@ mod tests {
         let report = run_jobs(&jobs, 4);
         let distinct: std::collections::HashSet<usize> =
             report.results.iter().map(|r| r.worker).collect();
-        assert!(distinct.len() >= 2, "expected multiple workers, got {distinct:?}");
+        assert!(
+            distinct.len() >= 2,
+            "expected multiple workers, got {distinct:?}"
+        );
         assert_eq!(report.passed(), 200);
     }
 

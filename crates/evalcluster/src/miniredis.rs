@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 #[derive(Debug, Clone, PartialEq)]
 enum Value {
@@ -33,14 +33,18 @@ impl MiniRedis {
         MiniRedis::default()
     }
 
+    fn data(&self) -> MutexGuard<'_, HashMap<String, Value>> {
+        self.data.lock().expect("miniredis lock poisoned")
+    }
+
     /// `SET key value`.
     pub fn set(&self, key: &str, value: impl Into<String>) {
-        self.data.lock().insert(key.to_owned(), Value::Str(value.into()));
+        self.data().insert(key.to_owned(), Value::Str(value.into()));
     }
 
     /// `GET key`.
     pub fn get(&self, key: &str) -> Option<String> {
-        match self.data.lock().get(key) {
+        match self.data().get(key) {
             Some(Value::Str(s)) => Some(s.clone()),
             _ => None,
         }
@@ -48,12 +52,12 @@ impl MiniRedis {
 
     /// `DEL key` — returns whether the key existed.
     pub fn del(&self, key: &str) -> bool {
-        self.data.lock().remove(key).is_some()
+        self.data().remove(key).is_some()
     }
 
     /// `INCR key` — missing or non-numeric keys count from 0.
     pub fn incr(&self, key: &str) -> i64 {
-        let mut data = self.data.lock();
+        let mut data = self.data();
         let current = match data.get(key) {
             Some(Value::Str(s)) => s.parse().unwrap_or(0),
             _ => 0,
@@ -65,7 +69,7 @@ impl MiniRedis {
 
     /// `HSET key field value`.
     pub fn hset(&self, key: &str, field: &str, value: impl Into<String>) {
-        let mut data = self.data.lock();
+        let mut data = self.data();
         let entry = data
             .entry(key.to_owned())
             .or_insert_with(|| Value::Hash(HashMap::new()));
@@ -80,7 +84,7 @@ impl MiniRedis {
 
     /// `HGET key field`.
     pub fn hget(&self, key: &str, field: &str) -> Option<String> {
-        match self.data.lock().get(key) {
+        match self.data().get(key) {
             Some(Value::Hash(h)) => h.get(field).cloned(),
             _ => None,
         }
@@ -88,7 +92,7 @@ impl MiniRedis {
 
     /// `HGETALL key`.
     pub fn hgetall(&self, key: &str) -> Vec<(String, String)> {
-        match self.data.lock().get(key) {
+        match self.data().get(key) {
             Some(Value::Hash(h)) => {
                 let mut v: Vec<(String, String)> =
                     h.iter().map(|(k, val)| (k.clone(), val.clone())).collect();
@@ -101,7 +105,7 @@ impl MiniRedis {
 
     /// `RPUSH key value` — returns the new length.
     pub fn rpush(&self, key: &str, value: impl Into<String>) -> usize {
-        let mut data = self.data.lock();
+        let mut data = self.data();
         let entry = data
             .entry(key.to_owned())
             .or_insert_with(|| Value::List(Vec::new()));
@@ -119,7 +123,7 @@ impl MiniRedis {
 
     /// `LPOP key`.
     pub fn lpop(&self, key: &str) -> Option<String> {
-        let mut data = self.data.lock();
+        let mut data = self.data();
         match data.get_mut(key) {
             Some(Value::List(l)) if !l.is_empty() => Some(l.remove(0)),
             _ => None,
@@ -130,7 +134,7 @@ impl MiniRedis {
     /// timeout elapses.
     pub fn blpop(&self, key: &str, timeout: Duration) -> Option<String> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut data = self.data.lock();
+        let mut data = self.data();
         loop {
             if let Some(Value::List(l)) = data.get_mut(key) {
                 if !l.is_empty() {
@@ -141,11 +145,12 @@ impl MiniRedis {
             if now >= deadline {
                 return None;
             }
-            if self
+            let (guard, wait) = self
                 .list_signal
-                .wait_until(&mut data, deadline)
-                .timed_out()
-            {
+                .wait_timeout(data, deadline - now)
+                .expect("miniredis lock poisoned");
+            data = guard;
+            if wait.timed_out() {
                 // Check once more after a timed-out wait.
                 if let Some(Value::List(l)) = data.get_mut(key) {
                     if !l.is_empty() {
@@ -159,7 +164,7 @@ impl MiniRedis {
 
     /// `LLEN key`.
     pub fn llen(&self, key: &str) -> usize {
-        match self.data.lock().get(key) {
+        match self.data().get(key) {
             Some(Value::List(l)) => l.len(),
             _ => 0,
         }
@@ -167,7 +172,7 @@ impl MiniRedis {
 
     /// `KEYS pattern` with `*` suffix/prefix globbing.
     pub fn keys(&self, pattern: &str) -> Vec<String> {
-        let data = self.data.lock();
+        let data = self.data();
         let mut out: Vec<String> = data
             .keys()
             .filter(|k| glob_matches(pattern, k))

@@ -21,16 +21,36 @@ fn des_invariants_hold_over_random_workloads() {
     for workers in [1usize, 2, 4, 8, 16, 32, 64] {
         let no = evalcluster::simulate(
             &jobs,
-            &evalcluster::SimConfig { workers, shared_cache: false, ..Default::default() },
+            &evalcluster::SimConfig {
+                workers,
+                shared_cache: false,
+                ..Default::default()
+            },
         );
         let yes = evalcluster::simulate(
             &jobs,
-            &evalcluster::SimConfig { workers, shared_cache: true, ..Default::default() },
+            &evalcluster::SimConfig {
+                workers,
+                shared_cache: true,
+                ..Default::default()
+            },
         );
-        assert!(yes.total_hours <= prev_yes + 1e-9, "w={workers}: cached curve not monotone");
-        assert!(yes.total_hours <= no.total_hours + 1e-9, "w={workers}: cache hurt wall time");
-        assert!(yes.internet_gib <= no.internet_gib + 1e-9, "w={workers}: cache hurt bytes");
-        assert!(yes.internet_gib <= prev_yes_gib + 1e-9, "w={workers}: cached bytes grew");
+        assert!(
+            yes.total_hours <= prev_yes + 1e-9,
+            "w={workers}: cached curve not monotone"
+        );
+        assert!(
+            yes.total_hours <= no.total_hours + 1e-9,
+            "w={workers}: cache hurt wall time"
+        );
+        assert!(
+            yes.internet_gib <= no.internet_gib + 1e-9,
+            "w={workers}: cache hurt bytes"
+        );
+        assert!(
+            yes.internet_gib <= prev_yes_gib + 1e-9,
+            "w={workers}: cached bytes grew"
+        );
         // With the cache, exactly one internet pull per distinct image.
         assert_eq!(yes.internet_pulls, 7, "w={workers}");
         prev_yes = yes.total_hours;

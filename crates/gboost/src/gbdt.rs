@@ -16,7 +16,11 @@ pub struct BoostParams {
 
 impl Default for BoostParams {
     fn default() -> Self {
-        BoostParams { rounds: 60, learning_rate: 0.2, tree: TreeParams::default() }
+        BoostParams {
+            rounds: 60,
+            learning_rate: 0.2,
+            tree: TreeParams::default(),
+        }
     }
 }
 
@@ -40,7 +44,10 @@ impl Classifier {
     pub fn fit(features: &[Vec<f64>], labels: &[f64], params: &BoostParams) -> Classifier {
         assert_eq!(features.len(), labels.len(), "row count mismatch");
         assert!(!features.is_empty(), "empty training set");
-        let pos = labels.iter().sum::<f64>().clamp(1e-6, labels.len() as f64 - 1e-6);
+        let pos = labels
+            .iter()
+            .sum::<f64>()
+            .clamp(1e-6, labels.len() as f64 - 1e-6);
         let prior = pos / labels.len() as f64;
         let base_score = (prior / (1.0 - prior)).ln();
         let mut margins = vec![base_score; labels.len()];
@@ -157,7 +164,10 @@ mod tests {
         let clf = Classifier::fit(&xs, &ys, &BoostParams::default());
         let mean_p: f64 = xs.iter().map(|x| clf.predict_proba(x)).sum::<f64>() / xs.len() as f64;
         let base_rate: f64 = ys.iter().sum::<f64>() / ys.len() as f64;
-        assert!((mean_p - base_rate).abs() < 0.08, "mean p {mean_p} vs base {base_rate}");
+        assert!(
+            (mean_p - base_rate).abs() < 0.08,
+            "mean p {mean_p} vs base {base_rate}"
+        );
     }
 
     #[test]

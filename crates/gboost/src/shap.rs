@@ -108,7 +108,7 @@ mod tests {
     fn dominant_feature_gets_dominant_attribution() {
         let (xs, ys) = one_feature_data();
         let clf = Classifier::fit(&xs, &ys, &BoostParams::default());
-        let importance = mean_abs_shap(&clf, &xs[..100].to_vec());
+        let importance = mean_abs_shap(&clf, &xs[..100]);
         assert!(importance[0] > 5.0 * importance[1], "{importance:?}");
         assert!(importance[0] > 5.0 * importance[2], "{importance:?}");
     }

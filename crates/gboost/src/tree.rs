@@ -35,7 +35,11 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        TreeParams { max_depth: 3, min_samples_split: 10, min_gain: 1e-7 }
+        TreeParams {
+            max_depth: 3,
+            min_samples_split: 10,
+            min_gain: 1e-7,
+        }
     }
 }
 
@@ -83,8 +87,9 @@ impl Tree {
         if gain < params.min_gain {
             return node_idx;
         }
-        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
-            rows.iter().partition(|&&r| features[r][feature] <= threshold);
+        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
+            .iter()
+            .partition(|&&r| features[r][feature] <= threshold);
         if left_rows.is_empty() || right_rows.is_empty() {
             return node_idx;
         }
@@ -106,7 +111,11 @@ impl Tree {
             if n.feature == LEAF {
                 return n.value;
             }
-            i = if x[n.feature] <= n.threshold { n.left } else { n.right };
+            i = if x[n.feature] <= n.threshold {
+                n.left
+            } else {
+                n.right
+            };
         }
     }
 
@@ -133,7 +142,11 @@ impl Tree {
             return n.value;
         }
         if known_mask & (1 << n.feature) != 0 {
-            let next = if x[n.feature] <= n.threshold { n.left } else { n.right };
+            let next = if x[n.feature] <= n.threshold {
+                n.left
+            } else {
+                n.right
+            };
             self.expected_from(next, x, known_mask)
         } else {
             let lc = self.nodes[n.left].cover;
@@ -163,10 +176,15 @@ fn best_split(features: &[Vec<f64>], targets: &[f64], rows: &[usize]) -> Option<
     let n = rows.len() as f64;
     let base_sse = total_sq - total_sum * total_sum / n;
     let mut best: Option<(usize, f64, f64)> = None;
+    // `f` is a semantic feature index (it names the winning split), not an
+    // iteration over `features` rows; an iterator form would obscure that.
+    #[allow(clippy::needless_range_loop)]
     for f in 0..dims {
         let mut sorted: Vec<usize> = rows.to_vec();
         sorted.sort_by(|&a, &b| {
-            features[a][f].partial_cmp(&features[b][f]).expect("no NaN features")
+            features[a][f]
+                .partial_cmp(&features[b][f])
+                .expect("no NaN features")
         });
         let mut left_sum = 0.0;
         let mut left_sq = 0.0;
@@ -183,7 +201,8 @@ fn best_split(features: &[Vec<f64>], targets: &[f64], rows: &[usize]) -> Option<
             let rn = n - ln;
             let right_sum = total_sum - left_sum;
             let right_sq = total_sq - left_sq;
-            let sse = (left_sq - left_sum * left_sum / ln) + (right_sq - right_sum * right_sum / rn);
+            let sse =
+                (left_sq - left_sum * left_sum / ln) + (right_sq - right_sum * right_sum / rn);
             let gain = base_sse - sse;
             let threshold = 0.5 * (x_here + x_next);
             if best.map(|(_, _, g)| gain > g).unwrap_or(gain > 0.0) {
@@ -222,7 +241,14 @@ mod tests {
     #[test]
     fn depth_zero_is_the_mean() {
         let (xs, ys) = xor_ish_data();
-        let tree = Tree::fit(&xs, &ys, &TreeParams { max_depth: 0, ..Default::default() });
+        let tree = Tree::fit(
+            &xs,
+            &ys,
+            &TreeParams {
+                max_depth: 0,
+                ..Default::default()
+            },
+        );
         let mean = ys.iter().sum::<f64>() / ys.len() as f64;
         assert!((tree.predict(&[0.0, 0.0]) - mean).abs() < 1e-12);
         assert!(tree.is_empty());

@@ -135,7 +135,10 @@ impl Cluster {
                 .into_iter()
                 .map(str::to_owned)
                 .collect(),
-            nodes: vec![NodeInfo { name: "minikube".into(), ip: "192.168.49.2".into() }],
+            nodes: vec![NodeInfo {
+                name: "minikube".into(),
+                ip: "192.168.49.2".into(),
+            }],
             pod_runtime: HashMap::new(),
             name_counter: 0,
             ip_counter: 1,
@@ -182,7 +185,9 @@ impl Cluster {
     /// [`ClusterError::AlreadyExists`] when it is already present.
     pub fn create_namespace(&mut self, name: &str) -> Result<(), ClusterError> {
         if !self.namespaces.insert(name.to_owned()) {
-            return Err(ClusterError::AlreadyExists(format!("namespaces \"{name}\"")));
+            return Err(ClusterError::AlreadyExists(format!(
+                "namespaces \"{name}\""
+            )));
         }
         Ok(())
     }
@@ -265,7 +270,11 @@ impl Cluster {
             existing.labels = resource.labels;
             existing.api_version = resource.api_version;
             existing.generation += 1;
-            if changed { "configured" } else { "unchanged" }
+            if changed {
+                "configured"
+            } else {
+                "unchanged"
+            }
         } else {
             if resource.kind == "Pod" {
                 self.track_pod(&resource);
@@ -282,10 +291,23 @@ impl Cluster {
     /// # Errors
     ///
     /// [`ClusterError::NotFound`] when absent.
-    pub fn delete(&mut self, kind: &str, namespace: &str, name: &str) -> Result<String, ClusterError> {
+    pub fn delete(
+        &mut self,
+        kind: &str,
+        namespace: &str,
+        name: &str,
+    ) -> Result<String, ClusterError> {
         let kind = canonical_kind(kind).unwrap_or(kind).to_owned();
-        let ns = if is_cluster_scoped(&kind) { "" } else { namespace };
-        let key = ResourceKey { kind: kind.clone(), namespace: ns.to_owned(), name: name.to_owned() };
+        let ns = if is_cluster_scoped(&kind) {
+            ""
+        } else {
+            namespace
+        };
+        let key = ResourceKey {
+            kind: kind.clone(),
+            namespace: ns.to_owned(),
+            name: name.to_owned(),
+        };
         if self.resources.remove(&key).is_none() {
             return Err(ClusterError::NotFound(format!(
                 "{}.\"{name}\"",
@@ -336,7 +358,12 @@ impl Cluster {
     }
 
     /// Fetches resources matching a label selector.
-    pub fn select(&self, kind: &str, namespace: Option<&str>, selector: &Selector) -> Vec<Resource> {
+    pub fn select(
+        &self,
+        kind: &str,
+        namespace: Option<&str>,
+        selector: &Selector,
+    ) -> Vec<Resource> {
         self.get(kind, namespace, None)
             .into_iter()
             .filter(|r| selector.matches(&r.labels))
@@ -391,7 +418,11 @@ impl Cluster {
                 let template_labels: Vec<(String, String)> = r
                     .body
                     .get_path(&["spec", "template", "metadata", "labels"])
-                    .map(|l| l.entries().map(|(k, v)| (k.to_owned(), v.render_scalar())).collect())
+                    .map(|l| {
+                        l.entries()
+                            .map(|(k, v)| (k.to_owned(), v.render_scalar()))
+                            .collect()
+                    })
                     .unwrap_or_default();
                 if !selector.is_empty() && !selector.matches(&template_labels) {
                     return Err(ClusterError::Invalid(format!(
@@ -422,14 +453,23 @@ impl Cluster {
                     .get_path(&["spec", "type"])
                     .map(|t| t.render_scalar())
                     .unwrap_or_else(|| "ClusterIP".to_owned());
-                let ports = r.body.get_path(&["spec", "ports"]).map(|p| p.items().count()).unwrap_or(0);
+                let ports = r
+                    .body
+                    .get_path(&["spec", "ports"])
+                    .map(|p| p.items().count())
+                    .unwrap_or(0);
                 if svc_type != "ExternalName" && ports == 0 {
                     return Err(ClusterError::Invalid(format!(
                         "Service \"{}\" is invalid: spec.ports: Required value",
                         r.name
                     )));
                 }
-                for p in r.body.get_path(&["spec", "ports"]).into_iter().flat_map(Yaml::items) {
+                for p in r
+                    .body
+                    .get_path(&["spec", "ports"])
+                    .into_iter()
+                    .flat_map(Yaml::items)
+                {
                     if let Some(port) = p.get("port").and_then(Yaml::as_i64) {
                         if !(1..=65535).contains(&port) {
                             return Err(ClusterError::Invalid(format!(
@@ -449,7 +489,10 @@ impl Cluster {
         let Some(spec) = r.body.get_path(path) else {
             return Ok(());
         };
-        let containers = spec.get("containers").map(|c| c.items().count()).unwrap_or(0);
+        let containers = spec
+            .get("containers")
+            .map(|c| c.items().count())
+            .unwrap_or(0);
         if containers == 0 {
             return Err(ClusterError::Invalid(format!(
                 "{} \"{}\" is invalid: spec.containers: Required value",
@@ -459,7 +502,11 @@ impl Cluster {
         // volumeMounts must reference declared volumes.
         let volumes: Vec<String> = spec
             .get("volumes")
-            .map(|v| v.items().filter_map(|x| x.get("name").map(Yaml::render_scalar)).collect())
+            .map(|v| {
+                v.items()
+                    .filter_map(|x| x.get("name").map(Yaml::render_scalar))
+                    .collect()
+            })
             .unwrap_or_default();
         for c in spec.get("containers").into_iter().flat_map(Yaml::items) {
             for m in c.get("volumeMounts").into_iter().flat_map(Yaml::items) {
@@ -507,8 +554,12 @@ impl Cluster {
     }
 
     fn reconcile_deployments(&mut self) {
-        let deployments: Vec<Resource> =
-            self.resources.values().filter(|r| r.kind == "Deployment").cloned().collect();
+        let deployments: Vec<Resource> = self
+            .resources
+            .values()
+            .filter(|r| r.kind == "Deployment")
+            .cloned()
+            .collect();
         for d in deployments {
             let rs_name = format!("{}-{}", d.name, template_hash(&d.body));
             let rs_key = ResourceKey {
@@ -552,10 +603,14 @@ impl Cluster {
                 "spec" => yamlkit::ymap! { "replicas" => d.replicas() },
             };
             if let Some(selector) = d.body.get_path(&["spec", "selector"]) {
-                body.get_mut("spec").unwrap().insert("selector", selector.clone());
+                body.get_mut("spec")
+                    .unwrap()
+                    .insert("selector", selector.clone());
             }
             if let Some(template) = d.body.get_path(&["spec", "template"]) {
-                body.get_mut("spec").unwrap().insert("template", template.clone());
+                body.get_mut("spec")
+                    .unwrap()
+                    .insert("template", template.clone());
             }
             let r = Resource::from_yaml(body, &d.namespace, self.now_ms).expect("rs body");
             self.resources.insert(r.key(), r);
@@ -563,14 +618,22 @@ impl Cluster {
     }
 
     fn reconcile_replicasets(&mut self) {
-        let sets: Vec<Resource> =
-            self.resources.values().filter(|r| r.kind == "ReplicaSet").cloned().collect();
+        let sets: Vec<Resource> = self
+            .resources
+            .values()
+            .filter(|r| r.kind == "ReplicaSet")
+            .cloned()
+            .collect();
         for rs in sets {
             let desired = rs.replicas().max(0) as usize;
             let mut children: Vec<ResourceKey> = self
                 .resources
                 .values()
-                .filter(|r| r.kind == "Pod" && r.namespace == rs.namespace && owned_by(r, "ReplicaSet", &rs.name))
+                .filter(|r| {
+                    r.kind == "Pod"
+                        && r.namespace == rs.namespace
+                        && owned_by(r, "ReplicaSet", &rs.name)
+                })
                 .map(Resource::key)
                 .collect();
             while children.len() > desired {
@@ -587,8 +650,12 @@ impl Cluster {
     }
 
     fn reconcile_daemonsets(&mut self) {
-        let sets: Vec<Resource> =
-            self.resources.values().filter(|r| r.kind == "DaemonSet").cloned().collect();
+        let sets: Vec<Resource> = self
+            .resources
+            .values()
+            .filter(|r| r.kind == "DaemonSet")
+            .cloned()
+            .collect();
         for ds in sets {
             for node_idx in 0..self.nodes.len() {
                 let exists = self.resources.values().any(|r| {
@@ -617,13 +684,21 @@ impl Cluster {
     }
 
     fn reconcile_statefulsets(&mut self) {
-        let sets: Vec<Resource> =
-            self.resources.values().filter(|r| r.kind == "StatefulSet").cloned().collect();
+        let sets: Vec<Resource> = self
+            .resources
+            .values()
+            .filter(|r| r.kind == "StatefulSet")
+            .cloned()
+            .collect();
         for sts in sets {
             let desired = sts.replicas().max(0);
             for ordinal in 0..desired {
                 let name = format!("{}-{ordinal}", sts.name);
-                let key = ResourceKey { kind: "Pod".into(), namespace: sts.namespace.clone(), name: name.clone() };
+                let key = ResourceKey {
+                    kind: "Pod".into(),
+                    namespace: sts.namespace.clone(),
+                    name: name.clone(),
+                };
                 if !self.resources.contains_key(&key) {
                     self.spawn_pod_from_template(&sts, &name, "StatefulSet");
                 }
@@ -652,7 +727,12 @@ impl Cluster {
     }
 
     fn reconcile_jobs(&mut self) {
-        let jobs: Vec<Resource> = self.resources.values().filter(|r| r.kind == "Job").cloned().collect();
+        let jobs: Vec<Resource> = self
+            .resources
+            .values()
+            .filter(|r| r.kind == "Job")
+            .cloned()
+            .collect();
         for job in jobs {
             let completions = job
                 .body
@@ -663,7 +743,9 @@ impl Cluster {
             let existing = self
                 .resources
                 .values()
-                .filter(|r| r.kind == "Pod" && r.namespace == job.namespace && owned_by(r, "Job", &job.name))
+                .filter(|r| {
+                    r.kind == "Pod" && r.namespace == job.namespace && owned_by(r, "Job", &job.name)
+                })
                 .count();
             for _ in existing..completions {
                 let name = format!("{}-{}", job.name, self.fresh_suffix());
@@ -673,8 +755,12 @@ impl Cluster {
     }
 
     fn reconcile_cronjobs(&mut self) {
-        let crons: Vec<Resource> =
-            self.resources.values().filter(|r| r.kind == "CronJob").cloned().collect();
+        let crons: Vec<Resource> = self
+            .resources
+            .values()
+            .filter(|r| r.kind == "CronJob")
+            .cloned()
+            .collect();
         for cj in crons {
             // Simplified schedule model: one Job per simulated minute.
             let due = (self.now_ms / 60_000) > (cj.created_at_ms / 60_000)
@@ -682,10 +768,9 @@ impl Cluster {
             if !due {
                 continue;
             }
-            let spawned = self
-                .resources
-                .values()
-                .any(|r| r.kind == "Job" && r.namespace == cj.namespace && owned_by(r, "CronJob", &cj.name));
+            let spawned = self.resources.values().any(|r| {
+                r.kind == "Job" && r.namespace == cj.namespace && owned_by(r, "CronJob", &cj.name)
+            });
             if spawned {
                 continue;
             }
@@ -718,7 +803,10 @@ impl Cluster {
         owner_kind: &str,
     ) -> Option<ResourceKey> {
         let template = owner.pod_template()?;
-        let labels = template.get_path(&["metadata", "labels"]).cloned().unwrap_or(Yaml::Map(vec![]));
+        let labels = template
+            .get_path(&["metadata", "labels"])
+            .cloned()
+            .unwrap_or(Yaml::Map(vec![]));
         let spec = template.get("spec").cloned().unwrap_or(Yaml::Map(vec![]));
         let node = self.nodes.first().cloned();
         let mut metadata = yamlkit::ymap! {
@@ -760,11 +848,20 @@ impl Cluster {
             let image = c.get("image").map(Yaml::render_scalar).unwrap_or_default();
             match images::lookup(&image) {
                 Some(info) => {
-                    pull_ms = pull_ms.max(images::pull_time_ms(info.size_mib, self.pull_bandwidth_mbps));
+                    pull_ms = pull_ms.max(images::pull_time_ms(
+                        info.size_mib,
+                        self.pull_bandwidth_mbps,
+                    ));
                     self.pulls.push((image.clone(), self.now_ms));
                     let command_finite = command_duration(&c);
                     match (info.behavior, command_finite) {
-                        (_, Some(CommandRun { duration_ms, fails: f })) => {
+                        (
+                            _,
+                            Some(CommandRun {
+                                duration_ms,
+                                fails: f,
+                            }),
+                        ) => {
                             terminates = Some(terminates.unwrap_or(0).max(duration_ms));
                             fails |= f;
                         }
@@ -837,7 +934,11 @@ impl Cluster {
                 ("Pending", false, Some("ContainerCreating"))
             } else if let Some(t) = runtime.terminates_ms {
                 if now >= t {
-                    (if runtime.fails { "Failed" } else { "Succeeded" }, false, None)
+                    (
+                        if runtime.fails { "Failed" } else { "Succeeded" },
+                        false,
+                        None,
+                    )
                 } else {
                     ("Running", now >= runtime.ready_ms, None)
                 }
@@ -889,7 +990,12 @@ impl Cluster {
         let parents: Vec<Resource> = self
             .resources
             .values()
-            .filter(|r| matches!(r.kind.as_str(), "Deployment" | "ReplicaSet" | "DaemonSet" | "StatefulSet" | "Job"))
+            .filter(|r| {
+                matches!(
+                    r.kind.as_str(),
+                    "Deployment" | "ReplicaSet" | "DaemonSet" | "StatefulSet" | "Job"
+                )
+            })
             .cloned()
             .collect();
         for parent in parents {
@@ -902,7 +1008,10 @@ impl Cluster {
                         && transitively_owned(self, r, &parent.kind, &parent.name)
                 })
                 .collect();
-            let ready = pods.iter().filter(|p| p.condition("Ready") == Some(true)).count() as i64;
+            let ready = pods
+                .iter()
+                .filter(|p| p.condition("Ready") == Some(true))
+                .count() as i64;
             let succeeded = pods
                 .iter()
                 .filter(|p| p.status.get("phase").and_then(Yaml::as_str) == Some("Succeeded"))
@@ -914,7 +1023,9 @@ impl Cluster {
             let total = pods.len() as i64;
             let now = self.now_ms;
             let key = parent.key();
-            let Some(res) = self.resources.get_mut(&key) else { continue };
+            let Some(res) = self.resources.get_mut(&key) else {
+                continue;
+            };
             match parent.kind.as_str() {
                 "Job" => {
                     let completions = parent
@@ -958,8 +1069,12 @@ impl Cluster {
     }
 
     fn reconcile_services(&mut self) {
-        let services: Vec<Resource> =
-            self.resources.values().filter(|r| r.kind == "Service").cloned().collect();
+        let services: Vec<Resource> = self
+            .resources
+            .values()
+            .filter(|r| r.kind == "Service")
+            .cloned()
+            .collect();
         for svc in services {
             let selector = svc
                 .body
@@ -1074,11 +1189,18 @@ impl Cluster {
                         .get_path(&["spec", "scaleTargetRef", "name"])
                         .map(Yaml::render_scalar)
                         .unwrap_or_default(),
-                    r.body.get_path(&["spec", "minReplicas"]).and_then(Yaml::as_i64).unwrap_or(1),
+                    r.body
+                        .get_path(&["spec", "minReplicas"])
+                        .and_then(Yaml::as_i64)
+                        .unwrap_or(1),
                 )
             };
             let current = self
-                .get(&target_kind, Some(&key.namespace.clone()), Some(&target_name))
+                .get(
+                    &target_kind,
+                    Some(&key.namespace.clone()),
+                    Some(&target_name),
+                )
                 .first()
                 .map(Resource::replicas)
                 .unwrap_or(0);
@@ -1095,7 +1217,12 @@ impl Cluster {
         let keys: Vec<ResourceKey> = self
             .resources
             .values()
-            .filter(|r| matches!(r.kind.as_str(), "VirtualService" | "DestinationRule" | "Gateway"))
+            .filter(|r| {
+                matches!(
+                    r.kind.as_str(),
+                    "VirtualService" | "DestinationRule" | "Gateway"
+                )
+            })
             .map(Resource::key)
             .collect();
         let now = self.now_ms;
@@ -1185,7 +1312,16 @@ fn command_duration(container: &Yaml) -> Option<CommandRun> {
     }
     let joined = words.join(" ");
     // Servers launched via explicit commands keep running.
-    for server in ["nginx", "httpd", "redis-server", "mysqld", "tail -f", "sleep infinity", "http.server", "while true"] {
+    for server in [
+        "nginx",
+        "httpd",
+        "redis-server",
+        "mysqld",
+        "tail -f",
+        "sleep infinity",
+        "http.server",
+        "while true",
+    ] {
         if joined.contains(server) {
             return None;
         }
@@ -1195,7 +1331,10 @@ fn command_duration(container: &Yaml) -> Option<CommandRun> {
             .get(pos + 1)
             .and_then(|s| s.parse::<f64>().ok())
             .unwrap_or(1.0);
-        return Some(CommandRun { duration_ms: (secs * 1000.0) as u64 + 200, fails: false });
+        return Some(CommandRun {
+            duration_ms: (secs * 1000.0) as u64 + 200,
+            fails: false,
+        });
     }
     let fails = joined.contains("exit 1") || joined.contains("false");
     let duration_ms = if joined.contains("echo") || joined.contains("true") {
@@ -1237,10 +1376,17 @@ spec:
         let mut c = Cluster::new();
         c.apply_manifest(NGINX_DEPLOY, "default").unwrap();
         c.advance(15_000);
-        let pods = c.select("Pod", Some("default"), &Selector::parse_cli("app=nginx").unwrap());
+        let pods = c.select(
+            "Pod",
+            Some("default"),
+            &Selector::parse_cli("app=nginx").unwrap(),
+        );
         assert_eq!(pods.len(), 3);
         assert!(pods.iter().all(|p| p.condition("Ready") == Some(true)));
-        let d = c.get("Deployment", Some("default"), Some("nginx-deployment")).pop().unwrap();
+        let d = c
+            .get("Deployment", Some("default"), Some("nginx-deployment"))
+            .pop()
+            .unwrap();
         assert_eq!(d.status.get("readyReplicas"), Some(&Yaml::Int(3)));
     }
 
@@ -1252,7 +1398,11 @@ spec:
         let scaled = NGINX_DEPLOY.replace("replicas: 3", "replicas: 1");
         c.apply_manifest(&scaled, "default").unwrap();
         c.advance(2_000);
-        let pods = c.select("Pod", Some("default"), &Selector::parse_cli("app=nginx").unwrap());
+        let pods = c.select(
+            "Pod",
+            Some("default"),
+            &Selector::parse_cli("app=nginx").unwrap(),
+        );
         assert_eq!(pods.len(), 1);
     }
 
@@ -1266,7 +1416,10 @@ spec:
         .unwrap();
         c.advance(120_000);
         let pod = c.get("Pod", Some("default"), Some("bad")).pop().unwrap();
-        assert_eq!(pod.status.get("phase").and_then(Yaml::as_str), Some("Pending"));
+        assert_eq!(
+            pod.status.get("phase").and_then(Yaml::as_str),
+            Some("Pending")
+        );
         assert_eq!(pod.condition("Ready"), Some(false));
         let reason = pod
             .status
@@ -1312,9 +1465,16 @@ spec:
         )
         .unwrap();
         c.advance(10_000);
-        let pods = c.select("Pod", Some("default"), &Selector::parse_cli("app=proxy").unwrap());
+        let pods = c.select(
+            "Pod",
+            Some("default"),
+            &Selector::parse_cli("app=proxy").unwrap(),
+        );
         assert_eq!(pods.len(), c.nodes().len());
-        let ds = c.get("DaemonSet", Some("default"), Some("proxy")).pop().unwrap();
+        let ds = c
+            .get("DaemonSet", Some("default"), Some("proxy"))
+            .pop()
+            .unwrap();
         assert_eq!(ds.status.get("numberReady"), Some(&Yaml::Int(1)));
     }
 
@@ -1341,7 +1501,10 @@ spec:
         )
         .unwrap();
         c.advance(15_000);
-        let svc = c.get("Service", Some("default"), Some("nginx-service")).pop().unwrap();
+        let svc = c
+            .get("Service", Some("default"), Some("nginx-service"))
+            .pop()
+            .unwrap();
         assert_eq!(svc.status.get("endpoints").unwrap().seq_len(), Some(3));
         assert!(svc.status.get_path(&["loadBalancer", "ingress"]).is_some());
     }
@@ -1385,7 +1548,12 @@ spec:
             )
             .unwrap_err();
         let msg = err.to_string();
-        assert!(msg.starts_with("Ingress in version \"v1\" cannot be handled as a Ingress: strict decoding error:"), "{msg}");
+        assert!(
+            msg.starts_with(
+                "Ingress in version \"v1\" cannot be handled as a Ingress: strict decoding error:"
+            ),
+            "{msg}"
+        );
         assert!(msg.contains("unknown field \"spec.rules[0].http.paths[0].backend.serviceName\""));
     }
 
@@ -1394,7 +1562,8 @@ spec:
         let mut c = Cluster::new();
         c.apply_manifest(NGINX_DEPLOY, "default").unwrap();
         c.advance(10_000);
-        c.delete("deployment", "default", "nginx-deployment").unwrap();
+        c.delete("deployment", "default", "nginx-deployment")
+            .unwrap();
         assert!(c.get("Pod", Some("default"), None).is_empty());
         assert!(c.get("ReplicaSet", Some("default"), None).is_empty());
     }
@@ -1432,8 +1601,16 @@ spec:
         .unwrap();
         c.advance(8_000);
         let pod = c.get("Pod", Some("default"), Some("p")).pop().unwrap();
-        assert!(pod.status.get("podIP").map(Yaml::render_scalar).unwrap().starts_with("10.244."));
-        assert_eq!(pod.status.get("hostIP").map(Yaml::render_scalar).as_deref(), Some("192.168.49.2"));
+        assert!(pod
+            .status
+            .get("podIP")
+            .map(Yaml::render_scalar)
+            .unwrap()
+            .starts_with("10.244."));
+        assert_eq!(
+            pod.status.get("hostIP").map(Yaml::render_scalar).as_deref(),
+            Some("192.168.49.2")
+        );
     }
 
     #[test]
@@ -1445,7 +1622,10 @@ spec:
         )
         .unwrap();
         c.advance(1_000);
-        let dr = c.get("DestinationRule", Some("default"), Some("ratings")).pop().unwrap();
+        let dr = c
+            .get("DestinationRule", Some("default"), Some("ratings"))
+            .pop()
+            .unwrap();
         assert_eq!(dr.condition("Reconciled"), Some(true));
     }
 }

@@ -38,32 +38,168 @@ pub struct ImageInfo {
 /// images CloudEval-YAML unit tests pull (Figure 4 shows nginx, redis,
 /// ubuntu, mysql among the cached images).
 pub const CATALOG: &[ImageInfo] = &[
-    ImageInfo { repo: "nginx", size_mib: 67.0, behavior: ImageBehavior::HttpServer { default_port: 80 }, http_body: "<html><body><h1>Welcome to nginx!</h1></body></html>" },
-    ImageInfo { repo: "httpd", size_mib: 59.0, behavior: ImageBehavior::HttpServer { default_port: 80 }, http_body: "<html><body><h1>It works!</h1></body></html>" },
-    ImageInfo { repo: "registry", size_mib: 26.0, behavior: ImageBehavior::HttpServer { default_port: 5000 }, http_body: "{}" },
-    ImageInfo { repo: "hashicorp/http-echo", size_mib: 6.0, behavior: ImageBehavior::HttpServer { default_port: 5678 }, http_body: "hello-world" },
-    ImageInfo { repo: "kennethreitz/httpbin", size_mib: 180.0, behavior: ImageBehavior::HttpServer { default_port: 80 }, http_body: "{\"origin\": \"10.244.0.1\"}" },
-    ImageInfo { repo: "gcr.io/google-samples/hello-app", size_mib: 12.0, behavior: ImageBehavior::HttpServer { default_port: 8080 }, http_body: "Hello, world!" },
-    ImageInfo { repo: "wordpress", size_mib: 210.0, behavior: ImageBehavior::HttpServer { default_port: 80 }, http_body: "<html>WordPress setup</html>" },
-    ImageInfo { repo: "ghost", size_mib: 150.0, behavior: ImageBehavior::HttpServer { default_port: 2368 }, http_body: "<html>Ghost</html>" },
-    ImageInfo { repo: "redis", size_mib: 40.0, behavior: ImageBehavior::TcpServer { default_port: 6379 }, http_body: "" },
-    ImageInfo { repo: "mysql", size_mib: 170.0, behavior: ImageBehavior::TcpServer { default_port: 3306 }, http_body: "" },
-    ImageInfo { repo: "postgres", size_mib: 140.0, behavior: ImageBehavior::TcpServer { default_port: 5432 }, http_body: "" },
-    ImageInfo { repo: "mongo", size_mib: 230.0, behavior: ImageBehavior::TcpServer { default_port: 27017 }, http_body: "" },
-    ImageInfo { repo: "memcached", size_mib: 30.0, behavior: ImageBehavior::TcpServer { default_port: 11211 }, http_body: "" },
-    ImageInfo { repo: "rabbitmq", size_mib: 90.0, behavior: ImageBehavior::TcpServer { default_port: 5672 }, http_body: "" },
-    ImageInfo { repo: "busybox", size_mib: 2.0, behavior: ImageBehavior::Batch, http_body: "" },
-    ImageInfo { repo: "alpine", size_mib: 3.0, behavior: ImageBehavior::Batch, http_body: "" },
-    ImageInfo { repo: "ubuntu", size_mib: 29.0, behavior: ImageBehavior::Batch, http_body: "" },
-    ImageInfo { repo: "debian", size_mib: 50.0, behavior: ImageBehavior::Batch, http_body: "" },
-    ImageInfo { repo: "centos", size_mib: 75.0, behavior: ImageBehavior::Batch, http_body: "" },
-    ImageInfo { repo: "perl", size_mib: 300.0, behavior: ImageBehavior::Batch, http_body: "" },
-    ImageInfo { repo: "python", size_mib: 340.0, behavior: ImageBehavior::Batch, http_body: "" },
-    ImageInfo { repo: "node", size_mib: 380.0, behavior: ImageBehavior::Batch, http_body: "" },
-    ImageInfo { repo: "envoyproxy/envoy", size_mib: 120.0, behavior: ImageBehavior::HttpServer { default_port: 10000 }, http_body: "envoy" },
-    ImageInfo { repo: "istio/examples-bookinfo-ratings-v1", size_mib: 160.0, behavior: ImageBehavior::HttpServer { default_port: 9080 }, http_body: "{\"ratings\": {}}" },
-    ImageInfo { repo: "istio/examples-bookinfo-productpage-v1", size_mib: 180.0, behavior: ImageBehavior::HttpServer { default_port: 9080 }, http_body: "<html>productpage</html>" },
-    ImageInfo { repo: "istio/examples-bookinfo-reviews-v1", size_mib: 170.0, behavior: ImageBehavior::HttpServer { default_port: 9080 }, http_body: "{\"reviews\": []}" },
+    ImageInfo {
+        repo: "nginx",
+        size_mib: 67.0,
+        behavior: ImageBehavior::HttpServer { default_port: 80 },
+        http_body: "<html><body><h1>Welcome to nginx!</h1></body></html>",
+    },
+    ImageInfo {
+        repo: "httpd",
+        size_mib: 59.0,
+        behavior: ImageBehavior::HttpServer { default_port: 80 },
+        http_body: "<html><body><h1>It works!</h1></body></html>",
+    },
+    ImageInfo {
+        repo: "registry",
+        size_mib: 26.0,
+        behavior: ImageBehavior::HttpServer { default_port: 5000 },
+        http_body: "{}",
+    },
+    ImageInfo {
+        repo: "hashicorp/http-echo",
+        size_mib: 6.0,
+        behavior: ImageBehavior::HttpServer { default_port: 5678 },
+        http_body: "hello-world",
+    },
+    ImageInfo {
+        repo: "kennethreitz/httpbin",
+        size_mib: 180.0,
+        behavior: ImageBehavior::HttpServer { default_port: 80 },
+        http_body: "{\"origin\": \"10.244.0.1\"}",
+    },
+    ImageInfo {
+        repo: "gcr.io/google-samples/hello-app",
+        size_mib: 12.0,
+        behavior: ImageBehavior::HttpServer { default_port: 8080 },
+        http_body: "Hello, world!",
+    },
+    ImageInfo {
+        repo: "wordpress",
+        size_mib: 210.0,
+        behavior: ImageBehavior::HttpServer { default_port: 80 },
+        http_body: "<html>WordPress setup</html>",
+    },
+    ImageInfo {
+        repo: "ghost",
+        size_mib: 150.0,
+        behavior: ImageBehavior::HttpServer { default_port: 2368 },
+        http_body: "<html>Ghost</html>",
+    },
+    ImageInfo {
+        repo: "redis",
+        size_mib: 40.0,
+        behavior: ImageBehavior::TcpServer { default_port: 6379 },
+        http_body: "",
+    },
+    ImageInfo {
+        repo: "mysql",
+        size_mib: 170.0,
+        behavior: ImageBehavior::TcpServer { default_port: 3306 },
+        http_body: "",
+    },
+    ImageInfo {
+        repo: "postgres",
+        size_mib: 140.0,
+        behavior: ImageBehavior::TcpServer { default_port: 5432 },
+        http_body: "",
+    },
+    ImageInfo {
+        repo: "mongo",
+        size_mib: 230.0,
+        behavior: ImageBehavior::TcpServer {
+            default_port: 27017,
+        },
+        http_body: "",
+    },
+    ImageInfo {
+        repo: "memcached",
+        size_mib: 30.0,
+        behavior: ImageBehavior::TcpServer {
+            default_port: 11211,
+        },
+        http_body: "",
+    },
+    ImageInfo {
+        repo: "rabbitmq",
+        size_mib: 90.0,
+        behavior: ImageBehavior::TcpServer { default_port: 5672 },
+        http_body: "",
+    },
+    ImageInfo {
+        repo: "busybox",
+        size_mib: 2.0,
+        behavior: ImageBehavior::Batch,
+        http_body: "",
+    },
+    ImageInfo {
+        repo: "alpine",
+        size_mib: 3.0,
+        behavior: ImageBehavior::Batch,
+        http_body: "",
+    },
+    ImageInfo {
+        repo: "ubuntu",
+        size_mib: 29.0,
+        behavior: ImageBehavior::Batch,
+        http_body: "",
+    },
+    ImageInfo {
+        repo: "debian",
+        size_mib: 50.0,
+        behavior: ImageBehavior::Batch,
+        http_body: "",
+    },
+    ImageInfo {
+        repo: "centos",
+        size_mib: 75.0,
+        behavior: ImageBehavior::Batch,
+        http_body: "",
+    },
+    ImageInfo {
+        repo: "perl",
+        size_mib: 300.0,
+        behavior: ImageBehavior::Batch,
+        http_body: "",
+    },
+    ImageInfo {
+        repo: "python",
+        size_mib: 340.0,
+        behavior: ImageBehavior::Batch,
+        http_body: "",
+    },
+    ImageInfo {
+        repo: "node",
+        size_mib: 380.0,
+        behavior: ImageBehavior::Batch,
+        http_body: "",
+    },
+    ImageInfo {
+        repo: "envoyproxy/envoy",
+        size_mib: 120.0,
+        behavior: ImageBehavior::HttpServer {
+            default_port: 10000,
+        },
+        http_body: "envoy",
+    },
+    ImageInfo {
+        repo: "istio/examples-bookinfo-ratings-v1",
+        size_mib: 160.0,
+        behavior: ImageBehavior::HttpServer { default_port: 9080 },
+        http_body: "{\"ratings\": {}}",
+    },
+    ImageInfo {
+        repo: "istio/examples-bookinfo-productpage-v1",
+        size_mib: 180.0,
+        behavior: ImageBehavior::HttpServer { default_port: 9080 },
+        http_body: "<html>productpage</html>",
+    },
+    ImageInfo {
+        repo: "istio/examples-bookinfo-reviews-v1",
+        size_mib: 170.0,
+        behavior: ImageBehavior::HttpServer { default_port: 9080 },
+        http_body: "{\"reviews\": []}",
+    },
 ];
 
 /// Splits `nginx:1.25` into repo and tag (`latest` when missing); digests
@@ -82,7 +218,9 @@ pub fn split_image(image: &str) -> (&str, &str) {
 /// Looks up a known image by full reference.
 pub fn lookup(image: &str) -> Option<&'static ImageInfo> {
     let (repo, _tag) = split_image(image);
-    let repo = repo.trim_start_matches("docker.io/").trim_start_matches("library/");
+    let repo = repo
+        .trim_start_matches("docker.io/")
+        .trim_start_matches("library/");
     CATALOG.iter().find(|i| i.repo == repo)
 }
 
@@ -102,8 +240,14 @@ mod tests {
         assert_eq!(split_image("nginx:latest"), ("nginx", "latest"));
         assert_eq!(split_image("nginx"), ("nginx", "latest"));
         assert_eq!(split_image("redis:7.2"), ("redis", "7.2"));
-        assert_eq!(split_image("localhost:5000/app"), ("localhost:5000/app", "latest"));
-        assert_eq!(split_image("istio/examples-bookinfo-ratings-v1:1.17.0").0, "istio/examples-bookinfo-ratings-v1");
+        assert_eq!(
+            split_image("localhost:5000/app"),
+            ("localhost:5000/app", "latest")
+        );
+        assert_eq!(
+            split_image("istio/examples-bookinfo-ratings-v1:1.17.0").0,
+            "istio/examples-bookinfo-ratings-v1"
+        );
     }
 
     #[test]

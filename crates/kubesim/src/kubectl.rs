@@ -24,11 +24,19 @@ pub struct KubectlResult {
 
 impl KubectlResult {
     fn ok(stdout: impl Into<String>) -> Self {
-        KubectlResult { stdout: stdout.into(), stderr: String::new(), code: 0 }
+        KubectlResult {
+            stdout: stdout.into(),
+            stderr: String::new(),
+            code: 0,
+        }
     }
 
     fn err(stderr: impl Into<String>, code: i32) -> Self {
-        KubectlResult { stdout: String::new(), stderr: stderr.into(), code }
+        KubectlResult {
+            stdout: String::new(),
+            stderr: stderr.into(),
+            code,
+        }
     }
 }
 
@@ -56,7 +64,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         let a = args[i].as_str();
         let take_value = |i: &mut usize| -> Result<String, String> {
             *i += 1;
-            args.get(*i).cloned().ok_or_else(|| format!("flag needs an argument: {a}"))
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("flag needs an argument: {a}"))
         };
         match a {
             "-n" | "--namespace" => f.namespace = Some(take_value(&mut i)?),
@@ -83,9 +93,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             _ if a.starts_with("--for=") => f.wait_for = Some(a["--for=".len()..].to_owned()),
             "--all" => f.all = true,
-            _ if a.starts_with("--replicas=") => {
-                f.replicas = a["--replicas=".len()..].parse().ok()
-            }
+            _ if a.starts_with("--replicas=") => f.replicas = a["--replicas=".len()..].parse().ok(),
             _ if a.starts_with("--from-literal=") => {
                 let kv = &a["--from-literal=".len()..];
                 let (k, v) = kv.split_once('=').ok_or("from-literal needs key=value")?;
@@ -139,7 +147,10 @@ pub fn run(
         Ok(f) => f,
         Err(e) => return KubectlResult::err(format!("error: {e}"), 1),
     };
-    let ns = flags.namespace.clone().unwrap_or_else(|| "default".to_owned());
+    let ns = flags
+        .namespace
+        .clone()
+        .unwrap_or_else(|| "default".to_owned());
     match verb {
         "apply" | "create" if flags.filename.is_some() => {
             let file = flags.filename.as_deref().expect("checked");
@@ -149,10 +160,7 @@ pub fn run(
                 resolve_file(file)
             };
             let Some(content) = content else {
-                return KubectlResult::err(
-                    format!("error: the path \"{file}\" does not exist"),
-                    1,
-                );
+                return KubectlResult::err(format!("error: the path \"{file}\" does not exist"), 1);
             };
             match cluster.apply_manifest(&content, &ns) {
                 Ok(messages) => KubectlResult::ok(messages.join("\n") + "\n"),
@@ -168,23 +176,27 @@ pub fn run(
         "scale" => scale_cmd(cluster, &flags, &ns),
         "rollout" => rollout_cmd(cluster, &flags, &ns),
         "label" | "annotate" => KubectlResult::ok(""),
-        "cluster-info" => KubectlResult::ok(
-            "Kubernetes control plane is running at https://192.168.49.2:8443\n",
-        ),
-        "version" => KubectlResult::ok("Client Version: v1.28.0-sim\nServer Version: v1.28.0-sim\n"),
-        "config" => KubectlResult::ok("current-context: minikube\n"),
-        "exec" | "port-forward" | "top" => {
-            KubectlResult::err(format!("error: {verb} is not supported by the simulator"), 1)
+        "cluster-info" => {
+            KubectlResult::ok("Kubernetes control plane is running at https://192.168.49.2:8443\n")
         }
+        "version" => {
+            KubectlResult::ok("Client Version: v1.28.0-sim\nServer Version: v1.28.0-sim\n")
+        }
+        "config" => KubectlResult::ok("current-context: minikube\n"),
+        "exec" => exec_cmd(cluster, &args[1..]),
+        "port-forward" | "top" => KubectlResult::err(
+            format!("error: {verb} is not supported by the simulator"),
+            1,
+        ),
         other => KubectlResult::err(format!("error: unknown command \"{other}\""), 1),
     }
 }
 
 fn render_apply_error(file: &str, e: &ClusterError) -> KubectlResult {
     let msg = match e {
-        ClusterError::Decoding(..) => format!(
-            "Error from server (BadRequest): error when creating \"{file}\": {e}"
-        ),
+        ClusterError::Decoding(..) => {
+            format!("Error from server (BadRequest): error when creating \"{file}\": {e}")
+        }
         ClusterError::NoKindMatch(..) => {
             format!("error: unable to recognize \"{file}\": {e}")
         }
@@ -295,7 +307,11 @@ fn delete_cmd(
     resolve_file: &dyn Fn(&str) -> Option<String>,
 ) -> KubectlResult {
     if let Some(file) = &flags.filename {
-        let content = if file == "-" { Some(stdin.to_owned()) } else { resolve_file(file) };
+        let content = if file == "-" {
+            Some(stdin.to_owned())
+        } else {
+            resolve_file(file)
+        };
         let Some(content) = content else {
             return KubectlResult::err(format!("error: the path \"{file}\" does not exist"), 1);
         };
@@ -306,7 +322,10 @@ fn delete_cmd(
         for d in docs {
             let v = d.to_value();
             let kind = v.get("kind").map(Yaml::render_scalar).unwrap_or_default();
-            let name = v.get_path(&["metadata", "name"]).map(Yaml::render_scalar).unwrap_or_default();
+            let name = v
+                .get_path(&["metadata", "name"])
+                .map(Yaml::render_scalar)
+                .unwrap_or_default();
             let target_ns = v
                 .get_path(&["metadata", "namespace"])
                 .map(Yaml::render_scalar)
@@ -351,7 +370,11 @@ fn delete_cmd(
     KubectlResult::ok(out)
 }
 
-fn lookup_resources(cluster: &Cluster, flags: &Flags, ns: &str) -> Result<(String, Vec<Resource>), KubectlResult> {
+fn lookup_resources(
+    cluster: &Cluster,
+    flags: &Flags,
+    ns: &str,
+) -> Result<(String, Vec<Resource>), KubectlResult> {
     let Some(resource_arg) = flags.positional.first() else {
         return Err(KubectlResult::err("error: resource type required", 1));
     };
@@ -482,7 +505,14 @@ fn render_table(kind: &str, resources: &[Resource], now: u64) -> String {
     let mut rows: Vec<Vec<String>> = Vec::new();
     let header: Vec<&str> = match kind {
         "Pod" => vec!["NAME", "READY", "STATUS", "RESTARTS", "AGE"],
-        "Service" => vec!["NAME", "TYPE", "CLUSTER-IP", "EXTERNAL-IP", "PORT(S)", "AGE"],
+        "Service" => vec![
+            "NAME",
+            "TYPE",
+            "CLUSTER-IP",
+            "EXTERNAL-IP",
+            "PORT(S)",
+            "AGE",
+        ],
         "Deployment" | "StatefulSet" => vec!["NAME", "READY", "UP-TO-DATE", "AVAILABLE", "AGE"],
         "Job" => vec!["NAME", "COMPLETIONS", "DURATION", "AGE"],
         "Namespace" => vec!["NAME", "STATUS", "AGE"],
@@ -493,7 +523,11 @@ fn render_table(kind: &str, resources: &[Resource], now: u64) -> String {
         let row = match kind {
             "Pod" => {
                 let total = r.containers().len().max(1);
-                let ready = if r.condition("Ready") == Some(true) { total } else { 0 };
+                let ready = if r.condition("Ready") == Some(true) {
+                    total
+                } else {
+                    0
+                };
                 let phase = r
                     .status
                     .get("phase")
@@ -506,7 +540,13 @@ fn render_table(kind: &str, resources: &[Resource], now: u64) -> String {
                     .and_then(|c| c.get_path(&["state", "waiting", "reason"]))
                     .map(Yaml::render_scalar)
                     .unwrap_or(phase);
-                vec![r.name.clone(), format!("{ready}/{total}"), status, "0".into(), age]
+                vec![
+                    r.name.clone(),
+                    format!("{ready}/{total}"),
+                    status,
+                    "0".into(),
+                    age,
+                ]
             }
             "Service" => {
                 let svc_type = r
@@ -526,7 +566,11 @@ fn render_table(kind: &str, resources: &[Resource], now: u64) -> String {
                     .and_then(|i| i.get("ip"))
                     .map(Yaml::render_scalar)
                     .unwrap_or_else(|| {
-                        if svc_type == "LoadBalancer" { "<pending>".into() } else { "<none>".into() }
+                        if svc_type == "LoadBalancer" {
+                            "<pending>".into()
+                        } else {
+                            "<none>".into()
+                        }
                     });
                 let ports: Vec<String> = r
                     .body
@@ -545,7 +589,14 @@ fn render_table(kind: &str, resources: &[Resource], now: u64) -> String {
                         }
                     })
                     .collect();
-                vec![r.name.clone(), svc_type, cluster_ip, external, ports.join(","), age]
+                vec![
+                    r.name.clone(),
+                    svc_type,
+                    cluster_ip,
+                    external,
+                    ports.join(","),
+                    age,
+                ]
             }
             "Deployment" | "StatefulSet" => {
                 let desired = r.replicas();
@@ -563,13 +614,22 @@ fn render_table(kind: &str, resources: &[Resource], now: u64) -> String {
                 ]
             }
             "Job" => {
-                let succeeded = r.status.get("succeeded").and_then(Yaml::as_i64).unwrap_or(0);
+                let succeeded = r
+                    .status
+                    .get("succeeded")
+                    .and_then(Yaml::as_i64)
+                    .unwrap_or(0);
                 let completions = r
                     .body
                     .get_path(&["spec", "completions"])
                     .and_then(Yaml::as_i64)
                     .unwrap_or(1);
-                vec![r.name.clone(), format!("{succeeded}/{completions}"), "10s".into(), age]
+                vec![
+                    r.name.clone(),
+                    format!("{succeeded}/{completions}"),
+                    "10s".into(),
+                    age,
+                ]
             }
             "Namespace" => vec![r.name.clone(), "Active".into(), age],
             _ => vec![r.name.clone(), age],
@@ -641,15 +701,11 @@ fn wait_cmd(cluster: &mut Cluster, flags: &Flags, ns: &str) -> KubectlResult {
             }
         } else if let Some(cond) = &condition {
             if !resources.is_empty() {
-                let satisfied = resources.iter().all(|r| {
-                    condition_met(r, cond)
-                });
+                let satisfied = resources.iter().all(|r| condition_met(r, cond));
                 if satisfied {
                     let lines: Vec<String> = resources
                         .iter()
-                        .map(|r| {
-                            format!("{}/{} condition met", r.kind.to_lowercase(), r.name)
-                        })
+                        .map(|r| format!("{}/{} condition met", r.kind.to_lowercase(), r.name))
                         .collect();
                     return KubectlResult::ok(lines.join("\n") + "\n");
                 }
@@ -659,7 +715,10 @@ fn wait_cmd(cluster: &mut Cluster, flags: &Flags, ns: &str) -> KubectlResult {
         }
         if cluster.now_ms() >= deadline {
             return KubectlResult::err(
-                format!("error: timed out waiting for the condition on {}", flags.positional.first().cloned().unwrap_or_default()),
+                format!(
+                    "error: timed out waiting for the condition on {}",
+                    flags.positional.first().cloned().unwrap_or_default()
+                ),
                 1,
             );
         }
@@ -693,10 +752,7 @@ fn describe_cmd(cluster: &mut Cluster, flags: &Flags, ns: &str) -> KubectlResult
         Err(e) => return e,
     };
     if resources.is_empty() {
-        return KubectlResult::err(
-            format!("No resources found in {ns} namespace."),
-            1,
-        );
+        return KubectlResult::err(format!("No resources found in {ns} namespace."), 1);
     }
     let mut out = String::new();
     for r in &resources {
@@ -726,13 +782,25 @@ fn describe_resource(kind: &str, r: &Resource) -> String {
     match kind {
         "Ingress" => {
             out.push_str("Rules:\n  Host        Path  Backends\n  ----        ----  --------\n");
-            for rule in r.body.get_path(&["spec", "rules"]).into_iter().flat_map(Yaml::items) {
+            for rule in r
+                .body
+                .get_path(&["spec", "rules"])
+                .into_iter()
+                .flat_map(Yaml::items)
+            {
                 let host = rule
                     .get("host")
                     .map(Yaml::render_scalar)
                     .unwrap_or_else(|| "*".into());
-                for p in rule.get_path(&["http", "paths"]).into_iter().flat_map(Yaml::items) {
-                    let path = p.get("path").map(Yaml::render_scalar).unwrap_or_else(|| "/".into());
+                for p in rule
+                    .get_path(&["http", "paths"])
+                    .into_iter()
+                    .flat_map(Yaml::items)
+                {
+                    let path = p
+                        .get("path")
+                        .map(Yaml::render_scalar)
+                        .unwrap_or_else(|| "/".into());
                     let svc = p
                         .get_path(&["backend", "service", "name"])
                         .map(Yaml::render_scalar)
@@ -742,18 +810,26 @@ fn describe_resource(kind: &str, r: &Resource) -> String {
                         .or_else(|| p.get_path(&["backend", "service", "port", "name"]))
                         .map(Yaml::render_scalar)
                         .unwrap_or_default();
-                    out.push_str(&format!("  {host}        {path}     {svc}:{port} (10.244.0.5:{port})\n"));
+                    out.push_str(&format!(
+                        "  {host}        {path}     {svc}:{port} (10.244.0.5:{port})\n"
+                    ));
                 }
             }
         }
         "Pod" => {
             out.push_str(&format!(
                 "Status:           {}\n",
-                r.status.get("phase").map(Yaml::render_scalar).unwrap_or_default()
+                r.status
+                    .get("phase")
+                    .map(Yaml::render_scalar)
+                    .unwrap_or_default()
             ));
             out.push_str(&format!(
                 "IP:               {}\n",
-                r.status.get("podIP").map(Yaml::render_scalar).unwrap_or_default()
+                r.status
+                    .get("podIP")
+                    .map(Yaml::render_scalar)
+                    .unwrap_or_default()
             ));
             out.push_str("Containers:\n");
             for c in r.containers() {
@@ -785,7 +861,10 @@ fn describe_resource(kind: &str, r: &Resource) -> String {
             ));
             out.push_str(&format!(
                 "IP:               {}\n",
-                r.status.get("clusterIP").map(Yaml::render_scalar).unwrap_or_default()
+                r.status
+                    .get("clusterIP")
+                    .map(Yaml::render_scalar)
+                    .unwrap_or_default()
             ));
             let endpoints: Vec<String> = r
                 .status
@@ -861,6 +940,167 @@ fn pod_logs(pod: &Resource) -> String {
     out
 }
 
+/// `kubectl exec [flags] POD [--] COMMAND [args...]`.
+///
+/// Parses its own argv because everything after `--` belongs to the
+/// in-container command verbatim (the shared flag parser would eat it).
+fn exec_cmd(cluster: &mut Cluster, args: &[String]) -> KubectlResult {
+    let mut ns = "default".to_owned();
+    let mut pod_name: Option<String> = None;
+    let mut command: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        match a {
+            "--" => {
+                command.extend(args[i + 1..].iter().cloned());
+                break;
+            }
+            "-n" | "--namespace" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => ns = v.clone(),
+                    None => return KubectlResult::err("error: flag needs an argument: -n", 1),
+                }
+            }
+            _ if a.starts_with("--namespace=") => ns = a["--namespace=".len()..].to_owned(),
+            "-c" | "--container" => i += 1, // container choice is irrelevant here
+            _ if a.starts_with("--container=") => {}
+            "-i" | "-t" | "-it" | "-ti" | "--stdin" | "--tty" | "-q" | "--quiet" => {}
+            // Unknown flags before the pod name are rejected (a tolerated
+            // space-separated value flag would misparse its value as the
+            // pod name); after the pod name they belong to the command.
+            _ if a.starts_with('-') && pod_name.is_none() => {
+                return KubectlResult::err(format!("error: unknown flag: {a}"), 1);
+            }
+            other if pod_name.is_none() => {
+                pod_name = Some(other.trim_start_matches("pod/").to_owned());
+            }
+            other => command.push(other.to_owned()),
+        }
+        i += 1;
+    }
+    let Some(pod_name) = pod_name else {
+        return KubectlResult::err("error: pod or type/name must be specified", 1);
+    };
+    if command.is_empty() {
+        return KubectlResult::err(
+            "error: you must specify at least one command for the container",
+            1,
+        );
+    }
+    let Some(pod) = cluster.get("Pod", Some(&ns), Some(&pod_name)).pop() else {
+        return KubectlResult::err(
+            format!("Error from server (NotFound): pods \"{pod_name}\" not found"),
+            1,
+        );
+    };
+    if pod.status.get("phase").and_then(Yaml::as_str) != Some("Running") {
+        return KubectlResult::err(
+            format!("Error from server (BadRequest): pod {pod_name} is not running"),
+            1,
+        );
+    }
+    container_command(&pod, &command, cluster.now_ms())
+}
+
+/// Converts days since the simulated epoch (2024-01-01) into
+/// (year, month name, day-of-month), with leap years.
+fn civil_from_day(mut days: u64) -> (u64, &'static str, u64) {
+    const MONTHS: [&str; 12] = [
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    ];
+    let mut year = 2024u64;
+    loop {
+        let leap =
+            year.is_multiple_of(4) && (!year.is_multiple_of(100) || year.is_multiple_of(400));
+        let year_days = if leap { 366 } else { 365 };
+        if days < year_days {
+            let lengths = [
+                31,
+                if leap { 29 } else { 28 },
+                31,
+                30,
+                31,
+                30,
+                31,
+                31,
+                30,
+                31,
+                30,
+                31,
+            ];
+            for (month, &len) in lengths.iter().enumerate() {
+                if days < len {
+                    return (year, MONTHS[month], days + 1);
+                }
+                days -= len;
+            }
+        }
+        days -= year_days;
+        year += 1;
+    }
+}
+
+/// Simulates the small command vocabulary real benchmark unit tests run
+/// inside containers. Unknown binaries fail the way an OCI runtime does.
+fn container_command(pod: &Resource, command: &[String], now_ms: u64) -> KubectlResult {
+    let args = &command[1..];
+    match command[0].as_str() {
+        "echo" => KubectlResult::ok(args.join(" ") + "\n"),
+        "hostname" => KubectlResult::ok(format!("{}\n", pod.name)),
+        "date" => {
+            // The simulated clock booted at 2024-01-01T00:00:00Z, a Monday.
+            let secs = now_ms / 1000;
+            let days = secs / 86_400;
+            let (h, m, s) = ((secs % 86_400) / 3600, (secs % 3600) / 60, secs % 60);
+            let weekday = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"][(days % 7) as usize];
+            let (year, month, dom) = civil_from_day(days);
+            KubectlResult::ok(format!(
+                "{weekday} {month} {dom:2} {h:02}:{m:02}:{s:02} UTC {year}\n"
+            ))
+        }
+        "uname" => KubectlResult::ok("Linux\n"),
+        "true" => KubectlResult::ok(""),
+        "false" => KubectlResult::err("", 1),
+        "env" | "printenv" => {
+            let mut out = format!("HOSTNAME={}\n", pod.name);
+            out.push_str("PATH=/usr/local/sbin:/usr/local/bin:/usr/sbin:/usr/bin:/sbin:/bin\n");
+            out.push_str("KUBERNETES_SERVICE_HOST=10.96.0.1\nKUBERNETES_SERVICE_PORT=443\n");
+            for c in pod.containers() {
+                if let Some(env) = c.get("env") {
+                    for entry in env.items() {
+                        let name = entry
+                            .get("name")
+                            .map(Yaml::render_scalar)
+                            .unwrap_or_default();
+                        let value = entry
+                            .get("value")
+                            .map(Yaml::render_scalar)
+                            .unwrap_or_default();
+                        out.push_str(&format!("{name}={value}\n"));
+                    }
+                }
+            }
+            KubectlResult::ok(out)
+        }
+        "ls" => KubectlResult::ok("bin\ndev\netc\nhome\nproc\nroot\nsys\ntmp\nusr\nvar\n"),
+        "cat" => match args.first().map(String::as_str) {
+            Some("/etc/hostname") => KubectlResult::ok(format!("{}\n", pod.name)),
+            Some("/proc/uptime") => KubectlResult::ok(format!("{}.00 0.00\n", now_ms / 1000)),
+            Some(path) => KubectlResult::err(format!("cat: {path}: No such file or directory"), 1),
+            None => KubectlResult::ok(""),
+        },
+        other => KubectlResult::err(
+            format!(
+                "OCI runtime exec failed: exec failed: unable to start container process: \
+                 exec: \"{other}\": executable file not found in $PATH: unknown"
+            ),
+            126,
+        ),
+    }
+}
+
 fn scale_cmd(cluster: &mut Cluster, flags: &Flags, ns: &str) -> KubectlResult {
     let Some(replicas) = flags.replicas else {
         return KubectlResult::err("error: --replicas is required", 1);
@@ -886,9 +1126,11 @@ fn rollout_cmd(cluster: &mut Cluster, flags: &Flags, ns: &str) -> KubectlResult 
     if flags.positional.first().map(String::as_str) != Some("status") {
         return KubectlResult::err("error: only `rollout status` is supported", 1);
     }
-    let mut inner = Flags::default();
-    inner.positional = flags.positional[1..].to_vec();
-    inner.namespace = flags.namespace.clone();
+    let inner = Flags {
+        positional: flags.positional[1..].to_vec(),
+        namespace: flags.namespace.clone(),
+        ..Flags::default()
+    };
     let timeout = flags.timeout_ms.unwrap_or(60_000);
     let deadline = cluster.now_ms() + timeout;
     loop {
@@ -900,7 +1142,11 @@ fn rollout_cmd(cluster: &mut Cluster, flags: &Flags, ns: &str) -> KubectlResult 
             return KubectlResult::err("error: deployment not found", 1);
         };
         let desired = r.replicas();
-        let ready = r.status.get("readyReplicas").and_then(Yaml::as_i64).unwrap_or(0);
+        let ready = r
+            .status
+            .get("readyReplicas")
+            .and_then(Yaml::as_i64)
+            .unwrap_or(0);
         if ready >= desired {
             return KubectlResult::ok(format!(
                 "deployment \"{}\" successfully rolled out\n",
@@ -920,12 +1166,24 @@ fn base64ish(v: &str) -> String {
     let bytes = v.as_bytes();
     let mut out = String::new();
     for chunk in bytes.chunks(3) {
-        let b = [chunk[0], *chunk.get(1).unwrap_or(&0), *chunk.get(2).unwrap_or(&0)];
+        let b = [
+            chunk[0],
+            *chunk.get(1).unwrap_or(&0),
+            *chunk.get(2).unwrap_or(&0),
+        ];
         let n = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
         out.push(TABLE[(n >> 18) as usize & 63] as char);
         out.push(TABLE[(n >> 12) as usize & 63] as char);
-        out.push(if chunk.len() > 1 { TABLE[(n >> 6) as usize & 63] as char } else { '=' });
-        out.push(if chunk.len() > 2 { TABLE[n as usize & 63] as char } else { '=' });
+        out.push(if chunk.len() > 1 {
+            TABLE[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            TABLE[n as usize & 63] as char
+        } else {
+            '='
+        });
     }
     out
 }
@@ -969,7 +1227,12 @@ mod tests {
     fn wait_for_ready_advances_clock() {
         let mut c = Cluster::new();
         run(&mut c, &argv("apply -f -"), POD, &no_fs);
-        let r = run(&mut c, &argv("wait --for=condition=Ready pod -l app=nginx --timeout=60s"), "", &no_fs);
+        let r = run(
+            &mut c,
+            &argv("wait --for=condition=Ready pod -l app=nginx --timeout=60s"),
+            "",
+            &no_fs,
+        );
         assert_eq!(r.code, 0, "{}", r.stderr);
         assert!(r.stdout.contains("condition met"));
     }
@@ -979,7 +1242,12 @@ mod tests {
         let mut c = Cluster::new();
         let bad = POD.replace("image: nginx", "image: nope-missing");
         run(&mut c, &argv("apply -f -"), &bad, &no_fs);
-        let r = run(&mut c, &argv("wait --for=condition=Ready pod/web --timeout=5s"), "", &no_fs);
+        let r = run(
+            &mut c,
+            &argv("wait --for=condition=Ready pod/web --timeout=5s"),
+            "",
+            &no_fs,
+        );
         assert_eq!(r.code, 1);
         assert!(r.stderr.contains("timed out"));
     }
@@ -988,8 +1256,18 @@ mod tests {
     fn jsonpath_output_single_and_list() {
         let mut c = Cluster::new();
         run(&mut c, &argv("apply -f -"), POD, &no_fs);
-        run(&mut c, &argv("wait --for=condition=Ready pod/web --timeout=60s"), "", &no_fs);
-        let r = run(&mut c, &argv("get pod web -o=jsonpath={.status.hostIP}"), "", &no_fs);
+        run(
+            &mut c,
+            &argv("wait --for=condition=Ready pod/web --timeout=60s"),
+            "",
+            &no_fs,
+        );
+        let r = run(
+            &mut c,
+            &argv("get pod web -o=jsonpath={.status.hostIP}"),
+            "",
+            &no_fs,
+        );
         assert_eq!(r.stdout, "192.168.49.2");
         let r = run(
             &mut c,
@@ -1045,7 +1323,12 @@ mod tests {
         let mut c = Cluster::new();
         let ing = "apiVersion: networking.k8s.io/v1\nkind: Ingress\nmetadata:\n  name: minimal-ingress\nspec:\n  rules:\n  - http:\n      paths:\n      - path: /\n        pathType: Prefix\n        backend:\n          service:\n            name: test-app\n            port:\n              number: 5000\n";
         run(&mut c, &argv("apply -f -"), ing, &no_fs);
-        let r = run(&mut c, &argv("describe ingress minimal-ingress"), "", &no_fs);
+        let r = run(
+            &mut c,
+            &argv("describe ingress minimal-ingress"),
+            "",
+            &no_fs,
+        );
         assert!(r.stdout.contains("test-app:5000"), "{}", r.stdout);
     }
 
@@ -1054,7 +1337,12 @@ mod tests {
         let mut c = Cluster::new();
         let pod = "apiVersion: v1\nkind: Pod\nmetadata:\n  name: say\nspec:\n  containers:\n  - name: c\n    image: busybox\n    command: [\"echo\", \"hello\", \"world\"]\n";
         run(&mut c, &argv("apply -f -"), pod, &no_fs);
-        run(&mut c, &argv("wait --for=condition=PodScheduled pod/say --timeout=10s"), "", &no_fs);
+        run(
+            &mut c,
+            &argv("wait --for=condition=PodScheduled pod/say --timeout=10s"),
+            "",
+            &no_fs,
+        );
         let r = run(&mut c, &argv("logs say"), "", &no_fs);
         assert_eq!(r.stdout, "hello world\n");
     }
@@ -1066,7 +1354,12 @@ mod tests {
         run(&mut c, &argv("apply -f -"), deploy, &no_fs);
         let r = run(&mut c, &argv("scale deployment d --replicas=3"), "", &no_fs);
         assert!(r.stdout.contains("scaled"));
-        let r = run(&mut c, &argv("rollout status deployment/d --timeout=120s"), "", &no_fs);
+        let r = run(
+            &mut c,
+            &argv("rollout status deployment/d --timeout=120s"),
+            "",
+            &no_fs,
+        );
         assert_eq!(r.code, 0, "{}", r.stderr);
         assert!(r.stdout.contains("successfully rolled out"));
         let pods = run(&mut c, &argv("get pods -l app=d -o name"), "", &no_fs);
@@ -1086,7 +1379,12 @@ mod tests {
         let mut c = Cluster::new();
         run(&mut c, &argv("apply -f -"), POD, &no_fs);
         run(&mut c, &argv("delete pod web"), "", &no_fs);
-        let r = run(&mut c, &argv("wait --for=delete pod/web --timeout=5s"), "", &no_fs);
+        let r = run(
+            &mut c,
+            &argv("wait --for=delete pod/web --timeout=5s"),
+            "",
+            &no_fs,
+        );
         assert_eq!(r.code, 0);
     }
 
@@ -1100,7 +1398,12 @@ mod tests {
             &no_fs,
         );
         assert_eq!(r.code, 0, "{}", r.stderr);
-        let r = run(&mut c, &argv("get configmap app-config -o jsonpath={.data.mode}"), "", &no_fs);
+        let r = run(
+            &mut c,
+            &argv("get configmap app-config -o jsonpath={.data.mode}"),
+            "",
+            &no_fs,
+        );
         assert_eq!(r.stdout, "prod");
     }
 
@@ -1110,5 +1413,18 @@ mod tests {
         run(&mut c, &argv("apply -f -"), POD, &no_fs);
         let r = run(&mut c, &argv("get pod web -o json"), "", &no_fs);
         assert!(r.stdout.contains("\"kind\": \"Pod\""));
+    }
+
+    #[test]
+    fn civil_from_day_rolls_months_and_leap_years() {
+        assert_eq!(civil_from_day(0), (2024, "Jan", 1));
+        assert_eq!(civil_from_day(30), (2024, "Jan", 31));
+        assert_eq!(civil_from_day(31), (2024, "Feb", 1));
+        assert_eq!(civil_from_day(59), (2024, "Feb", 29)); // 2024 is a leap year
+        assert_eq!(civil_from_day(60), (2024, "Mar", 1));
+        assert_eq!(civil_from_day(365), (2024, "Dec", 31));
+        assert_eq!(civil_from_day(366), (2025, "Jan", 1));
+        assert_eq!(civil_from_day(366 + 58), (2025, "Feb", 28));
+        assert_eq!(civil_from_day(366 + 59), (2025, "Mar", 1)); // 2025 is not
     }
 }

@@ -153,7 +153,12 @@ fn find_service<'a>(cluster: &'a Cluster, host: &str) -> Option<&'a Resource> {
         if r.kind != "Service" {
             return false;
         }
-        if r.status.get("clusterIP").map(Yaml::render_scalar).as_deref() == Some(host) {
+        if r.status
+            .get("clusterIP")
+            .map(Yaml::render_scalar)
+            .as_deref()
+            == Some(host)
+        {
             return true;
         }
         let lb = r
@@ -175,11 +180,7 @@ fn find_service<'a>(cluster: &'a Cluster, host: &str) -> Option<&'a Resource> {
     })
 }
 
-fn serve_service(
-    cluster: &Cluster,
-    svc: &Resource,
-    port: u16,
-) -> Result<HttpResponse, CurlError> {
+fn serve_service(cluster: &Cluster, svc: &Resource, port: u16) -> Result<HttpResponse, CurlError> {
     let ports = svc.body.get_path(&["spec", "ports"]);
     let entry = ports
         .into_iter()
@@ -210,7 +211,12 @@ fn serve_service(
         Some(Yaml::Str(name)) => pod
             .containers()
             .iter()
-            .flat_map(|c| c.get("ports").into_iter().flat_map(Yaml::items).collect::<Vec<_>>())
+            .flat_map(|c| {
+                c.get("ports")
+                    .into_iter()
+                    .flat_map(Yaml::items)
+                    .collect::<Vec<_>>()
+            })
             .find(|p| p.get("name").and_then(Yaml::as_str) == Some(name))
             .and_then(|p| p.get("containerPort").and_then(Yaml::as_i64))
             .unwrap_or(i64::from(port)) as u16,
@@ -226,7 +232,9 @@ fn serve_container(pod: &Resource, port: u16) -> Result<HttpResponse, CurlError>
     }
     for c in pod.containers() {
         let image = c.get("image").map(Yaml::render_scalar).unwrap_or_default();
-        let Some(info) = images::lookup(&image) else { continue };
+        let Some(info) = images::lookup(&image) else {
+            continue;
+        };
         match info.behavior {
             ImageBehavior::HttpServer { default_port } => {
                 let declared: Vec<i64> = c
@@ -238,7 +246,10 @@ fn serve_container(pod: &Resource, port: u16) -> Result<HttpResponse, CurlError>
                 // The server listens on its image's default port; declared
                 // containerPorts are documentation, as in real Kubernetes.
                 if port == default_port || declared.contains(&i64::from(port)) {
-                    return Ok(HttpResponse { status: 200, body: info.http_body.to_owned() });
+                    return Ok(HttpResponse {
+                        status: 200,
+                        body: info.http_body.to_owned(),
+                    });
                 }
             }
             ImageBehavior::TcpServer { default_port } => {
@@ -278,7 +289,10 @@ mod tests {
     #[test]
     fn unbound_port_refuses() {
         let c = cluster_with_nginx();
-        assert_eq!(curl(&c, "192.168.49.2:9999"), Err(CurlError::ConnectionRefused));
+        assert_eq!(
+            curl(&c, "192.168.49.2:9999"),
+            Err(CurlError::ConnectionRefused)
+        );
     }
 
     #[test]
@@ -291,9 +305,21 @@ mod tests {
         .unwrap();
         c.advance(3_000);
         assert_eq!(curl(&c, "http://web-svc:8080").unwrap().status, 200);
-        assert_eq!(curl(&c, "web-svc.default.svc.cluster.local:8080").unwrap().status, 200);
-        let svc = c.get("Service", Some("default"), Some("web-svc")).pop().unwrap();
-        let ip = svc.status.get("clusterIP").map(yamlkit::Yaml::render_scalar).unwrap();
+        assert_eq!(
+            curl(&c, "web-svc.default.svc.cluster.local:8080")
+                .unwrap()
+                .status,
+            200
+        );
+        let svc = c
+            .get("Service", Some("default"), Some("web-svc"))
+            .pop()
+            .unwrap();
+        let ip = svc
+            .status
+            .get("clusterIP")
+            .map(yamlkit::Yaml::render_scalar)
+            .unwrap();
         assert_eq!(curl(&c, &format!("{ip}:8080")).unwrap().status, 200);
         // Wrong service port refuses.
         assert!(curl(&c, "web-svc:9090").is_err());
@@ -326,14 +352,21 @@ mod tests {
         .unwrap();
         c.advance(10_000);
         let pod = c.get("Pod", Some("default"), Some("db")).pop().unwrap();
-        let ip = pod.status.get("podIP").map(yamlkit::Yaml::render_scalar).unwrap();
+        let ip = pod
+            .status
+            .get("podIP")
+            .map(yamlkit::Yaml::render_scalar)
+            .unwrap();
         assert_eq!(curl(&c, &format!("{ip}:6379")), Err(CurlError::EmptyReply));
     }
 
     #[test]
     fn unknown_host_does_not_resolve() {
         let c = Cluster::new();
-        assert_eq!(curl(&c, "http://no-such-host"), Err(CurlError::CouldNotResolve));
+        assert_eq!(
+            curl(&c, "http://no-such-host"),
+            Err(CurlError::CouldNotResolve)
+        );
         assert_eq!(CurlError::CouldNotResolve.exit_code(), 6);
     }
 }

@@ -24,7 +24,13 @@ impl fmt::Display for ResourceKey {
         if self.namespace.is_empty() {
             write!(f, "{}/{}", self.kind.to_lowercase(), self.name)
         } else {
-            write!(f, "{}/{} -n {}", self.kind.to_lowercase(), self.name, self.namespace)
+            write!(
+                f,
+                "{}/{} -n {}",
+                self.kind.to_lowercase(),
+                self.name,
+                self.namespace
+            )
         }
     }
 }
@@ -68,7 +74,9 @@ impl Resource {
             .and_then(Yaml::as_str)
             .ok_or("missing required field \"kind\"")?
             .to_owned();
-        let metadata = body.get("metadata").ok_or("missing required field \"metadata\"")?;
+        let metadata = body
+            .get("metadata")
+            .ok_or("missing required field \"metadata\"")?;
         let name = metadata
             .get("name")
             .map(Yaml::render_scalar)
@@ -178,7 +186,10 @@ impl Resource {
         let entry = Yaml::Map(vec![
             ("type".into(), Yaml::Str(condition_type.into())),
             ("status".into(), Yaml::Str(status_str.into())),
-            ("lastTransitionTime".into(), Yaml::Str(format_sim_time(now_ms))),
+            (
+                "lastTransitionTime".into(),
+                Yaml::Str(format_sim_time(now_ms)),
+            ),
         ]);
         if let Some(existing) = conditions
             .iter_mut()
@@ -299,7 +310,9 @@ mod tests {
     #[test]
     fn explicit_namespace_wins() {
         let mut y = pod_yaml();
-        y.get_mut("metadata").unwrap().insert("namespace", Yaml::Str("prod".into()));
+        y.get_mut("metadata")
+            .unwrap()
+            .insert("namespace", Yaml::Str("prod".into()));
         let r = Resource::from_yaml(y, "default", 0).unwrap();
         assert_eq!(r.namespace, "prod");
     }
@@ -315,7 +328,9 @@ mod tests {
 
     #[test]
     fn missing_name_is_error() {
-        let y = yamlkit::parse_one("apiVersion: v1\nkind: Pod\nmetadata: {}\n").unwrap().to_value();
+        let y = yamlkit::parse_one("apiVersion: v1\nkind: Pod\nmetadata: {}\n")
+            .unwrap()
+            .to_value();
         assert!(Resource::from_yaml(y, "default", 0).is_err());
     }
 
@@ -352,7 +367,8 @@ mod tests {
             Some("Running")
         );
         assert_eq!(
-            full.get_path(&["metadata", "namespace"]).and_then(Yaml::as_str),
+            full.get_path(&["metadata", "namespace"])
+                .and_then(Yaml::as_str),
             Some("default")
         );
     }

@@ -51,12 +51,20 @@ pub struct Field {
 
 /// Optional field.
 fn opt(name: &'static str, schema: Schema) -> Field {
-    Field { name, required: false, schema }
+    Field {
+        name,
+        required: false,
+        schema,
+    }
 }
 
 /// Required field.
 fn req(name: &'static str, schema: Schema) -> Field {
-    Field { name, required: true, schema }
+    Field {
+        name,
+        required: true,
+        schema,
+    }
 }
 
 fn map(fields: Vec<Field>) -> Schema {
@@ -106,9 +114,18 @@ pub fn validate(body: &Yaml) -> Vec<Violation> {
 /// unknown to the cluster.
 pub fn expected_api_versions(kind: &str) -> Option<&'static [&'static str]> {
     Some(match kind {
-        "Pod" | "Service" | "ConfigMap" | "Secret" | "Namespace" | "ServiceAccount"
-        | "PersistentVolume" | "PersistentVolumeClaim" | "LimitRange" | "ResourceQuota"
-        | "Node" | "Endpoints" => &["v1"],
+        "Pod"
+        | "Service"
+        | "ConfigMap"
+        | "Secret"
+        | "Namespace"
+        | "ServiceAccount"
+        | "PersistentVolume"
+        | "PersistentVolumeClaim"
+        | "LimitRange"
+        | "ResourceQuota"
+        | "Node"
+        | "Endpoints" => &["v1"],
         "Deployment" | "ReplicaSet" | "DaemonSet" | "StatefulSet" => &["apps/v1"],
         "Job" | "CronJob" => &["batch/v1", "batch/v1beta1"],
         "Ingress" | "NetworkPolicy" | "IngressClass" => &["networking.k8s.io/v1"],
@@ -116,9 +133,11 @@ pub fn expected_api_versions(kind: &str) -> Option<&'static [&'static str]> {
             &["rbac.authorization.k8s.io/v1"]
         }
         "HorizontalPodAutoscaler" => &["autoscaling/v1", "autoscaling/v2"],
-        "VirtualService" | "DestinationRule" | "Gateway" | "ServiceEntry" => {
-            &["networking.istio.io/v1alpha3", "networking.istio.io/v1beta1", "networking.istio.io/v1"]
-        }
+        "VirtualService" | "DestinationRule" | "Gateway" | "ServiceEntry" => &[
+            "networking.istio.io/v1alpha3",
+            "networking.istio.io/v1beta1",
+            "networking.istio.io/v1",
+        ],
         _ => return None,
     })
 }
@@ -281,14 +300,23 @@ fn top(kind_spec_fields: Vec<Field>) -> Schema {
 
 fn probe() -> Schema {
     map(vec![
-        opt("httpGet", map(vec![
-            opt("path", Schema::Str),
-            opt("port", Schema::IntOrStr),
-            opt("host", Schema::Str),
-            opt("scheme", Schema::Str),
-            opt("httpHeaders", Schema::Any),
-        ])),
-        opt("tcpSocket", map(vec![opt("port", Schema::IntOrStr), opt("host", Schema::Str)])),
+        opt(
+            "httpGet",
+            map(vec![
+                opt("path", Schema::Str),
+                opt("port", Schema::IntOrStr),
+                opt("host", Schema::Str),
+                opt("scheme", Schema::Str),
+                opt("httpHeaders", Schema::Any),
+            ]),
+        ),
+        opt(
+            "tcpSocket",
+            map(vec![
+                opt("port", Schema::IntOrStr),
+                opt("host", Schema::Str),
+            ]),
+        ),
         opt("exec", map(vec![opt("command", seq(Schema::Str))])),
         opt("grpc", Schema::Any),
         opt("initialDelaySeconds", Schema::Int),
@@ -304,20 +332,35 @@ fn env_var() -> Schema {
     map(vec![
         req("name", Schema::Str),
         opt("value", Schema::Scalar),
-        opt("valueFrom", map(vec![
-            opt("configMapKeyRef", map(vec![
-                req("name", Schema::Str),
-                req("key", Schema::Str),
-                opt("optional", Schema::Bool),
-            ])),
-            opt("secretKeyRef", map(vec![
-                req("name", Schema::Str),
-                req("key", Schema::Str),
-                opt("optional", Schema::Bool),
-            ])),
-            opt("fieldRef", map(vec![req("fieldPath", Schema::Str), opt("apiVersion", Schema::Str)])),
-            opt("resourceFieldRef", Schema::Any),
-        ])),
+        opt(
+            "valueFrom",
+            map(vec![
+                opt(
+                    "configMapKeyRef",
+                    map(vec![
+                        req("name", Schema::Str),
+                        req("key", Schema::Str),
+                        opt("optional", Schema::Bool),
+                    ]),
+                ),
+                opt(
+                    "secretKeyRef",
+                    map(vec![
+                        req("name", Schema::Str),
+                        req("key", Schema::Str),
+                        opt("optional", Schema::Bool),
+                    ]),
+                ),
+                opt(
+                    "fieldRef",
+                    map(vec![
+                        req("fieldPath", Schema::Str),
+                        opt("apiVersion", Schema::Str),
+                    ]),
+                ),
+                opt("resourceFieldRef", Schema::Any),
+            ]),
+        ),
     ])
 }
 
@@ -329,30 +372,54 @@ fn container() -> Schema {
         opt("args", seq(Schema::Scalar)),
         opt("workingDir", Schema::Str),
         opt("env", seq(env_var())),
-        opt("envFrom", seq(map(vec![
-            opt("configMapRef", map(vec![req("name", Schema::Str), opt("optional", Schema::Bool)])),
-            opt("secretRef", map(vec![req("name", Schema::Str), opt("optional", Schema::Bool)])),
-            opt("prefix", Schema::Str),
-        ]))),
-        opt("ports", seq(map(vec![
-            opt("name", Schema::Str),
-            req("containerPort", Schema::Int),
-            opt("hostPort", Schema::Int),
-            opt("hostIP", Schema::Str),
-            opt("protocol", Schema::Str),
-        ]))),
-        opt("resources", map(vec![
-            opt("limits", Schema::QuantityMap),
-            opt("requests", Schema::QuantityMap),
-            opt("claims", Schema::Any),
-        ])),
-        opt("volumeMounts", seq(map(vec![
-            req("name", Schema::Str),
-            req("mountPath", Schema::Str),
-            opt("readOnly", Schema::Bool),
-            opt("subPath", Schema::Str),
-            opt("mountPropagation", Schema::Str),
-        ]))),
+        opt(
+            "envFrom",
+            seq(map(vec![
+                opt(
+                    "configMapRef",
+                    map(vec![
+                        req("name", Schema::Str),
+                        opt("optional", Schema::Bool),
+                    ]),
+                ),
+                opt(
+                    "secretRef",
+                    map(vec![
+                        req("name", Schema::Str),
+                        opt("optional", Schema::Bool),
+                    ]),
+                ),
+                opt("prefix", Schema::Str),
+            ])),
+        ),
+        opt(
+            "ports",
+            seq(map(vec![
+                opt("name", Schema::Str),
+                req("containerPort", Schema::Int),
+                opt("hostPort", Schema::Int),
+                opt("hostIP", Schema::Str),
+                opt("protocol", Schema::Str),
+            ])),
+        ),
+        opt(
+            "resources",
+            map(vec![
+                opt("limits", Schema::QuantityMap),
+                opt("requests", Schema::QuantityMap),
+                opt("claims", Schema::Any),
+            ]),
+        ),
+        opt(
+            "volumeMounts",
+            seq(map(vec![
+                req("name", Schema::Str),
+                req("mountPath", Schema::Str),
+                opt("readOnly", Schema::Bool),
+                opt("subPath", Schema::Str),
+                opt("mountPropagation", Schema::Str),
+            ])),
+        ),
         opt("volumeDevices", Schema::Any),
         opt("livenessProbe", probe()),
         opt("readinessProbe", probe()),
@@ -371,23 +438,35 @@ fn volume() -> Schema {
     map(vec![
         req("name", Schema::Str),
         opt("emptyDir", Schema::Any),
-        opt("hostPath", map(vec![req("path", Schema::Str), opt("type", Schema::Str)])),
-        opt("configMap", map(vec![
-            opt("name", Schema::Str),
-            opt("items", Schema::Any),
-            opt("defaultMode", Schema::Int),
-            opt("optional", Schema::Bool),
-        ])),
-        opt("secret", map(vec![
-            opt("secretName", Schema::Str),
-            opt("items", Schema::Any),
-            opt("defaultMode", Schema::Int),
-            opt("optional", Schema::Bool),
-        ])),
-        opt("persistentVolumeClaim", map(vec![
-            req("claimName", Schema::Str),
-            opt("readOnly", Schema::Bool),
-        ])),
+        opt(
+            "hostPath",
+            map(vec![req("path", Schema::Str), opt("type", Schema::Str)]),
+        ),
+        opt(
+            "configMap",
+            map(vec![
+                opt("name", Schema::Str),
+                opt("items", Schema::Any),
+                opt("defaultMode", Schema::Int),
+                opt("optional", Schema::Bool),
+            ]),
+        ),
+        opt(
+            "secret",
+            map(vec![
+                opt("secretName", Schema::Str),
+                opt("items", Schema::Any),
+                opt("defaultMode", Schema::Int),
+                opt("optional", Schema::Bool),
+            ]),
+        ),
+        opt(
+            "persistentVolumeClaim",
+            map(vec![
+                req("claimName", Schema::Str),
+                opt("readOnly", Schema::Bool),
+            ]),
+        ),
         opt("nfs", Schema::Any),
         opt("downwardAPI", Schema::Any),
         opt("projected", Schema::Any),
@@ -435,11 +514,14 @@ fn pod_template() -> Schema {
 fn workload_selector() -> Schema {
     map(vec![
         opt("matchLabels", Schema::StrMap),
-        opt("matchExpressions", seq(map(vec![
-            req("key", Schema::Str),
-            req("operator", Schema::Str),
-            opt("values", seq(Schema::Scalar)),
-        ]))),
+        opt(
+            "matchExpressions",
+            seq(map(vec![
+                req("key", Schema::Str),
+                req("operator", Schema::Str),
+                opt("values", seq(Schema::Scalar)),
+            ])),
+        ),
     ])
 }
 
@@ -473,10 +555,16 @@ fn ingress_backend() -> Schema {
     // networking.k8s.io/v1 shape: `service.name` + `service.port`, NOT the
     // old `serviceName`/`servicePort` — exactly the trap in Appendix C.3.
     map(vec![
-        opt("service", map(vec![
-            req("name", Schema::Str),
-            opt("port", map(vec![opt("number", Schema::Int), opt("name", Schema::Str)])),
-        ])),
+        opt(
+            "service",
+            map(vec![
+                req("name", Schema::Str),
+                opt(
+                    "port",
+                    map(vec![opt("number", Schema::Int), opt("name", Schema::Str)]),
+                ),
+            ]),
+        ),
         opt("resource", Schema::Any),
     ])
 }
@@ -485,69 +573,93 @@ fn ingress_backend() -> Schema {
 pub fn top_level(kind: &str) -> Schema {
     match kind {
         "Pod" => top(vec![req("spec", pod_spec())]),
-        "Deployment" | "ReplicaSet" => top(vec![req("spec", map(vec![
-            opt("replicas", Schema::Int),
-            req("selector", workload_selector()),
-            req("template", pod_template()),
-            opt("strategy", map(vec![
-                opt("type", Schema::Str),
-                opt("rollingUpdate", map(vec![
-                    opt("maxSurge", Schema::IntOrStr),
-                    opt("maxUnavailable", Schema::IntOrStr),
-                ])),
-            ])),
-            opt("minReadySeconds", Schema::Int),
-            opt("revisionHistoryLimit", Schema::Int),
-            opt("progressDeadlineSeconds", Schema::Int),
-            opt("paused", Schema::Bool),
-        ]))]),
-        "DaemonSet" => top(vec![req("spec", map(vec![
-            req("selector", workload_selector()),
-            req("template", pod_template()),
-            opt("updateStrategy", Schema::Any),
-            opt("minReadySeconds", Schema::Int),
-            opt("revisionHistoryLimit", Schema::Int),
-        ]))]),
-        "StatefulSet" => top(vec![req("spec", map(vec![
-            req("serviceName", Schema::Str),
-            req("selector", workload_selector()),
-            req("template", pod_template()),
-            opt("replicas", Schema::Int),
-            opt("volumeClaimTemplates", Schema::Any),
-            opt("updateStrategy", Schema::Any),
-            opt("podManagementPolicy", Schema::Str),
-            opt("minReadySeconds", Schema::Int),
-        ]))]),
+        "Deployment" | "ReplicaSet" => top(vec![req(
+            "spec",
+            map(vec![
+                opt("replicas", Schema::Int),
+                req("selector", workload_selector()),
+                req("template", pod_template()),
+                opt(
+                    "strategy",
+                    map(vec![
+                        opt("type", Schema::Str),
+                        opt(
+                            "rollingUpdate",
+                            map(vec![
+                                opt("maxSurge", Schema::IntOrStr),
+                                opt("maxUnavailable", Schema::IntOrStr),
+                            ]),
+                        ),
+                    ]),
+                ),
+                opt("minReadySeconds", Schema::Int),
+                opt("revisionHistoryLimit", Schema::Int),
+                opt("progressDeadlineSeconds", Schema::Int),
+                opt("paused", Schema::Bool),
+            ]),
+        )]),
+        "DaemonSet" => top(vec![req(
+            "spec",
+            map(vec![
+                req("selector", workload_selector()),
+                req("template", pod_template()),
+                opt("updateStrategy", Schema::Any),
+                opt("minReadySeconds", Schema::Int),
+                opt("revisionHistoryLimit", Schema::Int),
+            ]),
+        )]),
+        "StatefulSet" => top(vec![req(
+            "spec",
+            map(vec![
+                req("serviceName", Schema::Str),
+                req("selector", workload_selector()),
+                req("template", pod_template()),
+                opt("replicas", Schema::Int),
+                opt("volumeClaimTemplates", Schema::Any),
+                opt("updateStrategy", Schema::Any),
+                opt("podManagementPolicy", Schema::Str),
+                opt("minReadySeconds", Schema::Int),
+            ]),
+        )]),
         "Job" => top(vec![req("spec", map(job_spec_fields()))]),
-        "CronJob" => top(vec![req("spec", map(vec![
-            req("schedule", Schema::Str),
-            req("jobTemplate", map(vec![
-                opt("metadata", metadata()),
-                opt("spec", map(job_spec_fields())),
-            ])),
-            opt("concurrencyPolicy", Schema::Str),
-            opt("startingDeadlineSeconds", Schema::Int),
-            opt("successfulJobsHistoryLimit", Schema::Int),
-            opt("failedJobsHistoryLimit", Schema::Int),
-            opt("suspend", Schema::Bool),
-            opt("timeZone", Schema::Str),
-        ]))]),
-        "Service" => top(vec![req("spec", map(vec![
-            opt("selector", Schema::StrMap),
-            opt("ports", seq(service_port())),
-            opt("type", Schema::Str),
-            opt("clusterIP", Schema::Str),
-            opt("externalName", Schema::Str),
-            opt("sessionAffinity", Schema::Str),
-            opt("externalTrafficPolicy", Schema::Str),
-            opt("internalTrafficPolicy", Schema::Str),
-            opt("loadBalancerIP", Schema::Str),
-            opt("loadBalancerSourceRanges", seq(Schema::Str)),
-            opt("externalIPs", seq(Schema::Str)),
-            opt("ipFamilies", Schema::Any),
-            opt("ipFamilyPolicy", Schema::Str),
-            opt("publishNotReadyAddresses", Schema::Bool),
-        ]))]),
+        "CronJob" => top(vec![req(
+            "spec",
+            map(vec![
+                req("schedule", Schema::Str),
+                req(
+                    "jobTemplate",
+                    map(vec![
+                        opt("metadata", metadata()),
+                        opt("spec", map(job_spec_fields())),
+                    ]),
+                ),
+                opt("concurrencyPolicy", Schema::Str),
+                opt("startingDeadlineSeconds", Schema::Int),
+                opt("successfulJobsHistoryLimit", Schema::Int),
+                opt("failedJobsHistoryLimit", Schema::Int),
+                opt("suspend", Schema::Bool),
+                opt("timeZone", Schema::Str),
+            ]),
+        )]),
+        "Service" => top(vec![req(
+            "spec",
+            map(vec![
+                opt("selector", Schema::StrMap),
+                opt("ports", seq(service_port())),
+                opt("type", Schema::Str),
+                opt("clusterIP", Schema::Str),
+                opt("externalName", Schema::Str),
+                opt("sessionAffinity", Schema::Str),
+                opt("externalTrafficPolicy", Schema::Str),
+                opt("internalTrafficPolicy", Schema::Str),
+                opt("loadBalancerIP", Schema::Str),
+                opt("loadBalancerSourceRanges", seq(Schema::Str)),
+                opt("externalIPs", seq(Schema::Str)),
+                opt("ipFamilies", Schema::Any),
+                opt("ipFamilyPolicy", Schema::Str),
+                opt("publishNotReadyAddresses", Schema::Bool),
+            ]),
+        )]),
         "ConfigMap" => top(vec![
             opt("data", Schema::StrMap),
             opt("binaryData", Schema::StrMap),
@@ -559,159 +671,240 @@ pub fn top_level(kind: &str) -> Schema {
             opt("type", Schema::Str),
             opt("immutable", Schema::Bool),
         ]),
-        "Namespace" => top(vec![opt("spec", map(vec![opt("finalizers", seq(Schema::Str))]))]),
+        "Namespace" => top(vec![opt(
+            "spec",
+            map(vec![opt("finalizers", seq(Schema::Str))]),
+        )]),
         "ServiceAccount" => top(vec![
             opt("secrets", Schema::Any),
             opt("imagePullSecrets", Schema::Any),
             opt("automountServiceAccountToken", Schema::Bool),
         ]),
         "Role" | "ClusterRole" => top(vec![
-            opt("rules", seq(map(vec![
-                opt("apiGroups", seq(Schema::Str)),
-                opt("resources", seq(Schema::Str)),
-                req("verbs", seq(Schema::Str)),
-                opt("resourceNames", seq(Schema::Str)),
-                opt("nonResourceURLs", seq(Schema::Str)),
-            ]))),
+            opt(
+                "rules",
+                seq(map(vec![
+                    opt("apiGroups", seq(Schema::Str)),
+                    opt("resources", seq(Schema::Str)),
+                    req("verbs", seq(Schema::Str)),
+                    opt("resourceNames", seq(Schema::Str)),
+                    opt("nonResourceURLs", seq(Schema::Str)),
+                ])),
+            ),
             opt("aggregationRule", Schema::Any),
         ]),
         "RoleBinding" | "ClusterRoleBinding" => top(vec![
-            opt("subjects", seq(map(vec![
-                req("kind", Schema::Str),
-                req("name", Schema::Str),
-                opt("apiGroup", Schema::Str),
-                opt("namespace", Schema::Str),
-            ]))),
-            req("roleRef", map(vec![
-                req("kind", Schema::Str),
-                req("name", Schema::Str),
-                req("apiGroup", Schema::Str),
-            ])),
-        ]),
-        "Ingress" => top(vec![req("spec", map(vec![
-            opt("ingressClassName", Schema::Str),
-            opt("defaultBackend", ingress_backend()),
-            opt("rules", seq(map(vec![
-                opt("host", Schema::Str),
-                opt("http", map(vec![req("paths", seq(map(vec![
-                    opt("path", Schema::Str),
-                    req("pathType", Schema::Str),
-                    req("backend", ingress_backend()),
-                ])))])),
-            ]))),
-            opt("tls", Schema::Any),
-        ]))]),
-        "NetworkPolicy" => top(vec![req("spec", map(vec![
-            req("podSelector", workload_selector()),
-            opt("policyTypes", seq(Schema::Str)),
-            opt("ingress", Schema::Any),
-            opt("egress", Schema::Any),
-        ]))]),
-        "PersistentVolume" => top(vec![req("spec", map(vec![
-            req("capacity", Schema::QuantityMap),
-            req("accessModes", seq(Schema::Str)),
-            opt("persistentVolumeReclaimPolicy", Schema::Str),
-            opt("storageClassName", Schema::Str),
-            opt("volumeMode", Schema::Str),
-            opt("mountOptions", seq(Schema::Str)),
-            opt("hostPath", map(vec![req("path", Schema::Str), opt("type", Schema::Str)])),
-            opt("nfs", Schema::Any),
-            opt("local", Schema::Any),
-            opt("csi", Schema::Any),
-            opt("claimRef", Schema::Any),
-            opt("nodeAffinity", Schema::Any),
-        ]))]),
-        "PersistentVolumeClaim" => top(vec![req("spec", map(vec![
-            req("accessModes", seq(Schema::Str)),
-            opt("resources", map(vec![
-                opt("requests", Schema::QuantityMap),
-                opt("limits", Schema::QuantityMap),
-            ])),
-            opt("storageClassName", Schema::Str),
-            opt("volumeName", Schema::Str),
-            opt("volumeMode", Schema::Str),
-            opt("selector", workload_selector()),
-        ]))]),
-        "LimitRange" => top(vec![req("spec", map(vec![req("limits", seq(map(vec![
-            req("type", Schema::Str),
-            opt("default", Schema::QuantityMap),
-            opt("defaultRequest", Schema::QuantityMap),
-            opt("max", Schema::QuantityMap),
-            opt("min", Schema::QuantityMap),
-            opt("maxLimitRequestRatio", Schema::QuantityMap),
-        ])))]))]),
-        "ResourceQuota" => top(vec![req("spec", map(vec![
-            opt("hard", Schema::QuantityMap),
-            opt("scopes", seq(Schema::Str)),
-            opt("scopeSelector", Schema::Any),
-        ]))]),
-        "HorizontalPodAutoscaler" => top(vec![req("spec", map(vec![
-            req("scaleTargetRef", map(vec![
-                opt("apiVersion", Schema::Str),
-                req("kind", Schema::Str),
-                req("name", Schema::Str),
-            ])),
-            opt("minReplicas", Schema::Int),
-            req("maxReplicas", Schema::Int),
-            opt("targetCPUUtilizationPercentage", Schema::Int),
-            opt("metrics", Schema::Any),
-            opt("behavior", Schema::Any),
-        ]))]),
-        // --- Istio CRDs -----------------------------------------------
-        "VirtualService" => top(vec![req("spec", map(vec![
-            opt("hosts", seq(Schema::Str)),
-            opt("gateways", seq(Schema::Str)),
-            opt("exportTo", seq(Schema::Str)),
-            opt("http", seq(map(vec![
-                opt("name", Schema::Str),
-                opt("match", Schema::Any),
-                opt("route", seq(map(vec![
-                    req("destination", map(vec![
-                        req("host", Schema::Str),
-                        opt("subset", Schema::Str),
-                        opt("port", map(vec![opt("number", Schema::Int)])),
-                    ])),
-                    opt("weight", Schema::Int),
-                    opt("headers", Schema::Any),
-                ]))),
-                opt("fault", Schema::Any),
-                opt("timeout", Schema::Str),
-                opt("retries", Schema::Any),
-                opt("rewrite", Schema::Any),
-                opt("redirect", Schema::Any),
-                opt("mirror", Schema::Any),
-                opt("mirrorPercentage", Schema::Any),
-                opt("corsPolicy", Schema::Any),
-                opt("headers", Schema::Any),
-            ]))),
-            opt("tcp", Schema::Any),
-            opt("tls", Schema::Any),
-        ]))]),
-        "DestinationRule" => top(vec![req("spec", map(vec![
-            req("host", Schema::Str),
-            opt("trafficPolicy", traffic_policy()),
-            opt("subsets", seq(map(vec![
-                req("name", Schema::Str),
-                opt("labels", Schema::StrMap),
-                opt("trafficPolicy", traffic_policy()),
-            ]))),
-            opt("exportTo", seq(Schema::Str)),
-            opt("workloadSelector", Schema::Any),
-        ]))]),
-        "Gateway" => top(vec![req("spec", map(vec![
-            req("selector", Schema::StrMap),
-            req("servers", seq(map(vec![
-                req("port", map(vec![
-                    req("number", Schema::Int),
+            opt(
+                "subjects",
+                seq(map(vec![
+                    req("kind", Schema::Str),
                     req("name", Schema::Str),
-                    req("protocol", Schema::Str),
-                    opt("targetPort", Schema::Int),
+                    opt("apiGroup", Schema::Str),
+                    opt("namespace", Schema::Str),
                 ])),
-                req("hosts", seq(Schema::Str)),
+            ),
+            req(
+                "roleRef",
+                map(vec![
+                    req("kind", Schema::Str),
+                    req("name", Schema::Str),
+                    req("apiGroup", Schema::Str),
+                ]),
+            ),
+        ]),
+        "Ingress" => top(vec![req(
+            "spec",
+            map(vec![
+                opt("ingressClassName", Schema::Str),
+                opt("defaultBackend", ingress_backend()),
+                opt(
+                    "rules",
+                    seq(map(vec![
+                        opt("host", Schema::Str),
+                        opt(
+                            "http",
+                            map(vec![req(
+                                "paths",
+                                seq(map(vec![
+                                    opt("path", Schema::Str),
+                                    req("pathType", Schema::Str),
+                                    req("backend", ingress_backend()),
+                                ])),
+                            )]),
+                        ),
+                    ])),
+                ),
                 opt("tls", Schema::Any),
-                opt("name", Schema::Str),
-            ]))),
-        ]))]),
+            ]),
+        )]),
+        "NetworkPolicy" => top(vec![req(
+            "spec",
+            map(vec![
+                req("podSelector", workload_selector()),
+                opt("policyTypes", seq(Schema::Str)),
+                opt("ingress", Schema::Any),
+                opt("egress", Schema::Any),
+            ]),
+        )]),
+        "PersistentVolume" => top(vec![req(
+            "spec",
+            map(vec![
+                req("capacity", Schema::QuantityMap),
+                req("accessModes", seq(Schema::Str)),
+                opt("persistentVolumeReclaimPolicy", Schema::Str),
+                opt("storageClassName", Schema::Str),
+                opt("volumeMode", Schema::Str),
+                opt("mountOptions", seq(Schema::Str)),
+                opt(
+                    "hostPath",
+                    map(vec![req("path", Schema::Str), opt("type", Schema::Str)]),
+                ),
+                opt("nfs", Schema::Any),
+                opt("local", Schema::Any),
+                opt("csi", Schema::Any),
+                opt("claimRef", Schema::Any),
+                opt("nodeAffinity", Schema::Any),
+            ]),
+        )]),
+        "PersistentVolumeClaim" => top(vec![req(
+            "spec",
+            map(vec![
+                req("accessModes", seq(Schema::Str)),
+                opt(
+                    "resources",
+                    map(vec![
+                        opt("requests", Schema::QuantityMap),
+                        opt("limits", Schema::QuantityMap),
+                    ]),
+                ),
+                opt("storageClassName", Schema::Str),
+                opt("volumeName", Schema::Str),
+                opt("volumeMode", Schema::Str),
+                opt("selector", workload_selector()),
+            ]),
+        )]),
+        "LimitRange" => top(vec![req(
+            "spec",
+            map(vec![req(
+                "limits",
+                seq(map(vec![
+                    req("type", Schema::Str),
+                    opt("default", Schema::QuantityMap),
+                    opt("defaultRequest", Schema::QuantityMap),
+                    opt("max", Schema::QuantityMap),
+                    opt("min", Schema::QuantityMap),
+                    opt("maxLimitRequestRatio", Schema::QuantityMap),
+                ])),
+            )]),
+        )]),
+        "ResourceQuota" => top(vec![req(
+            "spec",
+            map(vec![
+                opt("hard", Schema::QuantityMap),
+                opt("scopes", seq(Schema::Str)),
+                opt("scopeSelector", Schema::Any),
+            ]),
+        )]),
+        "HorizontalPodAutoscaler" => top(vec![req(
+            "spec",
+            map(vec![
+                req(
+                    "scaleTargetRef",
+                    map(vec![
+                        opt("apiVersion", Schema::Str),
+                        req("kind", Schema::Str),
+                        req("name", Schema::Str),
+                    ]),
+                ),
+                opt("minReplicas", Schema::Int),
+                req("maxReplicas", Schema::Int),
+                opt("targetCPUUtilizationPercentage", Schema::Int),
+                opt("metrics", Schema::Any),
+                opt("behavior", Schema::Any),
+            ]),
+        )]),
+        // --- Istio CRDs -----------------------------------------------
+        "VirtualService" => top(vec![req(
+            "spec",
+            map(vec![
+                opt("hosts", seq(Schema::Str)),
+                opt("gateways", seq(Schema::Str)),
+                opt("exportTo", seq(Schema::Str)),
+                opt(
+                    "http",
+                    seq(map(vec![
+                        opt("name", Schema::Str),
+                        opt("match", Schema::Any),
+                        opt(
+                            "route",
+                            seq(map(vec![
+                                req(
+                                    "destination",
+                                    map(vec![
+                                        req("host", Schema::Str),
+                                        opt("subset", Schema::Str),
+                                        opt("port", map(vec![opt("number", Schema::Int)])),
+                                    ]),
+                                ),
+                                opt("weight", Schema::Int),
+                                opt("headers", Schema::Any),
+                            ])),
+                        ),
+                        opt("fault", Schema::Any),
+                        opt("timeout", Schema::Str),
+                        opt("retries", Schema::Any),
+                        opt("rewrite", Schema::Any),
+                        opt("redirect", Schema::Any),
+                        opt("mirror", Schema::Any),
+                        opt("mirrorPercentage", Schema::Any),
+                        opt("corsPolicy", Schema::Any),
+                        opt("headers", Schema::Any),
+                    ])),
+                ),
+                opt("tcp", Schema::Any),
+                opt("tls", Schema::Any),
+            ]),
+        )]),
+        "DestinationRule" => top(vec![req(
+            "spec",
+            map(vec![
+                req("host", Schema::Str),
+                opt("trafficPolicy", traffic_policy()),
+                opt(
+                    "subsets",
+                    seq(map(vec![
+                        req("name", Schema::Str),
+                        opt("labels", Schema::StrMap),
+                        opt("trafficPolicy", traffic_policy()),
+                    ])),
+                ),
+                opt("exportTo", seq(Schema::Str)),
+                opt("workloadSelector", Schema::Any),
+            ]),
+        )]),
+        "Gateway" => top(vec![req(
+            "spec",
+            map(vec![
+                req("selector", Schema::StrMap),
+                req(
+                    "servers",
+                    seq(map(vec![
+                        req(
+                            "port",
+                            map(vec![
+                                req("number", Schema::Int),
+                                req("name", Schema::Str),
+                                req("protocol", Schema::Str),
+                                opt("targetPort", Schema::Int),
+                            ]),
+                        ),
+                        req("hosts", seq(Schema::Str)),
+                        opt("tls", Schema::Any),
+                        opt("name", Schema::Str),
+                    ])),
+                ),
+            ]),
+        )]),
         "ServiceEntry" => top(vec![req("spec", Schema::Any)]),
         // Unknown kinds: loose validation.
         _ => top(vec![opt("spec", Schema::Any), opt("data", Schema::Any)]),
@@ -720,11 +913,14 @@ pub fn top_level(kind: &str) -> Schema {
 
 fn traffic_policy() -> Schema {
     map(vec![
-        opt("loadBalancer", map(vec![
-            opt("simple", Schema::Str),
-            opt("consistentHash", Schema::Any),
-            opt("localityLbSetting", Schema::Any),
-        ])),
+        opt(
+            "loadBalancer",
+            map(vec![
+                opt("simple", Schema::Str),
+                opt("consistentHash", Schema::Any),
+                opt("localityLbSetting", Schema::Any),
+            ]),
+        ),
         opt("connectionPool", Schema::Any),
         opt("outlierDetection", Schema::Any),
         opt("tls", Schema::Any),
@@ -755,9 +951,18 @@ mod tests {
             "apiVersion: networking.k8s.io/v1\nkind: Ingress\nmetadata:\n  name: test-ingress\n  annotations:\n    nginx.ingress.kubernetes.io/rewrite-target: /\nspec:\n  rules:\n  - http:\n      paths:\n      - path: /\n        backend:\n          serviceName: test-app\n          servicePort: 5000\n",
         );
         let rendered: Vec<String> = v.iter().map(Violation::render).collect();
-        assert!(rendered.contains(&"unknown field \"spec.rules[0].http.paths[0].backend.serviceName\"".to_owned()), "{rendered:?}");
-        assert!(rendered.contains(&"unknown field \"spec.rules[0].http.paths[0].backend.servicePort\"".to_owned()));
-        assert!(rendered.contains(&"missing required field \"spec.rules[0].http.paths[0].pathType\"".to_owned()));
+        assert!(
+            rendered.contains(
+                &"unknown field \"spec.rules[0].http.paths[0].backend.serviceName\"".to_owned()
+            ),
+            "{rendered:?}"
+        );
+        assert!(rendered.contains(
+            &"unknown field \"spec.rules[0].http.paths[0].backend.servicePort\"".to_owned()
+        ));
+        assert!(rendered.contains(
+            &"missing required field \"spec.rules[0].http.paths[0].pathType\"".to_owned()
+        ));
     }
 
     #[test]
@@ -770,7 +975,9 @@ mod tests {
 
     #[test]
     fn deployment_requires_selector_and_template() {
-        let v = violations("apiVersion: apps/v1\nkind: Deployment\nmetadata:\n  name: d\nspec:\n  replicas: 2\n");
+        let v = violations(
+            "apiVersion: apps/v1\nkind: Deployment\nmetadata:\n  name: d\nspec:\n  replicas: 2\n",
+        );
         let rendered: Vec<String> = v.iter().map(Violation::render).collect();
         assert!(rendered.iter().any(|r| r.contains("spec.selector")));
         assert!(rendered.iter().any(|r| r.contains("spec.template")));
@@ -781,7 +988,10 @@ mod tests {
         let v = violations(
             "apiVersion: v1\nkind: Pod\nmetadata:\n  name: x\nspec:\n  containers:\n  - name: c\n    imagee: nginx\n",
         );
-        assert_eq!(v, vec![Violation::UnknownField("spec.containers[0].imagee".into())]);
+        assert_eq!(
+            v,
+            vec![Violation::UnknownField("spec.containers[0].imagee".into())]
+        );
     }
 
     #[test]
@@ -789,7 +999,9 @@ mod tests {
         let v = violations(
             "apiVersion: v1\nkind: Pod\nmetadata:\n  name: x\nspec:\n  containers:\n  - name: c\n    ports:\n    - containerPort: http\n",
         );
-        assert!(matches!(&v[0], Violation::WrongType(p, _) if p == "spec.containers[0].ports[0].containerPort"));
+        assert!(
+            matches!(&v[0], Violation::WrongType(p, _) if p == "spec.containers[0].ports[0].containerPort")
+        );
     }
 
     #[test]
@@ -810,7 +1022,9 @@ mod tests {
         let v = violations(
             "apiVersion: rbac.authorization.k8s.io/v1\nkind: RoleBinding\nmetadata:\n  name: rb\nsubjects:\n- kind: User\n  name: dave\n  apiGroup: rbac.authorization.k8s.io\n",
         );
-        assert!(v.iter().any(|x| matches!(x, Violation::MissingField(p) if p == "roleRef")));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::MissingField(p) if p == "roleRef")));
     }
 
     #[test]

@@ -22,7 +22,12 @@ pub enum Requirement {
 
 impl Requirement {
     fn matches(&self, labels: &[(String, String)]) -> bool {
-        let get = |k: &str| labels.iter().find(|(lk, _)| lk == k).map(|(_, v)| v.as_str());
+        let get = |k: &str| {
+            labels
+                .iter()
+                .find(|(lk, _)| lk == k)
+                .map(|(_, v)| v.as_str())
+        };
         match self {
             Requirement::Equals(k, v) => get(k) == Some(v.as_str()),
             Requirement::NotEquals(k, v) => get(k) != Some(v.as_str()),
@@ -79,7 +84,10 @@ impl Selector {
                 requirements.push(Requirement::NotIn(k, vs));
             } else if let Some((k, vs)) = parse_set_expr(part, " in ") {
                 requirements.push(Requirement::In(k, vs));
-            } else if part.chars().all(|c| c.is_alphanumeric() || "-._/".contains(c)) {
+            } else if part
+                .chars()
+                .all(|c| c.is_alphanumeric() || "-._/".contains(c))
+            {
                 requirements.push(Requirement::Exists(part.into()));
             } else {
                 return Err(format!("unable to parse requirement: {part:?}"));
@@ -93,11 +101,13 @@ impl Selector {
     /// `matchExpressions` form (workloads).
     pub fn from_spec(spec: &Yaml) -> Selector {
         let mut requirements = Vec::new();
-        let label_map = spec.get("matchLabels").or(if spec.get("matchExpressions").is_some() {
-            None
-        } else {
-            Some(spec)
-        });
+        let label_map = spec
+            .get("matchLabels")
+            .or(if spec.get("matchExpressions").is_some() {
+                None
+            } else {
+                Some(spec)
+            });
         if let Some(map) = label_map {
             for (k, v) in map.entries() {
                 requirements.push(Requirement::Equals(k.to_owned(), v.render_scalar()));
@@ -168,7 +178,10 @@ mod tests {
     use super::*;
 
     fn labels(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
-        pairs.iter().map(|(k, v)| ((*k).into(), (*v).into())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).into(), (*v).into()))
+            .collect()
     }
 
     #[test]

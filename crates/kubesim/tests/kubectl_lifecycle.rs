@@ -1,0 +1,257 @@
+//! The kubectl pod lifecycle the real benchmark's unit tests rely on,
+//! mirroring the kubernix smoke flow and kata-containers' `k8s-exec.bats`:
+//! apply a generated manifest, wait for readiness, exec into the
+//! container, read logs/fields back, and delete — asserting on exit codes
+//! and output shapes the way the bats tests do.
+
+use kubesim::kubectl::{run, KubectlResult};
+use kubesim::Cluster;
+use yamlkit::Yaml;
+
+fn argv(line: &str) -> Vec<String> {
+    line.split_whitespace().map(str::to_owned).collect()
+}
+
+fn no_fs(_: &str) -> Option<String> {
+    None
+}
+
+fn kubectl(cluster: &mut Cluster, line: &str) -> KubectlResult {
+    run(cluster, &argv(line), "", &no_fs)
+}
+
+fn kubectl_stdin(cluster: &mut Cluster, line: &str, stdin: &str) -> KubectlResult {
+    run(cluster, &argv(line), stdin, &no_fs)
+}
+
+/// Builds a Pod manifest as a value tree and emits it through yamlkit, so
+/// the lifecycle starts from generated YAML rather than a string literal.
+fn pod_manifest(name: &str, app: &str, image: &str) -> String {
+    let mut metadata = Yaml::Map(Vec::new());
+    metadata.insert("name", Yaml::Str(name.to_owned()));
+    metadata.insert(
+        "labels",
+        Yaml::Map(vec![("app".to_owned(), Yaml::Str(app.to_owned()))]),
+    );
+    let mut container = Yaml::Map(Vec::new());
+    container.insert("name", Yaml::Str("main".to_owned()));
+    container.insert("image", Yaml::Str(image.to_owned()));
+    container.insert(
+        "env",
+        Yaml::Seq(vec![Yaml::Map(vec![
+            ("name".to_owned(), Yaml::Str("MODE".to_owned())),
+            ("value".to_owned(), Yaml::Str("test".to_owned())),
+        ])]),
+    );
+    let mut spec = Yaml::Map(Vec::new());
+    spec.insert("containers", Yaml::Seq(vec![container]));
+    let mut root = Yaml::Map(Vec::new());
+    root.insert("apiVersion", Yaml::Str("v1".to_owned()));
+    root.insert("kind", Yaml::Str("Pod".to_owned()));
+    root.insert("metadata", metadata);
+    root.insert("spec", spec);
+    yamlkit::emit(&root)
+}
+
+fn service_manifest(name: &str, app: &str, port: i64) -> String {
+    let mut root = Yaml::Map(Vec::new());
+    root.insert("apiVersion", Yaml::Str("v1".to_owned()));
+    root.insert("kind", Yaml::Str("Service".to_owned()));
+    root.insert(
+        "metadata",
+        Yaml::Map(vec![("name".to_owned(), Yaml::Str(name.to_owned()))]),
+    );
+    let mut spec = Yaml::Map(Vec::new());
+    spec.insert(
+        "selector",
+        Yaml::Map(vec![("app".to_owned(), Yaml::Str(app.to_owned()))]),
+    );
+    spec.insert(
+        "ports",
+        Yaml::Seq(vec![Yaml::Map(vec![
+            ("port".to_owned(), Yaml::Int(port)),
+            ("targetPort".to_owned(), Yaml::Int(port)),
+        ])]),
+    );
+    root.insert("spec", spec);
+    yamlkit::emit(&root)
+}
+
+#[test]
+fn pod_apply_wait_exec_delete_lifecycle() {
+    let mut cluster = Cluster::new();
+
+    // Apply the generated manifest via stdin, as `kubectl apply -f -`.
+    let applied = kubectl_stdin(
+        &mut cluster,
+        "apply -f -",
+        &pod_manifest("exec-pod", "exec", "nginx"),
+    );
+    assert_eq!(applied.code, 0, "apply failed: {}", applied.stderr);
+    assert!(
+        applied.stdout.contains("pod/exec-pod created"),
+        "{}",
+        applied.stdout
+    );
+
+    // Exec before the container is running must fail, like the real API.
+    let early = kubectl(&mut cluster, "exec exec-pod -- date");
+    assert_eq!(early.code, 1);
+    assert!(early.stderr.contains("not running"), "{}", early.stderr);
+
+    // Wait for readiness (advances the simulated clock).
+    let waited = kubectl(
+        &mut cluster,
+        "wait --for=condition=Ready pod/exec-pod --timeout=60s",
+    );
+    assert_eq!(waited.code, 0, "wait failed: {}", waited.stderr);
+    assert!(
+        waited.stdout.contains("pod/exec-pod condition met"),
+        "{}",
+        waited.stdout
+    );
+
+    // The kata-containers k8s-exec.bats flow: date, ls, and a custom echo.
+    let date = kubectl(&mut cluster, "exec exec-pod -- date");
+    assert_eq!(date.code, 0, "{}", date.stderr);
+    assert!(date.stdout.contains("UTC 2024"), "{}", date.stdout);
+
+    let ls = kubectl(&mut cluster, "exec -i exec-pod -- ls");
+    assert_eq!(ls.code, 0);
+    assert!(ls.stdout.lines().any(|l| l == "etc"), "{}", ls.stdout);
+
+    let echoed = kubectl(&mut cluster, "exec exec-pod -- echo hello from pod");
+    assert_eq!(echoed.stdout, "hello from pod\n");
+
+    // hostname and env reflect the pod identity and the manifest env vars.
+    let hostname = kubectl(&mut cluster, "exec exec-pod -- hostname");
+    assert_eq!(hostname.stdout, "exec-pod\n");
+    let env = kubectl(&mut cluster, "exec exec-pod -- env");
+    assert!(env.stdout.contains("HOSTNAME=exec-pod"), "{}", env.stdout);
+    assert!(env.stdout.contains("MODE=test"), "{}", env.stdout);
+
+    // Unknown binaries fail with the OCI runtime shape and exit 126.
+    let missing = kubectl(&mut cluster, "exec exec-pod -- not-a-binary");
+    assert_eq!(missing.code, 126);
+    assert!(
+        missing.stderr.contains("executable file not found"),
+        "{}",
+        missing.stderr
+    );
+
+    // Delete, then verify the pod is gone end to end.
+    let deleted = kubectl(&mut cluster, "delete pod exec-pod");
+    assert_eq!(deleted.code, 0, "{}", deleted.stderr);
+    assert!(deleted.stdout.contains("deleted"), "{}", deleted.stdout);
+    let gone = kubectl(&mut cluster, "get pod exec-pod");
+    assert_ne!(gone.code, 0);
+    assert!(gone.stderr.contains("not found"), "{}", gone.stderr);
+    let exec_gone = kubectl(&mut cluster, "exec exec-pod -- date");
+    assert_eq!(exec_gone.code, 1);
+    assert!(
+        exec_gone.stderr.contains("NotFound"),
+        "{}",
+        exec_gone.stderr
+    );
+}
+
+#[test]
+fn service_apply_get_delete_lifecycle() {
+    let mut cluster = Cluster::new();
+    kubectl_stdin(
+        &mut cluster,
+        "apply -f -",
+        &pod_manifest("web-0", "web", "nginx"),
+    );
+    let applied = kubectl_stdin(
+        &mut cluster,
+        "apply -f -",
+        &service_manifest("web-svc", "web", 80),
+    );
+    assert_eq!(applied.code, 0, "apply failed: {}", applied.stderr);
+    assert!(
+        applied.stdout.contains("service/web-svc created"),
+        "{}",
+        applied.stdout
+    );
+    cluster.advance(15_000);
+
+    let got = kubectl(&mut cluster, "get service web-svc");
+    assert_eq!(got.code, 0, "{}", got.stderr);
+    assert!(got.stdout.contains("web-svc"), "{}", got.stdout);
+
+    let name = kubectl(
+        &mut cluster,
+        "get service web-svc -o jsonpath={.metadata.name}",
+    );
+    assert_eq!(name.stdout, "web-svc");
+
+    let deleted = kubectl(&mut cluster, "delete service web-svc");
+    assert_eq!(deleted.code, 0, "{}", deleted.stderr);
+    let gone = kubectl(&mut cluster, "get service web-svc");
+    assert_ne!(gone.code, 0);
+}
+
+#[test]
+fn exec_argument_errors_match_kubectl() {
+    let mut cluster = Cluster::new();
+    let no_pod = kubectl(&mut cluster, "exec");
+    assert_eq!(no_pod.code, 1);
+    assert!(
+        no_pod.stderr.contains("must be specified"),
+        "{}",
+        no_pod.stderr
+    );
+
+    kubectl_stdin(&mut cluster, "apply -f -", &pod_manifest("p", "p", "nginx"));
+    kubectl(
+        &mut cluster,
+        "wait --for=condition=Ready pod/p --timeout=60s",
+    );
+    let no_cmd = kubectl(&mut cluster, "exec p");
+    assert_eq!(no_cmd.code, 1);
+    assert!(
+        no_cmd.stderr.contains("at least one command"),
+        "{}",
+        no_cmd.stderr
+    );
+
+    let absent = kubectl(&mut cluster, "exec ghost -- date");
+    assert_eq!(absent.code, 1);
+    assert!(absent.stderr.contains("NotFound"), "{}", absent.stderr);
+
+    // An unknown value-taking flag is rejected rather than misparsing its
+    // value as the pod name.
+    let unknown_flag = kubectl(&mut cluster, "exec --request-timeout 30s p -- date");
+    assert_eq!(unknown_flag.code, 1);
+    assert!(
+        unknown_flag
+            .stderr
+            .contains("unknown flag: --request-timeout"),
+        "{}",
+        unknown_flag.stderr
+    );
+}
+
+#[test]
+fn exec_date_renders_the_simulated_clock() {
+    let mut cluster = Cluster::new();
+    kubectl_stdin(&mut cluster, "apply -f -", &pod_manifest("p", "p", "nginx"));
+    kubectl(
+        &mut cluster,
+        "wait --for=condition=Ready pod/p --timeout=60s",
+    );
+    let date = kubectl(&mut cluster, "exec p -- date");
+    assert_eq!(date.code, 0, "{}", date.stderr);
+    // Readiness takes a couple of simulated seconds: still Jan 1, 2024.
+    assert!(
+        date.stdout.starts_with("Mon Jan  1 00:00:"),
+        "{}",
+        date.stdout
+    );
+    assert!(
+        date.stdout.trim_end().ends_with("UTC 2024"),
+        "{}",
+        date.stdout
+    );
+}

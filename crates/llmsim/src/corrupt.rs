@@ -40,7 +40,13 @@ impl AnswerCategory {
 }
 
 /// Deterministic seed from generation coordinates.
-pub fn answer_seed(model: &str, problem_id: &str, variant_tag: u8, shots: usize, sample: u64) -> u64 {
+pub fn answer_seed(
+    model: &str,
+    problem_id: &str,
+    variant_tag: u8,
+    shots: usize,
+    sample: u64,
+) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     let mut eat = |bytes: &[u8]| {
         for &b in bytes {
@@ -121,7 +127,14 @@ fn wrong_kind(problem: &Problem, rng: &mut StdRng) -> String {
         .and_then(|docs| docs.first().map(|d| d.to_value()))
         .and_then(|v| v.get("kind").map(Yaml::render_scalar))
         .unwrap_or_else(|| "Pod".to_owned());
-    let replacements = ["Pod", "Deployment", "Service", "ConfigMap", "DaemonSet", "Job"];
+    let replacements = [
+        "Pod",
+        "Deployment",
+        "Service",
+        "ConfigMap",
+        "DaemonSet",
+        "Job",
+    ];
     let wrong = replacements
         .iter()
         .filter(|k| **k != actual_kind)
@@ -134,7 +147,11 @@ fn wrong_kind(problem: &Problem, rng: &mut StdRng) -> String {
             "apiVersion: v1\nkind: {wrong}\nmetadata:\n  name: envoy-config\nspec: {{}}\n"
         );
     }
-    reference.replacen(&format!("kind: {actual_kind}"), &format!("kind: {wrong}"), 1)
+    reference.replacen(
+        &format!("kind: {actual_kind}"),
+        &format!("kind: {wrong}"),
+        1,
+    )
 }
 
 /// Valid YAML, right kind, but critical fields corrupted so the unit test
@@ -169,14 +186,45 @@ fn corrupted_reference(problem: &Problem, rng: &mut StdRng) -> String {
         // selectors and lookups), data payloads, and commonly-checked
         // leaves.
         let checked_leaves = [
-            "image", "containerPort", "hostPort", "port", "value", "replicas", "host",
-            "schedule", "storage", "cpu", "memory", "prefix", "cluster", "subset", "weight",
-            "mountPath", "path", "simple", "port_value", "mode", "number", "name",
-            "cluster_name", "serviceName",
+            "image",
+            "containerPort",
+            "hostPort",
+            "port",
+            "value",
+            "replicas",
+            "host",
+            "schedule",
+            "storage",
+            "cpu",
+            "memory",
+            "prefix",
+            "cluster",
+            "subset",
+            "weight",
+            "mountPath",
+            "path",
+            "simple",
+            "port_value",
+            "mode",
+            "number",
+            "name",
+            "cluster_name",
+            "serviceName",
         ];
         let checked_segments = [
-            "labels", "matchLabels", "selector", "data", "stringData", "hard", "rules",
-            "subjects", "roleRef", "accessModes", "env", "scaleTargetRef", "policyTypes",
+            "labels",
+            "matchLabels",
+            "selector",
+            "data",
+            "stringData",
+            "hard",
+            "rules",
+            "subjects",
+            "roleRef",
+            "accessModes",
+            "env",
+            "scaleTargetRef",
+            "policyTypes",
         ];
         let critical: Vec<Vec<String>> = paths
             .iter()
@@ -251,10 +299,13 @@ fn correct_answer(problem: &Problem, rng: &mut StdRng) -> String {
         // paper's unit-test predictor honest (Figure 9's 5-30% errors).
         for v in &mut values {
             if let Some(meta) = v.get_mut("metadata") {
-                let note = ["managed-by: llm", "generated: true", "reviewed: no"]
-                    [rng.gen_range(0..3)];
+                let note =
+                    ["managed-by: llm", "generated: true", "reviewed: no"][rng.gen_range(0..3)];
                 let (k, val) = note.split_once(": ").expect("static note");
-                let mut annotations = meta.get("annotations").cloned().unwrap_or(Yaml::Map(vec![]));
+                let mut annotations = meta
+                    .get("annotations")
+                    .cloned()
+                    .unwrap_or(Yaml::Map(vec![]));
                 annotations.insert(k, Yaml::Str(val.to_owned()));
                 meta.insert("annotations", annotations);
             }
@@ -291,15 +342,12 @@ fn rotate_map_keys(value: &mut Yaml) {
 
 fn rename_wildcards(value: &mut Yaml, tree: &MatchTree, rng: &mut StdRng) {
     match (value, tree) {
-        (v, MatchTree::Leaf(MatchRule::Wildcard)) => {
-            if let Yaml::Str(s) = v {
-                *s = format!("{s}-{}", ["alt", "new", "my", "gen"][rng.gen_range(0..4)]);
-            }
+        (Yaml::Str(s), MatchTree::Leaf(MatchRule::Wildcard)) => {
+            *s = format!("{s}-{}", ["alt", "new", "my", "gen"][rng.gen_range(0..4)]);
         }
-        (v, MatchTree::Leaf(MatchRule::OneOf { options, .. }))
-            if !options.is_empty() => {
-                *v = options[rng.gen_range(0..options.len())].clone();
-            }
+        (v, MatchTree::Leaf(MatchRule::OneOf { options, .. })) if !options.is_empty() => {
+            *v = options[rng.gen_range(0..options.len())].clone();
+        }
         (Yaml::Map(entries), MatchTree::Map(tree_entries)) => {
             for (k, v) in entries.iter_mut() {
                 if let Some((_, sub)) = tree_entries.iter().find(|(tk, _)| tk == k) {
@@ -426,7 +474,11 @@ mod tests {
             let kind = parsed[0].to_value().get("kind").map(Yaml::render_scalar);
             assert_eq!(kind, expected_kind);
             // And it must differ from the reference as a dictionary.
-            assert_eq!(cescore::kv_exact_match(&p.labeled_reference, &ans), 0.0, "seed {seed}");
+            assert_eq!(
+                cescore::kv_exact_match(&p.labeled_reference, &ans),
+                0.0,
+                "seed {seed}"
+            );
         }
     }
 
@@ -435,7 +487,10 @@ mod tests {
         let p = first_problem();
         let ans = realize(&p, AnswerCategory::WrongKind, 3, 0.0);
         let v = yamlkit::parse(&ans).unwrap()[0].to_value();
-        assert_ne!(v.get("kind").map(Yaml::render_scalar).as_deref(), Some("Pod"));
+        assert_ne!(
+            v.get("kind").map(Yaml::render_scalar).as_deref(),
+            Some("Pod")
+        );
     }
 
     #[test]
@@ -472,7 +527,13 @@ mod tests {
         let mut styles = std::collections::HashSet::new();
         for seed in 0..60 {
             let ans = realize(&p, AnswerCategory::Correct, seed, 1.0);
-            for marker in ["Here is", "```", "<code>", "\\begin{code}", "START SOLUTION"] {
+            for marker in [
+                "Here is",
+                "```",
+                "<code>",
+                "\\begin{code}",
+                "START SOLUTION",
+            ] {
                 if ans.contains(marker) {
                     styles.insert(marker);
                 }

@@ -58,9 +58,8 @@ pub fn calibrate_alpha(difficulties: &[f64], target: usize) -> f64 {
     if target == 0 {
         return f64::NEG_INFINITY;
     }
-    let expected = |alpha: f64| -> f64 {
-        difficulties.iter().map(|d| sigmoid(alpha - BETA * d)).sum()
-    };
+    let expected =
+        |alpha: f64| -> f64 { difficulties.iter().map(|d| sigmoid(alpha - BETA * d)).sum() };
     let (mut lo, mut hi) = (-30.0, 30.0);
     for _ in 0..80 {
         let mid = 0.5 * (lo + hi);
@@ -75,7 +74,11 @@ pub fn calibrate_alpha(difficulties: &[f64], target: usize) -> f64 {
 
 /// Precomputed difficulties for a dataset under one model tier.
 pub fn dataset_difficulties(dataset: &Dataset, tier: Tier) -> Vec<f64> {
-    dataset.problems().iter().map(|p| difficulty(p, tier)).collect()
+    dataset
+        .problems()
+        .iter()
+        .map(|p| difficulty(p, tier))
+        .collect()
 }
 
 /// Pass probability of a model on one problem given a calibrated α.

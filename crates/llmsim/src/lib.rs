@@ -53,7 +53,11 @@ pub use query::{auto_batch_size, query_batch, BatchReport, QueryConfig};
 /// Classifies an extracted answer into Figure 7's six categories, given
 /// the unit-test verdict. This is the analysis-side mirror of the
 /// generation-side [`AnswerCategory`].
-pub fn classify_answer(extracted_yaml: &str, reference: &str, passed_unit_test: bool) -> AnswerCategory {
+pub fn classify_answer(
+    extracted_yaml: &str,
+    reference: &str,
+    passed_unit_test: bool,
+) -> AnswerCategory {
     if passed_unit_test {
         return AnswerCategory::Correct;
     }
@@ -101,7 +105,10 @@ mod tests {
     #[test]
     fn classify_matches_figure_7_definitions() {
         assert_eq!(classify_answer("", REF, false), AnswerCategory::EmptyOrTiny);
-        assert_eq!(classify_answer("one\ntwo", REF, false), AnswerCategory::EmptyOrTiny);
+        assert_eq!(
+            classify_answer("one\ntwo", REF, false),
+            AnswerCategory::EmptyOrTiny
+        );
         assert_eq!(
             classify_answer("line\nline\nline\nprose without the field", REF, false),
             AnswerCategory::NoKind
@@ -111,11 +118,19 @@ mod tests {
             AnswerCategory::IncompleteYaml
         );
         assert_eq!(
-            classify_answer("apiVersion: v1\nkind: Service\nmetadata:\n  name: y\n", REF, false),
+            classify_answer(
+                "apiVersion: v1\nkind: Service\nmetadata:\n  name: y\n",
+                REF,
+                false
+            ),
             AnswerCategory::WrongKind
         );
         assert_eq!(
-            classify_answer("apiVersion: v1\nkind: Pod\nmetadata:\n  name: other\n", REF, false),
+            classify_answer(
+                "apiVersion: v1\nkind: Pod\nmetadata:\n  name: other\n",
+                REF,
+                false
+            ),
             AnswerCategory::FailsTest
         );
         assert_eq!(classify_answer(REF, REF, true), AnswerCategory::Correct);
@@ -129,7 +144,11 @@ mod tests {
             AnswerCategory::NoKind
         );
         assert_eq!(
-            classify_answer("static_resources:\n  listeners: []\n  clusters: []\n", envoy_ref, false),
+            classify_answer(
+                "static_resources:\n  listeners: []\n  clusters: []\n",
+                envoy_ref,
+                false
+            ),
             AnswerCategory::FailsTest
         );
     }

@@ -37,14 +37,24 @@ pub struct GenParams {
 
 impl Default for GenParams {
     fn default() -> Self {
-        GenParams { temperature: 0.0, top_p: 1.0, top_k: 0, sample_index: 0 }
+        GenParams {
+            temperature: 0.0,
+            top_p: 1.0,
+            top_k: 0,
+            sample_index: 0,
+        }
     }
 }
 
 impl GenParams {
     /// The paper's multi-sample settings for open models.
     pub fn sampling(sample_index: u64) -> GenParams {
-        GenParams { temperature: 0.75, top_p: 0.9, top_k: 50, sample_index }
+        GenParams {
+            temperature: 0.75,
+            top_p: 0.9,
+            top_k: 50,
+            sample_index,
+        }
     }
 }
 
@@ -81,7 +91,12 @@ impl SimulatedModel {
                 alphas.insert((variant, shots), alpha);
             }
         }
-        SimulatedModel { profile, dataset, difficulties, alphas }
+        SimulatedModel {
+            profile,
+            dataset,
+            difficulties,
+            alphas,
+        }
     }
 
     /// The model's profile.
@@ -91,7 +106,11 @@ impl SimulatedModel {
 
     /// Pass probability for a problem index under a variant/shots setting.
     pub fn pass_probability(&self, problem_index: usize, variant: Variant, shots: usize) -> f64 {
-        let alpha = self.alphas.get(&(variant, shots)).copied().unwrap_or(f64::NEG_INFINITY);
+        let alpha = self
+            .alphas
+            .get(&(variant, shots))
+            .copied()
+            .unwrap_or(f64::NEG_INFINITY);
         pass_probability(alpha, self.difficulties[problem_index])
     }
 
@@ -198,17 +217,38 @@ impl LanguageModel for SimulatedModel {
         // across samples — real models either can or cannot do a problem,
         // and resampling buys the paper ~30-40% at 20 samples (Figure 8),
         // not unbounded gains.
-        let effective_sample = if params.temperature == 0.0 { 0 } else { params.sample_index };
-        let seed = answer_seed(self.profile.name, &problem.id, variant as u8, shots, effective_sample);
+        let effective_sample = if params.temperature == 0.0 {
+            0
+        } else {
+            params.sample_index
+        };
+        let seed = answer_seed(
+            self.profile.name,
+            &problem.id,
+            variant as u8,
+            shots,
+            effective_sample,
+        );
         let jitter = if effective_sample == 0 {
             0.0
         } else {
-            let j = answer_seed(self.profile.name, &format!("{}\u{1}jitter", problem.id), variant as u8, shots, effective_sample);
+            let j = answer_seed(
+                self.profile.name,
+                &format!("{}\u{1}jitter", problem.id),
+                variant as u8,
+                shots,
+                effective_sample,
+            );
             ((j >> 11) as f64 / (u64::MAX >> 11) as f64) * 2.0 - 1.0
         };
         let group_seed = answer_seed(self.profile.name, "\u{1}group", variant as u8, shots, 0);
         let category = self.draw_category(variant, shots, idx, group_seed, seed, jitter);
-        realize(problem, category, seed ^ 0x9e37_79b9_7f4a_7c15, self.profile.wrap_prob)
+        realize(
+            problem,
+            category,
+            seed ^ 0x9e37_79b9_7f4a_7c15,
+            self.profile.wrap_prob,
+        )
     }
 }
 
@@ -240,7 +280,13 @@ mod tests {
         let b = m.generate(&prompt, &GenParams::default());
         assert_eq!(a, b);
         // Different sample index at temperature 0 is still the same.
-        let c = m.generate(&prompt, &GenParams { sample_index: 5, ..GenParams::default() });
+        let c = m.generate(
+            &prompt,
+            &GenParams {
+                sample_index: 5,
+                ..GenParams::default()
+            },
+        );
         assert_eq!(a, c);
     }
 
@@ -288,7 +334,10 @@ mod tests {
     #[test]
     fn palm_refuses_translated() {
         let ds = Arc::new(Dataset::generate());
-        let palm = SimulatedModel::new(ModelProfile::by_name("palm-2-bison").unwrap(), Arc::clone(&ds));
+        let palm = SimulatedModel::new(
+            ModelProfile::by_name("palm-2-bison").unwrap(),
+            Arc::clone(&ds),
+        );
         let p = &ds.problems()[0];
         let prompt = build_prompt(&p.prompt_body(Variant::Translated), 0);
         let out = palm.generate(&prompt, &GenParams::default());

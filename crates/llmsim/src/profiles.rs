@@ -271,7 +271,8 @@ mod tests {
         let total = gpt4.passes_original + gpt4.passes_simplified + gpt4.passes_translated.unwrap();
         assert!((total as f64 / 1011.0 - 0.515).abs() < 0.01);
         let gpt35 = ModelProfile::by_name("gpt-3.5").unwrap();
-        let total = gpt35.passes_original + gpt35.passes_simplified + gpt35.passes_translated.unwrap();
+        let total =
+            gpt35.passes_original + gpt35.passes_simplified + gpt35.passes_translated.unwrap();
         assert!((total as f64 / 1011.0 - 0.412).abs() < 0.01);
     }
 

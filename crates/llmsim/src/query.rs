@@ -6,12 +6,11 @@
 //! exploiting provider auto-scaling with many parallel requests ("128
 //! raylets ... can significantly increase the speed by two orders of
 //! magnitude") and by sizing local batches to GPU memory. This module
-//! reproduces both mechanisms: a crossbeam worker pool with a shared work
+//! reproduces both mechanisms: a scoped worker pool with a shared work
 //! queue, and the batch-size heuristic for local models.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::model::{GenParams, LanguageModel};
 
@@ -31,7 +30,11 @@ pub struct QueryConfig {
 
 impl Default for QueryConfig {
     fn default() -> Self {
-        QueryConfig { parallelism: 16, rate_limit_per_min: None, request_latency_ms: 800 }
+        QueryConfig {
+            parallelism: 16,
+            rate_limit_per_min: None,
+            request_latency_ms: 800,
+        }
     }
 }
 
@@ -66,21 +69,21 @@ pub fn query_batch(
     let results: Mutex<Vec<Option<String>>> = Mutex::new(vec![None; n]);
     let next: AtomicUsize = AtomicUsize::new(0);
     let workers = config.parallelism.max(1).min(n.max(1));
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let response = model.generate(&prompts[i], params);
-                results.lock()[i] = Some(response);
+                results.lock().expect("results lock poisoned")[i] = Some(response);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     let responses: Vec<String> = results
         .into_inner()
+        .expect("results lock poisoned")
         .into_iter()
         .map(|r| r.expect("all prompts answered"))
         .collect();
@@ -94,7 +97,11 @@ pub fn query_batch(
         let min_by_rate = (n as u64 * 60_000) / u64::from(rpm.max(1));
         wall = wall.max(min_by_rate);
     }
-    BatchReport { responses, modeled_wall_ms: wall, modeled_serial_ms: serial }
+    BatchReport {
+        responses,
+        modeled_wall_ms: wall,
+        modeled_serial_ms: serial,
+    }
 }
 
 /// Batch-size heuristic for local models (§3.1: "the module automatically
@@ -128,7 +135,12 @@ mod tests {
     #[test]
     fn responses_preserve_prompt_order() {
         let prompts: Vec<String> = (0..200).map(|i| format!("p{i}")).collect();
-        let report = query_batch(&Echo, &prompts, &GenParams::default(), &QueryConfig::default());
+        let report = query_batch(
+            &Echo,
+            &prompts,
+            &GenParams::default(),
+            &QueryConfig::default(),
+        );
         for (i, r) in report.responses.iter().enumerate() {
             assert_eq!(r, &format!("p{i}#0"));
         }
@@ -137,12 +149,22 @@ mod tests {
     #[test]
     fn parallelism_speeds_up_the_latency_model() {
         let prompts: Vec<String> = (0..128).map(|i| format!("p{i}")).collect();
-        let serial_cfg = QueryConfig { parallelism: 1, ..QueryConfig::default() };
-        let wide_cfg = QueryConfig { parallelism: 128, ..QueryConfig::default() };
+        let serial_cfg = QueryConfig {
+            parallelism: 1,
+            ..QueryConfig::default()
+        };
+        let wide_cfg = QueryConfig {
+            parallelism: 128,
+            ..QueryConfig::default()
+        };
         let serial = query_batch(&Echo, &prompts, &GenParams::default(), &serial_cfg);
         let wide = query_batch(&Echo, &prompts, &GenParams::default(), &wide_cfg);
-        assert!(wide.modeled_wall_ms < serial.modeled_wall_ms / 50,
-            "wide {} vs serial {}", wide.modeled_wall_ms, serial.modeled_wall_ms);
+        assert!(
+            wide.modeled_wall_ms < serial.modeled_wall_ms / 50,
+            "wide {} vs serial {}",
+            wide.modeled_wall_ms,
+            serial.modeled_wall_ms
+        );
         assert!(wide.speedup() > 50.0);
     }
 

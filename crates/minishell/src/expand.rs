@@ -22,10 +22,17 @@ use std::collections::HashMap;
 /// ```
 pub fn arith_eval(expr: &str, env: &mut HashMap<String, String>) -> Result<i64, String> {
     let tokens = arith_lex(expr)?;
-    let mut p = ArithParser { tokens, pos: 0, env };
+    let mut p = ArithParser {
+        tokens,
+        pos: 0,
+        env,
+    };
     let v = p.assign()?;
     if p.pos != p.tokens.len() {
-        return Err(format!("unexpected token in arithmetic: {:?}", p.tokens[p.pos]));
+        return Err(format!(
+            "unexpected token in arithmetic: {:?}",
+            p.tokens[p.pos]
+        ));
     }
     Ok(v)
 }
@@ -69,7 +76,9 @@ fn arith_lex(expr: &str) -> Result<Vec<ATok>, String> {
             }
             _ => {
                 let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
-                let ops2 = ["++", "--", "+=", "-=", "*=", "/=", "%=", "==", "!=", "<=", ">=", "&&", "||"];
+                let ops2 = [
+                    "++", "--", "+=", "-=", "*=", "/=", "%=", "==", "!=", "<=", ">=", "&&", "||",
+                ];
                 if ops2.contains(&two.as_str()) {
                     out.push(ATok::Op(two));
                     i += 2;
@@ -93,7 +102,10 @@ struct ArithParser<'a> {
 
 impl ArithParser<'_> {
     fn get(&self, name: &str) -> i64 {
-        self.env.get(name).and_then(|v| v.trim().parse().ok()).unwrap_or(0)
+        self.env
+            .get(name)
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0)
     }
 
     fn set(&mut self, name: &str, v: i64) {
@@ -109,9 +121,10 @@ impl ArithParser<'_> {
 
     fn assign(&mut self) -> Result<i64, String> {
         // var (=|+=|-=|*=|/=|%=) expr
-        if let (Some(ATok::Var(name)), Some(ATok::Op(op))) =
-            (self.tokens.get(self.pos).cloned(), self.tokens.get(self.pos + 1).cloned())
-        {
+        if let (Some(ATok::Var(name)), Some(ATok::Op(op))) = (
+            self.tokens.get(self.pos).cloned(),
+            self.tokens.get(self.pos + 1).cloned(),
+        ) {
             if matches!(op.as_str(), "=" | "+=" | "-=" | "*=" | "/=" | "%=") {
                 self.pos += 2;
                 let rhs = self.assign()?;
@@ -312,11 +325,12 @@ fn glob_rec(p: &[char], pi: usize, t: &[char], ti: usize) -> bool {
                         return false;
                     }
                     let body = &p[pi + 1..end];
-                    let (negated, body) = if body.first() == Some(&'^') || body.first() == Some(&'!') {
-                        (true, &body[1..])
-                    } else {
-                        (false, body)
-                    };
+                    let (negated, body) =
+                        if body.first() == Some(&'^') || body.first() == Some(&'!') {
+                            (true, &body[1..])
+                        } else {
+                            (false, body)
+                        };
                     let mut matched = false;
                     let mut k = 0;
                     while k < body.len() {
@@ -346,7 +360,10 @@ mod tests {
     use super::*;
 
     fn env_with(pairs: &[(&str, &str)]) -> HashMap<String, String> {
-        pairs.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect()
     }
 
     #[test]

@@ -142,13 +142,19 @@ impl<'a> Interp<'a> {
         };
         let mut combined = out.clone();
         combined.push_str(&err);
-        Ok(ScriptOutcome { stdout: out, combined, exit_code: code })
+        Ok(ScriptOutcome {
+            stdout: out,
+            combined,
+            exit_code: code,
+        })
     }
 
     fn burn(&mut self) -> Result<(), ShellError> {
         self.fuel = self.fuel.saturating_sub(1);
         if self.fuel == 0 {
-            return Err(ShellError("script exceeded step budget (runaway loop?)".into()));
+            return Err(ShellError(
+                "script exceeded step budget (runaway loop?)".into(),
+            ));
         }
         Ok(())
     }
@@ -179,9 +185,11 @@ impl<'a> Interp<'a> {
     ) -> Result<Flow, ShellError> {
         self.burn()?;
         match cmd {
-            Cmd::Simple { assignments, words, redirects } => {
-                self.exec_simple(assignments, words, redirects, stdin, out, err)
-            }
+            Cmd::Simple {
+                assignments,
+                words,
+                redirects,
+            } => self.exec_simple(assignments, words, redirects, stdin, out, err),
             Cmd::Pipeline(cmds) => {
                 let mut cur_in = stdin.to_owned();
                 let mut status = 0;
@@ -297,7 +305,11 @@ impl<'a> Interp<'a> {
                 self.last_status = status;
                 Ok(Flow::Normal(status))
             }
-            Cmd::LoopCtl(is_break) => Ok(if *is_break { Flow::Break } else { Flow::Continue }),
+            Cmd::LoopCtl(is_break) => Ok(if *is_break {
+                Flow::Break
+            } else {
+                Flow::Continue
+            }),
         }
     }
 
@@ -334,19 +346,26 @@ impl<'a> Interp<'a> {
                 effective_stdin = self.files.get(&target).cloned().unwrap_or_default();
             }
         }
-        let (mut cmd_out, mut cmd_err, code) = match self.run_command(&argv, &effective_stdin, err)? {
-            RunOutcome::Captured { out, err, code } => (out, err, code),
-            RunOutcome::Exit(c) => return Ok(Flow::Exit(c)),
-        };
+        let (mut cmd_out, mut cmd_err, code) =
+            match self.run_command(&argv, &effective_stdin, err)? {
+                RunOutcome::Captured { out, err, code } => (out, err, code),
+                RunOutcome::Exit(c) => return Ok(Flow::Exit(c)),
+            };
         // Apply output redirections.
         let mut out_target: Option<(String, bool)> = None;
         let mut err_target: Option<(String, bool)> = None;
         let mut err_to_out = false;
         for r in redirects {
             match r.op {
-                RedirOp::Out => out_target = Some((self.expand_joined(&r.target, out, err)?, false)),
-                RedirOp::Append => out_target = Some((self.expand_joined(&r.target, out, err)?, true)),
-                RedirOp::ErrOut => err_target = Some((self.expand_joined(&r.target, out, err)?, false)),
+                RedirOp::Out => {
+                    out_target = Some((self.expand_joined(&r.target, out, err)?, false))
+                }
+                RedirOp::Append => {
+                    out_target = Some((self.expand_joined(&r.target, out, err)?, true))
+                }
+                RedirOp::ErrOut => {
+                    err_target = Some((self.expand_joined(&r.target, out, err)?, false))
+                }
                 RedirOp::ErrAppend => {
                     err_target = Some((self.expand_joined(&r.target, out, err)?, true))
                 }
@@ -380,7 +399,10 @@ impl<'a> Interp<'a> {
             return;
         }
         if append {
-            self.files.entry(name.to_owned()).or_default().push_str(&content);
+            self.files
+                .entry(name.to_owned())
+                .or_default()
+                .push_str(&content);
         } else {
             self.files.insert(name.to_owned(), content);
         }
@@ -475,7 +497,11 @@ impl<'a> Interp<'a> {
     ) -> Result<(String, bool), ShellError> {
         Ok(match seg {
             Seg::Lit { text, quoted } => (text.clone(), *quoted),
-            Seg::Var { name, default, quoted } => {
+            Seg::Var {
+                name,
+                default,
+                quoted,
+            } => {
                 // `${#name}` expands to the value's length.
                 let v = if let Some(inner) = name.strip_prefix('#').filter(|n| !n.is_empty()) {
                     self.var(inner).chars().count().to_string()
@@ -637,7 +663,10 @@ impl<'a> Interp<'a> {
         }
         // Unary operators.
         if let Some(op) = words.get(pos).and_then(Word::as_keyword) {
-            if matches!(op, "-z" | "-n" | "-f" | "-e" | "-s" | "-d" | "-r" | "-w" | "-x") {
+            if matches!(
+                op,
+                "-z" | "-n" | "-f" | "-e" | "-s" | "-d" | "-r" | "-w" | "-x"
+            ) {
                 let operand = words
                     .get(pos + 1)
                     .map(|w| self.expand_joined(w, out, err))
@@ -677,7 +706,9 @@ impl<'a> Interp<'a> {
             "=~" => {
                 let rhs_word = words.get(pos + 2).cloned().unwrap_or_default();
                 let pattern = self.expand_joined(&rhs_word, out, err)?;
-                let v = Regex::new(&pattern).map(|re| re.is_match(&lhs)).unwrap_or(false);
+                let v = Regex::new(&pattern)
+                    .map(|re| re.is_match(&lhs))
+                    .unwrap_or(false);
                 Ok((v, pos + 3))
             }
             "-eq" | "-ne" | "-lt" | "-le" | "-gt" | "-ge" => {

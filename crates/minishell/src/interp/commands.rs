@@ -20,7 +20,11 @@ pub enum RunOutcome {
 }
 
 fn captured(out: impl Into<String>, err: impl Into<String>, code: i32) -> RunOutcome {
-    RunOutcome::Captured { out: out.into(), err: err.into(), code }
+    RunOutcome::Captured {
+        out: out.into(),
+        err: err.into(),
+        code,
+    }
 }
 
 impl Interp<'_> {
@@ -43,11 +47,11 @@ impl Interp<'_> {
                 if name == "[" && args.last().map(String::as_str) == Some("]") {
                     args.pop();
                 }
-                let words: Vec<crate::lang::Word> =
-                    args.iter().map(|a| quoted_word(a)).collect();
+                let words: Vec<crate::lang::Word> = args.iter().map(|a| quoted_word(a)).collect();
                 let mut scratch_out = String::new();
                 let mut scratch_err = String::new();
-                let status = self.eval_cond_words_plain(&words, &mut scratch_out, &mut scratch_err)?;
+                let status =
+                    self.eval_cond_words_plain(&words, &mut scratch_out, &mut scratch_err)?;
                 captured("", scratch_err, status)
             }
             "sleep" => {
@@ -58,7 +62,10 @@ impl Interp<'_> {
                 captured("", "", 0)
             }
             "exit" => {
-                let code = args.first().and_then(|s| s.parse().ok()).unwrap_or(self.last_status);
+                let code = args
+                    .first()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(self.last_status);
                 return Ok(RunOutcome::Exit(code));
             }
             "true" | ":" => captured("", "", 0),
@@ -95,7 +102,11 @@ impl Interp<'_> {
                     _ => (1, 0),
                 };
                 let out: Vec<String> = (lo..=hi).map(|n| n.to_string()).collect();
-                captured(join_lines(&out.iter().map(String::as_str).collect::<Vec<_>>()), "", 0)
+                captured(
+                    join_lines(&out.iter().map(String::as_str).collect::<Vec<_>>()),
+                    "",
+                    0,
+                )
             }
             "basename" => {
                 let p = args.first().cloned().unwrap_or_default();
@@ -123,7 +134,11 @@ impl Interp<'_> {
             }
             "set" | "shopt" => captured("", "", 0),
             "which" | "command" => {
-                let target = args.iter().find(|a| !a.starts_with('-')).cloned().unwrap_or_default();
+                let target = args
+                    .iter()
+                    .find(|a| !a.starts_with('-'))
+                    .cloned()
+                    .unwrap_or_default();
                 captured(format!("/usr/bin/{target}\n"), "", 0)
             }
             "sed" => builtin_sed(args, stdin),
@@ -151,16 +166,20 @@ impl Interp<'_> {
                         if r.blocking {
                             // Un-timed-out blocking commands behave like a
                             // command that ran until interrupted.
-                            RunOutcome::Captured { out: r.stdout, err: r.stderr, code: r.code }
+                            RunOutcome::Captured {
+                                out: r.stdout,
+                                err: r.stderr,
+                                code: r.code,
+                            }
                         } else {
-                            RunOutcome::Captured { out: r.stdout, err: r.stderr, code: r.code }
+                            RunOutcome::Captured {
+                                out: r.stdout,
+                                err: r.stderr,
+                                code: r.code,
+                            }
                         }
                     }
-                    None => captured(
-                        "",
-                        format!("bash: {name}: command not found\n"),
-                        127,
-                    ),
+                    None => captured("", format!("bash: {name}: command not found\n"), 127),
                 }
             }
         })
@@ -207,13 +226,7 @@ impl Interp<'_> {
         for f in files {
             match self.files.get(f.as_str()) {
                 Some(content) => out.push_str(content),
-                None => {
-                    return captured(
-                        out,
-                        format!("cat: {f}: No such file or directory\n"),
-                        1,
-                    )
-                }
+                None => return captured(out, format!("cat: {f}: No such file or directory\n"), 1),
             }
         }
         captured(out, "", 0)
@@ -265,10 +278,18 @@ impl Interp<'_> {
             }
             s
         };
-        let pat = if ignore_case { pattern.to_lowercase() } else { pattern.clone() };
+        let pat = if ignore_case {
+            pattern.to_lowercase()
+        } else {
+            pattern.clone()
+        };
         let re = Regex::new(&pat).ok();
         let line_matches = |line: &str| -> bool {
-            let l = if ignore_case { line.to_lowercase() } else { line.to_owned() };
+            let l = if ignore_case {
+                line.to_lowercase()
+            } else {
+                line.to_owned()
+            };
             match &re {
                 Some(re) => re.is_match(&l),
                 None => l.contains(&pat), // unparsable pattern: fixed string
@@ -292,7 +313,11 @@ impl Interp<'_> {
             let mut out = String::new();
             if let Some(re) = &re {
                 for line in &matched_lines {
-                    let l = if ignore_case { line.to_lowercase() } else { (*line).to_owned() };
+                    let l = if ignore_case {
+                        line.to_lowercase()
+                    } else {
+                        (*line).to_owned()
+                    };
                     for m in re.find_all(&l) {
                         out.push_str(m);
                         out.push('\n');
@@ -312,7 +337,10 @@ impl Interp<'_> {
             let a = args[i].as_str();
             if a == "-n" {
                 i += 1;
-                n = args.get(i).and_then(|s| s.trim_start_matches('-').parse().ok()).unwrap_or(10);
+                n = args
+                    .get(i)
+                    .and_then(|s| s.trim_start_matches('-').parse().ok())
+                    .unwrap_or(10);
             } else if let Some(num) = a.strip_prefix("-n") {
                 n = num.parse().unwrap_or(10);
             } else if let Some(num) = a.strip_prefix('-') {
@@ -359,7 +387,9 @@ impl Interp<'_> {
             }
         }
         let duration = args.get(i).cloned().unwrap_or_default();
-        let ms = parse_duration_secs(&duration).map(|s| (s * 1000.0) as u64).unwrap_or(1000);
+        let ms = parse_duration_secs(&duration)
+            .map(|s| (s * 1000.0) as u64)
+            .unwrap_or(1000);
         i += 1;
         let inner: Vec<String> = args[i..].to_vec();
         if inner.is_empty() {
@@ -374,7 +404,11 @@ impl Interp<'_> {
             Some(r) => {
                 self.sandbox.sleep(ms);
                 let code = if r.blocking { 124 } else { r.code };
-                Ok(RunOutcome::Captured { out: r.stdout, err: r.stderr, code })
+                Ok(RunOutcome::Captured {
+                    out: r.stdout,
+                    err: r.stderr,
+                    code,
+                })
             }
             None => {
                 let argv: Vec<String> = inner;
@@ -400,14 +434,17 @@ impl Interp<'_> {
 /// recognizable as keywords, so bare operator-looking strings stay unquoted.
 fn quoted_word(text: &str) -> crate::lang::Word {
     let ops = [
-        "==", "=", "!=", "-eq", "-ne", "-lt", "-le", "-gt", "-ge", "-z", "-n", "-f", "-e",
-        "-s", "-d", "-a", "-o", "!", "(", ")", "<", ">", "=~",
+        "==", "=", "!=", "-eq", "-ne", "-lt", "-le", "-gt", "-ge", "-z", "-n", "-f", "-e", "-s",
+        "-d", "-a", "-o", "!", "(", ")", "<", ">", "=~",
     ];
     if ops.contains(&text) {
         crate::lang::Word::lit(text)
     } else {
         crate::lang::Word {
-            segs: vec![crate::lang::Seg::Lit { text: text.to_owned(), quoted: true }],
+            segs: vec![crate::lang::Seg::Lit {
+                text: text.to_owned(),
+                quoted: true,
+            }],
         }
     }
 }
@@ -521,7 +558,9 @@ fn builtin_cut(args: &[String], stdin: &str) -> RunOutcome {
 }
 
 fn parse_field_list(spec: &str) -> Vec<usize> {
-    spec.split(',').filter_map(|p| p.trim().parse().ok()).collect()
+    spec.split(',')
+        .filter_map(|p| p.trim().parse().ok())
+        .collect()
 }
 
 fn builtin_tr(args: &[String], stdin: &str) -> RunOutcome {
@@ -531,7 +570,10 @@ fn builtin_tr(args: &[String], stdin: &str) -> RunOutcome {
         let out: String = stdin.chars().filter(|c| !set.contains(*c)).collect();
         return captured(out, "", 0);
     }
-    let from: Vec<char> = args.first().map(|s| s.chars().collect()).unwrap_or_default();
+    let from: Vec<char> = args
+        .first()
+        .map(|s| s.chars().collect())
+        .unwrap_or_default();
     let to: Vec<char> = args.get(1).map(|s| s.chars().collect()).unwrap_or_default();
     let out: String = stdin
         .chars()
@@ -608,4 +650,3 @@ fn builtin_awk(args: &[String], stdin: &str) -> RunOutcome {
     }
     captured(out, "", 0)
 }
-

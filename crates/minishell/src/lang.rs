@@ -21,7 +21,11 @@ pub struct ParseShellError {
 
 impl fmt::Display for ParseShellError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "shell parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "shell parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -71,14 +75,22 @@ pub struct Word {
 impl Word {
     /// A purely literal unquoted word.
     pub fn lit(text: &str) -> Word {
-        Word { segs: vec![Seg::Lit { text: text.to_owned(), quoted: false }] }
+        Word {
+            segs: vec![Seg::Lit {
+                text: text.to_owned(),
+                quoted: false,
+            }],
+        }
     }
 
     /// The word's text if it is a single unquoted literal (used to detect
     /// keywords like `if` and `then`).
     pub fn as_keyword(&self) -> Option<&str> {
         match self.segs.as_slice() {
-            [Seg::Lit { text, quoted: false }] => Some(text),
+            [Seg::Lit {
+                text,
+                quoted: false,
+            }] => Some(text),
             _ => None,
         }
     }
@@ -311,7 +323,10 @@ fn read_until_double_close(
         out.push(chars[i]);
         i += 1;
     }
-    Err(ParseShellError { line, message: "unterminated (( )) expression".into() })
+    Err(ParseShellError {
+        line,
+        message: "unterminated (( )) expression".into(),
+    })
 }
 
 /// Reads one word starting at `chars[0]`; returns (word, chars consumed,
@@ -324,7 +339,10 @@ fn lex_word(chars: &[char], line: usize) -> Result<(Word, usize, usize), ParseSh
     let mut newlines = 0;
     let flush = |lit: &mut String, quoted: bool, segs: &mut Vec<Seg>| {
         if !lit.is_empty() {
-            segs.push(Seg::Lit { text: std::mem::take(lit), quoted });
+            segs.push(Seg::Lit {
+                text: std::mem::take(lit),
+                quoted,
+            });
         }
     };
     while i < chars.len() {
@@ -346,9 +364,15 @@ fn lex_word(chars: &[char], line: usize) -> Result<(Word, usize, usize), ParseSh
                     j += 1;
                 }
                 if j >= chars.len() {
-                    return Err(ParseShellError { line, message: "unterminated single quote".into() });
+                    return Err(ParseShellError {
+                        line,
+                        message: "unterminated single quote".into(),
+                    });
                 }
-                segs.push(Seg::Lit { text: s, quoted: true });
+                segs.push(Seg::Lit {
+                    text: s,
+                    quoted: true,
+                });
                 i = j + 1;
             }
             '"' => {
@@ -371,9 +395,15 @@ fn lex_word(chars: &[char], line: usize) -> Result<(Word, usize, usize), ParseSh
                     j += 1;
                 }
                 if j >= chars.len() {
-                    return Err(ParseShellError { line, message: "unterminated backtick".into() });
+                    return Err(ParseShellError {
+                        line,
+                        message: "unterminated backtick".into(),
+                    });
                 }
-                segs.push(Seg::CmdSub { script: s, quoted: false });
+                segs.push(Seg::CmdSub {
+                    script: s,
+                    quoted: false,
+                });
                 i = j + 1;
             }
             '$' => {
@@ -403,7 +433,10 @@ fn lex_word(chars: &[char], line: usize) -> Result<(Word, usize, usize), ParseSh
     }
     flush(&mut lit, lit_quoted, &mut segs);
     if segs.is_empty() {
-        return Err(ParseShellError { line, message: format!("empty word at {:?}", &chars[..chars.len().min(5)]) });
+        return Err(ParseShellError {
+            line,
+            message: format!("empty word at {:?}", &chars[..chars.len().min(5)]),
+        });
     }
     Ok((Word { segs }, i, newlines))
 }
@@ -421,17 +454,27 @@ fn lex_double_quoted(
         match chars[i] {
             '"' => {
                 if !lit.is_empty() || segs.is_empty() {
-                    segs.push(Seg::Lit { text: lit, quoted: true });
+                    segs.push(Seg::Lit {
+                        text: lit,
+                        quoted: true,
+                    });
                 }
                 return Ok((segs, i + 1, newlines));
             }
-            '\\' if matches!(chars.get(i + 1), Some('"') | Some('\\') | Some('$') | Some('`')) => {
+            '\\' if matches!(
+                chars.get(i + 1),
+                Some('"') | Some('\\') | Some('$') | Some('`')
+            ) =>
+            {
                 lit.push(chars[i + 1]);
                 i += 2;
             }
             '$' => {
                 if !lit.is_empty() {
-                    segs.push(Seg::Lit { text: std::mem::take(&mut lit), quoted: true });
+                    segs.push(Seg::Lit {
+                        text: std::mem::take(&mut lit),
+                        quoted: true,
+                    });
                 }
                 let (seg, consumed, nl) = lex_dollar(&chars[i..], line, true)?;
                 segs.push(seg);
@@ -440,7 +483,10 @@ fn lex_double_quoted(
             }
             '`' => {
                 if !lit.is_empty() {
-                    segs.push(Seg::Lit { text: std::mem::take(&mut lit), quoted: true });
+                    segs.push(Seg::Lit {
+                        text: std::mem::take(&mut lit),
+                        quoted: true,
+                    });
                 }
                 let mut j = i + 1;
                 let mut s = String::new();
@@ -448,7 +494,10 @@ fn lex_double_quoted(
                     s.push(chars[j]);
                     j += 1;
                 }
-                segs.push(Seg::CmdSub { script: s, quoted: true });
+                segs.push(Seg::CmdSub {
+                    script: s,
+                    quoted: true,
+                });
                 i = j + 1;
             }
             c => {
@@ -460,7 +509,10 @@ fn lex_double_quoted(
             }
         }
     }
-    Err(ParseShellError { line, message: "unterminated double quote".into() })
+    Err(ParseShellError {
+        line,
+        message: "unterminated double quote".into(),
+    })
 }
 
 /// Lexes `$var`, `${var}`, `${var:-def}`, `$(cmd)`, `$((expr))`, `$?`.
@@ -496,7 +548,10 @@ fn lex_dollar(
                 s.push(chars[j]);
                 j += 1;
             }
-            Err(ParseShellError { line, message: "unterminated $( )".into() })
+            Err(ParseShellError {
+                line,
+                message: "unterminated $( )".into(),
+            })
         }
         Some('{') => {
             let mut j = 2;
@@ -506,16 +561,43 @@ fn lex_dollar(
                 j += 1;
             }
             if j >= chars.len() {
-                return Err(ParseShellError { line, message: "unterminated ${ }".into() });
+                return Err(ParseShellError {
+                    line,
+                    message: "unterminated ${ }".into(),
+                });
             }
             let (name, default) = match s.split_once(":-") {
                 Some((n, d)) => (n.to_owned(), Some(d.to_owned())),
                 None => (s, None),
             };
-            Ok((Seg::Var { name, default, quoted }, j + 1, 0))
+            Ok((
+                Seg::Var {
+                    name,
+                    default,
+                    quoted,
+                },
+                j + 1,
+                0,
+            ))
         }
-        Some('?') => Ok((Seg::Var { name: "?".into(), default: None, quoted }, 2, 0)),
-        Some('#') => Ok((Seg::Var { name: "#".into(), default: None, quoted }, 2, 0)),
+        Some('?') => Ok((
+            Seg::Var {
+                name: "?".into(),
+                default: None,
+                quoted,
+            },
+            2,
+            0,
+        )),
+        Some('#') => Ok((
+            Seg::Var {
+                name: "#".into(),
+                default: None,
+                quoted,
+            },
+            2,
+            0,
+        )),
         Some(c) if c.is_alphabetic() || *c == '_' => {
             let mut j = 1;
             let mut name = String::new();
@@ -523,9 +605,24 @@ fn lex_dollar(
                 name.push(chars[j]);
                 j += 1;
             }
-            Ok((Seg::Var { name, default: None, quoted }, j, 0))
+            Ok((
+                Seg::Var {
+                    name,
+                    default: None,
+                    quoted,
+                },
+                j,
+                0,
+            ))
         }
-        _ => Ok((Seg::Lit { text: "$".into(), quoted }, 1, 0)),
+        _ => Ok((
+            Seg::Lit {
+                text: "$".into(),
+                quoted,
+            },
+            1,
+            0,
+        )),
     }
 }
 
@@ -547,7 +644,10 @@ pub fn parse(src: &str) -> Result<Vec<Cmd>, ParseShellError> {
     let list = p.parse_list(&[])?;
     if p.pos < p.toks.len() {
         let line = p.toks[p.pos].1;
-        return Err(ParseShellError { line, message: "unexpected trailing tokens".into() });
+        return Err(ParseShellError {
+            line,
+            message: "unexpected trailing tokens".into(),
+        });
     }
     Ok(list)
 }
@@ -661,7 +761,11 @@ impl Parser {
         } else {
             Cmd::Pipeline(cmds)
         };
-        Ok(if negated { Cmd::Not(Box::new(pipeline)) } else { pipeline })
+        Ok(if negated {
+            Cmd::Not(Box::new(pipeline))
+        } else {
+            pipeline
+        })
     }
 
     fn parse_command(&mut self, terminators: &[&str]) -> Result<Cmd, ParseShellError> {
@@ -760,12 +864,19 @@ impl Parser {
     fn parse_for(&mut self) -> Result<Cmd, ParseShellError> {
         self.expect_keyword("for")?;
         let var = match self.peek() {
-            Some(Tok::Word(w)) => w
-                .as_keyword()
-                .map(str::to_owned)
-                .ok_or_else(|| ParseShellError { line: self.line(), message: "bad for variable".into() })?,
+            Some(Tok::Word(w)) => {
+                w.as_keyword()
+                    .map(str::to_owned)
+                    .ok_or_else(|| ParseShellError {
+                        line: self.line(),
+                        message: "bad for variable".into(),
+                    })?
+            }
             _ => {
-                return Err(ParseShellError { line: self.line(), message: "for needs a variable".into() })
+                return Err(ParseShellError {
+                    line: self.line(),
+                    message: "for needs a variable".into(),
+                })
             }
         };
         self.pos += 1;
@@ -835,37 +946,52 @@ impl Parser {
                 }
                 Some(Tok::Op("2>&1")) => {
                     self.pos += 1;
-                    redirects.push(Redirect { op: RedirOp::ErrToOut, target: Word::default() });
+                    redirects.push(Redirect {
+                        op: RedirOp::ErrToOut,
+                        target: Word::default(),
+                    });
                 }
                 _ => break,
             }
         }
         if words.is_empty() && assignments.is_empty() {
-            return Err(ParseShellError { line: self.line(), message: "empty command".into() });
+            return Err(ParseShellError {
+                line: self.line(),
+                message: "empty command".into(),
+            });
         }
-        Ok(Cmd::Simple { assignments, words, redirects })
+        Ok(Cmd::Simple {
+            assignments,
+            words,
+            redirects,
+        })
     }
 }
 
 /// Splits `NAME=rest` when the word starts with a literal assignment
 /// prefix. The value keeps the remaining segments.
 fn split_assignment(w: &Word) -> Option<(String, Word)> {
-    let Seg::Lit { text, quoted: false } = w.segs.first()? else {
+    let Seg::Lit {
+        text,
+        quoted: false,
+    } = w.segs.first()?
+    else {
         return None;
     };
     let eq = text.find('=')?;
     let name = &text[..eq];
     if name.is_empty()
-        || !name
-            .chars()
-            .all(|c| c.is_alphanumeric() || c == '_')
+        || !name.chars().all(|c| c.is_alphanumeric() || c == '_')
         || name.chars().next().is_some_and(|c| c.is_numeric())
     {
         return None;
     }
     let mut value_segs = Vec::new();
     if eq + 1 < text.len() {
-        value_segs.push(Seg::Lit { text: text[eq + 1..].to_owned(), quoted: false });
+        value_segs.push(Seg::Lit {
+            text: text[eq + 1..].to_owned(),
+            quoted: false,
+        });
     }
     value_segs.extend(w.segs[1..].iter().cloned());
     Some((name.to_owned(), Word { segs: value_segs }))
@@ -878,14 +1004,21 @@ mod tests {
     #[test]
     fn lexes_simple_command() {
         let prog = parse("kubectl apply -f labeled_code.yaml").unwrap();
-        let Cmd::Simple { words, .. } = &prog[0] else { panic!() };
+        let Cmd::Simple { words, .. } = &prog[0] else {
+            panic!()
+        };
         assert_eq!(words.len(), 4);
     }
 
     #[test]
     fn parses_assignment_with_cmdsub() {
         let prog = parse("pods=$(kubectl get pods -o name)").unwrap();
-        let Cmd::Simple { assignments, words, .. } = &prog[0] else { panic!() };
+        let Cmd::Simple {
+            assignments, words, ..
+        } = &prog[0]
+        else {
+            panic!()
+        };
         assert!(words.is_empty());
         assert_eq!(assignments[0].0, "pods");
         assert!(matches!(assignments[0].1.segs[0], Seg::CmdSub { .. }));
@@ -894,7 +1027,9 @@ mod tests {
     #[test]
     fn parses_pipeline_and_andor() {
         let prog = parse("cat f | grep x && echo yes || echo no").unwrap();
-        let Cmd::AndOr { cmds, ops } = &prog[0] else { panic!("{prog:?}") };
+        let Cmd::AndOr { cmds, ops } = &prog[0] else {
+            panic!("{prog:?}")
+        };
         assert_eq!(cmds.len(), 3);
         assert_eq!(ops, &vec![true, false]);
         assert!(matches!(cmds[0], Cmd::Pipeline(_)));
@@ -903,16 +1038,23 @@ mod tests {
     #[test]
     fn parses_if_elif_else() {
         let prog = parse("if [ \"$a\" == \"b\" ]; then\n  echo 1\nelif [ -z \"$a\" ]; then\n  echo 2\nelse\n  echo 3\nfi\n").unwrap();
-        let Cmd::If { arms, otherwise } = &prog[0] else { panic!() };
+        let Cmd::If { arms, otherwise } = &prog[0] else {
+            panic!()
+        };
         assert_eq!(arms.len(), 2);
         assert_eq!(otherwise.len(), 1);
     }
 
     #[test]
     fn parses_double_bracket_cond() {
-        let prog = parse("if [[ $ns == \"development\" && $x == *\"HOST\"* ]]; then echo ok; fi").unwrap();
-        let Cmd::If { arms, .. } = &prog[0] else { panic!() };
-        let Cmd::Cond(words) = &arms[0].0[0] else { panic!("{:?}", arms[0].0) };
+        let prog =
+            parse("if [[ $ns == \"development\" && $x == *\"HOST\"* ]]; then echo ok; fi").unwrap();
+        let Cmd::If { arms, .. } = &prog[0] else {
+            panic!()
+        };
+        let Cmd::Cond(words) = &arms[0].0[0] else {
+            panic!("{:?}", arms[0].0)
+        };
         assert!(words.len() >= 5);
     }
 
@@ -920,14 +1062,18 @@ mod tests {
     fn parses_arith_command_and_expansion() {
         let prog = parse("((passed_tests++))\nx=$((1 + 2))").unwrap();
         assert!(matches!(&prog[0], Cmd::Arith(e) if e.trim() == "passed_tests++"));
-        let Cmd::Simple { assignments, .. } = &prog[1] else { panic!() };
+        let Cmd::Simple { assignments, .. } = &prog[1] else {
+            panic!()
+        };
         assert!(matches!(&assignments[0].1.segs[0], Seg::Arith { expr } if expr.trim() == "1 + 2"));
     }
 
     #[test]
     fn parses_for_loop() {
         let prog = parse("for i in a b c; do echo $i; done").unwrap();
-        let Cmd::For { var, items, body } = &prog[0] else { panic!() };
+        let Cmd::For { var, items, body } = &prog[0] else {
+            panic!()
+        };
         assert_eq!(var, "i");
         assert_eq!(items.len(), 3);
         assert_eq!(body.len(), 1);
@@ -936,18 +1082,24 @@ mod tests {
     #[test]
     fn parses_while_loop_with_break() {
         let prog = parse("while true; do break; done").unwrap();
-        let Cmd::While { body, .. } = &prog[0] else { panic!() };
+        let Cmd::While { body, .. } = &prog[0] else {
+            panic!()
+        };
         assert!(matches!(body[0], Cmd::LoopCtl(true)));
     }
 
     #[test]
     fn parses_redirections() {
         let prog = parse("cmd > out.txt 2>&1\ncmd2 >> log 2> err < in").unwrap();
-        let Cmd::Simple { redirects, .. } = &prog[0] else { panic!() };
+        let Cmd::Simple { redirects, .. } = &prog[0] else {
+            panic!()
+        };
         assert_eq!(redirects.len(), 2);
         assert_eq!(redirects[0].op, RedirOp::Out);
         assert_eq!(redirects[1].op, RedirOp::ErrToOut);
-        let Cmd::Simple { redirects, .. } = &prog[1] else { panic!() };
+        let Cmd::Simple { redirects, .. } = &prog[1] else {
+            panic!()
+        };
         assert_eq!(
             redirects.iter().map(|r| r.op).collect::<Vec<_>>(),
             vec![RedirOp::Append, RedirOp::ErrOut, RedirOp::In]
@@ -957,17 +1109,25 @@ mod tests {
     #[test]
     fn multiline_double_quote_is_one_word() {
         let prog = parse("echo \"line1\nline2\" | kubectl apply -f -").unwrap();
-        let Cmd::Pipeline(cmds) = &prog[0] else { panic!("{prog:?}") };
-        let Cmd::Simple { words, .. } = &cmds[0] else { panic!() };
+        let Cmd::Pipeline(cmds) = &prog[0] else {
+            panic!("{prog:?}")
+        };
+        let Cmd::Simple { words, .. } = &cmds[0] else {
+            panic!()
+        };
         assert_eq!(words.len(), 2);
     }
 
     #[test]
     fn dollar_variants() {
         let prog = parse("echo $? ${HOME} ${X:-fallback} $(ls) `pwd`").unwrap();
-        let Cmd::Simple { words, .. } = &prog[0] else { panic!() };
+        let Cmd::Simple { words, .. } = &prog[0] else {
+            panic!()
+        };
         assert_eq!(words.len(), 6);
-        assert!(matches!(&words[3].segs[0], Seg::Var { name, default: Some(d), .. } if name == "X" && d == "fallback"));
+        assert!(
+            matches!(&words[3].segs[0], Seg::Var { name, default: Some(d), .. } if name == "X" && d == "fallback")
+        );
     }
 
     #[test]
@@ -996,8 +1156,14 @@ mod tests {
 
     #[test]
     fn timeout_style_command() {
-        let prog = parse("timeout -s INT 8s minikube service nginx-service > bash_output.txt 2>&1").unwrap();
-        let Cmd::Simple { words, redirects, .. } = &prog[0] else { panic!() };
+        let prog = parse("timeout -s INT 8s minikube service nginx-service > bash_output.txt 2>&1")
+            .unwrap();
+        let Cmd::Simple {
+            words, redirects, ..
+        } = &prog[0]
+        else {
+            panic!()
+        };
         assert_eq!(words.len(), 7);
         assert_eq!(redirects.len(), 2);
     }

@@ -50,7 +50,9 @@ pub mod lang;
 pub mod regex;
 mod sandbox;
 
-pub use interp::{EmptySandbox, ExecResult, Interp, RunOutcome, Sandbox, ScriptOutcome, ShellError};
+pub use interp::{
+    EmptySandbox, ExecResult, Interp, RunOutcome, Sandbox, ScriptOutcome, ShellError,
+};
 pub use sandbox::ClusterSandbox;
 
 /// Convenience: runs a unit-test script with the candidate YAML mounted at

@@ -17,7 +17,10 @@ pub struct Regex {
 enum Atom {
     Char(char),
     Any,
-    Class { negated: bool, ranges: Vec<(char, char)> },
+    Class {
+        negated: bool,
+        ranges: Vec<(char, char)>,
+    },
     Group(Vec<Vec<Piece>>),
 }
 
@@ -55,7 +58,8 @@ impl Regex {
         if anchored_start {
             chars.remove(0);
         }
-        let anchored_end = chars.last() == Some(&'$') && !ends_with_escape(&chars[..chars.len().saturating_sub(1)]);
+        let anchored_end = chars.last() == Some(&'$')
+            && !ends_with_escape(&chars[..chars.len().saturating_sub(1)]);
         if anchored_end {
             chars.pop();
         }
@@ -63,7 +67,11 @@ impl Regex {
         if used != chars.len() {
             return Err(format!("unexpected ')' at {used}"));
         }
-        Ok(Regex { alternatives, anchored_start, anchored_end })
+        Ok(Regex {
+            alternatives,
+            anchored_start,
+            anchored_end,
+        })
     }
 
     /// Whether the pattern matches anywhere in `text` (or at the anchors).
@@ -122,7 +130,10 @@ impl Regex {
 }
 
 fn char_to_byte(s: &str, char_idx: usize) -> usize {
-    s.char_indices().nth(char_idx).map(|(b, _)| b).unwrap_or(s.len())
+    s.char_indices()
+        .nth(char_idx)
+        .map(|(b, _)| b)
+        .unwrap_or(s.len())
 }
 
 fn ends_with_escape(chars: &[char]) -> bool {
@@ -215,7 +226,10 @@ fn parse_atom(chars: &[char], i: usize) -> Result<(Atom, usize), String> {
         '\\' => {
             let next = *chars.get(i + 1).ok_or("dangling escape")?;
             let atom = match next {
-                'd' => Atom::Class { negated: false, ranges: vec![('0', '9')] },
+                'd' => Atom::Class {
+                    negated: false,
+                    ranges: vec![('0', '9')],
+                },
                 'w' => Atom::Class {
                     negated: false,
                     ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
@@ -253,7 +267,9 @@ fn match_pieces(pieces: &[Piece], chars: &[char], pos: usize) -> Option<usize> {
     match (&piece.atom, piece.quant) {
         (Atom::Group(alts), quant) => {
             let try_once = |p: usize| -> Vec<usize> {
-                alts.iter().filter_map(|alt| match_pieces(alt, chars, p)).collect()
+                alts.iter()
+                    .filter_map(|alt| match_pieces(alt, chars, p))
+                    .collect()
             };
             match quant {
                 Quant::One => {
@@ -320,7 +336,11 @@ fn match_pieces(pieces: &[Piece], chars: &[char], pos: usize) -> Option<usize> {
             while max < chars.len() && atom_matches(atom, chars[max]) {
                 max += 1;
             }
-            let min = if piece.quant == Quant::Plus { pos + 1 } else { pos };
+            let min = if piece.quant == Quant::Plus {
+                pos + 1
+            } else {
+                pos
+            };
             let mut k = max;
             loop {
                 if k < min {
@@ -369,8 +389,10 @@ fn match_ends(pieces: &[Piece], chars: &[char], pos: usize) -> Vec<usize> {
                     positions.retain(|p| *p > pos);
                 }
             } else {
-                let mut one: Vec<usize> =
-                    alts.iter().flat_map(|alt| match_ends(alt, chars, pos)).collect();
+                let mut one: Vec<usize> = alts
+                    .iter()
+                    .flat_map(|alt| match_ends(alt, chars, pos))
+                    .collect();
                 if quant == Quant::Opt {
                     one.push(pos);
                 }

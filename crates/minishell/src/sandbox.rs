@@ -25,7 +25,10 @@ pub struct ClusterSandbox {
 impl ClusterSandbox {
     /// Fresh sandbox with a new single-node cluster.
     pub fn new() -> ClusterSandbox {
-        ClusterSandbox { cluster: Cluster::new(), envoy: None }
+        ClusterSandbox {
+            cluster: Cluster::new(),
+            envoy: None,
+        }
     }
 
     fn run_curl(&mut self, args: &[String]) -> ExecResult {
@@ -59,14 +62,24 @@ impl ClusterSandbox {
             i += 1;
         }
         let Some(url) = url else {
-            return ExecResult { stderr: "curl: no URL specified\n".into(), code: 2, ..Default::default() };
+            return ExecResult {
+                stderr: "curl: no URL specified\n".into(),
+                code: 2,
+                ..Default::default()
+            };
         };
         // A loaded Envoy config owns localhost listener ports.
         if let Some(status_body) = self.try_envoy(&url) {
             return render_curl(status_body, silent, out_file, write_format, self);
         }
         match curl(&self.cluster, &url) {
-            Ok(resp) => render_curl(Ok((resp.status, resp.body)), silent, out_file, write_format, self),
+            Ok(resp) => render_curl(
+                Ok((resp.status, resp.body)),
+                silent,
+                out_file,
+                write_format,
+                self,
+            ),
             Err(e) => render_curl(Err(e), silent, out_file, write_format, self),
         }
     }
@@ -75,7 +88,9 @@ impl ClusterSandbox {
     /// one of its listeners.
     fn try_envoy(&self, url: &str) -> Option<Result<(u16, String), CurlError>> {
         let envoy = self.envoy.as_ref()?;
-        let rest = url.trim_start_matches("http://").trim_start_matches("https://");
+        let rest = url
+            .trim_start_matches("http://")
+            .trim_start_matches("https://");
         let (host_port, path) = match rest.find('/') {
             Some(i) => (&rest[..i], &rest[i..]),
             None => (rest, "/"),
@@ -190,7 +205,11 @@ impl ClusterSandbox {
             i += 1;
         }
         let Some(file) = config_file else {
-            return ExecResult { stderr: "envoy: missing -c\n".into(), code: 1, ..Default::default() };
+            return ExecResult {
+                stderr: "envoy: missing -c\n".into(),
+                code: 1,
+                ..Default::default()
+            };
         };
         let Some(content) = files.get(&file) else {
             return ExecResult {
@@ -217,7 +236,11 @@ impl ClusterSandbox {
                     }
                 }
             }
-            Err(e) => ExecResult { stderr: format!("{e}\n"), code: 1, ..Default::default() },
+            Err(e) => ExecResult {
+                stderr: format!("{e}\n"),
+                code: 1,
+                ..Default::default()
+            },
         }
     }
 }
@@ -235,13 +258,17 @@ fn render_curl(
             let mut stdout = String::new();
             match out_file.as_deref() {
                 Some("/dev/null") => {}
-                Some(_f) => { /* body captured to VFS by caller via redirect; -o to files is rare */ }
+                Some(_f) => { /* body captured to VFS by caller via redirect; -o to files is rare */
+                }
                 None => stdout.push_str(&body),
             }
             if let Some(fmt) = write_format {
                 stdout.push_str(&fmt.replace("%{http_code}", &status.to_string()));
             }
-            ExecResult { stdout, ..Default::default() }
+            ExecResult {
+                stdout,
+                ..Default::default()
+            }
         }
         Err(e) => {
             let mut stdout = String::new();
@@ -258,7 +285,12 @@ fn render_curl(
                     CurlError::Timeout => "curl: (28) Operation timed out\n".to_owned(),
                 }
             };
-            ExecResult { stdout, stderr, code: e.exit_code(), blocking: false }
+            ExecResult {
+                stdout,
+                stderr,
+                code: e.exit_code(),
+                blocking: false,
+            }
         }
     }
 }
@@ -276,7 +308,12 @@ impl Sandbox for ClusterSandbox {
                 let snapshot = files.clone();
                 let resolver = move |f: &str| snapshot.get(f).cloned();
                 let r = kubesim::kubectl::run(&mut self.cluster, args, stdin, &resolver);
-                Some(ExecResult { stdout: r.stdout, stderr: r.stderr, code: r.code, blocking: false })
+                Some(ExecResult {
+                    stdout: r.stdout,
+                    stderr: r.stderr,
+                    code: r.code,
+                    blocking: false,
+                })
             }
             "curl" | "wget" => Some(self.run_curl(args)),
             "minikube" => Some(self.run_minikube(args)),
@@ -314,7 +351,9 @@ impl Sandbox for ClusterSandbox {
                     stdout: "CONTAINER ID   IMAGE   STATUS\n".into(),
                     ..Default::default()
                 }),
-                _ => Some(ExecResult { ..Default::default() }),
+                _ => Some(ExecResult {
+                    ..Default::default()
+                }),
             },
             _ => None,
         }

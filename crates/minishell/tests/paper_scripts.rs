@@ -8,7 +8,9 @@ fn run_with_files(script: &str, files: &[(&str, &str)]) -> minishell::ScriptOutc
     let mut sandbox = ClusterSandbox::new();
     let mut shell = Interp::new(&mut sandbox);
     for (name, content) in files {
-        shell.files.insert((*name).to_owned(), (*content).to_owned());
+        shell
+            .files
+            .insert((*name).to_owned(), (*content).to_owned());
     }
     shell.run_script(script).expect("script runs")
 }
@@ -243,7 +245,9 @@ kubectl describe ingress test-ingress | grep "test-app:5000" && echo unit_test_p
         "expected API-server-style error, got:\n{}",
         outcome.combined
     );
-    assert!(outcome.combined.contains("unknown field \"spec.rules[0].http.paths[0].backend.serviceName\""));
+    assert!(outcome
+        .combined
+        .contains("unknown field \"spec.rules[0].http.paths[0].backend.serviceName\""));
 }
 
 /// The RoleBinding example from Figure 1.

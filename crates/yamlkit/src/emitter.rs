@@ -213,7 +213,24 @@ fn needs_quoting(s: &str) -> bool {
     let first = s.chars().next().unwrap();
     if matches!(
         first,
-        '&' | '*' | '!' | '%' | '@' | '`' | '"' | '\'' | '[' | ']' | '{' | '}' | '#' | '|' | '>' | '-' | '?' | ',' | ' '
+        '&' | '*'
+            | '!'
+            | '%'
+            | '@'
+            | '`'
+            | '"'
+            | '\''
+            | '['
+            | ']'
+            | '{'
+            | '}'
+            | '#'
+            | '|'
+            | '>'
+            | '-'
+            | '?'
+            | ','
+            | ' '
     ) && !(first == '-' && s.len() > 1 && !s.starts_with("- "))
     {
         return true;
@@ -277,8 +294,20 @@ mod tests {
     #[test]
     fn round_trips_special_strings() {
         for s in [
-            "a: b", "a #c", "- item", "*alias", "&anchor", "100m", "", " lead", "trail ",
-            "it's", "he said \"hi\"", "line1\nline2", ":", "a:",
+            "a: b",
+            "a #c",
+            "- item",
+            "*alias",
+            "&anchor",
+            "100m",
+            "",
+            " lead",
+            "trail ",
+            "it's",
+            "he said \"hi\"",
+            "line1\nline2",
+            ":",
+            "a:",
         ] {
             round_trip(&ymap! { "k" => s });
         }

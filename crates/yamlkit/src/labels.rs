@@ -99,7 +99,9 @@ impl MatchTree {
     pub fn from_node(node: &Node) -> MatchTree {
         match &node.kind {
             NodeKind::Scalar(v) => MatchTree::Leaf(parse_label(node.comment.as_deref(), v)),
-            NodeKind::Seq(items) => MatchTree::Seq(items.iter().map(MatchTree::from_node).collect()),
+            NodeKind::Seq(items) => {
+                MatchTree::Seq(items.iter().map(MatchTree::from_node).collect())
+            }
             NodeKind::Map(entries) => MatchTree::Map(
                 entries
                     .iter()
@@ -155,9 +157,7 @@ impl MatchTree {
             (MatchTree::Map(entries), v) if entries.is_empty() => {
                 usize::from(v.map_len() == Some(0))
             }
-            (MatchTree::Seq(items), v) if items.is_empty() => {
-                usize::from(v.seq_len() == Some(0))
-            }
+            (MatchTree::Seq(items), v) if items.is_empty() => usize::from(v.seq_len() == Some(0)),
             (MatchTree::Map(entries), Yaml::Map(_)) => entries
                 .iter()
                 .map(|(k, sub)| candidate.get(k).map_or(0, |v| sub.matched_leaves(v)))
@@ -234,9 +234,13 @@ spec:
     fn one_of_label_accepts_listed_values_only() {
         let tree = MatchTree::parse(REF).unwrap();
         let mut cand = crate::parse_one(REF).unwrap().to_value();
-        cand.get_mut("spec").unwrap().insert("image", Yaml::Str("20.04".into()));
+        cand.get_mut("spec")
+            .unwrap()
+            .insert("image", Yaml::Str("20.04".into()));
         assert_eq!(tree.iou(&cand), 1.0);
-        cand.get_mut("spec").unwrap().insert("image", Yaml::Str("18.04".into()));
+        cand.get_mut("spec")
+            .unwrap()
+            .insert("image", Yaml::Str("18.04".into()));
         assert!(tree.iou(&cand) < 1.0);
     }
 
@@ -245,11 +249,17 @@ spec:
         // The paper's example: either ubuntu version is correct.
         let tree = MatchTree::parse(REF).unwrap();
         let mut cand = crate::parse_one(REF).unwrap().to_value();
-        cand.get_mut("spec").unwrap().insert("image", Yaml::Str("ubuntu:20.04".into()));
+        cand.get_mut("spec")
+            .unwrap()
+            .insert("image", Yaml::Str("ubuntu:20.04".into()));
         assert_eq!(tree.iou(&cand), 1.0);
-        cand.get_mut("spec").unwrap().insert("image", Yaml::Str("ubuntu:18.04".into()));
+        cand.get_mut("spec")
+            .unwrap()
+            .insert("image", Yaml::Str("ubuntu:18.04".into()));
         assert!(tree.iou(&cand) < 1.0);
-        cand.get_mut("spec").unwrap().insert("image", Yaml::Str("debian:22.04".into()));
+        cand.get_mut("spec")
+            .unwrap()
+            .insert("image", Yaml::Str("debian:22.04".into()));
         assert!(tree.iou(&cand) < 1.0);
     }
 
@@ -313,6 +323,12 @@ spec:
     #[test]
     fn non_label_comment_is_ignored() {
         let tree = MatchTree::parse("a: 1 # just a note\n").unwrap();
-        assert_eq!(tree, MatchTree::Map(vec![("a".into(), MatchTree::Leaf(MatchRule::Exact(Yaml::Int(1))))]));
+        assert_eq!(
+            tree,
+            MatchTree::Map(vec![(
+                "a".into(),
+                MatchTree::Leaf(MatchRule::Exact(Yaml::Int(1)))
+            )])
+        );
     }
 }

@@ -45,7 +45,11 @@ impl ParseYamlError {
 
 impl fmt::Display for ParseYamlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "yaml parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "yaml parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -201,7 +205,10 @@ pub fn parse_one(source: &str) -> Result<Node, ParseYamlError> {
     match docs.len() {
         0 => Err(ParseYamlError::new(1, "empty yaml stream")),
         1 => Ok(docs.remove(0)),
-        n => Err(ParseYamlError::new(1, format!("expected 1 document, found {n}"))),
+        n => Err(ParseYamlError::new(
+            1,
+            format!("expected 1 document, found {n}"),
+        )),
     }
 }
 
@@ -229,7 +236,9 @@ fn split_lines(source: &str) -> Result<Vec<Line>, ParseYamlError> {
         let indent = raw.chars().take_while(|c| *c == ' ').count();
         if raw[..raw.len().min(indent + 1)].contains('\t') && raw.trim() != "" {
             // A tab before content is illegal YAML indentation.
-            let before = &raw[..raw.find(|c: char| c != ' ' && c != '\t').unwrap_or(raw.len())];
+            let before = &raw[..raw
+                .find(|c: char| c != ' ' && c != '\t')
+                .unwrap_or(raw.len())];
             if before.contains('\t') {
                 return Err(ParseYamlError::new(number, "tab used for indentation"));
             }
@@ -272,7 +281,11 @@ fn detach_comment(body: &str) -> (String, Option<String>) {
                 if at_start || after_space {
                     let comment = body[idx + 1..].trim().to_owned();
                     let content = body[..idx].to_owned();
-                    let comment = if comment.is_empty() { Some(String::new()) } else { Some(comment) };
+                    let comment = if comment.is_empty() {
+                        Some(String::new())
+                    } else {
+                        Some(comment)
+                    };
                     return (content, comment);
                 }
             }
@@ -368,7 +381,9 @@ impl Parser {
         let first_line = self.peek().map(|l| l.number).unwrap_or(0);
         loop {
             let line = match self.peek() {
-                Some(l) if l.indent == indent && (l.content == "-" || l.content.starts_with("- ")) => {
+                Some(l)
+                    if l.indent == indent && (l.content == "-" || l.content.starts_with("- ")) =>
+                {
                     l.clone()
                 }
                 Some(l) if l.indent > indent => {
@@ -397,7 +412,11 @@ impl Parser {
             } else if let Some(header) = BlockScalarHeader::parse(after) {
                 self.pos += 1;
                 let text = self.parse_block_scalar(indent, header, line.number)?;
-                items.push(Node::scalar(Yaml::Str(text), line.comment.clone(), line.number));
+                items.push(Node::scalar(
+                    Yaml::Str(text),
+                    line.comment.clone(),
+                    line.number,
+                ));
             } else {
                 // Re-indent the content after `- ` and parse it as a block
                 // that may continue on following, deeper-indented lines.
@@ -639,7 +658,11 @@ fn split_key(content: &str) -> Option<(&str, &str)> {
                     if key.is_empty() {
                         return None;
                     }
-                    let rest = if i + 1 < content.len() { &content[i + 1..] } else { "" };
+                    let rest = if i + 1 < content.len() {
+                        &content[i + 1..]
+                    } else {
+                        ""
+                    };
                     return Some((key, rest));
                 }
             }
@@ -681,10 +704,7 @@ fn parse_scalar_token(
         } else {
             parse_scalar_token(rest, line, anchors)?
         };
-        anchors.insert(
-            name.to_owned(),
-            Node::scalar(value.clone(), None, line),
-        );
+        anchors.insert(name.to_owned(), Node::scalar(value.clone(), None, line));
         return Ok(value);
     }
     // Alias: `*name`
@@ -705,14 +725,20 @@ fn parse_scalar_token(
     if token.starts_with('[') {
         let (value, used) = parse_flow(token, line)?;
         if used != token.len() {
-            return Err(ParseYamlError::new(line, "trailing characters after flow sequence"));
+            return Err(ParseYamlError::new(
+                line,
+                "trailing characters after flow sequence",
+            ));
         }
         return Ok(value);
     }
     if token.starts_with('{') {
         let (value, used) = parse_flow(token, line)?;
         if used != token.len() {
-            return Err(ParseYamlError::new(line, "trailing characters after flow mapping"));
+            return Err(ParseYamlError::new(
+                line,
+                "trailing characters after flow mapping",
+            ));
         }
         return Ok(value);
     }
@@ -728,11 +754,7 @@ fn parse_scalar_token(
 fn coerce_tag(tag: &str, v: Yaml) -> Yaml {
     match tag {
         "!!str" => Yaml::Str(v.render_scalar()),
-        "!!int" => v
-            .render_scalar()
-            .parse::<i64>()
-            .map(Yaml::Int)
-            .unwrap_or(v),
+        "!!int" => v.render_scalar().parse::<i64>().map(Yaml::Int).unwrap_or(v),
         "!!float" => v
             .render_scalar()
             .parse::<f64>()
@@ -881,7 +903,12 @@ fn parse_flow(s: &str, line: usize) -> Result<(Yaml, usize), ParseYamlError> {
                 match bytes.get(i) {
                     Some(b',') => i += 1,
                     Some(b']') => return Ok((Yaml::Seq(items), i + 1)),
-                    _ => return Err(ParseYamlError::new(line, "expected , or ] in flow sequence")),
+                    _ => {
+                        return Err(ParseYamlError::new(
+                            line,
+                            "expected , or ] in flow sequence",
+                        ))
+                    }
                 }
             }
         }
@@ -896,8 +923,9 @@ fn parse_flow(s: &str, line: usize) -> Result<(Yaml, usize), ParseYamlError> {
                 if bytes[i] == b'}' {
                     return Ok((Yaml::Map(entries), i + 1));
                 }
-                let colon = find_flow_colon(&s[i..])
-                    .ok_or_else(|| ParseYamlError::new(line, "expected key: value in flow mapping"))?;
+                let colon = find_flow_colon(&s[i..]).ok_or_else(|| {
+                    ParseYamlError::new(line, "expected key: value in flow mapping")
+                })?;
                 let key = unquote_key(s[i..i + colon].trim(), line)?;
                 i = skip_ws(s, i + colon + 1);
                 let (v, used) = if matches!(bytes.get(i), Some(b',') | Some(b'}')) {
@@ -1008,7 +1036,8 @@ mod tests {
     fn parses_nested_blocks() {
         let doc = v("metadata:\n  name: x\n  labels:\n    app: nginx\n");
         assert_eq!(
-            doc.get_path(&["metadata", "labels", "app"]).and_then(Yaml::as_str),
+            doc.get_path(&["metadata", "labels", "app"])
+                .and_then(Yaml::as_str),
             Some("nginx")
         );
     }
@@ -1019,10 +1048,21 @@ mod tests {
         let containers = doc.get("containers").unwrap();
         assert_eq!(containers.seq_len(), Some(2));
         assert_eq!(
-            containers.idx(0).unwrap().get("image").and_then(Yaml::as_str),
+            containers
+                .idx(0)
+                .unwrap()
+                .get("image")
+                .and_then(Yaml::as_str),
             Some("nginx")
         );
-        assert_eq!(containers.idx(1).unwrap().get("name").and_then(Yaml::as_str), Some("b"));
+        assert_eq!(
+            containers
+                .idx(1)
+                .unwrap()
+                .get("name")
+                .and_then(Yaml::as_str),
+            Some("b")
+        );
     }
 
     #[test]
@@ -1049,7 +1089,8 @@ mod tests {
 
     #[test]
     fn flow_collections() {
-        let doc = v("args: [run, --port, 80]\nsel: {app: nginx, tier: web}\nnest: [[1, 2], {k: [3]}]\n");
+        let doc =
+            v("args: [run, --port, 80]\nsel: {app: nginx, tier: web}\nnest: [[1, 2], {k: [3]}]\n");
         assert_eq!(doc.get("args").unwrap(), &yseq!["run", "--port", 80i64]);
         assert_eq!(
             doc.get("sel").unwrap(),
@@ -1064,8 +1105,12 @@ mod tests {
     #[test]
     fn comments_are_captured() {
         let node = parse_one("metadata:\n  name: web # *\n  ns: default\n").unwrap();
-        let NodeKind::Map(entries) = &node.kind else { panic!() };
-        let NodeKind::Map(meta) = &entries[0].1.kind else { panic!() };
+        let NodeKind::Map(entries) = &node.kind else {
+            panic!()
+        };
+        let NodeKind::Map(meta) = &entries[0].1.kind else {
+            panic!()
+        };
         assert_eq!(meta[0].1.comment.as_deref(), Some("*"));
         assert_eq!(meta[1].1.comment, None);
     }
@@ -1075,13 +1120,19 @@ mod tests {
         let doc = v("anno: \"a # b\"\nurl: http://x/#frag\n");
         assert_eq!(doc.get("anno").and_then(Yaml::as_str), Some("a # b"));
         // `#` not preceded by space is content.
-        assert_eq!(doc.get("url").and_then(Yaml::as_str), Some("http://x/#frag"));
+        assert_eq!(
+            doc.get("url").and_then(Yaml::as_str),
+            Some("http://x/#frag")
+        );
     }
 
     #[test]
     fn literal_block_scalar() {
         let doc = v("script: |\n  line1\n  line2\nnext: 1\n");
-        assert_eq!(doc.get("script").and_then(Yaml::as_str), Some("line1\nline2\n"));
+        assert_eq!(
+            doc.get("script").and_then(Yaml::as_str),
+            Some("line1\nline2\n")
+        );
         assert_eq!(doc.get("next"), Some(&Yaml::Int(1)));
     }
 
@@ -1094,13 +1145,19 @@ mod tests {
     #[test]
     fn folded_block_scalar() {
         let doc = v("s: >-\n  hello\n  world\n\n  next para\n");
-        assert_eq!(doc.get("s").and_then(Yaml::as_str), Some("hello world\nnext para"));
+        assert_eq!(
+            doc.get("s").and_then(Yaml::as_str),
+            Some("hello world\nnext para")
+        );
     }
 
     #[test]
     fn block_scalar_keeps_hash() {
         let doc = v("cmd: |\n  echo hi # not a comment\n");
-        assert_eq!(doc.get("cmd").and_then(Yaml::as_str), Some("echo hi # not a comment\n"));
+        assert_eq!(
+            doc.get("cmd").and_then(Yaml::as_str),
+            Some("echo hi # not a comment\n")
+        );
     }
 
     #[test]
@@ -1158,7 +1215,12 @@ mod tests {
         let doc = v("items:\n-\n  name: x\n- name: y\n");
         assert_eq!(doc.get("items").unwrap().seq_len(), Some(2));
         assert_eq!(
-            doc.get("items").unwrap().idx(0).unwrap().get("name").and_then(Yaml::as_str),
+            doc.get("items")
+                .unwrap()
+                .idx(0)
+                .unwrap()
+                .get("name")
+                .and_then(Yaml::as_str),
             Some("x")
         );
     }
@@ -1193,14 +1255,27 @@ mod tests {
     fn env_var_listing_like_paper_example() {
         let src = "spec:\n  containers:\n  - env:\n    - name: MYSQL_USER\n      value: mysql\n    image: \"mysql:latest\"\n    name: mysql\n    ports:\n    - containerPort: 3306\n";
         let doc = v(src);
-        let c0 = doc.get_path(&["spec", "containers"]).unwrap().idx(0).unwrap();
+        let c0 = doc
+            .get_path(&["spec", "containers"])
+            .unwrap()
+            .idx(0)
+            .unwrap();
         assert_eq!(c0.get("image").and_then(Yaml::as_str), Some("mysql:latest"));
         assert_eq!(
-            c0.get("env").unwrap().idx(0).unwrap().get("name").and_then(Yaml::as_str),
+            c0.get("env")
+                .unwrap()
+                .idx(0)
+                .unwrap()
+                .get("name")
+                .and_then(Yaml::as_str),
             Some("MYSQL_USER")
         );
         assert_eq!(
-            c0.get("ports").unwrap().idx(0).unwrap().get("containerPort"),
+            c0.get("ports")
+                .unwrap()
+                .idx(0)
+                .unwrap()
+                .get("containerPort"),
             Some(&Yaml::Int(3306))
         );
     }

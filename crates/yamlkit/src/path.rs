@@ -61,7 +61,10 @@ impl JsonPath {
     /// Returns [`ParsePathError`] on unbalanced brackets or bad filters.
     pub fn compile(expr: &str) -> Result<JsonPath, ParsePathError> {
         let expr = expr.trim();
-        let expr = expr.strip_prefix('{').and_then(|e| e.strip_suffix('}')).unwrap_or(expr);
+        let expr = expr
+            .strip_prefix('{')
+            .and_then(|e| e.strip_suffix('}'))
+            .unwrap_or(expr);
         let expr = expr.strip_prefix('$').unwrap_or(expr);
         let mut steps = Vec::new();
         let bytes = expr.as_bytes();
@@ -249,7 +252,9 @@ fn parse_bracket(inner: &str) -> Result<Step, ParsePathError> {
         };
         return Ok(Step::Filter { field, equals });
     }
-    Err(ParsePathError(format!("unsupported bracket expression: [{inner}]")))
+    Err(ParsePathError(format!(
+        "unsupported bracket expression: [{inner}]"
+    )))
 }
 
 /// Evaluates a full kubectl jsonpath *template*: literal text with one or
@@ -269,7 +274,11 @@ pub fn render_template(template: &str, root: &Yaml) -> Result<String, ParsePathE
             .ok_or_else(|| ParsePathError("unbalanced { in template".into()))?;
         let expr = &rest[open + 1..close];
         let quoted = expr.len() >= 2 && expr.starts_with('"') && expr.ends_with('"');
-        let literal = if quoted { &expr[1..expr.len() - 1] } else { expr };
+        let literal = if quoted {
+            &expr[1..expr.len() - 1]
+        } else {
+            expr
+        };
         match literal {
             "\\n" => out.push('\n'),
             "\\t" => out.push('\t'),
@@ -333,14 +342,17 @@ mod tests {
 
     #[test]
     fn filter_equality() {
-        let p = JsonPath::compile("{.items[?(@.metadata.name==\"pod-b\")].spec.containers[0].name}")
-            .unwrap();
+        let p =
+            JsonPath::compile("{.items[?(@.metadata.name==\"pod-b\")].spec.containers[0].name}")
+                .unwrap();
         assert_eq!(p.render(&doc()), "c2");
     }
 
     #[test]
     fn quoted_child_access() {
-        let d = parse_one("m:\n  \"app.kubernetes.io/name\": web\n").unwrap().to_value();
+        let d = parse_one("m:\n  \"app.kubernetes.io/name\": web\n")
+            .unwrap()
+            .to_value();
         let p = JsonPath::compile(".m['app.kubernetes.io/name']").unwrap();
         assert_eq!(p.render(&d), "web");
     }
@@ -353,8 +365,11 @@ mod tests {
 
     #[test]
     fn template_mixes_text_and_groups() {
-        let s = render_template("host={.status.hostIP} first={.items[0].metadata.name}", &doc())
-            .unwrap();
+        let s = render_template(
+            "host={.status.hostIP} first={.items[0].metadata.name}",
+            &doc(),
+        )
+        .unwrap();
         assert_eq!(s, "host=10.0.0.1 first=pod-a");
     }
 

@@ -18,8 +18,7 @@ use std::fmt;
 /// assert_eq!(doc.get("a").and_then(Yaml::as_i64), Some(1));
 /// assert_eq!(doc.get("b").and_then(|b| b.seq_len()), Some(2));
 /// ```
-#[derive(Debug, Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Yaml {
     /// The null value (`~`, `null`, or an empty scalar).
     #[default]
@@ -95,10 +94,7 @@ impl Yaml {
     /// Mutable mapping lookup.
     pub fn get_mut(&mut self, key: &str) -> Option<&mut Yaml> {
         match self {
-            Yaml::Map(entries) => entries
-                .iter_mut()
-                .find(|(k, _)| k == key)
-                .map(|(_, v)| v),
+            Yaml::Map(entries) => entries.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -261,7 +257,11 @@ pub(crate) fn format_float(f: f64) -> String {
     if f.is_nan() {
         ".nan".to_owned()
     } else if f.is_infinite() {
-        if f > 0.0 { ".inf".to_owned() } else { "-.inf".to_owned() }
+        if f > 0.0 {
+            ".inf".to_owned()
+        } else {
+            "-.inf".to_owned()
+        }
     } else if f == f.trunc() && f.abs() < 1e15 {
         format!("{f:.1}")
     } else {
@@ -269,7 +269,6 @@ pub(crate) fn format_float(f: f64) -> String {
         s
     }
 }
-
 
 impl fmt::Display for Yaml {
     /// Displays the canonical emitted form (see [`crate::emit`]).
@@ -390,10 +389,7 @@ mod tests {
 
     #[test]
     fn eq_unordered_duplicate_keys_take_last() {
-        let a = Yaml::Map(vec![
-            ("k".into(), Yaml::Int(1)),
-            ("k".into(), Yaml::Int(2)),
-        ]);
+        let a = Yaml::Map(vec![("k".into(), Yaml::Int(1)), ("k".into(), Yaml::Int(2))]);
         let b = ymap! { "k" => 2i64 };
         assert!(a.eq_unordered(&b));
     }

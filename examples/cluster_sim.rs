@@ -46,7 +46,14 @@ spec:
     println!("# ...advancing simulated time 10s (image pulls, readiness)...\n");
     cluster.advance(10_000);
     println!("{}", kctl(&mut cluster, "get pods", ""));
-    println!("{}", kctl(&mut cluster, "get deployment web -o jsonpath={.status.readyReplicas}", ""));
+    println!(
+        "{}",
+        kctl(
+            &mut cluster,
+            "get deployment web -o jsonpath={.status.readyReplicas}",
+            ""
+        )
+    );
     println!();
 
     let service = "\
@@ -66,7 +73,10 @@ spec:
     println!("{}", kctl(&mut cluster, "get svc", ""));
 
     let response = cloudeval::kube::net::curl(&cluster, "web-svc").expect("service reachable");
-    println!("$ curl web-svc\nHTTP {} {}\n", response.status, response.body);
+    println!(
+        "$ curl web-svc\nHTTP {} {}\n",
+        response.status, response.body
+    );
 
     // Figure 5: the cloud evaluation platform's scaling behaviour.
     println!("== Figure 5: evaluation time over all 1011 problems ==");

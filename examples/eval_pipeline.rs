@@ -16,7 +16,11 @@ use cloudeval::llm::{ModelProfile, SimulatedModel};
 fn main() {
     let dataset = Arc::new(Dataset::generate());
     // Every 4th problem keeps the example fast (~85 problems/model).
-    let options = EvalOptions { stride: 4, workers: 8, ..EvalOptions::default() };
+    let options = EvalOptions {
+        stride: 4,
+        workers: 8,
+        ..EvalOptions::default()
+    };
 
     let mut rows = Vec::new();
     let mut all_records = Vec::new();

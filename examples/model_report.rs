@@ -41,7 +41,11 @@ fn main() {
         records.extend(evaluate(
             &model,
             &dataset,
-            &EvalOptions { stride, workers: 8, ..EvalOptions::default() },
+            &EvalOptions {
+                stride,
+                workers: 8,
+                ..EvalOptions::default()
+            },
         ));
     }
     let lomo = leave_one_model_out(&records);

@@ -17,13 +17,14 @@ fn main() {
     // 1. The dataset: 337 problems, deterministic generation.
     let dataset = Arc::new(Dataset::generate());
     let problem = dataset.get("pod-000").expect("problem exists");
-    println!("== Problem {} ({:?}) ==\n{}\n", problem.id, problem.category, problem.description);
+    println!(
+        "== Problem {} ({:?}) ==\n{}\n",
+        problem.id, problem.category, problem.description
+    );
 
     // 2. Prompt assembly (Appendix B template, zero-shot).
-    let prompt = cloudeval::dataset::fewshot::build_prompt(
-        &problem.prompt_body(Variant::Original),
-        0,
-    );
+    let prompt =
+        cloudeval::dataset::fewshot::build_prompt(&problem.prompt_body(Variant::Original), 0);
 
     // 3. Query a model. GPT-4 here is a calibrated simulation.
     let model = SimulatedModel::new(
@@ -48,8 +49,8 @@ fn main() {
 
     // 6. Function-level score: run the unit test in a fresh simulated
     //    cluster (minikube stand-in).
-    let outcome = cloudeval::shell::run_unit_test(&problem.unit_test, &yaml)
-        .expect("script interprets");
+    let outcome =
+        cloudeval::shell::run_unit_test(&problem.unit_test, &yaml).expect("script interprets");
     let passed = outcome.combined.contains("unit_test_passed");
     println!("\n== Unit test ==\n{}", outcome.combined.trim_end());
     println!("\nunit test {}", if passed { "PASSED" } else { "FAILED" });

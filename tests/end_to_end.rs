@@ -9,7 +9,10 @@ use cloudeval::dataset::{Dataset, Variant};
 use cloudeval::llm::{extract_yaml, GenParams, LanguageModel, ModelProfile, SimulatedModel};
 
 fn model(name: &str, dataset: &Arc<Dataset>) -> SimulatedModel {
-    SimulatedModel::new(ModelProfile::by_name(name).expect("known model"), Arc::clone(dataset))
+    SimulatedModel::new(
+        ModelProfile::by_name(name).expect("known model"),
+        Arc::clone(dataset),
+    )
 }
 
 #[test]
@@ -43,7 +46,11 @@ fn pipeline_matches_paper_pass_counts_on_slice() {
     let records = evaluate(
         &gpt4,
         &dataset,
-        &EvalOptions { stride: 3, workers: 8, ..EvalOptions::default() },
+        &EvalOptions {
+            stride: 3,
+            workers: 8,
+            ..EvalOptions::default()
+        },
     );
     let passes = pass_count(&records) as f64;
     let expected = 179.0 / 3.0;
@@ -58,9 +65,17 @@ fn proprietary_open_gap_is_reproduced() {
     // Observation 1 of the paper: proprietary models lead by a large gap,
     // larger than on HumanEval-style benchmarks.
     let dataset = Arc::new(Dataset::generate());
-    let options = EvalOptions { stride: 5, workers: 8, ..EvalOptions::default() };
+    let options = EvalOptions {
+        stride: 5,
+        workers: 8,
+        ..EvalOptions::default()
+    };
     let gpt4 = pass_count(&evaluate(&model("gpt-4", &dataset), &dataset, &options));
-    let best_open = pass_count(&evaluate(&model("llama-2-70b-chat", &dataset), &dataset, &options));
+    let best_open = pass_count(&evaluate(
+        &model("llama-2-70b-chat", &dataset),
+        &dataset,
+        &options,
+    ));
     assert!(
         gpt4 as f64 >= best_open as f64 * 3.0,
         "gap too small: gpt-4 {gpt4} vs llama-2-70b {best_open}"
@@ -71,9 +86,21 @@ fn proprietary_open_gap_is_reproduced() {
 fn code_models_underperform_general_models() {
     // Observation 2: dedicated code models do poorly here.
     let dataset = Arc::new(Dataset::generate());
-    let options = EvalOptions { stride: 5, workers: 8, ..EvalOptions::default() };
-    let wizard = pass_count(&evaluate(&model("wizardcoder-34b-v1.0", &dataset), &dataset, &options));
-    let llama13 = pass_count(&evaluate(&model("llama-2-13b-chat", &dataset), &dataset, &options));
+    let options = EvalOptions {
+        stride: 5,
+        workers: 8,
+        ..EvalOptions::default()
+    };
+    let wizard = pass_count(&evaluate(
+        &model("wizardcoder-34b-v1.0", &dataset),
+        &dataset,
+        &options,
+    ));
+    let llama13 = pass_count(&evaluate(
+        &model("llama-2-13b-chat", &dataset),
+        &dataset,
+        &options,
+    ));
     // Half the parameters, comparable-or-better unit-test score.
     assert!(
         llama13 + 3 >= wizard,
@@ -86,7 +113,12 @@ fn translated_collapse_for_code_models() {
     // Table 5: wizardcoder-34b drops from 24 to 2 on translated questions.
     let dataset = Arc::new(Dataset::generate());
     let wizard = model("wizardcoder-34b-v1.0", &dataset);
-    let opts = |v| EvalOptions { variants: vec![v], stride: 2, workers: 8, ..EvalOptions::default() };
+    let opts = |v| EvalOptions {
+        variants: vec![v],
+        stride: 2,
+        workers: 8,
+        ..EvalOptions::default()
+    };
     let original = pass_count(&evaluate(&wizard, &dataset, &opts(Variant::Original)));
     let translated = pass_count(&evaluate(&wizard, &dataset, &opts(Variant::Translated)));
     assert!(
@@ -101,10 +133,8 @@ fn every_model_generates_parseable_prompt_responses() {
     // every prompt with text (possibly garbage, never a panic).
     let dataset = Arc::new(Dataset::generate());
     let problem = &dataset.problems()[0];
-    let prompt = cloudeval::dataset::fewshot::build_prompt(
-        &problem.prompt_body(Variant::Original),
-        2,
-    );
+    let prompt =
+        cloudeval::dataset::fewshot::build_prompt(&problem.prompt_body(Variant::Original), 2);
     for profile in cloudeval::llm::all_models() {
         let m = SimulatedModel::new(profile, Arc::clone(&dataset));
         let raw = m.generate(&prompt, &GenParams::default());
@@ -116,7 +146,11 @@ fn every_model_generates_parseable_prompt_responses() {
 fn full_pipeline_through_executor_is_deterministic() {
     let dataset = Arc::new(Dataset::generate());
     let gpt35 = model("gpt-3.5", &dataset);
-    let options = EvalOptions { stride: 20, workers: 4, ..EvalOptions::default() };
+    let options = EvalOptions {
+        stride: 20,
+        workers: 4,
+        ..EvalOptions::default()
+    };
     let a = evaluate(&gpt35, &dataset, &options);
     let b = evaluate(&gpt35, &dataset, &options);
     assert_eq!(a.len(), b.len());

@@ -18,9 +18,16 @@ fn dataset_is_337_times_3() {
 fn solution_length_dwarfs_humaneval() {
     // §2.3: average solution lines 28.35 ≈ 4x HumanEval's 6.3.
     let ds = Dataset::generate();
-    let avg: f64 = ds.problems().iter().map(|p| p.reference_lines() as f64).sum::<f64>()
+    let avg: f64 = ds
+        .problems()
+        .iter()
+        .map(|p| p.reference_lines() as f64)
+        .sum::<f64>()
         / ds.len() as f64;
-    assert!(avg > 6.3 * 2.5, "avg solution lines {avg:.1} not >> HumanEval's 6.3");
+    assert!(
+        avg > 6.3 * 2.5,
+        "avg solution lines {avg:.1} not >> HumanEval's 6.3"
+    );
 }
 
 #[test]
@@ -45,7 +52,9 @@ fn expected_pass_mass_equals_table5_for_every_cell() {
     for (name, targets) in expected {
         let m = SimulatedModel::new(ModelProfile::by_name(name).unwrap(), Arc::clone(&ds));
         for (variant, target) in Variant::ALL.into_iter().zip(targets) {
-            let mass: f64 = (0..ds.len()).map(|i| m.pass_probability(i, variant, 0)).sum();
+            let mass: f64 = (0..ds.len())
+                .map(|i| m.pass_probability(i, variant, 0))
+                .sum();
             match target {
                 Some(t) => assert!(
                     (mass - *t as f64).abs() < 0.5,
@@ -112,7 +121,10 @@ fn query_module_parallel_speedup_is_two_orders() {
         &m,
         &prompts,
         &cloudeval::llm::GenParams::default(),
-        &cloudeval::llm::QueryConfig { parallelism: 128, ..Default::default() },
+        &cloudeval::llm::QueryConfig {
+            parallelism: 128,
+            ..Default::default()
+        },
     );
     assert!(report.speedup() > 100.0, "speedup {:.0}x", report.speedup());
 }

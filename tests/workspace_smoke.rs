@@ -1,0 +1,83 @@
+//! Facade smoke test: every `cloudeval::*` re-export is exercised with at
+//! least one call, so a broken re-export (or a crate silently dropped
+//! from the workspace wiring) fails here instead of in a downstream user.
+
+use cloudeval::{boost, cluster, core, dataset, envoy, kube, llm, score, shell, yaml};
+
+#[test]
+fn yaml_reexport_round_trips() {
+    let value = yaml::parse_one("a: 1\nb: x\n").unwrap().to_value();
+    let emitted = yaml::emit(&value);
+    assert_eq!(yaml::parse_one(&emitted).unwrap().to_value(), value);
+}
+
+#[test]
+fn dataset_reexport_generates_problems() {
+    let ds = dataset::Dataset::generate();
+    assert!(!ds.problems().is_empty());
+    assert!(ds.get("pod-000").is_some());
+}
+
+#[test]
+fn score_reexport_scores_a_pair() {
+    let s = score::score_pair("a: 1\n", "a: 1\n");
+    assert_eq!(s.exact_match, 1.0);
+    assert!((s.bleu - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn shell_reexport_runs_a_script() {
+    let mut sandbox = shell::EmptySandbox;
+    let mut sh = shell::Interp::new(&mut sandbox);
+    let out = sh.run_script("echo $((6 * 7))").unwrap();
+    assert_eq!(out.stdout.trim(), "42");
+}
+
+#[test]
+fn kube_reexport_applies_a_manifest() {
+    let mut c = kube::Cluster::new();
+    let manifest = "apiVersion: v1\nkind: Pod\nmetadata:\n  name: p\nspec:\n  containers:\n  - name: c\n    image: nginx\n";
+    c.apply_manifest(manifest, "default").unwrap();
+    assert_eq!(c.get("Pod", Some("default"), Some("p")).len(), 1);
+}
+
+#[test]
+fn llm_reexport_extracts_yaml() {
+    let wrapped = "Here you go:\n```yaml\na: 1\n```\nDone.";
+    assert_eq!(llm::extract_yaml(wrapped).trim(), "a: 1");
+}
+
+#[test]
+fn cluster_reexport_runs_jobs() {
+    let report = cluster::run_jobs(&[], 2);
+    assert!(report.results.is_empty());
+    assert_eq!(report.workers, 2);
+}
+
+#[test]
+fn envoy_reexport_parses_sample_config() {
+    let cfg = envoy::EnvoyConfig::parse(envoy::SAMPLE_CONFIG).unwrap();
+    assert!(matches!(
+        cfg.route(10000, "example.com", "/"),
+        envoy::RouteOutcome::Cluster(_)
+    ));
+}
+
+#[test]
+fn boost_reexport_fits_a_classifier() {
+    let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![f64::from(i % 2)]).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| x[0]).collect();
+    let clf = boost::Classifier::fit(&xs, &ys, &boost::BoostParams::default());
+    assert!(clf.predict(&[1.0]));
+}
+
+#[test]
+fn core_reexport_reaches_the_harness_layer() {
+    // pass@k curve accessors from the harness layer.
+    let table = core::passk::PassAtK {
+        model: "m".to_owned(),
+        curve: vec![2, 3, 3],
+    };
+    assert_eq!(table.pass_at_1(), 2);
+    assert_eq!(table.normalized().last().copied(), Some(1.5));
+}

@@ -1,0 +1,791 @@
+//! Vendored stand-in for the subset of `proptest` the workspace tests use.
+//!
+//! Implements deterministic random generation for the combinators that
+//! appear in the test suites — regex-literal string strategies, numeric
+//! ranges, tuples, `Just`, `any::<bool>()`, `prop_map`, `prop_recursive`,
+//! `prop_oneof!`, and `prop::collection::{vec, btree_set}` — plus the
+//! `proptest!` test harness macro. There is no shrinking: a failing case
+//! reports the generated inputs verbatim (generation is seeded per test
+//! name, so failures reproduce exactly under `cargo test`).
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------
+
+/// Deterministic splitmix64 generator used by every strategy.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn seeded(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x5851_f42d_4c95_7f2d,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform size drawn from a half-open range.
+    pub fn size_in(&mut self, range: &Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty size range");
+        range.start + self.below((range.end - range.start) as u64) as usize
+    }
+}
+
+/// FNV-1a over the test name: stable seeds across runs and platforms.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Strategy trait and combinators
+// ---------------------------------------------------------------------
+
+/// A generator of test values. Mirrors `proptest::strategy::Strategy`
+/// minus shrinking.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build recursive values: `f` receives a strategy for the next level
+    /// down and returns the strategy for one level up; recursion bottoms
+    /// out at `self` after `depth` levels. `desired_size` and
+    /// `expected_branch_size` are accepted for API compatibility — sizing
+    /// is governed by the collection ranges inside `f`.
+    fn prop_recursive<F, R>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+    {
+        let f = Arc::new(move |inner: BoxedStrategy<Self::Value>| f(inner).boxed());
+        Recursive {
+            core: Arc::new(RecursiveCore {
+                leaf: self.boxed(),
+                f,
+            }),
+            depth,
+        }
+    }
+
+    /// Type-erase into a clonable, shareable strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng: &mut TestRng| self.generate(rng)))
+    }
+}
+
+/// Clonable type-erased strategy, mirroring `proptest::strategy::BoxedStrategy`.
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always produces a clone of the given value (`proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+struct RecursiveCore<T> {
+    leaf: BoxedStrategy<T>,
+    f: Arc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+}
+
+/// Strategy produced by [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    core: Arc<RecursiveCore<T>>,
+    depth: u32,
+}
+
+impl<T> Clone for Recursive<T> {
+    fn clone(&self) -> Self {
+        Recursive {
+            core: Arc::clone(&self.core),
+            depth: self.depth,
+        }
+    }
+}
+
+impl<T: 'static> Recursive<T> {
+    fn generate_at(core: &Arc<RecursiveCore<T>>, rng: &mut TestRng, depth: u32) -> T {
+        // Descend with probability 3/4 so shallow values are exercised too.
+        if depth == 0 || rng.below(4) == 0 {
+            return core.leaf.generate(rng);
+        }
+        let below = Recursive {
+            core: Arc::clone(core),
+            depth: depth - 1,
+        };
+        (core.f)(below.boxed()).generate(rng)
+    }
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        Self::generate_at(&self.core, rng, self.depth)
+    }
+}
+
+/// Uniform choice among type-erased alternatives; built by `prop_oneof!`.
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let idx = rng.below(self.0.len() as u64) as usize;
+        self.0[idx].generate(rng)
+    }
+}
+
+// Numeric ranges are strategies.
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + rng.unit_f64() * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + rng.unit_f64() as f32 * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+// Tuples of strategies are strategies.
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+// String literals are regex strategies.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex_gen::generate(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex_gen::generate(self, rng)
+    }
+}
+
+mod regex_gen {
+    //! Generator for the regex-literal subset used as string strategies:
+    //! sequences of literal characters (with `\` escapes) and character
+    //! classes `[...]` (ranges, escapes, literal `-` in edge position),
+    //! each optionally followed by `{n}` / `{m,n}`, `*`, `+`, or `?`.
+
+    use super::TestRng;
+
+    enum Atom {
+        Lit(char),
+        Class(Vec<(char, char)>),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let pieces = parse(pattern);
+        let mut out = String::new();
+        for piece in &pieces {
+            let span = piece.max - piece.min + 1;
+            let reps = piece.min + rng.below(span as u64) as usize;
+            for _ in 0..reps {
+                match &piece.atom {
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let total: u64 = ranges
+                            .iter()
+                            .map(|(a, b)| (*b as u64) - (*a as u64) + 1)
+                            .sum();
+                        let mut pick = rng.below(total.max(1));
+                        for (a, b) in ranges {
+                            let len = (*b as u64) - (*a as u64) + 1;
+                            if pick < len {
+                                out.push(char::from_u32(*a as u32 + pick as u32).unwrap());
+                                break;
+                            }
+                            pick -= len;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let (ranges, next) = parse_class(&chars, i + 1, pattern);
+                    i = next;
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars
+                        .get(i)
+                        .unwrap_or_else(|| panic!("regex strategy {pattern:?}: dangling escape"));
+                    i += 1;
+                    Atom::Lit(unescape(c))
+                }
+                c => {
+                    i += 1;
+                    Atom::Lit(c)
+                }
+            };
+            let (min, max, next) = parse_quantifier(&chars, i, pattern);
+            i = next;
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<(char, char)>, usize) {
+        let mut ranges = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            let c = *chars
+                .get(i)
+                .unwrap_or_else(|| panic!("regex strategy {pattern:?}: unterminated class"));
+            match c {
+                ']' => {
+                    if let Some(p) = pending {
+                        ranges.push((p, p));
+                    }
+                    return (ranges, i + 1);
+                }
+                '-' if pending.is_some() && chars.get(i + 1).is_some_and(|&n| n != ']') => {
+                    let lo = pending.take().unwrap();
+                    i += 1;
+                    let mut hi = chars[i];
+                    if hi == '\\' {
+                        i += 1;
+                        hi = unescape(chars[i]);
+                    }
+                    assert!(lo <= hi, "regex strategy {pattern:?}: inverted range");
+                    ranges.push((lo, hi));
+                    i += 1;
+                }
+                '\\' => {
+                    if let Some(p) = pending.replace(unescape(chars[i + 1])) {
+                        ranges.push((p, p));
+                    }
+                    i += 2;
+                }
+                other => {
+                    if let Some(p) = pending.replace(other) {
+                        ranges.push((p, p));
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+        match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("regex strategy {pattern:?}: unterminated {{}}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let (min, max) = match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad {m,n} lower bound"),
+                        hi.trim().parse().expect("bad {m,n} upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad {n} count");
+                        (n, n)
+                    }
+                };
+                (min, max, close + 1)
+            }
+            Some('*') => (0, 8, i + 1),
+            Some('+') => (1, 8, i + 1),
+            Some('?') => (0, 1, i + 1),
+            _ => (1, 1, i),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// any / Arbitrary
+// ---------------------------------------------------------------------
+
+/// Mirrors `proptest::arbitrary::Arbitrary` for the types the tests use.
+pub trait Arbitrary: Sized {
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.below(2) == 1
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.unit_f64() * 2e6 - 1e6
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// ---------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------
+
+pub mod collection {
+    use super::{BTreeSet, Range, Strategy, TestRng};
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.size_in(&self.size);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, size_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.size_in(&self.size);
+            let mut out = BTreeSet::new();
+            // Duplicates shrink the set; cap the retries like proptest does.
+            for _ in 0..target.saturating_mul(16).max(16) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// `prop::collection::btree_set(element, size_range)`.
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { element, size }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Config + macros
+// ---------------------------------------------------------------------
+
+/// Mirrors `proptest::test_runner::Config` (`cases` only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod strategy {
+    pub use super::{BoxedStrategy, Just, Strategy, Union};
+}
+
+pub mod test_runner {
+    pub use super::ProptestConfig as Config;
+}
+
+/// `prop::…` namespace as re-exported by the prelude.
+pub mod prop {
+    pub use super::collection;
+    pub use super::strategy;
+}
+
+pub mod prelude {
+    pub use super::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+/// Weighted arms (`w => strat`) are not supported by this stand-in.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Assertion macros: plain panics (no shrinking machinery to unwind into).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The test-harness macro. Each contained function runs `cases` times
+/// with inputs drawn from its strategies; on panic the generated inputs
+/// are printed and the panic is propagated.
+#[macro_export]
+macro_rules! proptest {
+    (
+        @cfg ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::seeded($crate::seed_for(concat!(
+                    module_path!(), "::", stringify!($name)
+                )));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome = {
+                        $(let $arg = ::std::clone::Clone::clone(&$arg);)+
+                        ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                            move || { $body }
+                        ))
+                    };
+                    if let Err(payload) = outcome {
+                        eprintln!(
+                            "proptest case {}/{} failed in {}:",
+                            case + 1, config.cases, stringify!($name)
+                        );
+                        $(eprintln!("  {} = {:?}", stringify!($arg), $arg);)+
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest! { @cfg ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::{seed_for, TestRng};
+
+    #[test]
+    fn regex_class_with_quantifier() {
+        let mut rng = TestRng::seeded(seed_for("regex"));
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.len()), "bad len: {s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn regex_concatenated_classes() {
+        let mut rng = TestRng::seeded(seed_for("concat"));
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-zA-Z][a-zA-Z0-9_.-]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9);
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+        }
+    }
+
+    #[test]
+    fn regex_escaped_class_members() {
+        let mut rng = TestRng::seeded(seed_for("escape"));
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z*?\\[\\]]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || "*?[]".contains(c)));
+        }
+    }
+
+    #[test]
+    fn oneof_and_ranges_cover_all_arms() {
+        let strat = prop_oneof![Just(0i64), 1i64..10, Just(99i64)];
+        let mut rng = TestRng::seeded(seed_for("oneof"));
+        let mut seen_zero = false;
+        let mut seen_mid = false;
+        let mut seen_99 = false;
+        for _ in 0..300 {
+            match Strategy::generate(&strat, &mut rng) {
+                0 => seen_zero = true,
+                v if (1..10).contains(&v) => seen_mid = true,
+                99 => seen_99 = true,
+                other => panic!("unexpected value {other}"),
+            }
+        }
+        assert!(seen_zero && seen_mid && seen_99);
+    }
+
+    #[test]
+    fn recursive_bottoms_out() {
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf,
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf => 0,
+                T::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = Just(T::Leaf).prop_recursive(3, 16, 4, |inner| {
+            prop::collection::vec(inner, 0..4).prop_map(T::Node)
+        });
+        let mut rng = TestRng::seeded(seed_for("recursive"));
+        for _ in 0..100 {
+            assert!(depth(&Strategy::generate(&strat, &mut rng)) <= 4);
+        }
+    }
+
+    #[test]
+    fn btree_set_respects_size_and_uniqueness() {
+        let strat = prop::collection::btree_set("[a-z][a-z0-9]{0,6}", 1..6);
+        let mut rng = TestRng::seeded(seed_for("btree"));
+        for _ in 0..100 {
+            let s = Strategy::generate(&strat, &mut rng);
+            assert!(!s.is_empty() && s.len() < 6);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The harness itself: generated tuples land in their ranges.
+        #[test]
+        fn harness_smoke(pair in (0i64..10, "[xy]"), flag in any::<bool>()) {
+            prop_assert!((0..10).contains(&pair.0));
+            prop_assert!(pair.1 == "x" || pair.1 == "y");
+            prop_assert_eq!(u64::from(flag), if flag { 1 } else { 0 });
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Vendored stand-in for the subset of `rand` 0.8 the workspace uses:
+//! `StdRng::seed_from_u64`, `Rng::gen_range` over integer/float ranges,
+//! and `Rng::gen_bool`. Deterministic by construction (the workspace only
+//! ever seeds explicitly), implemented as splitmix64 — statistically fine
+//! for simulation workloads, not cryptographic.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Mirrors `rand::SeedableRng`, reduced to the one constructor we use.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a `Range`, mirroring the
+/// `gen_range(low..high)` calls in the workspace.
+pub trait SampleUniform: Copy {
+    fn sample(range: Range<Self>, rng: &mut dyn RngCore) -> Self;
+}
+
+/// Object-safe raw generator, mirroring `rand::RngCore`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Mirrors `rand::Rng`, reduced to `gen_range` / `gen_bool`.
+pub trait Rng: RngCore {
+    /// Uniform sample in `[range.start, range.end)`. Panics when empty,
+    /// like the real crate.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(range, self)
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of range");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits -> [0, 1)
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(range: Range<Self>, rng: &mut dyn RngCore) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (range.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleUniform for f64 {
+    fn sample(range: Range<Self>, rng: &mut dyn RngCore) -> Self {
+        assert!(range.start < range.end, "gen_range: empty range");
+        let v = range.start + unit_f64(rng.next_u64()) * (range.end - range.start);
+        // Float rounding can land exactly on `end`; the contract is half-open.
+        if v >= range.end {
+            range.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample(range: Range<Self>, rng: &mut dyn RngCore) -> Self {
+        assert!(range.start < range.end, "gen_range: empty range");
+        let v = range.start + unit_f64(rng.next_u64()) as f32 * (range.end - range.start);
+        if v >= range.end {
+            range.start
+        } else {
+            v
+        }
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0i64..1000), b.gen_range(0i64..1000));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(5usize..17);
+            assert!((5..17).contains(&v));
+            let f = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,14 @@
+//! Vendored stand-in for `serde` so the workspace builds offline.
+//!
+//! Exposes the `Serialize` / `Deserialize` names (trait markers plus the
+//! no-op derives from the sibling `serde_derive` stub). Workspace crates
+//! only annotate types today; no serialization is performed. Replacing
+//! this stub with the real crates.io `serde` is a manifest-only change.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! Vendored stand-in for `serde_derive` so the workspace builds offline.
+//!
+//! The derives are accepted and expand to nothing: none of the workspace
+//! crates perform actual serialization yet, they only annotate types so the
+//! schema is ready when a real `serde` is swapped in. Swapping is a
+//! one-line change in the workspace manifest.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
