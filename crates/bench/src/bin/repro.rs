@@ -1,19 +1,32 @@
-//! Regenerates every table and figure from the paper's evaluation.
+//! Regenerates every table and figure from the paper's evaluation, plus
+//! the full evaluation grid through the substrate engine.
 //!
 //! ```text
 //! cargo run --release -p cloudeval-bench --bin repro -- all
 //! cargo run --release -p cloudeval-bench --bin repro -- table4 fig8
 //! cargo run --release -p cloudeval-bench --bin repro -- --stride 4 all
+//! cargo run --release -p cloudeval-bench --bin repro -- --workers 16 grid
+//! cargo run --release -p cloudeval-bench --bin repro -- --variants original,translated grid
 //! ```
 //!
-//! `--stride N` evaluates every N-th problem (default 1 = the complete
-//! 337/1011-problem benchmark).
+//! Flags:
+//!
+//! * `--stride N` — evaluate every N-th problem (default 1 = the complete
+//!   337/1011-problem benchmark);
+//! * `--workers N` — unit-test worker threads (default: available
+//!   hardware parallelism, clamped to 2–32);
+//! * `--variants LIST` — comma-separated subset of
+//!   `original,simplified,translated` used by the `grid` target
+//!   (default: all three).
 
+use cedataset::Variant;
 use cloudeval_bench::experiments::Experiments;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut stride = 1usize;
+    let mut workers = cloudeval_core::harness::default_workers();
+    let mut variants: Vec<Variant> = Variant::ALL.to_vec();
     let mut targets: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -24,6 +37,19 @@ fn main() {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--stride needs a positive integer"));
+            }
+            "--workers" => {
+                i += 1;
+                workers = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|w| *w > 0)
+                    .unwrap_or_else(|| die("--workers needs a positive integer"));
+            }
+            "--variants" => {
+                i += 1;
+                variants = parse_variants(args.get(i).map(String::as_str).unwrap_or(""))
+                    .unwrap_or_else(|bad| die(&format!("unknown variant {bad:?}")));
             }
             "--help" | "-h" => {
                 print_usage();
@@ -40,8 +66,10 @@ fn main() {
     if targets.iter().any(|t| t == "all") {
         targets = ALL_TARGETS.iter().map(|s| (*s).to_owned()).collect();
     }
-    eprintln!("# generating dataset and calibrating 12 models (stride {stride})...");
-    let experiments = Experiments::new(stride);
+    eprintln!(
+        "# generating dataset and calibrating 12 models (stride {stride}, {workers} workers)..."
+    );
+    let experiments = Experiments::with_workers(stride, workers);
     for target in &targets {
         let started = std::time::Instant::now();
         let output = match target.as_str() {
@@ -59,6 +87,7 @@ fn main() {
             "fig7" => experiments.fig7(),
             "fig8" => experiments.fig8(16),
             "fig9" => experiments.fig9(),
+            "grid" => experiments.grid(&variants),
             other => {
                 eprintln!("unknown target {other:?} (see --help)");
                 continue;
@@ -75,12 +104,29 @@ fn main() {
 
 const ALL_TARGETS: &[&str] = &[
     "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
-    "fig5", "fig6", "fig7", "fig8", "fig9",
+    "fig5", "fig6", "fig7", "fig8", "fig9", "grid",
 ];
 
+fn parse_variants(list: &str) -> Result<Vec<Variant>, String> {
+    let mut out = Vec::new();
+    for part in list.split(',').filter(|p| !p.is_empty()) {
+        out.push(match part.to_ascii_lowercase().as_str() {
+            "original" | "orig" => Variant::Original,
+            "simplified" | "simp" => Variant::Simplified,
+            "translated" | "trans" => Variant::Translated,
+            other => return Err(other.to_owned()),
+        });
+    }
+    if out.is_empty() {
+        return Err(list.to_owned());
+    }
+    Ok(out)
+}
+
 fn print_usage() {
-    eprintln!("usage: repro [--stride N] <target>...");
+    eprintln!("usage: repro [--stride N] [--workers N] [--variants LIST] <target>...");
     eprintln!("targets: {} | all", ALL_TARGETS.join(" | "));
+    eprintln!("variants: original,simplified,translated (grid target)");
 }
 
 fn die(msg: &str) -> ! {

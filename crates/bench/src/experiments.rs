@@ -8,31 +8,38 @@ use std::sync::Arc;
 
 use cedataset::{Dataset, Variant};
 use cloudeval_core::analysis::{factor_analysis, failure_modes};
-use cloudeval_core::harness::{evaluate, mean_scores, pass_count, EvalOptions, EvalRecord};
+use cloudeval_core::harness::{
+    default_workers, evaluate, mean_scores, pass_count, EvalOptions, EvalRecord,
+};
 use cloudeval_core::passk::{pass_at_k, PassAtK};
 use cloudeval_core::predict::{leave_one_model_out, shap_importance};
 use cloudeval_core::tables;
 use llmsim::{standard_models, GenParams, SimulatedModel};
-
-/// Worker threads for unit-test execution.
-const WORKERS: usize = 8;
 
 /// A lazily-evaluated benchmark context shared across experiments.
 pub struct Experiments {
     dataset: Arc<Dataset>,
     models: Vec<SimulatedModel>,
     stride: usize,
+    workers: usize,
 }
 
 impl Experiments {
-    /// Builds the context. `stride` of 1 runs the complete benchmark.
+    /// Builds the context. `stride` of 1 runs the complete benchmark;
+    /// unit-test workers default to the hardware width.
     pub fn new(stride: usize) -> Experiments {
+        Experiments::with_workers(stride, default_workers())
+    }
+
+    /// Builds the context with an explicit unit-test worker count.
+    pub fn with_workers(stride: usize, workers: usize) -> Experiments {
         let dataset = Arc::new(Dataset::generate());
         let models = standard_models(Arc::clone(&dataset));
         Experiments {
             dataset,
             models,
             stride: stride.max(1),
+            workers: workers.max(1),
         }
     }
 
@@ -54,10 +61,45 @@ impl Experiments {
                 variants,
                 shots,
                 params: GenParams::default(),
-                workers: WORKERS,
+                workers: self.workers,
                 stride: self.stride,
             },
         )
+    }
+
+    /// The full (model × problem × variant) grid through the substrate
+    /// engine: per-model pass counts for the selected variants plus a
+    /// throughput line (records/s) for the perf trajectory.
+    pub fn grid(&self, variants: &[Variant]) -> String {
+        let mut out = String::from("Evaluation grid (substrate engine)\n");
+        out.push_str(&format!(
+            "variants: {} | stride: {} | workers: {}\n",
+            variants
+                .iter()
+                .map(|v| v.label())
+                .collect::<Vec<_>>()
+                .join(","),
+            self.stride,
+            self.workers
+        ));
+        let started = std::time::Instant::now();
+        let mut total_records = 0usize;
+        for model in &self.models {
+            let records = self.eval(model, variants.to_vec(), 0);
+            total_records += records.len();
+            out.push_str(&format!(
+                "  {:<24} {:>4}/{:<4} unit-test passes\n",
+                model.profile().name,
+                pass_count(&records),
+                records.len()
+            ));
+        }
+        let secs = started.elapsed().as_secs_f64();
+        out.push_str(&format!(
+            "grid: {total_records} records in {secs:.2}s ({:.0} records/s)\n",
+            total_records as f64 / secs.max(1e-9)
+        ));
+        out
     }
 
     /// Table 1: practical data augmentation statistics.
@@ -196,7 +238,13 @@ impl Experiments {
             ("llama-2-70b-chat", max_k),
         ] {
             let model = self.model(name);
-            curves.push(pass_at_k(model, &self.dataset, k, self.stride, WORKERS));
+            curves.push(pass_at_k(
+                model,
+                &self.dataset,
+                k,
+                self.stride,
+                self.workers,
+            ));
         }
         tables::figure8(&curves)
     }
@@ -247,5 +295,14 @@ mod tests {
         let out = e.fig7();
         assert!(out.contains("gpt-4"));
         assert!(out.contains("llama-2-7b-chat"));
+    }
+
+    #[test]
+    fn grid_reports_all_models_and_throughput() {
+        let e = Experiments::with_workers(24, 4);
+        let out = e.grid(&[Variant::Original]);
+        assert!(out.contains("gpt-4"), "{out}");
+        assert!(out.contains("records/s"), "{out}");
+        assert!(out.contains("workers: 4"), "{out}");
     }
 }

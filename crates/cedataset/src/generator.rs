@@ -32,6 +32,21 @@ impl Dataset {
         Dataset { problems }
     }
 
+    /// The base dataset plus the extended scenario families (CronJob
+    /// policies, autoscaling/v2 HPAs, multi-path Ingresses, NetworkPolicy
+    /// allow rules, ConfigMap-backed volumes): `extra` problems appended
+    /// after the 337, cycling over the five families deterministically.
+    ///
+    /// The paper-faithful counts of [`Dataset::generate`] are untouched —
+    /// the extension is how the benchmark grows toward "as many scenarios
+    /// as you can imagine" without disturbing Table 1/2 reproduction.
+    pub fn generate_extended(extra: usize) -> Dataset {
+        let mut ds = Dataset::generate();
+        ds.problems
+            .extend((0..extra).map(crate::templates_k8s::scenario));
+        ds
+    }
+
     /// The problems in stable order.
     pub fn problems(&self) -> &[Problem] {
         &self.problems
@@ -98,12 +113,35 @@ mod tests {
 
     #[test]
     fn ids_are_unique() {
-        let ds = Dataset::generate();
+        let ds = Dataset::generate_extended(30);
         let mut ids: Vec<&str> = ds.problems().iter().map(|p| p.id.as_str()).collect();
         ids.sort_unstable();
         let before = ids.len();
         ids.dedup();
         assert_eq!(ids.len(), before);
+    }
+
+    #[test]
+    fn extended_dataset_appends_scenarios() {
+        let ds = Dataset::generate_extended(30);
+        assert_eq!(ds.len(), 367);
+        let scenarios: Vec<&Problem> = ds
+            .problems()
+            .iter()
+            .filter(|p| p.id.starts_with("scn-"))
+            .collect();
+        assert_eq!(scenarios.len(), 30);
+        // All five families represented.
+        for family in ["cmvol", "cronjob", "hpa", "ingress", "netpol"] {
+            assert!(
+                scenarios
+                    .iter()
+                    .any(|p| p.id.starts_with(&format!("scn-{family}-"))),
+                "missing {family}"
+            );
+        }
+        // Extended generation is deterministic too.
+        assert_eq!(ds, Dataset::generate_extended(30));
     }
 
     #[test]

@@ -18,6 +18,12 @@
 //! GPT-4 + manual review, preserving the three-variant structure and the
 //! word-count deltas of Table 1.
 //!
+//! Beyond the paper-faithful set, [`Dataset::generate_extended`] appends
+//! extra scenario families — CronJob concurrency policies, autoscaling/v2
+//! HPAs, multi-path Ingresses, NetworkPolicy allow rules, and
+//! ConfigMap-backed volumes — for workloads that grow the benchmark past
+//! Table 2 without disturbing its reproduction.
+//!
 //! # Examples
 //!
 //! ```

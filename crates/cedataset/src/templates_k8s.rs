@@ -1160,6 +1160,215 @@ fi
     )
 }
 
+// ---------------------------------------------------------------------
+// Scenario templates (extended dataset): workload families added to
+// exercise the `Substrate` engine across richer Kubernetes surface —
+// CronJob policies, autoscaling/v2 HPAs, multi-path Ingresses,
+// NetworkPolicy allow rules, and ConfigMap-backed volumes.
+// ---------------------------------------------------------------------
+
+/// Number of scenario families in [`scenario`].
+pub const SCENARIO_FAMILIES: usize = 5;
+
+/// Builds the i-th extended-scenario problem (5 families × parameter
+/// sweep). These ride on [`crate::Dataset::generate_extended`]; the base
+/// 337-problem set is unchanged.
+pub fn scenario(i: usize) -> Problem {
+    let n = i / SCENARIO_FAMILIES;
+    match i % SCENARIO_FAMILIES {
+        0 => scenario_configmap_volume(format!("scn-cmvol-{n:02}"), n),
+        1 => scenario_cronjob(format!("scn-cronjob-{n:02}"), n),
+        2 => scenario_hpa_v2(format!("scn-hpa-{n:02}"), n),
+        3 => scenario_ingress_multipath(format!("scn-ingress-{n:02}"), n),
+        _ => scenario_netpol_allow(format!("scn-netpol-{n:02}"), n),
+    }
+}
+
+fn scenario_configmap_volume(id: String, n: usize) -> Problem {
+    let app = pick(&APP_WORDS, n);
+    let mode = pick(&["production", "staging", "canary"], n);
+    let mount = pick(&["/etc/app", "/config", "/opt/settings"], n);
+    let description = format!(
+        "Write a YAML file with two documents. First, a ConfigMap named \"{app}-settings\" \
+with one key under data: \"mode\" set to \"{mode}\". Second, a Pod named \"{app}-reader\" \
+(label app: {app}) running nginx, which mounts that ConfigMap as a volume named \"settings\" \
+at \"{mount}\", projecting the \"mode\" key to the file name \"mode.conf\" using items."
+    );
+    let labeled_reference = format!(
+        "apiVersion: v1\nkind: ConfigMap\nmetadata:\n  name: {app}-settings\ndata:\n  mode: {mode}\n---\napiVersion: v1\nkind: Pod\nmetadata:\n  name: {app}-reader\n  labels:\n    app: {app}\nspec:\n  containers:\n  - name: reader # *\n    image: nginx\n    volumeMounts:\n    - name: settings\n      mountPath: {mount}\n  volumes:\n  - name: settings\n    configMap:\n      name: {app}-settings\n      items:\n      - key: mode\n        path: mode.conf\n"
+    );
+    let unit_test = format!(
+        r#"kubectl apply -f labeled_code.yaml
+kubectl wait --for=condition=Ready pod -l app={app} --timeout=60s
+cm_mode=$(kubectl get configmap {app}-settings -o jsonpath={{.data.mode}})
+vol_cm=$(kubectl get pod {app}-reader -o jsonpath='{{.spec.volumes[0].configMap.name}}')
+item_path=$(kubectl get pod {app}-reader -o jsonpath='{{.spec.volumes[0].configMap.items[0].path}}')
+mount=$(kubectl get pod {app}-reader -o jsonpath='{{.spec.containers[0].volumeMounts[0].mountPath}}')
+if [ "$cm_mode" == "{mode}" ] && [ "$vol_cm" == "{app}-settings" ] && [ "$item_path" == "mode.conf" ] && [ "$mount" == "{mount}" ]; then
+  echo unit_test_passed
+fi
+"#
+    );
+    finish_problem(
+        id,
+        Category::KubernetesOther,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
+}
+
+fn scenario_cronjob(id: String, n: usize) -> Problem {
+    let task = format!(
+        "{}-{n}",
+        pick(&["compact", "snapshot", "billing-sync", "reindex"], n)
+    );
+    let history = 1 + n % 4;
+    let description = format!(
+        "Create a Kubernetes CronJob YAML named \"{task}-schedule\" that runs every minute \
+(schedule \"* * * * *\"). Set concurrencyPolicy to Forbid so overlapping runs are skipped, \
+and keep only {history} successful jobs (successfulJobsHistoryLimit). The job template runs \
+a busybox container named \"tick\" executing `echo {task}-done` with restartPolicy OnFailure."
+    );
+    let labeled_reference = format!(
+        "apiVersion: batch/v1\nkind: CronJob\nmetadata:\n  name: {task}-schedule # *\nspec:\n  schedule: \"* * * * *\"\n  concurrencyPolicy: Forbid\n  successfulJobsHistoryLimit: {history}\n  jobTemplate:\n    spec:\n      template:\n        spec:\n          containers:\n          - name: tick # *\n            image: busybox\n            command: [\"echo\", \"{task}-done\"]\n          restartPolicy: OnFailure\n"
+    );
+    let unit_test = format!(
+        r#"kubectl apply -f labeled_code.yaml
+cj=$(kubectl get cronjob -o jsonpath='{{.items[0].metadata.name}}')
+policy=$(kubectl get cronjob $cj -o jsonpath='{{.spec.concurrencyPolicy}}')
+history=$(kubectl get cronjob $cj -o jsonpath='{{.spec.successfulJobsHistoryLimit}}')
+sleep 70
+jobs=$(kubectl get jobs -o name | wc -l)
+if [ "$policy" == "Forbid" ] && [ "$history" == "{history}" ] && [ "$jobs" -ge "1" ]; then
+  echo unit_test_passed
+fi
+"#
+    );
+    finish_problem(
+        id,
+        Category::KubernetesOther,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
+}
+
+fn scenario_hpa_v2(id: String, n: usize) -> Problem {
+    let app = pick(&["render", "ingest", "score", "transcode"], n);
+    let max = 6 + n % 6;
+    let util = 50 + (n % 4) * 10;
+    let context = deployment_context(app, 2);
+    let description = format!(
+        "Given this Deployment, write an autoscaling/v2 HorizontalPodAutoscaler named \
+\"{app}-hpa-v2\" targeting it by name. Scale from 2 to {max} replicas using the v2 metrics \
+form: one Resource metric on cpu with target type Utilization and averageUtilization {util}."
+    );
+    let labeled_reference = format!(
+        "apiVersion: autoscaling/v2\nkind: HorizontalPodAutoscaler\nmetadata:\n  name: {app}-hpa-v2 # *\nspec:\n  scaleTargetRef:\n    apiVersion: apps/v1\n    kind: Deployment\n    name: {app}-deployment\n  minReplicas: 2\n  maxReplicas: {max}\n  metrics:\n  - type: Resource\n    resource:\n      name: cpu\n      target:\n        type: Utilization\n        averageUtilization: {util}\n"
+    );
+    let unit_test = format!(
+        r#"echo "{context}" | kubectl apply -f -
+kubectl apply -f labeled_code.yaml
+hpa=$(kubectl get hpa -o jsonpath='{{.items[0].metadata.name}}')
+max=$(kubectl get hpa $hpa -o jsonpath={{.spec.maxReplicas}})
+metric=$(kubectl get hpa $hpa -o jsonpath='{{.spec.metrics[0].resource.name}}')
+util=$(kubectl get hpa $hpa -o jsonpath='{{.spec.metrics[0].resource.target.averageUtilization}}')
+if [ "$max" == "{max}" ] && [ "$metric" == "cpu" ] && [ "$util" == "{util}" ]; then
+  echo unit_test_passed
+fi
+"#,
+        context = context.trim_end()
+    );
+    finish_problem(
+        id,
+        Category::KubernetesOther,
+        description,
+        Some(context),
+        labeled_reference,
+        unit_test,
+    )
+}
+
+fn scenario_ingress_multipath(id: String, n: usize) -> Problem {
+    let host = pick(
+        &["app.example.com", "portal.example.com", "edge.example.com"],
+        n,
+    );
+    let api_svc = format!("api-v{n}");
+    let web_svc = format!("web-v{n}");
+    let api_port = 8000 + (n as u16 % 3) * 100;
+    let description = format!(
+        "Write YAML for a networking.k8s.io/v1 Ingress named \"split-ingress-{n}\" with \
+ingressClassName \"nginx\". For host \"{host}\" route path \"/api\" (pathType Prefix) to \
+service \"{api_svc}\" on port number {api_port}, and path \"/\" (pathType Prefix) to \
+service \"{web_svc}\" on port number 80."
+    );
+    let labeled_reference = format!(
+        "apiVersion: networking.k8s.io/v1\nkind: Ingress\nmetadata:\n  name: split-ingress-{n} # *\nspec:\n  ingressClassName: nginx\n  rules:\n  - host: {host}\n    http:\n      paths:\n      - path: /api\n        pathType: Prefix\n        backend:\n          service:\n            name: {api_svc}\n            port:\n              number: {api_port}\n      - path: /\n        pathType: Prefix\n        backend:\n          service:\n            name: {web_svc}\n            port:\n              number: 80\n"
+    );
+    let unit_test = format!(
+        r#"kubectl apply -f labeled_code.yaml
+kubectl wait --for=condition=SYNCED ingress --all --timeout=15s
+ing=$(kubectl get ingress -o jsonpath='{{.items[0].metadata.name}}')
+host=$(kubectl get ingress $ing -o jsonpath='{{.spec.rules[0].host}}')
+class=$(kubectl get ingress $ing -o jsonpath='{{.spec.ingressClassName}}')
+kubectl describe ingress $ing | grep "{api_svc}:{api_port}" || exit 1
+kubectl describe ingress $ing | grep "{web_svc}:80" || exit 1
+if [ "$host" == "{host}" ] && [ "$class" == "nginx" ]; then
+  echo unit_test_passed
+fi
+"#
+    );
+    finish_problem(
+        id,
+        Category::KubernetesOther,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
+}
+
+fn scenario_netpol_allow(id: String, n: usize) -> Problem {
+    let app = format!(
+        "{}-{n}",
+        pick(&["redis", "postgres", "vault", "rabbitmq"], n)
+    );
+    let app = app.as_str();
+    let client = pick(&["frontend", "worker", "api", "scheduler"], n);
+    let port = [6379u16, 5432, 8200, 5672][n % 4];
+    let description = format!(
+        "Create a NetworkPolicy YAML named \"allow-{client}-to-{app}\" that selects pods \
+labeled app: {app} and declares policy type Ingress with one allow rule: traffic from pods \
+labeled role: {client} (a from.podSelector) on TCP port {port} only."
+    );
+    let labeled_reference = format!(
+        "apiVersion: networking.k8s.io/v1\nkind: NetworkPolicy\nmetadata:\n  name: allow-{client}-to-{app} # *\nspec:\n  podSelector:\n    matchLabels:\n      app: {app}\n  policyTypes:\n  - Ingress\n  ingress:\n  - from:\n    - podSelector:\n        matchLabels:\n          role: {client}\n    ports:\n    - protocol: TCP\n      port: {port}\n"
+    );
+    let unit_test = format!(
+        r#"kubectl apply -f labeled_code.yaml
+np=$(kubectl get networkpolicy -o jsonpath='{{.items[0].metadata.name}}')
+sel=$(kubectl get networkpolicy $np -o jsonpath='{{.spec.podSelector.matchLabels.app}}')
+peer=$(kubectl get networkpolicy $np -o jsonpath='{{.spec.ingress[0].from[0].podSelector.matchLabels.role}}')
+port=$(kubectl get networkpolicy $np -o jsonpath='{{.spec.ingress[0].ports[0].port}}')
+if [ "$sel" == "{app}" ] && [ "$peer" == "{client}" ] && [ "$port" == "{port}" ]; then
+  echo unit_test_passed
+fi
+"#
+    );
+    finish_problem(
+        id,
+        Category::KubernetesOther,
+        description,
+        None,
+        labeled_reference,
+        unit_test,
+    )
+}
+
 fn multi_doc_problem(id: String, n: usize) -> Problem {
     let db = pick(&["mysql", "postgres"], n);
     let port = if *pick(&["mysql", "postgres"], n) == "mysql" {

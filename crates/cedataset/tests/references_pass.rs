@@ -31,6 +31,37 @@ fn every_unit_test_passes_on_its_reference() {
 }
 
 #[test]
+fn extended_scenario_references_pass_their_unit_tests() {
+    let ds = Dataset::generate_extended(30);
+    let mut failures = Vec::new();
+    for p in ds.problems().iter().filter(|p| p.id.starts_with("scn-")) {
+        let reference = p.clean_reference();
+        match minishell::run_unit_test(&p.unit_test, &reference) {
+            Ok(outcome) if outcome.combined.contains("unit_test_passed") => {}
+            Ok(outcome) => failures.push(format!(
+                "{}: test did not pass\n--- transcript ---\n{}",
+                p.id, outcome.combined
+            )),
+            Err(e) => failures.push(format!("{}: interpreter error: {e}", p.id)),
+        }
+        // Scenario tests must also reject an empty answer.
+        if let Ok(o) = minishell::run_unit_test(&p.unit_test, "") {
+            assert!(
+                !o.combined.contains("unit_test_passed"),
+                "{} passed with an empty answer",
+                p.id
+            );
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} scenario references fail their own unit test:\n{}",
+        failures.len(),
+        failures.join("\n\n")
+    );
+}
+
+#[test]
 fn unit_tests_reject_empty_answers() {
     let ds = Dataset::generate();
     for p in ds.problems().iter().step_by(13) {

@@ -1,10 +1,29 @@
 //! The end-to-end benchmark pipeline (Figure 3): dataset → prompt →
 //! query → post-process → score → cloud evaluation.
+//!
+//! Function-level scoring drives the whole (model × problem × variant)
+//! grid through the [`substrate::Substrate`] execution engine in
+//! `evalcluster`: jobs are deduplicated by content hash (identical
+//! extracted YAML for the same unit test scores once), sharded across
+//! worker threads and balanced by work stealing.
 
 use cedataset::{Category, Dataset, Problem, Variant};
 use cescore::Scores;
 use evalcluster::executor::{run_jobs, UnitTestJob};
 use llmsim::{extract_yaml, AnswerCategory, GenParams, LanguageModel, QueryConfig, SimulatedModel};
+
+/// Default unit-test worker count: one per available hardware thread,
+/// clamped to `[2, 32]`.
+///
+/// The seed hard-coded 8 workers, which under-drove big machines and
+/// oversubscribed small containers. Override per run via
+/// [`EvalOptions::workers`] (or `repro --workers N` on the CLI).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(8)
+        .clamp(2, 32)
+}
 
 /// One scored (model, problem, variant) evaluation.
 #[derive(Debug, Clone)]
@@ -40,7 +59,9 @@ pub struct EvalOptions {
     pub shots: usize,
     /// Generation parameters.
     pub params: GenParams,
-    /// Unit-test worker threads.
+    /// Unit-test worker threads. Defaults to [`default_workers`]
+    /// (available parallelism, clamped); set explicitly to pin a run to a
+    /// fixed width.
     pub workers: usize,
     /// Optional problem subsample: keep every `stride`-th problem
     /// (1 = full dataset). Used by fast tests.
@@ -53,7 +74,7 @@ impl Default for EvalOptions {
             variants: vec![Variant::Original],
             shots: 0,
             params: GenParams::default(),
-            workers: 8,
+            workers: default_workers(),
             stride: 1,
         }
     }
@@ -170,6 +191,13 @@ mod tests {
                 ..EvalOptions::default()
             },
         )
+    }
+
+    #[test]
+    fn default_workers_tracks_hardware_within_bounds() {
+        let w = default_workers();
+        assert!((2..=32).contains(&w), "{w}");
+        assert_eq!(EvalOptions::default().workers, w);
     }
 
     #[test]

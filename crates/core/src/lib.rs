@@ -40,4 +40,4 @@ pub mod related;
 pub mod survey;
 pub mod tables;
 
-pub use harness::{evaluate, mean_scores, pass_count, EvalOptions, EvalRecord};
+pub use harness::{default_workers, evaluate, mean_scores, pass_count, EvalOptions, EvalRecord};

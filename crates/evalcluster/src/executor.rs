@@ -1,17 +1,30 @@
-//! The real parallel unit-test executor: master/worker over the
-//! [`MiniRedis`](crate::miniredis::MiniRedis) queue, running actual
-//! `minishell` unit tests against per-worker simulated clusters.
+//! The parallel unit-test executor: the live counterpart of §3.3's
+//! "Scalable Evaluation Cluster".
 //!
-//! This is the live counterpart of §3.3's "Scalable Evaluation Cluster":
-//! users dispatch unit-testing jobs to the master, available workers claim
-//! them, and results flow back keyed by problem. Because every job gets a
-//! fresh [`minishell::ClusterSandbox`], tests are hermetic — the clean
-//! environment guarantee the paper gets from tearing clusters down.
+//! Two execution engines share one job/result vocabulary:
+//!
+//! * [`run_jobs`] — the production engine: a sharded work-stealing
+//!   scheduler ([`crate::shard`]) driving the [`substrate::Substrate`]
+//!   trait, with a content-addressed score memo ([`crate::memo`]) so
+//!   identical `(candidate, script)` pairs — ubiquitous under pass@k
+//!   sampling — execute exactly once;
+//! * [`run_jobs_queue`] — the §3.3-faithful master/worker pattern over the
+//!   [`crate::MiniRedis`] blocking queue, kept as
+//!   the distributed-deployment reference model and as the benchmark
+//!   baseline the sharded engine is measured against.
+//!
+//! Every job gets a freshly prepared substrate environment, so tests are
+//! hermetic — the clean-environment guarantee the paper gets from tearing
+//! clusters down between problems.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use substrate::{ShellSubstrate, Substrate};
+
+use crate::memo::{CachedVerdict, ScoreMemo};
 use crate::miniredis::MiniRedis;
+use crate::shard::run_sharded;
 
 /// One unit-test job.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,6 +37,13 @@ pub struct UnitTestJob {
     pub candidate_yaml: String,
 }
 
+impl UnitTestJob {
+    /// The content-addressed memo key for this job.
+    pub fn memo_key(&self) -> (u64, u64) {
+        ScoreMemo::key(&self.candidate_yaml, &self.script)
+    }
+}
+
 /// Result of one job.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobResult {
@@ -33,7 +53,9 @@ pub struct JobResult {
     pub passed: bool,
     /// Simulated in-cluster seconds the test consumed (sleeps + waits).
     pub simulated_ms: u64,
-    /// Which worker ran it.
+    /// Which worker ran it. In-batch duplicates report the worker that
+    /// executed their first occurrence; results served from a warm
+    /// cross-run memo report 0 (no worker ran them this run).
     pub worker: usize,
 }
 
@@ -46,6 +68,12 @@ pub struct RunReport {
     pub wall: Duration,
     /// Worker count used.
     pub workers: usize,
+    /// Jobs that actually executed on a substrate.
+    pub executed: usize,
+    /// Jobs answered from the score memo / in-run deduplication.
+    pub cache_hits: usize,
+    /// Jobs that migrated across shards via work stealing.
+    pub stolen: usize,
 }
 
 impl RunReport {
@@ -58,8 +86,102 @@ impl RunReport {
 const QUEUE: &str = "cloudeval:jobs";
 const RESULTS: &str = "cloudeval:results";
 
-/// Runs all jobs over `workers` threads; results come back in input order.
+/// Runs all jobs over `workers` threads; results come back in input
+/// order. Uses the sharded work-stealing engine with a run-local score
+/// memo — see [`run_jobs_cached`] to share a memo across runs.
 pub fn run_jobs(jobs: &[UnitTestJob], workers: usize) -> RunReport {
+    run_jobs_cached(jobs, workers, &ScoreMemo::new())
+}
+
+/// Like [`run_jobs`], with a caller-owned [`ScoreMemo`] so verdicts carry
+/// over between batches (pass@k sweeps, resumed grids).
+///
+/// Identical `(candidate_yaml, script)` pairs are deduplicated *before*
+/// dispatch: the first occurrence executes, every other occurrence —
+/// in-batch duplicate or cross-batch memo hit — is answered from cache
+/// without touching a substrate.
+pub fn run_jobs_cached(jobs: &[UnitTestJob], workers: usize, memo: &ScoreMemo) -> RunReport {
+    let start = Instant::now();
+    // Plan: for each job, either execute (first sight of its key) or copy
+    // the verdict of an earlier job / the memo.
+    #[derive(Clone, Copy)]
+    enum Plan {
+        Execute(usize), // index into `unique`
+        Memoized(CachedVerdict),
+    }
+    let mut key_to_unique: std::collections::HashMap<(u64, u64), usize> =
+        std::collections::HashMap::new();
+    let mut unique: Vec<usize> = Vec::new(); // job index of each unique execution
+    let mut plans: Vec<Plan> = Vec::with_capacity(jobs.len());
+    for (i, job) in jobs.iter().enumerate() {
+        let key = job.memo_key();
+        if let Some(&u) = key_to_unique.get(&key) {
+            plans.push(Plan::Execute(u)); // alias of an in-batch execution
+            continue;
+        }
+        if let Some(verdict) = memo.get(key) {
+            plans.push(Plan::Memoized(verdict));
+            continue;
+        }
+        key_to_unique.insert(key, unique.len());
+        plans.push(Plan::Execute(unique.len()));
+        unique.push(i);
+    }
+
+    // Execute the unique jobs on per-worker substrates.
+    let (verdicts, stats) = run_sharded(unique.len(), workers, |worker, u| {
+        let job = &jobs[unique[u]];
+        let mut shell = ShellSubstrate::new();
+        let verdict = match shell.execute(&job.candidate_yaml, &job.script) {
+            Ok(outcome) => CachedVerdict {
+                passed: outcome.passed,
+                simulated_ms: outcome.simulated_ms,
+            },
+            // Candidate faults and probe failures both score 0, exactly
+            // like the seed path's "interpreter error counts as failure".
+            Err(_) => CachedVerdict {
+                passed: false,
+                simulated_ms: 0,
+            },
+        };
+        memo.insert(job.memo_key(), verdict);
+        (verdict, worker)
+    });
+
+    let executed = unique.len();
+    let results: Vec<JobResult> = jobs
+        .iter()
+        .zip(&plans)
+        .map(|(job, plan)| {
+            let (verdict, worker) = match plan {
+                Plan::Execute(u) => verdicts[*u],
+                Plan::Memoized(v) => (*v, 0),
+            };
+            JobResult {
+                problem_id: job.problem_id.clone(),
+                passed: verdict.passed,
+                simulated_ms: verdict.simulated_ms,
+                worker,
+            }
+        })
+        .collect();
+    RunReport {
+        results,
+        wall: start.elapsed(),
+        // The requested pool width (the scheduler may use fewer threads
+        // when there are fewer unique jobs than workers).
+        workers: workers.max(1),
+        executed,
+        cache_hits: jobs.len() - executed,
+        stolen: stats.stolen,
+    }
+}
+
+/// The seed §3.3 master/worker engine: jobs flow through a Redis-like
+/// blocking queue, workers claim them with `BLPOP`, results return keyed
+/// by index. No deduplication, no stealing — the faithful distributed
+/// model, and the baseline `cargo bench` compares the sharded engine to.
+pub fn run_jobs_queue(jobs: &[UnitTestJob], workers: usize) -> RunReport {
     let redis = Arc::new(MiniRedis::new());
     let start = Instant::now();
     // Master: enqueue jobs keyed by index; store payloads in hashes.
@@ -111,25 +233,22 @@ pub fn run_jobs(jobs: &[UnitTestJob], workers: usize) -> RunReport {
             worker,
         });
     }
+    let executed = jobs.len();
     RunReport {
         results,
         wall: start.elapsed(),
         workers,
+        executed,
+        cache_hits: 0,
+        stolen: 0,
     }
 }
 
-/// Runs one unit test hermetically. Returns (passed, simulated cluster ms).
+/// Runs one unit test hermetically through the shell substrate. Returns
+/// (passed, simulated cluster ms).
 fn run_one(script: &str, candidate: &str) -> (bool, u64) {
-    let mut sandbox = minishell::ClusterSandbox::new();
-    let mut shell = minishell::Interp::new(&mut sandbox);
-    shell
-        .files
-        .insert("labeled_code.yaml".to_owned(), candidate.to_owned());
-    match shell.run_script(script) {
-        Ok(outcome) => {
-            let simulated = sandbox.cluster.now_ms();
-            (outcome.combined.contains("unit_test_passed"), simulated)
-        }
+    match ShellSubstrate::new().execute(candidate, script) {
+        Ok(outcome) => (outcome.passed, outcome.simulated_ms),
         Err(_) => (false, 0),
     }
 }
@@ -139,13 +258,14 @@ mod tests {
     use super::*;
 
     fn sample_jobs(n: usize) -> Vec<UnitTestJob> {
-        let manifest = "apiVersion: v1\nkind: Pod\nmetadata:\n  name: web\n  labels:\n    app: t\nspec:\n  containers:\n  - name: c\n    image: nginx\n";
         let script = "kubectl apply -f labeled_code.yaml\nkubectl wait --for=condition=Ready pod -l app=t --timeout=60s && echo unit_test_passed";
         (0..n)
             .map(|i| UnitTestJob {
                 problem_id: format!("p{i}"),
+                // Distinct pod names keep the jobs content-distinct, like
+                // real problems (identical candidates are a cache test).
                 script: script.to_owned(),
-                candidate_yaml: manifest.to_owned(),
+                candidate_yaml: format!("apiVersion: v1\nkind: Pod\nmetadata:\n  name: web-{i}\n  labels:\n    app: t\nspec:\n  containers:\n  - name: c\n    image: nginx\n"),
             })
             .collect()
     }
@@ -156,6 +276,8 @@ mod tests {
         let report = run_jobs(&jobs, 4);
         assert_eq!(report.results.len(), 24);
         assert_eq!(report.passed(), 24);
+        assert_eq!(report.executed, 24);
+        assert_eq!(report.cache_hits, 0);
         // Results ordered by input.
         for (i, r) in report.results.iter().enumerate() {
             assert_eq!(r.problem_id, format!("p{i}"));
@@ -175,8 +297,6 @@ mod tests {
 
     #[test]
     fn work_spreads_across_workers() {
-        // Enough jobs that a single worker cannot drain the queue before
-        // its peers start pulling (scheduling is inherently racy).
         let jobs = sample_jobs(200);
         let report = run_jobs(&jobs, 4);
         let distinct: std::collections::HashSet<usize> =
@@ -200,5 +320,51 @@ mod tests {
     fn empty_job_list() {
         let report = run_jobs(&[], 4);
         assert!(report.results.is_empty());
+        assert_eq!(report.executed, 0);
+    }
+
+    #[test]
+    fn identical_candidates_execute_once() {
+        // 24 copies of the same (candidate, script): one execution, 23
+        // cache hits, identical verdicts in input order.
+        let mut jobs = sample_jobs(1);
+        let template = jobs[0].clone();
+        for i in 1..24 {
+            jobs.push(UnitTestJob {
+                problem_id: format!("dup{i}"),
+                ..template.clone()
+            });
+        }
+        let report = run_jobs(&jobs, 4);
+        assert_eq!(report.executed, 1);
+        assert_eq!(report.cache_hits, 23);
+        assert_eq!(report.passed(), 24);
+        assert_eq!(report.results[23].problem_id, "dup23");
+    }
+
+    #[test]
+    fn memo_carries_across_runs() {
+        let memo = ScoreMemo::new();
+        let jobs = sample_jobs(6);
+        let first = run_jobs_cached(&jobs, 2, &memo);
+        assert_eq!(first.executed, 6);
+        let second = run_jobs_cached(&jobs, 2, &memo);
+        assert_eq!(second.executed, 0);
+        assert_eq!(second.cache_hits, 6);
+        assert_eq!(first.passed(), second.passed());
+    }
+
+    #[test]
+    fn sharded_and_queue_engines_agree() {
+        let mut jobs = sample_jobs(12);
+        jobs[4].candidate_yaml = "apiVersion: v1\nkind: ConfigMap\nmetadata:\n  name: x\n".into();
+        jobs[9].candidate_yaml = "not yaml {{{".into();
+        let sharded = run_jobs(&jobs, 3);
+        let queue = run_jobs_queue(&jobs, 3);
+        for (a, b) in sharded.results.iter().zip(&queue.results) {
+            assert_eq!(a.problem_id, b.problem_id);
+            assert_eq!(a.passed, b.passed, "{}", a.problem_id);
+            assert_eq!(a.simulated_ms, b.simulated_ms, "{}", a.problem_id);
+        }
     }
 }

@@ -4,8 +4,13 @@
 //!
 //! * [`miniredis`] — the master's Redis-like coordination store (job
 //!   contexts, inputs, outputs; blocking work queues);
-//! * [`executor`] — a real master/worker pool that runs `minishell` unit
-//!   tests in parallel against hermetic per-job simulated clusters;
+//! * [`executor`] — the parallel unit-test engine: jobs run hermetically
+//!   through the [`substrate::Substrate`] trait on a sharded
+//!   work-stealing scheduler with content-addressed score memoization
+//!   (the seed master/worker queue engine survives as
+//!   [`executor::run_jobs_queue`]);
+//! * [`shard`] — the per-shard queues + work stealing scheduler;
+//! * [`memo`] — the `(candidate, script)` content-addressed verdict cache;
 //! * [`des`] — a discrete-event simulation of the cloud deployment
 //!   (N× 4-core VMs, a shared 100 Mbps uplink, the Figure 4 pull-through
 //!   Docker registry cache) that regenerates Figure 5;
@@ -31,9 +36,12 @@
 pub mod cost;
 pub mod des;
 pub mod executor;
+pub mod memo;
 pub mod miniredis;
+pub mod shard;
 
 pub use cost::{evaluation_cost, inference_cost, table3, CloudOption, InferenceOption};
 pub use des::{dataset_workload, figure5, simulate, SimConfig, SimJob, SimResult};
-pub use executor::{run_jobs, JobResult, RunReport, UnitTestJob};
+pub use executor::{run_jobs, run_jobs_cached, run_jobs_queue, JobResult, RunReport, UnitTestJob};
+pub use memo::{CachedVerdict, ScoreMemo};
 pub use miniredis::MiniRedis;

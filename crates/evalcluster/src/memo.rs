@@ -1,0 +1,147 @@
+//! Content-addressed score memoization.
+//!
+//! Substrate execution is deterministic: the same candidate YAML run
+//! against the same unit-test script on a fresh environment always yields
+//! the same verdict. [`ScoreMemo`] exploits that to make repeated
+//! generations free — pass@k sampling re-produces identical candidates
+//! constantly (strong models converge on the same answer; weak models
+//! repeat the same boilerplate), and the three dataset variants of one
+//! problem share a unit test, so identical extracted YAML across variants
+//! also collapses to one execution.
+//!
+//! Keys are [`substrate::content_hash`] pairs over `(candidate, script)`
+//! — the script hash carries the problem identity (each problem's
+//! generated unit test embeds its own names, labels and ports), and the
+//! candidate hash the extracted YAML, so the key is exactly the
+//! issue-level `(extracted_yaml_hash, problem, variant)` contract with
+//! variant-level sharing as a bonus.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use substrate::content_hash;
+
+/// A memoized execution verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachedVerdict {
+    /// Did the unit test pass?
+    pub passed: bool,
+    /// Simulated in-substrate milliseconds of the original execution.
+    pub simulated_ms: u64,
+}
+
+/// Thread-safe content-addressed cache of unit-test verdicts.
+///
+/// Shareable across [`run_jobs`](crate::executor::run_jobs) calls (e.g.
+/// one memo for a whole pass@k sweep) via `&ScoreMemo`.
+///
+/// # Examples
+///
+/// ```
+/// use evalcluster::memo::{CachedVerdict, ScoreMemo};
+///
+/// let memo = ScoreMemo::new();
+/// let key = ScoreMemo::key("kind: Pod\n", "echo unit_test_passed");
+/// assert!(memo.get(key).is_none());
+/// memo.insert(key, CachedVerdict { passed: true, simulated_ms: 12 });
+/// assert_eq!(memo.get(key).unwrap().passed, true);
+/// assert_eq!(memo.hits(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct ScoreMemo {
+    map: Mutex<HashMap<(u64, u64), CachedVerdict>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl ScoreMemo {
+    /// An empty cache.
+    pub fn new() -> ScoreMemo {
+        ScoreMemo::default()
+    }
+
+    /// The content-addressed key for a `(candidate, script)` pair.
+    pub fn key(candidate_yaml: &str, script: &str) -> (u64, u64) {
+        (content_hash(candidate_yaml), content_hash(script))
+    }
+
+    /// Looks up a verdict, counting a hit or miss.
+    pub fn get(&self, key: (u64, u64)) -> Option<CachedVerdict> {
+        let found = self.map.lock().expect("memo poisoned").get(&key).copied();
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Records a verdict (last write wins; verdicts are deterministic so
+    /// concurrent duplicates agree).
+    pub fn insert(&self, key: (u64, u64), verdict: CachedVerdict) {
+        self.map.lock().expect("memo poisoned").insert(key, verdict);
+    }
+
+    /// Distinct verdicts stored.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("memo poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_content_distinct_keys() {
+        let a = ScoreMemo::key("kind: Pod\n", "script");
+        let b = ScoreMemo::key("kind: Pod \n", "script");
+        let c = ScoreMemo::key("kind: Pod\n", "script2");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, ScoreMemo::key("kind: Pod\n", "script"));
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let memo = ScoreMemo::new();
+        let key = ScoreMemo::key("a", "b");
+        assert!(memo.get(key).is_none());
+        memo.insert(
+            key,
+            CachedVerdict {
+                passed: false,
+                simulated_ms: 3,
+            },
+        );
+        assert_eq!(
+            memo.get(key),
+            Some(CachedVerdict {
+                passed: false,
+                simulated_ms: 3
+            })
+        );
+        assert_eq!((memo.hits(), memo.misses(), memo.len()), (1, 1, 1));
+        assert!(!memo.is_empty());
+    }
+}

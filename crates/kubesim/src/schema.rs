@@ -446,7 +446,7 @@ fn volume() -> Schema {
             "configMap",
             map(vec![
                 opt("name", Schema::Str),
-                opt("items", Schema::Any),
+                opt("items", key_to_path_items()),
                 opt("defaultMode", Schema::Int),
                 opt("optional", Schema::Bool),
             ]),
@@ -455,7 +455,7 @@ fn volume() -> Schema {
             "secret",
             map(vec![
                 opt("secretName", Schema::Str),
-                opt("items", Schema::Any),
+                opt("items", key_to_path_items()),
                 opt("defaultMode", Schema::Int),
                 opt("optional", Schema::Bool),
             ]),
@@ -472,6 +472,15 @@ fn volume() -> Schema {
         opt("projected", Schema::Any),
         opt("csi", Schema::Any),
     ])
+}
+
+/// `configMap.items` / `secret.items` projections: key → path (+ mode).
+fn key_to_path_items() -> Schema {
+    seq(map(vec![
+        req("key", Schema::Str),
+        req("path", Schema::Str),
+        opt("mode", Schema::Int),
+    ]))
 }
 
 fn pod_spec() -> Schema {
@@ -566,6 +575,57 @@ fn ingress_backend() -> Schema {
             ]),
         ),
         opt("resource", Schema::Any),
+    ])
+}
+
+/// A NetworkPolicy peer: pod/namespace selectors or an IP block.
+fn network_policy_peer() -> Schema {
+    map(vec![
+        opt("podSelector", workload_selector()),
+        opt("namespaceSelector", workload_selector()),
+        opt(
+            "ipBlock",
+            map(vec![
+                req("cidr", Schema::Str),
+                opt("except", seq(Schema::Str)),
+            ]),
+        ),
+    ])
+}
+
+/// A NetworkPolicy port entry.
+fn network_policy_port() -> Schema {
+    map(vec![
+        opt("protocol", Schema::Str),
+        opt("port", Schema::IntOrStr),
+        opt("endPort", Schema::Int),
+    ])
+}
+
+/// An `autoscaling/v2` metric spec (resource metrics modelled fully;
+/// pods/object/external accepted loosely).
+fn hpa_metric() -> Schema {
+    map(vec![
+        req("type", Schema::Str),
+        opt(
+            "resource",
+            map(vec![
+                req("name", Schema::Str),
+                req(
+                    "target",
+                    map(vec![
+                        req("type", Schema::Str),
+                        opt("averageUtilization", Schema::Int),
+                        opt("averageValue", Schema::Quantity),
+                        opt("value", Schema::Quantity),
+                    ]),
+                ),
+            ]),
+        ),
+        opt("containerResource", Schema::Any),
+        opt("pods", Schema::Any),
+        opt("object", Schema::Any),
+        opt("external", Schema::Any),
     ])
 }
 
@@ -742,8 +802,20 @@ pub fn top_level(kind: &str) -> Schema {
             map(vec![
                 req("podSelector", workload_selector()),
                 opt("policyTypes", seq(Schema::Str)),
-                opt("ingress", Schema::Any),
-                opt("egress", Schema::Any),
+                opt(
+                    "ingress",
+                    seq(map(vec![
+                        opt("from", seq(network_policy_peer())),
+                        opt("ports", seq(network_policy_port())),
+                    ])),
+                ),
+                opt(
+                    "egress",
+                    seq(map(vec![
+                        opt("to", seq(network_policy_peer())),
+                        opt("ports", seq(network_policy_port())),
+                    ])),
+                ),
             ]),
         )]),
         "PersistentVolume" => top(vec![req(
@@ -819,7 +891,7 @@ pub fn top_level(kind: &str) -> Schema {
                 opt("minReplicas", Schema::Int),
                 req("maxReplicas", Schema::Int),
                 opt("targetCPUUtilizationPercentage", Schema::Int),
-                opt("metrics", Schema::Any),
+                opt("metrics", seq(hpa_metric())),
                 opt("behavior", Schema::Any),
             ]),
         )]),
@@ -1033,6 +1105,52 @@ mod tests {
             "apiVersion: networking.istio.io/v1alpha3\nkind: DestinationRule\nmetadata:\n  name: ratings\nspec:\n  host: ratings\n  trafficPolicy:\n    loadBalancer:\n      simple: LEAST_REQUEST\n  subsets:\n  - name: testversion\n    labels:\n      version: v3\n    trafficPolicy:\n      loadBalancer:\n        simple: ROUND_ROBIN\n",
         );
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn network_policy_rules_validate_strictly() {
+        let good = violations(
+            "apiVersion: networking.k8s.io/v1\nkind: NetworkPolicy\nmetadata:\n  name: allow-db\nspec:\n  podSelector:\n    matchLabels:\n      app: db\n  policyTypes:\n  - Ingress\n  ingress:\n  - from:\n    - podSelector:\n        matchLabels:\n          role: frontend\n    - ipBlock:\n        cidr: 10.0.0.0/24\n    ports:\n    - protocol: TCP\n      port: 6379\n",
+        );
+        assert!(good.is_empty(), "{good:?}");
+        let bad = violations(
+            "apiVersion: networking.k8s.io/v1\nkind: NetworkPolicy\nmetadata:\n  name: x\nspec:\n  podSelector: {}\n  ingress:\n  - fromm: []\n",
+        );
+        assert!(
+            bad.iter()
+                .any(|v| matches!(v, Violation::UnknownField(p) if p == "spec.ingress[0].fromm")),
+            "{bad:?}"
+        );
+    }
+
+    #[test]
+    fn hpa_v2_metrics_validate_strictly() {
+        let good = violations(
+            "apiVersion: autoscaling/v2\nkind: HorizontalPodAutoscaler\nmetadata:\n  name: h\nspec:\n  scaleTargetRef:\n    kind: Deployment\n    name: web\n  maxReplicas: 5\n  metrics:\n  - type: Resource\n    resource:\n      name: cpu\n      target:\n        type: Utilization\n        averageUtilization: 60\n",
+        );
+        assert!(good.is_empty(), "{good:?}");
+        let bad = violations(
+            "apiVersion: autoscaling/v2\nkind: HorizontalPodAutoscaler\nmetadata:\n  name: h\nspec:\n  scaleTargetRef:\n    kind: Deployment\n    name: web\n  maxReplicas: 5\n  metrics:\n  - type: Resource\n    resource:\n      name: cpu\n      target:\n        averageUtilization: 60\n",
+        );
+        assert!(
+            bad.iter().any(
+                |v| matches!(v, Violation::MissingField(p) if p == "spec.metrics[0].resource.target.type")
+            ),
+            "{bad:?}"
+        );
+    }
+
+    #[test]
+    fn configmap_volume_items_validate() {
+        let bad = violations(
+            "apiVersion: v1\nkind: Pod\nmetadata:\n  name: x\nspec:\n  containers:\n  - name: c\n    image: nginx\n  volumes:\n  - name: cfg\n    configMap:\n      name: app-config\n      items:\n      - key: mode\n",
+        );
+        assert!(
+            bad.iter().any(
+                |v| matches!(v, Violation::MissingField(p) if p == "spec.volumes[0].configMap.items[0].path")
+            ),
+            "{bad:?}"
+        );
     }
 
     #[test]

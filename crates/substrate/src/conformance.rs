@@ -1,0 +1,143 @@
+//! The backend-independent conformance suite.
+//!
+//! Every [`Substrate`] implementation must satisfy the same lifecycle
+//! contract; [`run`] checks it with one shared set of assertions driven by
+//! a per-backend [`Fixture`] (each backend speaks its own manifest and
+//! probe dialect, so the *inputs* differ while the *contract* does not):
+//!
+//! 1. applying unparseable/rejected input yields a typed candidate-fault
+//!    [`ExecError`], never a panic or a silent pass;
+//! 2. a correct candidate passes its passing check;
+//! 3. a correct candidate fails a failing check *as an outcome*, not an
+//!    error;
+//! 4. teardown is idempotent and prepare restores a working environment.
+//!
+//! The crate's integration tests run this against all three backends; new
+//! backends get their contract checked by adding one fixture.
+
+use crate::{ExecError, Substrate};
+
+/// Per-backend inputs for the shared conformance assertions.
+#[derive(Debug, Clone)]
+pub struct Fixture {
+    /// A candidate the backend accepts.
+    pub good_manifest: String,
+    /// A candidate the backend must reject at apply time with a typed
+    /// candidate-fault error.
+    pub bad_manifest: String,
+    /// A check that passes against `good_manifest`.
+    pub passing_check: String,
+    /// A check that runs cleanly against `good_manifest` but fails.
+    pub failing_check: String,
+}
+
+/// Conformance fixture for [`ShellSubstrate`](crate::ShellSubstrate).
+pub fn shell_fixture() -> Fixture {
+    Fixture {
+        good_manifest: "apiVersion: v1\nkind: Pod\nmetadata:\n  name: web\n  labels:\n    app: conf\nspec:\n  containers:\n  - name: c\n    image: nginx\n".into(),
+        bad_manifest: "kind: [unclosed\n  flow: {\n".into(),
+        passing_check: "kubectl apply -f labeled_code.yaml\nkubectl wait --for=condition=Ready pod -l app=conf --timeout=60s && echo unit_test_passed".into(),
+        failing_check: "kubectl apply -f labeled_code.yaml\nphase=$(kubectl get pod web -o jsonpath={.status.phase})\nif [ \"$phase\" == \"Succeeded\" ]; then echo unit_test_passed; fi".into(),
+    }
+}
+
+/// Conformance fixture for [`KubeSubstrate`](crate::KubeSubstrate).
+pub fn kube_fixture() -> Fixture {
+    Fixture {
+        good_manifest: "apiVersion: v1\nkind: Pod\nmetadata:\n  name: web\nspec:\n  containers:\n  - name: c\n    image: nginx\n".into(),
+        // Parses as YAML but trips strict decoding (unknown field).
+        bad_manifest: "apiVersion: v1\nkind: Pod\nmetadata:\n  name: web\nspec:\n  containerz: []\n".into(),
+        passing_check: "advance 10000\nexpect pod web {.status.phase} == Running".into(),
+        failing_check: "expect pod web {.metadata.name} == not-web".into(),
+    }
+}
+
+/// Conformance fixture for [`EnvoySubstrate`](crate::EnvoySubstrate).
+pub fn envoy_fixture() -> Fixture {
+    Fixture {
+        good_manifest: envoysim::SAMPLE_CONFIG.to_owned(),
+        bad_manifest: envoysim::SAMPLE_CONFIG
+            .replace("cluster: service_backend", "cluster: missing_cluster"),
+        passing_check: "listeners 1\nroute 10000 example.com / => cluster service_backend".into(),
+        failing_check: "route 10000 example.com / => cluster wrong_cluster".into(),
+    }
+}
+
+/// Runs the conformance assertions; panics with a diagnostic on the first
+/// contract violation (intended for `#[test]` bodies).
+pub fn run<S: Substrate>(substrate: &mut S, fixture: &Fixture) {
+    let name = substrate.name();
+
+    // 1. Bad input: typed candidate-fault error, backend stays usable.
+    substrate.prepare();
+    match substrate.apply(&fixture.bad_manifest) {
+        Err(e) if e.is_candidate_fault() => {}
+        Err(e) => panic!("[{name}] bad manifest produced a probe error: {e}"),
+        Ok(()) => panic!("[{name}] bad manifest was accepted"),
+    }
+    substrate.teardown();
+
+    // 2. Good candidate + passing check.
+    let outcome = substrate
+        .execute(&fixture.good_manifest, &fixture.passing_check)
+        .unwrap_or_else(|e| panic!("[{name}] passing check errored: {e}"));
+    assert!(
+        outcome.passed,
+        "[{name}] passing check failed:\n{}",
+        outcome.transcript
+    );
+
+    // 3. Good candidate + failing check: an outcome, not an error.
+    let outcome = substrate
+        .execute(&fixture.good_manifest, &fixture.failing_check)
+        .unwrap_or_else(|e| panic!("[{name}] failing check errored: {e}"));
+    assert!(
+        !outcome.passed,
+        "[{name}] failing check passed:\n{}",
+        outcome.transcript
+    );
+
+    // 4. Teardown idempotence: double teardown, then a full fresh cycle.
+    substrate.teardown();
+    substrate.teardown();
+    let outcome = substrate
+        .execute(&fixture.good_manifest, &fixture.passing_check)
+        .unwrap_or_else(|e| panic!("[{name}] post-teardown cycle errored: {e}"));
+    assert!(
+        outcome.passed,
+        "[{name}] environment not restored after teardown:\n{}",
+        outcome.transcript
+    );
+
+    // 5. Degenerate assertion programs never vacuously pass: an empty or
+    //    comment-only check is either a probe error or a failed outcome.
+    substrate.prepare();
+    substrate
+        .apply(&fixture.good_manifest)
+        .unwrap_or_else(|e| panic!("[{name}] good manifest rejected: {e}"));
+    for check in ["", "   \n\n", "# just a comment\n"] {
+        match substrate.assert_check(check) {
+            Ok(outcome) => assert!(
+                !outcome.passed,
+                "[{name}] empty assertion program {check:?} passed"
+            ),
+            Err(ExecError::Probe(_)) => {}
+            Err(e) => panic!("[{name}] unexpected error on empty check: {e}"),
+        }
+    }
+    substrate.teardown();
+
+    // 6. Hermeticity: state from one prepare does not leak into the next.
+    substrate.prepare();
+    match substrate.assert_check(&fixture.passing_check) {
+        Ok(outcome) => assert!(
+            !outcome.passed,
+            "[{name}] passing check passed without any candidate applied — state leaked"
+        ),
+        // Backends that refuse to probe an empty environment are also
+        // correctly hermetic.
+        Err(ExecError::Probe(_)) => {}
+        Err(e) => panic!("[{name}] unexpected error on empty probe: {e}"),
+    }
+    substrate.teardown();
+}

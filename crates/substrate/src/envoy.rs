@@ -1,0 +1,228 @@
+//! Proxy-level substrate: configurations validated by `envoysim` and
+//! asserted with request-routing probes.
+
+use envoysim::{EnvoyConfig, RouteOutcome};
+
+use crate::{ExecError, ExecOutcome, Substrate};
+
+/// Envoy substrate over the `envoysim` static-configuration model.
+///
+/// [`Substrate::apply`] performs the strict validation `envoy --mode
+/// validate` would (YAML shape, listener ports, route → cluster
+/// references); [`Substrate::assert_check`] probes the loaded
+/// configuration with a line-oriented routing language:
+///
+/// ```text
+/// route 10000 example.com /api => cluster service_backend
+/// route 10000 example.com /old => redirect new.example.com
+/// route 10000 other.com  /     => status 403
+/// route 9999  any        /     => nolistener
+/// route 10000 example.com /x   => notfound
+/// listeners 1
+/// clusters 2
+/// ```
+///
+/// Each probe advances nothing — routing is pure — so `simulated_ms` is
+/// always 0 for this backend.
+///
+/// # Examples
+///
+/// ```
+/// use substrate::{EnvoySubstrate, Substrate};
+///
+/// let out = EnvoySubstrate::new()
+///     .execute(envoysim::SAMPLE_CONFIG, "listeners 1\nroute 10000 x / => cluster service_backend")
+///     .unwrap();
+/// assert!(out.passed);
+/// ```
+#[derive(Debug, Default)]
+pub struct EnvoySubstrate {
+    config: Option<EnvoyConfig>,
+}
+
+impl EnvoySubstrate {
+    /// A fresh substrate with no configuration loaded.
+    pub fn new() -> EnvoySubstrate {
+        EnvoySubstrate::default()
+    }
+
+    /// The loaded configuration, if any (post-mortem inspection).
+    pub fn config(&self) -> Option<&EnvoyConfig> {
+        self.config.as_ref()
+    }
+
+    fn probe_line(&self, line: &str, transcript: &mut String) -> Result<bool, ExecError> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(true);
+        }
+        let config = self
+            .config
+            .as_ref()
+            .ok_or_else(|| ExecError::Probe("no configuration applied".into()))?;
+        let (verb, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match verb {
+            "listeners" | "clusters" => {
+                let want: usize = rest
+                    .trim()
+                    .parse()
+                    .map_err(|_| ExecError::Probe(format!("{verb} needs a count: {line}")))?;
+                let have = if verb == "listeners" {
+                    config.listeners.len()
+                } else {
+                    config.clusters.len()
+                };
+                if have != want {
+                    transcript.push_str(&format!("{verb}: {have} != {want}\n"));
+                }
+                Ok(have == want)
+            }
+            "route" => {
+                let (request, expectation) = rest
+                    .split_once("=>")
+                    .ok_or_else(|| ExecError::Probe(format!("route needs '=>': {line}")))?;
+                let mut req = request.split_whitespace();
+                let (port, host, path) = match (req.next(), req.next(), req.next()) {
+                    (Some(p), Some(h), Some(pa)) => (p, h, pa),
+                    _ => {
+                        return Err(ExecError::Probe(format!(
+                            "route needs PORT HOST PATH: {line}"
+                        )))
+                    }
+                };
+                let port: u16 = port
+                    .parse()
+                    .map_err(|_| ExecError::Probe(format!("bad port in: {line}")))?;
+                let actual = config.route(port, host, path);
+                let mut exp = expectation.split_whitespace();
+                let ok = match (exp.next(), exp.next()) {
+                    (Some("cluster"), Some(name)) => {
+                        actual == RouteOutcome::Cluster(name.to_owned())
+                    }
+                    (Some("redirect"), Some(to)) => actual == RouteOutcome::Redirect(to.to_owned()),
+                    (Some("status"), Some(code)) => {
+                        let code: u16 = code
+                            .parse()
+                            .map_err(|_| ExecError::Probe(format!("bad status in: {line}")))?;
+                        matches!(&actual, RouteOutcome::DirectResponse(s, _) if *s == code)
+                    }
+                    (Some("notfound"), None) => actual == RouteOutcome::NotFound,
+                    (Some("nolistener"), None) => actual == RouteOutcome::NoListener,
+                    _ => {
+                        return Err(ExecError::Probe(format!(
+                            "route expects 'cluster NAME' | 'redirect TO' | 'status CODE' | 'notfound' | 'nolistener': {line}"
+                        )))
+                    }
+                };
+                if !ok {
+                    transcript.push_str(&format!(
+                        "route {port} {host} {path}: got {actual:?}, wanted {}\n",
+                        expectation.trim()
+                    ));
+                }
+                Ok(ok)
+            }
+            other => Err(ExecError::Probe(format!("unknown probe verb {other:?}"))),
+        }
+    }
+}
+
+impl Substrate for EnvoySubstrate {
+    fn name(&self) -> &'static str {
+        "envoysim"
+    }
+
+    fn prepare(&mut self) {
+        self.config = None;
+    }
+
+    fn apply(&mut self, manifest: &str) -> Result<(), ExecError> {
+        if yamlkit::parse(manifest).is_err() {
+            return Err(ExecError::InvalidInput("malformed yaml".into()));
+        }
+        match EnvoyConfig::parse(manifest) {
+            Ok(cfg) => {
+                self.config = Some(cfg);
+                Ok(())
+            }
+            Err(e) => Err(ExecError::Rejected(e.to_string())),
+        }
+    }
+
+    fn assert_check(&mut self, check: &str) -> Result<ExecOutcome, ExecError> {
+        if check
+            .lines()
+            .all(|l| l.trim().is_empty() || l.trim_start().starts_with('#'))
+        {
+            // An assertion program with no probes asserts nothing; passing
+            // it would score every candidate as correct.
+            return Err(ExecError::Probe("empty assertion program".into()));
+        }
+        let mut transcript = String::new();
+        let mut passed = true;
+        for line in check.lines() {
+            passed &= self.probe_line(line, &mut transcript)?;
+        }
+        if passed {
+            transcript.push_str("unit_test_passed\n");
+        }
+        Ok(ExecOutcome {
+            passed,
+            transcript,
+            simulated_ms: 0,
+        })
+    }
+
+    fn teardown(&mut self) {
+        self.config = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_probes() {
+        let mut s = EnvoySubstrate::new();
+        let out = s
+            .execute(
+                envoysim::SAMPLE_CONFIG,
+                "listeners 1\nclusters 1\nroute 10000 example.com / => cluster service_backend\nroute 9999 x / => nolistener",
+            )
+            .unwrap();
+        assert!(out.passed, "{}", out.transcript);
+    }
+
+    #[test]
+    fn wrong_cluster_fails_but_is_not_error() {
+        let mut s = EnvoySubstrate::new();
+        let out = s
+            .execute(
+                envoysim::SAMPLE_CONFIG,
+                "route 10000 example.com / => cluster other",
+            )
+            .unwrap();
+        assert!(!out.passed);
+        assert!(out.transcript.contains("wanted cluster other"));
+    }
+
+    #[test]
+    fn invalid_reference_is_rejected() {
+        let mut s = EnvoySubstrate::new();
+        s.prepare();
+        let bad = envoysim::SAMPLE_CONFIG.replace("cluster: service_backend", "cluster: missing");
+        let err = s.apply(&bad).unwrap_err();
+        assert!(matches!(err, ExecError::Rejected(_)));
+    }
+
+    #[test]
+    fn probe_without_config_is_probe_error() {
+        let mut s = EnvoySubstrate::new();
+        s.prepare();
+        assert!(matches!(
+            s.assert_check("listeners 1"),
+            Err(ExecError::Probe(_))
+        ));
+    }
+}

@@ -1,0 +1,251 @@
+//! Direct-to-cluster substrate: manifests applied straight to a `kubesim`
+//! cluster, asserted with a kubectl-shaped probe language (no shell).
+
+use kubesim::{Cluster, ClusterError};
+
+use crate::{ExecError, ExecOutcome, Substrate};
+
+/// Kubernetes substrate over an in-memory `kubesim` cluster.
+///
+/// Where [`ShellSubstrate`](crate::ShellSubstrate) interprets full bash
+/// scripts, this backend skips the shell: [`Substrate::apply`] feeds the
+/// manifest directly into the cluster's strict-decoding apply path, and
+/// [`Substrate::assert_check`] runs a tiny line-oriented probe language:
+///
+/// ```text
+/// advance 5000                         # advance the simulated clock (ms)
+/// apply <<kind: Namespace ...>>        # apply an inline context manifest
+/// expect pod web {.status.phase} == Running
+/// exists deployment web-deployment
+/// absent pod retired-pod
+/// ```
+///
+/// * `expect KIND NAME JSONPATH == VALUE` — the rendered JSONPath output
+///   must equal `VALUE` (assert-fail otherwise);
+/// * `exists KIND NAME` / `absent KIND NAME` — presence checks;
+/// * `advance MS` — drive controller reconciliation forward;
+/// * `apply <<MANIFEST>>` — load an auxiliary manifest (contexts), with
+///   `\n` escapes for newlines.
+///
+/// Unknown verbs and malformed probe lines are [`ExecError::Probe`] — the
+/// check is broken, not the candidate.
+///
+/// # Examples
+///
+/// ```
+/// use substrate::{KubeSubstrate, Substrate};
+///
+/// let manifest = "apiVersion: v1\nkind: Pod\nmetadata:\n  name: web\nspec:\n  containers:\n  - name: c\n    image: nginx\n";
+/// let outcome = KubeSubstrate::new()
+///     .execute(manifest, "advance 10000\nexpect pod web {.status.phase} == Running")
+///     .unwrap();
+/// assert!(outcome.passed);
+/// ```
+#[derive(Debug, Default)]
+pub struct KubeSubstrate {
+    cluster: Cluster,
+}
+
+impl KubeSubstrate {
+    /// A fresh substrate over a new single-node cluster.
+    pub fn new() -> KubeSubstrate {
+        KubeSubstrate::default()
+    }
+
+    /// Read access to the underlying cluster (post-mortem inspection).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    fn apply_inner(&mut self, manifest: &str) -> Result<(), ExecError> {
+        match self.cluster.apply_manifest(manifest, "default") {
+            Ok(_) => Ok(()),
+            Err(ClusterError::Invalid(msg)) if msg.contains("error parsing YAML") => {
+                Err(ExecError::InvalidInput(msg))
+            }
+            Err(e) => Err(ExecError::Rejected(e.to_string())),
+        }
+    }
+
+    fn run_probe_line(&mut self, line: &str, transcript: &mut String) -> Result<bool, ExecError> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(true);
+        }
+        let (verb, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match verb {
+            "advance" => {
+                let ms: u64 = rest
+                    .trim()
+                    .parse()
+                    .map_err(|_| ExecError::Probe(format!("advance needs ms: {line}")))?;
+                self.cluster.advance(ms);
+                Ok(true)
+            }
+            "apply" => {
+                let inline = rest
+                    .trim()
+                    .strip_prefix("<<")
+                    .and_then(|s| s.strip_suffix(">>"))
+                    .ok_or_else(|| ExecError::Probe(format!("apply needs <<manifest>>: {line}")))?
+                    .replace("\\n", "\n");
+                match self.apply_inner(&inline) {
+                    Ok(()) => Ok(true),
+                    // A context manifest the probe itself ships must be
+                    // valid; failure is a probe bug.
+                    Err(e) => Err(ExecError::Probe(format!("context apply failed: {e}"))),
+                }
+            }
+            "exists" | "absent" => {
+                let mut parts = rest.split_whitespace();
+                let (kind, name) = match (parts.next(), parts.next()) {
+                    (Some(k), Some(n)) => (k, n),
+                    _ => return Err(ExecError::Probe(format!("{verb} needs KIND NAME: {line}"))),
+                };
+                let found = !self
+                    .cluster
+                    .get(&canonical_kind(kind), Some("default"), Some(name))
+                    .is_empty();
+                let ok = if verb == "exists" { found } else { !found };
+                if !ok {
+                    transcript.push_str(&format!("{verb} {kind}/{name}: FAILED\n"));
+                }
+                Ok(ok)
+            }
+            "expect" => {
+                let mut parts = rest.split_whitespace();
+                let (kind, name, path) = match (parts.next(), parts.next(), parts.next()) {
+                    (Some(k), Some(n), Some(p)) => (k, n, p),
+                    _ => {
+                        return Err(ExecError::Probe(format!(
+                            "expect needs KIND NAME JSONPATH == VALUE: {line}"
+                        )))
+                    }
+                };
+                if parts.next() != Some("==") {
+                    return Err(ExecError::Probe(format!("expect needs '==': {line}")));
+                }
+                let expected = parts.collect::<Vec<_>>().join(" ");
+                let resources =
+                    self.cluster
+                        .get(&canonical_kind(kind), Some("default"), Some(name));
+                let Some(resource) = resources.first() else {
+                    transcript.push_str(&format!("expect {kind}/{name}: not found\n"));
+                    return Ok(false);
+                };
+                let compiled = yamlkit::path::JsonPath::compile(path)
+                    .map_err(|e| ExecError::Probe(format!("bad jsonpath {path}: {e}")))?;
+                let actual = compiled.render(&resource.to_yaml());
+                let ok = actual == expected;
+                if !ok {
+                    transcript.push_str(&format!(
+                        "expect {kind}/{name} {path}: {actual:?} != {expected:?}\n"
+                    ));
+                }
+                Ok(ok)
+            }
+            other => Err(ExecError::Probe(format!("unknown probe verb {other:?}"))),
+        }
+    }
+}
+
+/// Accepts the kubectl short/lowercase spellings the probe language uses,
+/// falling back to the literal text for kinds kubesim has no alias for.
+fn canonical_kind(kind: &str) -> String {
+    kubesim::resources::canonical_kind(kind)
+        .map(str::to_owned)
+        .unwrap_or_else(|| kind.to_owned())
+}
+
+impl Substrate for KubeSubstrate {
+    fn name(&self) -> &'static str {
+        "kubesim"
+    }
+
+    fn prepare(&mut self) {
+        self.cluster = Cluster::new();
+    }
+
+    fn apply(&mut self, manifest: &str) -> Result<(), ExecError> {
+        self.apply_inner(manifest)
+    }
+
+    fn assert_check(&mut self, check: &str) -> Result<ExecOutcome, ExecError> {
+        if check
+            .lines()
+            .all(|l| l.trim().is_empty() || l.trim_start().starts_with('#'))
+        {
+            // An assertion program with no probes asserts nothing; passing
+            // it would score every candidate as correct.
+            return Err(ExecError::Probe("empty assertion program".into()));
+        }
+        let mut transcript = String::new();
+        let mut passed = true;
+        for line in check.lines() {
+            passed &= self.run_probe_line(line, &mut transcript)?;
+        }
+        if passed {
+            transcript.push_str("unit_test_passed\n");
+        }
+        Ok(ExecOutcome {
+            passed,
+            transcript,
+            simulated_ms: self.cluster.now_ms(),
+        })
+    }
+
+    fn teardown(&mut self) {
+        self.cluster = Cluster::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POD: &str = "apiVersion: v1\nkind: Pod\nmetadata:\n  name: web\nspec:\n  containers:\n  - name: c\n    image: nginx\n";
+
+    #[test]
+    fn expect_and_exists_pass() {
+        let mut s = KubeSubstrate::new();
+        let out = s
+            .execute(
+                POD,
+                "advance 10000\nexists pod web\nexpect pod web {.status.phase} == Running",
+            )
+            .unwrap();
+        assert!(out.passed, "{}", out.transcript);
+        assert_eq!(out.simulated_ms, 10_000);
+    }
+
+    #[test]
+    fn failing_expectation_is_ok_not_error() {
+        let mut s = KubeSubstrate::new();
+        let out = s
+            .execute(POD, "expect pod web {.metadata.name} == other")
+            .unwrap();
+        assert!(!out.passed);
+        assert!(out.transcript.contains("!="));
+    }
+
+    #[test]
+    fn rejected_manifest_is_typed() {
+        let mut s = KubeSubstrate::new();
+        s.prepare();
+        let err = s
+            .apply("apiVersion: v1\nkind: Pod\nmetadata:\n  name: x\nspec:\n  containerz: []\n")
+            .unwrap_err();
+        assert!(matches!(err, ExecError::Rejected(_)), "{err}");
+    }
+
+    #[test]
+    fn unknown_verb_is_probe_error() {
+        let mut s = KubeSubstrate::new();
+        s.prepare();
+        s.apply(POD).unwrap();
+        assert!(matches!(
+            s.assert_check("frobnicate pod web"),
+            Err(ExecError::Probe(_))
+        ));
+    }
+}

@@ -1,0 +1,240 @@
+//! # substrate
+//!
+//! The unified execution substrate for CloudEval-YAML's function-level
+//! evaluation (§3.2–§3.3 of the paper): one `prepare → apply → assert →
+//! teardown` lifecycle over every backend that can judge a generated
+//! configuration by *running* it.
+//!
+//! The paper's defining feature is practical evaluation — candidate YAML
+//! is applied to a live substrate (a Kubernetes cluster, an Envoy proxy, a
+//! bash test harness) and probed, not just diffed against a reference.
+//! Before this crate, each simulator exposed a bespoke API and the
+//! evaluation pipeline special-cased every backend. The [`Substrate`]
+//! trait is the seam they all plug into:
+//!
+//! * [`ShellSubstrate`] — the production path: CloudEval bash unit-test
+//!   scripts interpreted by `minishell` against a fresh simulated cluster
+//!   sandbox (kubectl + curl + minikube + envoy + istioctl);
+//! * [`KubeSubstrate`] — direct-to-cluster: manifests applied to a
+//!   `kubesim` cluster and asserted with a small kubectl-shaped probe
+//!   language (no shell in the loop);
+//! * [`EnvoySubstrate`] — proxy-level: configurations validated by
+//!   `envoysim` and asserted with request-routing probes.
+//!
+//! All three speak the same result vocabulary — [`ExecOutcome`] for "the
+//! candidate ran, here is the verdict" and [`ExecError`] for "the
+//! candidate never got that far" — so schedulers, caches and analyses are
+//! backend-agnostic. Future backends (terraform-plan, docker-compose)
+//! implement the same four methods and inherit the whole pipeline.
+//!
+//! # Lifecycle contract
+//!
+//! 1. [`Substrate::prepare`] resets the backend to a pristine, hermetic
+//!    environment. It must be callable any number of times.
+//! 2. [`Substrate::apply`] loads one candidate configuration. Malformed or
+//!    rejected input returns a typed [`ExecError`]; the backend stays
+//!    usable afterwards.
+//! 3. [`Substrate::assert_check`] runs one assertion program in the
+//!    backend's probe language and reports pass/fail plus a transcript.
+//!    Asserting is read-mostly but may advance simulated time.
+//! 4. [`Substrate::teardown`] drops all applied state. It is idempotent:
+//!    tearing down twice equals tearing down once (verified by the
+//!    conformance suite for every backend).
+//!
+//! [`Substrate::execute`] packages the full lifecycle for one candidate.
+//!
+//! # Examples
+//!
+//! ```
+//! use substrate::{EnvoySubstrate, Substrate};
+//!
+//! let mut envoy = EnvoySubstrate::new();
+//! let outcome = envoy
+//!     .execute(
+//!         envoysim::SAMPLE_CONFIG,
+//!         "route 10000 example.com / => cluster service_backend",
+//!     )
+//!     .unwrap();
+//! assert!(outcome.passed);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod conformance;
+mod envoy;
+mod kube;
+mod shell;
+
+pub use envoy::EnvoySubstrate;
+pub use kube::KubeSubstrate;
+pub use shell::ShellSubstrate;
+
+use std::fmt;
+
+/// The verdict after a candidate was applied and asserted on a substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// Did the assertion program pass?
+    pub passed: bool,
+    /// Human-readable transcript of the assertion run (what the CloudEval
+    /// scripts grep for `unit_test_passed`).
+    pub transcript: String,
+    /// Simulated in-substrate milliseconds the run consumed (sleeps,
+    /// waits, reconcile time). Wall-clock time is orders of magnitude
+    /// smaller.
+    pub simulated_ms: u64,
+}
+
+impl ExecOutcome {
+    /// A passing outcome with an empty transcript (test helper).
+    pub fn pass() -> ExecOutcome {
+        ExecOutcome {
+            passed: true,
+            transcript: String::new(),
+            simulated_ms: 0,
+        }
+    }
+}
+
+/// Why a candidate never produced an [`ExecOutcome`].
+///
+/// The distinction mirrors the paper's Figure 7 failure taxonomy: a
+/// candidate can be broken *as text* (not parseable), broken *as
+/// configuration* (the substrate refuses it), or the probe machinery
+/// itself can fail (which is a harness bug or a malformed check, never the
+/// candidate's fault).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The candidate is not syntactically valid for this substrate
+    /// (e.g. YAML that does not parse).
+    InvalidInput(String),
+    /// The candidate parsed but the substrate rejected it at apply time
+    /// (strict-decoding violations, unknown kinds, invalid routes...).
+    Rejected(String),
+    /// The assertion program itself could not run (unknown probe verb,
+    /// interpreter error, fuel exhaustion). Distinct from a failing
+    /// assertion, which is a successful [`ExecOutcome`] with
+    /// `passed == false`.
+    Probe(String),
+}
+
+impl ExecError {
+    /// The error message without the variant prefix.
+    pub fn message(&self) -> &str {
+        match self {
+            ExecError::InvalidInput(m) | ExecError::Rejected(m) | ExecError::Probe(m) => m,
+        }
+    }
+
+    /// Whether the error is attributable to the candidate (input or
+    /// rejection) rather than to the harness (probe).
+    pub fn is_candidate_fault(&self) -> bool {
+        !matches!(self, ExecError::Probe(_))
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::InvalidInput(m) => write!(f, "invalid input: {m}"),
+            ExecError::Rejected(m) => write!(f, "rejected by substrate: {m}"),
+            ExecError::Probe(m) => write!(f, "probe error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A backend that can judge candidate configurations by executing them.
+///
+/// See the crate docs for the lifecycle contract. Implementations must be
+/// deterministic: the same `(manifest, check)` pair on a freshly prepared
+/// substrate always yields the same result — that determinism is what
+/// makes the evaluation engine's content-addressed score cache sound.
+pub trait Substrate {
+    /// Stable backend name for diagnostics and reports.
+    fn name(&self) -> &'static str;
+
+    /// Resets to a pristine, hermetic environment.
+    fn prepare(&mut self);
+
+    /// Loads one candidate configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::InvalidInput`] when the candidate does not parse,
+    /// [`ExecError::Rejected`] when the substrate refuses it.
+    fn apply(&mut self, manifest: &str) -> Result<(), ExecError>;
+
+    /// Runs one assertion program in the backend's probe language.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Probe`] when the program itself cannot run. A failing
+    /// assertion is **not** an error: it is `Ok` with `passed == false`.
+    fn assert_check(&mut self, check: &str) -> Result<ExecOutcome, ExecError>;
+
+    /// Drops all applied state. Idempotent.
+    fn teardown(&mut self);
+
+    /// Full lifecycle for one candidate: prepare, apply, assert, teardown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ExecError`] from apply or assert; teardown
+    /// runs regardless.
+    fn execute(&mut self, manifest: &str, check: &str) -> Result<ExecOutcome, ExecError> {
+        self.prepare();
+        let result = self.apply(manifest).and_then(|()| self.assert_check(check));
+        self.teardown();
+        result
+    }
+}
+
+/// 64-bit FNV-1a hash of a byte string.
+///
+/// The evaluation engine's score memo cache addresses results by content:
+/// `(content_hash(candidate), content_hash(check))`. FNV-1a is stable
+/// across processes and platforms (unlike `DefaultHasher`), cheap, and
+/// collision-safe enough for memoization keys drawn from a few thousand
+/// distinct YAML documents.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(substrate::content_hash(""), 0xcbf29ce484222325);
+/// assert_ne!(substrate::content_hash("a"), substrate::content_hash("b"));
+/// ```
+pub fn content_hash(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_hash_is_stable_and_discriminating() {
+        assert_eq!(content_hash("kind: Pod"), content_hash("kind: Pod"));
+        assert_ne!(content_hash("kind: Pod"), content_hash("kind: Pod\n"));
+        assert_eq!(content_hash(""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn exec_error_accessors() {
+        let e = ExecError::Rejected("unknown field".into());
+        assert_eq!(e.message(), "unknown field");
+        assert!(e.is_candidate_fault());
+        assert!(!ExecError::Probe("bad verb".into()).is_candidate_fault());
+        assert_eq!(
+            ExecError::InvalidInput("x".into()).to_string(),
+            "invalid input: x"
+        );
+    }
+}

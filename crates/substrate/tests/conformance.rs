@@ -1,0 +1,59 @@
+//! One conformance suite, three backends: the acceptance gate for the
+//! `Substrate` lifecycle contract (apply-bad-YAML → typed error,
+//! assert-pass, assert-fail-as-outcome, teardown idempotence,
+//! hermeticity).
+
+use substrate::conformance::{self, envoy_fixture, kube_fixture, shell_fixture};
+use substrate::{EnvoySubstrate, ExecError, KubeSubstrate, ShellSubstrate, Substrate};
+
+#[test]
+fn shell_substrate_conforms() {
+    conformance::run(&mut ShellSubstrate::new(), &shell_fixture());
+}
+
+#[test]
+fn kube_substrate_conforms() {
+    conformance::run(&mut KubeSubstrate::new(), &kube_fixture());
+}
+
+#[test]
+fn envoy_substrate_conforms() {
+    conformance::run(&mut EnvoySubstrate::new(), &envoy_fixture());
+}
+
+/// The same generated CloudEval problem exercises the shell backend end to
+/// end through the trait object interface (the executor's usage pattern).
+#[test]
+fn dyn_substrate_runs_real_problems() {
+    let backends: Vec<Box<dyn Substrate>> = vec![
+        Box::new(ShellSubstrate::new()),
+        Box::new(KubeSubstrate::new()),
+        Box::new(EnvoySubstrate::new()),
+    ];
+    let names: Vec<&str> = backends.iter().map(|b| b.name()).collect();
+    assert_eq!(names, ["minishell", "kubesim", "envoysim"]);
+}
+
+/// Every backend classifies its own garbage input as candidate fault.
+#[test]
+fn garbage_is_always_candidate_fault() {
+    let garbage = "::: not yaml {{{\n  - [";
+    for (err, name) in [
+        (ShellSubstrate::new().execute(garbage, "echo hi"), "shell"),
+        (
+            KubeSubstrate::new().execute(garbage, "exists pod x"),
+            "kube",
+        ),
+        (
+            EnvoySubstrate::new().execute(garbage, "listeners 1"),
+            "envoy",
+        ),
+    ] {
+        match err {
+            Err(e @ (ExecError::InvalidInput(_) | ExecError::Rejected(_))) => {
+                assert!(e.is_candidate_fault(), "[{name}] {e}");
+            }
+            other => panic!("[{name}] expected candidate-fault error, got {other:?}"),
+        }
+    }
+}

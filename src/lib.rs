@@ -29,4 +29,5 @@ pub use gboost as boost;
 pub use kubesim as kube;
 pub use llmsim as llm;
 pub use minishell as shell;
+pub use substrate as exec;
 pub use yamlkit as yaml;

@@ -2,7 +2,7 @@
 //! least one call, so a broken re-export (or a crate silently dropped
 //! from the workspace wiring) fails here instead of in a downstream user.
 
-use cloudeval::{boost, cluster, core, dataset, envoy, kube, llm, score, shell, yaml};
+use cloudeval::{boost, cluster, core, dataset, envoy, exec, kube, llm, score, shell, yaml};
 
 #[test]
 fn yaml_reexport_round_trips() {
@@ -80,4 +80,17 @@ fn core_reexport_reaches_the_harness_layer() {
     };
     assert_eq!(table.pass_at_1(), 2);
     assert_eq!(table.normalized().last().copied(), Some(1.5));
+}
+
+#[test]
+fn exec_reexport_drives_the_substrate_trait() {
+    use exec::Substrate;
+    let outcome = exec::EnvoySubstrate::new()
+        .execute(
+            envoy::SAMPLE_CONFIG,
+            "route 10000 example.com / => cluster service_backend",
+        )
+        .unwrap();
+    assert!(outcome.passed);
+    assert_ne!(exec::content_hash("a"), exec::content_hash("b"));
 }

@@ -6,14 +6,31 @@
 //!
 //! It is a real micro-benchmark harness — wall-clock timing with warmup
 //! and a fixed sample budget, reporting mean ns/iter — just without
-//! criterion's statistics, plotting, and CLI. Bench targets therefore
-//! compile under `cargo bench --no-run` and produce readable numbers
-//! under `cargo bench`.
+//! criterion's statistics and plotting. Bench targets therefore compile
+//! under `cargo bench --no-run` and produce readable numbers under
+//! `cargo bench`. Like real criterion, the first positional CLI argument
+//! is a substring filter on benchmark names
+//! (`cargo bench --bench platform -- executor_engine` runs only that
+//! group).
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::sync::OnceLock;
 use std::time::Instant;
+
+/// The substring filter from the command line (first non-flag argument),
+/// mirroring criterion's `cargo bench -- <filter>` behavior.
+fn name_filter() -> Option<&'static str> {
+    static FILTER: OnceLock<Option<String>> = OnceLock::new();
+    FILTER
+        .get_or_init(|| std::env::args().skip(1).find(|a| !a.starts_with('-')))
+        .as_deref()
+}
+
+fn filtered_out(name: &str) -> bool {
+    name_filter().is_some_and(|f| !name.contains(f))
+}
 
 /// Opaque value barrier, same contract as `criterion::black_box`.
 pub fn black_box<T>(x: T) -> T {
@@ -54,6 +71,9 @@ fn report(name: &str, mean_ns: f64) {
 }
 
 fn run_target(name: &str, sample_size: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    if filtered_out(name) {
+        return;
+    }
     let mut b = Bencher {
         sample_size,
         mean_ns: f64::NAN,
