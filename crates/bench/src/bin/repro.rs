@@ -7,6 +7,7 @@
 //! cargo run --release -p cloudeval-bench --bin repro -- --stride 4 all
 //! cargo run --release -p cloudeval-bench --bin repro -- --workers 16 grid
 //! cargo run --release -p cloudeval-bench --bin repro -- --variants original,translated grid
+//! cargo run --release -p cloudeval-bench --bin repro -- --stride 4 pipeline
 //! ```
 //!
 //! Flags:
@@ -16,8 +17,12 @@
 //! * `--workers N` — unit-test worker threads (default: available
 //!   hardware parallelism, clamped to 2–32);
 //! * `--variants LIST` — comma-separated subset of
-//!   `original,simplified,translated` used by the `grid` target
-//!   (default: all three).
+//!   `original,simplified,translated` used by the `grid` and `pipeline`
+//!   targets (default: all three);
+//! * `--channel-bound N` — inter-stage channel depth of the streaming
+//!   stage-graph driver (default 128), used by the `pipeline` target;
+//! * `--live-latency MS` — per-request wall-clock latency of the
+//!   `pipeline` target's remote-generation section (default 15 ms).
 
 use cedataset::Variant;
 use cloudeval_bench::experiments::Experiments;
@@ -27,6 +32,8 @@ fn main() {
     let mut stride = 1usize;
     let mut workers = cloudeval_core::harness::default_workers();
     let mut variants: Vec<Variant> = Variant::ALL.to_vec();
+    let mut channel_bound = cloudeval_core::pipeline::DEFAULT_CHANNEL_BOUND;
+    let mut live_latency_ms = 15u64;
     let mut targets: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -50,6 +57,21 @@ fn main() {
                 i += 1;
                 variants = parse_variants(args.get(i).map(String::as_str).unwrap_or(""))
                     .unwrap_or_else(|bad| die(&format!("unknown variant {bad:?}")));
+            }
+            "--channel-bound" => {
+                i += 1;
+                channel_bound = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|b| *b > 0)
+                    .unwrap_or_else(|| die("--channel-bound needs a positive integer"));
+            }
+            "--live-latency" => {
+                i += 1;
+                live_latency_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--live-latency needs milliseconds"));
             }
             "--help" | "-h" => {
                 print_usage();
@@ -88,6 +110,7 @@ fn main() {
             "fig8" => experiments.fig8(16),
             "fig9" => experiments.fig9(),
             "grid" => experiments.grid(&variants),
+            "pipeline" => experiments.pipeline(&variants, channel_bound, live_latency_ms),
             other => {
                 eprintln!("unknown target {other:?} (see --help)");
                 continue;
@@ -104,7 +127,7 @@ fn main() {
 
 const ALL_TARGETS: &[&str] = &[
     "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
-    "fig5", "fig6", "fig7", "fig8", "fig9", "grid",
+    "fig5", "fig6", "fig7", "fig8", "fig9", "grid", "pipeline",
 ];
 
 fn parse_variants(list: &str) -> Result<Vec<Variant>, String> {
@@ -124,9 +147,12 @@ fn parse_variants(list: &str) -> Result<Vec<Variant>, String> {
 }
 
 fn print_usage() {
-    eprintln!("usage: repro [--stride N] [--workers N] [--variants LIST] <target>...");
+    eprintln!(
+        "usage: repro [--stride N] [--workers N] [--variants LIST] [--channel-bound N] [--live-latency MS] <target>..."
+    );
     eprintln!("targets: {} | all", ALL_TARGETS.join(" | "));
-    eprintln!("variants: original,simplified,translated (grid target)");
+    eprintln!("variants: original,simplified,translated (grid/pipeline targets)");
+    eprintln!("channel-bound: stage-graph backpressure depth (pipeline target)");
 }
 
 fn die(msg: &str) -> ! {

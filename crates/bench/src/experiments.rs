@@ -9,19 +9,25 @@ use std::sync::Arc;
 use cedataset::{Dataset, Variant};
 use cloudeval_core::analysis::{factor_analysis, failure_modes};
 use cloudeval_core::harness::{
-    default_workers, evaluate, mean_scores, pass_count, EvalOptions, EvalRecord,
+    default_workers, evaluate, evaluate_barriered, mean_scores, pass_count, EvalOptions, EvalRecord,
 };
-use cloudeval_core::passk::{pass_at_k, PassAtK};
+use cloudeval_core::passk::{pass_at_k_cached, PassAtK};
 use cloudeval_core::predict::{leave_one_model_out, shap_importance};
 use cloudeval_core::tables;
+use evalcluster::memo::ScoreMemo;
 use llmsim::{standard_models, GenParams, SimulatedModel};
 
 /// A lazily-evaluated benchmark context shared across experiments.
+///
+/// All evaluations run through one shared content-addressed
+/// [`ScoreMemo`]: a `(candidate, script)` pair unit-tested for Table 4 is
+/// never re-executed for Table 5, the grid, or a pass@k sweep.
 pub struct Experiments {
     dataset: Arc<Dataset>,
     models: Vec<SimulatedModel>,
     stride: usize,
     workers: usize,
+    memo: Arc<ScoreMemo>,
 }
 
 impl Experiments {
@@ -40,6 +46,7 @@ impl Experiments {
             models,
             stride: stride.max(1),
             workers: workers.max(1),
+            memo: Arc::new(ScoreMemo::new()),
         }
     }
 
@@ -48,23 +55,30 @@ impl Experiments {
         &self.dataset
     }
 
+    /// The session-wide verdict cache (hit/miss counters included).
+    pub fn memo(&self) -> &ScoreMemo {
+        &self.memo
+    }
+
+    fn options(&self, variants: Vec<Variant>, shots: usize) -> EvalOptions {
+        EvalOptions {
+            variants,
+            shots,
+            params: GenParams::default(),
+            workers: self.workers,
+            stride: self.stride,
+            memo: Some(Arc::clone(&self.memo)),
+            ..EvalOptions::default()
+        }
+    }
+
     fn eval(
         &self,
         model: &SimulatedModel,
         variants: Vec<Variant>,
         shots: usize,
     ) -> Vec<EvalRecord> {
-        evaluate(
-            model,
-            &self.dataset,
-            &EvalOptions {
-                variants,
-                shots,
-                params: GenParams::default(),
-                workers: self.workers,
-                stride: self.stride,
-            },
-        )
+        evaluate(model, &self.dataset, &self.options(variants, shots))
     }
 
     /// The full (model × problem × variant) grid through the substrate
@@ -98,6 +112,93 @@ impl Experiments {
         out.push_str(&format!(
             "grid: {total_records} records in {secs:.2}s ({:.0} records/s)\n",
             total_records as f64 / secs.max(1e-9)
+        ));
+        out
+    }
+
+    /// Head-to-head of the two evaluation drivers on the full
+    /// (model × problem × variant) grid: the barriered seed path vs the
+    /// streaming stage-graph, wall-clock and per-model agreement — first
+    /// at pure simulation speed (CPU-bound), then in the
+    /// latency-realistic remote regime (`live_latency_ms`), where
+    /// generation workers really idle on the simulated wire and the
+    /// stage-graph fills that idle time with scoring and substrate
+    /// execution.
+    ///
+    /// Both drivers run with **fresh run-local memos** (not the session
+    /// cache) so the comparison measures scheduling, not cache warmth.
+    pub fn pipeline(
+        &self,
+        variants: &[Variant],
+        channel_bound: usize,
+        live_latency_ms: u64,
+    ) -> String {
+        let mut out = String::from("Pipeline drivers: barriered vs streamed (stage-graph)\n");
+        out.push_str(&format!(
+            "variants: {} | stride: {} | workers: {} | channel bound: {}\n",
+            variants
+                .iter()
+                .map(|v| v.label())
+                .collect::<Vec<_>>()
+                .join(","),
+            self.stride,
+            self.workers,
+            channel_bound
+        ));
+        out.push_str("-- instant generation (CPU-bound) --\n");
+        out.push_str(&self.pipeline_section(variants, channel_bound, None));
+        out.push_str(&format!(
+            "-- remote generation ({live_latency_ms} ms live request latency) --\n"
+        ));
+        out.push_str(&self.pipeline_section(variants, channel_bound, Some(live_latency_ms)));
+        out
+    }
+
+    fn pipeline_section(
+        &self,
+        variants: &[Variant],
+        channel_bound: usize,
+        live_latency_ms: Option<u64>,
+    ) -> String {
+        let options = EvalOptions {
+            variants: variants.to_vec(),
+            workers: self.workers,
+            stride: self.stride,
+            channel_bound,
+            live_latency_ms,
+            memo: None, // run-local memos: measure scheduling, not cache
+            ..EvalOptions::default()
+        };
+        let mut out = String::new();
+        let mut barriered_total = 0.0f64;
+        let mut streamed_total = 0.0f64;
+        let mut records_total = 0usize;
+        let mut all_identical = true;
+        for model in &self.models {
+            let started = std::time::Instant::now();
+            let barriered = evaluate_barriered(model, &self.dataset, &options);
+            let barriered_s = started.elapsed().as_secs_f64();
+            let started = std::time::Instant::now();
+            let streamed = evaluate(model, &self.dataset, &options);
+            let streamed_s = started.elapsed().as_secs_f64();
+            let identical = barriered == streamed;
+            all_identical &= identical;
+            barriered_total += barriered_s;
+            streamed_total += streamed_s;
+            records_total += streamed.len();
+            out.push_str(&format!(
+                "  {:<24} barriered {:>7.3}s | streamed {:>7.3}s | {:>5.2}x | records {}\n",
+                model.profile().name,
+                barriered_s,
+                streamed_s,
+                barriered_s / streamed_s.max(1e-9),
+                if identical { "identical" } else { "DIVERGED" },
+            ));
+        }
+        out.push_str(&format!(
+            "grid: {records_total} records | barriered {barriered_total:.2}s | streamed {streamed_total:.2}s | speedup {:.2}x | outputs {}\n",
+            barriered_total / streamed_total.max(1e-9),
+            if all_identical { "identical" } else { "DIVERGED" },
         ));
         out
     }
@@ -238,12 +339,13 @@ impl Experiments {
             ("llama-2-70b-chat", max_k),
         ] {
             let model = self.model(name);
-            curves.push(pass_at_k(
+            curves.push(pass_at_k_cached(
                 model,
                 &self.dataset,
                 k,
                 self.stride,
                 self.workers,
+                &self.memo,
             ));
         }
         tables::figure8(&curves)
@@ -304,5 +406,17 @@ mod tests {
         assert!(out.contains("gpt-4"), "{out}");
         assert!(out.contains("records/s"), "{out}");
         assert!(out.contains("workers: 4"), "{out}");
+        // The session memo was warmed by the grid run.
+        assert!(!e.memo().is_empty());
+    }
+
+    #[test]
+    fn pipeline_compare_reports_identical_outputs() {
+        let e = Experiments::with_workers(48, 4);
+        let out = e.pipeline(&[Variant::Original], 64, 2);
+        assert!(out.contains("speedup"), "{out}");
+        assert!(out.contains("remote generation"), "{out}");
+        assert!(out.contains("identical"), "{out}");
+        assert!(!out.contains("DIVERGED"), "{out}");
     }
 }

@@ -18,33 +18,54 @@ pub enum Smoothing {
 /// Tokenizes text for BLEU: whitespace-separated words, with YAML/JSON
 /// punctuation split out as individual tokens so `name:` and `name` share a
 /// unigram.
+///
+/// Owned convenience wrapper over [`tokenize_ref`]; prefer the borrowed
+/// variant on hot paths — it slices the input instead of allocating a
+/// `String` per token.
 pub fn tokenize(text: &str) -> Vec<String> {
+    tokenize_ref(text).into_iter().map(str::to_owned).collect()
+}
+
+/// Borrowed-token tokenizer: identical segmentation to [`tokenize`], but
+/// every token is a slice of `text` — zero per-token allocations. This is
+/// the fast path [`bleu`] (and therefore [`crate::score_pair`]) runs on.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(cescore::tokenize_ref("name: web"), vec!["name", ":", "web"]);
+/// ```
+pub fn tokenize_ref(text: &str) -> Vec<&str> {
     let mut tokens = Vec::new();
-    let mut cur = String::new();
-    for c in text.chars() {
+    let mut start: Option<usize> = None;
+    for (i, c) in text.char_indices() {
         match c {
             c if c.is_whitespace() => {
-                if !cur.is_empty() {
-                    tokens.push(std::mem::take(&mut cur));
+                if let Some(s) = start.take() {
+                    tokens.push(&text[s..i]);
                 }
             }
             ':' | ',' | '[' | ']' | '{' | '}' | '"' | '\'' | '-' | '=' => {
-                if !cur.is_empty() {
-                    tokens.push(std::mem::take(&mut cur));
+                if let Some(s) = start.take() {
+                    tokens.push(&text[s..i]);
                 }
-                tokens.push(c.to_string());
+                tokens.push(&text[i..i + c.len_utf8()]);
             }
-            c => cur.push(c),
+            _ => {
+                if start.is_none() {
+                    start = Some(i);
+                }
+            }
         }
     }
-    if !cur.is_empty() {
-        tokens.push(cur);
+    if let Some(s) = start {
+        tokens.push(&text[s..]);
     }
     tokens
 }
 
-fn ngram_counts(tokens: &[String], n: usize) -> HashMap<&[String], usize> {
-    let mut counts: HashMap<&[String], usize> = HashMap::new();
+fn ngram_counts<'a>(tokens: &'a [&str], n: usize) -> HashMap<&'a [&'a str], usize> {
+    let mut counts: HashMap<&[&str], usize> = HashMap::new();
     if tokens.len() >= n {
         for w in tokens.windows(n) {
             *counts.entry(w).or_insert(0) += 1;
@@ -66,13 +87,22 @@ fn ngram_counts(tokens: &[String], n: usize) -> HashMap<&[String], usize> {
 /// assert!(cescore::bleu(r, "totally unrelated prose", cescore::Smoothing::Epsilon) < 0.1);
 /// ```
 pub fn bleu(reference: &str, candidate: &str, smoothing: Smoothing) -> f64 {
-    let ref_tokens = tokenize(reference);
-    let cand_tokens = tokenize(candidate);
-    bleu_tokens(&ref_tokens, &cand_tokens, smoothing)
+    let ref_tokens = tokenize_ref(reference);
+    let cand_tokens = tokenize_ref(candidate);
+    bleu_tokens_ref(&ref_tokens, &cand_tokens, smoothing)
 }
 
-/// BLEU over pre-tokenized sequences.
+/// BLEU over pre-tokenized owned sequences. Kept for compatibility with
+/// callers that hold `Vec<String>` tokens; forwards to
+/// [`bleu_tokens_ref`].
 pub fn bleu_tokens(reference: &[String], candidate: &[String], smoothing: Smoothing) -> f64 {
+    let reference: Vec<&str> = reference.iter().map(String::as_str).collect();
+    let candidate: Vec<&str> = candidate.iter().map(String::as_str).collect();
+    bleu_tokens_ref(&reference, &candidate, smoothing)
+}
+
+/// BLEU over borrowed token sequences (the allocation-free hot path).
+pub fn bleu_tokens_ref(reference: &[&str], candidate: &[&str], smoothing: Smoothing) -> f64 {
     if candidate.is_empty() || reference.is_empty() {
         return 0.0;
     }
@@ -175,6 +205,28 @@ mod tests {
             tokenize("name: web\nports: [80, 443]"),
             vec!["name", ":", "web", "ports", ":", "[", "80", ",", "443", "]"]
         );
+    }
+
+    #[test]
+    fn borrowed_tokenizer_matches_owned() {
+        for text in [
+            "name: web\nports: [80, 443]",
+            "",
+            "  leading and trailing  ",
+            "a-b=c{d}'e'\"f\"",
+            "unicode: héllo wörld — dash",
+            "block: |\n  multi line\n  body\n",
+        ] {
+            let owned = tokenize(text);
+            let borrowed = tokenize_ref(text);
+            assert_eq!(owned, borrowed, "tokenizers disagree on {text:?}");
+            assert!(
+                (bleu_tokens(&owned, &owned, Smoothing::Epsilon)
+                    - bleu_tokens_ref(&borrowed, &borrowed, Smoothing::Epsilon))
+                .abs()
+                    < 1e-12
+            );
+        }
     }
 
     #[test]

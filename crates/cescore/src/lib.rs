@@ -32,7 +32,7 @@ mod bleu;
 mod editdist;
 mod yamlaware;
 
-pub use bleu::{bleu, bleu_tokens, tokenize, Smoothing};
+pub use bleu::{bleu, bleu_tokens, bleu_tokens_ref, tokenize, tokenize_ref, Smoothing};
 pub use editdist::{edit_distance_score, line_edit_distance};
 pub use yamlaware::{kv_exact_match, kv_wildcard_match};
 

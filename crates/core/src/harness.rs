@@ -1,16 +1,35 @@
 //! The end-to-end benchmark pipeline (Figure 3): dataset → prompt →
 //! query → post-process → score → cloud evaluation.
 //!
-//! Function-level scoring drives the whole (model × problem × variant)
-//! grid through the [`substrate::Substrate`] execution engine in
-//! `evalcluster`: jobs are deduplicated by content hash (identical
-//! extracted YAML for the same unit test scores once), sharded across
-//! worker threads and balanced by work stealing.
+//! Two drivers share one record vocabulary and produce **identical
+//! output**:
+//!
+//! * [`evaluate`] — the streaming stage-graph driver: generation
+//!   ([`llmsim::query_stream`]), `extract_yaml` post-processing, static
+//!   scoring ([`cescore::score_pair`] on its own worker pool, off the
+//!   main thread) and substrate execution
+//!   ([`evalcluster::run_jobs_stream`]) all run **concurrently**, records
+//!   flowing between stages over bounded channels
+//!   ([`crate::pipeline`]). Wall-clock tracks the slowest record chain,
+//!   not the slowest phase.
+//! * [`evaluate_barriered`] — the seed phase-barrier driver (all prompts,
+//!   then all extractions, then all unit tests, then serial scoring),
+//!   kept as the reference semantics and the benchmark baseline.
+//!
+//! Both drivers dedupe unit-test executions by content hash (identical
+//! extracted YAML for the same unit test scores once) and honor
+//! [`EvalOptions::memo`] so verdicts carry across runs.
+
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Mutex};
 
 use cedataset::{Category, Dataset, Problem, Variant};
 use cescore::Scores;
-use evalcluster::executor::{run_jobs, UnitTestJob};
+use evalcluster::executor::{run_jobs_cached, run_jobs_stream, UnitTestJob};
+use evalcluster::memo::ScoreMemo;
 use llmsim::{extract_yaml, AnswerCategory, GenParams, LanguageModel, QueryConfig, SimulatedModel};
+
+use crate::pipeline::{Pipeline, Stage, DEFAULT_CHANNEL_BOUND};
 
 /// Default unit-test worker count: one per available hardware thread,
 /// clamped to `[2, 32]`.
@@ -26,7 +45,7 @@ pub fn default_workers() -> usize {
 }
 
 /// One scored (model, problem, variant) evaluation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvalRecord {
     /// Model name.
     pub model: String,
@@ -66,6 +85,20 @@ pub struct EvalOptions {
     /// Optional problem subsample: keep every `stride`-th problem
     /// (1 = full dataset). Used by fast tests.
     pub stride: usize,
+    /// Shared content-addressed verdict cache. `None` (the default) uses
+    /// a run-local memo — identical candidates still execute once within
+    /// the run; supply one `Arc<ScoreMemo>` across runs to carry verdicts
+    /// over a whole grid or pass@k sweep.
+    pub memo: Option<Arc<ScoreMemo>>,
+    /// Bound of every inter-stage channel in the streaming driver
+    /// (backpressure depth; ignored by [`evaluate_barriered`]).
+    pub channel_bound: usize,
+    /// When `Some(ms)`, generation runs in the latency-realistic remote
+    /// regime: each request really occupies its query worker for `ms` of
+    /// wall-clock ([`QueryConfig::live_latency`]), as a remote API would.
+    /// Applied identically by both drivers (so comparisons stay fair);
+    /// `None` (the default) generates at pure simulation speed.
+    pub live_latency_ms: Option<u64>,
 }
 
 impl Default for EvalOptions {
@@ -76,6 +109,9 @@ impl Default for EvalOptions {
             params: GenParams::default(),
             workers: default_workers(),
             stride: 1,
+            memo: None,
+            channel_bound: DEFAULT_CHANNEL_BOUND,
+            live_latency_ms: None,
         }
     }
 }
@@ -88,20 +124,35 @@ impl EvalOptions {
             ..EvalOptions::default()
         }
     }
+
+    /// The memo to use: the shared one when provided, else `fallback`.
+    fn memo_or<'a>(&'a self, fallback: &'a ScoreMemo) -> &'a ScoreMemo {
+        self.memo.as_deref().unwrap_or(fallback)
+    }
+
+    /// The query configuration both drivers dispatch generation with.
+    fn query_config(&self) -> QueryConfig {
+        QueryConfig {
+            parallelism: self.workers.max(1),
+            request_latency_ms: self
+                .live_latency_ms
+                .unwrap_or(QueryConfig::default().request_latency_ms),
+            live_latency: self.live_latency_ms.is_some(),
+            ..QueryConfig::default()
+        }
+    }
 }
 
-/// Runs the full pipeline for one model.
-pub fn evaluate(
-    model: &SimulatedModel,
-    dataset: &Dataset,
+/// The (problem, variant) grid selected by the options, with prompts.
+fn plan<'d>(
+    dataset: &'d Dataset,
     options: &EvalOptions,
-) -> Vec<EvalRecord> {
+) -> (Vec<(&'d Problem, Variant)>, Vec<String>) {
     let problems: Vec<&Problem> = dataset
         .problems()
         .iter()
         .step_by(options.stride.max(1))
         .collect();
-    // 1. YAML generation: prompts through the query module.
     let mut coords: Vec<(&Problem, Variant)> = Vec::new();
     for &variant in &options.variants {
         for p in &problems {
@@ -112,16 +163,190 @@ pub fn evaluate(
         .iter()
         .map(|(p, v)| cedataset::fewshot::build_prompt(&p.prompt_body(*v), options.shots))
         .collect();
-    let batch = llmsim::query_batch(
-        model,
-        &prompts,
-        &options.params,
-        &QueryConfig {
-            parallelism: options.workers.max(1),
-            ..QueryConfig::default()
-        },
-    );
-    // 2. Post-processing + static scoring.
+    (coords, prompts)
+}
+
+/// Assembles the final record for one coordinate — shared verbatim by
+/// both drivers so their outputs stay bit-identical.
+fn assemble_record(
+    model_name: &str,
+    problem: &Problem,
+    variant: Variant,
+    yaml: String,
+    mut scores: Scores,
+    passed: bool,
+) -> EvalRecord {
+    scores.unit_test = f64::from(u8::from(passed));
+    let answer_class = llmsim::classify_answer(&yaml, &problem.clean_reference(), passed);
+    EvalRecord {
+        model: model_name.to_owned(),
+        problem_id: problem.id.clone(),
+        variant,
+        category: problem.category,
+        has_context: problem.has_context(),
+        reference_lines: problem.reference_lines(),
+        question_tokens: cedataset::stats::token_count(problem.description_for(variant)),
+        extracted: yaml,
+        scores,
+        answer_class,
+    }
+}
+
+/// §3.1 post-processing as a pipeline stage: raw model output in,
+/// extracted YAML out.
+struct ExtractStage {
+    workers: usize,
+}
+
+impl Stage for ExtractStage {
+    type In = String;
+    type Out = String;
+    fn workers(&self) -> usize {
+        self.workers
+    }
+    fn process(&self, _index: usize, raw: String) -> String {
+        extract_yaml(&raw)
+    }
+}
+
+/// Static scoring as a pipeline stage: extracted YAML in, `(yaml, static
+/// scores)` out — `cescore::score_pair` runs on this stage's pool, off
+/// the main thread. As a side effect each record's unit-test job is
+/// forwarded to the substrate execution pool the moment the YAML is
+/// known, so cloud evaluation overlaps scoring *and* generation.
+struct ScoreStage<'a> {
+    coords: &'a [(&'a Problem, Variant)],
+    jobs: SyncSender<(usize, UnitTestJob)>,
+    workers: usize,
+}
+
+impl Stage for ScoreStage<'_> {
+    type In = String;
+    type Out = (String, Scores);
+    fn workers(&self) -> usize {
+        self.workers
+    }
+    fn process(&self, index: usize, yaml: String) -> (String, Scores) {
+        let (problem, variant) = self.coords[index];
+        let job = UnitTestJob {
+            problem_id: format!("{}@{variant:?}", problem.id),
+            script: problem.unit_test.clone(),
+            candidate_yaml: yaml.clone(),
+        };
+        // Dispatch before scoring: the substrate pool starts while this
+        // thread computes BLEU/edit-distance/kv metrics. A send error
+        // means the execution pool is gone; the collector will flag the
+        // missing verdict.
+        let _ = self.jobs.send((index, job));
+        let scores = cescore::score_pair(&problem.labeled_reference, &yaml);
+        (yaml, scores)
+    }
+}
+
+/// Runs the full pipeline for one model — the streaming stage-graph
+/// driver.
+///
+/// Output is record-for-record identical to [`evaluate_barriered`] (same
+/// `EvalRecord`s in the same order) for any worker count, stride or
+/// channel bound; only the schedule differs. See the
+/// `pipeline_determinism` test suite for the property-based proof.
+pub fn evaluate(
+    model: &SimulatedModel,
+    dataset: &Dataset,
+    options: &EvalOptions,
+) -> Vec<EvalRecord> {
+    let (coords, prompts) = plan(dataset, options);
+    let n = coords.len();
+    let workers = options.workers.max(1);
+    let local_memo = ScoreMemo::new();
+    let memo = options.memo_or(&local_memo);
+    let bound = options.channel_bound.max(1);
+
+    let verdicts: Mutex<Vec<Option<bool>>> = Mutex::new(vec![None; n]);
+    let (job_tx, job_rx) = sync_channel::<(usize, UnitTestJob)>(bound);
+    let statics: Vec<(String, Scores)> = std::thread::scope(|scope| {
+        // Substrate execution pool: consumes jobs as scoring emits them.
+        let verdicts = &verdicts;
+        scope.spawn(move || {
+            run_jobs_stream(job_rx, workers, memo, |index, result| {
+                verdicts.lock().expect("verdict slots poisoned")[index] = Some(result.passed);
+            });
+        });
+        // Post-processing + static scoring stages. Extraction is cheap
+        // string peeling — a quarter of the pool suffices; scoring is the
+        // static-metric hot path and gets the full width. Both are pure
+        // CPU, so their pools are additionally capped at the hardware
+        // width: threads beyond the core count only add context switches
+        // (generation and substrate pools keep the requested width — the
+        // former idles on live request latency, the latter is the
+        // user-facing `workers` contract).
+        let hw = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(workers);
+        let pipeline = Pipeline::new(ExtractStage {
+            workers: workers.div_ceil(4).min(hw).max(1),
+        })
+        .then(ScoreStage {
+            coords: &coords,
+            jobs: job_tx,
+            workers: workers.min(hw).max(1),
+        })
+        .channel_bound(bound);
+        // Generation feeds the graph: query_stream's worker pool emits
+        // each response the moment it completes.
+        let statics = pipeline.run_fed(n, |feed| {
+            let feed = Mutex::new(feed);
+            llmsim::query_stream(
+                model,
+                &prompts,
+                &options.params,
+                &options.query_config(),
+                |index, response| {
+                    // A send error means the pipeline tore down early;
+                    // the collector accounts for the missing record.
+                    let _ = feed
+                        .lock()
+                        .expect("feed sender poisoned")
+                        .send((index, response));
+                },
+            );
+        });
+        // `pipeline` (and with it the ScoreStage's job sender) drops
+        // here, disconnecting the stream engine so the spawned execution
+        // pool drains and joins at scope exit.
+        drop(pipeline);
+        statics
+    });
+
+    let verdicts = verdicts.into_inner().expect("verdict slots poisoned");
+    coords
+        .into_iter()
+        .zip(statics)
+        .zip(verdicts)
+        .map(|(((problem, variant), (yaml, scores)), passed)| {
+            let passed = passed.expect("substrate pool dropped a verdict");
+            assemble_record(model.name(), problem, variant, yaml, scores, passed)
+        })
+        .collect()
+}
+
+/// Runs the full pipeline for one model with the seed's phase barriers:
+/// every prompt is answered before any YAML is extracted, every unit
+/// test runs before any static metric is computed, and the static
+/// metrics are computed serially on the calling thread.
+///
+/// Kept as the reference semantics [`evaluate`] must reproduce exactly,
+/// and as the baseline the `pipeline_engine` bench group and
+/// `repro pipeline` measure the stage-graph against.
+pub fn evaluate_barriered(
+    model: &SimulatedModel,
+    dataset: &Dataset,
+    options: &EvalOptions,
+) -> Vec<EvalRecord> {
+    let (coords, prompts) = plan(dataset, options);
+    // 1. YAML generation: prompts through the query module.
+    let batch = llmsim::query_batch(model, &prompts, &options.params, &options.query_config());
+    // 2. Post-processing.
     let extracted: Vec<String> = batch.responses.iter().map(|r| extract_yaml(r)).collect();
     // 3. Function-level scoring on the evaluation cluster.
     let jobs: Vec<UnitTestJob> = coords
@@ -133,29 +358,23 @@ pub fn evaluate(
             candidate_yaml: yaml.clone(),
         })
         .collect();
-    let report = run_jobs(&jobs, options.workers);
-    // 4. Assemble records.
+    let local_memo = ScoreMemo::new();
+    let report = run_jobs_cached(&jobs, options.workers, options.memo_or(&local_memo));
+    // 4. Static scoring + assembly, serially on this thread.
     coords
         .into_iter()
         .zip(extracted)
         .zip(report.results)
         .map(|(((problem, variant), yaml), job_result)| {
-            let mut scores = cescore::score_pair(&problem.labeled_reference, &yaml);
-            scores.unit_test = f64::from(u8::from(job_result.passed));
-            let answer_class =
-                llmsim::classify_answer(&yaml, &problem.clean_reference(), job_result.passed);
-            EvalRecord {
-                model: model.name().to_owned(),
-                problem_id: problem.id.clone(),
+            let scores = cescore::score_pair(&problem.labeled_reference, &yaml);
+            assemble_record(
+                model.name(),
+                problem,
                 variant,
-                category: problem.category,
-                has_context: problem.has_context(),
-                reference_lines: problem.reference_lines(),
-                question_tokens: cedataset::stats::token_count(problem.description_for(variant)),
-                extracted: yaml,
+                yaml,
                 scores,
-                answer_class,
-            }
+                job_result.passed,
+            )
         })
         .collect()
 }
@@ -252,5 +471,47 @@ mod tests {
         assert!(strong.unit_test > weak.unit_test);
         assert!(strong.bleu > weak.bleu);
         assert!(strong.kv_wildcard > weak.kv_wildcard);
+    }
+
+    #[test]
+    fn streamed_matches_barriered_exactly() {
+        let dataset = Arc::new(Dataset::generate());
+        let model = SimulatedModel::new(
+            ModelProfile::by_name("gpt-3.5").unwrap(),
+            Arc::clone(&dataset),
+        );
+        let options = EvalOptions {
+            stride: 15,
+            workers: 4,
+            variants: vec![Variant::Original, Variant::Translated],
+            ..EvalOptions::default()
+        };
+        let streamed = evaluate(&model, &dataset, &options);
+        let barriered = evaluate_barriered(&model, &dataset, &options);
+        assert_eq!(streamed, barriered);
+    }
+
+    #[test]
+    fn shared_memo_eliminates_reexecution_across_runs() {
+        let dataset = Arc::new(Dataset::generate());
+        let model = SimulatedModel::new(
+            ModelProfile::by_name("gpt-4").unwrap(),
+            Arc::clone(&dataset),
+        );
+        let memo = Arc::new(ScoreMemo::new());
+        let options = EvalOptions {
+            stride: 20,
+            workers: 4,
+            memo: Some(Arc::clone(&memo)),
+            ..EvalOptions::default()
+        };
+        let first = evaluate(&model, &dataset, &options);
+        let stored_after_first = memo.len();
+        assert!(stored_after_first > 0, "memo never populated");
+        let second = evaluate(&model, &dataset, &options);
+        assert_eq!(first, second);
+        // Deterministic generation → identical candidates → the second
+        // run adds nothing new to the memo.
+        assert_eq!(memo.len(), stored_after_first);
     }
 }

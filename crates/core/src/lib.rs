@@ -4,7 +4,11 @@
 //! together, plus the §4 analyses.
 //!
 //! * [`harness`] — dataset → prompt → query → §3.1 post-processing → six
-//!   metrics → unit tests on the evaluation cluster;
+//!   metrics → unit tests on the evaluation cluster, as a streaming
+//!   stage-graph ([`harness::evaluate`]) with the phase-barriered seed
+//!   driver kept as the reference ([`harness::evaluate_barriered`]);
+//! * [`pipeline`] — the composable [`pipeline::Stage`] /
+//!   [`pipeline::Pipeline`] machinery the streaming driver is built on;
 //! * [`analysis`] — Figure 6 / Table 9 factor breakdowns and Figure 7
 //!   failure modes;
 //! * [`passk`] — §4.2 multi-sample generation and pass@k;
@@ -35,9 +39,13 @@
 pub mod analysis;
 pub mod harness;
 pub mod passk;
+pub mod pipeline;
 pub mod predict;
 pub mod related;
 pub mod survey;
 pub mod tables;
 
-pub use harness::{default_workers, evaluate, mean_scores, pass_count, EvalOptions, EvalRecord};
+pub use harness::{
+    default_workers, evaluate, evaluate_barriered, mean_scores, pass_count, EvalOptions, EvalRecord,
+};
+pub use pipeline::{Pipeline, Stage};

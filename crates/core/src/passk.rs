@@ -6,7 +6,8 @@
 //! Llama-2-70B) and runs GPT-4 for only 6 samples due to rate limits.
 
 use cedataset::{Dataset, Variant};
-use evalcluster::executor::{run_jobs, UnitTestJob};
+use evalcluster::executor::{run_jobs_cached, UnitTestJob};
+use evalcluster::memo::ScoreMemo;
 use llmsim::{extract_yaml, GenParams, LanguageModel, SimulatedModel};
 
 /// Pass@k curve for one model.
@@ -33,15 +34,34 @@ impl PassAtK {
 }
 
 /// Runs `k` samples per problem for one model and computes the pass@k
-/// curve over the original dataset.
+/// curve over the original dataset, with a run-local verdict cache.
 ///
-/// `stride` subsamples problems (1 = all 337).
+/// `stride` subsamples problems (1 = all 337). Convenience wrapper over
+/// [`pass_at_k_cached`].
 pub fn pass_at_k(
     model: &SimulatedModel,
     dataset: &Dataset,
     k: usize,
     stride: usize,
     workers: usize,
+) -> PassAtK {
+    pass_at_k_cached(model, dataset, k, stride, workers, &ScoreMemo::new())
+}
+
+/// [`pass_at_k`] with a caller-owned [`ScoreMemo`].
+///
+/// Sampling re-produces identical candidates constantly (strong models
+/// converge on the same answer, weak models repeat boilerplate), so the
+/// content-addressed cache collapses most of the `problems × k` grid to
+/// one execution each — and sharing one memo across models/sweeps (as the
+/// experiment harness does) carries those verdicts over entire sessions.
+pub fn pass_at_k_cached(
+    model: &SimulatedModel,
+    dataset: &Dataset,
+    k: usize,
+    stride: usize,
+    workers: usize,
+    memo: &ScoreMemo,
 ) -> PassAtK {
     let problems: Vec<&cedataset::Problem> =
         dataset.problems().iter().step_by(stride.max(1)).collect();
@@ -59,7 +79,7 @@ pub fn pass_at_k(
             });
         }
     }
-    let report = run_jobs(&jobs, workers);
+    let report = run_jobs_cached(&jobs, workers, memo);
     // curve[i]: problems with >=1 pass among samples 0..=i.
     let mut curve = vec![0usize; k];
     for (p_idx, _) in problems.iter().enumerate() {
@@ -126,5 +146,19 @@ mod tests {
         let c = curve_for("gpt-3.5", 1, 10);
         assert_eq!(c.curve.len(), 1);
         assert_eq!(c.pass_at_1(), c.curve[0]);
+    }
+
+    #[test]
+    fn shared_memo_preserves_curves_and_caches_verdicts() {
+        let ds = Arc::new(Dataset::generate());
+        let model = SimulatedModel::new(ModelProfile::by_name("gpt-3.5").unwrap(), Arc::clone(&ds));
+        let memo = ScoreMemo::new();
+        let cold = pass_at_k_cached(&model, &ds, 4, 8, 8, &memo);
+        assert!(!memo.is_empty(), "memo never populated");
+        let warm = pass_at_k_cached(&model, &ds, 4, 8, 8, &memo);
+        // Deterministic sampling → identical candidates → identical
+        // curves, with the second sweep answered from cache.
+        assert_eq!(cold, warm);
+        assert_eq!(cold, pass_at_k(&model, &ds, 4, 8, 8));
     }
 }

@@ -1,0 +1,359 @@
+//! The streaming stage-graph: composable pipeline stages over bounded
+//! channels.
+//!
+//! The paper's Figure-3 pipeline (dataset → prompt → query →
+//! post-process → score → cloud evaluation) was originally reproduced as
+//! phase barriers: every prompt answered before any YAML was extracted,
+//! every metric computed before any unit test ran. This module replaces
+//! the barrier shape with the stage-graph shape: each phase is a
+//! [`Stage`] with its own worker pool, stages are chained over **bounded**
+//! mpsc channels (a slow stage backpressures its producers instead of
+//! buffering unboundedly), and records flow through the whole graph
+//! independently — record 0 can be unit-testing while record 50 is still
+//! generating. Throughput is bound by the slowest *record chain*, not the
+//! sum of the slowest phases.
+//!
+//! Every record carries its input index end-to-end and the driver
+//! reassembles output by index, so results are **deterministic and
+//! order-identical to the barriered evaluation** regardless of worker
+//! counts, channel bounds or thread interleaving.
+//!
+//! # Examples
+//!
+//! ```
+//! use cloudeval_core::pipeline::{Pipeline, Stage};
+//!
+//! struct Double;
+//! impl Stage for Double {
+//!     type In = u64;
+//!     type Out = u64;
+//!     fn workers(&self) -> usize { 4 }
+//!     fn process(&self, _index: usize, input: u64) -> u64 { input * 2 }
+//! }
+//!
+//! struct Stringify;
+//! impl Stage for Stringify {
+//!     type In = u64;
+//!     type Out = String;
+//!     fn process(&self, index: usize, input: u64) -> String {
+//!         format!("{index}:{input}")
+//!     }
+//! }
+//!
+//! let pipeline = Pipeline::new(Double).then(Stringify);
+//! let out = pipeline.run((0..5).collect());
+//! assert_eq!(out, vec!["0:0", "1:2", "2:4", "3:6", "4:8"]);
+//! ```
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::Scope;
+
+/// Default bound of every inter-stage channel: deep enough to absorb
+/// jitter between stages of different speeds, shallow enough that a
+/// stalled consumer backpressures its producers within a few hundred
+/// records instead of buffering a whole grid.
+pub const DEFAULT_CHANNEL_BOUND: usize = 128;
+
+/// One stage of the graph: a typed record transformer with its own
+/// worker pool.
+///
+/// `process` is called concurrently from [`workers`](Stage::workers)
+/// threads, each invocation owning one record; the stage itself is shared
+/// behind `&self` and must therefore be [`Sync`]. Records are `'static`
+/// (owned data) so they can cross channel and thread boundaries freely —
+/// the *stage* may still borrow context (dataset, model, senders) from
+/// the caller's stack.
+pub trait Stage: Sync {
+    /// Input record type.
+    type In: Send + 'static;
+    /// Output record type.
+    type Out: Send + 'static;
+
+    /// Worker-pool width for this stage (default 1; clamped to ≥ 1).
+    fn workers(&self) -> usize {
+        1
+    }
+
+    /// Transforms one record. `index` is the record's position in the
+    /// pipeline input and is stable across stages.
+    fn process(&self, index: usize, input: Self::In) -> Self::Out;
+}
+
+/// A spawnable segment of the stage graph: either one [`Stage`] pool
+/// ([`StageLink`]) or two segments glued together ([`Chain`]). Users
+/// compose links through [`Pipeline::then`]; the trait is public so the
+/// composed pipeline types can be named.
+pub trait Link: Sync {
+    /// Input record type of the segment.
+    type In: Send + 'static;
+    /// Output record type of the segment.
+    type Out: Send + 'static;
+
+    /// Spawns the segment's worker threads on `scope`, consuming
+    /// `(index, record)` pairs from `input` and returning the segment's
+    /// output channel. Workers exit when the input channel disconnects
+    /// (upstream done) or the output channel hangs up (downstream gone).
+    fn spawn<'scope, 'env>(
+        &'env self,
+        scope: &'scope Scope<'scope, 'env>,
+        input: Receiver<(usize, Self::In)>,
+        bound: usize,
+    ) -> Receiver<(usize, Self::Out)>;
+}
+
+/// A [`Link`] wrapping a single [`Stage`] with its worker pool.
+pub struct StageLink<S: Stage> {
+    stage: S,
+}
+
+impl<S: Stage> Link for StageLink<S> {
+    type In = S::In;
+    type Out = S::Out;
+
+    fn spawn<'scope, 'env>(
+        &'env self,
+        scope: &'scope Scope<'scope, 'env>,
+        input: Receiver<(usize, Self::In)>,
+        bound: usize,
+    ) -> Receiver<(usize, Self::Out)> {
+        let (tx, out) = sync_channel(bound.max(1));
+        // Workers share the upstream receiver; the lock is held only for
+        // the blocking handoff, never across `process`.
+        let input = Arc::new(Mutex::new(input));
+        for _ in 0..self.stage.workers().max(1) {
+            let input = Arc::clone(&input);
+            let tx = tx.clone();
+            let stage = &self.stage;
+            scope.spawn(move || loop {
+                let received = input.lock().expect("stage input poisoned").recv();
+                let Ok((index, record)) = received else { break };
+                let out = stage.process(index, record);
+                if tx.send((index, out)).is_err() {
+                    break; // downstream hung up; stop early
+                }
+            });
+        }
+        out
+    }
+}
+
+/// Two chained links: `first`'s output channel feeds `second`'s pool.
+pub struct Chain<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A: Link, B: Link<In = A::Out>> Link for Chain<A, B> {
+    type In = A::In;
+    type Out = B::Out;
+
+    fn spawn<'scope, 'env>(
+        &'env self,
+        scope: &'scope Scope<'scope, 'env>,
+        input: Receiver<(usize, Self::In)>,
+        bound: usize,
+    ) -> Receiver<(usize, Self::Out)> {
+        let mid = self.first.spawn(scope, input, bound);
+        self.second.spawn(scope, mid, bound)
+    }
+}
+
+/// A composed stage graph ready to run.
+///
+/// Build with [`Pipeline::new`], extend with [`Pipeline::then`], execute
+/// with [`Pipeline::run`] (a ready `Vec` of inputs) or
+/// [`Pipeline::run_fed`] (inputs produced concurrently by a feeder — e.g.
+/// a streaming LLM query pool). Output is always in input-index order.
+pub struct Pipeline<L: Link> {
+    link: L,
+    bound: usize,
+}
+
+impl<S: Stage> Pipeline<StageLink<S>> {
+    /// A single-stage pipeline.
+    pub fn new(stage: S) -> Pipeline<StageLink<S>> {
+        Pipeline {
+            link: StageLink { stage },
+            bound: DEFAULT_CHANNEL_BOUND,
+        }
+    }
+}
+
+impl<L: Link> Pipeline<L> {
+    /// Appends a stage whose input type is the current output type.
+    pub fn then<S: Stage<In = L::Out>>(self, stage: S) -> Pipeline<Chain<L, StageLink<S>>> {
+        Pipeline {
+            link: Chain {
+                first: self.link,
+                second: StageLink { stage },
+            },
+            bound: self.bound,
+        }
+    }
+
+    /// Sets the bound of every inter-stage channel (default
+    /// [`DEFAULT_CHANNEL_BOUND`]; clamped to ≥ 1). Smaller bounds mean
+    /// tighter backpressure and lower peak memory; larger bounds absorb
+    /// more inter-stage jitter.
+    pub fn channel_bound(mut self, bound: usize) -> Pipeline<L> {
+        self.bound = bound.max(1);
+        self
+    }
+
+    /// Streams `inputs` through the graph and returns the outputs in
+    /// input order.
+    pub fn run(&self, inputs: Vec<L::In>) -> Vec<L::Out> {
+        let expected = inputs.len();
+        self.run_fed(expected, move |feed| {
+            for (i, record) in inputs.into_iter().enumerate() {
+                if feed.send((i, record)).is_err() {
+                    break; // pipeline torn down; nothing left to feed
+                }
+            }
+        })
+    }
+
+    /// Streams records produced by `feeder` through the graph.
+    ///
+    /// `feeder` runs on its own thread and must send each index in
+    /// `0..expected` exactly once (any order); the sender it receives is
+    /// bounded, so a feeder that outruns the pipeline blocks instead of
+    /// buffering. This is the entry point for *overlapping generation
+    /// with the rest of the graph*: the feeder wraps a streaming producer
+    /// (e.g. `llmsim::query_stream`) whose emissions become pipeline
+    /// records the moment they complete.
+    ///
+    /// Panics if the graph produces fewer than `expected` records (a
+    /// feeder that under-delivers) or an out-of-range index.
+    pub fn run_fed<F>(&self, expected: usize, feeder: F) -> Vec<L::Out>
+    where
+        F: FnOnce(SyncSender<(usize, L::In)>) + Send,
+    {
+        let (feed_tx, feed_rx) = sync_channel(self.bound);
+        std::thread::scope(|scope| {
+            let out = self.link.spawn(scope, feed_rx, self.bound);
+            scope.spawn(move || feeder(feed_tx));
+            let mut slots: Vec<Option<L::Out>> = (0..expected).map(|_| None).collect();
+            for (index, record) in out {
+                let slot = slots
+                    .get_mut(index)
+                    .unwrap_or_else(|| panic!("pipeline emitted out-of-range index {index}"));
+                assert!(slot.is_none(), "pipeline emitted index {index} twice");
+                *slot = Some(record);
+            }
+            slots
+                .into_iter()
+                .map(|slot| slot.expect("pipeline dropped a record"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct AddOne {
+        workers: usize,
+    }
+    impl Stage for AddOne {
+        type In = u64;
+        type Out = u64;
+        fn workers(&self) -> usize {
+            self.workers
+        }
+        fn process(&self, _index: usize, input: u64) -> u64 {
+            input + 1
+        }
+    }
+
+    struct SlowSquare;
+    impl Stage for SlowSquare {
+        type In = u64;
+        type Out = u64;
+        fn workers(&self) -> usize {
+            3
+        }
+        fn process(&self, index: usize, input: u64) -> u64 {
+            if index.is_multiple_of(7) {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            input * input
+        }
+    }
+
+    #[test]
+    fn single_stage_preserves_order() {
+        let p = Pipeline::new(AddOne { workers: 8 });
+        let out = p.run((0..500).collect());
+        assert_eq!(out, (1..=500).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn chained_stages_preserve_order_across_bounds_and_widths() {
+        for bound in [1, 2, 64] {
+            for workers in [1, 2, 8] {
+                let p = Pipeline::new(AddOne { workers })
+                    .then(SlowSquare)
+                    .then(AddOne { workers })
+                    .channel_bound(bound);
+                let out = p.run((0..200).collect());
+                let want: Vec<u64> = (0..200u64).map(|v| (v + 1) * (v + 1) + 1).collect();
+                assert_eq!(out, want, "bound {bound}, workers {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn stage_can_borrow_caller_state() {
+        struct Counting<'a> {
+            hits: &'a AtomicUsize,
+        }
+        impl Stage for Counting<'_> {
+            type In = u64;
+            type Out = u64;
+            fn workers(&self) -> usize {
+                4
+            }
+            fn process(&self, _index: usize, input: u64) -> u64 {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                input
+            }
+        }
+        let hits = AtomicUsize::new(0);
+        let p = Pipeline::new(Counting { hits: &hits });
+        let out = p.run((0..64).collect());
+        assert_eq!(out.len(), 64);
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn run_fed_accepts_out_of_order_feeding() {
+        let p = Pipeline::new(AddOne { workers: 4 });
+        let out = p.run_fed(100, |feed| {
+            // Feed even indices first, then odd — output must still be
+            // index-ordered.
+            for i in (0..100).step_by(2).chain((1..100).step_by(2)) {
+                feed.send((i, i as u64)).unwrap();
+            }
+        });
+        assert_eq!(out, (1..=100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let p = Pipeline::new(AddOne { workers: 4 }).then(SlowSquare);
+        assert!(p.run(Vec::new()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "pipeline dropped a record")]
+    fn under_delivering_feeder_panics_instead_of_hanging() {
+        let p = Pipeline::new(AddOne { workers: 2 });
+        let _ = p.run_fed(3, |feed| {
+            feed.send((0, 0)).unwrap(); // indices 1 and 2 never arrive
+        });
+    }
+}

@@ -177,6 +177,152 @@ pub fn run_jobs_cached(jobs: &[UnitTestJob], workers: usize, memo: &ScoreMemo) -
     }
 }
 
+/// Aggregate statistics of a [`run_jobs_stream`] run (the streaming
+/// engine has no materialized result vector to hang a [`RunReport`] on —
+/// results left through the `emit` callback as they completed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Jobs that actually executed on a substrate.
+    pub executed: usize,
+    /// Jobs answered from the memo or the in-flight dedup table.
+    pub cache_hits: usize,
+}
+
+/// The streaming counterpart of [`run_jobs_cached`]: consumes
+/// `(record_index, job)` pairs from a channel **as they arrive** — no
+/// full `&[UnitTestJob]` slice required — and emits each
+/// `(record_index, JobResult)` the moment its verdict is known.
+///
+/// This is the execution stage of the stage-graph pipeline: upstream
+/// generation/scoring stages feed jobs while earlier jobs are already
+/// running, so substrate execution overlaps every other phase instead of
+/// waiting behind a barrier.
+///
+/// Deduplication is memo-aware and race-free on work (not just on
+/// results): the first arrival of a `(candidate, script)` key executes;
+/// arrivals *while that execution is in flight* park on a wait list and
+/// are answered when it completes; later arrivals hit the memo. Identical
+/// candidates therefore execute exactly once per memo lifetime, same as
+/// the batch engine. `emit` is called from worker threads, concurrently
+/// and in completion order.
+///
+/// Returns once the channel disconnects (all senders dropped) and every
+/// received job has been answered.
+pub fn run_jobs_stream<F>(
+    jobs: std::sync::mpsc::Receiver<(usize, UnitTestJob)>,
+    workers: usize,
+    memo: &ScoreMemo,
+    emit: F,
+) -> StreamStats
+where
+    F: Fn(usize, JobResult) + Send + Sync,
+{
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    // Parked duplicates of an executing key: (record_index, problem_id)
+    // pairs answered when the execution completes.
+    type WaitList = Vec<(usize, String)>;
+    let workers = workers.max(1);
+    let input = Mutex::new(jobs);
+    let in_flight: Mutex<HashMap<(u64, u64), WaitList>> = Mutex::new(HashMap::new());
+    let executed = AtomicUsize::new(0);
+    let cache_hits = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let input = &input;
+            let in_flight = &in_flight;
+            let executed = &executed;
+            let cache_hits = &cache_hits;
+            let emit = &emit;
+            scope.spawn(move || loop {
+                let received = input.lock().expect("stream input poisoned").recv();
+                let Ok((idx, job)) = received else { break };
+                let key = job.memo_key();
+                // Fast path: a finished verdict in the memo.
+                if let Some(v) = memo.get(key) {
+                    cache_hits.fetch_add(1, Ordering::Relaxed);
+                    emit(idx, cached_result(job.problem_id, v));
+                    continue;
+                }
+                {
+                    let mut table = in_flight.lock().expect("in-flight table poisoned");
+                    if let Some(waiters) = table.get_mut(&key) {
+                        // Same key already executing: park until it lands.
+                        waiters.push((idx, job.problem_id));
+                        cache_hits.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    // The key may have completed between the memo probe and
+                    // taking the table lock; re-check before claiming it.
+                    if let Some(v) = memo.get(key) {
+                        cache_hits.fetch_add(1, Ordering::Relaxed);
+                        emit(idx, cached_result(job.problem_id, v));
+                        continue;
+                    }
+                    table.insert(key, Vec::new());
+                }
+                let mut shell = ShellSubstrate::new();
+                let verdict = match shell.execute(&job.candidate_yaml, &job.script) {
+                    Ok(outcome) => CachedVerdict {
+                        passed: outcome.passed,
+                        simulated_ms: outcome.simulated_ms,
+                    },
+                    Err(_) => CachedVerdict {
+                        passed: false,
+                        simulated_ms: 0,
+                    },
+                };
+                memo.insert(key, verdict);
+                executed.fetch_add(1, Ordering::Relaxed);
+                emit(
+                    idx,
+                    JobResult {
+                        problem_id: job.problem_id,
+                        passed: verdict.passed,
+                        simulated_ms: verdict.simulated_ms,
+                        worker: w,
+                    },
+                );
+                let waiters = in_flight
+                    .lock()
+                    .expect("in-flight table poisoned")
+                    .remove(&key)
+                    .unwrap_or_default();
+                for (widx, problem_id) in waiters {
+                    emit(
+                        widx,
+                        JobResult {
+                            problem_id,
+                            passed: verdict.passed,
+                            simulated_ms: verdict.simulated_ms,
+                            worker: w,
+                        },
+                    );
+                }
+            });
+        }
+    });
+    StreamStats {
+        workers,
+        executed: executed.load(Ordering::Relaxed),
+        cache_hits: cache_hits.load(Ordering::Relaxed),
+    }
+}
+
+/// A [`JobResult`] served from cache (no worker ran it this run).
+fn cached_result(problem_id: String, v: CachedVerdict) -> JobResult {
+    JobResult {
+        problem_id,
+        passed: v.passed,
+        simulated_ms: v.simulated_ms,
+        worker: 0,
+    }
+}
+
 /// The seed §3.3 master/worker engine: jobs flow through a Redis-like
 /// blocking queue, workers claim them with `BLPOP`, results return keyed
 /// by index. No deduplication, no stealing — the faithful distributed

@@ -8,7 +8,8 @@
 //!   through the [`substrate::Substrate`] trait on a sharded
 //!   work-stealing scheduler with content-addressed score memoization
 //!   (the seed master/worker queue engine survives as
-//!   [`executor::run_jobs_queue`]);
+//!   [`executor::run_jobs_queue`]; the streaming stage-graph pipeline
+//!   consumes jobs as they arrive via [`executor::run_jobs_stream`]);
 //! * [`shard`] — the per-shard queues + work stealing scheduler;
 //! * [`memo`] — the `(candidate, script)` content-addressed verdict cache;
 //! * [`des`] — a discrete-event simulation of the cloud deployment
@@ -42,6 +43,9 @@ pub mod shard;
 
 pub use cost::{evaluation_cost, inference_cost, table3, CloudOption, InferenceOption};
 pub use des::{dataset_workload, figure5, simulate, SimConfig, SimJob, SimResult};
-pub use executor::{run_jobs, run_jobs_cached, run_jobs_queue, JobResult, RunReport, UnitTestJob};
+pub use executor::{
+    run_jobs, run_jobs_cached, run_jobs_queue, run_jobs_stream, JobResult, RunReport, StreamStats,
+    UnitTestJob,
+};
 pub use memo::{CachedVerdict, ScoreMemo};
 pub use miniredis::MiniRedis;

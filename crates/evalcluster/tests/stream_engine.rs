@@ -1,0 +1,143 @@
+//! The streaming execution engine against the batch engines: verdict
+//! agreement under mixed pass/fail workloads, in-flight deduplication,
+//! skewed arrival pacing, and skewed per-job durations on the sharded
+//! scheduler it shares result-ordering semantics with.
+
+use std::sync::mpsc::sync_channel;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use evalcluster::executor::{run_jobs, run_jobs_stream, JobResult, UnitTestJob};
+use evalcluster::memo::ScoreMemo;
+use evalcluster::shard::run_sharded;
+
+fn sample_jobs(n: usize) -> Vec<UnitTestJob> {
+    let script = "kubectl apply -f labeled_code.yaml\nkubectl wait --for=condition=Ready pod -l app=t --timeout=60s && echo unit_test_passed";
+    (0..n)
+        .map(|i| UnitTestJob {
+            problem_id: format!("p{i}"),
+            script: script.to_owned(),
+            candidate_yaml: format!(
+                "apiVersion: v1\nkind: Pod\nmetadata:\n  name: web-{i}\n  labels:\n    app: t\nspec:\n  containers:\n  - name: c\n    image: nginx\n"
+            ),
+        })
+        .collect()
+}
+
+/// Drives `jobs` through the streaming engine, optionally sleeping
+/// `feed_gap` between sends to model a skewed/slow producer, and returns
+/// the results in record-index order plus the stream stats.
+fn stream_all(
+    jobs: &[UnitTestJob],
+    workers: usize,
+    memo: &ScoreMemo,
+    feed_gap: Option<Duration>,
+) -> (Vec<JobResult>, evalcluster::StreamStats) {
+    let slots: Mutex<Vec<Option<JobResult>>> = Mutex::new(vec![None; jobs.len()]);
+    let (tx, rx) = sync_channel::<(usize, UnitTestJob)>(4);
+    let stats = std::thread::scope(|scope| {
+        scope.spawn(move || {
+            for (i, job) in jobs.iter().cloned().enumerate() {
+                if let Some(gap) = feed_gap {
+                    std::thread::sleep(gap);
+                }
+                tx.send((i, job)).expect("stream consumer hung up early");
+            }
+        });
+        run_jobs_stream(rx, workers, memo, |i, result| {
+            let mut slots = slots.lock().unwrap();
+            assert!(slots[i].is_none(), "record {i} answered twice");
+            slots[i] = Some(result);
+        })
+    });
+    let results = slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("stream dropped a record"))
+        .collect();
+    (results, stats)
+}
+
+#[test]
+fn stream_agrees_with_batch_engine_on_mixed_verdicts() {
+    let mut jobs = sample_jobs(18);
+    jobs[3].candidate_yaml = "apiVersion: v1\nkind: ConfigMap\nmetadata:\n  name: x\n".into();
+    jobs[11].candidate_yaml = "not yaml {{{".into();
+    let batch = run_jobs(&jobs, 4);
+    let (streamed, stats) = stream_all(&jobs, 4, &ScoreMemo::new(), None);
+    assert_eq!(streamed.len(), batch.results.len());
+    for (s, b) in streamed.iter().zip(&batch.results) {
+        assert_eq!(s.problem_id, b.problem_id);
+        assert_eq!(s.passed, b.passed, "{}", s.problem_id);
+        assert_eq!(s.simulated_ms, b.simulated_ms, "{}", s.problem_id);
+    }
+    assert_eq!(stats.executed, 18);
+    assert_eq!(stats.cache_hits, 0);
+}
+
+#[test]
+fn stream_deduplicates_identical_candidates() {
+    // 30 records, only 3 distinct (candidate, script) keys: each key must
+    // execute exactly once whether its duplicates arrive while it is in
+    // flight or after it landed in the memo.
+    let distinct = sample_jobs(3);
+    let jobs: Vec<UnitTestJob> = (0..30)
+        .map(|i| UnitTestJob {
+            problem_id: format!("dup{i}"),
+            ..distinct[i % 3].clone()
+        })
+        .collect();
+    let memo = ScoreMemo::new();
+    let (results, stats) = stream_all(&jobs, 4, &memo, None);
+    assert_eq!(stats.executed, 3);
+    assert_eq!(stats.cache_hits, 27);
+    assert!(results.iter().all(|r| r.passed));
+    assert_eq!(memo.len(), 3);
+    // A second streamed run over the same memo executes nothing.
+    let (_, warm) = stream_all(&jobs, 4, &memo, None);
+    assert_eq!(warm.executed, 0);
+    assert_eq!(warm.cache_hits, 30);
+}
+
+#[test]
+fn stream_survives_skewed_arrival_pacing() {
+    // A slow producer (1 ms between sends) must not wedge or starve the
+    // consumer pool: every record is still answered exactly once, with
+    // verdicts identical to an instantaneous feed.
+    let jobs = sample_jobs(24);
+    let (paced, _) = stream_all(&jobs, 4, &ScoreMemo::new(), Some(Duration::from_millis(1)));
+    let (instant, _) = stream_all(&jobs, 4, &ScoreMemo::new(), None);
+    for (a, b) in paced.iter().zip(&instant) {
+        assert_eq!(a.problem_id, b.problem_id);
+        assert_eq!(a.passed, b.passed);
+        assert_eq!(a.simulated_ms, b.simulated_ms);
+    }
+}
+
+#[test]
+fn sharded_scheduler_keeps_order_under_heavily_skewed_durations() {
+    // Deliberately adversarial duration skew: the first shard's jobs are
+    // ~20x slower than the rest. Work stealing must rebalance, and the
+    // result vector must still come back in exact job-index order.
+    let (results, stats) = run_sharded(96, 8, |worker, idx| {
+        let millis = if idx < 12 { 4 } else { 0 };
+        std::thread::sleep(Duration::from_millis(millis));
+        (worker, idx)
+    });
+    assert_eq!(results.len(), 96);
+    for (i, (_, idx)) in results.iter().enumerate() {
+        assert_eq!(*idx, i, "result {i} out of order");
+    }
+    assert!(
+        stats.stolen > 0,
+        "no steals despite a 20x skewed shard: {stats:?}"
+    );
+    // The slow jobs must not all have been served by their home worker.
+    let slow_workers: std::collections::HashSet<usize> =
+        results[..12].iter().map(|(w, _)| *w).collect();
+    assert!(
+        slow_workers.len() >= 2,
+        "skewed shard was not rebalanced: {slow_workers:?}"
+    );
+}

@@ -48,7 +48,9 @@ pub use corrupt::AnswerCategory;
 pub use model::{standard_models, GenParams, LanguageModel, SimulatedModel};
 pub use postprocess::extract_yaml;
 pub use profiles::{all_models, ModelProfile, Tier};
-pub use query::{auto_batch_size, query_batch, BatchReport, QueryConfig};
+pub use query::{
+    auto_batch_size, query_batch, query_stream, BatchReport, QueryConfig, StreamReport,
+};
 
 /// Classifies an extracted answer into Figure 7's six categories, given
 /// the unit-test verdict. This is the analysis-side mirror of the

@@ -55,6 +55,54 @@ fn cluster_reexport_runs_jobs() {
 }
 
 #[test]
+fn streaming_reexports_compose_into_a_stage_graph() {
+    use cloudeval::core::pipeline::{Pipeline, Stage};
+
+    // llm::query_stream emits incrementally...
+    struct Echo;
+    impl llm::LanguageModel for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn generate(&self, prompt: &str, _params: &llm::GenParams) -> String {
+            prompt.to_owned()
+        }
+    }
+    let prompts: Vec<String> = (0..8).map(|i| format!("p{i}")).collect();
+    let emitted = std::sync::Mutex::new(0usize);
+    let stream = llm::query_stream(
+        &Echo,
+        &prompts,
+        &llm::GenParams::default(),
+        &llm::QueryConfig::default(),
+        |_, _| *emitted.lock().unwrap() += 1,
+    );
+    assert_eq!(stream.prompts, 8);
+    assert_eq!(*emitted.lock().unwrap(), 8);
+
+    // ...the pipeline orders the stream deterministically...
+    struct Len;
+    impl Stage for Len {
+        type In = String;
+        type Out = usize;
+        fn workers(&self) -> usize {
+            2
+        }
+        fn process(&self, _index: usize, input: String) -> usize {
+            input.len()
+        }
+    }
+    let out = Pipeline::new(Len).run(vec!["a".into(), "bb".into(), "ccc".into()]);
+    assert_eq!(out, vec![1, 2, 3]);
+
+    // ...and the streaming executor drains a disconnected channel.
+    let (tx, rx) = std::sync::mpsc::sync_channel::<(usize, cluster::UnitTestJob)>(1);
+    drop(tx);
+    let stats = cluster::run_jobs_stream(rx, 2, &cluster::ScoreMemo::new(), |_, _| {});
+    assert_eq!(stats.executed, 0);
+}
+
+#[test]
 fn envoy_reexport_parses_sample_config() {
     let cfg = envoy::EnvoyConfig::parse(envoy::SAMPLE_CONFIG).unwrap();
     assert!(matches!(

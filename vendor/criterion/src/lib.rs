@@ -12,11 +12,17 @@
 //! is a substring filter on benchmark names
 //! (`cargo bench --bench platform -- executor_engine` runs only that
 //! group).
+//!
+//! Setting `CRITERION_JSON=<path>` additionally writes every completed
+//! measurement as a JSON array of `{"name", "mean_ns", "iters"}` records
+//! — the machine-readable trajectory file CI archives
+//! (`BENCH_pipeline.json`). The file is rewritten after each measurement,
+//! so it is valid JSON even if the bench process is interrupted.
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// The substring filter from the command line (first non-flag argument),
@@ -57,6 +63,61 @@ impl Bencher {
     }
 }
 
+/// Path of the machine-readable report, from `CRITERION_JSON`.
+fn json_path() -> Option<&'static str> {
+    static PATH: OnceLock<Option<String>> = OnceLock::new();
+    PATH.get_or_init(|| {
+        std::env::var("CRITERION_JSON")
+            .ok()
+            .filter(|p| !p.is_empty())
+    })
+    .as_deref()
+}
+
+/// Measurements completed so far in this bench process.
+fn json_records() -> &'static Mutex<Vec<(String, f64, u64)>> {
+    static RECORDS: OnceLock<Mutex<Vec<(String, f64, u64)>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Minimal JSON string escaping (bench names are plain identifiers, but
+/// stay correct for arbitrary input).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Appends one measurement and rewrites the whole report file so the
+/// on-disk artifact is always a complete, valid JSON array.
+fn write_json(name: &str, mean_ns: f64, iters: u64) {
+    let Some(path) = json_path() else { return };
+    let mut records = json_records().lock().expect("bench records poisoned");
+    records.push((name.to_owned(), mean_ns, iters));
+    let body: Vec<String> = records
+        .iter()
+        .map(|(n, ns, it)| {
+            format!(
+                "  {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}}}",
+                json_escape(n),
+                ns,
+                it
+            )
+        })
+        .collect();
+    let json = format!("[\n{}\n]\n", body.join(",\n"));
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("criterion: cannot write {path}: {e}");
+    }
+}
+
 fn report(name: &str, mean_ns: f64) {
     let human = if mean_ns >= 1e9 {
         format!("{:.3} s", mean_ns / 1e9)
@@ -80,6 +141,7 @@ fn run_target(name: &str, sample_size: u64, f: &mut dyn FnMut(&mut Bencher)) {
     };
     f(&mut b);
     report(name, b.mean_ns);
+    write_json(name, b.mean_ns, sample_size);
 }
 
 /// Identifier for parameterized benchmarks.
@@ -191,6 +253,13 @@ mod tests {
         let mut calls = 0u64;
         c.bench_function("noop", |b| b.iter(|| calls += 1));
         assert!(calls > 0);
+    }
+
+    #[test]
+    fn json_escaping_is_sound() {
+        assert_eq!(json_escape("plain/name_1"), "plain/name_1");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\there"), "tab\\u0009here");
     }
 
     #[test]
