@@ -1,0 +1,110 @@
+//! The `serve_engine` bench group: requests/s through the full HTTP
+//! serving stack — a real `ceserve` instance on a loopback socket driven
+//! by the built-in load generator.
+//!
+//! Three axes:
+//!
+//! * `cold` — the memo is cleared before every iteration, so every
+//!   distinct candidate pays extraction + static scoring + a substrate
+//!   execution;
+//! * `warm` — the memo stays hot across iterations, so repeat
+//!   submissions are served from the verdict store without touching a
+//!   substrate (the acceptance bar is warm ≥ 2x cold);
+//! * `warm-workers/N` — memo-warm throughput across worker-pool widths.
+//!
+//! CI runs this group with `CRITERION_JSON=BENCH_serve.json` to record
+//! the trajectory.
+
+use std::sync::Arc;
+
+use cedataset::Dataset;
+use ceserve::loadgen::{self, LoadGenConfig};
+use ceserve::ServerConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const REQUESTS_PER_ITER: usize = 64;
+const CORPUS_SIZE: usize = 24;
+
+fn load_config() -> LoadGenConfig {
+    LoadGenConfig {
+        clients: 4,
+        requests: REQUESTS_PER_ITER,
+        ..LoadGenConfig::default()
+    }
+}
+
+fn bench_serve_engine(c: &mut Criterion) {
+    let dataset = Arc::new(Dataset::generate());
+    let corpus = loadgen::build_corpus(&dataset, CORPUS_SIZE);
+    let mut group = c.benchmark_group("serve_engine");
+    group.sample_size(10);
+
+    // One server per scenario; the loadgen reconnects per iteration.
+    let server = ceserve::spawn(
+        "127.0.0.1:0",
+        Arc::clone(&dataset),
+        ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind bench server");
+    let addr = server.addr();
+    let config = load_config();
+
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            // Clearing both caches makes every iteration a fresh service:
+            // each distinct candidate re-scores and re-executes.
+            server.service().clear_caches();
+            let report = loadgen::run(addr, &corpus, &config).expect("cold run");
+            assert_eq!(report.outcomes.len(), REQUESTS_PER_ITER);
+        })
+    });
+
+    // Pre-warm: one uniform sweep covers the whole corpus.
+    let warmup = LoadGenConfig {
+        clients: 4,
+        requests: CORPUS_SIZE * 2,
+        zipf_exponent: 0.0,
+        ..LoadGenConfig::default()
+    };
+    loadgen::run(addr, &corpus, &warmup).expect("warmup");
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            let report = loadgen::run(addr, &corpus, &config).expect("warm run");
+            assert_eq!(report.outcomes.len(), REQUESTS_PER_ITER);
+        })
+    });
+    server.shutdown().expect("bench server shutdown");
+
+    // Memo-warm throughput across worker-pool widths.
+    for workers in [1usize, 2, 8] {
+        let server = ceserve::spawn(
+            "127.0.0.1:0",
+            Arc::clone(&dataset),
+            ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind bench server");
+        let addr = server.addr();
+        loadgen::run(addr, &corpus, &warmup).expect("warmup");
+        group.bench_with_input(
+            BenchmarkId::new("warm-workers", workers),
+            &workers,
+            |b, _| {
+                b.iter(|| {
+                    let report = loadgen::run(addr, &corpus, &config).expect("scaling run");
+                    assert_eq!(report.outcomes.len(), REQUESTS_PER_ITER);
+                })
+            },
+        );
+        server.shutdown().expect("bench server shutdown");
+    }
+    group.finish();
+}
+
+criterion_group!(serve, bench_serve_engine);
+criterion_main!(serve);

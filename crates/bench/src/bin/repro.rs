@@ -26,6 +26,7 @@
 
 use cedataset::Variant;
 use cloudeval_bench::experiments::Experiments;
+use cloudeval_bench::serve::ServeOptions;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,6 +35,10 @@ fn main() {
     let mut variants: Vec<Variant> = Variant::ALL.to_vec();
     let mut channel_bound = cloudeval_core::pipeline::DEFAULT_CHANNEL_BOUND;
     let mut live_latency_ms = 15u64;
+    let mut port = 0u16;
+    let mut requests = 200usize;
+    let mut clients = 4usize;
+    let mut memo_path: Option<std::path::PathBuf> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -73,6 +78,36 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--live-latency needs milliseconds"));
             }
+            "--port" => {
+                i += 1;
+                port = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--port needs a port number"));
+            }
+            "--requests" => {
+                i += 1;
+                requests = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|r| *r > 0)
+                    .unwrap_or_else(|| die("--requests needs a positive integer"));
+            }
+            "--clients" => {
+                i += 1;
+                clients = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|c| *c > 0)
+                    .unwrap_or_else(|| die("--clients needs a positive integer"));
+            }
+            "--memo" => {
+                i += 1;
+                memo_path = Some(std::path::PathBuf::from(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--memo needs a file path")),
+                ));
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -88,29 +123,52 @@ fn main() {
     if targets.iter().any(|t| t == "all") {
         targets = ALL_TARGETS.iter().map(|s| (*s).to_owned()).collect();
     }
-    eprintln!(
-        "# generating dataset and calibrating 12 models (stride {stride}, {workers} workers)..."
-    );
-    let experiments = Experiments::with_workers(stride, workers);
+    // The serve target boots its own corpus; the table/figure targets
+    // share one lazily-built experiment context.
+    let mut experiments: Option<Experiments> = None;
+    fn context(
+        experiments: &mut Option<Experiments>,
+        stride: usize,
+        workers: usize,
+    ) -> &Experiments {
+        experiments.get_or_insert_with(|| {
+            eprintln!(
+                "# generating dataset and calibrating 12 models (stride {stride}, {workers} workers)..."
+            );
+            Experiments::with_workers(stride, workers)
+        })
+    }
     for target in &targets {
         let started = std::time::Instant::now();
         let output = match target.as_str() {
-            "table1" => experiments.table1(),
-            "table2" => experiments.table2(),
-            "table3" => experiments.table3(),
-            "table4" => experiments.table4(),
-            "table5" => experiments.table5(),
-            "table6" => experiments.table6(),
-            "table7" => experiments.table7(),
-            "table8" => experiments.table8(),
-            "table9" => experiments.table9(),
-            "fig5" => experiments.fig5(),
-            "fig6" => experiments.fig6(),
-            "fig7" => experiments.fig7(),
-            "fig8" => experiments.fig8(16),
-            "fig9" => experiments.fig9(),
-            "grid" => experiments.grid(&variants),
-            "pipeline" => experiments.pipeline(&variants, channel_bound, live_latency_ms),
+            "serve" => cloudeval_bench::serve::serve_report(&ServeOptions {
+                port,
+                workers,
+                requests,
+                clients,
+                memo_path: memo_path.clone(),
+                ..ServeOptions::default()
+            }),
+            "table1" => context(&mut experiments, stride, workers).table1(),
+            "table2" => context(&mut experiments, stride, workers).table2(),
+            "table3" => context(&mut experiments, stride, workers).table3(),
+            "table4" => context(&mut experiments, stride, workers).table4(),
+            "table5" => context(&mut experiments, stride, workers).table5(),
+            "table6" => context(&mut experiments, stride, workers).table6(),
+            "table7" => context(&mut experiments, stride, workers).table7(),
+            "table8" => context(&mut experiments, stride, workers).table8(),
+            "table9" => context(&mut experiments, stride, workers).table9(),
+            "fig5" => context(&mut experiments, stride, workers).fig5(),
+            "fig6" => context(&mut experiments, stride, workers).fig6(),
+            "fig7" => context(&mut experiments, stride, workers).fig7(),
+            "fig8" => context(&mut experiments, stride, workers).fig8(16),
+            "fig9" => context(&mut experiments, stride, workers).fig9(),
+            "grid" => context(&mut experiments, stride, workers).grid(&variants),
+            "pipeline" => context(&mut experiments, stride, workers).pipeline(
+                &variants,
+                channel_bound,
+                live_latency_ms,
+            ),
             other => {
                 eprintln!("unknown target {other:?} (see --help)");
                 continue;
@@ -127,7 +185,7 @@ fn main() {
 
 const ALL_TARGETS: &[&str] = &[
     "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
-    "fig5", "fig6", "fig7", "fig8", "fig9", "grid", "pipeline",
+    "fig5", "fig6", "fig7", "fig8", "fig9", "grid", "pipeline", "serve",
 ];
 
 fn parse_variants(list: &str) -> Result<Vec<Variant>, String> {
@@ -148,11 +206,12 @@ fn parse_variants(list: &str) -> Result<Vec<Variant>, String> {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro [--stride N] [--workers N] [--variants LIST] [--channel-bound N] [--live-latency MS] <target>..."
+        "usage: repro [--stride N] [--workers N] [--variants LIST] [--channel-bound N] [--live-latency MS] [--port N] [--requests N] [--clients N] [--memo PATH] <target>..."
     );
     eprintln!("targets: {} | all", ALL_TARGETS.join(" | "));
     eprintln!("variants: original,simplified,translated (grid/pipeline targets)");
     eprintln!("channel-bound: stage-graph backpressure depth (pipeline target)");
+    eprintln!("port/requests/clients/memo: benchmark-as-a-service knobs (serve target)");
 }
 
 fn die(msg: &str) -> ! {

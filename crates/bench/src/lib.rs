@@ -1,10 +1,12 @@
 //! # cloudeval-bench
 //!
 //! The experiment harness: [`experiments`] computes every table and figure
-//! in the paper from a fresh benchmark run; the `repro` binary prints
-//! them (`cargo run --release -p cloudeval-bench --bin repro -- all`).
+//! in the paper from a fresh benchmark run; [`serve`] boots the
+//! benchmark-as-a-service layer and load-tests it; the `repro` binary
+//! prints both (`cargo run --release -p cloudeval-bench --bin repro -- all`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod serve;

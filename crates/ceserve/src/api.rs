@@ -1,0 +1,562 @@
+//! The JSON API: routing, body decoding, response encoding, and the
+//! service state shared by every worker.
+//!
+//! The wire format is produced by [`yamlkit::json::to_json`] and decoded
+//! through the YAML parser (JSON is a YAML subset), so requests and
+//! responses get the exact parser guarantees the benchmark itself runs
+//! on — floats stay floats, quoted number-lookalikes stay strings.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use cedataset::{Dataset, Variant};
+use cloudeval_core::harness::{
+    score_submission, score_submissions_stream, StageGauges, Submission, SubmissionVerdict,
+};
+use evalcluster::memo::ScoreMemo;
+use yamlkit::{ymap, Yaml};
+
+use crate::http::{self, ChunkedWriter, Request, MAX_BODY_BYTES};
+
+/// Most items accepted in one `/v1/batch` request.
+pub const MAX_BATCH_ITEMS: usize = 4096;
+
+/// Most entries held in the in-process response cache before it resets.
+const MAX_RESPONSE_CACHE: usize = 65_536;
+
+/// Wire label of a variant (`original` / `simplified` / `translated`).
+pub fn variant_wire(variant: Variant) -> &'static str {
+    match variant {
+        Variant::Original => "original",
+        Variant::Simplified => "simplified",
+        Variant::Translated => "translated",
+    }
+}
+
+/// Parses a wire variant label.
+pub fn parse_variant(label: &str) -> Option<Variant> {
+    match label {
+        "original" => Some(Variant::Original),
+        "simplified" => Some(Variant::Simplified),
+        "translated" => Some(Variant::Translated),
+        _ => None,
+    }
+}
+
+/// Request counters, gauges and timing shared across workers.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// All requests answered (any status).
+    pub requests: AtomicUsize,
+    /// `GET /v1/problems` requests.
+    pub problems_requests: AtomicUsize,
+    /// `POST /v1/evaluate` requests.
+    pub evaluate_requests: AtomicUsize,
+    /// `POST /v1/batch` requests.
+    pub batch_requests: AtomicUsize,
+    /// `GET /v1/stats` requests.
+    pub stats_requests: AtomicUsize,
+    /// Requests answered with a 4xx error.
+    pub client_errors: AtomicUsize,
+    /// Individual records streamed through `/v1/batch`.
+    pub batch_records: AtomicUsize,
+    /// Connections waiting in the bounded accept queue.
+    pub queue_depth: AtomicUsize,
+    /// Connections rejected with `503` because the queue was full.
+    pub rejected_busy: AtomicUsize,
+    /// Connections currently held by workers.
+    pub connections: AtomicUsize,
+    /// Workers currently processing a request.
+    pub busy_workers: AtomicUsize,
+    /// Requests answered from the full-verdict response cache (no
+    /// extraction, scoring or substrate work at all).
+    pub response_cache_hits: AtomicUsize,
+}
+
+/// The process-wide benchmark service: the problem corpus, one shared
+/// verdict memo, live statistics and stage gauges.
+pub struct Service {
+    dataset: Arc<Dataset>,
+    index: HashMap<String, usize>,
+    memo: Arc<ScoreMemo>,
+    /// Full verdicts keyed by `(candidate, problem@variant)` content
+    /// hash: a repeat submission of an already-judged candidate is
+    /// answered without recomputing anything — the substrate memo makes
+    /// repeats skip execution, this layer makes them skip scoring too.
+    /// In-process only; across restarts the persisted [`ScoreMemo`]
+    /// still guarantees no substrate re-execution.
+    responses: Mutex<HashMap<(u64, u64), SubmissionVerdict>>,
+    gauges: StageGauges,
+    stats: ServiceStats,
+    workers: usize,
+    started: Instant,
+}
+
+impl Service {
+    /// Builds the service over a problem corpus. `workers` is the width
+    /// used for `/v1/batch` stage pools (and mirrors the HTTP pool).
+    pub fn new(dataset: Arc<Dataset>, memo: Arc<ScoreMemo>, workers: usize) -> Service {
+        let index = dataset
+            .problems()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.id.clone(), i))
+            .collect();
+        Service {
+            dataset,
+            index,
+            memo,
+            responses: Mutex::new(HashMap::new()),
+            gauges: StageGauges::new(),
+            stats: ServiceStats::default(),
+            workers: workers.max(1),
+            started: Instant::now(),
+        }
+    }
+
+    /// The problem corpus this service judges against.
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        &self.dataset
+    }
+
+    /// The shared verdict memo.
+    pub fn memo(&self) -> &Arc<ScoreMemo> {
+        &self.memo
+    }
+
+    /// Live statistics counters.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// Looks a problem up by id.
+    pub fn problem(&self, id: &str) -> Option<&cedataset::Problem> {
+        self.index.get(id).map(|&i| &self.dataset.problems()[i])
+    }
+
+    /// Drops both caches (verdict memo and response cache) — the
+    /// cold-cache reset the `serve_engine` benchmark measures against.
+    pub fn clear_caches(&self) {
+        self.memo.clear();
+        self.responses
+            .lock()
+            .expect("response cache poisoned")
+            .clear();
+    }
+
+    /// A cache-served copy of an already-judged submission, if any.
+    fn cached_response(&self, key: (u64, u64)) -> Option<SubmissionVerdict> {
+        let found = self
+            .responses
+            .lock()
+            .expect("response cache poisoned")
+            .get(&key)
+            .cloned();
+        if found.is_some() {
+            self.stats
+                .response_cache_hits
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Stores a fresh verdict for replay. Bounded: the cache resets when
+    /// it would outgrow [`MAX_RESPONSE_CACHE`].
+    fn store_response(&self, key: (u64, u64), verdict: SubmissionVerdict) {
+        let mut cache = self.responses.lock().expect("response cache poisoned");
+        if cache.len() >= MAX_RESPONSE_CACHE {
+            cache.clear();
+        }
+        cache.insert(key, verdict);
+    }
+}
+
+/// The response-cache key for an item: candidate content × problem ×
+/// variant (the same content-addressing vocabulary as the score memo).
+fn response_key(item: &EvalItem<'_>) -> (u64, u64) {
+    ScoreMemo::key(
+        &item.candidate,
+        &format!("{}@{}", item.problem.id, variant_wire(item.variant)),
+    )
+}
+
+/// A typed client error: `(status, code, message)` rendered as
+/// `{"error":{"code":...,"message":...}}`.
+struct ApiError {
+    status: u16,
+    code: &'static str,
+    message: String,
+}
+
+impl ApiError {
+    fn bad_request(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 400,
+            code: "bad_request",
+            message: message.into(),
+        }
+    }
+
+    fn unknown_problem(id: &str) -> ApiError {
+        ApiError {
+            status: 404,
+            code: "unknown_problem",
+            message: format!("no problem with id {id:?}"),
+        }
+    }
+
+    fn body(&self) -> String {
+        yamlkit::json::to_json(&ymap! {
+            "error" => ymap! {
+                "code" => self.code,
+                "message" => self.message.clone(),
+            },
+        })
+    }
+}
+
+/// Encodes one verdict as a wire object.
+pub fn verdict_to_yaml(v: &SubmissionVerdict) -> Yaml {
+    ymap! {
+        "problem_id" => v.problem_id.clone(),
+        "variant" => variant_wire(v.variant),
+        "passed" => v.passed,
+        "cached" => v.cached,
+        "simulated_ms" => i64::try_from(v.simulated_ms).unwrap_or(i64::MAX),
+        "answer_class" => format!("{:?}", v.answer_class),
+        "scores" => ymap! {
+            "bleu" => v.scores.bleu,
+            "edit_distance" => v.scores.edit_distance,
+            "exact_match" => v.scores.exact_match,
+            "kv_exact" => v.scores.kv_exact,
+            "kv_wildcard" => v.scores.kv_wildcard,
+            "unit_test" => v.scores.unit_test,
+        },
+        "extracted" => v.extracted.clone(),
+    }
+}
+
+/// One decoded `/v1/evaluate`-shaped item.
+struct EvalItem<'s> {
+    problem: &'s cedataset::Problem,
+    variant: Variant,
+    candidate: String,
+}
+
+/// Decodes an item object (`{"problem_id", "candidate", "variant"?}`).
+fn decode_item<'s>(service: &'s Service, value: &Yaml, at: &str) -> Result<EvalItem<'s>, ApiError> {
+    let id = value
+        .get("problem_id")
+        .and_then(Yaml::as_str)
+        .ok_or_else(|| ApiError::bad_request(format!("{at}: missing string \"problem_id\"")))?;
+    let candidate = value
+        .get("candidate")
+        .and_then(Yaml::as_str)
+        .ok_or_else(|| ApiError::bad_request(format!("{at}: missing string \"candidate\"")))?;
+    let variant = match value.get("variant") {
+        None | Some(Yaml::Null) => Variant::Original,
+        Some(v) => v
+            .as_str()
+            .and_then(parse_variant)
+            .ok_or_else(|| ApiError::bad_request(format!("{at}: bad \"variant\"")))?,
+    };
+    let problem = service
+        .problem(id)
+        .ok_or_else(|| ApiError::unknown_problem(id))?;
+    Ok(EvalItem {
+        problem,
+        variant,
+        candidate: candidate.to_owned(),
+    })
+}
+
+/// Parses a JSON request body through the YAML engine.
+fn decode_body(body: &str) -> Result<Yaml, ApiError> {
+    if body.trim().is_empty() {
+        return Err(ApiError::bad_request("empty request body"));
+    }
+    yamlkit::parse_one(body)
+        .map(|n| n.to_value())
+        .map_err(|e| ApiError::bad_request(format!("body is not valid JSON/YAML: {e}")))
+}
+
+/// `GET /v1/problems`.
+fn problems_body(service: &Service) -> String {
+    let problems: Yaml = service
+        .dataset
+        .problems()
+        .iter()
+        .map(|p| {
+            ymap! {
+                "id" => p.id.clone(),
+                "category" => p.category.label(),
+                "application" => format!("{:?}", p.category.application()),
+                "variants" => Variant::ALL.iter().map(|v| variant_wire(*v)).collect::<Yaml>(),
+                "has_context" => p.has_context(),
+                "reference_lines" => i64::try_from(p.reference_lines()).unwrap_or(0),
+            }
+        })
+        .collect();
+    yamlkit::json::to_json(&ymap! {
+        "count" => i64::try_from(service.dataset.len()).unwrap_or(0),
+        "problems" => problems,
+    })
+}
+
+/// `GET /v1/stats`.
+fn stats_body(service: &Service) -> String {
+    let s = &service.stats;
+    let memo = &service.memo;
+    let (hits, misses) = (memo.hits(), memo.misses());
+    let lookups = hits + misses;
+    let hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        hits as f64 / lookups as f64
+    };
+    let count = |a: &AtomicUsize| i64::try_from(a.load(Ordering::Relaxed)).unwrap_or(0);
+    let g = &service.gauges;
+    yamlkit::json::to_json(&ymap! {
+        "uptime_ms" => i64::try_from(service.started.elapsed().as_millis()).unwrap_or(i64::MAX),
+        "workers" => i64::try_from(service.workers).unwrap_or(0),
+        "requests" => ymap! {
+            "total" => count(&s.requests),
+            "problems" => count(&s.problems_requests),
+            "evaluate" => count(&s.evaluate_requests),
+            "batch" => count(&s.batch_requests),
+            "stats" => count(&s.stats_requests),
+            "errors_4xx" => count(&s.client_errors),
+        },
+        "connections" => ymap! {
+            "active" => count(&s.connections),
+            "accept_queue_depth" => count(&s.queue_depth),
+            "rejected_busy" => count(&s.rejected_busy),
+            "busy_workers" => count(&s.busy_workers),
+        },
+        "memo" => ymap! {
+            "entries" => i64::try_from(memo.len()).unwrap_or(0),
+            "hits" => i64::try_from(hits).unwrap_or(0),
+            "misses" => i64::try_from(misses).unwrap_or(0),
+            "hit_rate" => hit_rate,
+        },
+        "response_cache" => ymap! {
+            "entries" => i64::try_from(
+                service.responses.lock().expect("response cache poisoned").len()
+            ).unwrap_or(0),
+            "hits" => count(&s.response_cache_hits),
+        },
+        "stages" => ymap! {
+            "extracting" => i64::try_from(g.extracting()).unwrap_or(0),
+            "scoring" => i64::try_from(g.scoring()).unwrap_or(0),
+            "executing" => i64::try_from(g.executing()).unwrap_or(0),
+            "completed" => i64::try_from(g.completed()).unwrap_or(0),
+        },
+        "batch_records" => count(&s.batch_records),
+    })
+}
+
+/// `POST /v1/evaluate`.
+fn evaluate_body(service: &Service, request: &Request) -> Result<String, ApiError> {
+    let value = decode_body(&request.body)?;
+    let item = decode_item(service, &value, "body")?;
+    let key = response_key(&item);
+    if let Some(mut verdict) = service.cached_response(key) {
+        verdict.cached = true;
+        return Ok(yamlkit::json::to_json(&verdict_to_yaml(&verdict)));
+    }
+    let verdict = score_submission(item.problem, item.variant, &item.candidate, &service.memo);
+    service.store_response(key, verdict.clone());
+    Ok(yamlkit::json::to_json(&verdict_to_yaml(&verdict)))
+}
+
+/// `POST /v1/batch`: decodes every item up front (any invalid item fails
+/// the whole request with a typed 400 before work starts), then streams
+/// verdicts back in completion order as one JSON object per chunk.
+fn batch_stream(
+    service: &Service,
+    request: &Request,
+    stream: &mut TcpStream,
+) -> Result<bool, ApiError> {
+    let value = decode_body(&request.body)?;
+    let items = match value.get("items") {
+        Some(Yaml::Seq(items)) => items,
+        _ => return Err(ApiError::bad_request("missing array \"items\"")),
+    };
+    if items.len() > MAX_BATCH_ITEMS {
+        return Err(ApiError::bad_request(format!(
+            "too many items: {} > {MAX_BATCH_ITEMS}",
+            items.len()
+        )));
+    }
+    let decoded: Vec<EvalItem<'_>> = items
+        .iter()
+        .enumerate()
+        .map(|(i, v)| decode_item(service, v, &format!("items[{i}]")))
+        .collect::<Result<_, _>>()?;
+
+    // Partition: items the response cache already answers stream out
+    // immediately; only the rest enter the stage-graph.
+    let mut replayed: Vec<(usize, SubmissionVerdict)> = Vec::new();
+    let mut fresh_indices: Vec<usize> = Vec::new();
+    let mut submissions: Vec<Submission<'_>> = Vec::new();
+    for (index, item) in decoded.iter().enumerate() {
+        match service.cached_response(response_key(item)) {
+            Some(mut verdict) => {
+                verdict.cached = true;
+                replayed.push((index, verdict));
+            }
+            None => {
+                fresh_indices.push(index);
+                submissions.push(Submission {
+                    problem: item.problem,
+                    variant: item.variant,
+                    raw: item.candidate.clone(),
+                });
+            }
+        }
+    }
+    let replayed_count = replayed.len();
+
+    // From here on the status line is committed; transport errors just
+    // stop the stream.
+    let writer = match ChunkedWriter::begin(stream, 200, "application/x-ndjson", request.keep_alive)
+    {
+        Ok(w) => Mutex::new(Some(w)),
+        Err(_) => return Ok(false),
+    };
+    let write_line = |index: usize, verdict: &SubmissionVerdict| {
+        service.stats.batch_records.fetch_add(1, Ordering::Relaxed);
+        let mut line = yamlkit::json::to_json(&ymap! {
+            "index" => i64::try_from(index).unwrap_or(0),
+            "result" => verdict_to_yaml(verdict),
+        });
+        line.push('\n');
+        let mut guard = writer.lock().expect("batch writer poisoned");
+        if let Some(w) = guard.as_mut() {
+            if w.write_chunk(&line).is_err() {
+                // Client went away mid-stream: drop the writer, keep
+                // scoring (verdicts still land in the shared memo).
+                *guard = None;
+            }
+        }
+    };
+    for (index, verdict) in replayed {
+        write_line(index, &verdict);
+    }
+    let stats = score_submissions_stream(
+        &submissions,
+        service.workers,
+        &service.memo,
+        &service.gauges,
+        |i, verdict| {
+            let index = fresh_indices[i];
+            write_line(index, &verdict);
+            service.store_response(response_key(&decoded[index]), verdict);
+        },
+    );
+    let mut guard = writer.lock().expect("batch writer poisoned");
+    match guard.take() {
+        Some(mut w) => {
+            let summary = yamlkit::json::to_json(&ymap! {
+                "done" => i64::try_from(decoded.len()).unwrap_or(0),
+                "executed" => i64::try_from(stats.executed).unwrap_or(0),
+                "cache_hits" => i64::try_from(stats.cache_hits + replayed_count).unwrap_or(0),
+            });
+            let _ = w.write_chunk(&(summary + "\n"));
+            Ok(w.finish().unwrap_or(false))
+        }
+        None => Ok(false),
+    }
+}
+
+/// Routes one request and writes the response. Returns whether the
+/// connection may serve another request.
+pub fn handle(service: &Service, request: &Request, stream: &mut TcpStream) -> io::Result<bool> {
+    service.stats.requests.fetch_add(1, Ordering::Relaxed);
+    let outcome: Result<Option<String>, ApiError> =
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/v1/problems") => {
+                service
+                    .stats
+                    .problems_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(Some(problems_body(service)))
+            }
+            ("GET", "/v1/stats") => {
+                service.stats.stats_requests.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(stats_body(service)))
+            }
+            ("POST", "/v1/evaluate") => {
+                service
+                    .stats
+                    .evaluate_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                evaluate_body(service, request).map(Some)
+            }
+            ("POST", "/v1/batch") => {
+                service.stats.batch_requests.fetch_add(1, Ordering::Relaxed);
+                match batch_stream(service, request, stream) {
+                    Ok(keep) => return Ok(keep && request.keep_alive),
+                    Err(e) => Err(e),
+                }
+            }
+            (_, "/v1/problems" | "/v1/stats" | "/v1/evaluate" | "/v1/batch") => Err(ApiError {
+                status: 405,
+                code: "method_not_allowed",
+                message: format!("{} is not supported on {}", request.method, request.path),
+            }),
+            (_, path) => Err(ApiError {
+                status: 404,
+                code: "not_found",
+                message: format!("no such endpoint {path:?}"),
+            }),
+        };
+    match outcome {
+        Ok(Some(body)) => {
+            http::write_response(stream, 200, "application/json", &body, request.keep_alive)?;
+            Ok(request.keep_alive)
+        }
+        Ok(None) => Ok(request.keep_alive),
+        Err(e) => {
+            service.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            http::write_response(
+                stream,
+                e.status,
+                "application/json",
+                &e.body(),
+                request.keep_alive,
+            )?;
+            Ok(request.keep_alive)
+        }
+    }
+}
+
+/// The typed `413` body used when a request body exceeds
+/// [`MAX_BODY_BYTES`].
+pub fn oversized_body(declared: usize) -> String {
+    ApiError {
+        status: 413,
+        code: "body_too_large",
+        message: format!("declared body of {declared} bytes exceeds {MAX_BODY_BYTES}"),
+    }
+    .body()
+}
+
+/// The typed `400` body used when the request never parsed.
+pub fn malformed_body(message: &str) -> String {
+    ApiError::bad_request(format!("malformed request: {message}")).body()
+}
+
+/// The typed `503` body used when the accept queue is full.
+pub fn busy_body() -> String {
+    ApiError {
+        status: 503,
+        code: "server_busy",
+        message: "accept queue full; retry".into(),
+    }
+    .body()
+}

@@ -1,0 +1,353 @@
+//! A minimal, dependency-free HTTP/1.1 implementation on `std::net`:
+//! just enough protocol for the benchmark service — request parsing with
+//! hard size limits, keep-alive, fixed-length responses, and chunked
+//! transfer encoding for streamed batch results. Both sides of the wire
+//! live here: the server uses [`parse_request`] and the response writers,
+//! the load-generator client uses [`write_request`] and [`read_response`].
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request body. Anything bigger is answered with a
+/// typed `413` and the connection is closed.
+pub const MAX_BODY_BYTES: usize = 4 << 20;
+/// Largest accepted header section.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Most headers accepted on one request.
+const MAX_HEADERS: usize = 64;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path with any query string stripped.
+    pub path: String,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Decoded body (empty when the request has none).
+    pub body: String,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// The read timed out (idle keep-alive connection).
+    Timeout,
+    /// The bytes on the wire are not a valid HTTP/1.x request — answer
+    /// `400` and close.
+    Malformed(String),
+    /// The declared body exceeds [`MAX_BODY_BYTES`] — answer `413` and
+    /// close.
+    BodyTooLarge(usize),
+    /// Transport failure mid-request.
+    Io(io::Error),
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> RequestError {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => RequestError::Timeout,
+            io::ErrorKind::UnexpectedEof => RequestError::Closed,
+            io::ErrorKind::InvalidData => RequestError::Malformed("not valid UTF-8".into()),
+            _ => RequestError::Io(e),
+        }
+    }
+}
+
+/// Reads one line (up to CRLF or LF), enforcing a byte budget.
+///
+/// The budget bounds the *read itself* (via `Read::take`), not just the
+/// finished line, so a newline-free byte stream is answered with a typed
+/// 400 at the budget mark instead of buffering without limit.
+fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, RequestError> {
+    let mut line = String::new();
+    let n = (&mut *reader)
+        .take(*budget as u64 + 1)
+        .read_line(&mut line)
+        .map_err(RequestError::from)?;
+    if n == 0 {
+        return Err(RequestError::Closed);
+    }
+    if n > *budget {
+        return Err(RequestError::Malformed("header section too large".into()));
+    }
+    *budget -= n;
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Parses one request from a buffered connection.
+///
+/// The reader must wrap the same stream across calls so pipelined /
+/// keep-alive requests do not lose buffered bytes.
+pub fn parse_request(reader: &mut BufReader<TcpStream>) -> Result<Request, RequestError> {
+    let mut budget = MAX_HEADER_BYTES;
+    // Tolerate blank lines before the request line (RFC 9112 §2.2).
+    let request_line = loop {
+        let line = read_line(reader, &mut budget)?;
+        if !line.trim().is_empty() {
+            break line;
+        }
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => {
+            return Err(RequestError::Malformed(format!(
+                "bad request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_owned();
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = read_line(reader, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(RequestError::Malformed("too many headers".into()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| RequestError::Malformed(format!("bad header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let request = Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        headers,
+        body: String::new(),
+        keep_alive: true,
+    };
+    let keep_alive = match request.header("connection").map(str::to_ascii_lowercase) {
+        Some(c) if c.contains("close") => false,
+        _ => version != "HTTP/1.0",
+    };
+
+    let content_length = match request.header("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| RequestError::Malformed(format!("bad content-length {v:?}")))?,
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(RequestError::BodyTooLarge(content_length));
+    }
+    let mut raw = vec![0u8; content_length];
+    reader.read_exact(&mut raw).map_err(RequestError::from)?;
+    let body = String::from_utf8(raw)
+        .map_err(|_| RequestError::Malformed("body is not valid UTF-8".into()))?;
+    Ok(Request {
+        body,
+        keep_alive,
+        ..request
+    })
+}
+
+/// Human reason phrase for the status codes the service speaks.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one fixed-length response.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A chunked-transfer response in progress (the `/v1/batch` stream).
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+    keep_alive: bool,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Writes the response head and switches the body to chunked
+    /// transfer encoding.
+    pub fn begin(
+        stream: &'a mut TcpStream,
+        status: u16,
+        content_type: &str,
+        keep_alive: bool,
+    ) -> io::Result<ChunkedWriter<'a>> {
+        let connection = if keep_alive { "keep-alive" } else { "close" };
+        let head = format!(
+            "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ntransfer-encoding: chunked\r\nconnection: {connection}\r\n\r\n",
+            reason(status),
+        );
+        stream.write_all(head.as_bytes())?;
+        Ok(ChunkedWriter { stream, keep_alive })
+    }
+
+    /// Sends one chunk (empty input is skipped — a zero-length chunk
+    /// would terminate the stream).
+    pub fn write_chunk(&mut self, data: &str) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data.as_bytes())?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminates the chunk stream. Returns whether the connection may be
+    /// kept open.
+    pub fn finish(self) -> io::Result<bool> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()?;
+        Ok(self.keep_alive)
+    }
+}
+
+/// One parsed HTTP response (client side).
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Full body, chunked transfer already decoded.
+    pub body: String,
+}
+
+impl Response {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Writes one client request. `body` implies `POST`-style framing with a
+/// `content-length`.
+pub fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<()> {
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: ceserve\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads one full response, decoding chunked transfer encoding when the
+/// server streamed it.
+pub fn read_response(reader: &mut BufReader<TcpStream>) -> Result<Response, RequestError> {
+    let mut budget = MAX_HEADER_BYTES;
+    let status_line = read_line(reader, &mut budget)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| RequestError::Malformed(format!("bad status line {status_line:?}")))?;
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = read_line(reader, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+        }
+    }
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.to_ascii_lowercase().contains("chunked"));
+    let mut raw: Vec<u8> = Vec::new();
+    if chunked {
+        loop {
+            let mut line_budget = MAX_HEADER_BYTES;
+            let size_line = read_line(reader, &mut line_budget)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| RequestError::Malformed(format!("bad chunk size {size_line:?}")))?;
+            if size == 0 {
+                // Trailer section: read through the final blank line.
+                loop {
+                    let mut trailer_budget = MAX_HEADER_BYTES;
+                    let t = read_line(reader, &mut trailer_budget)?;
+                    if t.is_empty() {
+                        break;
+                    }
+                }
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            reader.read_exact(&mut chunk).map_err(RequestError::from)?;
+            raw.extend_from_slice(&chunk);
+            // Consume the CRLF after the chunk data.
+            let mut crlf = [0u8; 2];
+            reader.read_exact(&mut crlf).map_err(RequestError::from)?;
+        }
+    } else {
+        let len = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+            .unwrap_or(0);
+        raw = vec![0u8; len];
+        reader.read_exact(&mut raw).map_err(RequestError::from)?;
+    }
+    let body = String::from_utf8(raw)
+        .map_err(|_| RequestError::Malformed("response body is not valid UTF-8".into()))?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}

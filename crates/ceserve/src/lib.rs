@@ -1,0 +1,63 @@
+//! # ceserve
+//!
+//! Benchmark-as-a-service: a multithreaded HTTP/1.1 server (hand-rolled
+//! on `std::net` — no dependencies, per the offline vendor policy)
+//! exposing the CloudEval-YAML evaluation pipeline as a JSON API, plus
+//! the load-generator client that exercises it.
+//!
+//! | Endpoint | Purpose |
+//! |---|---|
+//! | `GET /v1/problems` | The problem corpus (ids, categories, variants) |
+//! | `POST /v1/evaluate` | Score one candidate → full verdict |
+//! | `POST /v1/batch` | Stream many candidates through the stage-graph (chunked) |
+//! | `GET /v1/stats` | Memo hit rate, queue depth, per-stage occupancy |
+//!
+//! Request/response bodies ride the same engine as the benchmark itself:
+//! encoded with [`yamlkit::json::to_json`], decoded through the YAML
+//! parser (JSON is a YAML subset). Verdicts come from
+//! [`cloudeval_core::harness::score_submission`] /
+//! [`score_submissions_stream`](cloudeval_core::harness::score_submissions_stream),
+//! so a response is bit-identical to what a direct pipeline run produces
+//! for the same candidate. One process-wide
+//! [`ScoreMemo`](evalcluster::memo::ScoreMemo) backs every request and
+//! can be persisted as JSONL across restarts
+//! ([`ServerConfig::memo_path`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! let dataset = Arc::new(cedataset::Dataset::generate());
+//! let server = ceserve::spawn(
+//!     "127.0.0.1:0",
+//!     Arc::clone(&dataset),
+//!     ceserve::ServerConfig::default(),
+//! )
+//! .unwrap();
+//!
+//! let corpus = ceserve::loadgen::build_corpus(&dataset, 8);
+//! let report = ceserve::loadgen::run(
+//!     server.addr(),
+//!     &corpus,
+//!     &ceserve::loadgen::LoadGenConfig {
+//!         clients: 2,
+//!         requests: 8,
+//!         ..Default::default()
+//!     },
+//! )
+//! .unwrap();
+//! assert_eq!(report.outcomes.len(), 8);
+//! server.shutdown().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod http;
+pub mod loadgen;
+pub mod server;
+
+pub use api::{Service, ServiceStats};
+pub use server::{spawn, ServerConfig, ServerHandle};

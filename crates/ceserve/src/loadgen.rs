@@ -1,0 +1,289 @@
+//! The built-in load-generator client: N concurrent `TcpStream` clients
+//! replaying a candidate corpus against `/v1/evaluate` with a Zipf-ish
+//! repeat distribution — low-rank corpus entries are requested far more
+//! often than the tail, exactly the traffic shape that makes the shared
+//! verdict memo earn its keep.
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use cedataset::{Dataset, Variant};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use yamlkit::{ymap, Yaml};
+
+use crate::api::variant_wire;
+use crate::http;
+
+/// One corpus entry: a raw candidate for a specific problem/variant.
+#[derive(Debug, Clone)]
+pub struct LoadItem {
+    /// Target problem id.
+    pub problem_id: String,
+    /// Target variant.
+    pub variant: Variant,
+    /// Raw candidate text (post-processing happens server-side).
+    pub raw: String,
+}
+
+/// Load-generator knobs.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Total requests across all clients.
+    pub requests: usize,
+    /// Zipf exponent: weight of corpus rank `r` is `1/(r+1)^s`. `0.0`
+    /// degenerates to uniform; around `1.0` is web-like skew.
+    pub zipf_exponent: f64,
+    /// RNG seed (each client derives its own stream from it).
+    pub seed: u64,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> LoadGenConfig {
+        LoadGenConfig {
+            clients: 4,
+            requests: 200,
+            zipf_exponent: 1.0,
+            seed: 7,
+        }
+    }
+}
+
+/// One completed request.
+#[derive(Debug, Clone)]
+pub struct LoadOutcome {
+    /// Which corpus entry was submitted.
+    pub corpus_index: usize,
+    /// HTTP status of the response.
+    pub status: u16,
+    /// Parsed response body.
+    pub body: Yaml,
+}
+
+/// Aggregate result of a load-generation run.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Every completed request (unordered across clients).
+    pub outcomes: Vec<LoadOutcome>,
+    /// Requests that failed at the transport layer.
+    pub transport_errors: usize,
+    /// Wall-clock of the whole run.
+    pub wall: Duration,
+}
+
+impl LoadReport {
+    /// Completed requests per second.
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.wall.as_secs_f64() == 0.0 {
+            return 0.0;
+        }
+        self.outcomes.len() as f64 / self.wall.as_secs_f64()
+    }
+}
+
+/// Builds a candidate corpus from a dataset: a mix of reference-derived
+/// passing candidates (fenced like real model output), lightly broken
+/// ones (wrong image / dropped lines → unit-test failures) and outright
+/// garbage, cycling through problems and variants deterministically.
+pub fn build_corpus(dataset: &Dataset, size: usize) -> Vec<LoadItem> {
+    let problems = dataset.problems();
+    let mut corpus = Vec::with_capacity(size);
+    for i in 0..size {
+        let problem = &problems[(i * 13) % problems.len()];
+        let variant = Variant::ALL[i % Variant::ALL.len()];
+        let reference = problem.clean_reference();
+        let raw = match i % 4 {
+            // Clean pass, wrapped the way chat models answer.
+            0 | 1 => format!("Here is the configuration:\n```yaml\n{reference}```\n"),
+            // Likely failure: drop the tail of the reference.
+            2 => {
+                let keep = reference.lines().count().saturating_sub(3).max(1);
+                let head: Vec<&str> = reference.lines().take(keep).collect();
+                format!("```yaml\n{}\n```", head.join("\n"))
+            }
+            // Garbage: not YAML at all.
+            _ => "I cannot produce YAML for this request {{{".to_owned(),
+        };
+        corpus.push(LoadItem {
+            problem_id: problem.id.clone(),
+            variant,
+            raw,
+        });
+    }
+    corpus
+}
+
+/// Precomputed cumulative Zipf weights over corpus ranks.
+fn zipf_cumulative(n: usize, s: f64) -> Vec<f64> {
+    let mut cumulative = Vec::with_capacity(n);
+    let mut total = 0.0;
+    for rank in 0..n {
+        total += 1.0 / ((rank + 1) as f64).powf(s);
+        cumulative.push(total);
+    }
+    cumulative
+}
+
+/// Samples a corpus index from the Zipf-ish distribution.
+fn sample_index(cumulative: &[f64], rng: &mut StdRng) -> usize {
+    let total = *cumulative.last().expect("non-empty corpus");
+    let needle = rng.gen_range(0.0..total);
+    cumulative
+        .partition_point(|&c| c <= needle)
+        .min(cumulative.len() - 1)
+}
+
+/// Encodes the `/v1/evaluate` body for a corpus entry.
+pub fn evaluate_body(item: &LoadItem) -> String {
+    yamlkit::json::to_json(&ymap! {
+        "problem_id" => item.problem_id.clone(),
+        "variant" => variant_wire(item.variant),
+        "candidate" => item.raw.clone(),
+    })
+}
+
+/// Issues one request on an existing connection.
+fn one_request(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    item: &LoadItem,
+) -> io::Result<http::Response> {
+    http::write_request(stream, "POST", "/v1/evaluate", Some(&evaluate_body(item)))?;
+    http::read_response(reader).map_err(|e| match e {
+        http::RequestError::Io(e) => e,
+        other => io::Error::other(format!("bad response: {other:?}")),
+    })
+}
+
+/// Runs the load generator against a server.
+///
+/// Each client keeps one persistent connection (reconnecting once per
+/// failed request) and replays Zipf-sampled corpus entries; the combined
+/// outcomes come back with their corpus indices so callers can verify
+/// every response against a direct pipeline run.
+pub fn run(
+    addr: SocketAddr,
+    corpus: &[LoadItem],
+    config: &LoadGenConfig,
+) -> io::Result<LoadReport> {
+    assert!(!corpus.is_empty(), "empty load corpus");
+    let clients = config.clients.max(1);
+    let cumulative = zipf_cumulative(corpus.len(), config.zipf_exponent);
+    let started = Instant::now();
+    let mut outcomes: Vec<LoadOutcome> = Vec::with_capacity(config.requests);
+    let mut transport_errors = 0usize;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(clients);
+        for client in 0..clients {
+            let share = config.requests / clients + usize::from(client < config.requests % clients);
+            let cumulative = &cumulative;
+            handles.push(scope.spawn(move || {
+                let mut rng =
+                    StdRng::seed_from_u64(config.seed ^ (client as u64).wrapping_mul(0x9e37_79b9));
+                let mut conn: Option<(TcpStream, BufReader<TcpStream>)> = None;
+                let mut outcomes = Vec::with_capacity(share);
+                let mut errors = 0usize;
+                for _ in 0..share {
+                    let index = sample_index(cumulative, &mut rng);
+                    // (Re)connect lazily.
+                    if conn.is_none() {
+                        match TcpStream::connect(addr) {
+                            Ok(stream) => {
+                                let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+                                let _ = stream.set_nodelay(true);
+                                match stream.try_clone() {
+                                    Ok(read_half) => {
+                                        conn = Some((stream, BufReader::new(read_half)));
+                                    }
+                                    Err(_) => {
+                                        errors += 1;
+                                        continue;
+                                    }
+                                }
+                            }
+                            Err(_) => {
+                                errors += 1;
+                                continue;
+                            }
+                        }
+                    }
+                    let (stream, reader) = conn.as_mut().expect("connection present");
+                    match one_request(stream, reader, &corpus[index]) {
+                        Ok(response) => {
+                            let body = yamlkit::parse_one(&response.body)
+                                .map(|n| n.to_value())
+                                .unwrap_or(Yaml::Null);
+                            outcomes.push(LoadOutcome {
+                                corpus_index: index,
+                                status: response.status,
+                                body,
+                            });
+                        }
+                        Err(_) => {
+                            errors += 1;
+                            conn = None; // force a reconnect
+                        }
+                    }
+                }
+                (outcomes, errors)
+            }));
+        }
+        for handle in handles {
+            let (mut client_outcomes, errors) = handle.join().expect("loadgen client panicked");
+            outcomes.append(&mut client_outcomes);
+            transport_errors += errors;
+        }
+    });
+    Ok(LoadReport {
+        outcomes,
+        transport_errors,
+        wall: started.elapsed(),
+    })
+}
+
+/// Fetches and parses `GET /v1/stats` from a running server.
+pub fn fetch_stats(addr: SocketAddr) -> io::Result<Yaml> {
+    let mut stream = TcpStream::connect(addr)?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut reader = BufReader::new(stream.try_clone()?);
+    http::write_request(&mut stream, "GET", "/v1/stats", None)?;
+    let response = http::read_response(&mut reader)
+        .map_err(|e| io::Error::other(format!("bad stats response: {e:?}")))?;
+    yamlkit::parse_one(&response.body)
+        .map(|n| n.to_value())
+        .map_err(|e| io::Error::other(format!("unparseable stats body: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_sampling_is_skewed_toward_low_ranks() {
+        let cumulative = zipf_cumulative(32, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 32];
+        for _ in 0..4000 {
+            counts[sample_index(&cumulative, &mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[8], "{counts:?}");
+        assert!(counts[0] > counts[31] * 3, "{counts:?}");
+        // Every rank still reachable-ish: the head dominates.
+        let head: usize = counts[..4].iter().sum();
+        assert!(head * 2 > 4000, "head too light: {counts:?}");
+    }
+
+    #[test]
+    fn corpus_mixes_pass_and_fail_candidates() {
+        let dataset = Dataset::generate();
+        let corpus = build_corpus(&dataset, 24);
+        assert_eq!(corpus.len(), 24);
+        assert!(corpus.iter().any(|i| i.raw.contains("```yaml")));
+        assert!(corpus.iter().any(|i| i.raw.contains("{{{")));
+        let distinct: std::collections::HashSet<&str> =
+            corpus.iter().map(|i| i.problem_id.as_str()).collect();
+        assert!(distinct.len() > 8);
+    }
+}

@@ -1,0 +1,304 @@
+//! The multithreaded server: a polling acceptor feeding a **bounded**
+//! accept queue, drained by a worker pool over `std::thread::scope` (the
+//! same scoped-pool discipline as `evalcluster::shard`). Each worker owns
+//! one connection at a time and serves keep-alive requests until the
+//! client closes, the idle timeout fires, or shutdown is requested.
+//!
+//! Backpressure: the accept queue holds at most
+//! [`ServerConfig::accept_queue`] connections; when it is full new
+//! connections are answered `503 server_busy` immediately instead of
+//! piling up unbounded.
+//!
+//! Persistence: when [`ServerConfig::memo_path`] is set, the verdict
+//! store is loaded before the first request and saved as JSONL on
+//! shutdown, so repeat submissions across restarts are served from cache
+//! without touching a substrate.
+
+use std::io;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use cedataset::Dataset;
+use cloudeval_core::harness::default_workers;
+use evalcluster::memo::{self, ScoreMemo};
+
+use crate::api::{self, Service};
+use crate::http::{self, RequestError};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (HTTP pool width; also the `/v1/batch` stage
+    /// width). Defaults to the hardware width, clamped like
+    /// [`default_workers`].
+    pub workers: usize,
+    /// Bounded accept-queue depth; connections beyond it get `503`.
+    pub accept_queue: usize,
+    /// When set, the verdict store is loaded from (and saved to) this
+    /// JSONL file.
+    pub memo_path: Option<PathBuf>,
+    /// Idle keep-alive timeout per connection; also bounds how long
+    /// shutdown waits on a quiet connection.
+    pub read_timeout: Duration,
+    /// Per-write timeout. A `/v1/batch` client that stops reading
+    /// mid-stream would otherwise block a chunk write forever once the
+    /// TCP send buffer fills, wedging the worker and back-pressuring the
+    /// whole stage-graph; with the timeout the write errors and the
+    /// stream is dropped (scoring continues — verdicts still land in the
+    /// shared memo).
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: default_workers(),
+            accept_queue: 64,
+            memo_path: None,
+            read_timeout: Duration::from_millis(1000),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A running server; dropping (or calling [`ServerHandle::shutdown`])
+/// stops it and joins every thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    shutdown: Arc<AtomicBool>,
+    owner: Option<std::thread::JoinHandle<io::Result<()>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (query it after binding port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service state (stats, memo, dataset).
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Requests shutdown, waits for every worker to finish, and persists
+    /// the memo when a path was configured.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        match self.owner.take() {
+            Some(owner) => owner
+                .join()
+                .map_err(|_| io::Error::other("server owner thread panicked"))?,
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(owner) = self.owner.take() {
+            let _ = owner.join();
+        }
+    }
+}
+
+/// Binds and starts a server over the given problem corpus.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+///
+/// let dataset = Arc::new(cedataset::Dataset::generate());
+/// let handle = ceserve::spawn("127.0.0.1:0", dataset, ceserve::ServerConfig::default()).unwrap();
+/// assert_ne!(handle.addr().port(), 0);
+/// handle.shutdown().unwrap();
+/// ```
+pub fn spawn(
+    addr: impl ToSocketAddrs,
+    dataset: Arc<Dataset>,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let memo = Arc::new(ScoreMemo::new());
+    if let Some(path) = &config.memo_path {
+        if path.exists() {
+            memo::load_into(&memo, path)?;
+        }
+    }
+    let service = Arc::new(Service::new(dataset, Arc::clone(&memo), config.workers));
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let owner = {
+        let service = Arc::clone(&service);
+        let shutdown = Arc::clone(&shutdown);
+        let config = config.clone();
+        std::thread::Builder::new()
+            .name("ceserve-owner".into())
+            .spawn(move || run(listener, &service, &shutdown, &config))?
+    };
+    Ok(ServerHandle {
+        addr,
+        service,
+        shutdown,
+        owner: Some(owner),
+    })
+}
+
+/// The owner thread: scoped worker pool + polling accept loop.
+fn run(
+    listener: TcpListener,
+    service: &Service,
+    shutdown: &AtomicBool,
+    config: &ServerConfig,
+) -> io::Result<()> {
+    let workers = config.workers.max(1);
+    let (conn_tx, conn_rx) = sync_channel::<TcpStream>(config.accept_queue.max(1));
+    let conn_rx = Mutex::new(conn_rx);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let conn_rx = &conn_rx;
+            scope.spawn(move || worker_loop(service, conn_rx, shutdown));
+        }
+        // Accept loop on the owner thread. Nonblocking + short sleeps so
+        // the shutdown flag is honored promptly without a wakeup socket.
+        while !shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_read_timeout(Some(config.read_timeout));
+                    let _ = stream.set_write_timeout(Some(config.write_timeout));
+                    let _ = stream.set_nodelay(true);
+                    // Count before handing over: a fast worker may dequeue
+                    // (and decrement) before try_send even returns.
+                    service.stats().queue_depth.fetch_add(1, Ordering::Relaxed);
+                    match conn_tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(mut stream)) => {
+                            // Bounded queue full: shed load with a typed 503.
+                            service.stats().queue_depth.fetch_sub(1, Ordering::Relaxed);
+                            service
+                                .stats()
+                                .rejected_busy
+                                .fetch_add(1, Ordering::Relaxed);
+                            let _ = http::write_response(
+                                &mut stream,
+                                503,
+                                "application/json",
+                                &api::busy_body(),
+                                false,
+                            );
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            service.stats().queue_depth.fetch_sub(1, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Dropping the sender disconnects the queue; workers drain what
+        // was already accepted and exit.
+        drop(conn_tx);
+        Ok(())
+    })?;
+    if let Some(path) = &config.memo_path {
+        memo::save(service.memo(), path)?;
+    }
+    Ok(())
+}
+
+/// One worker: pull connections off the bounded queue and serve them.
+///
+/// The dequeue blocks in `recv_timeout` **while holding the lock** — by
+/// design: exactly one idle worker waits on the channel, the rest block
+/// on the mutex (no polling), and the lock is released before the
+/// connection is served. On shutdown the acceptor drops the sender, the
+/// channel drains its remaining streams and then disconnects, and every
+/// worker exits.
+fn worker_loop(service: &Service, conn_rx: &Mutex<Receiver<TcpStream>>, shutdown: &AtomicBool) {
+    use std::sync::mpsc::RecvTimeoutError;
+    loop {
+        let received = conn_rx
+            .lock()
+            .expect("accept queue poisoned")
+            .recv_timeout(Duration::from_millis(50));
+        let stream = match received {
+            Ok(stream) => stream,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        service.stats().queue_depth.fetch_sub(1, Ordering::Relaxed);
+        service.stats().connections.fetch_add(1, Ordering::Relaxed);
+        serve_connection(service, stream, shutdown);
+        service.stats().connections.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Serves keep-alive requests on one connection until it closes.
+fn serve_connection(service: &Service, stream: TcpStream, shutdown: &AtomicBool) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = stream;
+    let mut reader = BufReader::new(read_half);
+    while !shutdown.load(Ordering::SeqCst) {
+        match http::parse_request(&mut reader) {
+            Ok(request) => {
+                service.stats().busy_workers.fetch_add(1, Ordering::Relaxed);
+                let keep = api::handle(service, &request, &mut write_half);
+                service.stats().busy_workers.fetch_sub(1, Ordering::Relaxed);
+                match keep {
+                    Ok(true) => {}
+                    Ok(false) | Err(_) => break,
+                }
+            }
+            Err(RequestError::Closed) | Err(RequestError::Timeout) | Err(RequestError::Io(_)) => {
+                break;
+            }
+            Err(RequestError::Malformed(message)) => {
+                service.stats().requests.fetch_add(1, Ordering::Relaxed);
+                service
+                    .stats()
+                    .client_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = http::write_response(
+                    &mut write_half,
+                    400,
+                    "application/json",
+                    &api::malformed_body(&message),
+                    false,
+                );
+                break;
+            }
+            Err(RequestError::BodyTooLarge(declared)) => {
+                service.stats().requests.fetch_add(1, Ordering::Relaxed);
+                service
+                    .stats()
+                    .client_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = http::write_response(
+                    &mut write_half,
+                    413,
+                    "application/json",
+                    &api::oversized_body(declared),
+                    false,
+                );
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! End-to-end service suite: boot `ceserve` on an ephemeral port, drive
+//! it with the built-in load generator, and prove the HTTP boundary is
+//! invisible — every returned score is byte-identical to a direct
+//! `harness::score_submission` run on the same candidate. Plus typed-4xx
+//! robustness and memo persistence across a restart.
+
+use std::collections::HashMap;
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use cedataset::Dataset;
+use ceserve::api::verdict_to_yaml;
+use ceserve::loadgen::{self, LoadGenConfig};
+use ceserve::{http, ServerConfig};
+use cloudeval_core::harness::score_submission;
+use evalcluster::memo::ScoreMemo;
+use yamlkit::Yaml;
+
+fn boot(dataset: &Arc<Dataset>, config: ServerConfig) -> ceserve::ServerHandle {
+    ceserve::spawn("127.0.0.1:0", Arc::clone(dataset), config).expect("bind ephemeral port")
+}
+
+/// The canonical wire encoding of a verdict's `scores` object for a raw
+/// candidate, computed without any HTTP in the path.
+fn direct_scores_json(dataset: &Dataset, item: &loadgen::LoadItem) -> String {
+    let problem = dataset
+        .problems()
+        .iter()
+        .find(|p| p.id == item.problem_id)
+        .expect("corpus problem exists");
+    let verdict = score_submission(problem, item.variant, &item.raw, &ScoreMemo::new());
+    yamlkit::json::to_json(verdict_to_yaml(&verdict).get("scores").expect("scores"))
+}
+
+#[test]
+fn loadgen_scores_are_byte_identical_to_direct_pipeline() {
+    let dataset = Arc::new(Dataset::generate());
+    let server = boot(
+        &dataset,
+        ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+    );
+    let corpus = loadgen::build_corpus(&dataset, 24);
+    let report = loadgen::run(
+        server.addr(),
+        &corpus,
+        &LoadGenConfig {
+            clients: 4,
+            requests: 120,
+            ..LoadGenConfig::default()
+        },
+    )
+    .expect("loadgen run");
+    assert_eq!(report.transport_errors, 0);
+    assert_eq!(report.outcomes.len(), 120);
+
+    // Expected verdicts, one direct pipeline run per distinct corpus entry.
+    let mut expected: HashMap<usize, String> = HashMap::new();
+    for outcome in &report.outcomes {
+        assert_eq!(outcome.status, 200, "body: {:?}", outcome.body);
+        let want = expected
+            .entry(outcome.corpus_index)
+            .or_insert_with(|| direct_scores_json(&dataset, &corpus[outcome.corpus_index]));
+        let got = yamlkit::json::to_json(outcome.body.get("scores").expect("scores in response"));
+        assert_eq!(&got, want, "corpus[{}] diverged", outcome.corpus_index);
+        // Bookkeeping echoes the request.
+        assert_eq!(
+            outcome.body.get("problem_id").and_then(Yaml::as_str),
+            Some(corpus[outcome.corpus_index].problem_id.as_str())
+        );
+    }
+    // The Zipf repeat distribution must have exercised the caches. The
+    // response cache sits in front of the memo, so repeats land there
+    // first; concurrent duplicates may additionally hit the memo.
+    let stats = loadgen::fetch_stats(server.addr()).expect("stats");
+    let memo_hits = stats
+        .get_path(&["memo", "hits"])
+        .and_then(Yaml::as_i64)
+        .expect("memo.hits");
+    let response_hits = stats
+        .get_path(&["response_cache", "hits"])
+        .and_then(Yaml::as_i64)
+        .expect("response_cache.hits");
+    assert!(
+        memo_hits + response_hits > 0,
+        "no cache hits under a Zipf workload: {stats}"
+    );
+    let served = stats
+        .get_path(&["requests", "evaluate"])
+        .and_then(Yaml::as_i64)
+        .expect("requests.evaluate");
+    assert_eq!(served, 120);
+    server.shutdown().expect("clean shutdown");
+}
+
+/// Sends raw bytes and returns the parsed response.
+fn raw_request(addr: std::net::SocketAddr, bytes: &[u8]) -> http::Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    stream.write_all(bytes).expect("send");
+    stream.flush().unwrap();
+    http::read_response(&mut reader).expect("response")
+}
+
+fn error_code(response: &http::Response) -> String {
+    yamlkit::parse_one(&response.body)
+        .expect("error body parses")
+        .to_value()
+        .get_path(&["error", "code"])
+        .and_then(Yaml::as_str)
+        .unwrap_or("<none>")
+        .to_owned()
+}
+
+#[test]
+fn malformed_requests_get_typed_errors_not_panics() {
+    let dataset = Arc::new(Dataset::generate());
+    let server = boot(&dataset, ServerConfig::default());
+    let addr = server.addr();
+
+    // Bad JSON body.
+    let bad_json = b"POST /v1/evaluate HTTP/1.1\r\ncontent-length: 9\r\n\r\nnot json{";
+    let response = raw_request(addr, bad_json);
+    assert_eq!(response.status, 400);
+    assert_eq!(error_code(&response), "bad_request");
+
+    // Valid JSON, unknown problem id.
+    let body = r#"{"problem_id":"no-such-problem","candidate":"kind: Pod"}"#;
+    let request = format!(
+        "POST /v1/evaluate HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let response = raw_request(addr, request.as_bytes());
+    assert_eq!(response.status, 404);
+    assert_eq!(error_code(&response), "unknown_problem");
+
+    // Valid JSON, missing candidate.
+    let body = r#"{"problem_id":"pod-000"}"#;
+    let request = format!(
+        "POST /v1/evaluate HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let response = raw_request(addr, request.as_bytes());
+    assert_eq!(response.status, 400);
+
+    // Oversized body, rejected on the declared length alone.
+    let oversized = b"POST /v1/evaluate HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n";
+    let response = raw_request(addr, oversized);
+    assert_eq!(response.status, 413);
+    assert_eq!(error_code(&response), "body_too_large");
+
+    // Wrong method on a known endpoint.
+    let response = raw_request(addr, b"DELETE /v1/stats HTTP/1.1\r\n\r\n");
+    assert_eq!(response.status, 405);
+    assert_eq!(error_code(&response), "method_not_allowed");
+
+    // Unknown endpoint.
+    let response = raw_request(addr, b"GET /v2/nope HTTP/1.1\r\n\r\n");
+    assert_eq!(response.status, 404);
+    assert_eq!(error_code(&response), "not_found");
+
+    // Not HTTP at all.
+    let response = raw_request(addr, b"TOTAL GARBAGE\r\n\r\n");
+    assert_eq!(response.status, 400);
+
+    // The server is still healthy after all of that.
+    let stats = loadgen::fetch_stats(addr).expect("stats after abuse");
+    assert!(stats.get_path(&["requests", "errors_4xx"]).is_some());
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn verdicts_persist_across_restart() {
+    let dataset = Arc::new(Dataset::generate());
+    let path = std::env::temp_dir().join(format!("ceserve-persist-{}.jsonl", std::process::id()));
+    std::fs::remove_file(&path).ok();
+    let config = ServerConfig {
+        workers: 2,
+        memo_path: Some(path.clone()),
+        ..ServerConfig::default()
+    };
+    let corpus = loadgen::build_corpus(&dataset, 4);
+
+    let server = boot(&dataset, config.clone());
+    let report = loadgen::run(
+        server.addr(),
+        &corpus,
+        &LoadGenConfig {
+            clients: 1,
+            requests: 4,
+            zipf_exponent: 0.0,
+            ..LoadGenConfig::default()
+        },
+    )
+    .expect("first run");
+    assert_eq!(report.transport_errors, 0);
+    server
+        .shutdown()
+        .expect("first shutdown persists the store");
+    assert!(path.exists(), "verdict store written on shutdown");
+
+    // A fresh process-equivalent: new server, same store.
+    let server = boot(&dataset, config);
+    let stats = loadgen::fetch_stats(server.addr()).expect("stats");
+    let entries = stats
+        .get_path(&["memo", "entries"])
+        .and_then(Yaml::as_i64)
+        .expect("memo.entries");
+    assert!(entries > 0, "store not loaded: {stats}");
+    // A repeat submission is served from cache without a substrate run.
+    let report = loadgen::run(
+        server.addr(),
+        &corpus,
+        &LoadGenConfig {
+            clients: 1,
+            requests: 4,
+            zipf_exponent: 0.0,
+            ..LoadGenConfig::default()
+        },
+    )
+    .expect("second run");
+    for outcome in &report.outcomes {
+        assert_eq!(outcome.status, 200);
+        assert_eq!(
+            outcome.body.get("cached").and_then(Yaml::as_bool),
+            Some(true),
+            "expected a cache-served verdict: {}",
+            outcome.body
+        );
+    }
+    server.shutdown().expect("second shutdown");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn batch_streams_every_item_with_identical_scores() {
+    let dataset = Arc::new(Dataset::generate());
+    let server = boot(
+        &dataset,
+        ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+    );
+    let mut corpus = loadgen::build_corpus(&dataset, 9);
+    corpus.push(corpus[0].clone()); // in-batch duplicate → dedup path
+    let items: Yaml = corpus
+        .iter()
+        .map(|item| {
+            yamlkit::parse_one(&loadgen::evaluate_body(item))
+                .unwrap()
+                .to_value()
+        })
+        .collect();
+    let body = yamlkit::json::to_json(&yamlkit::ymap! { "items" => items });
+    let request = format!(
+        "POST /v1/batch HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let response = raw_request(server.addr(), request.as_bytes());
+    assert_eq!(response.status, 200);
+    assert_eq!(
+        response.header("transfer-encoding").map(str::to_owned),
+        Some("chunked".into())
+    );
+
+    let lines: Vec<Yaml> = response
+        .body
+        .lines()
+        .map(|line| yamlkit::parse_one(line).expect("ndjson line").to_value())
+        .collect();
+    assert_eq!(lines.len(), corpus.len() + 1, "results + summary");
+    let summary = lines.last().unwrap();
+    assert_eq!(
+        summary.get("done").and_then(Yaml::as_i64),
+        Some(corpus.len() as i64)
+    );
+    assert!(summary.get("cache_hits").and_then(Yaml::as_i64) >= Some(1));
+
+    let mut seen = vec![false; corpus.len()];
+    for line in &lines[..corpus.len()] {
+        let index = line.get("index").and_then(Yaml::as_i64).expect("index") as usize;
+        assert!(!seen[index], "duplicate emission for {index}");
+        seen[index] = true;
+        let got =
+            yamlkit::json::to_json(line.get_path(&["result", "scores"]).expect("result.scores"));
+        assert_eq!(
+            got,
+            direct_scores_json(&dataset, &corpus[index]),
+            "batch item {index} diverged"
+        );
+    }
+    assert!(seen.iter().all(|s| *s), "every index answered");
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn problems_endpoint_lists_the_extended_corpus() {
+    let dataset = Arc::new(Dataset::generate_extended(30));
+    let server = boot(&dataset, ServerConfig::default());
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    http::write_request(&mut stream, "GET", "/v1/problems", None).unwrap();
+    let response = http::read_response(&mut reader).expect("problems response");
+    assert_eq!(response.status, 200);
+    let body = yamlkit::parse_one(&response.body).unwrap().to_value();
+    assert_eq!(
+        body.get("count").and_then(Yaml::as_i64),
+        Some(dataset.len() as i64)
+    );
+    let problems = body.get("problems").expect("problems array");
+    assert_eq!(problems.seq_len(), Some(dataset.len()));
+    let first = problems.idx(0).unwrap();
+    assert!(first.get("id").and_then(Yaml::as_str).is_some());
+    assert_eq!(first.get("variants").and_then(Yaml::seq_len), Some(3));
+    server.shutdown().expect("clean shutdown");
+}

@@ -379,6 +379,264 @@ pub fn evaluate_barriered(
         .collect()
 }
 
+/// One externally-submitted candidate awaiting evaluation — the
+/// benchmark-as-a-service entry point (`ceserve`'s `/v1/evaluate` and
+/// `/v1/batch` bodies land here).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Submission<'p> {
+    /// The problem the candidate answers.
+    pub problem: &'p Problem,
+    /// Which dataset variant the candidate was produced against (affects
+    /// only bookkeeping: reference, unit test and scoring are shared).
+    pub variant: Variant,
+    /// Raw model output; §3.1 post-processing is applied before scoring.
+    pub raw: String,
+}
+
+/// The scored outcome of one [`Submission`] — the same numbers, bit for
+/// bit, that a direct [`evaluate`] run produces for an identical
+/// candidate, plus service-level metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmissionVerdict {
+    /// Problem id.
+    pub problem_id: String,
+    /// Submitted variant.
+    pub variant: Variant,
+    /// Extracted YAML (after §3.1 post-processing).
+    pub extracted: String,
+    /// All six metrics, `unit_test` included.
+    pub scores: Scores,
+    /// Whether the unit test passed.
+    pub passed: bool,
+    /// Simulated in-substrate milliseconds of the (original) execution.
+    pub simulated_ms: u64,
+    /// Figure 7 failure class of the candidate.
+    pub answer_class: AnswerCategory,
+    /// `true` when the verdict was served from the score memo without
+    /// touching a substrate this call.
+    pub cached: bool,
+}
+
+/// Live occupancy gauges of the submission-scoring stages, for a serving
+/// layer's statistics endpoint. All counters are instantaneous gauges
+/// except `completed`, which accumulates.
+#[derive(Debug, Default)]
+pub struct StageGauges {
+    extracting: std::sync::atomic::AtomicUsize,
+    scoring: std::sync::atomic::AtomicUsize,
+    executing: std::sync::atomic::AtomicUsize,
+    completed: std::sync::atomic::AtomicUsize,
+}
+
+impl StageGauges {
+    /// Fresh gauges, all zero.
+    pub fn new() -> StageGauges {
+        StageGauges::default()
+    }
+
+    /// Submissions currently in §3.1 extraction.
+    pub fn extracting(&self) -> usize {
+        self.extracting.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Submissions currently in static scoring.
+    pub fn scoring(&self) -> usize {
+        self.scoring.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Submissions dispatched to the substrate stage and not yet judged
+    /// (queued or executing).
+    pub fn executing(&self) -> usize {
+        self.executing.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Total submissions fully judged through these gauges.
+    pub fn completed(&self) -> usize {
+        self.completed.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+/// RAII increment/decrement of one gauge.
+struct GaugeGuard<'a>(&'a std::sync::atomic::AtomicUsize);
+
+impl<'a> GaugeGuard<'a> {
+    fn enter(gauge: &'a std::sync::atomic::AtomicUsize) -> GaugeGuard<'a> {
+        gauge.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        GaugeGuard(gauge)
+    }
+}
+
+impl Drop for GaugeGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// Builds the final verdict from the scored pieces — shared by the single
+/// and streaming submission paths so both stay identical to [`evaluate`]'s
+/// [`assemble_record`] semantics.
+fn assemble_verdict(
+    problem: &Problem,
+    variant: Variant,
+    yaml: String,
+    mut scores: Scores,
+    passed: bool,
+    simulated_ms: u64,
+    cached: bool,
+) -> SubmissionVerdict {
+    scores.unit_test = f64::from(u8::from(passed));
+    let answer_class = llmsim::classify_answer(&yaml, &problem.clean_reference(), passed);
+    SubmissionVerdict {
+        problem_id: problem.id.clone(),
+        variant,
+        extracted: yaml,
+        scores,
+        passed,
+        simulated_ms,
+        answer_class,
+        cached,
+    }
+}
+
+/// Scores one externally-submitted candidate: §3.1 extraction, the five
+/// static metrics, and the unit test through the shared [`ScoreMemo`] —
+/// a repeat submission of an already-judged candidate is answered from
+/// cache without touching a substrate.
+pub fn score_submission(
+    problem: &Problem,
+    variant: Variant,
+    raw: &str,
+    memo: &ScoreMemo,
+) -> SubmissionVerdict {
+    let yaml = extract_yaml(raw);
+    let scores = cescore::score_pair(&problem.labeled_reference, &yaml);
+    let key = ScoreMemo::key(&yaml, &problem.unit_test);
+    let (verdict, cached) = match memo.get(key) {
+        Some(v) => (v, true),
+        None => {
+            let verdict = evalcluster::execute_uncached(&yaml, &problem.unit_test);
+            memo.insert(key, verdict);
+            (verdict, false)
+        }
+    };
+    assemble_verdict(
+        problem,
+        variant,
+        yaml,
+        scores,
+        verdict.passed,
+        verdict.simulated_ms,
+        cached,
+    )
+}
+
+/// Streams a batch of submissions through the stage-graph: a CPU pool
+/// runs extraction + static scoring, feeding the memo-aware substrate
+/// stage ([`run_jobs_stream`]) over a bounded channel; `emit` fires once
+/// per submission **in completion order** (the submission's index makes
+/// reassembly trivial). Verdicts are identical to calling
+/// [`score_submission`] per item — only the schedule differs.
+///
+/// `gauges` exposes live per-stage occupancy to a serving layer; pass a
+/// fresh [`StageGauges`] when nothing is watching.
+pub fn score_submissions_stream<F>(
+    submissions: &[Submission<'_>],
+    workers: usize,
+    memo: &ScoreMemo,
+    gauges: &StageGauges,
+    emit: F,
+) -> evalcluster::StreamStats
+where
+    F: Fn(usize, SubmissionVerdict) + Send + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let n = submissions.len();
+    let workers = workers.max(1);
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(workers);
+    // Per-slot static results, written by the scoring pool strictly
+    // before the slot's job is dispatched, read by the verdict callback.
+    let statics: Vec<Mutex<Option<(String, Scores, bool)>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let (job_tx, job_rx) = sync_channel::<(usize, UnitTestJob)>(DEFAULT_CHANNEL_BOUND);
+    let next = AtomicUsize::new(0);
+    let stats = Mutex::new(None);
+    std::thread::scope(|scope| {
+        let statics = &statics;
+        let stats = &stats;
+        let emit = &emit;
+        // Substrate execution stage: memo-aware, in-flight-deduplicated.
+        scope.spawn(move || {
+            let run = evalcluster::run_jobs_stream(job_rx, workers, memo, |index, result| {
+                gauges.executing.fetch_sub(1, Ordering::Relaxed);
+                gauges.completed.fetch_add(1, Ordering::Relaxed);
+                let (yaml, scores, cached) = statics[index]
+                    .lock()
+                    .expect("statics slot poisoned")
+                    .take()
+                    .expect("statics written before dispatch");
+                let sub = &submissions[index];
+                emit(
+                    index,
+                    assemble_verdict(
+                        sub.problem,
+                        sub.variant,
+                        yaml,
+                        scores,
+                        result.passed,
+                        result.simulated_ms,
+                        cached,
+                    ),
+                );
+            });
+            *stats.lock().expect("stats slot poisoned") = Some(run);
+        });
+        // Extraction + static scoring pool (pure CPU, capped at the
+        // hardware width like evaluate()'s scoring stage).
+        for _ in 0..workers.min(hw).max(1) {
+            let job_tx = job_tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let sub = &submissions[i];
+                let yaml = {
+                    let _g = GaugeGuard::enter(&gauges.extracting);
+                    extract_yaml(&sub.raw)
+                };
+                let scores = {
+                    let _g = GaugeGuard::enter(&gauges.scoring);
+                    cescore::score_pair(&sub.problem.labeled_reference, &yaml)
+                };
+                let cached = memo
+                    .peek(ScoreMemo::key(&yaml, &sub.problem.unit_test))
+                    .is_some();
+                *statics[i].lock().expect("statics slot poisoned") =
+                    Some((yaml.clone(), scores, cached));
+                gauges.executing.fetch_add(1, Ordering::Relaxed);
+                let job = UnitTestJob {
+                    problem_id: format!("{}@{:?}", sub.problem.id, sub.variant),
+                    script: sub.problem.unit_test.clone(),
+                    candidate_yaml: yaml,
+                };
+                // A send error means the execution stage tore down early;
+                // nothing to do but stop feeding.
+                if job_tx.send((i, job)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(job_tx);
+    });
+    stats
+        .into_inner()
+        .expect("stats slot poisoned")
+        .expect("execution stage always reports")
+}
+
 /// Mean scores over records (a Table 4 row).
 pub fn mean_scores(records: &[EvalRecord]) -> Scores {
     cescore::ScoreTable::aggregate(records.iter().map(|r| &r.scores)).mean
@@ -489,6 +747,107 @@ mod tests {
         let streamed = evaluate(&model, &dataset, &options);
         let barriered = evaluate_barriered(&model, &dataset, &options);
         assert_eq!(streamed, barriered);
+    }
+
+    #[test]
+    fn submission_scores_match_direct_evaluation() {
+        // Scoring a raw model response through the service entry point
+        // must reproduce evaluate()'s records bit for bit.
+        let dataset = Arc::new(Dataset::generate());
+        let model = SimulatedModel::new(
+            ModelProfile::by_name("gpt-3.5").unwrap(),
+            Arc::clone(&dataset),
+        );
+        let options = EvalOptions {
+            stride: 18,
+            workers: 4,
+            variants: vec![Variant::Original, Variant::Translated],
+            ..EvalOptions::default()
+        };
+        let records = evaluate(&model, &dataset, &options);
+        // Regenerate the same raw responses the run scored (generation is
+        // deterministic per prompt/params).
+        let (coords, prompts) = plan(&dataset, &options);
+        let batch = llmsim::query_batch(&model, &prompts, &options.params, &options.query_config());
+        let memo = ScoreMemo::new();
+        for (i, record) in records.iter().enumerate() {
+            let (problem, variant) = coords[i];
+            let verdict = score_submission(problem, variant, &batch.responses[i], &memo);
+            assert_eq!(verdict.extracted, record.extracted, "{}", record.problem_id);
+            assert_eq!(verdict.scores, record.scores, "{}", record.problem_id);
+            assert_eq!(verdict.answer_class, record.answer_class);
+            assert_eq!(verdict.problem_id, record.problem_id);
+        }
+    }
+
+    #[test]
+    fn repeat_submission_is_served_from_cache() {
+        let dataset = Dataset::generate();
+        let problem = &dataset.problems()[0];
+        let raw = format!("```yaml\n{}```", problem.clean_reference());
+        let memo = ScoreMemo::new();
+        let first = score_submission(problem, Variant::Original, &raw, &memo);
+        assert!(!first.cached);
+        let second = score_submission(problem, Variant::Original, &raw, &memo);
+        assert!(second.cached);
+        assert_eq!(first.scores, second.scores);
+        assert_eq!(first.simulated_ms, second.simulated_ms);
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn streamed_submissions_match_single_scoring() {
+        let dataset = Dataset::generate();
+        let problems = dataset.problems();
+        // A mixed batch: references (pass), garbage (fail), duplicates
+        // (dedup path).
+        let mut submissions: Vec<Submission<'_>> = Vec::new();
+        for (i, problem) in problems.iter().step_by(23).enumerate() {
+            let raw = if i % 3 == 0 {
+                "not yaml at all {{{".to_owned()
+            } else {
+                format!("```yaml\n{}```", problem.clean_reference())
+            };
+            submissions.push(Submission {
+                problem,
+                variant: Variant::Original,
+                raw,
+            });
+        }
+        let dup = submissions[1].clone();
+        submissions.push(dup);
+
+        let gauges = StageGauges::new();
+        let memo = ScoreMemo::new();
+        let collected: Mutex<Vec<Option<SubmissionVerdict>>> =
+            Mutex::new(vec![None; submissions.len()]);
+        let stats = score_submissions_stream(&submissions, 4, &memo, &gauges, |i, v| {
+            let slot = &mut collected.lock().unwrap()[i];
+            assert!(slot.is_none(), "duplicate emit for {i}");
+            *slot = Some(v);
+        });
+        assert_eq!(stats.executed + stats.cache_hits, submissions.len());
+        assert!(stats.cache_hits >= 1, "duplicate should hit the dedup path");
+
+        // Every stage drained; every submission judged exactly once.
+        assert_eq!(
+            (gauges.extracting(), gauges.scoring(), gauges.executing()),
+            (0, 0, 0)
+        );
+        assert_eq!(gauges.completed(), submissions.len());
+
+        let reference_memo = ScoreMemo::new();
+        for (i, sub) in submissions.iter().enumerate() {
+            let got = collected.lock().unwrap()[i].clone().expect("emitted");
+            let want = score_submission(sub.problem, sub.variant, &sub.raw, &reference_memo);
+            // `cached` depends on arrival timing for in-batch duplicates;
+            // everything that matters must agree.
+            assert_eq!(got.scores, want.scores, "{}", sub.problem.id);
+            assert_eq!(got.extracted, want.extracted);
+            assert_eq!(got.passed, want.passed);
+            assert_eq!(got.simulated_ms, want.simulated_ms);
+            assert_eq!(got.answer_class, want.answer_class);
+        }
     }
 
     #[test]

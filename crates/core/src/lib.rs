@@ -46,6 +46,7 @@ pub mod survey;
 pub mod tables;
 
 pub use harness::{
-    default_workers, evaluate, evaluate_barriered, mean_scores, pass_count, EvalOptions, EvalRecord,
+    default_workers, evaluate, evaluate_barriered, mean_scores, pass_count, score_submission,
+    score_submissions_stream, EvalOptions, EvalRecord, StageGauges, Submission, SubmissionVerdict,
 };
 pub use pipeline::{Pipeline, Stage};

@@ -86,6 +86,24 @@ impl RunReport {
 const QUEUE: &str = "cloudeval:jobs";
 const RESULTS: &str = "cloudeval:results";
 
+/// Executes one candidate hermetically on a fresh shell substrate and
+/// maps the outcome to a verdict. Candidate faults and probe failures
+/// both score 0 — the seed path's "interpreter error counts as failure"
+/// policy. Every engine (batch, queue, stream) and the service layer's
+/// single-submission path share this one mapping.
+pub fn execute_uncached(candidate_yaml: &str, script: &str) -> CachedVerdict {
+    match ShellSubstrate::new().execute(candidate_yaml, script) {
+        Ok(outcome) => CachedVerdict {
+            passed: outcome.passed,
+            simulated_ms: outcome.simulated_ms,
+        },
+        Err(_) => CachedVerdict {
+            passed: false,
+            simulated_ms: 0,
+        },
+    }
+}
+
 /// Runs all jobs over `workers` threads; results come back in input
 /// order. Uses the sharded work-stealing engine with a run-local score
 /// memo — see [`run_jobs_cached`] to share a memo across runs.
@@ -131,19 +149,7 @@ pub fn run_jobs_cached(jobs: &[UnitTestJob], workers: usize, memo: &ScoreMemo) -
     // Execute the unique jobs on per-worker substrates.
     let (verdicts, stats) = run_sharded(unique.len(), workers, |worker, u| {
         let job = &jobs[unique[u]];
-        let mut shell = ShellSubstrate::new();
-        let verdict = match shell.execute(&job.candidate_yaml, &job.script) {
-            Ok(outcome) => CachedVerdict {
-                passed: outcome.passed,
-                simulated_ms: outcome.simulated_ms,
-            },
-            // Candidate faults and probe failures both score 0, exactly
-            // like the seed path's "interpreter error counts as failure".
-            Err(_) => CachedVerdict {
-                passed: false,
-                simulated_ms: 0,
-            },
-        };
+        let verdict = execute_uncached(&job.candidate_yaml, &job.script);
         memo.insert(job.memo_key(), verdict);
         (verdict, worker)
     });
@@ -265,17 +271,7 @@ where
                     }
                     table.insert(key, Vec::new());
                 }
-                let mut shell = ShellSubstrate::new();
-                let verdict = match shell.execute(&job.candidate_yaml, &job.script) {
-                    Ok(outcome) => CachedVerdict {
-                        passed: outcome.passed,
-                        simulated_ms: outcome.simulated_ms,
-                    },
-                    Err(_) => CachedVerdict {
-                        passed: false,
-                        simulated_ms: 0,
-                    },
-                };
+                let verdict = execute_uncached(&job.candidate_yaml, &job.script);
                 memo.insert(key, verdict);
                 executed.fetch_add(1, Ordering::Relaxed);
                 emit(
@@ -393,10 +389,8 @@ pub fn run_jobs_queue(jobs: &[UnitTestJob], workers: usize) -> RunReport {
 /// Runs one unit test hermetically through the shell substrate. Returns
 /// (passed, simulated cluster ms).
 fn run_one(script: &str, candidate: &str) -> (bool, u64) {
-    match ShellSubstrate::new().execute(candidate, script) {
-        Ok(outcome) => (outcome.passed, outcome.simulated_ms),
-        Err(_) => (false, 0),
-    }
+    let verdict = execute_uncached(candidate, script);
+    (verdict.passed, verdict.simulated_ms)
 }
 
 #[cfg(test)]

@@ -44,8 +44,8 @@ pub mod shard;
 pub use cost::{evaluation_cost, inference_cost, table3, CloudOption, InferenceOption};
 pub use des::{dataset_workload, figure5, simulate, SimConfig, SimJob, SimResult};
 pub use executor::{
-    run_jobs, run_jobs_cached, run_jobs_queue, run_jobs_stream, JobResult, RunReport, StreamStats,
-    UnitTestJob,
+    execute_uncached, run_jobs, run_jobs_cached, run_jobs_queue, run_jobs_stream, JobResult,
+    RunReport, StreamStats, UnitTestJob,
 };
 pub use memo::{CachedVerdict, ScoreMemo};
 pub use miniredis::MiniRedis;

@@ -15,12 +15,20 @@
 //! candidate hash the extracted YAML, so the key is exactly the
 //! issue-level `(extracted_yaml_hash, problem, variant)` contract with
 //! variant-level sharing as a bonus.
+//!
+//! [`save`]/[`load`] persist a memo as JSONL (one verdict per line,
+//! encoded with [`yamlkit::json::to_json`] and decoded through the YAML
+//! parser — the same wire format the `ceserve` HTTP layer speaks), so a
+//! long-lived benchmark service keeps its verdicts across restarts.
 
 use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use substrate::content_hash;
+use yamlkit::ymap;
 
 /// A memoized execution verdict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +89,13 @@ impl ScoreMemo {
         }
     }
 
+    /// Looks up a verdict **without** touching the hit/miss counters.
+    /// For observability probes (e.g. marking a response as cache-served)
+    /// that must not distort the traffic statistics.
+    pub fn peek(&self, key: (u64, u64)) -> Option<CachedVerdict> {
+        self.map.lock().expect("memo poisoned").get(&key).copied()
+    }
+
     /// Records a verdict (last write wins; verdicts are deterministic so
     /// concurrent duplicates agree).
     pub fn insert(&self, key: (u64, u64), verdict: CachedVerdict) {
@@ -106,6 +121,108 @@ impl ScoreMemo {
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// All stored `(key, verdict)` pairs, sorted by key so callers (and
+    /// the persisted JSONL file) see a deterministic order.
+    pub fn snapshot(&self) -> Vec<((u64, u64), CachedVerdict)> {
+        let mut entries: Vec<((u64, u64), CachedVerdict)> = self
+            .map
+            .lock()
+            .expect("memo poisoned")
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        entries.sort_unstable_by_key(|(k, _)| *k);
+        entries
+    }
+
+    /// Drops every stored verdict and zeroes the hit/miss counters
+    /// (used by benchmarks to measure cold-cache behavior in place).
+    pub fn clear(&self) {
+        self.map.lock().expect("memo poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// One persisted verdict line. Hashes travel as fixed-width hex strings:
+/// they are `u64` and the wire integer type is `i64`.
+fn to_line(key: (u64, u64), v: CachedVerdict) -> String {
+    yamlkit::json::to_json(&ymap! {
+        "candidate" => format!("{:016x}", key.0),
+        "script" => format!("{:016x}", key.1),
+        "passed" => v.passed,
+        "ms" => i64::try_from(v.simulated_ms).unwrap_or(i64::MAX),
+    })
+}
+
+/// Decodes one JSONL line; `None` for anything malformed or truncated.
+fn from_line(line: &str) -> Option<((u64, u64), CachedVerdict)> {
+    let doc = yamlkit::parse_one(line).ok()?.to_value();
+    let hash =
+        |field: &str| -> Option<u64> { u64::from_str_radix(doc.get(field)?.as_str()?, 16).ok() };
+    let key = (hash("candidate")?, hash("script")?);
+    let passed = doc.get("passed")?.as_bool()?;
+    let ms = doc.get("ms")?.as_i64()?;
+    Some((
+        key,
+        CachedVerdict {
+            passed,
+            simulated_ms: u64::try_from(ms).ok()?,
+        },
+    ))
+}
+
+/// Persists a memo as JSONL, one verdict per line in sorted key order.
+///
+/// The file is written to `<path>.tmp` first and renamed into place, so a
+/// reader (or a crash) never observes a half-written store. Returns the
+/// number of verdicts written.
+pub fn save(memo: &ScoreMemo, path: impl AsRef<Path>) -> io::Result<usize> {
+    let path = path.as_ref();
+    let entries = memo.snapshot();
+    let tmp = path.with_extension("tmp");
+    {
+        let mut out = io::BufWriter::new(std::fs::File::create(&tmp)?);
+        for (key, verdict) in &entries {
+            out.write_all(to_line(*key, *verdict).as_bytes())?;
+            out.write_all(b"\n")?;
+        }
+        out.flush()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(entries.len())
+}
+
+/// Loads a JSONL verdict store into a fresh memo with zeroed hit/miss
+/// counters (persistence carries verdicts, not traffic statistics).
+///
+/// Malformed or truncated lines — e.g. a trailing line cut short by a
+/// crash mid-append — are skipped, not fatal: every parseable verdict
+/// before and after them still loads.
+pub fn load(path: impl AsRef<Path>) -> io::Result<ScoreMemo> {
+    let memo = ScoreMemo::new();
+    load_into(&memo, path)?;
+    Ok(memo)
+}
+
+/// Merges a JSONL verdict store into an existing memo (last write wins on
+/// key collisions, which agree anyway — verdicts are deterministic).
+/// Returns the number of verdicts merged; counters are left untouched.
+pub fn load_into(memo: &ScoreMemo, path: impl AsRef<Path>) -> io::Result<usize> {
+    let file = std::fs::File::open(path)?;
+    let mut merged = 0usize;
+    for line in io::BufReader::new(file).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some((key, verdict)) = from_line(&line) {
+            memo.map.lock().expect("memo poisoned").insert(key, verdict);
+            merged += 1;
+        }
+    }
+    Ok(merged)
 }
 
 #[cfg(test)]

@@ -1,0 +1,147 @@
+//! Persist/load round-trip suite for the JSONL verdict store: verdicts
+//! survive a save/load cycle byte-for-byte, counters restart cleanly, and
+//! a crash-truncated trailing line never poisons the rest of the file.
+
+use evalcluster::memo::{self, CachedVerdict, ScoreMemo};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A unique scratch path per test (the suite runs tests in parallel).
+fn scratch(name: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "cloudeval-memo-{}-{name}-{seq}.jsonl",
+        std::process::id()
+    ))
+}
+
+fn sample_memo(n: u64) -> ScoreMemo {
+    let memo = ScoreMemo::new();
+    for i in 0..n {
+        let key = ScoreMemo::key(&format!("kind: Pod # {i}\n"), "echo unit_test_passed");
+        memo.insert(
+            key,
+            CachedVerdict {
+                passed: i % 3 != 0,
+                simulated_ms: 10 + i,
+            },
+        );
+    }
+    memo
+}
+
+#[test]
+fn save_load_round_trip_preserves_every_verdict() {
+    let path = scratch("roundtrip");
+    let memo = sample_memo(25);
+    let written = memo::save(&memo, &path).expect("save");
+    assert_eq!(written, 25);
+    let loaded = memo::load(&path).expect("load");
+    assert_eq!(loaded.snapshot(), memo.snapshot());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn reloaded_memo_starts_with_zero_counters_then_counts() {
+    let path = scratch("counters");
+    let memo = sample_memo(4);
+    let known = ScoreMemo::key("kind: Pod # 1\n", "echo unit_test_passed");
+    // Generate traffic on the original so the save happens on a memo with
+    // non-zero counters — persistence must not carry them.
+    assert!(memo.get(known).is_some());
+    assert!(memo.get(ScoreMemo::key("nope", "nope")).is_none());
+    memo::save(&memo, &path).expect("save");
+
+    let loaded = memo::load(&path).expect("load");
+    assert_eq!((loaded.hits(), loaded.misses()), (0, 0));
+    assert_eq!(loaded.len(), 4);
+    // A preloaded key counts as a hit, an unknown one as a miss.
+    let verdict = loaded.get(known).expect("persisted verdict");
+    assert_eq!(
+        verdict,
+        CachedVerdict {
+            passed: true,
+            simulated_ms: 11
+        }
+    );
+    assert!(loaded.get(ScoreMemo::key("other", "other")).is_none());
+    assert_eq!((loaded.hits(), loaded.misses()), (1, 1));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_trailing_line_is_skipped_not_fatal() {
+    let path = scratch("truncated");
+    let memo = sample_memo(8);
+    memo::save(&memo, &path).expect("save");
+    // Simulate a crash mid-append: chop the file in the middle of its
+    // last line.
+    let text = std::fs::read_to_string(&path).expect("read back");
+    let cut = text.trim_end().rfind('\n').expect("multi-line file") + 10;
+    std::fs::write(&path, &text[..cut]).expect("truncate");
+
+    let loaded = memo::load(&path).expect("load survives truncation");
+    assert_eq!(loaded.len(), 7);
+    // Every surviving verdict matches the original.
+    for (key, verdict) in loaded.snapshot() {
+        assert_eq!(memo.get(key), Some(verdict), "verdict diverged for {key:?}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn garbage_lines_are_skipped() {
+    let path = scratch("garbage");
+    let memo = sample_memo(3);
+    memo::save(&memo, &path).expect("save");
+    let mut text = std::fs::read_to_string(&path).expect("read back");
+    text.insert_str(0, "not json at all {{{\n\n");
+    text.push_str("{\"candidate\":\"zz\",\"script\":\"00\",\"passed\":true,\"ms\":1}\n");
+    std::fs::write(&path, text).expect("rewrite");
+    let loaded = memo::load(&path).expect("load");
+    assert_eq!(loaded.len(), 3);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn load_into_merges_and_save_is_deterministic() {
+    let path_a = scratch("merge-a");
+    let path_b = scratch("merge-b");
+    let a = sample_memo(5);
+    let b = ScoreMemo::new();
+    let extra = ScoreMemo::key("kind: Service\n", "echo unit_test_passed");
+    b.insert(
+        extra,
+        CachedVerdict {
+            passed: true,
+            simulated_ms: 99,
+        },
+    );
+    memo::save(&a, &path_a).expect("save a");
+    let merged = memo::load_into(&b, &path_a).expect("merge");
+    assert_eq!(merged, 5);
+    assert_eq!(b.len(), 6);
+    assert!(b.get(extra).is_some(), "pre-existing verdict survived");
+
+    // Saving the same contents twice produces identical bytes (snapshot
+    // order is sorted, not hash-map iteration order).
+    memo::save(&b, &path_b).expect("save b once");
+    let first = std::fs::read_to_string(&path_b).expect("read");
+    memo::save(&b, &path_b).expect("save b twice");
+    let second = std::fs::read_to_string(&path_b).expect("read");
+    assert_eq!(first, second);
+    std::fs::remove_file(&path_a).ok();
+    std::fs::remove_file(&path_b).ok();
+}
+
+#[test]
+fn clear_resets_store_and_counters() {
+    let memo = sample_memo(3);
+    let key = ScoreMemo::key("kind: Pod # 0\n", "echo unit_test_passed");
+    assert!(memo.get(key).is_some());
+    memo.clear();
+    assert!(memo.is_empty());
+    assert!(memo.get(key).is_none());
+    assert_eq!((memo.hits(), memo.misses()), (0, 1));
+}

@@ -33,7 +33,14 @@ fn write_json(value: &Yaml, out: &mut String) {
         Yaml::Int(i) => out.push_str(&i.to_string()),
         Yaml::Float(f) => {
             if f.is_finite() {
-                out.push_str(&format!("{f}"));
+                // `format!("{f}")` renders 1.0_f64 as "1", which a JSON (or
+                // YAML) reader re-types as an integer. Always keep a decimal
+                // point or exponent so floats stay floats across the wire.
+                let s = format!("{f}");
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
             } else {
                 out.push_str("null"); // JSON has no inf/nan
             }
@@ -142,5 +149,28 @@ mod tests {
     #[test]
     fn control_chars_escaped() {
         assert_eq!(to_json(&Yaml::Str("\u{1}".into())), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn floats_keep_their_type_on_the_wire() {
+        assert_eq!(to_json(&Yaml::Float(1.0)), "1.0");
+        assert_eq!(to_json(&Yaml::Float(-3.0)), "-3.0");
+        assert_eq!(to_json(&Yaml::Float(0.25)), "0.25");
+        // `{}` never uses exponent notation; the expansion still re-types
+        // as the same float.
+        assert_eq!(
+            crate::parse_one(&to_json(&Yaml::Float(1e300)))
+                .unwrap()
+                .to_value(),
+            Yaml::Float(1e300)
+        );
+        assert_eq!(to_json(&Yaml::Float(f64::NAN)), "null");
+        // The emitted text re-parses as a float, not an int.
+        assert_eq!(
+            crate::parse_one(&to_json(&Yaml::Float(2.0)))
+                .unwrap()
+                .to_value(),
+            Yaml::Float(2.0)
+        );
     }
 }

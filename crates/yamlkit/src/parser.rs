@@ -959,14 +959,19 @@ fn find_flow_colon(s: &str) -> Option<usize> {
     let bytes = s.as_bytes();
     let mut in_single = false;
     let mut in_double = false;
-    for (i, &b) in bytes.iter().enumerate() {
-        match b {
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            // `\"` inside a double-quoted key must not toggle the quote
+            // state (JSON keys arrive here via the flow-mapping path).
+            b'\\' if in_double => i += 1,
             b'\'' if !in_double => in_single = !in_single,
             b'"' if !in_single => in_double = !in_double,
             b':' if !in_single && !in_double => return Some(i),
             b',' | b'}' if !in_single && !in_double => return None,
             _ => {}
         }
+        i += 1;
     }
     None
 }

@@ -26,6 +26,52 @@ fn scalar_string() -> impl Strategy<Value = String> {
     ]
 }
 
+/// Strategy for strings exercised through the JSON wire format: quote and
+/// escape edge cases, flow punctuation, control characters, unicode.
+fn wire_string() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-zA-Z0-9_./:-]{0,12}",
+        Just(String::new()),
+        Just("a\"b".to_owned()),
+        Just("back\\slash".to_owned()),
+        Just("trailing\\".to_owned()),
+        Just("a: b".to_owned()),
+        Just("comma, brace }".to_owned()),
+        Just("]{[".to_owned()),
+        Just("line1\nline2".to_owned()),
+        Just("tab\there".to_owned()),
+        Just("\u{1}ctl".to_owned()),
+        Just("写一个 pod".to_owned()),
+        Just("1.0".to_owned()),
+        Just("null".to_owned()),
+        Just("has # hash".to_owned()),
+    ]
+}
+
+/// Strategy for JSON-representable values: like [`arb_yaml`] but floats
+/// stay finite (JSON has no inf/nan) and strings/keys range over the wire
+/// edge cases above. Duplicate map keys are fine here: the JSON writer
+/// emits both entries and the flow parser preserves both, in order.
+fn arb_json_yaml() -> impl Strategy<Value = Yaml> {
+    let leaf = prop_oneof![
+        Just(Yaml::Null),
+        any::<bool>().prop_map(Yaml::Bool),
+        (-1_000_000i64..1_000_000).prop_map(Yaml::Int),
+        (-1000.0f64..1000.0).prop_map(Yaml::Float),
+        Just(Yaml::Float(1.0)),
+        Just(Yaml::Float(-0.0)),
+        Just(Yaml::Float(1e300)),
+        Just(Yaml::Float(2.5e-10)),
+        wire_string().prop_map(Yaml::Str),
+    ];
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Yaml::Seq),
+            prop::collection::vec((wire_string(), inner), 0..4).prop_map(Yaml::Map),
+        ]
+    })
+}
+
 fn arb_yaml() -> impl Strategy<Value = Yaml> {
     let leaf = prop_oneof![
         Just(Yaml::Null),
@@ -109,5 +155,18 @@ proptest! {
     fn json_total(v in arb_yaml()) {
         prop_assert!(!yamlkit::json::to_json(&v).is_empty());
         prop_assert!(!yamlkit::json::to_json_pretty(&v).is_empty());
+    }
+
+    /// The API wire-format contract: compact JSON output re-parses through
+    /// the YAML parser (JSON is a YAML subset) to a value equal to the
+    /// original — types included, so floats stay floats and quoted
+    /// number-lookalikes stay strings.
+    #[test]
+    fn json_reparses_through_yaml_parser(v in arb_json_yaml()) {
+        let wire = yamlkit::json::to_json(&v);
+        let back = yamlkit::parse_one(&wire)
+            .unwrap_or_else(|e| panic!("wire reparse failed: {e}\n---\n{wire}"))
+            .to_value();
+        prop_assert_eq!(back, v);
     }
 }

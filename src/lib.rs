@@ -22,6 +22,7 @@
 
 pub use cedataset as dataset;
 pub use cescore as score;
+pub use ceserve as serve;
 pub use cloudeval_core as core;
 pub use envoysim as envoy;
 pub use evalcluster as cluster;

@@ -2,7 +2,7 @@
 //! least one call, so a broken re-export (or a crate silently dropped
 //! from the workspace wiring) fails here instead of in a downstream user.
 
-use cloudeval::{boost, cluster, core, dataset, envoy, exec, kube, llm, score, shell, yaml};
+use cloudeval::{boost, cluster, core, dataset, envoy, exec, kube, llm, score, serve, shell, yaml};
 
 #[test]
 fn yaml_reexport_round_trips() {
@@ -141,4 +141,32 @@ fn exec_reexport_drives_the_substrate_trait() {
         .unwrap();
     assert!(outcome.passed);
     assert_ne!(exec::content_hash("a"), exec::content_hash("b"));
+}
+
+#[test]
+fn serve_reexport_answers_one_evaluate_request() {
+    let dataset = std::sync::Arc::new(dataset::Dataset::generate());
+    let server = serve::spawn(
+        "127.0.0.1:0",
+        std::sync::Arc::clone(&dataset),
+        serve::ServerConfig {
+            workers: 2,
+            ..serve::ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let corpus = serve::loadgen::build_corpus(&dataset, 2);
+    let report = serve::loadgen::run(
+        server.addr(),
+        &corpus,
+        &serve::loadgen::LoadGenConfig {
+            clients: 1,
+            requests: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(report.outcomes.len(), 2);
+    assert!(report.outcomes.iter().all(|o| o.status == 200));
+    server.shutdown().unwrap();
 }
