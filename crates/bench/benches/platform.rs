@@ -10,10 +10,12 @@ fn executor_jobs(n: usize) -> Vec<evalcluster::UnitTestJob> {
         .iter()
         .cycle()
         .take(n)
-        .map(|p| evalcluster::UnitTestJob {
-            problem_id: p.id.clone(),
-            script: p.unit_test.clone(),
-            candidate_yaml: p.clean_reference(),
+        .map(|p| {
+            evalcluster::UnitTestJob::prepared(
+                p.id.clone(),
+                p.unit_test.clone(),
+                yamlkit::PreparedDoc::shared(p.clean_reference()),
+            )
         })
         .collect()
 }
@@ -46,12 +48,17 @@ fn bench_executor_engines(c: &mut Criterion) {
         .into_iter()
         .flat_map(|job| {
             (0..4).map(move |sample| {
-                let mut j = job.clone();
-                j.problem_id = format!("{}#{sample}", j.problem_id);
                 if sample % 2 == 1 {
-                    j.candidate_yaml.push_str(&format!("# sample {sample}\n"));
+                    evalcluster::UnitTestJob::new(
+                        format!("{}#{sample}", job.problem_id),
+                        job.script.clone(),
+                        format!("{}# sample {sample}\n", job.candidate_yaml()),
+                    )
+                } else {
+                    let mut j = job.clone();
+                    j.problem_id = format!("{}#{sample}", j.problem_id);
+                    j
                 }
-                j
             })
         })
         .collect();

@@ -60,6 +60,76 @@ fn bench_full_dataset_static_scores(c: &mut Criterion) {
     group.finish();
 }
 
+/// The parse-once document model against the cold-parse text path, on a
+/// pass@k-shaped workload: each labeled reference scores k candidate
+/// variants (what Figure 8's sweeps and every served problem do).
+/// Cold-parse re-parses the reference three times and the candidate
+/// twice per pair; the prepared path parses each reference once per
+/// session and each candidate once. Acceptance floor for the refactor:
+/// prepared ≥ 1.5x cold.
+fn bench_score_engine(c: &mut Criterion) {
+    const K: usize = 8;
+    let ds = cedataset::Dataset::generate();
+    // A representative slice of the corpus: every 6th problem, each with
+    // k near-miss candidate variants (distinct texts, so candidate-side
+    // preparation is not amortized — only the reference side is).
+    let workload: Vec<(String, Vec<String>)> = ds
+        .problems()
+        .iter()
+        .step_by(6)
+        .map(|p| {
+            let base = p.clean_reference();
+            let candidates = (0..K)
+                .map(|k| match k % 4 {
+                    0 => base.clone(),
+                    1 => base.replace("latest", "1.25"),
+                    2 => format!("{base}extra-{k}: {k}\n"),
+                    _ => base.replace("name:", "name: variant-"),
+                })
+                .collect();
+            (p.labeled_reference.clone(), candidates)
+        })
+        .collect();
+    let mut group = c.benchmark_group("score_engine");
+    group.sample_size(10);
+    group.bench_function("cold_parse_passk", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (reference, candidates) in &workload {
+                for candidate in candidates {
+                    let s = cescore::score_pair_text(black_box(reference), black_box(candidate));
+                    acc += s.bleu + s.kv_wildcard;
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("prepared_passk", |b| {
+        b.iter(|| {
+            // One RefCache per iteration: the reference parse amortizes
+            // across its k candidates, exactly like one session does.
+            // Candidates dedupe by content hash the way pass_at_k_cached
+            // shares documents between identical samples.
+            let refs = cescore::RefCache::new();
+            let mut docs: std::collections::HashMap<u64, cescore::PreparedDoc> =
+                std::collections::HashMap::new();
+            let mut acc = 0.0;
+            for (reference, candidates) in &workload {
+                let prepared = refs.prepare(black_box(reference));
+                for candidate in candidates {
+                    let doc = docs
+                        .entry(yamlkit::doc::content_hash(black_box(candidate)))
+                        .or_insert_with(|| cescore::PreparedDoc::new(candidate.as_str()));
+                    let s = cescore::score_pair_prepared(&prepared, doc);
+                    acc += s.bleu + s.kv_wildcard;
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
 fn bench_unit_test_single(c: &mut Criterion) {
     let ds = cedataset::Dataset::generate();
     let p = ds.get("pod-000").expect("pod-000 exists");
@@ -76,6 +146,7 @@ criterion_group!(
     benches,
     bench_individual_metrics,
     bench_full_dataset_static_scores,
+    bench_score_engine,
     bench_unit_test_single
 );
 criterion_main!(benches);

@@ -22,7 +22,12 @@
 //! * `--channel-bound N` — inter-stage channel depth of the streaming
 //!   stage-graph driver (default 128), used by the `pipeline` target;
 //! * `--live-latency MS` — per-request wall-clock latency of the
-//!   `pipeline` target's remote-generation section (default 15 ms).
+//!   `pipeline` target's remote-generation section (default 15 ms);
+//! * `--prepared on|off` — parse-once document model for the `pipeline`
+//!   target's streamed driver (default `on`; `off` re-parses at every
+//!   layer like the seed pipeline). Either way the target also prints a
+//!   dedicated prepared-vs-text A/B speedup line with a verdict-identity
+//!   check.
 
 use cedataset::Variant;
 use cloudeval_bench::experiments::Experiments;
@@ -35,6 +40,7 @@ fn main() {
     let mut variants: Vec<Variant> = Variant::ALL.to_vec();
     let mut channel_bound = cloudeval_core::pipeline::DEFAULT_CHANNEL_BOUND;
     let mut live_latency_ms = 15u64;
+    let mut prepared = true;
     let mut port = 0u16;
     let mut requests = 200usize;
     let mut clients = 4usize;
@@ -77,6 +83,14 @@ fn main() {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--live-latency needs milliseconds"));
+            }
+            "--prepared" => {
+                i += 1;
+                prepared = match args.get(i).map(String::as_str) {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => die("--prepared needs on|off"),
+                };
             }
             "--port" => {
                 i += 1;
@@ -168,6 +182,7 @@ fn main() {
                 &variants,
                 channel_bound,
                 live_latency_ms,
+                prepared,
             ),
             other => {
                 eprintln!("unknown target {other:?} (see --help)");
@@ -206,11 +221,12 @@ fn parse_variants(list: &str) -> Result<Vec<Variant>, String> {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro [--stride N] [--workers N] [--variants LIST] [--channel-bound N] [--live-latency MS] [--port N] [--requests N] [--clients N] [--memo PATH] <target>..."
+        "usage: repro [--stride N] [--workers N] [--variants LIST] [--channel-bound N] [--live-latency MS] [--prepared on|off] [--port N] [--requests N] [--clients N] [--memo PATH] <target>..."
     );
     eprintln!("targets: {} | all", ALL_TARGETS.join(" | "));
     eprintln!("variants: original,simplified,translated (grid/pipeline targets)");
     eprintln!("channel-bound: stage-graph backpressure depth (pipeline target)");
+    eprintln!("prepared: parse-once document model A/B (pipeline target)");
     eprintln!("port/requests/clients/memo: benchmark-as-a-service knobs (serve target)");
 }
 

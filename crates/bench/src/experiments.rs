@@ -7,6 +7,7 @@
 use std::sync::Arc;
 
 use cedataset::{Dataset, Variant};
+use cescore::RefCache;
 use cloudeval_core::analysis::{factor_analysis, failure_modes};
 use cloudeval_core::harness::{
     default_workers, evaluate, evaluate_barriered, mean_scores, pass_count, EvalOptions, EvalRecord,
@@ -21,13 +22,18 @@ use llmsim::{standard_models, GenParams, SimulatedModel};
 ///
 /// All evaluations run through one shared content-addressed
 /// [`ScoreMemo`]: a `(candidate, script)` pair unit-tested for Table 4 is
-/// never re-executed for Table 5, the grid, or a pass@k sweep.
+/// never re-executed for Table 5, the grid, or a pass@k sweep. The
+/// [`RefCache`] plays the same role for the reference side of static
+/// scoring: each problem's labeled reference is parsed exactly once per
+/// `Experiments` session, no matter how many tables, figures or grid
+/// cells score against it.
 pub struct Experiments {
     dataset: Arc<Dataset>,
     models: Vec<SimulatedModel>,
     stride: usize,
     workers: usize,
     memo: Arc<ScoreMemo>,
+    refs: Arc<RefCache>,
 }
 
 impl Experiments {
@@ -47,6 +53,7 @@ impl Experiments {
             stride: stride.max(1),
             workers: workers.max(1),
             memo: Arc::new(ScoreMemo::new()),
+            refs: Arc::new(RefCache::new()),
         }
     }
 
@@ -60,6 +67,11 @@ impl Experiments {
         &self.memo
     }
 
+    /// The session-wide prepared-reference cache.
+    pub fn refs(&self) -> &RefCache {
+        &self.refs
+    }
+
     fn options(&self, variants: Vec<Variant>, shots: usize) -> EvalOptions {
         EvalOptions {
             variants,
@@ -68,6 +80,7 @@ impl Experiments {
             workers: self.workers,
             stride: self.stride,
             memo: Some(Arc::clone(&self.memo)),
+            refs: Some(Arc::clone(&self.refs)),
             ..EvalOptions::default()
         }
     }
@@ -132,10 +145,11 @@ impl Experiments {
         variants: &[Variant],
         channel_bound: usize,
         live_latency_ms: u64,
+        prepared: bool,
     ) -> String {
         let mut out = String::from("Pipeline drivers: barriered vs streamed (stage-graph)\n");
         out.push_str(&format!(
-            "variants: {} | stride: {} | workers: {} | channel bound: {}\n",
+            "variants: {} | stride: {} | workers: {} | channel bound: {} | prepared: {}\n",
             variants
                 .iter()
                 .map(|v| v.label())
@@ -143,14 +157,60 @@ impl Experiments {
                 .join(","),
             self.stride,
             self.workers,
-            channel_bound
+            channel_bound,
+            if prepared { "on" } else { "off" },
         ));
         out.push_str("-- instant generation (CPU-bound) --\n");
-        out.push_str(&self.pipeline_section(variants, channel_bound, None));
+        out.push_str(&self.pipeline_section(variants, channel_bound, None, prepared));
         out.push_str(&format!(
             "-- remote generation ({live_latency_ms} ms live request latency) --\n"
         ));
-        out.push_str(&self.pipeline_section(variants, channel_bound, Some(live_latency_ms)));
+        out.push_str(&self.pipeline_section(
+            variants,
+            channel_bound,
+            Some(live_latency_ms),
+            prepared,
+        ));
+        out.push_str("-- prepared A/B (streamed driver, instant generation) --\n");
+        out.push_str(&self.prepared_ab_section(variants, channel_bound));
+        out
+    }
+
+    /// The parse-once A/B: the same streamed grid with the document model
+    /// off (every layer re-parses, the pre-refactor cost profile) and on
+    /// (one parse per candidate, references prepared once per run), with
+    /// the verdict-identity check and one speedup line.
+    fn prepared_ab_section(&self, variants: &[Variant], channel_bound: usize) -> String {
+        let options = |prepared: bool| EvalOptions {
+            variants: variants.to_vec(),
+            workers: self.workers,
+            stride: self.stride,
+            channel_bound,
+            memo: None, // run-local caches: measure parsing, not warmth
+            refs: None,
+            prepared,
+            ..EvalOptions::default()
+        };
+        let mut out = String::new();
+        let mut text_total = 0.0f64;
+        let mut prepared_total = 0.0f64;
+        let mut all_identical = true;
+        for model in &self.models {
+            let started = std::time::Instant::now();
+            let text = evaluate(model, &self.dataset, &options(false));
+            let text_s = started.elapsed().as_secs_f64();
+            let started = std::time::Instant::now();
+            let prep = evaluate(model, &self.dataset, &options(true));
+            let prepared_s = started.elapsed().as_secs_f64();
+            all_identical &= text == prep;
+            text_total += text_s;
+            prepared_total += prepared_s;
+        }
+        out.push_str(&format!(
+            "prepared A/B: text-path {text_total:.2}s | prepared {prepared_total:.2}s | speedup {:.2}x | verdicts {}\n",
+            text_total / prepared_total.max(1e-9),
+            if all_identical { "identical" } else { "DIVERGED" },
+        ));
         out
     }
 
@@ -159,6 +219,7 @@ impl Experiments {
         variants: &[Variant],
         channel_bound: usize,
         live_latency_ms: Option<u64>,
+        prepared: bool,
     ) -> String {
         let options = EvalOptions {
             variants: variants.to_vec(),
@@ -167,6 +228,8 @@ impl Experiments {
             channel_bound,
             live_latency_ms,
             memo: None, // run-local memos: measure scheduling, not cache
+            refs: None,
+            prepared,
             ..EvalOptions::default()
         };
         let mut out = String::new();
@@ -413,9 +476,10 @@ mod tests {
     #[test]
     fn pipeline_compare_reports_identical_outputs() {
         let e = Experiments::with_workers(48, 4);
-        let out = e.pipeline(&[Variant::Original], 64, 2);
+        let out = e.pipeline(&[Variant::Original], 64, 2, true);
         assert!(out.contains("speedup"), "{out}");
         assert!(out.contains("remote generation"), "{out}");
+        assert!(out.contains("prepared A/B"), "{out}");
         assert!(out.contains("identical"), "{out}");
         assert!(!out.contains("DIVERGED"), "{out}");
     }

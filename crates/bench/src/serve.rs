@@ -9,6 +9,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use cedataset::Dataset;
+use cescore::RefCache;
 use ceserve::loadgen::{self, LoadGenConfig};
 use ceserve::ServerConfig;
 use cloudeval_core::harness::score_submission;
@@ -91,6 +92,18 @@ pub fn serve_report(options: &ServeOptions) -> String {
     let mut verified = 0usize;
     let mut diverged = 0usize;
     let mut failures = 0usize;
+    // Second axis: the served verdicts must also agree with the
+    // **pre-refactor text path** — static metrics recomputed by
+    // `score_pair_text` (every layer re-parsing) and the unit test
+    // re-executed through `execute_uncached_text` — so the parse-once
+    // document model is provably invisible at the HTTP boundary.
+    let mut text_diverged = 0usize;
+    let refs = RefCache::new();
+    let by_id: HashMap<&str, &cedataset::Problem> = dataset
+        .problems()
+        .iter()
+        .map(|p| (p.id.as_str(), p))
+        .collect();
     for outcome in &report.outcomes {
         if outcome.status != 200 {
             failures += 1;
@@ -98,15 +111,25 @@ pub fn serve_report(options: &ServeOptions) -> String {
         }
         let want = expected.entry(outcome.corpus_index).or_insert_with(|| {
             let item = &corpus[outcome.corpus_index];
-            let problem = dataset
-                .problems()
-                .iter()
-                .find(|p| p.id == item.problem_id)
-                .expect("corpus problem");
-            let verdict = score_submission(problem, item.variant, &item.raw, &ScoreMemo::new());
+            let problem = by_id[item.problem_id.as_str()];
+            let verdict =
+                score_submission(problem, item.variant, &item.raw, &ScoreMemo::new(), &refs);
+            let yaml = llmsim::extract_yaml(&item.raw);
+            let text_scores = cescore::score_pair_text(&problem.labeled_reference, &yaml);
+            let text_exec = evalcluster::execute_uncached_text(&yaml, &problem.unit_test);
+            if verdict.scores.static_metrics() != text_scores.static_metrics()
+                || verdict.passed != text_exec.passed
+                || verdict.simulated_ms != text_exec.simulated_ms
+            {
+                // Poison the expectation so the divergence is counted for
+                // every response of this item.
+                return String::from("TEXT-PATH-DIVERGED");
+            }
             canonical(ceserve::api::verdict_to_yaml(&verdict))
         });
-        if &canonical(outcome.body.clone()) == want {
+        if want == "TEXT-PATH-DIVERGED" {
+            text_diverged += 1;
+        } else if &canonical(outcome.body.clone()) == want {
             verified += 1;
         } else {
             diverged += 1;
@@ -145,8 +168,9 @@ pub fn serve_report(options: &ServeOptions) -> String {
         stat(&["connections", "rejected_busy"]),
     ));
     out.push_str(&format!(
-        "verification vs direct pipeline: {verified} identical, {diverged} DIVERGED -> {}\n",
-        if diverged == 0 && failures == 0 && report.transport_errors == 0 {
+        "verification vs direct pipeline + pre-refactor text path: {verified} identical, {} DIVERGED -> {}\n",
+        diverged + text_diverged,
+        if diverged == 0 && text_diverged == 0 && failures == 0 && report.transport_errors == 0 {
             "identical"
         } else {
             "DIVERGED"

@@ -36,6 +36,12 @@ pub fn tokenize(text: &str) -> Vec<String> {
 /// assert_eq!(cescore::tokenize_ref("name: web"), vec!["name", ":", "web"]);
 /// ```
 pub fn tokenize_ref(text: &str) -> Vec<&str> {
+    // Single-pass slice tokenizer, kept verbatim as the seed cost
+    // profile (this is the cold-parse baseline the score_engine bench
+    // measures the prepared path against). `yamlkit::doc::token_spans`
+    // implements the same segmentation as byte spans for PreparedDoc's
+    // cache; the `prepared_doc_views_match_direct_tokenization` proptest
+    // pins the two together.
     let mut tokens = Vec::new();
     let mut start: Option<usize> = None;
     for (i, c) in text.char_indices() {

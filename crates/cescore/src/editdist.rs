@@ -8,7 +8,14 @@
 pub fn line_edit_distance(reference: &str, candidate: &str) -> usize {
     let ref_lines: Vec<&str> = reference.lines().collect();
     let cand_lines: Vec<&str> = candidate.lines().collect();
-    let lcs = lcs_len(&ref_lines, &cand_lines);
+    line_edit_distance_lines(&ref_lines, &cand_lines)
+}
+
+/// [`line_edit_distance`] over pre-split line tables — the hot path fed
+/// by `PreparedDoc`'s cached line spans, so repeated scoring never
+/// re-scans the text for newlines.
+pub fn line_edit_distance_lines(ref_lines: &[&str], cand_lines: &[&str]) -> usize {
+    let lcs = lcs_len(ref_lines, cand_lines);
     (ref_lines.len() - lcs) + (cand_lines.len() - lcs)
 }
 
@@ -23,16 +30,18 @@ pub fn line_edit_distance(reference: &str, candidate: &str) -> usize {
 /// assert!(cescore::edit_distance_score(r, "a: 1\nb: 99\nc: 3\n") < 1.0);
 /// ```
 pub fn edit_distance_score(reference: &str, candidate: &str) -> f64 {
-    let ref_len = reference.lines().count();
-    if ref_len == 0 {
-        return if candidate.lines().count() == 0 {
-            1.0
-        } else {
-            0.0
-        };
+    let ref_lines: Vec<&str> = reference.lines().collect();
+    let cand_lines: Vec<&str> = candidate.lines().collect();
+    edit_distance_score_lines(&ref_lines, &cand_lines)
+}
+
+/// [`edit_distance_score`] over pre-split line tables.
+pub fn edit_distance_score_lines(ref_lines: &[&str], cand_lines: &[&str]) -> f64 {
+    if ref_lines.is_empty() {
+        return if cand_lines.is_empty() { 1.0 } else { 0.0 };
     }
-    let dist = line_edit_distance(reference, candidate);
-    (1.0 - dist as f64 / ref_len as f64).max(0.0)
+    let dist = line_edit_distance_lines(ref_lines, cand_lines);
+    (1.0 - dist as f64 / ref_lines.len() as f64).max(0.0)
 }
 
 /// Classic O(n·m) longest-common-subsequence length over lines, with an

@@ -30,11 +30,16 @@
 
 mod bleu;
 mod editdist;
+mod prepared;
 mod yamlaware;
 
 pub use bleu::{bleu, bleu_tokens, bleu_tokens_ref, tokenize, tokenize_ref, Smoothing};
-pub use editdist::{edit_distance_score, line_edit_distance};
+pub use editdist::{
+    edit_distance_score, edit_distance_score_lines, line_edit_distance, line_edit_distance_lines,
+};
+pub use prepared::{score_pair_prepared, PreparedRef, RefCache, ScoreIssue};
 pub use yamlaware::{kv_exact_match, kv_wildcard_match};
+pub use yamlkit::PreparedDoc;
 
 use serde::{Deserialize, Serialize};
 
@@ -48,22 +53,26 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(cescore::exact_match("a: 1\n", "a: 2\n"), 0.0);
 /// ```
 pub fn exact_match(reference: &str, candidate: &str) -> f64 {
-    if normalize_text(reference) == normalize_text(candidate) {
+    if normalized_eq(reference, candidate) {
         1.0
     } else {
         0.0
     }
 }
 
-/// Normalizes text for exact comparison: strips per-line trailing
-/// whitespace, drops reference label comments' surrounding spacing
-/// differences by trimming line ends, and removes the trailing newline run.
-fn normalize_text(text: &str) -> String {
-    let mut lines: Vec<&str> = text.lines().map(str::trim_end).collect();
-    while lines.last().is_some_and(|l| l.is_empty()) {
-        lines.pop();
+/// Whether two texts are equal after exact-match normalization (per-line
+/// trailing whitespace stripped, trailing empty-line run dropped).
+/// Allocation-free: compares trimmed line tables directly instead of
+/// materializing normalized strings.
+pub fn normalized_eq(a: &str, b: &str) -> bool {
+    fn trimmed(text: &str) -> Vec<&str> {
+        let mut lines: Vec<&str> = text.lines().map(str::trim_end).collect();
+        while lines.last().is_some_and(|l| l.is_empty()) {
+            lines.pop();
+        }
+        lines
     }
-    lines.join("\n")
+    trimmed(a) == trimmed(b)
 }
 
 /// All six CloudEval-YAML metrics for one generated answer.
@@ -115,7 +124,28 @@ pub const METRIC_NAMES: [&str; 6] = [
 /// text-level comparison (they are instructions to the grader, not part of
 /// the solution), and both sides are canonicalized when they parse so that
 /// formatting noise does not dominate text-level scores.
+///
+/// Thin wrapper over [`score_pair_prepared`]: both sides are prepared
+/// (parsed once) and scored from cached views. Callers scoring the same
+/// reference repeatedly should hold a [`PreparedRef`] (via [`RefCache`])
+/// and call [`score_pair_prepared`] directly.
 pub fn score_pair(labeled_reference: &str, candidate: &str) -> Scores {
+    score_pair_prepared(
+        &PreparedRef::new(labeled_reference),
+        &PreparedDoc::new(candidate),
+    )
+}
+
+/// The pre-refactor text-path score calculation, parsing both sides on
+/// every call: the reference is stripped (parse + emit), then kv-exact
+/// re-parses the cleaned reference and the candidate, and kv-wildcard
+/// re-parses the labeled reference and the candidate again.
+///
+/// Kept verbatim as the baseline [`score_pair`] must stay score-identical
+/// to (the `proptest_metrics` suite proves it on arbitrary YAML) and as
+/// the cold-parse side of the `score_engine` benchmark group and the
+/// `repro pipeline --prepared off` A/B path.
+pub fn score_pair_text(labeled_reference: &str, candidate: &str) -> Scores {
     let reference_clean = strip_label_comments(labeled_reference);
     // Text-level metrics compare the cleaned reference against raw output.
     let bleu_score = bleu(&reference_clean, candidate, Smoothing::Epsilon);

@@ -18,8 +18,70 @@ fn arb_yaml_text() -> impl Strategy<Value = String> {
     })
 }
 
+/// Arbitrary model-output-shaped text: sometimes valid YAML, sometimes
+/// prose, sometimes broken flow collections — the full domain the scorer
+/// must be total over.
+fn arb_any_text() -> impl Strategy<Value = String> {
+    prop_oneof![
+        arb_yaml_text(),
+        "[a-zA-Z0-9 :#\\n\\[\\]{},'\"-]{0,80}".prop_map(|s| s),
+        // Guaranteed-broken YAML: unclosed flow sequence.
+        "[a-z]{1,6}".prop_map(|k| format!("{k}: [1,\n")),
+        Just(String::new()),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// THE parse-once contract: `score_pair` (the prepared-path wrapper)
+    /// is score-identical to the pre-refactor text path on arbitrary
+    /// reference/candidate pairs — valid YAML, invalid YAML, prose and
+    /// empty text alike. Every metric must agree bit-for-bit.
+    #[test]
+    fn prepared_path_is_score_identical_to_text_path(
+        r in arb_any_text(),
+        c in arb_any_text(),
+    ) {
+        let prepared = cescore::score_pair(&r, &c);
+        let text = cescore::score_pair_text(&r, &c);
+        prop_assert_eq!(prepared, text, "paths diverged on ref {:?} cand {:?}", r, c);
+    }
+
+    /// Same contract through the explicit prepared API, with the
+    /// reference and candidate each prepared once and reused — reuse
+    /// must not change any score.
+    #[test]
+    fn reused_prepared_views_stay_identical(
+        r in arb_any_text(),
+        cands in prop::collection::vec(arb_any_text(), 1..4),
+    ) {
+        let reference = cescore::PreparedRef::new(&r);
+        for c in &cands {
+            let doc = cescore::PreparedDoc::new(c.as_str());
+            let once = cescore::score_pair_prepared(&reference, &doc);
+            prop_assert_eq!(once, cescore::score_pair_text(&r, c));
+            // Scoring the same shared views again is pure.
+            prop_assert_eq!(once, cescore::score_pair_prepared(&reference, &doc));
+        }
+    }
+
+    /// A reference that fails to parse surfaces a typed issue, and only
+    /// then (a parseable reference never does).
+    #[test]
+    fn score_issue_tracks_reference_parseability(r in arb_any_text()) {
+        let reference = cescore::PreparedRef::new(&r);
+        prop_assert_eq!(reference.issue().is_some(), yamlkit::parse(&r).is_err());
+    }
+
+    /// The cached token stream and line table inside PreparedDoc agree
+    /// with the direct tokenizers on arbitrary text.
+    #[test]
+    fn prepared_doc_views_match_direct_tokenization(t in arb_any_text()) {
+        let doc = cescore::PreparedDoc::new(t.as_str());
+        prop_assert_eq!(doc.tokens(), cescore::tokenize_ref(&t));
+        prop_assert_eq!(doc.lines(), t.lines().collect::<Vec<_>>());
+    }
 
     #[test]
     fn all_metrics_bounded(r in arb_yaml_text(), c in arb_yaml_text()) {

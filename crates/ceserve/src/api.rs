@@ -14,11 +14,13 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use cedataset::{Dataset, Variant};
+use cescore::RefCache;
 use cloudeval_core::harness::{
-    score_submission, score_submissions_stream, StageGauges, Submission, SubmissionVerdict,
+    score_submission_doc, score_submissions_stream, StageGauges, Submission, SubmissionVerdict,
 };
 use evalcluster::memo::ScoreMemo;
-use yamlkit::{ymap, Yaml};
+use llmsim::extract_yaml;
+use yamlkit::{ymap, PreparedDoc, Yaml};
 
 use crate::http::{self, ChunkedWriter, Request, MAX_BODY_BYTES};
 
@@ -90,6 +92,10 @@ pub struct Service {
     /// In-process only; across restarts the persisted [`ScoreMemo`]
     /// still guarantees no substrate re-execution.
     responses: Mutex<HashMap<(u64, u64), SubmissionVerdict>>,
+    /// Prepared-reference cache: each problem's labeled reference is
+    /// parsed once per process lifetime, no matter how many submissions
+    /// it judges.
+    refs: RefCache,
     gauges: StageGauges,
     stats: ServiceStats,
     workers: usize,
@@ -111,6 +117,7 @@ impl Service {
             index,
             memo,
             responses: Mutex::new(HashMap::new()),
+            refs: RefCache::new(),
             gauges: StageGauges::new(),
             stats: ServiceStats::default(),
             workers: workers.max(1),
@@ -175,12 +182,19 @@ impl Service {
     }
 }
 
-/// The response-cache key for an item: candidate content × problem ×
-/// variant (the same content-addressing vocabulary as the score memo).
+/// The response-cache key for an item: **extracted** candidate content ×
+/// problem × variant (the same content-addressing vocabulary as the
+/// score memo — the candidate side is exactly the `PreparedDoc`'s
+/// content hash, so two raw bodies that extract to the same YAML share
+/// one cached verdict).
 fn response_key(item: &EvalItem<'_>) -> (u64, u64) {
-    ScoreMemo::key(
-        &item.candidate,
-        &format!("{}@{}", item.problem.id, variant_wire(item.variant)),
+    (
+        yamlkit::doc::content_hash(&item.extracted),
+        yamlkit::doc::content_hash(&format!(
+            "{}@{}",
+            item.problem.id,
+            variant_wire(item.variant)
+        )),
     )
 }
 
@@ -228,6 +242,7 @@ pub fn verdict_to_yaml(v: &SubmissionVerdict) -> Yaml {
         "cached" => v.cached,
         "simulated_ms" => i64::try_from(v.simulated_ms).unwrap_or(i64::MAX),
         "answer_class" => format!("{:?}", v.answer_class),
+        "score_issue" => v.score_issue.clone().map_or(Yaml::Null, Yaml::Str),
         "scores" => ymap! {
             "bleu" => v.scores.bleu,
             "edit_distance" => v.scores.edit_distance,
@@ -244,7 +259,12 @@ pub fn verdict_to_yaml(v: &SubmissionVerdict) -> Yaml {
 struct EvalItem<'s> {
     problem: &'s cedataset::Problem,
     variant: Variant,
+    /// The raw candidate body, as submitted.
     candidate: String,
+    /// §3.1 post-processed candidate (extraction is a cheap string scan,
+    /// done once at decode so the response cache can be keyed on content
+    /// before any parsing or scoring happens).
+    extracted: String,
 }
 
 /// Decodes an item object (`{"problem_id", "candidate", "variant"?}`).
@@ -271,6 +291,7 @@ fn decode_item<'s>(service: &'s Service, value: &Yaml, at: &str) -> Result<EvalI
         problem,
         variant,
         candidate: candidate.to_owned(),
+        extracted: extract_yaml(candidate),
     })
 }
 
@@ -362,13 +383,22 @@ fn stats_body(service: &Service) -> String {
 /// `POST /v1/evaluate`.
 fn evaluate_body(service: &Service, request: &Request) -> Result<String, ApiError> {
     let value = decode_body(&request.body)?;
-    let item = decode_item(service, &value, "body")?;
+    let mut item = decode_item(service, &value, "body")?;
     let key = response_key(&item);
     if let Some(mut verdict) = service.cached_response(key) {
         verdict.cached = true;
         return Ok(yamlkit::json::to_json(&verdict_to_yaml(&verdict)));
     }
-    let verdict = score_submission(item.problem, item.variant, &item.candidate, &service.memo);
+    // Cache miss: the candidate's one-and-only parse. The PreparedDoc
+    // built here flows through static scoring and substrate execution.
+    let doc = PreparedDoc::shared(std::mem::take(&mut item.extracted));
+    let verdict = score_submission_doc(
+        item.problem,
+        item.variant,
+        &doc,
+        &service.memo,
+        &service.refs,
+    );
     service.store_response(key, verdict.clone());
     Ok(yamlkit::json::to_json(&verdict_to_yaml(&verdict)))
 }
@@ -415,6 +445,8 @@ fn batch_stream(
                     problem: item.problem,
                     variant: item.variant,
                     raw: item.candidate.clone(),
+                    // decode_item already ran §3.1; don't extract twice.
+                    extracted: Some(item.extracted.clone()),
                 });
             }
         }
@@ -451,6 +483,7 @@ fn batch_stream(
         &submissions,
         service.workers,
         &service.memo,
+        &service.refs,
         &service.gauges,
         |i, verdict| {
             let index = fresh_indices[i];

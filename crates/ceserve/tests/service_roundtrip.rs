@@ -29,7 +29,13 @@ fn direct_scores_json(dataset: &Dataset, item: &loadgen::LoadItem) -> String {
         .iter()
         .find(|p| p.id == item.problem_id)
         .expect("corpus problem exists");
-    let verdict = score_submission(problem, item.variant, &item.raw, &ScoreMemo::new());
+    let verdict = score_submission(
+        problem,
+        item.variant,
+        &item.raw,
+        &ScoreMemo::new(),
+        &cescore::RefCache::new(),
+    );
     yamlkit::json::to_json(verdict_to_yaml(&verdict).get("scores").expect("scores"))
 }
 

@@ -24,7 +24,7 @@ use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Mutex};
 
 use cedataset::{Category, Dataset, Problem, Variant};
-use cescore::Scores;
+use cescore::{score_pair_prepared, PreparedDoc, RefCache, Scores};
 use evalcluster::executor::{run_jobs_cached, run_jobs_stream, UnitTestJob};
 use evalcluster::memo::ScoreMemo;
 use llmsim::{extract_yaml, AnswerCategory, GenParams, LanguageModel, QueryConfig, SimulatedModel};
@@ -99,6 +99,19 @@ pub struct EvalOptions {
     /// Applied identically by both drivers (so comparisons stay fair);
     /// `None` (the default) generates at pure simulation speed.
     pub live_latency_ms: Option<u64>,
+    /// Parse-once document model (the default). Each candidate is parsed
+    /// exactly once into a shared [`PreparedDoc`] that flows from the
+    /// scoring stage into substrate execution, and each reference is
+    /// prepared once per [`RefCache`] lifetime. `false` selects the
+    /// pre-refactor text path — every layer re-parses the text — kept as
+    /// the A/B baseline (`repro pipeline --prepared off`); verdicts are
+    /// identical either way.
+    pub prepared: bool,
+    /// Shared prepared-reference cache. `None` (the default) uses a
+    /// run-local cache — each reference still parses at most once within
+    /// the run; supply one `Arc<RefCache>` across runs to parse each
+    /// reference exactly once per session (grid sweeps, pass@k).
+    pub refs: Option<Arc<RefCache>>,
 }
 
 impl Default for EvalOptions {
@@ -112,6 +125,8 @@ impl Default for EvalOptions {
             memo: None,
             channel_bound: DEFAULT_CHANNEL_BOUND,
             live_latency_ms: None,
+            prepared: true,
+            refs: None,
         }
     }
 }
@@ -128,6 +143,12 @@ impl EvalOptions {
     /// The memo to use: the shared one when provided, else `fallback`.
     fn memo_or<'a>(&'a self, fallback: &'a ScoreMemo) -> &'a ScoreMemo {
         self.memo.as_deref().unwrap_or(fallback)
+    }
+
+    /// The prepared-reference cache to use: the shared one when provided,
+    /// else `fallback`.
+    fn refs_or<'a>(&'a self, fallback: &'a RefCache) -> &'a RefCache {
+        self.refs.as_deref().unwrap_or(fallback)
     }
 
     /// The query configuration both drivers dispatch generation with.
@@ -167,24 +188,28 @@ fn plan<'d>(
 }
 
 /// Assembles the final record for one coordinate — shared verbatim by
-/// both drivers so their outputs stay bit-identical.
+/// both drivers so their outputs stay bit-identical. `clean_reference` is
+/// the label-stripped reference: the text driver computes it per record
+/// (the seed behavior), the prepared driver reads it off the session's
+/// [`cescore::PreparedRef`] — the strings are identical by construction.
 fn assemble_record(
     model_name: &str,
     problem: &Problem,
     variant: Variant,
+    clean_reference: &str,
     yaml: String,
     mut scores: Scores,
     passed: bool,
 ) -> EvalRecord {
     scores.unit_test = f64::from(u8::from(passed));
-    let answer_class = llmsim::classify_answer(&yaml, &problem.clean_reference(), passed);
+    let answer_class = llmsim::classify_answer(&yaml, clean_reference, passed);
     EvalRecord {
         model: model_name.to_owned(),
         problem_id: problem.id.clone(),
         variant,
         category: problem.category,
         has_context: problem.has_context(),
-        reference_lines: problem.reference_lines(),
+        reference_lines: clean_reference.lines().count(),
         question_tokens: cedataset::stats::token_count(problem.description_for(variant)),
         extracted: yaml,
         scores,
@@ -210,12 +235,20 @@ impl Stage for ExtractStage {
 }
 
 /// Static scoring as a pipeline stage: extracted YAML in, `(yaml, static
-/// scores)` out — `cescore::score_pair` runs on this stage's pool, off
-/// the main thread. As a side effect each record's unit-test job is
-/// forwarded to the substrate execution pool the moment the YAML is
-/// known, so cloud evaluation overlaps scoring *and* generation.
+/// scores)` out — scoring runs on this stage's pool, off the main
+/// thread. As a side effect each record's unit-test job is forwarded to
+/// the substrate execution pool the moment the YAML is known, so cloud
+/// evaluation overlaps scoring *and* generation.
+///
+/// In prepared mode (`refs` set) this is where the candidate's
+/// one-and-only parse happens: the [`PreparedDoc`] built here is shared
+/// by `Arc` with the substrate job, and the reference comes pre-parsed
+/// from the [`RefCache`]. In text mode every layer re-parses, exactly
+/// like the seed pipeline.
 struct ScoreStage<'a> {
     coords: &'a [(&'a Problem, Variant)],
+    /// `Some` → parse-once prepared scoring; `None` → seed text path.
+    refs: Option<&'a RefCache>,
     jobs: SyncSender<(usize, UnitTestJob)>,
     workers: usize,
 }
@@ -228,18 +261,28 @@ impl Stage for ScoreStage<'_> {
     }
     fn process(&self, index: usize, yaml: String) -> (String, Scores) {
         let (problem, variant) = self.coords[index];
-        let job = UnitTestJob {
-            problem_id: format!("{}@{variant:?}", problem.id),
-            script: problem.unit_test.clone(),
-            candidate_yaml: yaml.clone(),
-        };
+        let problem_id = format!("{}@{variant:?}", problem.id);
         // Dispatch before scoring: the substrate pool starts while this
         // thread computes BLEU/edit-distance/kv metrics. A send error
         // means the execution pool is gone; the collector will flag the
         // missing verdict.
-        let _ = self.jobs.send((index, job));
-        let scores = cescore::score_pair(&problem.labeled_reference, &yaml);
-        (yaml, scores)
+        match self.refs {
+            Some(refs) => {
+                let doc = PreparedDoc::shared(yaml);
+                let job =
+                    UnitTestJob::prepared(problem_id, problem.unit_test.clone(), Arc::clone(&doc));
+                let _ = self.jobs.send((index, job));
+                let reference = refs.prepare(&problem.labeled_reference);
+                let scores = score_pair_prepared(&reference, &doc);
+                (doc.text().to_owned(), scores)
+            }
+            None => {
+                let job = UnitTestJob::new(problem_id, problem.unit_test.clone(), yaml.clone());
+                let _ = self.jobs.send((index, job));
+                let scores = cescore::score_pair_text(&problem.labeled_reference, &yaml);
+                (yaml, scores)
+            }
+        }
     }
 }
 
@@ -260,6 +303,8 @@ pub fn evaluate(
     let workers = options.workers.max(1);
     let local_memo = ScoreMemo::new();
     let memo = options.memo_or(&local_memo);
+    let local_refs = RefCache::new();
+    let refs = options.prepared.then(|| options.refs_or(&local_refs));
     let bound = options.channel_bound.max(1);
 
     let verdicts: Mutex<Vec<Option<bool>>> = Mutex::new(vec![None; n]);
@@ -288,6 +333,7 @@ pub fn evaluate(
         })
         .then(ScoreStage {
             coords: &coords,
+            refs,
             jobs: job_tx,
             workers: workers.min(hw).max(1),
         })
@@ -325,7 +371,15 @@ pub fn evaluate(
         .zip(verdicts)
         .map(|(((problem, variant), (yaml, scores)), passed)| {
             let passed = passed.expect("substrate pool dropped a verdict");
-            assemble_record(model.name(), problem, variant, yaml, scores, passed)
+            let clean = match refs {
+                // Cache hit: the reference was prepared during scoring.
+                Some(refs) => refs
+                    .prepare(&problem.labeled_reference)
+                    .clean_text()
+                    .to_owned(),
+                None => problem.clean_reference(),
+            };
+            assemble_record(model.name(), problem, variant, &clean, yaml, scores, passed)
         })
         .collect()
 }
@@ -333,11 +387,16 @@ pub fn evaluate(
 /// Runs the full pipeline for one model with the seed's phase barriers:
 /// every prompt is answered before any YAML is extracted, every unit
 /// test runs before any static metric is computed, and the static
-/// metrics are computed serially on the calling thread.
+/// metrics are computed serially on the calling thread — **on the
+/// pre-refactor text path** (every layer re-parses the candidate), which
+/// this driver preserves verbatim regardless of
+/// [`EvalOptions::prepared`].
 ///
-/// Kept as the reference semantics [`evaluate`] must reproduce exactly,
-/// and as the baseline the `pipeline_engine` bench group and
-/// `repro pipeline` measure the stage-graph against.
+/// Kept as the reference semantics [`evaluate`] must reproduce exactly
+/// (the `pipeline_determinism` suite proves record equality, which also
+/// certifies the parse-once document model against the text path), and
+/// as the baseline the `pipeline_engine` bench group and `repro
+/// pipeline` measure the stage-graph against.
 pub fn evaluate_barriered(
     model: &SimulatedModel,
     dataset: &Dataset,
@@ -352,10 +411,8 @@ pub fn evaluate_barriered(
     let jobs: Vec<UnitTestJob> = coords
         .iter()
         .zip(&extracted)
-        .map(|((p, v), yaml)| UnitTestJob {
-            problem_id: format!("{}@{v:?}", p.id),
-            script: p.unit_test.clone(),
-            candidate_yaml: yaml.clone(),
+        .map(|((p, v), yaml)| {
+            UnitTestJob::new(format!("{}@{v:?}", p.id), p.unit_test.clone(), yaml.clone())
         })
         .collect();
     let local_memo = ScoreMemo::new();
@@ -366,11 +423,12 @@ pub fn evaluate_barriered(
         .zip(extracted)
         .zip(report.results)
         .map(|(((problem, variant), yaml), job_result)| {
-            let scores = cescore::score_pair(&problem.labeled_reference, &yaml);
+            let scores = cescore::score_pair_text(&problem.labeled_reference, &yaml);
             assemble_record(
                 model.name(),
                 problem,
                 variant,
+                &problem.clean_reference(),
                 yaml,
                 scores,
                 job_result.passed,
@@ -391,6 +449,11 @@ pub struct Submission<'p> {
     pub variant: Variant,
     /// Raw model output; §3.1 post-processing is applied before scoring.
     pub raw: String,
+    /// Already-extracted candidate, when the caller ran §3.1
+    /// post-processing itself (the `ceserve` batch decoder does, to key
+    /// its response cache) — the streaming scorer then skips the second
+    /// extraction. `None` extracts from `raw`.
+    pub extracted: Option<String>,
 }
 
 /// The scored outcome of one [`Submission`] — the same numbers, bit for
@@ -415,6 +478,12 @@ pub struct SubmissionVerdict {
     /// `true` when the verdict was served from the score memo without
     /// touching a substrate this call.
     pub cached: bool,
+    /// A benchmark-input defect detected while scoring (e.g. an
+    /// unparseable reference — see [`cescore::ScoreIssue`]), in wire
+    /// form. A broken reference is a benchmark bug, not a model failure:
+    /// the YAML-aware metrics still read 0.0 (unchanged numbers), but the
+    /// defect is surfaced here instead of silently blaming the model.
+    pub score_issue: Option<String>,
 }
 
 /// Live occupancy gauges of the submission-scoring stages, for a serving
@@ -478,43 +547,71 @@ impl Drop for GaugeGuard<'_> {
 fn assemble_verdict(
     problem: &Problem,
     variant: Variant,
+    reference: &cescore::PreparedRef,
     yaml: String,
     mut scores: Scores,
-    passed: bool,
-    simulated_ms: u64,
+    execution: evalcluster::CachedVerdict,
     cached: bool,
 ) -> SubmissionVerdict {
+    let passed = execution.passed;
     scores.unit_test = f64::from(u8::from(passed));
-    let answer_class = llmsim::classify_answer(&yaml, &problem.clean_reference(), passed);
+    let answer_class = llmsim::classify_answer(&yaml, reference.clean_text(), passed);
     SubmissionVerdict {
         problem_id: problem.id.clone(),
         variant,
         extracted: yaml,
         scores,
         passed,
-        simulated_ms,
+        simulated_ms: execution.simulated_ms,
         answer_class,
         cached,
+        score_issue: reference.issue().map(cescore::ScoreIssue::wire),
     }
 }
 
-/// Scores one externally-submitted candidate: §3.1 extraction, the five
-/// static metrics, and the unit test through the shared [`ScoreMemo`] —
-/// a repeat submission of an already-judged candidate is answered from
-/// cache without touching a substrate.
+/// Scores one externally-submitted candidate: §3.1 extraction, **one**
+/// parse into a [`PreparedDoc`] shared with every metric and the
+/// substrate, the five static metrics from cached views, and the unit
+/// test through the shared [`ScoreMemo`] — a repeat submission of an
+/// already-judged candidate is answered from cache without touching a
+/// substrate.
 pub fn score_submission(
     problem: &Problem,
     variant: Variant,
     raw: &str,
     memo: &ScoreMemo,
+    refs: &RefCache,
 ) -> SubmissionVerdict {
-    let yaml = extract_yaml(raw);
-    let scores = cescore::score_pair(&problem.labeled_reference, &yaml);
-    let key = ScoreMemo::key(&yaml, &problem.unit_test);
+    score_submission_doc(
+        problem,
+        variant,
+        &PreparedDoc::shared(extract_yaml(raw)),
+        memo,
+        refs,
+    )
+}
+
+/// [`score_submission`] from an already-extracted, already-prepared
+/// candidate — the entry point for callers (the `ceserve` HTTP layer)
+/// that decoded the request body straight into a [`PreparedDoc`], so a
+/// service request parses candidate YAML exactly once end-to-end.
+pub fn score_submission_doc(
+    problem: &Problem,
+    variant: Variant,
+    doc: &Arc<PreparedDoc>,
+    memo: &ScoreMemo,
+    refs: &RefCache,
+) -> SubmissionVerdict {
+    let reference = refs.prepare(&problem.labeled_reference);
+    let scores = score_pair_prepared(&reference, doc);
+    let key = (
+        doc.content_hash(),
+        substrate::content_hash(&problem.unit_test),
+    );
     let (verdict, cached) = match memo.get(key) {
         Some(v) => (v, true),
         None => {
-            let verdict = evalcluster::execute_uncached(&yaml, &problem.unit_test);
+            let verdict = evalcluster::execute_uncached(doc, &problem.unit_test);
             memo.insert(key, verdict);
             (verdict, false)
         }
@@ -522,10 +619,10 @@ pub fn score_submission(
     assemble_verdict(
         problem,
         variant,
-        yaml,
+        &reference,
+        doc.text().to_owned(),
         scores,
-        verdict.passed,
-        verdict.simulated_ms,
+        verdict,
         cached,
     )
 }
@@ -543,6 +640,7 @@ pub fn score_submissions_stream<F>(
     submissions: &[Submission<'_>],
     workers: usize,
     memo: &ScoreMemo,
+    refs: &RefCache,
     gauges: &StageGauges,
     emit: F,
 ) -> evalcluster::StreamStats
@@ -550,6 +648,7 @@ where
     F: Fn(usize, SubmissionVerdict) + Send + Sync,
 {
     use std::sync::atomic::{AtomicUsize, Ordering};
+    type StaticSlot = (Arc<PreparedDoc>, Scores, bool, Arc<cescore::PreparedRef>);
     let n = submissions.len();
     let workers = workers.max(1);
     let hw = std::thread::available_parallelism()
@@ -557,8 +656,7 @@ where
         .unwrap_or(workers);
     // Per-slot static results, written by the scoring pool strictly
     // before the slot's job is dispatched, read by the verdict callback.
-    let statics: Vec<Mutex<Option<(String, Scores, bool)>>> =
-        (0..n).map(|_| Mutex::new(None)).collect();
+    let statics: Vec<Mutex<Option<StaticSlot>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let (job_tx, job_rx) = sync_channel::<(usize, UnitTestJob)>(DEFAULT_CHANNEL_BOUND);
     let next = AtomicUsize::new(0);
     let stats = Mutex::new(None);
@@ -571,7 +669,7 @@ where
             let run = evalcluster::run_jobs_stream(job_rx, workers, memo, |index, result| {
                 gauges.executing.fetch_sub(1, Ordering::Relaxed);
                 gauges.completed.fetch_add(1, Ordering::Relaxed);
-                let (yaml, scores, cached) = statics[index]
+                let (doc, scores, cached, reference) = statics[index]
                     .lock()
                     .expect("statics slot poisoned")
                     .take()
@@ -582,10 +680,13 @@ where
                     assemble_verdict(
                         sub.problem,
                         sub.variant,
-                        yaml,
+                        &reference,
+                        doc.text().to_owned(),
                         scores,
-                        result.passed,
-                        result.simulated_ms,
+                        evalcluster::CachedVerdict {
+                            passed: result.passed,
+                            simulated_ms: result.simulated_ms,
+                        },
                         cached,
                     ),
                 );
@@ -593,7 +694,9 @@ where
             *stats.lock().expect("stats slot poisoned") = Some(run);
         });
         // Extraction + static scoring pool (pure CPU, capped at the
-        // hardware width like evaluate()'s scoring stage).
+        // hardware width like evaluate()'s scoring stage). The candidate
+        // is parsed exactly once here — the job carries the same
+        // `Arc<PreparedDoc>` into the substrate stage.
         for _ in 0..workers.min(hw).max(1) {
             let job_tx = job_tx.clone();
             let next = &next;
@@ -603,25 +706,33 @@ where
                     break;
                 }
                 let sub = &submissions[i];
-                let yaml = {
+                let doc = {
                     let _g = GaugeGuard::enter(&gauges.extracting);
-                    extract_yaml(&sub.raw)
+                    let yaml = match &sub.extracted {
+                        Some(done) => done.clone(),
+                        None => extract_yaml(&sub.raw),
+                    };
+                    PreparedDoc::shared(yaml)
                 };
+                let reference = refs.prepare(&sub.problem.labeled_reference);
                 let scores = {
                     let _g = GaugeGuard::enter(&gauges.scoring);
-                    cescore::score_pair(&sub.problem.labeled_reference, &yaml)
+                    score_pair_prepared(&reference, &doc)
                 };
                 let cached = memo
-                    .peek(ScoreMemo::key(&yaml, &sub.problem.unit_test))
+                    .peek((
+                        doc.content_hash(),
+                        substrate::content_hash(&sub.problem.unit_test),
+                    ))
                     .is_some();
+                let job = UnitTestJob::prepared(
+                    format!("{}@{:?}", sub.problem.id, sub.variant),
+                    sub.problem.unit_test.clone(),
+                    Arc::clone(&doc),
+                );
                 *statics[i].lock().expect("statics slot poisoned") =
-                    Some((yaml.clone(), scores, cached));
+                    Some((doc, scores, cached, reference));
                 gauges.executing.fetch_add(1, Ordering::Relaxed);
-                let job = UnitTestJob {
-                    problem_id: format!("{}@{:?}", sub.problem.id, sub.variant),
-                    script: sub.problem.unit_test.clone(),
-                    candidate_yaml: yaml,
-                };
                 // A send error means the execution stage tore down early;
                 // nothing to do but stop feeding.
                 if job_tx.send((i, job)).is_err() {
@@ -750,6 +861,62 @@ mod tests {
     }
 
     #[test]
+    fn prepared_and_text_paths_produce_identical_records() {
+        // The parse-once document model must be invisible in the output:
+        // the same grid through `prepared: false` (every layer re-parses,
+        // the seed cost model) and the default prepared path yields
+        // byte-identical records, and both match the barriered driver.
+        let dataset = Arc::new(Dataset::generate());
+        let model = SimulatedModel::new(
+            ModelProfile::by_name("llama-2-70b-chat").unwrap(),
+            Arc::clone(&dataset),
+        );
+        let base = EvalOptions {
+            stride: 13,
+            workers: 4,
+            variants: vec![Variant::Original, Variant::Simplified],
+            ..EvalOptions::default()
+        };
+        let prepared = evaluate(&model, &dataset, &base);
+        let text = evaluate(
+            &model,
+            &dataset,
+            &EvalOptions {
+                prepared: false,
+                ..base.clone()
+            },
+        );
+        assert_eq!(prepared, text);
+        let barriered = evaluate_barriered(&model, &dataset, &base);
+        assert_eq!(prepared, barriered);
+    }
+
+    #[test]
+    fn shared_ref_cache_parses_each_reference_once_per_session() {
+        let dataset = Arc::new(Dataset::generate());
+        let model = SimulatedModel::new(
+            ModelProfile::by_name("gpt-4").unwrap(),
+            Arc::clone(&dataset),
+        );
+        let refs = Arc::new(RefCache::new());
+        let options = EvalOptions {
+            stride: 20,
+            workers: 4,
+            variants: vec![Variant::Original, Variant::Translated],
+            refs: Some(Arc::clone(&refs)),
+            ..EvalOptions::default()
+        };
+        let first = evaluate(&model, &dataset, &options);
+        // Variants share one labeled reference per problem: the cache
+        // holds one entry per problem, not per (problem, variant).
+        let problems = dataset.problems().iter().step_by(20).count();
+        assert_eq!(refs.len(), problems);
+        let second = evaluate(&model, &dataset, &options);
+        assert_eq!(first, second);
+        assert_eq!(refs.len(), problems, "re-run grew the ref cache");
+    }
+
+    #[test]
     fn submission_scores_match_direct_evaluation() {
         // Scoring a raw model response through the service entry point
         // must reproduce evaluate()'s records bit for bit.
@@ -770,9 +937,10 @@ mod tests {
         let (coords, prompts) = plan(&dataset, &options);
         let batch = llmsim::query_batch(&model, &prompts, &options.params, &options.query_config());
         let memo = ScoreMemo::new();
+        let refs = RefCache::new();
         for (i, record) in records.iter().enumerate() {
             let (problem, variant) = coords[i];
-            let verdict = score_submission(problem, variant, &batch.responses[i], &memo);
+            let verdict = score_submission(problem, variant, &batch.responses[i], &memo, &refs);
             assert_eq!(verdict.extracted, record.extracted, "{}", record.problem_id);
             assert_eq!(verdict.scores, record.scores, "{}", record.problem_id);
             assert_eq!(verdict.answer_class, record.answer_class);
@@ -786,9 +954,10 @@ mod tests {
         let problem = &dataset.problems()[0];
         let raw = format!("```yaml\n{}```", problem.clean_reference());
         let memo = ScoreMemo::new();
-        let first = score_submission(problem, Variant::Original, &raw, &memo);
+        let refs = RefCache::new();
+        let first = score_submission(problem, Variant::Original, &raw, &memo, &refs);
         assert!(!first.cached);
-        let second = score_submission(problem, Variant::Original, &raw, &memo);
+        let second = score_submission(problem, Variant::Original, &raw, &memo, &refs);
         assert!(second.cached);
         assert_eq!(first.scores, second.scores);
         assert_eq!(first.simulated_ms, second.simulated_ms);
@@ -812,6 +981,7 @@ mod tests {
                 problem,
                 variant: Variant::Original,
                 raw,
+                extracted: None,
             });
         }
         let dup = submissions[1].clone();
@@ -819,9 +989,10 @@ mod tests {
 
         let gauges = StageGauges::new();
         let memo = ScoreMemo::new();
+        let refs = RefCache::new();
         let collected: Mutex<Vec<Option<SubmissionVerdict>>> =
             Mutex::new(vec![None; submissions.len()]);
-        let stats = score_submissions_stream(&submissions, 4, &memo, &gauges, |i, v| {
+        let stats = score_submissions_stream(&submissions, 4, &memo, &refs, &gauges, |i, v| {
             let slot = &mut collected.lock().unwrap()[i];
             assert!(slot.is_none(), "duplicate emit for {i}");
             *slot = Some(v);
@@ -837,9 +1008,16 @@ mod tests {
         assert_eq!(gauges.completed(), submissions.len());
 
         let reference_memo = ScoreMemo::new();
+        let reference_refs = RefCache::new();
         for (i, sub) in submissions.iter().enumerate() {
             let got = collected.lock().unwrap()[i].clone().expect("emitted");
-            let want = score_submission(sub.problem, sub.variant, &sub.raw, &reference_memo);
+            let want = score_submission(
+                sub.problem,
+                sub.variant,
+                &sub.raw,
+                &reference_memo,
+                &reference_refs,
+            );
             // `cached` depends on arrival timing for in-batch duplicates;
             // everything that matters must agree.
             assert_eq!(got.scores, want.scores, "{}", sub.problem.id);

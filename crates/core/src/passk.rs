@@ -66,17 +66,27 @@ pub fn pass_at_k_cached(
     let problems: Vec<&cedataset::Problem> =
         dataset.problems().iter().step_by(stride.max(1)).collect();
     // Generate all samples, then unit-test them in one parallel batch.
+    // Candidates travel as parse-once `PreparedDoc`s; sampling repeats
+    // the same answer constantly, so identical extractions share one
+    // document (keyed by content hash) and parse exactly once.
+    let mut docs: std::collections::HashMap<u64, std::sync::Arc<yamlkit::PreparedDoc>> =
+        std::collections::HashMap::new();
     let mut jobs = Vec::with_capacity(problems.len() * k);
     for p in &problems {
         let prompt = cedataset::fewshot::build_prompt(&p.prompt_body(Variant::Original), 0);
         for sample in 0..k {
             let params = GenParams::sampling(sample as u64);
             let raw = model.generate(&prompt, &params);
-            jobs.push(UnitTestJob {
-                problem_id: format!("{}#{sample}", p.id),
-                script: p.unit_test.clone(),
-                candidate_yaml: extract_yaml(&raw),
-            });
+            let yaml = extract_yaml(&raw);
+            let doc = docs
+                .entry(yamlkit::doc::content_hash(&yaml))
+                .or_insert_with(|| yamlkit::PreparedDoc::shared(yaml))
+                .clone();
+            jobs.push(UnitTestJob::prepared(
+                format!("{}#{sample}", p.id),
+                p.unit_test.clone(),
+                doc,
+            ));
         }
     }
     let report = run_jobs_cached(&jobs, workers, memo);

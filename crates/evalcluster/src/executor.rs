@@ -20,27 +20,109 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use substrate::{ShellSubstrate, Substrate};
+use substrate::{content_hash, ShellSubstrate, Substrate};
+use yamlkit::PreparedDoc;
 
 use crate::memo::{CachedVerdict, ScoreMemo};
 use crate::miniredis::MiniRedis;
 use crate::shard::run_sharded;
 
+/// The candidate side of a job: either raw text (the pre-refactor shape,
+/// parsed by every layer that touches it) or a parse-once
+/// [`PreparedDoc`] shared with the scoring stage by `Arc`.
+#[derive(Debug, Clone)]
+enum Candidate {
+    /// Raw YAML text; hashed per memo lookup and re-parsed by the
+    /// substrate layers, exactly like the seed pipeline. Kept as the
+    /// reference cost model for the `--prepared off` A/B path.
+    Text(String),
+    /// Pre-parsed document: hash cached, parse shared with every layer.
+    Prepared(Arc<PreparedDoc>),
+}
+
 /// One unit-test job.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct UnitTestJob {
     /// Problem identifier.
     pub problem_id: String,
     /// The bash unit-test script.
     pub script: String,
-    /// Candidate YAML mounted at `labeled_code.yaml`.
-    pub candidate_yaml: String,
+    candidate: Candidate,
 }
 
+impl PartialEq for UnitTestJob {
+    /// Jobs are equal when their observable inputs are — the candidate
+    /// representation (text vs prepared) changes scheduling cost, never
+    /// the verdict.
+    fn eq(&self, other: &Self) -> bool {
+        self.problem_id == other.problem_id
+            && self.script == other.script
+            && self.candidate_yaml() == other.candidate_yaml()
+    }
+}
+
+impl Eq for UnitTestJob {}
+
 impl UnitTestJob {
-    /// The content-addressed memo key for this job.
+    /// A job over raw candidate text (the seed pipeline's shape: every
+    /// downstream layer parses the text itself).
+    pub fn new(
+        problem_id: impl Into<String>,
+        script: impl Into<String>,
+        candidate_yaml: impl Into<String>,
+    ) -> UnitTestJob {
+        UnitTestJob {
+            problem_id: problem_id.into(),
+            script: script.into(),
+            candidate: Candidate::Text(candidate_yaml.into()),
+        }
+    }
+
+    /// A job over a parse-once prepared candidate: the substrate consumes
+    /// the shared parsed documents instead of re-parsing, and the memo
+    /// key reads the cached content hash.
+    pub fn prepared(
+        problem_id: impl Into<String>,
+        script: impl Into<String>,
+        candidate: Arc<PreparedDoc>,
+    ) -> UnitTestJob {
+        UnitTestJob {
+            problem_id: problem_id.into(),
+            script: script.into(),
+            candidate: Candidate::Prepared(candidate),
+        }
+    }
+
+    /// The candidate YAML text (whatever the representation).
+    pub fn candidate_yaml(&self) -> &str {
+        match &self.candidate {
+            Candidate::Text(text) => text,
+            Candidate::Prepared(doc) => doc.text(),
+        }
+    }
+
+    /// Whether the candidate travels in parse-once prepared form.
+    pub fn is_prepared(&self) -> bool {
+        matches!(self.candidate, Candidate::Prepared(_))
+    }
+
+    /// The content-addressed memo key for this job. Prepared candidates
+    /// read their cached hash; text candidates hash on every call (the
+    /// pre-refactor behavior).
     pub fn memo_key(&self) -> (u64, u64) {
-        ScoreMemo::key(&self.candidate_yaml, &self.script)
+        let candidate_hash = match &self.candidate {
+            Candidate::Text(text) => content_hash(text),
+            Candidate::Prepared(doc) => doc.content_hash(),
+        };
+        (candidate_hash, content_hash(&self.script))
+    }
+
+    /// Executes this job hermetically (no memo involved).
+    fn execute(&self) -> CachedVerdict {
+        match &self.candidate {
+            Candidate::Text(text) => execute_uncached_text(text, &self.script),
+            Candidate::Prepared(doc) => execute_uncached(doc, &self.script),
+        }
     }
 }
 
@@ -86,13 +168,29 @@ impl RunReport {
 const QUEUE: &str = "cloudeval:jobs";
 const RESULTS: &str = "cloudeval:results";
 
-/// Executes one candidate hermetically on a fresh shell substrate and
-/// maps the outcome to a verdict. Candidate faults and probe failures
-/// both score 0 — the seed path's "interpreter error counts as failure"
-/// policy. Every engine (batch, queue, stream) and the service layer's
-/// single-submission path share this one mapping.
-pub fn execute_uncached(candidate_yaml: &str, script: &str) -> CachedVerdict {
-    match ShellSubstrate::new().execute(candidate_yaml, script) {
+/// Executes one prepared candidate hermetically on a fresh shell
+/// substrate and maps the outcome to a verdict: the substrate consumes
+/// the candidate's one-and-only parse (the sandbox cluster is primed, so
+/// the script's `kubectl apply` skips its parse too). Candidate faults
+/// and probe failures both score 0 — the seed path's "interpreter error
+/// counts as failure" policy. Every engine (batch, queue, stream) and
+/// the service layer's single-submission path share this one mapping.
+pub fn execute_uncached(candidate: &PreparedDoc, script: &str) -> CachedVerdict {
+    outcome_to_verdict(ShellSubstrate::new().execute_prepared(candidate, script))
+}
+
+/// [`execute_uncached`] over raw candidate text: every substrate layer
+/// parses the text itself, exactly like the seed pipeline. Kept as the
+/// reference execution path the parse-once refactor is verified and
+/// benchmarked against (`repro pipeline --prepared off`).
+pub fn execute_uncached_text(candidate_yaml: &str, script: &str) -> CachedVerdict {
+    outcome_to_verdict(ShellSubstrate::new().execute(candidate_yaml, script))
+}
+
+fn outcome_to_verdict(
+    result: Result<substrate::ExecOutcome, substrate::ExecError>,
+) -> CachedVerdict {
+    match result {
         Ok(outcome) => CachedVerdict {
             passed: outcome.passed,
             simulated_ms: outcome.simulated_ms,
@@ -149,7 +247,7 @@ pub fn run_jobs_cached(jobs: &[UnitTestJob], workers: usize, memo: &ScoreMemo) -
     // Execute the unique jobs on per-worker substrates.
     let (verdicts, stats) = run_sharded(unique.len(), workers, |worker, u| {
         let job = &jobs[unique[u]];
-        let verdict = execute_uncached(&job.candidate_yaml, &job.script);
+        let verdict = job.execute();
         memo.insert(job.memo_key(), verdict);
         (verdict, worker)
     });
@@ -271,7 +369,7 @@ where
                     }
                     table.insert(key, Vec::new());
                 }
-                let verdict = execute_uncached(&job.candidate_yaml, &job.script);
+                let verdict = job.execute();
                 memo.insert(key, verdict);
                 executed.fetch_add(1, Ordering::Relaxed);
                 emit(
@@ -331,7 +429,7 @@ pub fn run_jobs_queue(jobs: &[UnitTestJob], workers: usize) -> RunReport {
         let key = format!("job:{i}");
         redis.hset(&key, "problem", &job.problem_id);
         redis.hset(&key, "script", &job.script);
-        redis.hset(&key, "candidate", &job.candidate_yaml);
+        redis.hset(&key, "candidate", job.candidate_yaml());
         redis.rpush(QUEUE, i.to_string());
     }
     let workers = workers.max(1);
@@ -387,9 +485,11 @@ pub fn run_jobs_queue(jobs: &[UnitTestJob], workers: usize) -> RunReport {
 }
 
 /// Runs one unit test hermetically through the shell substrate. Returns
-/// (passed, simulated cluster ms).
+/// (passed, simulated cluster ms). Text path by construction: the
+/// candidate traveled through the queue as a string, like a real
+/// distributed deployment would ship it.
 fn run_one(script: &str, candidate: &str) -> (bool, u64) {
-    let verdict = execute_uncached(candidate, script);
+    let verdict = execute_uncached_text(candidate, script);
     (verdict.passed, verdict.simulated_ms)
 }
 
@@ -400,12 +500,17 @@ mod tests {
     fn sample_jobs(n: usize) -> Vec<UnitTestJob> {
         let script = "kubectl apply -f labeled_code.yaml\nkubectl wait --for=condition=Ready pod -l app=t --timeout=60s && echo unit_test_passed";
         (0..n)
-            .map(|i| UnitTestJob {
-                problem_id: format!("p{i}"),
+            .map(|i| {
                 // Distinct pod names keep the jobs content-distinct, like
                 // real problems (identical candidates are a cache test).
-                script: script.to_owned(),
-                candidate_yaml: format!("apiVersion: v1\nkind: Pod\nmetadata:\n  name: web-{i}\n  labels:\n    app: t\nspec:\n  containers:\n  - name: c\n    image: nginx\n"),
+                // Alternate candidate representations so every engine is
+                // exercised on both the text and the parse-once path.
+                let yaml = format!("apiVersion: v1\nkind: Pod\nmetadata:\n  name: web-{i}\n  labels:\n    app: t\nspec:\n  containers:\n  - name: c\n    image: nginx\n");
+                if i % 2 == 0 {
+                    UnitTestJob::new(format!("p{i}"), script, yaml)
+                } else {
+                    UnitTestJob::prepared(format!("p{i}"), script, PreparedDoc::shared(yaml))
+                }
             })
             .collect()
     }
@@ -428,7 +533,11 @@ mod tests {
     #[test]
     fn failing_candidate_fails() {
         let mut jobs = sample_jobs(3);
-        jobs[1].candidate_yaml = "apiVersion: v1\nkind: ConfigMap\nmetadata:\n  name: x\n".into();
+        jobs[1] = UnitTestJob::new(
+            "p1",
+            jobs[1].script.clone(),
+            "apiVersion: v1\nkind: ConfigMap\nmetadata:\n  name: x\n",
+        );
         let report = run_jobs(&jobs, 2);
         assert!(report.results[0].passed);
         assert!(!report.results[1].passed);
@@ -470,16 +579,42 @@ mod tests {
         let mut jobs = sample_jobs(1);
         let template = jobs[0].clone();
         for i in 1..24 {
-            jobs.push(UnitTestJob {
-                problem_id: format!("dup{i}"),
-                ..template.clone()
-            });
+            let mut dup = template.clone();
+            dup.problem_id = format!("dup{i}");
+            jobs.push(dup);
         }
         let report = run_jobs(&jobs, 4);
         assert_eq!(report.executed, 1);
         assert_eq!(report.cache_hits, 23);
         assert_eq!(report.passed(), 24);
         assert_eq!(report.results[23].problem_id, "dup23");
+    }
+
+    #[test]
+    fn text_and_prepared_candidates_share_keys_and_verdicts() {
+        let jobs = sample_jobs(2);
+        let text = UnitTestJob::new("t", jobs[0].script.clone(), jobs[0].candidate_yaml());
+        let prepared = UnitTestJob::prepared(
+            "t",
+            jobs[0].script.clone(),
+            PreparedDoc::shared(jobs[0].candidate_yaml()),
+        );
+        // Same content → same memo key (cross-representation dedup) and
+        // the same verdict from either execution path.
+        assert_eq!(text.memo_key(), prepared.memo_key());
+        assert_eq!(text, prepared);
+        assert!(!text.is_prepared());
+        assert!(prepared.is_prepared());
+        let vt = execute_uncached_text(text.candidate_yaml(), &text.script);
+        let vp = execute_uncached(&PreparedDoc::new(text.candidate_yaml()), &text.script);
+        assert_eq!(vt, vp);
+        assert!(vt.passed);
+        // Garbage candidates agree too (typed invalid-input on both).
+        let garbage = "not yaml {{{";
+        assert_eq!(
+            execute_uncached_text(garbage, &text.script),
+            execute_uncached(&PreparedDoc::new(garbage), &text.script),
+        );
     }
 
     #[test]
@@ -497,8 +632,16 @@ mod tests {
     #[test]
     fn sharded_and_queue_engines_agree() {
         let mut jobs = sample_jobs(12);
-        jobs[4].candidate_yaml = "apiVersion: v1\nkind: ConfigMap\nmetadata:\n  name: x\n".into();
-        jobs[9].candidate_yaml = "not yaml {{{".into();
+        jobs[4] = UnitTestJob::new(
+            "p4",
+            jobs[4].script.clone(),
+            "apiVersion: v1\nkind: ConfigMap\nmetadata:\n  name: x\n",
+        );
+        jobs[9] = UnitTestJob::prepared(
+            "p9",
+            jobs[9].script.clone(),
+            PreparedDoc::shared("not yaml {{{"),
+        );
         let sharded = run_jobs(&jobs, 3);
         let queue = run_jobs_queue(&jobs, 3);
         for (a, b) in sharded.results.iter().zip(&queue.results) {

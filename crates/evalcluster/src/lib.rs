@@ -22,11 +22,13 @@
 //! ```
 //! use evalcluster::executor::{run_jobs, UnitTestJob};
 //!
-//! let job = UnitTestJob {
-//!     problem_id: "demo".into(),
-//!     script: "kubectl apply -f labeled_code.yaml && echo unit_test_passed".into(),
-//!     candidate_yaml: "apiVersion: v1\nkind: Pod\nmetadata:\n  name: x\nspec:\n  containers:\n  - name: c\n    image: nginx\n".into(),
-//! };
+//! let job = UnitTestJob::prepared(
+//!     "demo",
+//!     "kubectl apply -f labeled_code.yaml && echo unit_test_passed",
+//!     yamlkit::PreparedDoc::shared(
+//!         "apiVersion: v1\nkind: Pod\nmetadata:\n  name: x\nspec:\n  containers:\n  - name: c\n    image: nginx\n",
+//!     ),
+//! );
 //! let report = run_jobs(&[job], 2);
 //! assert_eq!(report.passed(), 1);
 //! ```
@@ -44,8 +46,8 @@ pub mod shard;
 pub use cost::{evaluation_cost, inference_cost, table3, CloudOption, InferenceOption};
 pub use des::{dataset_workload, figure5, simulate, SimConfig, SimJob, SimResult};
 pub use executor::{
-    execute_uncached, run_jobs, run_jobs_cached, run_jobs_queue, run_jobs_stream, JobResult,
-    RunReport, StreamStats, UnitTestJob,
+    execute_uncached, execute_uncached_text, run_jobs, run_jobs_cached, run_jobs_queue,
+    run_jobs_stream, JobResult, RunReport, StreamStats, UnitTestJob,
 };
 pub use memo::{CachedVerdict, ScoreMemo};
 pub use miniredis::MiniRedis;

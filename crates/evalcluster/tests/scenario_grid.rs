@@ -11,10 +11,12 @@ fn scenario_jobs() -> Vec<UnitTestJob> {
     ds.problems()
         .iter()
         .filter(|p| p.id.starts_with("scn-"))
-        .map(|p| UnitTestJob {
-            problem_id: p.id.clone(),
-            script: p.unit_test.clone(),
-            candidate_yaml: p.clean_reference(),
+        .map(|p| {
+            UnitTestJob::prepared(
+                p.id.clone(),
+                p.unit_test.clone(),
+                yamlkit::PreparedDoc::shared(p.clean_reference()),
+            )
         })
         .collect()
 }
@@ -41,10 +43,9 @@ fn duplicated_scenario_candidates_score_once() {
     let mut jobs = Vec::new();
     for job in scenario_jobs() {
         for sample in 0..3 {
-            jobs.push(UnitTestJob {
-                problem_id: format!("{}#{sample}", job.problem_id),
-                ..job.clone()
-            });
+            let mut dup = job.clone();
+            dup.problem_id = format!("{}#{sample}", job.problem_id);
+            jobs.push(dup);
         }
     }
     let report = run_jobs(&jobs, 4);

@@ -14,12 +14,17 @@ use evalcluster::shard::run_sharded;
 fn sample_jobs(n: usize) -> Vec<UnitTestJob> {
     let script = "kubectl apply -f labeled_code.yaml\nkubectl wait --for=condition=Ready pod -l app=t --timeout=60s && echo unit_test_passed";
     (0..n)
-        .map(|i| UnitTestJob {
-            problem_id: format!("p{i}"),
-            script: script.to_owned(),
-            candidate_yaml: format!(
+        .map(|i| {
+            // Alternate text and parse-once candidates so the stream
+            // engine is exercised on both representations.
+            let yaml = format!(
                 "apiVersion: v1\nkind: Pod\nmetadata:\n  name: web-{i}\n  labels:\n    app: t\nspec:\n  containers:\n  - name: c\n    image: nginx\n"
-            ),
+            );
+            if i % 2 == 0 {
+                UnitTestJob::new(format!("p{i}"), script, yaml)
+            } else {
+                UnitTestJob::prepared(format!("p{i}"), script, yamlkit::PreparedDoc::shared(yaml))
+            }
         })
         .collect()
 }
@@ -62,8 +67,16 @@ fn stream_all(
 #[test]
 fn stream_agrees_with_batch_engine_on_mixed_verdicts() {
     let mut jobs = sample_jobs(18);
-    jobs[3].candidate_yaml = "apiVersion: v1\nkind: ConfigMap\nmetadata:\n  name: x\n".into();
-    jobs[11].candidate_yaml = "not yaml {{{".into();
+    jobs[3] = UnitTestJob::new(
+        "p3",
+        jobs[3].script.clone(),
+        "apiVersion: v1\nkind: ConfigMap\nmetadata:\n  name: x\n",
+    );
+    jobs[11] = UnitTestJob::prepared(
+        "p11",
+        jobs[11].script.clone(),
+        yamlkit::PreparedDoc::shared("not yaml {{{"),
+    );
     let batch = run_jobs(&jobs, 4);
     let (streamed, stats) = stream_all(&jobs, 4, &ScoreMemo::new(), None);
     assert_eq!(streamed.len(), batch.results.len());
@@ -83,9 +96,10 @@ fn stream_deduplicates_identical_candidates() {
     // flight or after it landed in the memo.
     let distinct = sample_jobs(3);
     let jobs: Vec<UnitTestJob> = (0..30)
-        .map(|i| UnitTestJob {
-            problem_id: format!("dup{i}"),
-            ..distinct[i % 3].clone()
+        .map(|i| {
+            let mut dup = distinct[i % 3].clone();
+            dup.problem_id = format!("dup{i}");
+            dup
         })
         .collect();
     let memo = ScoreMemo::new();

@@ -127,7 +127,35 @@ pub fn run<S: Substrate>(substrate: &mut S, fixture: &Fixture) {
     }
     substrate.teardown();
 
-    // 6. Hermeticity: state from one prepare does not leak into the next.
+    // 6. Parse-once equivalence: execute_prepared on a PreparedDoc is
+    //    indistinguishable from execute on the raw text — same outcomes,
+    //    same error classes — for good candidates under both checks and
+    //    for rejected candidates.
+    for check in [&fixture.passing_check, &fixture.failing_check] {
+        let from_text = substrate.execute(&fixture.good_manifest, check);
+        let from_doc = substrate.execute_prepared(
+            &yamlkit::PreparedDoc::new(fixture.good_manifest.as_str()),
+            check,
+        );
+        assert_eq!(
+            from_text, from_doc,
+            "[{name}] execute_prepared diverged from execute on check {check:?}"
+        );
+    }
+    let bad_doc = yamlkit::PreparedDoc::new(fixture.bad_manifest.as_str());
+    match (
+        substrate.execute(&fixture.bad_manifest, &fixture.passing_check),
+        substrate.execute_prepared(&bad_doc, &fixture.passing_check),
+    ) {
+        (Err(a), Err(b)) => assert_eq!(
+            std::mem::discriminant(&a),
+            std::mem::discriminant(&b),
+            "[{name}] bad-manifest error class differs between text ({a}) and prepared ({b})"
+        ),
+        (a, b) => panic!("[{name}] bad manifest accepted somewhere: text {a:?}, prepared {b:?}"),
+    }
+
+    // 7. Hermeticity: state from one prepare does not leak into the next.
     substrate.prepare();
     match substrate.assert_check(&fixture.passing_check) {
         Ok(outcome) => assert!(

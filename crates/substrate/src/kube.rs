@@ -170,6 +170,20 @@ impl Substrate for KubeSubstrate {
         self.apply_inner(manifest)
     }
 
+    fn apply_prepared(&mut self, doc: &yamlkit::PreparedDoc) -> Result<(), ExecError> {
+        // The parse already happened (once, when the PreparedDoc was
+        // built); feed the parsed documents straight into the cluster.
+        if let Some(err) = doc.parse_error() {
+            return Err(ExecError::InvalidInput(format!(
+                "error parsing YAML: {err}"
+            )));
+        }
+        match self.cluster.apply_docs(doc.values(), "default") {
+            Ok(_) => Ok(()),
+            Err(e) => Err(ExecError::Rejected(e.to_string())),
+        }
+    }
+
     fn assert_check(&mut self, check: &str) -> Result<ExecOutcome, ExecError> {
         if check
             .lines()

@@ -178,6 +178,18 @@ pub trait Substrate {
     /// Drops all applied state. Idempotent.
     fn teardown(&mut self);
 
+    /// Loads one candidate configuration from its parse-once prepared
+    /// form. The default forwards to [`Substrate::apply`] on the raw
+    /// text; backends that can consume parsed documents directly (the
+    /// kubesim backends) override this to skip the re-parse.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`Substrate::apply`].
+    fn apply_prepared(&mut self, doc: &yamlkit::PreparedDoc) -> Result<(), ExecError> {
+        self.apply(doc.text())
+    }
+
     /// Full lifecycle for one candidate: prepare, apply, assert, teardown.
     ///
     /// # Errors
@@ -190,29 +202,46 @@ pub trait Substrate {
         self.teardown();
         result
     }
+
+    /// [`Substrate::execute`] from a prepared document: the candidate's
+    /// one-and-only parse happened when the [`yamlkit::PreparedDoc`] was
+    /// built; no layer underneath re-parses it.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Substrate::execute`].
+    fn execute_prepared(
+        &mut self,
+        doc: &yamlkit::PreparedDoc,
+        check: &str,
+    ) -> Result<ExecOutcome, ExecError> {
+        self.prepare();
+        let result = self
+            .apply_prepared(doc)
+            .and_then(|()| self.assert_check(check));
+        self.teardown();
+        result
+    }
 }
 
 /// 64-bit FNV-1a hash of a byte string.
 ///
 /// The evaluation engine's score memo cache addresses results by content:
-/// `(content_hash(candidate), content_hash(check))`. FNV-1a is stable
-/// across processes and platforms (unlike `DefaultHasher`), cheap, and
-/// collision-safe enough for memoization keys drawn from a few thousand
-/// distinct YAML documents.
+/// `(content_hash(candidate), content_hash(check))`. The implementation
+/// lives in [`yamlkit::doc::content_hash`] (so `PreparedDoc` can cache
+/// the candidate's hash at parse time); this re-export keeps the
+/// substrate-level vocabulary. The two are bit-identical — persisted
+/// memo stores written before the parse-once refactor still load.
 ///
 /// # Examples
 ///
 /// ```
 /// assert_eq!(substrate::content_hash(""), 0xcbf29ce484222325);
 /// assert_ne!(substrate::content_hash("a"), substrate::content_hash("b"));
+/// assert_eq!(substrate::content_hash("x"), yamlkit::doc::content_hash("x"));
 /// ```
 pub fn content_hash(text: &str) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in text.bytes() {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
+    yamlkit::doc::content_hash(text)
 }
 
 #[cfg(test)]

@@ -83,6 +83,26 @@ impl Substrate for ShellSubstrate {
         Ok(())
     }
 
+    fn apply_prepared(&mut self, doc: &yamlkit::PreparedDoc) -> Result<(), ExecError> {
+        // The validity gate reads the cached parse instead of re-parsing,
+        // and the sandbox cluster is primed with the shared parsed
+        // documents so the script's `kubectl apply -f labeled_code.yaml`
+        // skips its parse too — the candidate is parsed exactly once, at
+        // PreparedDoc construction.
+        if !doc.parses() {
+            return Err(ExecError::InvalidInput(format!(
+                "candidate is not parseable YAML ({} bytes)",
+                doc.text().len()
+            )));
+        }
+        self.files
+            .insert(CANDIDATE_FILE.to_owned(), doc.text().to_owned());
+        self.sandbox
+            .cluster
+            .prime_parsed(doc.content_hash(), doc.values_shared());
+        Ok(())
+    }
+
     fn assert_check(&mut self, check: &str) -> Result<ExecOutcome, ExecError> {
         let mut shell = Interp::new(&mut self.sandbox);
         // Move the filesystem in and back out instead of cloning it per

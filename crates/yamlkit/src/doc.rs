@@ -1,0 +1,327 @@
+//! The parse-once document model.
+//!
+//! Every layer of the benchmark used to re-parse the same candidate text:
+//! the YAML-aware metrics parsed it twice (kv-exact and kv-wildcard), the
+//! shell substrate parsed it to validate it, and `kubectl apply` inside
+//! the simulated cluster parsed it again — up to five parses per
+//! evaluation, dominating static-scoring wall-clock the same way the
+//! paper's cost analysis (§5) shows YAML handling dominating evaluation
+//! cost. [`PreparedDoc`] is the fix: one structure that parses the text
+//! **once** and caches every derived view the pipeline needs —
+//!
+//! * the parsed node tree (comments attached, so reference match labels
+//!   survive) and the plain [`Yaml`] values behind an `Arc` for
+//!   zero-copy sharing with the cluster simulator;
+//! * the BLEU token stream and the line table as byte spans into the
+//!   source (no per-token allocation, computed once);
+//! * the scalar leaf count the wildcard metric's IoU denominator needs;
+//! * the FNV-1a [`content_hash`] the score memo and response caches key
+//!   on.
+//!
+//! A `PreparedDoc` is immutable and cheap to share: build it once per
+//! candidate (or per reference, see `cescore::PreparedRef`) and pass
+//! `Arc<PreparedDoc>` between pipeline stages.
+
+use std::sync::{Arc, OnceLock};
+
+use crate::parser::{parse, Node, ParseYamlError};
+use crate::value::Yaml;
+
+/// 64-bit FNV-1a hash of a byte string — the content-addressing hash the
+/// whole pipeline keys caches on. Stable across processes and platforms
+/// (unlike `DefaultHasher`), cheap, and collision-safe enough for
+/// memoization keys drawn from a few thousand distinct YAML documents.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(yamlkit::doc::content_hash(""), 0xcbf29ce484222325);
+/// assert_ne!(yamlkit::doc::content_hash("a"), yamlkit::doc::content_hash("b"));
+/// ```
+pub fn content_hash(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Byte spans of the BLEU token stream: whitespace-separated words with
+/// YAML/JSON punctuation (`:,[]{}"'-=`) split out as individual tokens.
+/// Identical segmentation to `cescore::tokenize_ref`, which delegates
+/// here — every span indexes into `text`.
+pub fn token_spans(text: &str) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, c) in text.char_indices() {
+        match c {
+            c if c.is_whitespace() => {
+                if let Some(s) = start.take() {
+                    spans.push((s, i));
+                }
+            }
+            ':' | ',' | '[' | ']' | '{' | '}' | '"' | '\'' | '-' | '=' => {
+                if let Some(s) = start.take() {
+                    spans.push((s, i));
+                }
+                spans.push((i, i + c.len_utf8()));
+            }
+            _ => {
+                if start.is_none() {
+                    start = Some(i);
+                }
+            }
+        }
+    }
+    if let Some(s) = start {
+        spans.push((s, text.len()));
+    }
+    spans
+}
+
+/// Byte spans of the line table, matching `str::lines` exactly: split at
+/// `\n`, a preceding `\r` stripped, the final line ending optional.
+fn line_spans(text: &str) -> Vec<(usize, usize)> {
+    let bytes = text.as_bytes();
+    let mut spans = Vec::new();
+    let mut start = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            let end = if i > start && bytes[i - 1] == b'\r' {
+                i - 1
+            } else {
+                i
+            };
+            spans.push((start, end));
+            start = i + 1;
+        }
+    }
+    if start < bytes.len() {
+        spans.push((start, bytes.len()));
+    }
+    spans
+}
+
+/// A YAML text parsed exactly once, with every derived view the
+/// evaluation pipeline needs cached alongside.
+///
+/// Construction never fails: unparseable text is recorded as a
+/// [`parse_error`](PreparedDoc::parse_error) (with empty node/value
+/// views) so the document can still travel through text-level metrics
+/// and substrate execution, which score garbage as garbage rather than
+/// erroring out.
+///
+/// # Examples
+///
+/// ```
+/// use yamlkit::doc::PreparedDoc;
+///
+/// let doc = PreparedDoc::new("kind: Pod\nmetadata:\n  name: web\n");
+/// assert!(doc.parses());
+/// assert_eq!(doc.values().len(), 1);
+/// assert_eq!(doc.tokens()[0], "kind");
+/// assert_eq!(doc.content_hash(), yamlkit::doc::content_hash(doc.text()));
+///
+/// let bad = PreparedDoc::new("kind: [unclosed\n");
+/// assert!(!bad.parses());
+/// assert!(bad.values().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PreparedDoc {
+    source: String,
+    nodes: Arc<Vec<Node>>,
+    values: Arc<Vec<Yaml>>,
+    error: Option<ParseYamlError>,
+    /// Token/line span tables, computed on first use: documents that only
+    /// ever reach a substrate (pass@k samples, batch jobs) never pay the
+    /// tokenization scans; documents that reach static scoring compute
+    /// them once and reuse them for every metric thereafter.
+    tokens: OnceLock<Vec<(usize, usize)>>,
+    lines: OnceLock<Vec<(usize, usize)>>,
+    leaf_count: usize,
+    hash: u64,
+}
+
+impl PreparedDoc {
+    /// Parses `source` once and caches every derived view.
+    pub fn new(source: impl Into<String>) -> PreparedDoc {
+        let source = source.into();
+        let (nodes, error) = match parse(&source) {
+            Ok(nodes) => (nodes, None),
+            Err(e) => (Vec::new(), Some(e)),
+        };
+        let values: Vec<Yaml> = nodes.iter().map(Node::to_value).collect();
+        let leaf_count = values.iter().map(Yaml::leaf_count).sum();
+        let hash = content_hash(&source);
+        PreparedDoc {
+            nodes: Arc::new(nodes),
+            values: Arc::new(values),
+            error,
+            tokens: OnceLock::new(),
+            lines: OnceLock::new(),
+            leaf_count,
+            hash,
+            source,
+        }
+    }
+
+    /// [`PreparedDoc::new`] wrapped in an `Arc`, the shape pipeline
+    /// stages pass between threads.
+    pub fn shared(source: impl Into<String>) -> Arc<PreparedDoc> {
+        Arc::new(PreparedDoc::new(source))
+    }
+
+    /// The original text, untouched.
+    pub fn text(&self) -> &str {
+        &self.source
+    }
+
+    /// Whether the text parsed as YAML.
+    pub fn parses(&self) -> bool {
+        self.error.is_none()
+    }
+
+    /// The parse error, when the text did not parse.
+    pub fn parse_error(&self) -> Option<&ParseYamlError> {
+        self.error.as_ref()
+    }
+
+    /// The parsed node trees (comments attached), one per document in the
+    /// stream; empty when the text did not parse.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The plain values, one per document; empty when the text did not
+    /// parse.
+    pub fn values(&self) -> &[Yaml] {
+        &self.values
+    }
+
+    /// The values behind their shared allocation — hand this to another
+    /// component (e.g. a simulated cluster's parse store) without deep
+    /// copying the trees.
+    pub fn values_shared(&self) -> Arc<Vec<Yaml>> {
+        Arc::clone(&self.values)
+    }
+
+    /// The cached BLEU token stream as slices of [`text`](PreparedDoc::text)
+    /// (tokenized once, on first use).
+    pub fn tokens(&self) -> Vec<&str> {
+        self.tokens
+            .get_or_init(|| token_spans(&self.source))
+            .iter()
+            .map(|&(s, e)| &self.source[s..e])
+            .collect()
+    }
+
+    /// The cached line table as slices of [`text`](PreparedDoc::text)
+    /// (identical to `text().lines()`; scanned once, on first use).
+    pub fn lines(&self) -> Vec<&str> {
+        self.lines
+            .get_or_init(|| line_spans(&self.source))
+            .iter()
+            .map(|&(s, e)| &self.source[s..e])
+            .collect()
+    }
+
+    /// Total scalar-leaf count across all documents (the wildcard
+    /// metric's candidate-side union term).
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_count
+    }
+
+    /// The FNV-1a hash of the source text — the key the score memo and
+    /// the service response cache address this document by.
+    pub fn content_hash(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl PartialEq for PreparedDoc {
+    /// Documents are equal when their source text is: every cached view
+    /// is a pure function of the text.
+    fn eq(&self, other: &Self) -> bool {
+        self.hash == other.hash && self.source == other.source
+    }
+}
+
+impl Eq for PreparedDoc {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_hash_matches_known_fnv_vectors() {
+        assert_eq!(content_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(content_hash("kind: Pod"), content_hash("kind: Pod\n"));
+        assert_eq!(content_hash("a"), content_hash("a"));
+    }
+
+    #[test]
+    fn prepared_doc_caches_parse_and_views() {
+        let text = "a: 1\n---\nb:\n- x\n- y\n";
+        let doc = PreparedDoc::new(text);
+        assert!(doc.parses());
+        assert_eq!(doc.values().len(), 2);
+        assert_eq!(doc.nodes().len(), 2);
+        assert_eq!(doc.leaf_count(), 3);
+        assert_eq!(doc.content_hash(), content_hash(text));
+        assert_eq!(doc.text(), text);
+    }
+
+    #[test]
+    fn unparseable_text_records_the_error() {
+        let doc = PreparedDoc::new("a: [1,\n");
+        assert!(!doc.parses());
+        assert!(doc.parse_error().is_some());
+        assert!(doc.values().is_empty());
+        assert!(doc.nodes().is_empty());
+        assert_eq!(doc.leaf_count(), 0);
+        // Text-level views still work on garbage.
+        assert!(!doc.tokens().is_empty());
+        assert_eq!(doc.lines().len(), 1);
+    }
+
+    #[test]
+    fn lines_match_std_lines() {
+        for text in [
+            "",
+            "a",
+            "a\n",
+            "a\nb",
+            "a\r\nb\r\n",
+            "a\r",
+            "\n\n",
+            "unicode: héllo\n wörld",
+            "mixed\r\nendings\nhere\r\n",
+        ] {
+            let doc = PreparedDoc::new(text);
+            let want: Vec<&str> = text.lines().collect();
+            assert_eq!(doc.lines(), want, "line table diverges on {text:?}");
+        }
+    }
+
+    #[test]
+    fn tokens_index_the_source() {
+        let doc = PreparedDoc::new("name: web\nports: [80, 443]");
+        assert_eq!(
+            doc.tokens(),
+            vec!["name", ":", "web", "ports", ":", "[", "80", ",", "443", "]"]
+        );
+    }
+
+    #[test]
+    fn values_shared_is_the_same_allocation() {
+        let doc = PreparedDoc::new("a: 1\n");
+        assert!(Arc::ptr_eq(&doc.values_shared(), &doc.values_shared()));
+    }
+
+    #[test]
+    fn equality_is_textual() {
+        assert_eq!(PreparedDoc::new("a: 1\n"), PreparedDoc::new("a: 1\n"));
+        assert_ne!(PreparedDoc::new("a: 1\n"), PreparedDoc::new("a:  1\n"));
+    }
+}

@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod doc;
 pub mod emitter;
 pub mod json;
 pub mod labels;
@@ -36,6 +37,7 @@ pub mod parser;
 pub mod path;
 mod value;
 
+pub use doc::PreparedDoc;
 pub use emitter::{emit, emit_all};
 pub use parser::{parse, parse_one, Node, NodeKind, ParseYamlError};
 pub use value::Yaml;

@@ -207,17 +207,18 @@ impl Yaml {
     pub fn eq_unordered(&self, other: &Yaml) -> bool {
         match (self, other) {
             (Yaml::Map(a), Yaml::Map(b)) => {
-                let keys_a = dedup_keys(a);
-                let keys_b = dedup_keys(b);
-                if keys_a.len() != keys_b.len() {
-                    return false;
-                }
-                keys_a.iter().all(|(k, va)| {
-                    keys_b
+                // Sorted-pair comparison: both sides deduplicated and
+                // key-sorted once (O(n log n)), then walked in lockstep —
+                // the per-key linear rescans this replaced were O(n²) and
+                // real YAML (CRD status blobs, generated ConfigMaps) does
+                // reach thousands of keys.
+                let keys_a = dedup_keys_sorted(a);
+                let keys_b = dedup_keys_sorted(b);
+                keys_a.len() == keys_b.len()
+                    && keys_a
                         .iter()
-                        .find(|(kb, _)| kb == k)
-                        .is_some_and(|(_, vb)| va.eq_unordered(vb))
-                })
+                        .zip(&keys_b)
+                        .all(|((ka, va), (kb, vb))| ka == kb && va.eq_unordered(vb))
             }
             (Yaml::Seq(a), Yaml::Seq(b)) => {
                 a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.eq_unordered(y))
@@ -239,14 +240,23 @@ impl Yaml {
     }
 }
 
-/// Keeps only the last occurrence of each key, preserving first-seen order.
-fn dedup_keys(entries: &[(String, Yaml)]) -> Vec<(&String, &Yaml)> {
-    let mut out: Vec<(&String, &Yaml)> = Vec::with_capacity(entries.len());
-    for (k, v) in entries {
-        if let Some(slot) = out.iter_mut().find(|(ok, _)| *ok == k) {
-            slot.1 = v;
-        } else {
-            out.push((k, v));
+/// Keeps only the last occurrence of each key (mirroring a dictionary
+/// load), sorted by key so two maps compare by zipping.
+fn dedup_keys_sorted(entries: &[(String, Yaml)]) -> Vec<(&str, &Yaml)> {
+    let mut keyed: Vec<(&str, usize)> = entries
+        .iter()
+        .enumerate()
+        .map(|(i, (k, _))| (k.as_str(), i))
+        .collect();
+    // Sort by (key, position): within one key's run the last element is
+    // the last occurrence, which wins.
+    keyed.sort_unstable();
+    let mut out: Vec<(&str, &Yaml)> = Vec::with_capacity(keyed.len());
+    for (k, i) in keyed {
+        let v = &entries[i].1;
+        match out.last_mut() {
+            Some(last) if last.0 == k => last.1 = v,
+            _ => out.push((k, v)),
         }
     }
     out
@@ -392,6 +402,32 @@ mod tests {
         let a = Yaml::Map(vec![("k".into(), Yaml::Int(1)), ("k".into(), Yaml::Int(2))]);
         let b = ymap! { "k" => 2i64 };
         assert!(a.eq_unordered(&b));
+    }
+
+    #[test]
+    fn eq_unordered_worst_case_1k_key_mapping() {
+        // Worst case for the old per-key scan: 1000 keys compared against
+        // their exact reversal (every key at the opposite end), plus a
+        // duplicate run to exercise last-wins during the sorted dedup.
+        let n = 1000i64;
+        let mut fwd: Vec<(String, Yaml)> = (0..n)
+            .map(|i| (format!("key-{i:04}"), Yaml::Int(i)))
+            .collect();
+        let rev: Vec<(String, Yaml)> = fwd.iter().rev().cloned().collect();
+        let a = Yaml::Map(fwd.clone());
+        let b = Yaml::Map(rev);
+        assert!(a.eq_unordered(&b));
+        // One value changed deep in the middle: unequal.
+        let mut c = fwd.clone();
+        c[500].1 = Yaml::Int(-1);
+        assert!(!a.eq_unordered(&Yaml::Map(c)));
+        // Stale duplicates of every key prepended: the last occurrences
+        // (the original entries) still win, so equality holds.
+        let mut dup: Vec<(String, Yaml)> = (0..n)
+            .map(|i| (format!("key-{i:04}"), Yaml::Str("stale".into())))
+            .collect();
+        dup.append(&mut fwd);
+        assert!(a.eq_unordered(&Yaml::Map(dup)));
     }
 
     #[test]

@@ -26,6 +26,25 @@ fn score_reexport_scores_a_pair() {
 }
 
 #[test]
+fn document_model_reexports_share_one_parse() {
+    // The parse-once pipeline through the facade: one PreparedDoc for
+    // the candidate, one PreparedRef for the reference, scored and
+    // executed without any layer re-parsing.
+    let reference = "kind: Pod\nmetadata:\n  name: web # *\n";
+    let candidate = yaml::PreparedDoc::shared("kind: Pod\nmetadata:\n  name: anything\n");
+    let prepared = score::RefCache::new().prepare(reference);
+    let s = score::score_pair_prepared(&prepared, &candidate);
+    assert_eq!(s.kv_wildcard, 1.0);
+    assert_eq!(s, score::score_pair_text(reference, candidate.text()));
+    assert_eq!(
+        candidate.content_hash(),
+        exec::content_hash(candidate.text())
+    );
+    let job = cluster::UnitTestJob::prepared("smoke", "echo unit_test_passed", candidate);
+    assert!(cluster::run_jobs(&[job], 1).results[0].passed);
+}
+
+#[test]
 fn shell_reexport_runs_a_script() {
     let mut sandbox = shell::EmptySandbox;
     let mut sh = shell::Interp::new(&mut sandbox);
