@@ -10,7 +10,12 @@
 //! * `warm` — the memo stays hot across iterations, so repeat
 //!   submissions are served from the verdict store without touching a
 //!   substrate (the acceptance bar is warm ≥ 2x cold);
-//! * `warm-workers/N` — memo-warm throughput across worker-pool widths.
+//! * `warm-workers/N` — memo-warm throughput across worker-pool widths;
+//! * `keepalive-conns/N` — memo-warm throughput with N concurrent
+//!   keep-alive connections (64/256/1024) held open against a fixed
+//!   4-worker pool: the C10K axis. The event-driven core serves 1024
+//!   connections from `workers + 1` threads; the old thread-per-
+//!   connection pool could not hold more connections than threads.
 //!
 //! CI runs this group with `CRITERION_JSON=BENCH_serve.json` to record
 //! the trajectory.
@@ -98,6 +103,47 @@ fn bench_serve_engine(c: &mut Criterion) {
                 b.iter(|| {
                     let report = loadgen::run(addr, &corpus, &config).expect("scaling run");
                     assert_eq!(report.outcomes.len(), REQUESTS_PER_ITER);
+                })
+            },
+        );
+        server.shutdown().expect("bench server shutdown");
+    }
+
+    // The C10K sweep: N keep-alive connections, all held open for the
+    // whole iteration, from 16 client threads round-robining across
+    // them. One request per connection per iteration keeps wall-clock
+    // proportional to N while every connection stays live.
+    for conns in [64usize, 256, 1024] {
+        let server = ceserve::spawn(
+            "127.0.0.1:0",
+            Arc::clone(&dataset),
+            ServerConfig {
+                workers: 4,
+                max_connections: 2048,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind bench server");
+        let addr = server.addr();
+        loadgen::run(addr, &corpus, &warmup).expect("warmup");
+        let sweep = LoadGenConfig {
+            clients: 16,
+            requests: conns,
+            connections_per_client: conns / 16,
+            ..LoadGenConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("keepalive-conns", conns),
+            &conns,
+            |b, _| {
+                b.iter(|| {
+                    let report = loadgen::run(addr, &corpus, &sweep).expect("sweep run");
+                    assert_eq!(
+                        report.outcomes.len(),
+                        conns,
+                        "dropped requests at {conns} conns"
+                    );
+                    assert_eq!(report.transport_errors, 0);
                 })
             },
         );

@@ -44,6 +44,7 @@ fn main() {
     let mut port = 0u16;
     let mut requests = 200usize;
     let mut clients = 4usize;
+    let mut conns = 1usize;
     let mut memo_path: Option<std::path::PathBuf> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut i = 0;
@@ -115,6 +116,14 @@ fn main() {
                     .filter(|c| *c > 0)
                     .unwrap_or_else(|| die("--clients needs a positive integer"));
             }
+            "--conns" => {
+                i += 1;
+                conns = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|c| *c > 0)
+                    .unwrap_or_else(|| die("--conns needs a positive integer"));
+            }
             "--memo" => {
                 i += 1;
                 memo_path = Some(std::path::PathBuf::from(
@@ -160,6 +169,7 @@ fn main() {
                 workers,
                 requests,
                 clients,
+                conns_per_client: conns,
                 memo_path: memo_path.clone(),
                 ..ServeOptions::default()
             }),
@@ -221,13 +231,14 @@ fn parse_variants(list: &str) -> Result<Vec<Variant>, String> {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro [--stride N] [--workers N] [--variants LIST] [--channel-bound N] [--live-latency MS] [--prepared on|off] [--port N] [--requests N] [--clients N] [--memo PATH] <target>..."
+        "usage: repro [--stride N] [--workers N] [--variants LIST] [--channel-bound N] [--live-latency MS] [--prepared on|off] [--port N] [--requests N] [--clients N] [--conns N] [--memo PATH] <target>..."
     );
     eprintln!("targets: {} | all", ALL_TARGETS.join(" | "));
     eprintln!("variants: original,simplified,translated (grid/pipeline targets)");
     eprintln!("channel-bound: stage-graph backpressure depth (pipeline target)");
     eprintln!("prepared: parse-once document model A/B (pipeline target)");
     eprintln!("port/requests/clients/memo: benchmark-as-a-service knobs (serve target)");
+    eprintln!("conns: keep-alive connections per client thread (serve target)");
 }
 
 fn die(msg: &str) -> ! {

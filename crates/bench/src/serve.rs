@@ -27,6 +27,9 @@ pub struct ServeOptions {
     pub requests: usize,
     /// Concurrent load-generator clients.
     pub clients: usize,
+    /// Keep-alive connections per client thread (total concurrent
+    /// connections = `clients * conns_per_client`).
+    pub conns_per_client: usize,
     /// Optional JSONL verdict-store path (persisted on shutdown).
     pub memo_path: Option<PathBuf>,
     /// Extra scenario-family problems appended to the paper corpus.
@@ -40,6 +43,7 @@ impl Default for ServeOptions {
             workers: cloudeval_core::harness::default_workers(),
             requests: 200,
             clients: 4,
+            conns_per_client: 1,
             memo_path: None,
             extended: 30,
         }
@@ -73,6 +77,7 @@ pub fn serve_report(options: &ServeOptions) -> String {
         &LoadGenConfig {
             clients: options.clients.max(1),
             requests: options.requests,
+            connections_per_client: options.conns_per_client.max(1),
             ..LoadGenConfig::default()
         },
     )
@@ -141,9 +146,10 @@ pub fn serve_report(options: &ServeOptions) -> String {
 
     let mut out = String::new();
     out.push_str(&format!(
-        "served {} requests over {} clients against {addr} ({} workers)\n",
+        "served {} requests over {} clients x {} connections against {addr} ({} workers)\n",
         report.outcomes.len(),
         options.clients.max(1),
+        options.conns_per_client.max(1),
         options.workers,
     ));
     out.push_str(&format!(

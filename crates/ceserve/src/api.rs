@@ -7,8 +7,6 @@
 //! on — floats stay floats, quoted number-lookalikes stay strings.
 
 use std::collections::HashMap;
-use std::io;
-use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -22,7 +20,32 @@ use evalcluster::memo::ScoreMemo;
 use llmsim::extract_yaml;
 use yamlkit::{ymap, PreparedDoc, Yaml};
 
-use crate::http::{self, ChunkedWriter, Request, MAX_BODY_BYTES};
+use crate::http::{self, Request, MAX_BODY_BYTES};
+
+/// Where framed response bytes go.
+///
+/// The event loop handles cheap requests inline with a [`BufSink`]
+/// (bytes land straight in the connection's output buffer); worker
+/// threads handle scoring requests with a completion-channel sink that
+/// re-arms the connection for writing. Either way the handler never
+/// touches a socket, so a slow reader can never wedge the thread that
+/// computes responses.
+pub trait ResponseSink: Send {
+    /// Queues framed bytes toward the client. `false` means the client
+    /// is gone — streaming handlers stop writing (but may keep scoring;
+    /// verdicts still land in the shared memo).
+    fn send(&mut self, bytes: Vec<u8>) -> bool;
+}
+
+/// A [`ResponseSink`] over a plain output buffer (the inline fast path).
+pub struct BufSink<'a>(pub &'a mut Vec<u8>);
+
+impl ResponseSink for BufSink<'_> {
+    fn send(&mut self, bytes: Vec<u8>) -> bool {
+        self.0.extend_from_slice(&bytes);
+        true
+    }
+}
 
 /// Most items accepted in one `/v1/batch` request.
 pub const MAX_BATCH_ITEMS: usize = 4096;
@@ -382,7 +405,7 @@ fn stats_body(service: &Service) -> String {
 
 /// `POST /v1/evaluate`.
 fn evaluate_body(service: &Service, request: &Request) -> Result<String, ApiError> {
-    let value = decode_body(&request.body)?;
+    let value = decode_body(request.body())?;
     let mut item = decode_item(service, &value, "body")?;
     let key = response_key(&item);
     if let Some(mut verdict) = service.cached_response(key) {
@@ -406,12 +429,12 @@ fn evaluate_body(service: &Service, request: &Request) -> Result<String, ApiErro
 /// `POST /v1/batch`: decodes every item up front (any invalid item fails
 /// the whole request with a typed 400 before work starts), then streams
 /// verdicts back in completion order as one JSON object per chunk.
-fn batch_stream(
+fn batch_stream<S: ResponseSink>(
     service: &Service,
     request: &Request,
-    stream: &mut TcpStream,
+    sink: &mut S,
 ) -> Result<bool, ApiError> {
-    let value = decode_body(&request.body)?;
+    let value = decode_body(request.body())?;
     let items = match value.get("items") {
         Some(Yaml::Seq(items)) => items,
         _ => return Err(ApiError::bad_request("missing array \"items\"")),
@@ -453,27 +476,34 @@ fn batch_stream(
     }
     let replayed_count = replayed.len();
 
-    // From here on the status line is committed; transport errors just
-    // stop the stream.
-    let writer = match ChunkedWriter::begin(stream, 200, "application/x-ndjson", request.keep_alive)
-    {
-        Ok(w) => Mutex::new(Some(w)),
-        Err(_) => return Ok(false),
-    };
+    // From here on the status line is committed; a vanished client just
+    // stops the stream (`alive` flips false and writes become no-ops).
+    let head = http::encode_chunked_head(200, "application/x-ndjson", request.keep_alive);
+    let writer = Mutex::new((sink, true));
+    if !{
+        let mut guard = writer.lock().expect("batch writer poisoned");
+        let ok = guard.0.send(head);
+        guard.1 = ok;
+        ok
+    } {
+        return Ok(false);
+    }
     let write_line = |index: usize, verdict: &SubmissionVerdict| {
         service.stats.batch_records.fetch_add(1, Ordering::Relaxed);
-        let mut line = yamlkit::json::to_json(&ymap! {
-            "index" => i64::try_from(index).unwrap_or(0),
-            "result" => verdict_to_yaml(verdict),
-        });
+        let mut line = String::with_capacity(256);
+        yamlkit::json::write_json(
+            &ymap! {
+                "index" => i64::try_from(index).unwrap_or(0),
+                "result" => verdict_to_yaml(verdict),
+            },
+            &mut line,
+        );
         line.push('\n');
         let mut guard = writer.lock().expect("batch writer poisoned");
-        if let Some(w) = guard.as_mut() {
-            if w.write_chunk(&line).is_err() {
-                // Client went away mid-stream: drop the writer, keep
-                // scoring (verdicts still land in the shared memo).
-                *guard = None;
-            }
+        if guard.1 && !guard.0.send(http::encode_chunk(&line)) {
+            // Client went away mid-stream: stop writing, keep scoring
+            // (verdicts still land in the shared memo).
+            guard.1 = false;
         }
     };
     for (index, verdict) in replayed {
@@ -492,78 +522,87 @@ fn batch_stream(
         },
     );
     let mut guard = writer.lock().expect("batch writer poisoned");
-    match guard.take() {
-        Some(mut w) => {
-            let summary = yamlkit::json::to_json(&ymap! {
-                "done" => i64::try_from(decoded.len()).unwrap_or(0),
-                "executed" => i64::try_from(stats.executed).unwrap_or(0),
-                "cache_hits" => i64::try_from(stats.cache_hits + replayed_count).unwrap_or(0),
-            });
-            let _ = w.write_chunk(&(summary + "\n"));
-            Ok(w.finish().unwrap_or(false))
-        }
-        None => Ok(false),
+    if !guard.1 {
+        return Ok(false);
     }
+    let summary = yamlkit::json::to_json(&ymap! {
+        "done" => i64::try_from(decoded.len()).unwrap_or(0),
+        "executed" => i64::try_from(stats.executed).unwrap_or(0),
+        "cache_hits" => i64::try_from(stats.cache_hits + replayed_count).unwrap_or(0),
+    });
+    let mut tail = http::encode_chunk(&(summary + "\n"));
+    tail.extend_from_slice(http::CHUNK_STREAM_END);
+    Ok(guard.0.send(tail) && request.keep_alive)
 }
 
-/// Routes one request and writes the response. Returns whether the
-/// connection may serve another request.
-pub fn handle(service: &Service, request: &Request, stream: &mut TcpStream) -> io::Result<bool> {
+/// Whether a request must be handled on a worker thread (scoring work)
+/// rather than inline on the event loop (corpus/stats lookups, typed
+/// errors — all sub-millisecond).
+pub fn needs_worker(request: &Request) -> bool {
+    request.method() == "POST" && matches!(request.path(), "/v1/evaluate" | "/v1/batch")
+}
+
+/// Routes one request and queues the response into `sink`. Returns
+/// whether the connection may serve another request.
+pub fn handle<S: ResponseSink>(service: &Service, request: &Request, sink: &mut S) -> bool {
     service.stats.requests.fetch_add(1, Ordering::Relaxed);
-    let outcome: Result<Option<String>, ApiError> =
-        match (request.method.as_str(), request.path.as_str()) {
-            ("GET", "/v1/problems") => {
-                service
-                    .stats
-                    .problems_requests
-                    .fetch_add(1, Ordering::Relaxed);
-                Ok(Some(problems_body(service)))
+    let outcome: Result<Option<String>, ApiError> = match (request.method(), request.path()) {
+        ("GET", "/v1/problems") => {
+            service
+                .stats
+                .problems_requests
+                .fetch_add(1, Ordering::Relaxed);
+            Ok(Some(problems_body(service)))
+        }
+        ("GET", "/v1/stats") => {
+            service.stats.stats_requests.fetch_add(1, Ordering::Relaxed);
+            Ok(Some(stats_body(service)))
+        }
+        ("POST", "/v1/evaluate") => {
+            service
+                .stats
+                .evaluate_requests
+                .fetch_add(1, Ordering::Relaxed);
+            evaluate_body(service, request).map(Some)
+        }
+        ("POST", "/v1/batch") => {
+            service.stats.batch_requests.fetch_add(1, Ordering::Relaxed);
+            match batch_stream(service, request, sink) {
+                Ok(keep) => return keep && request.keep_alive,
+                Err(e) => Err(e),
             }
-            ("GET", "/v1/stats") => {
-                service.stats.stats_requests.fetch_add(1, Ordering::Relaxed);
-                Ok(Some(stats_body(service)))
-            }
-            ("POST", "/v1/evaluate") => {
-                service
-                    .stats
-                    .evaluate_requests
-                    .fetch_add(1, Ordering::Relaxed);
-                evaluate_body(service, request).map(Some)
-            }
-            ("POST", "/v1/batch") => {
-                service.stats.batch_requests.fetch_add(1, Ordering::Relaxed);
-                match batch_stream(service, request, stream) {
-                    Ok(keep) => return Ok(keep && request.keep_alive),
-                    Err(e) => Err(e),
-                }
-            }
-            (_, "/v1/problems" | "/v1/stats" | "/v1/evaluate" | "/v1/batch") => Err(ApiError {
-                status: 405,
-                code: "method_not_allowed",
-                message: format!("{} is not supported on {}", request.method, request.path),
-            }),
-            (_, path) => Err(ApiError {
-                status: 404,
-                code: "not_found",
-                message: format!("no such endpoint {path:?}"),
-            }),
-        };
+        }
+        (method, "/v1/problems" | "/v1/stats" | "/v1/evaluate" | "/v1/batch") => Err(ApiError {
+            status: 405,
+            code: "method_not_allowed",
+            message: format!("{method} is not supported on {}", request.path()),
+        }),
+        (_, path) => Err(ApiError {
+            status: 404,
+            code: "not_found",
+            message: format!("no such endpoint {path:?}"),
+        }),
+    };
     match outcome {
         Ok(Some(body)) => {
-            http::write_response(stream, 200, "application/json", &body, request.keep_alive)?;
-            Ok(request.keep_alive)
+            let sent = sink.send(http::encode_response(
+                200,
+                "application/json",
+                &body,
+                request.keep_alive,
+            ));
+            sent && request.keep_alive
         }
-        Ok(None) => Ok(request.keep_alive),
+        Ok(None) => request.keep_alive,
         Err(e) => {
             service.stats.client_errors.fetch_add(1, Ordering::Relaxed);
-            http::write_response(
-                stream,
+            let sent = sink.send(http::encode_response(
                 e.status,
                 "application/json",
                 &e.body(),
                 request.keep_alive,
-            )?;
-            Ok(request.keep_alive)
+            ));
+            sent && request.keep_alive
         }
     }
 }
@@ -582,6 +621,29 @@ pub fn oversized_body(declared: usize) -> String {
 /// The typed `400` body used when the request never parsed.
 pub fn malformed_body(message: &str) -> String {
     ApiError::bad_request(format!("malformed request: {message}")).body()
+}
+
+/// The typed `411` body used when a request body arrives with
+/// `transfer-encoding: chunked` instead of a `content-length`.
+pub fn length_required_body() -> String {
+    ApiError {
+        status: 411,
+        code: "length_required",
+        message: "chunked request bodies are not accepted; send a content-length".into(),
+    }
+    .body()
+}
+
+/// The typed `408` body used when a started request stalls past the
+/// read timeout — distinct from an idle keep-alive connection, which is
+/// closed silently.
+pub fn timeout_body() -> String {
+    ApiError {
+        status: 408,
+        code: "request_timeout",
+        message: "request started but did not complete within the read timeout".into(),
+    }
+    .body()
 }
 
 /// The typed `503` body used when the accept queue is full.

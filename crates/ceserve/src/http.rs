@@ -1,12 +1,21 @@
 //! A minimal, dependency-free HTTP/1.1 implementation on `std::net`:
-//! just enough protocol for the benchmark service — request parsing with
-//! hard size limits, keep-alive, fixed-length responses, and chunked
-//! transfer encoding for streamed batch results. Both sides of the wire
-//! live here: the server uses [`parse_request`] and the response writers,
-//! the load-generator client uses [`write_request`] and [`read_response`].
+//! just enough protocol for the benchmark service — an **incremental**
+//! request parser with hard size limits, keep-alive and pipelining,
+//! fixed-length responses, and chunked transfer encoding for streamed
+//! batch results. Both sides of the wire live here: the server feeds
+//! socket bytes into a [`RequestParser`] and frames responses with the
+//! `encode_*` helpers, the load-generator client uses [`write_request`]
+//! and [`read_response`].
+//!
+//! The server side never blocks and never copies per-field: the parser
+//! accumulates raw socket bytes, and a completed [`Request`] *takes*
+//! that buffer, exposing method/path/headers/body as byte spans into it.
+//! One allocation per request (the buffer the socket bytes already
+//! landed in), zero intermediate `String`s.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::ops::Range;
 
 /// Largest accepted request body. Anything bigger is answered with a
 /// typed `413` and the connection is closed.
@@ -16,28 +25,50 @@ const MAX_HEADER_BYTES: usize = 16 * 1024;
 /// Most headers accepted on one request.
 const MAX_HEADERS: usize = 64;
 
-/// One parsed HTTP request.
+/// One parsed HTTP request: an owned byte buffer (the exact bytes the
+/// socket delivered) plus spans locating each field, so handing a
+/// request to a worker thread moves one allocation and copies nothing.
 #[derive(Debug, Clone)]
 pub struct Request {
-    /// Uppercase method token (`GET`, `POST`, ...).
-    pub method: String,
-    /// Request path with any query string stripped.
-    pub path: String,
-    /// Header `(name, value)` pairs, names lowercased.
-    pub headers: Vec<(String, String)>,
-    /// Decoded body (empty when the request has none).
-    pub body: String,
+    bytes: Box<[u8]>,
+    method: Range<usize>,
+    path: Range<usize>,
+    headers: Vec<(Range<usize>, Range<usize>)>,
+    body: Range<usize>,
     /// Whether the client asked to keep the connection open.
     pub keep_alive: bool,
 }
 
 impl Request {
-    /// First value of a header, by lowercase name.
-    pub fn header(&self, name: &str) -> Option<&str> {
+    fn span(&self, range: &Range<usize>) -> &str {
+        std::str::from_utf8(&self.bytes[range.clone()]).expect("spans validated at parse")
+    }
+
+    /// Method token, exactly as sent (`GET`, `POST`, ...).
+    pub fn method(&self) -> &str {
+        self.span(&self.method)
+    }
+
+    /// Request path with any query string stripped.
+    pub fn path(&self) -> &str {
+        self.span(&self.path)
+    }
+
+    /// Decoded body (empty when the request has none).
+    pub fn body(&self) -> &str {
+        self.span(&self.body)
+    }
+
+    /// Header `(name, value)` pairs in wire order, names lowercased.
+    pub fn headers(&self) -> impl Iterator<Item = (&str, &str)> {
         self.headers
             .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v.as_str())
+            .map(|(name, value)| (self.span(name), self.span(value)))
+    }
+
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers().find(|(n, _)| *n == name).map(|(_, v)| v)
     }
 }
 
@@ -51,6 +82,12 @@ pub enum RequestError {
     /// The bytes on the wire are not a valid HTTP/1.x request — answer
     /// `400` and close.
     Malformed(String),
+    /// The request body uses `transfer-encoding: chunked`, which the
+    /// service does not accept — answer a typed `411 Length Required`
+    /// and close. (Ignoring the header, as the pre-event-loop server
+    /// did, left the chunked bytes on the wire to desync the next
+    /// keep-alive request into a bogus 400.)
+    LengthRequired,
     /// The declared body exceeds [`MAX_BODY_BYTES`] — answer `413` and
     /// close.
     BodyTooLarge(usize),
@@ -69,104 +106,332 @@ impl From<io::Error> for RequestError {
     }
 }
 
-/// Reads one line (up to CRLF or LF), enforcing a byte budget.
-///
-/// The budget bounds the *read itself* (via `Read::take`), not just the
-/// finished line, so a newline-free byte stream is answered with a typed
-/// 400 at the budget mark instead of buffering without limit.
-fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, RequestError> {
-    let mut line = String::new();
-    let n = (&mut *reader)
-        .take(*budget as u64 + 1)
-        .read_line(&mut line)
-        .map_err(RequestError::from)?;
-    if n == 0 {
-        return Err(RequestError::Closed);
-    }
-    if n > *budget {
-        return Err(RequestError::Malformed("header section too large".into()));
-    }
-    *budget -= n;
-    while line.ends_with('\n') || line.ends_with('\r') {
-        line.pop();
-    }
-    Ok(line)
+/// Fields of a parsed header section, awaiting its body.
+#[derive(Debug)]
+struct ParsedHead {
+    head_len: usize,
+    method: Range<usize>,
+    path: Range<usize>,
+    headers: Vec<(Range<usize>, Range<usize>)>,
+    content_length: usize,
+    keep_alive: bool,
 }
 
-/// Parses one request from a buffered connection.
+/// The incremental request parser: feed it socket bytes as they arrive,
+/// ask it for completed requests. One parser lives per connection and
+/// carries pipelined bytes across requests, so back-to-back requests in
+/// one TCP segment (or one request delivered a byte at a time) parse
+/// identically.
 ///
-/// The reader must wrap the same stream across calls so pipelined /
-/// keep-alive requests do not lose buffered bytes.
-pub fn parse_request(reader: &mut BufReader<TcpStream>) -> Result<Request, RequestError> {
-    let mut budget = MAX_HEADER_BYTES;
-    // Tolerate blank lines before the request line (RFC 9112 §2.2).
-    let request_line = loop {
-        let line = read_line(reader, &mut budget)?;
-        if !line.trim().is_empty() {
-            break line;
+/// # Examples
+///
+/// ```
+/// use ceserve::http::RequestParser;
+///
+/// let mut parser = RequestParser::new();
+/// // Bytes may arrive in arbitrary fragments…
+/// parser.feed(b"GET /v1/stats HT");
+/// assert!(parser.try_next().unwrap().is_none()); // …no request yet…
+/// parser.feed(b"TP/1.1\r\n\r\n");
+/// let request = parser.try_next().unwrap().expect("complete");
+/// assert_eq!(request.method(), "GET");
+/// assert_eq!(request.path(), "/v1/stats");
+/// ```
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Resume offset for the head-terminator scan, so repeated
+    /// `try_next` calls on a slowly-arriving head stay O(new bytes).
+    scanned: usize,
+    head: Option<ParsedHead>,
+}
+
+impl RequestParser {
+    /// A parser with no buffered bytes.
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Appends freshly-read socket bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether a request has *started* arriving but is not complete —
+    /// the state that turns a read timeout into `408 Request Timeout`
+    /// instead of a silent idle-connection close.
+    pub fn mid_request(&self) -> bool {
+        self.head.is_some() || self.buf.iter().any(|b| !matches!(b, b'\r' | b'\n'))
+    }
+
+    /// Bytes buffered but not yet consumed by a completed request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Tries to complete one request from the buffered bytes.
+    ///
+    /// `Ok(None)` means "need more bytes". Errors are terminal for the
+    /// connection (the caller answers the mapped status and closes);
+    /// the parser makes no attempt to resynchronize after one.
+    pub fn try_next(&mut self) -> Result<Option<Request>, RequestError> {
+        if self.head.is_none() {
+            // Tolerate blank lines before the request line (RFC 9112 §2.2).
+            let blank = self
+                .buf
+                .iter()
+                .take_while(|b| matches!(b, b'\r' | b'\n'))
+                .count();
+            if blank > 0 {
+                self.buf.drain(..blank);
+                self.scanned = 0;
+            }
+            if self.buf.is_empty() {
+                return Ok(None);
+            }
+            let Some(head_len) = self.find_head_end() else {
+                if self.buf.len() > MAX_HEADER_BYTES {
+                    return Err(RequestError::Malformed("header section too large".into()));
+                }
+                return Ok(None);
+            };
+            if head_len > MAX_HEADER_BYTES {
+                return Err(RequestError::Malformed("header section too large".into()));
+            }
+            self.head = Some(parse_head(&mut self.buf, head_len)?);
         }
-    };
-    let mut parts = request_line.split_whitespace();
-    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(t), Some(v), None) => (m, t, v),
-        _ => {
-            return Err(RequestError::Malformed(format!(
-                "bad request line {request_line:?}"
-            )))
+        let head = self.head.as_ref().expect("head parsed above");
+        let total = head.head_len + head.content_length;
+        if self.buf.len() < total {
+            return Ok(None);
         }
-    };
-    if !version.starts_with("HTTP/1.") {
+        let head = self.head.take().expect("head parsed above");
+        let bytes: Vec<u8> = self.buf.drain(..total).collect();
+        self.scanned = 0;
+        if std::str::from_utf8(&bytes[head.head_len..]).is_err() {
+            return Err(RequestError::Malformed("body is not valid UTF-8".into()));
+        }
+        Ok(Some(Request {
+            bytes: bytes.into_boxed_slice(),
+            method: head.method,
+            path: head.path,
+            headers: head.headers,
+            body: head.head_len..total,
+            keep_alive: head.keep_alive,
+        }))
+    }
+
+    /// Finds the header/body boundary (`CRLFCRLF` or `LFLF`), returning
+    /// the head length including the terminator.
+    fn find_head_end(&mut self) -> Option<usize> {
+        let buf = &self.buf;
+        let mut i = self.scanned;
+        while i + 1 < buf.len() {
+            if buf[i] == b'\n' {
+                if buf[i + 1] == b'\n' {
+                    return Some(i + 2);
+                }
+                if buf[i + 1] == b'\r' && buf.get(i + 2) == Some(&b'\n') {
+                    return Some(i + 3);
+                }
+            }
+            i += 1;
+        }
+        // Re-examine the last two bytes once more arrive: a terminator
+        // may straddle the fragment boundary.
+        self.scanned = buf.len().saturating_sub(2);
+        None
+    }
+}
+
+/// Parses the head section in `buf[..head_len]` into field spans,
+/// lowercasing header names in place (spans can't re-case).
+fn parse_head(buf: &mut [u8], head_len: usize) -> Result<ParsedHead, RequestError> {
+    if std::str::from_utf8(&buf[..head_len]).is_err() {
+        return Err(RequestError::Malformed("head is not valid UTF-8".into()));
+    }
+    // Collect the line spans up front: the header loop below mutates
+    // `buf` (lowercasing names in place), which can't overlap a live
+    // iterator borrow.
+    let line_spans: Vec<Range<usize>> = LineSpans {
+        buf: &buf[..head_len],
+        pos: 0,
+    }
+    .collect();
+    let mut lines = line_spans.into_iter();
+    let request_line = lines.next().expect("head has a request line");
+    let tokens: Vec<Range<usize>> = token_spans(buf, request_line.clone()).collect();
+    let mut tokens = tokens.into_iter();
+    let (method, target, version) =
+        match (tokens.next(), tokens.next(), tokens.next(), tokens.next()) {
+            (Some(m), Some(t), Some(v), None) => (m, t, v),
+            _ => {
+                return Err(RequestError::Malformed(format!(
+                    "bad request line {:?}",
+                    String::from_utf8_lossy(&buf[request_line])
+                )))
+            }
+        };
+    if !buf[version.clone()].starts_with(b"HTTP/1.") {
         return Err(RequestError::Malformed(format!(
-            "unsupported version {version:?}"
+            "unsupported version {:?}",
+            String::from_utf8_lossy(&buf[version])
         )));
     }
-    let path = target.split('?').next().unwrap_or(target).to_owned();
+    let path = match buf[target.clone()].iter().position(|b| *b == b'?') {
+        Some(q) => target.start..target.start + q,
+        None => target,
+    };
 
-    let mut headers: Vec<(String, String)> = Vec::new();
-    loop {
-        let line = read_line(reader, &mut budget)?;
+    let mut headers: Vec<(Range<usize>, Range<usize>)> = Vec::new();
+    for line in lines {
         if line.is_empty() {
             break;
         }
         if headers.len() >= MAX_HEADERS {
             return Err(RequestError::Malformed("too many headers".into()));
         }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or_else(|| RequestError::Malformed(format!("bad header line {line:?}")))?;
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+        let colon = buf[line.clone()]
+            .iter()
+            .position(|b| *b == b':')
+            .ok_or_else(|| {
+                RequestError::Malformed(format!(
+                    "bad header line {:?}",
+                    String::from_utf8_lossy(&buf[line.clone()])
+                ))
+            })?;
+        let name = trim_span(buf, line.start..line.start + colon);
+        let value = trim_span(buf, line.start + colon + 1..line.end);
+        buf[name.clone()].make_ascii_lowercase();
+        headers.push((name, value));
     }
 
-    let request = Request {
-        method: method.to_ascii_uppercase(),
-        path,
-        headers,
-        body: String::new(),
-        keep_alive: true,
-    };
-    let keep_alive = match request.header("connection").map(str::to_ascii_lowercase) {
-        Some(c) if c.contains("close") => false,
-        _ => version != "HTTP/1.0",
-    };
+    // Bodies must be length-delimited. A `transfer-encoding: chunked`
+    // body is answered with a typed 411 (silently ignoring it would
+    // leave the chunk stream on the wire and desync the connection);
+    // any other transfer coding is a hard 400.
+    if let Some(te) = header_spans(buf, &headers, b"transfer-encoding").next() {
+        let value = String::from_utf8_lossy(&buf[te]).to_ascii_lowercase();
+        if value.split(',').any(|t| t.trim() == "chunked") {
+            return Err(RequestError::LengthRequired);
+        }
+        return Err(RequestError::Malformed(format!(
+            "unsupported transfer-encoding {value:?}"
+        )));
+    }
 
-    let content_length = match request.header("content-length") {
-        Some(v) => v
-            .parse::<usize>()
-            .map_err(|_| RequestError::Malformed(format!("bad content-length {v:?}")))?,
-        None => 0,
-    };
+    // All content-length values (repeated headers and comma-separated
+    // lists both) must agree — first-wins on a conflicting pair is the
+    // classic request-smuggling shape, so disagreement is a hard 400.
+    let mut content_length: Option<usize> = None;
+    for value in header_spans(buf, &headers, b"content-length") {
+        let value = std::str::from_utf8(&buf[value]).expect("head validated");
+        for token in value.split(',') {
+            let parsed: usize = token.trim().parse().map_err(|_| {
+                RequestError::Malformed(format!("bad content-length {:?}", token.trim()))
+            })?;
+            match content_length {
+                None => content_length = Some(parsed),
+                Some(seen) if seen == parsed => {}
+                Some(seen) => {
+                    return Err(RequestError::Malformed(format!(
+                        "conflicting content-length values {seen} and {parsed}"
+                    )))
+                }
+            }
+        }
+    }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(RequestError::BodyTooLarge(content_length));
     }
-    let mut raw = vec![0u8; content_length];
-    reader.read_exact(&mut raw).map_err(RequestError::from)?;
-    let body = String::from_utf8(raw)
-        .map_err(|_| RequestError::Malformed("body is not valid UTF-8".into()))?;
-    Ok(Request {
-        body,
+
+    let connection = header_spans(buf, &headers, b"connection")
+        .next()
+        .map(|v| String::from_utf8_lossy(&buf[v]).to_ascii_lowercase());
+    let keep_alive = match connection {
+        Some(c) if c.contains("close") => false,
+        _ => &buf[version] != b"HTTP/1.0",
+    };
+
+    Ok(ParsedHead {
+        head_len,
+        method,
+        path,
+        headers,
+        content_length,
         keep_alive,
-        ..request
     })
+}
+
+/// Value spans of every header named `name` (names already lowercased).
+fn header_spans<'a>(
+    buf: &'a [u8],
+    headers: &'a [(Range<usize>, Range<usize>)],
+    name: &'a [u8],
+) -> impl Iterator<Item = Range<usize>> + 'a {
+    headers
+        .iter()
+        .filter(move |(n, _)| &buf[n.clone()] == name)
+        .map(|(_, v)| v.clone())
+}
+
+/// Iterator over line spans (excluding the CRLF/LF) of a head section.
+struct LineSpans<'b> {
+    buf: &'b [u8],
+    pos: usize,
+}
+
+impl Iterator for LineSpans<'_> {
+    type Item = Range<usize>;
+
+    fn next(&mut self) -> Option<Range<usize>> {
+        if self.pos >= self.buf.len() {
+            return None;
+        }
+        let start = self.pos;
+        let nl = self.buf[start..]
+            .iter()
+            .position(|b| *b == b'\n')
+            .map_or(self.buf.len(), |i| start + i);
+        self.pos = nl + 1;
+        let end = if nl > start && self.buf[nl - 1] == b'\r' {
+            nl - 1
+        } else {
+            nl
+        };
+        Some(start..end)
+    }
+}
+
+/// Spans of the whitespace-separated tokens inside `range`.
+fn token_spans(buf: &[u8], range: Range<usize>) -> impl Iterator<Item = Range<usize>> + '_ {
+    let mut pos = range.start;
+    let end = range.end;
+    std::iter::from_fn(move || {
+        while pos < end && buf[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        if pos >= end {
+            return None;
+        }
+        let start = pos;
+        while pos < end && !buf[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        Some(start..pos)
+    })
+}
+
+/// Shrinks a span to exclude leading/trailing ASCII whitespace.
+fn trim_span(buf: &[u8], mut range: Range<usize>) -> Range<usize> {
+    while range.start < range.end && buf[range.start].is_ascii_whitespace() {
+        range.start += 1;
+    }
+    while range.end > range.start && buf[range.end - 1].is_ascii_whitespace() {
+        range.end -= 1;
+    }
+    range
 }
 
 /// Human reason phrase for the status codes the service speaks.
@@ -176,6 +441,8 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -183,69 +450,48 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes one fixed-length response.
-pub fn write_response(
-    stream: &mut TcpStream,
-    status: u16,
-    content_type: &str,
-    body: &str,
-    keep_alive: bool,
-) -> io::Result<()> {
+/// Frames one fixed-length response as wire bytes.
+pub fn encode_response(status: u16, content_type: &str, body: &str, keep_alive: bool) -> Vec<u8> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
-        reason(status),
-        body.len(),
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
-}
-
-/// A chunked-transfer response in progress (the `/v1/batch` stream).
-pub struct ChunkedWriter<'a> {
-    stream: &'a mut TcpStream,
-    keep_alive: bool,
-}
-
-impl<'a> ChunkedWriter<'a> {
-    /// Writes the response head and switches the body to chunked
-    /// transfer encoding.
-    pub fn begin(
-        stream: &'a mut TcpStream,
-        status: u16,
-        content_type: &str,
-        keep_alive: bool,
-    ) -> io::Result<ChunkedWriter<'a>> {
-        let connection = if keep_alive { "keep-alive" } else { "close" };
-        let head = format!(
-            "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ntransfer-encoding: chunked\r\nconnection: {connection}\r\n\r\n",
+    let mut out = Vec::with_capacity(128 + body.len());
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
             reason(status),
-        );
-        stream.write_all(head.as_bytes())?;
-        Ok(ChunkedWriter { stream, keep_alive })
-    }
-
-    /// Sends one chunk (empty input is skipped — a zero-length chunk
-    /// would terminate the stream).
-    pub fn write_chunk(&mut self, data: &str) -> io::Result<()> {
-        if data.is_empty() {
-            return Ok(());
-        }
-        write!(self.stream, "{:x}\r\n", data.len())?;
-        self.stream.write_all(data.as_bytes())?;
-        self.stream.write_all(b"\r\n")?;
-        self.stream.flush()
-    }
-
-    /// Terminates the chunk stream. Returns whether the connection may be
-    /// kept open.
-    pub fn finish(self) -> io::Result<bool> {
-        self.stream.write_all(b"0\r\n\r\n")?;
-        self.stream.flush()?;
-        Ok(self.keep_alive)
-    }
+            body.len(),
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(body.as_bytes());
+    out
 }
+
+/// Frames the head of a chunked-transfer response (the `/v1/batch`
+/// stream).
+pub fn encode_chunked_head(status: u16, content_type: &str, keep_alive: bool) -> Vec<u8> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ntransfer-encoding: chunked\r\nconnection: {connection}\r\n\r\n",
+        reason(status),
+    )
+    .into_bytes()
+}
+
+/// Frames one chunk. Empty input frames to nothing — a zero-length
+/// chunk would terminate the stream.
+pub fn encode_chunk(data: &str) -> Vec<u8> {
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(data.len() + 16);
+    out.extend_from_slice(format!("{:x}\r\n", data.len()).as_bytes());
+    out.extend_from_slice(data.as_bytes());
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// The terminator of a chunk stream.
+pub const CHUNK_STREAM_END: &[u8] = b"0\r\n\r\n";
 
 /// One parsed HTTP response (client side).
 #[derive(Debug, Clone)]
@@ -284,6 +530,30 @@ pub fn write_request(
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
+}
+
+/// Reads one line (up to CRLF or LF), enforcing a byte budget.
+///
+/// The budget bounds the *read itself* (via `Read::take`), not just the
+/// finished line, so a newline-free byte stream errors at the budget
+/// mark instead of buffering without limit.
+fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, RequestError> {
+    let mut line = String::new();
+    let n = (&mut *reader)
+        .take(*budget as u64 + 1)
+        .read_line(&mut line)
+        .map_err(RequestError::from)?;
+    if n == 0 {
+        return Err(RequestError::Closed);
+    }
+    if n > *budget {
+        return Err(RequestError::Malformed("header section too large".into()));
+    }
+    *budget -= n;
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
 }
 
 /// Reads one full response, decoding chunked transfer encoding when the
@@ -350,4 +620,178 @@ pub fn read_response(reader: &mut BufReader<TcpStream>) -> Result<Response, Requ
         headers,
         body,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(bytes: &[u8]) -> Result<Option<Request>, RequestError> {
+        let mut parser = RequestParser::new();
+        parser.feed(bytes);
+        parser.try_next()
+    }
+
+    #[test]
+    fn byte_at_a_time_delivery_parses_identically() {
+        let wire = b"POST /v1/evaluate?q=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
+        let mut parser = RequestParser::new();
+        for b in wire.iter() {
+            assert!(parser.try_next().unwrap().is_none());
+            parser.feed(&[*b]);
+        }
+        let request = parser.try_next().unwrap().expect("complete");
+        assert_eq!(request.method(), "POST");
+        assert_eq!(request.path(), "/v1/evaluate");
+        assert_eq!(request.body(), "body");
+        assert_eq!(request.header("host"), Some("x"));
+        assert_eq!(request.header("content-length"), Some("4"));
+        assert!(request.keep_alive);
+        assert!(!parser.mid_request());
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\ncontent-length: 2\r\n\r\nhi");
+        let first = parser.try_next().unwrap().expect("first");
+        assert_eq!((first.method(), first.path()), ("GET", "/a"));
+        let second = parser.try_next().unwrap().expect("second");
+        assert_eq!((second.method(), second.path()), ("POST", "/b"));
+        assert_eq!(second.body(), "hi");
+        assert!(parser.try_next().unwrap().is_none());
+    }
+
+    #[test]
+    fn leading_blank_lines_are_tolerated() {
+        let request = parse_all(b"\r\n\r\nGET / HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .expect("complete");
+        assert_eq!(request.method(), "GET");
+    }
+
+    #[test]
+    fn bare_lf_line_endings_parse() {
+        let request = parse_all(b"GET /x HTTP/1.1\nhost: y\n\n")
+            .unwrap()
+            .expect("complete");
+        assert_eq!(request.path(), "/x");
+        assert_eq!(request.header("host"), Some("y"));
+    }
+
+    #[test]
+    fn chunked_transfer_encoding_is_a_typed_411() {
+        let got = parse_all(
+            b"POST /v1/evaluate HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nbody\r\n0\r\n\r\n",
+        );
+        assert!(matches!(got, Err(RequestError::LengthRequired)), "{got:?}");
+        // A transfer coding we don't know at all is a plain 400.
+        let got = parse_all(b"POST / HTTP/1.1\r\ntransfer-encoding: gzip\r\n\r\n");
+        assert!(matches!(got, Err(RequestError::Malformed(_))), "{got:?}");
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_rejected() {
+        let got =
+            parse_all(b"POST / HTTP/1.1\r\ncontent-length: 5\r\ncontent-length: 6\r\n\r\nhello!");
+        match got {
+            Err(RequestError::Malformed(m)) => assert!(m.contains("content-length"), "{m}"),
+            other => panic!("expected malformed, got {other:?}"),
+        }
+        // A comma list that disagrees is the same smuggling shape.
+        let got = parse_all(b"POST / HTTP/1.1\r\ncontent-length: 5, 6\r\n\r\nhello!");
+        assert!(matches!(got, Err(RequestError::Malformed(_))), "{got:?}");
+        // Duplicates that agree are fine (RFC 9110 §8.6).
+        let request =
+            parse_all(b"POST / HTTP/1.1\r\ncontent-length: 5\r\ncontent-length: 5\r\n\r\nhello")
+                .unwrap()
+                .expect("complete");
+        assert_eq!(request.body(), "hello");
+    }
+
+    #[test]
+    fn oversized_heads_and_bodies_are_typed_errors() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET / HTTP/1.1\r\nx: ");
+        parser.feed(&vec![b'a'; MAX_HEADER_BYTES + 1]);
+        assert!(matches!(parser.try_next(), Err(RequestError::Malformed(_))));
+        let got = parse_all(b"POST / HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n");
+        assert!(matches!(got, Err(RequestError::BodyTooLarge(99999999))));
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected() {
+        assert!(matches!(
+            parse_all(b"TOTAL GARBAGE\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_all(b"GET / SPDY/3\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_all(b"GET / HTTP/1.1 extra\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_all(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn mid_request_distinguishes_started_from_idle() {
+        let mut parser = RequestParser::new();
+        assert!(!parser.mid_request());
+        // Stray blank lines between keep-alive requests are idle, not a
+        // started request.
+        parser.feed(b"\r\n");
+        assert!(!parser.mid_request());
+        parser.feed(b"POST / HTTP/1.1\r\n");
+        assert!(parser.mid_request());
+        parser.feed(b"content-length: 4\r\n\r\nbo");
+        assert!(parser.try_next().unwrap().is_none());
+        assert!(parser.mid_request(), "mid-body is mid-request");
+        parser.feed(b"dy");
+        assert!(parser.try_next().unwrap().is_some());
+        assert!(!parser.mid_request());
+    }
+
+    #[test]
+    fn http_1_0_defaults_to_close_and_connection_close_is_honored() {
+        let request = parse_all(b"GET / HTTP/1.0\r\n\r\n")
+            .unwrap()
+            .expect("complete");
+        assert!(!request.keep_alive);
+        let request = parse_all(b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n")
+            .unwrap()
+            .expect("complete");
+        assert!(!request.keep_alive);
+        let request = parse_all(b"GET / HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .expect("complete");
+        assert!(request.keep_alive);
+    }
+
+    #[test]
+    fn non_utf8_bodies_are_rejected() {
+        let got = parse_all(b"POST / HTTP/1.1\r\ncontent-length: 2\r\n\r\n\xff\xfe");
+        assert!(matches!(got, Err(RequestError::Malformed(_))), "{got:?}");
+    }
+
+    #[test]
+    fn response_encoding_roundtrips_through_the_client_reader() {
+        let bytes = encode_response(200, "application/json", "{\"ok\":true}", true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 11\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"), "{text}");
+        let head =
+            String::from_utf8(encode_chunked_head(200, "application/x-ndjson", false)).unwrap();
+        assert!(head.contains("transfer-encoding: chunked\r\n"), "{head}");
+        assert!(head.contains("connection: close\r\n"), "{head}");
+        let chunk = String::from_utf8(encode_chunk("abc")).unwrap();
+        assert_eq!(chunk, "3\r\nabc\r\n");
+        assert!(encode_chunk("").is_empty());
+    }
 }

@@ -1,9 +1,17 @@
 //! # ceserve
 //!
-//! Benchmark-as-a-service: a multithreaded HTTP/1.1 server (hand-rolled
+//! Benchmark-as-a-service: an event-driven HTTP/1.1 server (hand-rolled
 //! on `std::net` — no dependencies, per the offline vendor policy)
 //! exposing the CloudEval-YAML evaluation pipeline as a JSON API, plus
 //! the load-generator client that exercises it.
+//!
+//! The serving core is readiness-driven, not thread-per-connection: one
+//! event loop owns every socket through a nonblocking [`poll`] shim and
+//! a generation-tagged connection slab, an incremental
+//! [`http::RequestParser`] assembles requests byte by byte, and a fixed
+//! worker pool scores the slow endpoints through a completion channel.
+//! Thousands of idle keep-alive connections cost slab slots, not
+//! threads — see [`server`] for the life of a request.
 //!
 //! | Endpoint | Purpose |
 //! |---|---|
@@ -57,6 +65,7 @@
 pub mod api;
 pub mod http;
 pub mod loadgen;
+pub mod poll;
 pub mod server;
 
 pub use api::{Service, ServiceStats};

@@ -1,13 +1,34 @@
-//! The multithreaded server: a polling acceptor feeding a **bounded**
-//! accept queue, drained by a worker pool over `std::thread::scope` (the
-//! same scoped-pool discipline as `evalcluster::shard`). Each worker owns
-//! one connection at a time and serves keep-alive requests until the
-//! client closes, the idle timeout fires, or shutdown is requested.
+//! The event-driven serving core: one owner thread runs a nonblocking,
+//! readiness-driven **event loop** (accept + parse + flush over the
+//! [`crate::poll`] readiness shim and a generation-tagged connection slab),
+//! and a fixed scoring **worker pool** (`std::thread::scope`, the same
+//! scoped-pool discipline as `evalcluster::shard`) handles the slow
+//! endpoints, re-arming connections through a completion channel.
+//! Thread count is `workers + 1` regardless of how many connections are
+//! open — thousands of idle keep-alive connections cost slab slots, not
+//! threads.
 //!
-//! Backpressure: the accept queue holds at most
-//! [`ServerConfig::accept_queue`] connections; when it is full new
-//! connections are answered `503 server_busy` immediately instead of
-//! piling up unbounded.
+//! Life of a request:
+//!
+//! 1. the event loop accepts the connection nonblocking and parks it in
+//!    the slab (beyond [`ServerConfig::max_connections`] it sheds with a
+//!    typed `503`);
+//! 2. socket bytes are drained into the connection's incremental
+//!    [`RequestParser`](crate::http::RequestParser) as they arrive —
+//!    pipelined or one byte at a time, no thread ever blocks on a read;
+//! 3. a completed `GET` (problems/stats) or any protocol error is
+//!    answered inline — stats stay responsive even when every worker is
+//!    busy scoring; a completed `POST` (evaluate/batch) is dispatched to
+//!    the worker pool over a **bounded** job queue (full ⇒ typed `503`);
+//! 4. workers push framed response bytes (whole responses, or chunk by
+//!    chunk for `/v1/batch`) through the completion channel; the event
+//!    loop buffers them per connection and flushes as the socket
+//!    accepts — a slow reader stalls only its own buffer (and is dropped
+//!    past [`MAX_OUT_BUFFER`]), never a thread;
+//! 5. timeouts are tiered: an *idle* keep-alive connection is closed
+//!    silently, a *started* request that stalls mid-head or mid-body is
+//!    answered `408 Request Timeout`, and a write-side stall past
+//!    [`ServerConfig::write_timeout`] drops the connection.
 //!
 //! Persistence: when [`ServerConfig::memo_path`] is set, the verdict
 //! store is loaded before the first request and saved as JSONL on
@@ -15,42 +36,62 @@
 //! without touching a substrate.
 
 use std::io;
-use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cedataset::Dataset;
 use cloudeval_core::harness::default_workers;
 use evalcluster::memo::{self, ScoreMemo};
 
-use crate::api::{self, Service};
+use crate::api::{self, ResponseSink, Service};
 use crate::http::{self, RequestError};
+use crate::poll::{self, ReadStep, Slab, Token, WriteStep};
+
+/// Per-read scratch size; also the per-connection fairness cap on how
+/// many bytes one tick will drain from a single socket.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Largest buffered-but-unflushed response backlog per connection. A
+/// `/v1/batch` client that stops reading mid-stream accumulates chunks
+/// here instead of wedging a worker; past this bound the connection is
+/// dropped (scoring continues — verdicts still land in the shared memo).
+pub const MAX_OUT_BUFFER: usize = 8 << 20;
+
+/// Idle-tick sleep bounds: the loop parks briefly when a tick made no
+/// progress, backing off toward the max while the server stays quiet.
+const TICK_MIN: Duration = Duration::from_micros(200);
+const TICK_MAX: Duration = Duration::from_millis(2);
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads (HTTP pool width; also the `/v1/batch` stage
+    /// Worker threads (scoring pool width; also the `/v1/batch` stage
     /// width). Defaults to the hardware width, clamped like
-    /// [`default_workers`].
+    /// [`default_workers`]. The process runs exactly `workers + 1`
+    /// server threads no matter how many connections are open.
     pub workers: usize,
-    /// Bounded accept-queue depth; connections beyond it get `503`.
+    /// Bounded dispatch-queue depth: scoring requests parsed but not yet
+    /// claimed by a worker. When it is full new scoring requests get a
+    /// typed `503` instead of queueing unboundedly.
     pub accept_queue: usize,
+    /// Most simultaneously-open connections; beyond it new connections
+    /// are shed with a typed `503`.
+    pub max_connections: usize,
     /// When set, the verdict store is loaded from (and saved to) this
     /// JSONL file.
     pub memo_path: Option<PathBuf>,
-    /// Idle keep-alive timeout per connection; also bounds how long
-    /// shutdown waits on a quiet connection.
+    /// Read deadline, applied in two tiers: an idle keep-alive
+    /// connection is closed silently after this long, while a
+    /// *started* request (head or body partially arrived) is answered
+    /// `408 Request Timeout`.
     pub read_timeout: Duration,
-    /// Per-write timeout. A `/v1/batch` client that stops reading
-    /// mid-stream would otherwise block a chunk write forever once the
-    /// TCP send buffer fills, wedging the worker and back-pressuring the
-    /// whole stage-graph; with the timeout the write errors and the
-    /// stream is dropped (scoring continues — verdicts still land in the
-    /// shared memo).
+    /// Write-stall deadline. A client that stops reading while response
+    /// bytes are pending is dropped once the socket accepts nothing for
+    /// this long.
     pub write_timeout: Duration,
 }
 
@@ -59,6 +100,7 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: default_workers(),
             accept_queue: 64,
+            max_connections: 4096,
             memo_path: None,
             read_timeout: Duration::from_millis(1000),
             write_timeout: Duration::from_secs(5),
@@ -154,7 +196,42 @@ pub fn spawn(
     })
 }
 
-/// The owner thread: scoped worker pool + polling accept loop.
+/// A scoring request dispatched from the event loop to the worker pool.
+struct Job {
+    token: Token,
+    request: http::Request,
+}
+
+/// What workers push back through the completion channel.
+enum Completion {
+    /// Framed response bytes for a connection (whole responses, or one
+    /// chunk of a `/v1/batch` stream).
+    Data(Token, Vec<u8>),
+    /// The job finished; `bool` is whether the connection may serve
+    /// another request.
+    Done(Token, bool),
+}
+
+/// The worker-side [`ResponseSink`]: framed bytes ride the completion
+/// channel back to the event loop, which re-arms the connection for
+/// writing. A send error means the event loop is gone (shutdown) — the
+/// sink goes dead and further writes are dropped.
+struct CompletionSink<'a> {
+    tx: &'a Sender<Completion>,
+    token: Token,
+    alive: bool,
+}
+
+impl ResponseSink for CompletionSink<'_> {
+    fn send(&mut self, bytes: Vec<u8>) -> bool {
+        if self.alive && self.tx.send(Completion::Data(self.token, bytes)).is_err() {
+            self.alive = false;
+        }
+        self.alive
+    }
+}
+
+/// The owner thread: scoped worker pool + the event loop.
 fn run(
     listener: TcpListener,
     service: &Service,
@@ -162,58 +239,21 @@ fn run(
     config: &ServerConfig,
 ) -> io::Result<()> {
     let workers = config.workers.max(1);
-    let (conn_tx, conn_rx) = sync_channel::<TcpStream>(config.accept_queue.max(1));
-    let conn_rx = Mutex::new(conn_rx);
+    let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.accept_queue.max(1));
+    let (done_tx, done_rx) = mpsc::channel::<Completion>();
+    let job_rx = Mutex::new(job_rx);
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            let conn_rx = &conn_rx;
-            scope.spawn(move || worker_loop(service, conn_rx, shutdown));
+            let job_rx = &job_rx;
+            let done_tx = done_tx.clone();
+            scope.spawn(move || worker_loop(service, job_rx, done_tx));
         }
-        // Accept loop on the owner thread. Nonblocking + short sleeps so
-        // the shutdown flag is honored promptly without a wakeup socket.
-        while !shutdown.load(Ordering::SeqCst) {
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    let _ = stream.set_read_timeout(Some(config.read_timeout));
-                    let _ = stream.set_write_timeout(Some(config.write_timeout));
-                    let _ = stream.set_nodelay(true);
-                    // Count before handing over: a fast worker may dequeue
-                    // (and decrement) before try_send even returns.
-                    service.stats().queue_depth.fetch_add(1, Ordering::Relaxed);
-                    match conn_tx.try_send(stream) {
-                        Ok(()) => {}
-                        Err(TrySendError::Full(mut stream)) => {
-                            // Bounded queue full: shed load with a typed 503.
-                            service.stats().queue_depth.fetch_sub(1, Ordering::Relaxed);
-                            service
-                                .stats()
-                                .rejected_busy
-                                .fetch_add(1, Ordering::Relaxed);
-                            let _ = http::write_response(
-                                &mut stream,
-                                503,
-                                "application/json",
-                                &api::busy_body(),
-                                false,
-                            );
-                        }
-                        Err(TrySendError::Disconnected(_)) => {
-                            service.stats().queue_depth.fetch_sub(1, Ordering::Relaxed);
-                            break;
-                        }
-                    }
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(1));
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
-            }
-        }
-        // Dropping the sender disconnects the queue; workers drain what
-        // was already accepted and exit.
-        drop(conn_tx);
-        Ok(())
+        drop(done_tx);
+        let result = event_loop(&listener, service, shutdown, config, job_tx, done_rx);
+        // `event_loop` dropped the job sender on exit; workers drain the
+        // jobs already queued (decrementing the queue-depth gauge for
+        // each — nothing leaks into `/v1/stats` phantom depth) and exit.
+        result
     })?;
     if let Some(path) = &config.memo_path {
         memo::save(service.memo(), path)?;
@@ -221,84 +261,394 @@ fn run(
     Ok(())
 }
 
-/// One worker: pull connections off the bounded queue and serve them.
+/// One scoring worker: claim parsed requests off the bounded dispatch
+/// queue, run the API handler with a completion-channel sink, report
+/// done.
 ///
-/// The dequeue blocks in `recv_timeout` **while holding the lock** — by
-/// design: exactly one idle worker waits on the channel, the rest block
-/// on the mutex (no polling), and the lock is released before the
-/// connection is served. On shutdown the acceptor drops the sender, the
-/// channel drains its remaining streams and then disconnects, and every
-/// worker exits.
-fn worker_loop(service: &Service, conn_rx: &Mutex<Receiver<TcpStream>>, shutdown: &AtomicBool) {
-    use std::sync::mpsc::RecvTimeoutError;
+/// The claim blocks in `recv` **while holding the lock** — by design:
+/// exactly one idle worker waits on the channel, the rest block on the
+/// mutex (no polling). Workers exit when the event loop drops the
+/// sender *and* the queue is drained, so a request that was queued at
+/// shutdown is still accounted (gauge decremented) rather than leaked.
+fn worker_loop(service: &Service, job_rx: &Mutex<Receiver<Job>>, done_tx: Sender<Completion>) {
     loop {
-        let received = conn_rx
-            .lock()
-            .expect("accept queue poisoned")
-            .recv_timeout(Duration::from_millis(50));
-        let stream = match received {
-            Ok(stream) => stream,
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => return,
-        };
+        let claimed = job_rx.lock().expect("dispatch queue poisoned").recv();
+        let Ok(job) = claimed else { return };
         service.stats().queue_depth.fetch_sub(1, Ordering::Relaxed);
-        service.stats().connections.fetch_add(1, Ordering::Relaxed);
-        serve_connection(service, stream, shutdown);
+        service.stats().busy_workers.fetch_add(1, Ordering::Relaxed);
+        let mut sink = CompletionSink {
+            tx: &done_tx,
+            token: job.token,
+            alive: true,
+        };
+        let keep = api::handle(service, &job.request, &mut sink);
+        service.stats().busy_workers.fetch_sub(1, Ordering::Relaxed);
+        let _ = done_tx.send(Completion::Done(job.token, keep));
+    }
+}
+
+/// One connection's state in the slab.
+struct Conn {
+    stream: TcpStream,
+    parser: http::RequestParser,
+    /// Buffered response bytes not yet accepted by the socket…
+    out: Vec<u8>,
+    /// …up to this cursor, which have been.
+    written: usize,
+    /// A request is at a worker; responses for it are still arriving, so
+    /// parsing of pipelined successors is paused (responses must leave
+    /// in request order).
+    awaiting: bool,
+    /// Flush what is buffered, then close.
+    close_after_flush: bool,
+    /// The peer half-closed its write side: no more requests will
+    /// arrive, finish the in-flight one and close.
+    peer_closed: bool,
+    /// Last moment bytes moved on this socket (either direction).
+    last_activity: Instant,
+    /// When the socket first refused pending writes, for the
+    /// write-stall deadline.
+    write_stalled_since: Option<Instant>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, now: Instant) -> Conn {
+        Conn {
+            stream,
+            parser: http::RequestParser::new(),
+            out: Vec::new(),
+            written: 0,
+            awaiting: false,
+            close_after_flush: false,
+            peer_closed: false,
+            last_activity: now,
+            write_stalled_since: None,
+        }
+    }
+
+    fn pending_out(&self) -> usize {
+        self.out.len() - self.written
+    }
+}
+
+/// The readiness-driven core: accepts, reads, parses, dispatches,
+/// flushes — all nonblocking, all on one thread.
+fn event_loop(
+    listener: &TcpListener,
+    service: &Service,
+    shutdown: &AtomicBool,
+    config: &ServerConfig,
+    job_tx: SyncSender<Job>,
+    done_rx: Receiver<Completion>,
+) -> io::Result<()> {
+    let mut conns: Slab<Conn> = Slab::new();
+    let mut idle_sleep = TICK_MIN;
+    while !shutdown.load(Ordering::SeqCst) {
+        let mut progress = false;
+        let now = Instant::now();
+
+        // Accept burst.
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    progress = true;
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    if conns.len() >= config.max_connections.max(1) {
+                        shed(service, stream);
+                        continue;
+                    }
+                    service.stats().connections.fetch_add(1, Ordering::Relaxed);
+                    conns.insert(Conn::new(stream, now));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    drain_conns(service, &mut conns);
+                    return Err(e);
+                }
+            }
+        }
+
+        // Worker completions: buffer response bytes, re-arm connections.
+        // Generation-tagged tokens make completions for connections that
+        // died (or whose slot was recycled) harmless no-ops.
+        while let Ok(completion) = done_rx.try_recv() {
+            progress = true;
+            match completion {
+                Completion::Data(token, bytes) => {
+                    let overflow = match conns.get_mut(token) {
+                        Some(conn) => {
+                            if conn.pending_out() + bytes.len() > MAX_OUT_BUFFER {
+                                true
+                            } else {
+                                conn.out.extend_from_slice(&bytes);
+                                false
+                            }
+                        }
+                        None => false,
+                    };
+                    if overflow {
+                        // Slow reader: drop the connection, let the
+                        // stream's remaining chunks no-op on the stale
+                        // token.
+                        close_conn(service, &mut conns, token);
+                    }
+                }
+                Completion::Done(token, keep) => {
+                    if let Some(conn) = conns.get_mut(token) {
+                        conn.awaiting = false;
+                        if !keep {
+                            conn.close_after_flush = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Per-connection I/O scan (the "poll"): each live socket gets
+        // one nonblocking read/parse/flush pass, plus deadline checks.
+        for slot in 0..conns.slots() {
+            let Some(token) = conns.token_at(slot) else {
+                continue;
+            };
+            let conn = conns.get_mut(token).expect("token_at returned live token");
+            match pump_conn(service, conn, token, &job_tx, now, config) {
+                Ok(made_progress) => progress |= made_progress,
+                Err(()) => close_conn(service, &mut conns, token),
+            }
+        }
+
+        if progress {
+            idle_sleep = TICK_MIN;
+        } else {
+            // Nothing moved: park briefly, backing off while quiet so an
+            // idle server costs ~nothing and a busy one stays snappy.
+            std::thread::sleep(idle_sleep);
+            idle_sleep = (idle_sleep * 2).min(TICK_MAX);
+        }
+    }
+    drain_conns(service, &mut conns);
+    Ok(())
+}
+
+/// Removes a connection and keeps the gauge honest.
+fn close_conn(service: &Service, conns: &mut Slab<Conn>, token: Token) {
+    if conns.remove(token).is_some() {
         service.stats().connections.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
-/// Serves keep-alive requests on one connection until it closes.
-fn serve_connection(service: &Service, stream: TcpStream, shutdown: &AtomicBool) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut write_half = stream;
-    let mut reader = BufReader::new(read_half);
-    while !shutdown.load(Ordering::SeqCst) {
-        match http::parse_request(&mut reader) {
-            Ok(request) => {
-                service.stats().busy_workers.fetch_add(1, Ordering::Relaxed);
-                let keep = api::handle(service, &request, &mut write_half);
-                service.stats().busy_workers.fetch_sub(1, Ordering::Relaxed);
-                match keep {
-                    Ok(true) => {}
-                    Ok(false) | Err(_) => break,
-                }
+/// Drops every remaining connection on loop exit (shutdown or accept
+/// failure), decrementing the gauge for each.
+fn drain_conns(service: &Service, conns: &mut Slab<Conn>) {
+    for slot in 0..conns.slots() {
+        if let Some(token) = conns.token_at(slot) {
+            close_conn(service, conns, token);
+        }
+    }
+}
+
+/// One tick of one connection: drain readable bytes into the parser,
+/// complete and route requests, flush pending writes, enforce deadlines.
+/// `Err(())` means the connection is done (error, EOF, timeout) and must
+/// be removed.
+fn pump_conn(
+    service: &Service,
+    conn: &mut Conn,
+    token: Token,
+    job_tx: &SyncSender<Job>,
+    now: Instant,
+    config: &ServerConfig,
+) -> Result<bool, ()> {
+    let mut progress = false;
+
+    // Read phase: drain what the socket has (bounded per tick for
+    // fairness across connections).
+    if !conn.close_after_flush && !conn.peer_closed {
+        let mut chunk = [0u8; READ_CHUNK];
+        match poll::read_step(&mut conn.stream, &mut chunk) {
+            Ok(ReadStep::Data(n)) => {
+                conn.parser.feed(&chunk[..n]);
+                conn.last_activity = now;
+                progress = true;
             }
-            Err(RequestError::Closed) | Err(RequestError::Timeout) | Err(RequestError::Io(_)) => {
-                break;
+            Ok(ReadStep::Closed) => {
+                conn.peer_closed = true;
+                progress = true;
             }
-            Err(RequestError::Malformed(message)) => {
-                service.stats().requests.fetch_add(1, Ordering::Relaxed);
-                service
-                    .stats()
-                    .client_errors
-                    .fetch_add(1, Ordering::Relaxed);
-                let _ = http::write_response(
-                    &mut write_half,
-                    400,
-                    "application/json",
-                    &api::malformed_body(&message),
-                    false,
-                );
-                break;
+            Ok(ReadStep::NotReady) => {}
+            Err(_) => return Err(()),
+        }
+    }
+
+    // Parse-and-route phase. Paused while a request is at a worker so
+    // pipelined responses leave in request order.
+    while !conn.awaiting && !conn.close_after_flush {
+        match conn.parser.try_next() {
+            Ok(Some(request)) => {
+                progress = true;
+                route(service, conn, token, request, job_tx);
             }
-            Err(RequestError::BodyTooLarge(declared)) => {
-                service.stats().requests.fetch_add(1, Ordering::Relaxed);
-                service
-                    .stats()
-                    .client_errors
-                    .fetch_add(1, Ordering::Relaxed);
-                let _ = http::write_response(
-                    &mut write_half,
-                    413,
-                    "application/json",
-                    &api::oversized_body(declared),
-                    false,
-                );
+            Ok(None) => break,
+            Err(error) => {
+                progress = true;
+                respond_parse_error(service, conn, &error);
                 break;
             }
         }
     }
+
+    // Flush phase.
+    if conn.pending_out() > 0 {
+        loop {
+            match poll::write_step(&mut conn.stream, &conn.out[conn.written..]) {
+                Ok(WriteStep::Wrote(n)) => {
+                    conn.written += n;
+                    conn.last_activity = now;
+                    conn.write_stalled_since = None;
+                    progress = true;
+                    if conn.written == conn.out.len() {
+                        conn.out.clear();
+                        conn.written = 0;
+                        break;
+                    }
+                }
+                Ok(WriteStep::NotReady) => {
+                    let stalled = conn.write_stalled_since.get_or_insert(now);
+                    if now.duration_since(*stalled) > config.write_timeout {
+                        return Err(());
+                    }
+                    break;
+                }
+                Err(_) => return Err(()),
+            }
+        }
+    }
+
+    let flushed = conn.pending_out() == 0;
+    if conn.close_after_flush && flushed {
+        return Err(());
+    }
+    // EOF: once nothing is in flight and nothing is pending, close.
+    if conn.peer_closed && flushed && !conn.awaiting && !conn.parser.mid_request() {
+        return Err(());
+    }
+
+    // Read deadlines (never while a worker owns the in-flight request —
+    // scoring may legitimately take longer than the read timeout).
+    if !conn.awaiting && !conn.close_after_flush {
+        let idle_for = now.duration_since(conn.last_activity);
+        if idle_for > config.read_timeout {
+            if conn.parser.mid_request() {
+                // A started request stalled mid-head or mid-body: that
+                // is a client defect, answer it as one. (Silently
+                // dropping, as the blocking server did, left the client
+                // unable to tell a crash from its own half-sent
+                // request.)
+                service.stats().requests.fetch_add(1, Ordering::Relaxed);
+                service
+                    .stats()
+                    .client_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                conn.out.extend_from_slice(&http::encode_response(
+                    408,
+                    "application/json",
+                    &api::timeout_body(),
+                    false,
+                ));
+                conn.close_after_flush = true;
+            } else if flushed {
+                // Idle keep-alive connection: close silently.
+                return Err(());
+            }
+        }
+    }
+    Ok(progress)
+}
+
+/// Routes one completed request: scoring `POST`s go to the worker pool,
+/// everything else is answered inline into the connection's buffer.
+fn route(
+    service: &Service,
+    conn: &mut Conn,
+    token: Token,
+    request: http::Request,
+    job_tx: &SyncSender<Job>,
+) {
+    if api::needs_worker(&request) {
+        service.stats().queue_depth.fetch_add(1, Ordering::Relaxed);
+        match job_tx.try_send(Job { token, request }) {
+            Ok(()) => conn.awaiting = true,
+            Err(TrySendError::Full(_job)) => {
+                // Bounded dispatch queue full: shed load with a typed 503.
+                service.stats().queue_depth.fetch_sub(1, Ordering::Relaxed);
+                service
+                    .stats()
+                    .rejected_busy
+                    .fetch_add(1, Ordering::Relaxed);
+                conn.out.extend_from_slice(&http::encode_response(
+                    503,
+                    "application/json",
+                    &api::busy_body(),
+                    false,
+                ));
+                conn.close_after_flush = true;
+            }
+            Err(TrySendError::Disconnected(_job)) => {
+                service.stats().queue_depth.fetch_sub(1, Ordering::Relaxed);
+                conn.close_after_flush = true;
+            }
+        }
+    } else {
+        let keep = {
+            let mut sink = api::BufSink(&mut conn.out);
+            api::handle(service, &request, &mut sink)
+        };
+        if !keep {
+            conn.close_after_flush = true;
+        }
+    }
+}
+
+/// Answers a request-parse error with its typed status and marks the
+/// connection for close (the byte stream is unsynchronized past the
+/// error).
+fn respond_parse_error(service: &Service, conn: &mut Conn, error: &RequestError) {
+    let (status, body) = match error {
+        RequestError::LengthRequired => (411, api::length_required_body()),
+        RequestError::BodyTooLarge(declared) => (413, api::oversized_body(*declared)),
+        RequestError::Malformed(message) => (400, api::malformed_body(message)),
+        // The incremental parser does no I/O; these variants belong to
+        // the client-side reader. Treat them as a dead connection.
+        RequestError::Closed | RequestError::Timeout | RequestError::Io(_) => {
+            conn.close_after_flush = true;
+            return;
+        }
+    };
+    service.stats().requests.fetch_add(1, Ordering::Relaxed);
+    service
+        .stats()
+        .client_errors
+        .fetch_add(1, Ordering::Relaxed);
+    conn.out.extend_from_slice(&http::encode_response(
+        status,
+        "application/json",
+        &body,
+        false,
+    ));
+    conn.close_after_flush = true;
+}
+
+/// Best-effort `503` to a connection shed at the `max_connections`
+/// bound: one nonblocking write attempt, then drop.
+fn shed(service: &Service, mut stream: TcpStream) {
+    service
+        .stats()
+        .rejected_busy
+        .fetch_add(1, Ordering::Relaxed);
+    let bytes = http::encode_response(503, "application/json", &api::busy_body(), false);
+    let _ = poll::write_step(&mut stream, &bytes);
 }

@@ -18,6 +18,23 @@ pub fn to_json(value: &Yaml) -> String {
     out
 }
 
+/// Renders a value as compact JSON **appended to an existing buffer** —
+/// the allocation-free sibling of [`to_json`] for hot paths (the
+/// `ceserve` batch stream) that assemble wire lines into one reusable
+/// `String` instead of collecting intermediates.
+///
+/// # Examples
+///
+/// ```
+/// use yamlkit::ymap;
+/// let mut line = String::from("result: ");
+/// yamlkit::json::write_json(&ymap! { "ok" => true }, &mut line);
+/// assert_eq!(line, r#"result: {"ok":true}"#);
+/// ```
+pub fn write_json(value: &Yaml, out: &mut String) {
+    write_json_inner(value, out);
+}
+
 /// Renders a value as pretty-printed JSON with two-space indentation.
 pub fn to_json_pretty(value: &Yaml) -> String {
     let mut out = String::new();
@@ -26,7 +43,7 @@ pub fn to_json_pretty(value: &Yaml) -> String {
     out
 }
 
-fn write_json(value: &Yaml, out: &mut String) {
+fn write_json_inner(value: &Yaml, out: &mut String) {
     match value {
         Yaml::Null => out.push_str("null"),
         Yaml::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
@@ -52,7 +69,7 @@ fn write_json(value: &Yaml, out: &mut String) {
                 if i > 0 {
                     out.push(',');
                 }
-                write_json(item, out);
+                write_json_inner(item, out);
             }
             out.push(']');
         }
@@ -64,7 +81,7 @@ fn write_json(value: &Yaml, out: &mut String) {
                 }
                 write_json_string(k, out);
                 out.push(':');
-                write_json(v, out);
+                write_json_inner(v, out);
             }
             out.push('}');
         }
@@ -103,7 +120,7 @@ fn write_json_pretty(value: &Yaml, indent: usize, out: &mut String) {
             out.push_str(&close_pad);
             out.push('}');
         }
-        other => write_json(other, out),
+        other => write_json_inner(other, out),
     }
 }
 
