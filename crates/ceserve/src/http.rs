@@ -13,7 +13,7 @@
 //! One allocation per request (the buffer the socket bytes already
 //! landed in), zero intermediate `String`s.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, BufRead, Read, Write};
 use std::net::TcpStream;
 use std::ops::Range;
 
@@ -21,7 +21,7 @@ use std::ops::Range;
 /// typed `413` and the connection is closed.
 pub const MAX_BODY_BYTES: usize = 4 << 20;
 /// Largest accepted header section.
-const MAX_HEADER_BYTES: usize = 16 * 1024;
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
 /// Most headers accepted on one request.
 const MAX_HEADERS: usize = 64;
 
@@ -556,9 +556,31 @@ fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, Re
     Ok(line)
 }
 
+/// Maps a transport error hit *after* the status line was read: at that
+/// point the response is partially consumed, so a close or reset means a
+/// truncated response — distinct from [`RequestError::Closed`] on the
+/// very first byte, which is the ordinary stale-keep-alive signal a
+/// client may safely react to by reconnecting and re-sending.
+fn truncated(e: RequestError) -> RequestError {
+    match e {
+        RequestError::Closed => RequestError::Malformed("response truncated mid-stream".into()),
+        RequestError::Io(e) => {
+            RequestError::Malformed(format!("response truncated mid-stream: {e}"))
+        }
+        other => other,
+    }
+}
+
 /// Reads one full response, decoding chunked transfer encoding when the
 /// server streamed it.
-pub fn read_response(reader: &mut BufReader<TcpStream>) -> Result<Response, RequestError> {
+///
+/// Errors are phase-typed for the caller's retry decision:
+/// [`RequestError::Closed`] is returned **only** when the connection
+/// ended cleanly before a single response byte arrived; any failure
+/// after that surfaces as a truncation ([`RequestError::Malformed`]) or
+/// [`RequestError::Timeout`], both of which mean the server may already
+/// be executing the request.
+pub fn read_response(reader: &mut impl BufRead) -> Result<Response, RequestError> {
     let mut budget = MAX_HEADER_BYTES;
     let status_line = read_line(reader, &mut budget)?;
     let status: u16 = status_line
@@ -568,7 +590,7 @@ pub fn read_response(reader: &mut BufReader<TcpStream>) -> Result<Response, Requ
         .ok_or_else(|| RequestError::Malformed(format!("bad status line {status_line:?}")))?;
     let mut headers: Vec<(String, String)> = Vec::new();
     loop {
-        let line = read_line(reader, &mut budget)?;
+        let line = read_line(reader, &mut budget).map_err(truncated)?;
         if line.is_empty() {
             break;
         }
@@ -583,14 +605,14 @@ pub fn read_response(reader: &mut BufReader<TcpStream>) -> Result<Response, Requ
     if chunked {
         loop {
             let mut line_budget = MAX_HEADER_BYTES;
-            let size_line = read_line(reader, &mut line_budget)?;
+            let size_line = read_line(reader, &mut line_budget).map_err(truncated)?;
             let size = usize::from_str_radix(size_line.trim(), 16)
                 .map_err(|_| RequestError::Malformed(format!("bad chunk size {size_line:?}")))?;
             if size == 0 {
                 // Trailer section: read through the final blank line.
                 loop {
                     let mut trailer_budget = MAX_HEADER_BYTES;
-                    let t = read_line(reader, &mut trailer_budget)?;
+                    let t = read_line(reader, &mut trailer_budget).map_err(truncated)?;
                     if t.is_empty() {
                         break;
                     }
@@ -598,11 +620,15 @@ pub fn read_response(reader: &mut BufReader<TcpStream>) -> Result<Response, Requ
                 break;
             }
             let mut chunk = vec![0u8; size];
-            reader.read_exact(&mut chunk).map_err(RequestError::from)?;
+            reader
+                .read_exact(&mut chunk)
+                .map_err(|e| truncated(RequestError::from(e)))?;
             raw.extend_from_slice(&chunk);
             // Consume the CRLF after the chunk data.
             let mut crlf = [0u8; 2];
-            reader.read_exact(&mut crlf).map_err(RequestError::from)?;
+            reader
+                .read_exact(&mut crlf)
+                .map_err(|e| truncated(RequestError::from(e)))?;
         }
     } else {
         let len = headers
@@ -611,7 +637,9 @@ pub fn read_response(reader: &mut BufReader<TcpStream>) -> Result<Response, Requ
             .and_then(|(_, v)| v.parse::<usize>().ok())
             .unwrap_or(0);
         raw = vec![0u8; len];
-        reader.read_exact(&mut raw).map_err(RequestError::from)?;
+        reader
+            .read_exact(&mut raw)
+            .map_err(|e| truncated(RequestError::from(e)))?;
     }
     let body = String::from_utf8(raw)
         .map_err(|_| RequestError::Malformed("response body is not valid UTF-8".into()))?;
@@ -793,5 +821,45 @@ mod tests {
         let chunk = String::from_utf8(encode_chunk("abc")).unwrap();
         assert_eq!(chunk, "3\r\nabc\r\n");
         assert!(encode_chunk("").is_empty());
+    }
+
+    /// Regression: `read_response` must keep `Closed` reserved for a
+    /// clean end-of-stream *before any response byte* — the signal a
+    /// keep-alive client may safely answer with a reconnect-and-resend.
+    /// A stream that dies mid-response is a truncation instead: the
+    /// server may already be executing the request, so re-sending it
+    /// would double-execute.
+    #[test]
+    fn read_response_types_clean_close_apart_from_truncation() {
+        let whole = b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nok";
+        let mut cursor = std::io::Cursor::new(whole.to_vec());
+        let response = read_response(&mut cursor).expect("intact response");
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, "ok");
+
+        // EOF before the first byte: the stale-keep-alive close.
+        let mut empty = std::io::Cursor::new(Vec::new());
+        assert!(matches!(
+            read_response(&mut empty),
+            Err(RequestError::Closed)
+        ));
+
+        // EOF mid-headers and EOF mid-body: truncations, not closes.
+        for cut in [whole.len() - 20, whole.len() - 1] {
+            let mut cursor = std::io::Cursor::new(whole[..cut].to_vec());
+            let got = read_response(&mut cursor);
+            assert!(
+                matches!(got, Err(RequestError::Malformed(_))),
+                "cut at {cut}: {got:?}"
+            );
+        }
+
+        // Same for a chunked stream that dies between chunks.
+        let chunked = b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\n2\r\nok\r\n";
+        let mut cursor = std::io::Cursor::new(chunked.to_vec());
+        assert!(matches!(
+            read_response(&mut cursor),
+            Err(RequestError::Malformed(_))
+        ));
     }
 }

@@ -151,16 +151,35 @@ pub fn evaluate_body(item: &LoadItem) -> String {
     })
 }
 
+/// One failed request attempt, tagged with whether re-sending the
+/// request on a fresh connection is safe.
+///
+/// Re-sending is safe only when the server cannot have *executed* the
+/// request: the write itself failed, or the connection closed/reset
+/// before a single response byte arrived — the ordinary stale
+/// keep-alive close. A response-read timeout or a truncated response
+/// means the server may be (or have finished) executing it; re-sending
+/// those would run the request twice server-side and skew the
+/// `executed`/`cache_hits` numbers the benches compare.
+struct AttemptError {
+    retriable: bool,
+}
+
 /// Issues one request on an existing connection.
 fn one_request(
     stream: &mut TcpStream,
     reader: &mut BufReader<TcpStream>,
     item: &LoadItem,
-) -> io::Result<http::Response> {
-    http::write_request(stream, "POST", "/v1/evaluate", Some(&evaluate_body(item)))?;
-    http::read_response(reader).map_err(|e| match e {
-        http::RequestError::Io(e) => e,
-        other => io::Error::other(format!("bad response: {other:?}")),
+) -> Result<http::Response, AttemptError> {
+    if http::write_request(stream, "POST", "/v1/evaluate", Some(&evaluate_body(item))).is_err() {
+        // The request never fully reached the kernel: safe to re-send.
+        return Err(AttemptError { retriable: true });
+    }
+    http::read_response(reader).map_err(|e| AttemptError {
+        // `read_response` reserves `Closed` (and a raw `Io`) for
+        // failures before the first response byte; truncations surface
+        // as `Malformed` and stalls as `Timeout`.
+        retriable: matches!(e, http::RequestError::Closed | http::RequestError::Io(_)),
     })
 }
 
@@ -177,13 +196,16 @@ fn connect(addr: SocketAddr) -> io::Result<(TcpStream, BufReader<TcpStream>)> {
 ///
 /// Each client keeps [`LoadGenConfig::connections_per_client`]
 /// persistent connections, round-robining Zipf-sampled corpus entries
-/// across them. A request that fails at the transport layer is retried
-/// **once on a fresh connection** — a server-side keep-alive close
-/// between requests is an ordinary event, not a lost sample — so a run
-/// completes exactly `requests` requests unless the same request fails
-/// twice in a row. The combined outcomes come back with their corpus
-/// indices so callers can verify every response against a direct
-/// pipeline run.
+/// across them. A request whose failure proves the server never
+/// executed it (write failure, or a close before any response byte —
+/// the ordinary stale keep-alive event) is retried **once on a fresh
+/// connection** rather than losing the sample, so a run against a
+/// responsive server completes exactly `requests` requests; a timeout
+/// or truncated response is counted as a transport error instead of
+/// re-sent, because the server may still execute the original and a
+/// duplicate would skew the `executed`/`cache_hits` stats. The combined
+/// outcomes come back with their corpus indices so callers can verify
+/// every response against a direct pipeline run.
 pub fn run(
     addr: SocketAddr,
     corpus: &[LoadItem],
@@ -212,8 +234,11 @@ pub fn run(
                     let index = sample_index(cumulative, &mut rng);
                     let slot = n % conns_per_client;
                     // Two attempts: the second always on a fresh
-                    // connection, so a keep-alive close (or any
-                    // transport hiccup) costs a reconnect, not a sample.
+                    // connection, so a stale keep-alive close costs a
+                    // reconnect, not a sample. Failures that leave the
+                    // request possibly executing server-side (timeout,
+                    // truncated response) are never re-sent — see
+                    // [`AttemptError`].
                     let mut completed = false;
                     for _ in 0..2 {
                         if conns[slot].is_none() {
@@ -235,7 +260,12 @@ pub fn run(
                                 completed = true;
                                 break;
                             }
-                            Err(_) => conns[slot] = None,
+                            Err(failure) => {
+                                conns[slot] = None;
+                                if !failure.retriable {
+                                    break;
+                                }
+                            }
                         }
                     }
                     if !completed {

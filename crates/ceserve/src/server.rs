@@ -16,6 +16,9 @@
 //! 2. socket bytes are drained into the connection's incremental
 //!    [`RequestParser`](crate::http::RequestParser) as they arrive —
 //!    pipelined or one byte at a time, no thread ever blocks on a read;
+//!    draining stops while more than [`MAX_IN_BUFFER`] bytes sit
+//!    unparsed, so a client that pipelines faster than its requests are
+//!    served is bounded by TCP backpressure, not by server heap;
 //! 3. a completed `GET` (problems/stats) or any protocol error is
 //!    answered inline — stats stay responsive even when every worker is
 //!    busy scoring; a completed `POST` (evaluate/batch) is dispatched to
@@ -24,7 +27,8 @@
 //!    chunk for `/v1/batch`) through the completion channel; the event
 //!    loop buffers them per connection and flushes as the socket
 //!    accepts — a slow reader stalls only its own buffer (and is dropped
-//!    past [`MAX_OUT_BUFFER`]), never a thread;
+//!    past [`MAX_OUT_BUFFER`]; inline responses instead pause parsing at
+//!    the same bound until the backlog drains), never a thread;
 //! 5. timeouts are tiered: an *idle* keep-alive connection is closed
 //!    silently, a *started* request that stalls mid-head or mid-body is
 //!    answered `408 Request Timeout`, and a write-side stall past
@@ -59,7 +63,21 @@ const READ_CHUNK: usize = 16 * 1024;
 /// `/v1/batch` client that stops reading mid-stream accumulates chunks
 /// here instead of wedging a worker; past this bound the connection is
 /// dropped (scoring continues — verdicts still land in the shared memo).
+/// The inline path enforces the same bound by *pausing* rather than
+/// dropping: the parse loop stops routing pipelined requests while the
+/// backlog is at the cap and resumes as the socket drains it (one
+/// response may overshoot the cap, never more).
 pub const MAX_OUT_BUFFER: usize = 8 << 20;
+
+/// Largest parser-buffered request backlog per connection: one maximal
+/// request (head + body) plus a pipeline allowance. The read phase stops
+/// draining the socket once this much is buffered unparsed — because a
+/// request is at a worker, or because [`MAX_OUT_BUFFER`] paused the
+/// parse loop — so a client that pipelines at line rate is bounded by
+/// TCP backpressure (as the old blocking design was), not by the
+/// server's heap. One [`READ_CHUNK`] may overshoot the bound, never
+/// more.
+pub const MAX_IN_BUFFER: usize = http::MAX_BODY_BYTES + http::MAX_HEADER_BYTES + READ_CHUNK;
 
 /// Idle-tick sleep bounds: the loop parks briefly when a tick made no
 /// progress, backing off toward the max while the server stays quiet.
@@ -466,8 +484,12 @@ fn pump_conn(
     let mut progress = false;
 
     // Read phase: drain what the socket has (bounded per tick for
-    // fairness across connections).
-    if !conn.close_after_flush && !conn.peer_closed {
+    // fairness across connections, and gated on [`MAX_IN_BUFFER`] so a
+    // paused parse loop — request at a worker, or response backlog at
+    // the cap — cannot be exploited to buffer unbounded pipelined bytes;
+    // the unread bytes stay in the kernel and TCP backpressure reaches
+    // the client).
+    if !conn.close_after_flush && !conn.peer_closed && conn.parser.buffered() < MAX_IN_BUFFER {
         let mut chunk = [0u8; READ_CHUNK];
         match poll::read_step(&mut conn.stream, &mut chunk) {
             Ok(ReadStep::Data(n)) => {
@@ -485,8 +507,12 @@ fn pump_conn(
     }
 
     // Parse-and-route phase. Paused while a request is at a worker so
-    // pipelined responses leave in request order.
-    while !conn.awaiting && !conn.close_after_flush {
+    // pipelined responses leave in request order, and while the response
+    // backlog is at [`MAX_OUT_BUFFER`] so a non-reading client that
+    // pipelines cheap requests with large responses (inline writes skip
+    // the completion channel and its overflow check) stalls instead of
+    // growing `out` without bound; flushing below the cap resumes it.
+    while !conn.awaiting && !conn.close_after_flush && conn.pending_out() < MAX_OUT_BUFFER {
         match conn.parser.try_next() {
             Ok(Some(request)) => {
                 progress = true;
@@ -643,12 +669,159 @@ fn respond_parse_error(service: &Service, conn: &mut Conn, error: &RequestError)
 }
 
 /// Best-effort `503` to a connection shed at the `max_connections`
-/// bound: one nonblocking write attempt, then drop.
+/// bound: nonblocking writes looped while they make progress (short
+/// writes happen even for a ~150-byte response), abandoned at the first
+/// refusal — the event loop never parks for a connection it is
+/// rejecting.
 fn shed(service: &Service, mut stream: TcpStream) {
     service
         .stats()
         .rejected_busy
         .fetch_add(1, Ordering::Relaxed);
     let bytes = http::encode_response(503, "application/json", &api::busy_body(), false);
-    let _ = poll::write_step(&mut stream, &bytes);
+    let mut written = 0;
+    while written < bytes.len() {
+        match poll::write_step(&mut stream, &bytes[written..]) {
+            Ok(WriteStep::Wrote(n)) => written += n,
+            Ok(WriteStep::NotReady) | Err(_) => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    /// A connected socket pair, the server side nonblocking (as the
+    /// accept path would leave it) and the client side nonblocking so a
+    /// single-threaded test can probe backpressure without deadlocking.
+    fn socket_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let client = TcpStream::connect(listener.local_addr().unwrap()).expect("connect");
+        let (server_side, _) = listener.accept().expect("accept");
+        server_side.set_nonblocking(true).unwrap();
+        client.set_nonblocking(true).unwrap();
+        (server_side, client)
+    }
+
+    fn test_service() -> Service {
+        Service::new(Arc::new(Dataset::generate()), Arc::new(ScoreMemo::new()), 1)
+    }
+
+    /// Any generation-tagged token works for a connection pumped outside
+    /// the event loop's slab — it is only consulted on worker dispatch.
+    fn test_token() -> Token {
+        Slab::<u8>::new().insert(0)
+    }
+
+    /// Regression (review): while a request is at a worker the parse
+    /// loop is paused — the read phase must then stop feeding the
+    /// parser at [`MAX_IN_BUFFER`] and leave further pipelined bytes to
+    /// TCP backpressure, instead of buffering a line-rate client on the
+    /// heap for as long as a slow `/v1/batch` scores.
+    #[test]
+    fn read_buffering_is_bounded_while_a_request_is_at_a_worker() {
+        let (server_side, mut client) = socket_pair();
+        let service = test_service();
+        let (job_tx, _job_rx) = mpsc::sync_channel::<Job>(1);
+        let config = ServerConfig::default();
+        let token = test_token();
+        let mut conn = Conn::new(server_side, Instant::now());
+        conn.awaiting = true; // the in-flight request is "at a worker"
+
+        let payload = vec![b'x'; 64 * 1024];
+        let mut sent = 0usize;
+        let mut stalled_rounds = 0;
+        while sent < 2 * MAX_IN_BUFFER && stalled_rounds < 64 {
+            match client.write(&payload) {
+                Ok(n) => {
+                    sent += n;
+                    stalled_rounds = 0;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => stalled_rounds += 1,
+                Err(e) => panic!("client write failed: {e}"),
+            }
+            for _ in 0..8 {
+                pump_conn(&service, &mut conn, token, &job_tx, Instant::now(), &config)
+                    .expect("connection stays alive");
+            }
+        }
+        assert!(
+            conn.parser.buffered() <= MAX_IN_BUFFER + READ_CHUNK,
+            "parser buffered {} bytes with the parse loop paused (bound {MAX_IN_BUFFER})",
+            conn.parser.buffered(),
+        );
+    }
+
+    /// Regression (review): inline responses bypass the completion
+    /// channel's overflow check — the parse loop itself must stop
+    /// routing pipelined requests once [`MAX_OUT_BUFFER`] bytes are
+    /// pending, so a non-reading client pipelining cheap `GET`s cannot
+    /// grow the backlog without bound; and it must resume as the client
+    /// drains, with nothing dropped.
+    #[test]
+    fn inline_response_backlog_is_capped_and_resumes() {
+        let (server_side, mut client) = socket_pair();
+        let service = test_service();
+        let (job_tx, _job_rx) = mpsc::sync_channel::<Job>(1);
+        let config = ServerConfig::default();
+        let token = test_token();
+        let mut conn = Conn::new(server_side, Instant::now());
+
+        // Size one inline response, then pipeline enough of them that
+        // even generous kernel socket buffering cannot mask an uncapped
+        // backlog (responses drift a few bytes as counters grow, hence
+        // the margins below).
+        let request_bytes: &[u8] = b"GET /v1/stats HTTP/1.1\r\n\r\n";
+        let one = {
+            let mut out = Vec::new();
+            let mut parser = http::RequestParser::new();
+            parser.feed(request_bytes);
+            let request = parser.try_next().unwrap().expect("complete request");
+            api::handle(&service, &request, &mut api::BufSink(&mut out));
+            out.len()
+        };
+        let total = 2 * MAX_OUT_BUFFER / one + 16;
+        for _ in 0..total {
+            conn.parser.feed(request_bytes);
+        }
+
+        // The client reads nothing: one pump must stop at the cap.
+        pump_conn(&service, &mut conn, token, &job_tx, Instant::now(), &config)
+            .expect("connection stays alive");
+        assert!(
+            conn.pending_out() <= MAX_OUT_BUFFER + one + 1024,
+            "pending backlog {} with a non-reading client (cap {MAX_OUT_BUFFER})",
+            conn.pending_out(),
+        );
+
+        // Drain from the client side: parsing resumes below the cap and
+        // every pipelined request is eventually answered.
+        let mut sink = vec![0u8; 1 << 20];
+        let mut received = 0usize;
+        let mut quiet = 0;
+        while quiet < 50 {
+            let moved = pump_conn(&service, &mut conn, token, &job_tx, Instant::now(), &config)
+                .expect("connection stays alive");
+            match client.read(&mut sink) {
+                Ok(n) if n > 0 => {
+                    received += n;
+                    quiet = 0;
+                }
+                _ if moved => quiet = 0,
+                _ => quiet += 1,
+            }
+        }
+        assert_eq!(
+            conn.parser.buffered(),
+            0,
+            "every pipelined request must parse"
+        );
+        assert_eq!(conn.pending_out(), 0, "the backlog must drain");
+        assert!(
+            received > MAX_OUT_BUFFER,
+            "only {received} response bytes reached the client"
+        );
+    }
 }
