@@ -1,0 +1,93 @@
+//! The `repair_engine` bench group: the fail–learn–refine loop's
+//! streamed loop-back driver vs the round-barriered reference, and the
+//! feedback-mode ablation's cost profile.
+//!
+//! Both drivers run with run-local memos so the numbers measure the loop
+//! schedule — per-round phase barriers vs failures re-entering generation
+//! while other records stream — not cache warmth. CI runs this group with
+//! `CRITERION_JSON=BENCH_repair.json` to record the trajectory.
+
+use std::sync::Arc;
+
+use cedataset::Dataset;
+use cloudeval_core::harness::{evaluate_repair, evaluate_repair_barriered, EvalOptions};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use llmsim::{FeedbackMode, ModelProfile, SimulatedModel};
+
+fn repair_options() -> EvalOptions {
+    EvalOptions {
+        stride: 6, // 57 problems per iteration, original variant
+        workers: 8,
+        ..EvalOptions::default()
+    }
+}
+
+/// Streamed vs barriered wall-clock of the repair loop on one pass-heavy
+/// and one fail-heavy model (the fail-heavy load is where the loop-back
+/// edge carries most of the traffic).
+fn bench_repair_engine(c: &mut Criterion) {
+    let dataset = Arc::new(Dataset::generate());
+    let options = repair_options();
+    let mut group = c.benchmark_group("repair_engine");
+    group.sample_size(10);
+    for name in ["gpt-4", "llama-2-70b-chat"] {
+        let model = SimulatedModel::new(ModelProfile::by_name(name).unwrap(), Arc::clone(&dataset));
+        group.bench_with_input(
+            BenchmarkId::new("barriered", name),
+            &options,
+            |b, options| {
+                b.iter(|| {
+                    black_box(evaluate_repair_barriered(
+                        &model,
+                        &dataset,
+                        options,
+                        2,
+                        FeedbackMode::BucketOnly,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("streamed", name),
+            &options,
+            |b, options| {
+                b.iter(|| {
+                    black_box(evaluate_repair(
+                        &model,
+                        &dataset,
+                        options,
+                        2,
+                        FeedbackMode::BucketOnly,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The feedback ablation's cost: bucket-only feedback repairs early and
+/// drains the loop; no feedback keeps failures circulating for the full
+/// round budget, so the same loop does more generation and substrate
+/// work.
+fn bench_feedback_modes(c: &mut Criterion) {
+    let dataset = Arc::new(Dataset::generate());
+    let model = SimulatedModel::new(
+        ModelProfile::by_name("llama-2-70b-chat").unwrap(),
+        Arc::clone(&dataset),
+    );
+    let options = repair_options();
+    let mut group = c.benchmark_group("repair_feedback");
+    group.sample_size(10);
+    for mode in FeedbackMode::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.label()),
+            &options,
+            |b, options| b.iter(|| black_box(evaluate_repair(&model, &dataset, options, 2, mode))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(repair_benches, bench_repair_engine, bench_feedback_modes);
+criterion_main!(repair_benches);

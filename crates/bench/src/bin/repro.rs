@@ -27,11 +27,17 @@
 //!   target's streamed driver (default `on`; `off` re-parses at every
 //!   layer like the seed pipeline). Either way the target also prints a
 //!   dedicated prepared-vs-text A/B speedup line with a verdict-identity
-//!   check.
+//!   check;
+//! * `--rounds N` — repair rounds after the first attempt (default 2),
+//!   used by the `repair` target;
+//! * `--feedback full|bucket-only|none` — how much of each failure's
+//!   taxonomy diagnosis the repair prompts reveal (default
+//!   `bucket-only`), used by the `repair` target.
 
 use cedataset::Variant;
 use cloudeval_bench::experiments::Experiments;
 use cloudeval_bench::serve::ServeOptions;
+use llmsim::FeedbackMode;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,6 +52,8 @@ fn main() {
     let mut clients = 4usize;
     let mut conns = 1usize;
     let mut memo_path: Option<std::path::PathBuf> = None;
+    let mut rounds = 2usize;
+    let mut feedback = FeedbackMode::BucketOnly;
     let mut targets: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -131,6 +139,20 @@ fn main() {
                         .unwrap_or_else(|| die("--memo needs a file path")),
                 ));
             }
+            "--rounds" => {
+                i += 1;
+                rounds = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--rounds needs a non-negative integer"));
+            }
+            "--feedback" => {
+                i += 1;
+                feedback = args
+                    .get(i)
+                    .and_then(|s| FeedbackMode::from_label(s))
+                    .unwrap_or_else(|| die("--feedback needs full|bucket-only|none"));
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -188,6 +210,7 @@ fn main() {
             "fig8" => context(&mut experiments, stride, workers).fig8(16),
             "fig9" => context(&mut experiments, stride, workers).fig9(),
             "grid" => context(&mut experiments, stride, workers).grid(&variants),
+            "repair" => context(&mut experiments, stride, workers).repair(rounds, feedback),
             "pipeline" => context(&mut experiments, stride, workers).pipeline(
                 &variants,
                 channel_bound,
@@ -210,7 +233,7 @@ fn main() {
 
 const ALL_TARGETS: &[&str] = &[
     "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
-    "fig5", "fig6", "fig7", "fig8", "fig9", "grid", "pipeline", "serve",
+    "fig5", "fig6", "fig7", "fig8", "fig9", "grid", "pipeline", "repair", "serve",
 ];
 
 fn parse_variants(list: &str) -> Result<Vec<Variant>, String> {
@@ -231,12 +254,13 @@ fn parse_variants(list: &str) -> Result<Vec<Variant>, String> {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro [--stride N] [--workers N] [--variants LIST] [--channel-bound N] [--live-latency MS] [--prepared on|off] [--port N] [--requests N] [--clients N] [--conns N] [--memo PATH] <target>..."
+        "usage: repro [--stride N] [--workers N] [--variants LIST] [--channel-bound N] [--live-latency MS] [--prepared on|off] [--rounds N] [--feedback full|bucket-only|none] [--port N] [--requests N] [--clients N] [--conns N] [--memo PATH] <target>..."
     );
     eprintln!("targets: {} | all", ALL_TARGETS.join(" | "));
     eprintln!("variants: original,simplified,translated (grid/pipeline targets)");
     eprintln!("channel-bound: stage-graph backpressure depth (pipeline target)");
     eprintln!("prepared: parse-once document model A/B (pipeline target)");
+    eprintln!("rounds/feedback: fail-learn-refine loop knobs (repair target)");
     eprintln!("port/requests/clients/memo: benchmark-as-a-service knobs (serve target)");
     eprintln!("conns: keep-alive connections per client thread (serve target)");
 }

@@ -10,13 +10,14 @@ use cedataset::{Dataset, Variant};
 use cescore::RefCache;
 use cloudeval_core::analysis::{factor_analysis, failure_modes};
 use cloudeval_core::harness::{
-    default_workers, evaluate, evaluate_barriered, mean_scores, pass_count, EvalOptions, EvalRecord,
+    default_workers, evaluate, evaluate_barriered, evaluate_repair, evaluate_repair_barriered,
+    mean_scores, pass_count, EvalOptions, EvalRecord,
 };
 use cloudeval_core::passk::{pass_at_k_cached, PassAtK};
 use cloudeval_core::predict::{leave_one_model_out, shap_importance};
 use cloudeval_core::tables;
 use evalcluster::memo::ScoreMemo;
-use llmsim::{standard_models, GenParams, SimulatedModel};
+use llmsim::{standard_models, FeedbackMode, GenParams, SimulatedModel};
 
 /// A lazily-evaluated benchmark context shared across experiments.
 ///
@@ -266,6 +267,66 @@ impl Experiments {
         out
     }
 
+    /// The fail–learn–refine repair experiment: every model's failing
+    /// records loop back through generation → extraction → scoring →
+    /// substrate execution for up to `rounds` repair rounds, with
+    /// taxonomy-synthesized deployment feedback revealed per `feedback`.
+    /// Prints cumulative pass@repair-round-r per model, the taxonomy
+    /// histogram of the failures standing at each round, and the
+    /// streamed-vs-barriered driver identity verdict.
+    pub fn repair(&self, rounds: usize, feedback: FeedbackMode) -> String {
+        let mut out =
+            format!("Fail-learn-refine repair loop (feedback: {feedback}, rounds: {rounds})\n");
+        out.push_str(&format!(
+            "stride: {} | workers: {} | variant: original\n",
+            self.stride, self.workers
+        ));
+        let mut header = format!("  {:<24} pass@repair-round-r (cumulative)", "model");
+        header.push('\n');
+        out.push_str(&header);
+        let options = self.options(vec![Variant::Original], 0);
+        let started = std::time::Instant::now();
+        let mut all_identical = true;
+        for model in &self.models {
+            let streamed = evaluate_repair(model, &self.dataset, &options, rounds, feedback);
+            let barriered =
+                evaluate_repair_barriered(model, &self.dataset, &options, rounds, feedback);
+            all_identical &= streamed == barriered;
+            let mut row = format!("  {:<24}", model.profile().name);
+            for r in 0..=rounds {
+                row.push_str(&format!(
+                    " r{r} {:>4}/{:<4}",
+                    streamed.pass_at_round(r),
+                    streamed.total()
+                ));
+            }
+            row.push('\n');
+            out.push_str(&row);
+            for r in 0..=rounds {
+                let histogram = streamed.bucket_counts(r);
+                if histogram.is_empty() {
+                    continue;
+                }
+                let rendered: Vec<String> = histogram
+                    .iter()
+                    .map(|(bucket, n)| format!("{bucket} {n}"))
+                    .collect();
+                out.push_str(&format!("    failures r{r}: {}\n", rendered.join(", ")));
+            }
+        }
+        let secs = started.elapsed().as_secs_f64();
+        out.push_str(&format!(
+            "drivers: streamed vs barriered repair verdicts {}\n",
+            if all_identical {
+                "identical"
+            } else {
+                "DIVERGED"
+            },
+        ));
+        out.push_str(&format!("repair grid: {secs:.2}s\n"));
+        out
+    }
+
     /// Table 1: practical data augmentation statistics.
     pub fn table1(&self) -> String {
         cedataset::stats::table1(&self.dataset)
@@ -471,6 +532,32 @@ mod tests {
         assert!(out.contains("workers: 4"), "{out}");
         // The session memo was warmed by the grid run.
         assert!(!e.memo().is_empty());
+    }
+
+    #[test]
+    fn repair_improves_every_model_and_drivers_agree() {
+        let e = Experiments::with_workers(12, 4);
+        let out = e.repair(2, FeedbackMode::BucketOnly);
+        assert!(out.contains("pass@repair"), "{out}");
+        assert!(
+            out.contains("streamed vs barriered repair verdicts identical"),
+            "{out}"
+        );
+        assert!(!out.contains("DIVERGED"), "{out}");
+        // Every model's cumulative round-2 pass count strictly beats its
+        // round-0 count when the feedback names the bucket.
+        for line in out.lines().filter(|l| l.contains(" r0 ")) {
+            let count = |tag: &str| -> usize {
+                let at = line.find(tag).unwrap_or_else(|| panic!("{tag} in {line}"));
+                line[at + tag.len()..]
+                    .trim_start()
+                    .split('/')
+                    .next()
+                    .and_then(|n| n.trim().parse().ok())
+                    .unwrap_or_else(|| panic!("malformed row: {line}"))
+            };
+            assert!(count("r2") > count("r0"), "no repair gain on row: {line}");
+        }
     }
 
     #[test]

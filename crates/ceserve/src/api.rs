@@ -18,6 +18,7 @@ use cloudeval_core::harness::{
 };
 use evalcluster::memo::ScoreMemo;
 use llmsim::extract_yaml;
+use substrate::taxonomy::Bucket;
 use yamlkit::{ymap, PreparedDoc, Yaml};
 
 use crate::http::{self, Request, MAX_BODY_BYTES};
@@ -100,6 +101,27 @@ pub struct ServiceStats {
     /// Requests answered from the full-verdict response cache (no
     /// extraction, scoring or substrate work at all).
     pub response_cache_hits: AtomicUsize,
+    /// Deployment failures among freshly judged submissions, bucketed by
+    /// the error taxonomy (indexed by [`Bucket::index`]). Cache replays
+    /// do not re-count.
+    pub taxonomy_failures: [AtomicUsize; Bucket::ALL.len()],
+}
+
+impl ServiceStats {
+    /// Folds one freshly judged verdict into the taxonomy counters. A
+    /// failure whose verdict carries no diagnosis (a legacy memo entry)
+    /// counts as `unknown`.
+    pub fn record_judged(&self, verdict: &SubmissionVerdict) {
+        if verdict.passed {
+            return;
+        }
+        let bucket = verdict
+            .failure_bucket
+            .as_deref()
+            .and_then(Bucket::from_label)
+            .unwrap_or(Bucket::Unknown);
+        self.taxonomy_failures[bucket.index()].fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// The process-wide benchmark service: the problem corpus, one shared
@@ -265,6 +287,7 @@ pub fn verdict_to_yaml(v: &SubmissionVerdict) -> Yaml {
         "cached" => v.cached,
         "simulated_ms" => i64::try_from(v.simulated_ms).unwrap_or(i64::MAX),
         "answer_class" => format!("{:?}", v.answer_class),
+        "failure_bucket" => v.failure_bucket.clone().map_or(Yaml::Null, Yaml::Str),
         "score_issue" => v.score_issue.clone().map_or(Yaml::Null, Yaml::Str),
         "scores" => ymap! {
             "bleu" => v.scores.bleu,
@@ -399,6 +422,15 @@ fn stats_body(service: &Service) -> String {
             "executing" => i64::try_from(g.executing()).unwrap_or(0),
             "completed" => i64::try_from(g.completed()).unwrap_or(0),
         },
+        "taxonomy" => Yaml::Map(
+            Bucket::ALL
+                .iter()
+                .map(|b| (
+                    b.label().to_string(),
+                    Yaml::Int(count(&s.taxonomy_failures[b.index()])),
+                ))
+                .collect(),
+        ),
         "batch_records" => count(&s.batch_records),
     })
 }
@@ -422,6 +454,7 @@ fn evaluate_body(service: &Service, request: &Request) -> Result<String, ApiErro
         &service.memo,
         &service.refs,
     );
+    service.stats.record_judged(&verdict);
     service.store_response(key, verdict.clone());
     Ok(yamlkit::json::to_json(&verdict_to_yaml(&verdict)))
 }
@@ -518,6 +551,7 @@ fn batch_stream<S: ResponseSink>(
         |i, verdict| {
             let index = fresh_indices[i];
             write_line(index, &verdict);
+            service.stats.record_judged(&verdict);
             service.store_response(response_key(&decoded[index]), verdict);
         },
     );

@@ -75,7 +75,7 @@ pub const MAX_OUT_BUFFER: usize = 8 << 20;
 /// request is at a worker, or because [`MAX_OUT_BUFFER`] paused the
 /// parse loop — so a client that pipelines at line rate is bounded by
 /// TCP backpressure (as the old blocking design was), not by the
-/// server's heap. One [`READ_CHUNK`] may overshoot the bound, never
+/// server's heap. One `READ_CHUNK` may overshoot the bound, never
 /// more.
 pub const MAX_IN_BUFFER: usize = http::MAX_BODY_BYTES + http::MAX_HEADER_BYTES + READ_CHUNK;
 

@@ -307,6 +307,55 @@ fn batch_streams_every_item_with_identical_scores() {
 }
 
 #[test]
+fn stats_bucket_failures_by_taxonomy_without_double_counting_replays() {
+    let dataset = Arc::new(Dataset::generate());
+    let server = boot(&dataset, ServerConfig::default());
+    let addr = server.addr();
+    let problem_id = &dataset.problems()[0].id;
+
+    // An unparseable candidate always lands in the yaml-syntax bucket.
+    let body = format!(r#"{{"problem_id":"{problem_id}","candidate":"kind: Pod\nbroken: ["}}"#);
+    let request = format!(
+        "POST /v1/evaluate HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let response = raw_request(addr, request.as_bytes());
+    assert_eq!(response.status, 200);
+    let verdict = yamlkit::parse_one(&response.body).unwrap().to_value();
+    assert_eq!(verdict.get("passed").and_then(Yaml::as_bool), Some(false));
+    assert_eq!(
+        verdict.get("failure_bucket").and_then(Yaml::as_str),
+        Some("yaml-syntax")
+    );
+
+    let counted = |stats: &Yaml| {
+        stats
+            .get_path(&["taxonomy", "yaml-syntax"])
+            .and_then(Yaml::as_i64)
+            .expect("taxonomy.yaml-syntax")
+    };
+    let stats = loadgen::fetch_stats(addr).expect("stats");
+    assert_eq!(counted(&stats), 1, "one judged failure: {stats}");
+    // Every bucket is present with a stable key, zero or not.
+    for bucket in substrate::taxonomy::Bucket::ALL {
+        assert!(
+            stats.get_path(&["taxonomy", bucket.label()]).is_some(),
+            "missing taxonomy key {}: {stats}",
+            bucket.label()
+        );
+    }
+
+    // A replay is served from the response cache and does not re-count.
+    let response = raw_request(addr, request.as_bytes());
+    assert_eq!(response.status, 200);
+    let replay = yamlkit::parse_one(&response.body).unwrap().to_value();
+    assert_eq!(replay.get("cached").and_then(Yaml::as_bool), Some(true));
+    let stats = loadgen::fetch_stats(addr).expect("stats after replay");
+    assert_eq!(counted(&stats), 1, "replay must not re-count: {stats}");
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
 fn problems_endpoint_lists_the_extended_corpus() {
     let dataset = Arc::new(Dataset::generate_extended(30));
     let server = boot(&dataset, ServerConfig::default());

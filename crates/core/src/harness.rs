@@ -27,7 +27,10 @@ use cedataset::{Category, Dataset, Problem, Variant};
 use cescore::{score_pair_prepared, PreparedDoc, RefCache, Scores};
 use evalcluster::executor::{run_jobs_cached, run_jobs_stream, UnitTestJob};
 use evalcluster::memo::ScoreMemo;
-use llmsim::{extract_yaml, AnswerCategory, GenParams, LanguageModel, QueryConfig, SimulatedModel};
+use llmsim::{
+    extract_yaml, AnswerCategory, FeedbackMode, GenParams, LanguageModel, QueryConfig,
+    SimulatedModel,
+};
 
 use crate::pipeline::{Pipeline, Stage, DEFAULT_CHANNEL_BOUND};
 
@@ -437,6 +440,405 @@ pub fn evaluate_barriered(
         .collect()
 }
 
+/// One generation→extraction→scoring→deployment attempt inside a repair
+/// trace. `round` 0 is the first attempt; each later round re-generates
+/// from a [`llmsim::repair_prompt`] carrying the prior candidate and the
+/// taxonomy feedback of its failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairAttempt {
+    /// 0-based repair round this attempt ran in.
+    pub round: usize,
+    /// Extracted YAML of this attempt.
+    pub extracted: String,
+    /// Static metrics of this attempt, `unit_test` included.
+    pub scores: Scores,
+    /// Whether the deployment passed.
+    pub passed: bool,
+    /// Taxonomy bucket label of the failure
+    /// ([`substrate::taxonomy::Bucket::label`]); `None` when the attempt
+    /// passed (or a legacy memo entry carried no diagnosis).
+    pub bucket: Option<String>,
+    /// Offending subject from the diagnosis, when the classifier isolated
+    /// one.
+    pub subject: Option<String>,
+}
+
+/// The attempt history of one (problem, variant) coordinate through the
+/// repair loop: one entry per round actually run, stopping early at the
+/// first pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairTrace {
+    /// Problem id.
+    pub problem_id: String,
+    /// Dataset variant.
+    pub variant: Variant,
+    /// Attempts in round order; the last one either passed or exhausted
+    /// the round budget.
+    pub attempts: Vec<RepairAttempt>,
+}
+
+impl RepairTrace {
+    /// Whether the coordinate passed at any attempt up to and including
+    /// `round`.
+    pub fn passed_by(&self, round: usize) -> bool {
+        self.attempts.iter().any(|a| a.round <= round && a.passed)
+    }
+}
+
+/// The outcome of a fail–learn–refine run for one model:
+/// pass@repair-round-r and taxonomy-bucketed failure counts per round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairReport {
+    /// Model name.
+    pub model: String,
+    /// Maximum repair rounds after the first attempt (a report spans
+    /// rounds `0..=rounds`).
+    pub rounds: usize,
+    /// How much of each failure diagnosis the repair prompts revealed.
+    pub feedback: FeedbackMode,
+    /// One trace per (problem, variant) coordinate, in plan order.
+    pub traces: Vec<RepairTrace>,
+}
+
+impl RepairReport {
+    /// Coordinates in the report.
+    pub fn total(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// pass@repair-round-`round`: coordinates whose candidate passed at
+    /// any attempt up to and including `round` (cumulative, so it is
+    /// non-decreasing in `round`).
+    pub fn pass_at_round(&self, round: usize) -> usize {
+        self.traces.iter().filter(|t| t.passed_by(round)).count()
+    }
+
+    /// Taxonomy histogram of the failures standing at `round`: coordinates
+    /// whose attempt at that round ran and failed, counted by bucket label
+    /// in taxonomy order (zero-count buckets omitted). A failed attempt
+    /// with no diagnosis counts as `unknown`.
+    pub fn bucket_counts(&self, round: usize) -> Vec<(&'static str, usize)> {
+        use substrate::taxonomy::Bucket;
+        let mut counts = [0usize; Bucket::ALL.len()];
+        for trace in &self.traces {
+            if let Some(attempt) = trace
+                .attempts
+                .iter()
+                .find(|a| a.round == round && !a.passed)
+            {
+                let bucket = attempt
+                    .bucket
+                    .as_deref()
+                    .and_then(Bucket::from_label)
+                    .unwrap_or(Bucket::Unknown);
+                counts[bucket.index()] += 1;
+            }
+        }
+        Bucket::ALL
+            .into_iter()
+            .zip(counts)
+            .filter(|&(_, c)| c > 0)
+            .map(|(b, c)| (b.label(), c))
+            .collect()
+    }
+}
+
+/// The unit-test job for one repair attempt. Attempt content is what the
+/// memo keys on; the round only names the job and — past round 0 — marks
+/// it a resubmission, so the memo answers deterministic failures from
+/// cache and re-executes only retryable ones
+/// ([`evalcluster::CachedVerdict::retryable_failure`]).
+fn repair_job(
+    problem: &Problem,
+    variant: Variant,
+    round: usize,
+    doc: &Arc<PreparedDoc>,
+) -> UnitTestJob {
+    let job = UnitTestJob::prepared(
+        format!("{}@{variant:?}#r{round}", problem.id),
+        problem.unit_test.clone(),
+        Arc::clone(doc),
+    );
+    if round > 0 {
+        job.retry()
+    } else {
+        job
+    }
+}
+
+/// Runs the fail–learn–refine loop on the streaming stage graph: every
+/// coordinate's first attempt flows through generation → extraction →
+/// static scoring → substrate execution exactly as in [`evaluate`], and a
+/// failing verdict below the round cap **loops back** — the substrate
+/// stage synthesizes taxonomy feedback ([`llmsim::synthesize_feedback`]),
+/// builds the repair prompt, and re-feeds the coordinate to the
+/// generation pool while other records keep streaming. No phase barrier:
+/// one coordinate can be on round 2 while another is still generating
+/// round 0.
+///
+/// Memo-aware end to end: repeat candidates are answered from the
+/// [`ScoreMemo`], and repair resubmissions (round > 0) re-execute only
+/// retryable failures. Output is identical to
+/// [`evaluate_repair_barriered`] for any worker count or channel bound —
+/// repair generation is seeded by the prior attempt's content, so the
+/// schedule cannot leak into the traces.
+pub fn evaluate_repair(
+    model: &SimulatedModel,
+    dataset: &Dataset,
+    options: &EvalOptions,
+    rounds: usize,
+    feedback: FeedbackMode,
+) -> RepairReport {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let (coords, prompts) = plan(dataset, options);
+    let n = coords.len();
+    let rounds_per = rounds + 1;
+    let workers = options.workers.max(1);
+    let local_memo = ScoreMemo::new();
+    let memo = options.memo_or(&local_memo);
+    let local_refs = RefCache::new();
+    let refs = options.refs_or(&local_refs);
+    if n == 0 {
+        return RepairReport {
+            model: model.name().to_owned(),
+            rounds,
+            feedback,
+            traces: Vec::new(),
+        };
+    }
+
+    // Flat attempt index: slot * (rounds + 1) + round. `statics` is
+    // written by the generation pool strictly before the attempt's job is
+    // dispatched; `outcomes` by the substrate stage's verdict callback.
+    let statics: Vec<Mutex<Option<(String, Scores)>>> =
+        (0..n * rounds_per).map(|_| Mutex::new(None)).collect();
+    type Outcome = (bool, Option<substrate::taxonomy::Diagnosis>);
+    let outcomes: Vec<Mutex<Option<Outcome>>> =
+        (0..n * rounds_per).map(|_| Mutex::new(None)).collect();
+
+    // The loop-back edge: an unbounded task channel in front of the
+    // generation pool. Unbounded is what makes the cycle in the stage
+    // graph deadlock-free — the substrate stage never blocks re-feeding a
+    // failure, so the bounded job channel always drains.
+    let (task_tx, task_rx) = std::sync::mpsc::channel::<(usize, usize, String)>();
+    for (slot, prompt) in prompts.into_iter().enumerate() {
+        task_tx.send((slot, 0, prompt)).expect("fresh channel");
+    }
+    let task_tx = Mutex::new(Some(task_tx));
+    let task_rx = Mutex::new(task_rx);
+    // Coordinates not yet settled (passed, or failed at the round cap).
+    // The last one to settle closes the task channel, draining the
+    // generation pool and with it the whole graph.
+    let outstanding = AtomicUsize::new(n);
+    let (job_tx, job_rx) = sync_channel::<(usize, UnitTestJob)>(options.channel_bound.max(1));
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(workers);
+
+    std::thread::scope(|scope| {
+        let coords = &coords;
+        let statics = &statics;
+        let outcomes = &outcomes;
+        let task_tx = &task_tx;
+        let task_rx = &task_rx;
+        let outstanding = &outstanding;
+        // Substrate execution stage with the loop-back edge.
+        scope.spawn(move || {
+            run_jobs_stream(job_rx, workers, memo, |flat, result| {
+                let (slot, round) = (flat / rounds_per, flat % rounds_per);
+                let diagnosis = result.diagnosis;
+                *outcomes[flat].lock().expect("outcome slot poisoned") =
+                    Some((result.passed, diagnosis.clone()));
+                if !result.passed && round < rounds {
+                    let (problem, variant) = coords[slot];
+                    let prior = statics[flat]
+                        .lock()
+                        .expect("statics slot poisoned")
+                        .as_ref()
+                        .expect("statics written before dispatch")
+                        .0
+                        .clone();
+                    let fb = llmsim::synthesize_feedback(diagnosis.as_ref(), feedback);
+                    let prompt = llmsim::repair_prompt(
+                        &problem.prompt_body(variant),
+                        &prior,
+                        &fb,
+                        round + 1,
+                    );
+                    if let Some(tx) = task_tx.lock().expect("task sender poisoned").as_ref() {
+                        let _ = tx.send((slot, round + 1, prompt));
+                    }
+                } else if outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    *task_tx.lock().expect("task sender poisoned") = None;
+                }
+            });
+        });
+        // Generation + extraction + static-scoring pool (pure CPU apart
+        // from the simulated generation, capped at the hardware width like
+        // evaluate()'s scoring stage). Initial and repair tasks take the
+        // same path — a repair request is just a prompt.
+        for _ in 0..workers.min(hw).max(1) {
+            let job_tx = job_tx.clone();
+            scope.spawn(move || loop {
+                let task = task_rx.lock().expect("task receiver poisoned").recv();
+                let Ok((slot, round, prompt)) = task else {
+                    break;
+                };
+                let (problem, variant) = coords[slot];
+                let raw = model.generate(&prompt, &options.params);
+                let doc = PreparedDoc::shared(extract_yaml(&raw));
+                let reference = refs.prepare(&problem.labeled_reference);
+                let scores = score_pair_prepared(&reference, &doc);
+                let flat = slot * rounds_per + round;
+                *statics[flat].lock().expect("statics slot poisoned") =
+                    Some((doc.text().to_owned(), scores));
+                if job_tx
+                    .send((flat, repair_job(problem, variant, round, &doc)))
+                    .is_err()
+                {
+                    break;
+                }
+            });
+        }
+        drop(job_tx);
+    });
+
+    let traces = coords
+        .iter()
+        .enumerate()
+        .map(|(slot, &(problem, variant))| {
+            let mut attempts = Vec::new();
+            for round in 0..rounds_per {
+                let flat = slot * rounds_per + round;
+                let Some((extracted, mut scores)) =
+                    statics[flat].lock().expect("statics slot poisoned").take()
+                else {
+                    break;
+                };
+                let (passed, diagnosis) = outcomes[flat]
+                    .lock()
+                    .expect("outcome slot poisoned")
+                    .take()
+                    .expect("verdict for every dispatched attempt");
+                scores.unit_test = f64::from(u8::from(passed));
+                attempts.push(RepairAttempt {
+                    round,
+                    extracted,
+                    scores,
+                    passed,
+                    bucket: diagnosis.as_ref().map(|d| d.bucket.label().to_owned()),
+                    subject: diagnosis.and_then(|d| d.subject),
+                });
+                if passed {
+                    break;
+                }
+            }
+            RepairTrace {
+                problem_id: problem.id.clone(),
+                variant,
+                attempts,
+            }
+        })
+        .collect();
+    RepairReport {
+        model: model.name().to_owned(),
+        rounds,
+        feedback,
+        traces,
+    }
+}
+
+/// [`evaluate_repair`] with a phase barrier between rounds: every active
+/// coordinate generates, extracts and scores serially, all jobs of the
+/// round execute together ([`run_jobs_cached`]), and only then does the
+/// next round start from the collected failures. Kept as the reference
+/// semantics the streamed loop-back driver must reproduce byte for byte,
+/// and as the baseline the `repair_engine` bench group measures against.
+pub fn evaluate_repair_barriered(
+    model: &SimulatedModel,
+    dataset: &Dataset,
+    options: &EvalOptions,
+    rounds: usize,
+    feedback: FeedbackMode,
+) -> RepairReport {
+    let (coords, prompts) = plan(dataset, options);
+    let local_memo = ScoreMemo::new();
+    let memo = options.memo_or(&local_memo);
+    let local_refs = RefCache::new();
+    let refs = options.refs_or(&local_refs);
+    let mut traces: Vec<RepairTrace> = coords
+        .iter()
+        .map(|&(p, v)| RepairTrace {
+            problem_id: p.id.clone(),
+            variant: v,
+            attempts: Vec::new(),
+        })
+        .collect();
+    // Coordinates still failing, each with its next prompt.
+    let mut pending: Vec<(usize, String)> = prompts.into_iter().enumerate().collect();
+    for round in 0..=rounds {
+        if pending.is_empty() {
+            break;
+        }
+        // 1. Generation + extraction + static scoring, serially.
+        let prepared: Vec<(usize, Arc<PreparedDoc>, Scores)> = pending
+            .iter()
+            .map(|(slot, prompt)| {
+                let (problem, _) = coords[*slot];
+                let raw = model.generate(prompt, &options.params);
+                let doc = PreparedDoc::shared(extract_yaml(&raw));
+                let reference = refs.prepare(&problem.labeled_reference);
+                let scores = score_pair_prepared(&reference, &doc);
+                (*slot, doc, scores)
+            })
+            .collect();
+        // 2. Substrate execution behind the phase barrier.
+        let jobs: Vec<UnitTestJob> = prepared
+            .iter()
+            .map(|(slot, doc, _)| {
+                let (problem, variant) = coords[*slot];
+                repair_job(problem, variant, round, doc)
+            })
+            .collect();
+        let report = run_jobs_cached(&jobs, options.workers, memo);
+        // 3. Record the round; failures below the cap become next round's
+        // repair prompts.
+        let mut next = Vec::new();
+        for ((slot, doc, mut scores), result) in prepared.into_iter().zip(report.results) {
+            let (problem, variant) = coords[slot];
+            scores.unit_test = f64::from(u8::from(result.passed));
+            traces[slot].attempts.push(RepairAttempt {
+                round,
+                extracted: doc.text().to_owned(),
+                scores,
+                passed: result.passed,
+                bucket: result
+                    .diagnosis
+                    .as_ref()
+                    .map(|d| d.bucket.label().to_owned()),
+                subject: result.diagnosis.as_ref().and_then(|d| d.subject.clone()),
+            });
+            if !result.passed && round < rounds {
+                let fb = llmsim::synthesize_feedback(result.diagnosis.as_ref(), feedback);
+                let prompt = llmsim::repair_prompt(
+                    &problem.prompt_body(variant),
+                    doc.text(),
+                    &fb,
+                    round + 1,
+                );
+                next.push((slot, prompt));
+            }
+        }
+        pending = next;
+    }
+    RepairReport {
+        model: model.name().to_owned(),
+        rounds,
+        feedback,
+        traces,
+    }
+}
+
 /// One externally-submitted candidate awaiting evaluation — the
 /// benchmark-as-a-service entry point (`ceserve`'s `/v1/evaluate` and
 /// `/v1/batch` bodies land here).
@@ -475,6 +877,10 @@ pub struct SubmissionVerdict {
     pub simulated_ms: u64,
     /// Figure 7 failure class of the candidate.
     pub answer_class: AnswerCategory,
+    /// Taxonomy bucket label of the deployment failure
+    /// ([`substrate::taxonomy::Bucket::label`]); `None` on a pass (or
+    /// when a legacy memo entry carried no diagnosis).
+    pub failure_bucket: Option<String>,
     /// `true` when the verdict was served from the score memo without
     /// touching a substrate this call.
     pub cached: bool,
@@ -564,6 +970,10 @@ fn assemble_verdict(
         passed,
         simulated_ms: execution.simulated_ms,
         answer_class,
+        failure_bucket: execution
+            .diagnosis
+            .as_ref()
+            .map(|d| d.bucket.label().to_owned()),
         cached,
         score_issue: reference.issue().map(cescore::ScoreIssue::wire),
     }
@@ -612,7 +1022,7 @@ pub fn score_submission_doc(
         Some(v) => (v, true),
         None => {
             let verdict = evalcluster::execute_uncached(doc, &problem.unit_test);
-            memo.insert(key, verdict);
+            memo.insert(key, verdict.clone());
             (verdict, false)
         }
     };
@@ -686,6 +1096,7 @@ where
                         evalcluster::CachedVerdict {
                             passed: result.passed,
                             simulated_ms: result.simulated_ms,
+                            diagnosis: result.diagnosis,
                         },
                         cached,
                     ),

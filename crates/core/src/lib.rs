@@ -46,7 +46,8 @@ pub mod survey;
 pub mod tables;
 
 pub use harness::{
-    default_workers, evaluate, evaluate_barriered, mean_scores, pass_count, score_submission,
-    score_submissions_stream, EvalOptions, EvalRecord, StageGauges, Submission, SubmissionVerdict,
+    default_workers, evaluate, evaluate_barriered, evaluate_repair, evaluate_repair_barriered,
+    mean_scores, pass_count, score_submission, score_submissions_stream, EvalOptions, EvalRecord,
+    RepairAttempt, RepairReport, RepairTrace, StageGauges, Submission, SubmissionVerdict,
 };
 pub use pipeline::{Pipeline, Stage};

@@ -48,12 +48,13 @@ pub struct UnitTestJob {
     /// The bash unit-test script.
     pub script: String,
     candidate: Candidate,
+    retry: bool,
 }
 
 impl PartialEq for UnitTestJob {
     /// Jobs are equal when their observable inputs are — the candidate
-    /// representation (text vs prepared) changes scheduling cost, never
-    /// the verdict.
+    /// representation (text vs prepared) and the retry flag change
+    /// scheduling cost, never the verdict.
     fn eq(&self, other: &Self) -> bool {
         self.problem_id == other.problem_id
             && self.script == other.script
@@ -75,6 +76,7 @@ impl UnitTestJob {
             problem_id: problem_id.into(),
             script: script.into(),
             candidate: Candidate::Text(candidate_yaml.into()),
+            retry: false,
         }
     }
 
@@ -90,7 +92,26 @@ impl UnitTestJob {
             problem_id: problem_id.into(),
             script: script.into(),
             candidate: Candidate::Prepared(candidate),
+            retry: false,
         }
+    }
+
+    /// Marks this job as a deliberate resubmission of a previously-judged
+    /// candidate (a repair-loop retry). Retry jobs treat a memoized
+    /// **retryable** failure ([`CachedVerdict::retryable_failure`]) as
+    /// stale and re-execute; every other memoized verdict — passes and
+    /// deterministic failures alike — is still served from cache, so
+    /// resubmitting a candidate the taxonomy proves broken stays free.
+    #[must_use]
+    pub fn retry(mut self) -> UnitTestJob {
+        self.retry = true;
+        self
+    }
+
+    /// Whether this job is a repair-loop resubmission (see
+    /// [`UnitTestJob::retry`]).
+    pub fn is_retry(&self) -> bool {
+        self.retry
     }
 
     /// The candidate YAML text (whatever the representation).
@@ -139,6 +160,10 @@ pub struct JobResult {
     /// executed their first occurrence; results served from a warm
     /// cross-run memo report 0 (no worker ran them this run).
     pub worker: usize,
+    /// Taxonomy classification when the job failed (`None` on a pass, or
+    /// when the result traveled a wire that does not carry diagnoses —
+    /// the §3.3 queue engine's string protocol).
+    pub diagnosis: Option<substrate::taxonomy::Diagnosis>,
 }
 
 /// Outcome of a full run.
@@ -190,14 +215,17 @@ pub fn execute_uncached_text(candidate_yaml: &str, script: &str) -> CachedVerdic
 fn outcome_to_verdict(
     result: Result<substrate::ExecOutcome, substrate::ExecError>,
 ) -> CachedVerdict {
+    let diagnosis = substrate::taxonomy::classify_result(&result);
     match result {
         Ok(outcome) => CachedVerdict {
             passed: outcome.passed,
             simulated_ms: outcome.simulated_ms,
+            diagnosis,
         },
         Err(_) => CachedVerdict {
             passed: false,
             simulated_ms: 0,
+            diagnosis,
         },
     }
 }
@@ -220,7 +248,7 @@ pub fn run_jobs_cached(jobs: &[UnitTestJob], workers: usize, memo: &ScoreMemo) -
     let start = Instant::now();
     // Plan: for each job, either execute (first sight of its key) or copy
     // the verdict of an earlier job / the memo.
-    #[derive(Clone, Copy)]
+    #[derive(Clone)]
     enum Plan {
         Execute(usize), // index into `unique`
         Memoized(CachedVerdict),
@@ -235,7 +263,11 @@ pub fn run_jobs_cached(jobs: &[UnitTestJob], workers: usize, memo: &ScoreMemo) -
             plans.push(Plan::Execute(u)); // alias of an in-batch execution
             continue;
         }
-        if let Some(verdict) = memo.get(key) {
+        // A retry job treats a memoized retryable failure as stale.
+        if let Some(verdict) = memo
+            .get(key)
+            .filter(|v| !(job.is_retry() && v.retryable_failure()))
+        {
             plans.push(Plan::Memoized(verdict));
             continue;
         }
@@ -248,7 +280,7 @@ pub fn run_jobs_cached(jobs: &[UnitTestJob], workers: usize, memo: &ScoreMemo) -
     let (verdicts, stats) = run_sharded(unique.len(), workers, |worker, u| {
         let job = &jobs[unique[u]];
         let verdict = job.execute();
-        memo.insert(job.memo_key(), verdict);
+        memo.insert(job.memo_key(), verdict.clone());
         (verdict, worker)
     });
 
@@ -258,14 +290,18 @@ pub fn run_jobs_cached(jobs: &[UnitTestJob], workers: usize, memo: &ScoreMemo) -
         .zip(&plans)
         .map(|(job, plan)| {
             let (verdict, worker) = match plan {
-                Plan::Execute(u) => verdicts[*u],
-                Plan::Memoized(v) => (*v, 0),
+                Plan::Execute(u) => {
+                    let (v, w) = &verdicts[*u];
+                    (v.clone(), *w)
+                }
+                Plan::Memoized(v) => (v.clone(), 0),
             };
             JobResult {
                 problem_id: job.problem_id.clone(),
                 passed: verdict.passed,
                 simulated_ms: verdict.simulated_ms,
                 worker,
+                diagnosis: verdict.diagnosis,
             }
         })
         .collect();
@@ -346,8 +382,12 @@ where
                 let received = input.lock().expect("stream input poisoned").recv();
                 let Ok((idx, job)) = received else { break };
                 let key = job.memo_key();
+                // A retry job treats a memoized retryable failure as
+                // stale and falls through to re-execute; any other
+                // memoized verdict answers it like a normal job.
+                let fresh = |v: &CachedVerdict| !(job.is_retry() && v.retryable_failure());
                 // Fast path: a finished verdict in the memo.
-                if let Some(v) = memo.get(key) {
+                if let Some(v) = memo.get(key).filter(&fresh) {
                     cache_hits.fetch_add(1, Ordering::Relaxed);
                     emit(idx, cached_result(job.problem_id, v));
                     continue;
@@ -356,13 +396,16 @@ where
                     let mut table = in_flight.lock().expect("in-flight table poisoned");
                     if let Some(waiters) = table.get_mut(&key) {
                         // Same key already executing: park until it lands.
+                        // (A retry that parks here gets the in-flight
+                        // execution's verdict — that execution is as
+                        // fresh as the one it would have started.)
                         waiters.push((idx, job.problem_id));
                         cache_hits.fetch_add(1, Ordering::Relaxed);
                         continue;
                     }
                     // The key may have completed between the memo probe and
                     // taking the table lock; re-check before claiming it.
-                    if let Some(v) = memo.get(key) {
+                    if let Some(v) = memo.get(key).filter(&fresh) {
                         cache_hits.fetch_add(1, Ordering::Relaxed);
                         emit(idx, cached_result(job.problem_id, v));
                         continue;
@@ -370,7 +413,7 @@ where
                     table.insert(key, Vec::new());
                 }
                 let verdict = job.execute();
-                memo.insert(key, verdict);
+                memo.insert(key, verdict.clone());
                 executed.fetch_add(1, Ordering::Relaxed);
                 emit(
                     idx,
@@ -379,6 +422,7 @@ where
                         passed: verdict.passed,
                         simulated_ms: verdict.simulated_ms,
                         worker: w,
+                        diagnosis: verdict.diagnosis.clone(),
                     },
                 );
                 let waiters = in_flight
@@ -394,6 +438,7 @@ where
                             passed: verdict.passed,
                             simulated_ms: verdict.simulated_ms,
                             worker: w,
+                            diagnosis: verdict.diagnosis.clone(),
                         },
                     );
                 }
@@ -414,6 +459,7 @@ fn cached_result(problem_id: String, v: CachedVerdict) -> JobResult {
         passed: v.passed,
         simulated_ms: v.simulated_ms,
         worker: 0,
+        diagnosis: v.diagnosis,
     }
 }
 
@@ -471,6 +517,9 @@ pub fn run_jobs_queue(jobs: &[UnitTestJob], workers: usize) -> RunReport {
             passed,
             simulated_ms,
             worker,
+            // The queue wire format (the seed-faithful baseline) does not
+            // carry diagnoses.
+            diagnosis: None,
         });
     }
     let executed = jobs.len();
@@ -496,6 +545,7 @@ fn run_one(script: &str, candidate: &str) -> (bool, u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
 
     fn sample_jobs(n: usize) -> Vec<UnitTestJob> {
         let script = "kubectl apply -f labeled_code.yaml\nkubectl wait --for=condition=Ready pod -l app=t --timeout=60s && echo unit_test_passed";
@@ -627,6 +677,81 @@ mod tests {
         assert_eq!(second.executed, 0);
         assert_eq!(second.cache_hits, 6);
         assert_eq!(first.passed(), second.passed());
+    }
+
+    /// A pod that deploys fine while the check waits on a label no pod
+    /// carries — the wait runs out its deadline (`ProbeTimeout`,
+    /// retryable).
+    fn timeout_job() -> UnitTestJob {
+        UnitTestJob::new(
+            "timeout",
+            "kubectl apply -f labeled_code.yaml\nkubectl wait --for=condition=Ready pod -l app=ghost --timeout=30s && echo unit_test_passed",
+            "apiVersion: v1\nkind: Pod\nmetadata:\n  name: web\n  labels:\n    app: t\nspec:\n  containers:\n  - name: c\n    image: nginx\n",
+        )
+    }
+
+    /// A pod with an unknown field — strict decoding rejects it
+    /// (`SchemaViolation`, deterministic: never retryable).
+    fn schema_job() -> UnitTestJob {
+        UnitTestJob::new(
+            "schema",
+            "kubectl apply -f labeled_code.yaml && echo unit_test_passed",
+            "apiVersion: v1\nkind: Pod\nmetadata:\n  name: web\nspec:\n  containerz: []\n",
+        )
+    }
+
+    #[test]
+    fn retry_jobs_reexecute_only_retryable_failures() {
+        let memo = ScoreMemo::new();
+        let jobs = [timeout_job(), schema_job()];
+        let first = run_jobs_cached(&jobs, 2, &memo);
+        assert_eq!(first.executed, 2);
+        assert_eq!(first.passed(), 0);
+        assert_eq!(
+            first.results[0].diagnosis.as_ref().map(|d| d.bucket),
+            Some(substrate::taxonomy::Bucket::ProbeTimeout)
+        );
+        assert_eq!(
+            first.results[1].diagnosis.as_ref().map(|d| d.bucket),
+            Some(substrate::taxonomy::Bucket::SchemaViolation)
+        );
+
+        // Plain resubmission: everything is a memo hit (unchanged policy).
+        let warm = run_jobs_cached(&jobs, 2, &memo);
+        assert_eq!((warm.executed, warm.cache_hits), (0, 2));
+
+        // Repair resubmission: the retryable timeout re-executes, the
+        // deterministic schema fault is still answered from the memo.
+        let retries = [timeout_job().retry(), schema_job().retry()];
+        assert!(retries.iter().all(UnitTestJob::is_retry));
+        let retried = run_jobs_cached(&retries, 2, &memo);
+        assert_eq!((retried.executed, retried.cache_hits), (1, 1));
+        // Diagnoses ride along either way.
+        assert!(retried.results.iter().all(|r| r.diagnosis.is_some()));
+    }
+
+    #[test]
+    fn stream_engine_retry_semantics_match_batch() {
+        let memo = ScoreMemo::new();
+        run_jobs_cached(&[timeout_job(), schema_job()], 2, &memo);
+
+        let (tx, rx) = std::sync::mpsc::channel();
+        tx.send((0, timeout_job().retry())).unwrap();
+        tx.send((1, schema_job().retry())).unwrap();
+        drop(tx);
+        let results = Mutex::new(vec![None, None]);
+        let stats = run_jobs_stream(rx, 2, &memo, |idx, result| {
+            results.lock().unwrap()[idx] = Some(result);
+        });
+        assert_eq!((stats.executed, stats.cache_hits), (1, 1));
+        let results = results.into_inner().unwrap();
+        let timeout = results[0].as_ref().expect("timeout retry answered");
+        let schema = results[1].as_ref().expect("schema retry answered");
+        assert!(!timeout.passed && !schema.passed);
+        assert_eq!(
+            schema.diagnosis.as_ref().map(|d| d.bucket),
+            Some(substrate::taxonomy::Bucket::SchemaViolation)
+        );
     }
 
     #[test]

@@ -28,15 +28,40 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use substrate::content_hash;
+use substrate::taxonomy::{Bucket, Diagnosis};
 use yamlkit::ymap;
 
 /// A memoized execution verdict.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CachedVerdict {
     /// Did the unit test pass?
     pub passed: bool,
     /// Simulated in-substrate milliseconds of the original execution.
     pub simulated_ms: u64,
+    /// Taxonomy classification of the failure; `None` for passing
+    /// verdicts and for verdicts loaded from stores written before the
+    /// taxonomy existed.
+    pub diagnosis: Option<Diagnosis>,
+}
+
+impl CachedVerdict {
+    /// A passing or failing verdict with no diagnosis (test helper and
+    /// pre-taxonomy constructor shape).
+    pub fn bare(passed: bool, simulated_ms: u64) -> CachedVerdict {
+        CachedVerdict {
+            passed,
+            simulated_ms,
+            diagnosis: None,
+        }
+    }
+
+    /// Whether this is a failure whose taxonomy bucket says resubmission
+    /// could plausibly change the verdict ([`Bucket::retryable`]). A
+    /// failure with no diagnosis is conservatively retryable — it is
+    /// indistinguishable from [`Bucket::Unknown`].
+    pub fn retryable_failure(&self) -> bool {
+        !self.passed && self.diagnosis.as_ref().is_none_or(|d| d.bucket.retryable())
+    }
 }
 
 /// Thread-safe content-addressed cache of unit-test verdicts.
@@ -52,7 +77,7 @@ pub struct CachedVerdict {
 /// let memo = ScoreMemo::new();
 /// let key = ScoreMemo::key("kind: Pod\n", "echo unit_test_passed");
 /// assert!(memo.get(key).is_none());
-/// memo.insert(key, CachedVerdict { passed: true, simulated_ms: 12 });
+/// memo.insert(key, CachedVerdict::bare(true, 12));
 /// assert_eq!(memo.get(key).unwrap().passed, true);
 /// assert_eq!(memo.hits(), 1);
 /// ```
@@ -76,7 +101,7 @@ impl ScoreMemo {
 
     /// Looks up a verdict, counting a hit or miss.
     pub fn get(&self, key: (u64, u64)) -> Option<CachedVerdict> {
-        let found = self.map.lock().expect("memo poisoned").get(&key).copied();
+        let found = self.map.lock().expect("memo poisoned").get(&key).cloned();
         match found {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -93,7 +118,7 @@ impl ScoreMemo {
     /// For observability probes (e.g. marking a response as cache-served)
     /// that must not distort the traffic statistics.
     pub fn peek(&self, key: (u64, u64)) -> Option<CachedVerdict> {
-        self.map.lock().expect("memo poisoned").get(&key).copied()
+        self.map.lock().expect("memo poisoned").get(&key).cloned()
     }
 
     /// Records a verdict (last write wins; verdicts are deterministic so
@@ -130,7 +155,7 @@ impl ScoreMemo {
             .lock()
             .expect("memo poisoned")
             .iter()
-            .map(|(k, v)| (*k, *v))
+            .map(|(k, v)| (*k, v.clone()))
             .collect();
         entries.sort_unstable_by_key(|(k, _)| *k);
         entries
@@ -146,17 +171,28 @@ impl ScoreMemo {
 }
 
 /// One persisted verdict line. Hashes travel as fixed-width hex strings:
-/// they are `u64` and the wire integer type is `i64`.
-fn to_line(key: (u64, u64), v: CachedVerdict) -> String {
-    yamlkit::json::to_json(&ymap! {
+/// they are `u64` and the wire integer type is `i64`. The taxonomy fields
+/// (`bucket`, `subject`, `raw`) are present only when the verdict carries
+/// a diagnosis, so pre-taxonomy stores and new stores share one format.
+fn to_line(key: (u64, u64), v: &CachedVerdict) -> String {
+    let mut doc = ymap! {
         "candidate" => format!("{:016x}", key.0),
         "script" => format!("{:016x}", key.1),
         "passed" => v.passed,
         "ms" => i64::try_from(v.simulated_ms).unwrap_or(i64::MAX),
-    })
+    };
+    if let Some(d) = &v.diagnosis {
+        doc.insert("bucket", yamlkit::Yaml::from(d.bucket.label()));
+        if let Some(subject) = &d.subject {
+            doc.insert("subject", yamlkit::Yaml::from(subject.as_str()));
+        }
+        doc.insert("raw", yamlkit::Yaml::from(d.raw.as_str()));
+    }
+    yamlkit::json::to_json(&doc)
 }
 
 /// Decodes one JSONL line; `None` for anything malformed or truncated.
+/// Lines written before the taxonomy existed load with `diagnosis: None`.
 fn from_line(line: &str) -> Option<((u64, u64), CachedVerdict)> {
     let doc = yamlkit::parse_one(line).ok()?.to_value();
     let hash =
@@ -164,11 +200,21 @@ fn from_line(line: &str) -> Option<((u64, u64), CachedVerdict)> {
     let key = (hash("candidate")?, hash("script")?);
     let passed = doc.get("passed")?.as_bool()?;
     let ms = doc.get("ms")?.as_i64()?;
+    let text = |field: &str| Some(doc.get(field)?.as_str()?.to_owned());
+    let diagnosis = doc
+        .get("bucket")
+        .and_then(|b| Bucket::from_label(b.as_str()?))
+        .map(|bucket| Diagnosis {
+            bucket,
+            subject: text("subject"),
+            raw: text("raw").unwrap_or_default(),
+        });
     Some((
         key,
         CachedVerdict {
             passed,
             simulated_ms: u64::try_from(ms).ok()?,
+            diagnosis,
         },
     ))
 }
@@ -185,7 +231,7 @@ pub fn save(memo: &ScoreMemo, path: impl AsRef<Path>) -> io::Result<usize> {
     {
         let mut out = io::BufWriter::new(std::fs::File::create(&tmp)?);
         for (key, verdict) in &entries {
-            out.write_all(to_line(*key, *verdict).as_bytes())?;
+            out.write_all(to_line(*key, verdict).as_bytes())?;
             out.write_all(b"\n")?;
         }
         out.flush()?;
@@ -244,21 +290,40 @@ mod tests {
         let memo = ScoreMemo::new();
         let key = ScoreMemo::key("a", "b");
         assert!(memo.get(key).is_none());
-        memo.insert(
-            key,
-            CachedVerdict {
-                passed: false,
-                simulated_ms: 3,
-            },
-        );
-        assert_eq!(
-            memo.get(key),
-            Some(CachedVerdict {
-                passed: false,
-                simulated_ms: 3
-            })
-        );
+        memo.insert(key, CachedVerdict::bare(false, 3));
+        assert_eq!(memo.get(key), Some(CachedVerdict::bare(false, 3)));
         assert_eq!((memo.hits(), memo.misses(), memo.len()), (1, 1, 1));
         assert!(!memo.is_empty());
+    }
+
+    #[test]
+    fn diagnosis_survives_the_wire_and_old_lines_still_load() {
+        let diagnosed = CachedVerdict {
+            passed: false,
+            simulated_ms: 7,
+            diagnosis: Some(substrate::taxonomy::classify_message(
+                "pods \"x\" is forbidden: exceeded quota: q, requested: pods=1, used: pods=1, limited: pods=1",
+            )),
+        };
+        let key = (0x1234, 0x5678);
+        let line = to_line(key, &diagnosed);
+        let (rkey, rv) = from_line(&line).expect("line decodes");
+        assert_eq!(rkey, key);
+        assert_eq!(rv, diagnosed);
+        assert!(rv.retryable_failure());
+        // A pre-taxonomy line (no bucket/subject/raw) still loads.
+        let old = r#"{"candidate": "0000000000001234", "script": "0000000000005678", "passed": false, "ms": 3}"#;
+        let (_, rv) = from_line(old).expect("old line decodes");
+        assert_eq!(rv, CachedVerdict::bare(false, 3));
+        // No diagnosis on a failure is conservatively retryable; a
+        // passing verdict never is.
+        assert!(rv.retryable_failure());
+        assert!(!CachedVerdict::bare(true, 3).retryable_failure());
+        assert!(!CachedVerdict {
+            passed: false,
+            simulated_ms: 0,
+            diagnosis: Some(substrate::taxonomy::classify_message("missing kind")),
+        }
+        .retryable_failure());
     }
 }

@@ -20,11 +20,19 @@ fn sample_memo(n: u64) -> ScoreMemo {
     let memo = ScoreMemo::new();
     for i in 0..n {
         let key = ScoreMemo::key(&format!("kind: Pod # {i}\n"), "echo unit_test_passed");
+        let passed = i % 3 != 0;
         memo.insert(
             key,
             CachedVerdict {
-                passed: i % 3 != 0,
+                passed,
                 simulated_ms: 10 + i,
+                // Failures carry a classified diagnosis, like the live
+                // executor produces; passes carry none.
+                diagnosis: (!passed).then(|| {
+                    substrate::taxonomy::classify_message(&format!(
+                        "Error from server (NotFound): pods \"web-{i}\" not found"
+                    ))
+                }),
             },
         );
     }
@@ -58,13 +66,7 @@ fn reloaded_memo_starts_with_zero_counters_then_counts() {
     assert_eq!(loaded.len(), 4);
     // A preloaded key counts as a hit, an unknown one as a miss.
     let verdict = loaded.get(known).expect("persisted verdict");
-    assert_eq!(
-        verdict,
-        CachedVerdict {
-            passed: true,
-            simulated_ms: 11
-        }
-    );
+    assert_eq!(verdict, CachedVerdict::bare(true, 11));
     assert!(loaded.get(ScoreMemo::key("other", "other")).is_none());
     assert_eq!((loaded.hits(), loaded.misses()), (1, 1));
     std::fs::remove_file(&path).ok();
@@ -111,13 +113,7 @@ fn load_into_merges_and_save_is_deterministic() {
     let a = sample_memo(5);
     let b = ScoreMemo::new();
     let extra = ScoreMemo::key("kind: Service\n", "echo unit_test_passed");
-    b.insert(
-        extra,
-        CachedVerdict {
-            passed: true,
-            simulated_ms: 99,
-        },
-    );
+    b.insert(extra, CachedVerdict::bare(true, 99));
     memo::save(&a, &path_a).expect("save a");
     let merged = memo::load_into(&b, &path_a).expect("merge");
     assert_eq!(merged, 5);

@@ -1,0 +1,95 @@
+//! The taxonomy's coverage contract over the benchmark's own failure
+//! surface: every corrupted candidate in the generated grid — each
+//! problem × each Figure 7 corruption class — that fails
+//! its unit test must classify into a *named* bucket. The `unknown`
+//! bucket is the classifier's escape hatch, and this suite pins its rate
+//! near zero so new substrate error phrasings cannot silently regress
+//! feedback quality (an `unknown` diagnosis repairs at the floor rate).
+
+use cedataset::Dataset;
+use evalcluster::executor::{run_jobs_cached, UnitTestJob};
+use evalcluster::memo::ScoreMemo;
+use llmsim::corrupt::{answer_seed, realize};
+use llmsim::AnswerCategory;
+use substrate::taxonomy::Bucket;
+
+/// Most `unknown` diagnoses tolerated among failing grid candidates.
+const MAX_UNKNOWN_RATE: f64 = 0.02;
+
+#[test]
+fn generated_failure_grid_classifies_with_bounded_unknown_rate() {
+    let dataset = Dataset::generate();
+    let corrupt = [
+        AnswerCategory::EmptyOrTiny,
+        AnswerCategory::NoKind,
+        AnswerCategory::IncompleteYaml,
+        AnswerCategory::WrongKind,
+        AnswerCategory::FailsTest,
+    ];
+    let mut jobs = Vec::new();
+    for problem in dataset.problems() {
+        for category in corrupt {
+            let seed = answer_seed("grid", &problem.id, 0, 0, 0);
+            let candidate = realize(problem, category, seed, 0.0);
+            jobs.push(UnitTestJob::new(
+                format!("{}#{category:?}", problem.id),
+                problem.unit_test.clone(),
+                candidate,
+            ));
+        }
+        // Reference answers ride along: a passing outcome must carry no
+        // diagnosis at all.
+        jobs.push(UnitTestJob::new(
+            format!("{}#Correct", problem.id),
+            problem.unit_test.clone(),
+            realize(problem, AnswerCategory::Correct, 1, 0.0),
+        ));
+    }
+    let report = run_jobs_cached(&jobs, 8, &ScoreMemo::new());
+
+    let mut failures = 0usize;
+    let mut unknown = 0usize;
+    let mut by_bucket = [0usize; Bucket::ALL.len()];
+    for (job, result) in jobs.iter().zip(&report.results) {
+        if result.passed {
+            assert!(
+                result.diagnosis.is_none(),
+                "{}: passing outcome carries a diagnosis",
+                job.problem_id
+            );
+            continue;
+        }
+        let diagnosis = result
+            .diagnosis
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: failing outcome lacks a diagnosis", job.problem_id));
+        failures += 1;
+        by_bucket[diagnosis.bucket.index()] += 1;
+        if diagnosis.bucket == Bucket::Unknown {
+            unknown += 1;
+        }
+    }
+    assert!(
+        failures > jobs.len() / 2,
+        "grid too easy: only {failures} failures in {} jobs",
+        jobs.len()
+    );
+    let rate = unknown as f64 / failures as f64;
+    let histogram: Vec<(&str, usize)> = Bucket::ALL
+        .into_iter()
+        .zip(by_bucket)
+        .filter(|&(_, n)| n > 0)
+        .map(|(b, n)| (b.label(), n))
+        .collect();
+    eprintln!("failures={failures} unknown={unknown} rate={rate:.4} histogram={histogram:?}");
+    assert!(
+        rate <= MAX_UNKNOWN_RATE,
+        "unknown rate {rate:.4} ({unknown}/{failures}) exceeds {MAX_UNKNOWN_RATE}; \
+         histogram: {histogram:?}"
+    );
+    // The grid exercises a healthy spread of the taxonomy, not one bucket.
+    assert!(
+        histogram.len() >= 5,
+        "grid failures collapsed into too few buckets: {histogram:?}"
+    );
+}

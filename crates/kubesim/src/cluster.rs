@@ -30,6 +30,8 @@ pub enum ClusterError {
     Invalid(String),
     /// Object already exists (create on existing name).
     AlreadyExists(String),
+    /// Admission refused the object (e.g. a `ResourceQuota` is exhausted).
+    Forbidden(String),
 }
 
 impl fmt::Display for ClusterError {
@@ -54,6 +56,7 @@ impl fmt::Display for ClusterError {
             ClusterError::NotFound(what) => write!(f, "{what} not found"),
             ClusterError::Invalid(msg) => write!(f, "{msg}"),
             ClusterError::AlreadyExists(what) => write!(f, "{what} already exists"),
+            ClusterError::Forbidden(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -322,6 +325,9 @@ impl Cluster {
             return Err(ClusterError::NamespaceNotFound(resource.namespace));
         }
         self.validate_semantics(&resource)?;
+        if resource.kind == "Pod" && !self.resources.contains_key(&resource.key()) {
+            self.enforce_pod_quota(&resource)?;
+        }
         if resource.kind == "Namespace" {
             self.namespaces.insert(resource.name.clone());
         }
@@ -543,6 +549,40 @@ impl Cluster {
                 }
             }
             _ => {}
+        }
+        Ok(())
+    }
+
+    /// `ResourceQuota` admission for directly-applied pods: when a quota in
+    /// the target namespace pins `spec.hard.pods`, creating a pod beyond
+    /// the ceiling is refused with the API server's `Forbidden` phrasing.
+    /// (Controller-created pods bypass admission here, like the real
+    /// quota controller's eventual-consistency window.)
+    fn enforce_pod_quota(&self, pod: &Resource) -> Result<(), ClusterError> {
+        for quota in self
+            .resources
+            .values()
+            .filter(|r| r.kind == "ResourceQuota" && r.namespace == pod.namespace)
+        {
+            let Some(hard) = quota
+                .body
+                .get_path(&["spec", "hard", "pods"])
+                .map(Yaml::render_scalar)
+                .and_then(|s| s.trim().parse::<u64>().ok())
+            else {
+                continue;
+            };
+            let used = self
+                .resources
+                .values()
+                .filter(|r| r.kind == "Pod" && r.namespace == pod.namespace)
+                .count() as u64;
+            if used >= hard {
+                return Err(ClusterError::Forbidden(format!(
+                    "pods \"{}\" is forbidden: exceeded quota: {}, requested: pods=1, used: pods={used}, limited: pods={hard}",
+                    pod.name, quota.name
+                )));
+            }
         }
         Ok(())
     }
@@ -1673,6 +1713,29 @@ spec:
             pod.status.get("hostIP").map(Yaml::render_scalar).as_deref(),
             Some("192.168.49.2")
         );
+    }
+
+    #[test]
+    fn pod_quota_is_enforced_on_direct_applies() {
+        let mut c = Cluster::new();
+        c.apply_manifest(
+            "apiVersion: v1\nkind: ResourceQuota\nmetadata:\n  name: team-quota\nspec:\n  hard:\n    pods: \"1\"\n",
+            "default",
+        )
+        .unwrap();
+        let pod = |name: &str| {
+            format!(
+                "apiVersion: v1\nkind: Pod\nmetadata:\n  name: {name}\nspec:\n  containers:\n  - name: c\n    image: nginx\n"
+            )
+        };
+        c.apply_manifest(&pod("one"), "default").unwrap();
+        let err = c.apply_manifest(&pod("two"), "default").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "pods \"two\" is forbidden: exceeded quota: team-quota, requested: pods=1, used: pods=1, limited: pods=1"
+        );
+        // Re-applying the existing pod is an update, not a new creation.
+        c.apply_manifest(&pod("one"), "default").unwrap();
     }
 
     #[test]

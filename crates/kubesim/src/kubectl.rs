@@ -208,6 +208,9 @@ fn render_apply_error(file: &str, e: &ClusterError) -> KubectlResult {
             format!("Error from server (AlreadyExists): {what} already exists")
         }
         ClusterError::NotFound(what) => format!("Error from server (NotFound): {what}"),
+        ClusterError::Forbidden(_) => {
+            format!("Error from server (Forbidden): error when creating \"{file}\": {e}")
+        }
     };
     KubectlResult::err(msg, 1)
 }

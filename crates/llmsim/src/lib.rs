@@ -43,6 +43,7 @@ mod model;
 mod postprocess;
 pub mod profiles;
 pub mod query;
+pub mod repair;
 
 pub use corrupt::AnswerCategory;
 pub use model::{standard_models, GenParams, LanguageModel, SimulatedModel};
@@ -50,6 +51,9 @@ pub use postprocess::extract_yaml;
 pub use profiles::{all_models, ModelProfile, Tier};
 pub use query::{
     auto_batch_size, query_batch, query_stream, BatchReport, QueryConfig, StreamReport,
+};
+pub use repair::{
+    parse_repair_prompt, repair_prompt, repair_query, synthesize_feedback, FeedbackMode,
 };
 
 /// Classifies an extracted answer into Figure 7's six categories, given

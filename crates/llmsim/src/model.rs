@@ -19,6 +19,8 @@ use cedataset::{Dataset, Problem, Variant};
 use crate::corrupt::{answer_seed, realize, AnswerCategory};
 use crate::difficulty::{calibrate_alpha, dataset_difficulties, pass_probability};
 use crate::profiles::ModelProfile;
+use crate::repair::{parse_repair_prompt, ParsedRepair};
+use substrate::taxonomy::Bucket;
 
 /// Generation parameters (§4.2 uses temperature/top_p/top_k 0.75/0.9/50
 /// for Llama-2-70B multi-sampling).
@@ -192,6 +194,75 @@ impl SimulatedModel {
         }
         AnswerCategory::FailsTest
     }
+
+    /// Answers one repair round: the prompt carried a prior attempt plus
+    /// deployment feedback. The fix probability depends on whether the
+    /// feedback *plausibly explains the prior attempt* — a named bucket
+    /// must agree with what the model can see of its own answer (a
+    /// `yaml-syntax` bucket against a well-formed prior, or a semantic
+    /// bucket against unparseable text, reads as noise and falls to the
+    /// floor). Feedback that names no bucket is never actionable.
+    ///
+    /// The draw seed hashes the prior attempt's content and the round, so
+    /// a repair chain is deterministic per (model, problem, prior, round)
+    /// regardless of scheduling — and independent of the first-attempt
+    /// seed chain.
+    fn generate_repair(
+        &self,
+        problem: &Problem,
+        variant: Variant,
+        repair: &ParsedRepair,
+    ) -> String {
+        // PaLM-2's English-only refusal survives into the repair loop.
+        if variant == Variant::Translated && self.profile.passes_translated.is_none() {
+            return "I'm sorry, I can only assist with requests in English at this time.\nPlease translate your question and try again.\nThank you for your understanding.\nRegards.".to_owned();
+        }
+        let prior_parses = yamlkit::parse(&repair.prior)
+            .map(|docs| !docs.is_empty())
+            .unwrap_or(false);
+        let named = repair.named_bucket();
+        let plausible = named.is_some_and(|b| (b == Bucket::YamlSyntax) != prior_parses);
+        let p = if plausible {
+            let base = self
+                .profile
+                .repair_prob(named.expect("plausible implies named"));
+            if repair.has_subject() {
+                // Structured diagnostics (Full feedback) localize the fix.
+                (base * 1.2).min(0.95)
+            } else {
+                base
+            }
+        } else {
+            self.profile.repair_floor()
+        };
+        let seed = answer_seed(
+            self.profile.name,
+            &format!(
+                "{}\u{1}repair\u{1}{}\u{1}{:016x}",
+                problem.id,
+                repair.round,
+                yamlkit::doc::content_hash(&repair.prior)
+            ),
+            variant as u8,
+            0,
+            0,
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let category = if rng.gen_bool(p.clamp(0.0, 1.0)) {
+            AnswerCategory::Correct
+        } else {
+            // A failed repair is another attempt of the same answer class
+            // the prior landed in — realized under a fresh seed, so the
+            // next round sees a *different* broken candidate.
+            crate::classify_answer(&repair.prior, &problem.clean_reference(), false)
+        };
+        realize(
+            problem,
+            category,
+            seed ^ 0x9e37_79b9_7f4a_7c15,
+            self.profile.wrap_prob,
+        )
+    }
 }
 
 impl LanguageModel for SimulatedModel {
@@ -204,6 +275,12 @@ impl LanguageModel for SimulatedModel {
             // Unknown prompt: a generic, useless-but-plausible reply.
             return "Here is a general example:\napiVersion: v1\nkind: ConfigMap\nmetadata:\n  name: example\n".to_owned();
         };
+        // Repair prompts ride the same generate() path (so the query,
+        // extraction and scoring stages are literally reused) but draw
+        // from the repair distribution.
+        if let Some(repair) = parse_repair_prompt(prompt) {
+            return self.generate_repair(problem, variant, &repair);
+        }
         // PaLM-2's API is English-only at submission time (Table 4 note).
         if self.alphas.get(&(variant, shots)).copied() == Some(f64::NEG_INFINITY)
             && variant == Variant::Translated

@@ -1,0 +1,282 @@
+//! The fail–learn–refine repair side of the simulation: prompts that
+//! carry a prior attempt plus synthesized deployment feedback, and the
+//! calibrated per-bucket probability that a model repairs its own answer.
+//!
+//! The repair loop reuses the normal generation path end to end — a
+//! repair request is just a prompt (built by [`repair_prompt`]) fed to
+//! [`LanguageModel::generate`], so querying, extraction, scoring and
+//! substrate execution all run unchanged. [`SimulatedModel`] recognizes
+//! the repair markers and draws from its repair distribution instead of
+//! its first-attempt distribution: when the feedback names the taxonomy
+//! bucket that actually explains the prior attempt, the fix lands with a
+//! profile-dependent probability ([`ModelProfile::repair_prob`]); with
+//! vague or absent feedback it falls to [`ModelProfile::repair_floor`] —
+//! the paper's observation that actionable error messages, not mere
+//! retry, are what close the loop.
+//!
+//! [`SimulatedModel`]: crate::SimulatedModel
+//! [`LanguageModel::generate`]: crate::LanguageModel::generate
+
+use substrate::taxonomy::{Bucket, Diagnosis};
+
+use crate::model::{GenParams, LanguageModel};
+use crate::profiles::ModelProfile;
+
+/// How much of the taxonomy diagnosis the repair prompt reveals — the
+/// feedback-ablation axis of the repair experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeedbackMode {
+    /// Bucket, offending subject and raw error detail.
+    Full,
+    /// The taxonomy bucket label alone.
+    BucketOnly,
+    /// Only "it failed" — the retry-without-learning baseline.
+    None,
+}
+
+impl FeedbackMode {
+    /// All modes, ablation order.
+    pub const ALL: [FeedbackMode; 3] = [
+        FeedbackMode::Full,
+        FeedbackMode::BucketOnly,
+        FeedbackMode::None,
+    ];
+
+    /// Stable CLI/wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FeedbackMode::Full => "full",
+            FeedbackMode::BucketOnly => "bucket-only",
+            FeedbackMode::None => "none",
+        }
+    }
+
+    /// Inverse of [`FeedbackMode::label`].
+    pub fn from_label(label: &str) -> Option<FeedbackMode> {
+        FeedbackMode::ALL.into_iter().find(|m| m.label() == label)
+    }
+}
+
+impl std::fmt::Display for FeedbackMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Renders deployment feedback from a taxonomy diagnosis under a
+/// [`FeedbackMode`]. A failure with no diagnosis (legacy memo entries)
+/// reads as bucket `unknown`.
+pub fn synthesize_feedback(diagnosis: Option<&Diagnosis>, mode: FeedbackMode) -> String {
+    let bucket_line = |d: Option<&Diagnosis>| {
+        format!(
+            "error bucket: {}",
+            d.map_or(Bucket::Unknown, |d| d.bucket).label()
+        )
+    };
+    match mode {
+        FeedbackMode::None => "the deployment failed; no diagnostics were collected.".to_owned(),
+        FeedbackMode::BucketOnly => bucket_line(diagnosis),
+        FeedbackMode::Full => {
+            let mut out = bucket_line(diagnosis);
+            if let Some(d) = diagnosis {
+                if let Some(subject) = &d.subject {
+                    out.push_str("\noffending subject: ");
+                    out.push_str(subject);
+                }
+                if let Some(detail) = d.raw.lines().next().filter(|l| !l.trim().is_empty()) {
+                    out.push_str("\ndetail: ");
+                    out.push_str(detail.trim());
+                }
+            }
+            out
+        }
+    }
+}
+
+const PRIOR_MARKER_PREFIX: &str = "=== prior attempt (round ";
+const PRIOR_MARKER_SUFFIX: &str = ") ===\n";
+const FEEDBACK_MARKER: &str = "=== deployment feedback ===\n";
+
+/// Builds a repair prompt: the original problem body, the prior
+/// candidate, and the synthesized feedback, joined by the markers
+/// [`parse_repair_prompt`] recognizes. `round` is the 1-based repair
+/// round the prior attempt failed in.
+pub fn repair_prompt(problem_body: &str, prior: &str, feedback: &str, round: usize) -> String {
+    format!(
+        "{problem_body}\n\nA prior attempt failed in deployment; return only the corrected YAML configuration.\n\n{PRIOR_MARKER_PREFIX}{round}{PRIOR_MARKER_SUFFIX}{prior}\n{FEEDBACK_MARKER}{feedback}\n"
+    )
+}
+
+/// A repair prompt decomposed back into its parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedRepair {
+    /// 1-based repair round of the prior attempt.
+    pub round: usize,
+    /// The candidate text the feedback is about.
+    pub prior: String,
+    /// The feedback section, verbatim.
+    pub feedback: String,
+}
+
+impl ParsedRepair {
+    /// The taxonomy bucket the feedback names, if any.
+    pub fn named_bucket(&self) -> Option<Bucket> {
+        let label = self
+            .feedback
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("error bucket: "))?;
+        Bucket::from_label(label.trim())
+    }
+
+    /// Whether the feedback carries structured diagnostics beyond the
+    /// bucket (the [`FeedbackMode::Full`] extras).
+    pub fn has_subject(&self) -> bool {
+        self.feedback
+            .lines()
+            .any(|l| l.trim().starts_with("offending subject: "))
+    }
+}
+
+/// Recognizes and decomposes a [`repair_prompt`]; `None` for ordinary
+/// generation prompts.
+pub fn parse_repair_prompt(prompt: &str) -> Option<ParsedRepair> {
+    let start = prompt.find(PRIOR_MARKER_PREFIX)?;
+    let after = &prompt[start + PRIOR_MARKER_PREFIX.len()..];
+    let close = after.find(PRIOR_MARKER_SUFFIX)?;
+    let round: usize = after[..close].trim().parse().ok()?;
+    let rest = &after[close + PRIOR_MARKER_SUFFIX.len()..];
+    let fb = rest.find(FEEDBACK_MARKER)?;
+    Some(ParsedRepair {
+        round,
+        prior: rest[..fb].trim_end_matches('\n').to_owned(),
+        feedback: rest[fb + FEEDBACK_MARKER.len()..].trim().to_owned(),
+    })
+}
+
+/// One repair round through any [`LanguageModel`]: builds the repair
+/// prompt and runs it through the model's ordinary `generate` path.
+pub fn repair_query(
+    model: &dyn LanguageModel,
+    problem_body: &str,
+    prior: &str,
+    feedback: &str,
+    round: usize,
+    params: &GenParams,
+) -> String {
+    model.generate(&repair_prompt(problem_body, prior, feedback, round), params)
+}
+
+impl ModelProfile {
+    /// Base repair ability, derived from the calibrated zero-shot pass
+    /// count: a model that solves more problems outright also converts
+    /// more feedback into fixes. Ranges ≈0.26 (CodeLlama-7B) to ≈0.57
+    /// (GPT-4).
+    pub fn repair_strength(&self) -> f64 {
+        0.25 + 0.6 * (self.passes_original as f64 / 337.0)
+    }
+
+    /// Probability one repair round fixes the candidate when the feedback
+    /// names the bucket that actually explains the failure. Buckets that
+    /// localize the fault (a parse error, an unknown field) are easier to
+    /// act on than a bare failing assertion.
+    pub fn repair_prob(&self, bucket: Bucket) -> f64 {
+        let multiplier = match bucket {
+            Bucket::YamlSyntax => 1.0,
+            Bucket::SchemaViolation => 0.92,
+            Bucket::SelectorMismatch => 0.88,
+            Bucket::BadReference => 0.84,
+            Bucket::MissingResource => 0.78,
+            Bucket::QuotaExceeded => 0.7,
+            Bucket::ProbeTimeout => 0.6,
+            Bucket::ProbeFailed => 0.55,
+            Bucket::Unknown => 0.35,
+        };
+        (self.repair_strength() * multiplier).clamp(0.0, 0.95)
+    }
+
+    /// Repair probability under vague, absent, or implausible feedback —
+    /// retrying without learning. Much lower than any named-bucket rate.
+    pub fn repair_floor(&self) -> f64 {
+        0.12 * self.repair_strength() + 0.02
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diagnosis(msg: &str) -> Diagnosis {
+        substrate::taxonomy::classify_message(msg)
+    }
+
+    #[test]
+    fn prompt_round_trips_through_the_parser() {
+        let body = "Generate a pod named web.";
+        let prior = "apiVersion: v1\nkind: Pod\nmetadata:\n  name: web";
+        let feedback = "error bucket: schema-violation\noffending subject: containerz";
+        let prompt = repair_prompt(body, prior, feedback, 2);
+        let parsed = parse_repair_prompt(&prompt).expect("repair prompt recognized");
+        assert_eq!(parsed.round, 2);
+        assert_eq!(parsed.prior, prior);
+        assert_eq!(parsed.feedback, feedback);
+        assert_eq!(parsed.named_bucket(), Some(Bucket::SchemaViolation));
+        assert!(parsed.has_subject());
+        assert!(prompt.contains(body));
+        // Ordinary prompts are not repair prompts.
+        assert!(parse_repair_prompt(body).is_none());
+    }
+
+    #[test]
+    fn feedback_modes_reveal_progressively_more() {
+        let d = diagnosis(
+            "Pod in version \"v1\" cannot be handled as a Pod: strict decoding error: unknown field \"containerz\"",
+        );
+        let none = synthesize_feedback(Some(&d), FeedbackMode::None);
+        let bucket = synthesize_feedback(Some(&d), FeedbackMode::BucketOnly);
+        let full = synthesize_feedback(Some(&d), FeedbackMode::Full);
+        assert!(!none.contains("error bucket:"));
+        assert_eq!(bucket, "error bucket: schema-violation");
+        assert!(full.starts_with("error bucket: schema-violation"));
+        assert!(full.contains("offending subject: containerz"));
+        assert!(full.contains("detail: "));
+        // Legacy verdicts with no diagnosis still name a bucket.
+        assert_eq!(
+            synthesize_feedback(None, FeedbackMode::BucketOnly),
+            "error bucket: unknown"
+        );
+    }
+
+    #[test]
+    fn feedback_mode_labels_round_trip() {
+        for mode in FeedbackMode::ALL {
+            assert_eq!(FeedbackMode::from_label(mode.label()), Some(mode));
+            assert_eq!(mode.to_string(), mode.label());
+        }
+        assert_eq!(FeedbackMode::from_label("verbose"), None);
+    }
+
+    #[test]
+    fn repair_probabilities_are_ordered_and_bounded() {
+        for profile in crate::profiles::all_models() {
+            let strength = profile.repair_strength();
+            assert!((0.25..=0.85).contains(&strength), "{}", profile.name);
+            for bucket in Bucket::ALL {
+                let p = profile.repair_prob(bucket);
+                assert!((0.0..=0.95).contains(&p));
+                // Localizing buckets are easier to act on than the
+                // generic ones, and naming any bucket beats the floor.
+                assert!(p <= profile.repair_prob(Bucket::YamlSyntax));
+                assert!(p >= profile.repair_prob(Bucket::Unknown));
+                assert!(
+                    profile.repair_floor() < p,
+                    "{}: floor must undercut {bucket}",
+                    profile.name
+                );
+            }
+        }
+        // Stronger models repair better.
+        let gpt4 = ModelProfile::by_name("gpt-4").unwrap();
+        let cl7 = ModelProfile::by_name("codellama-7b-instruct").unwrap();
+        assert!(gpt4.repair_prob(Bucket::YamlSyntax) > cl7.repair_prob(Bucket::YamlSyntax));
+    }
+}

@@ -10,12 +10,29 @@
 //! 2. a correct candidate passes its passing check;
 //! 3. a correct candidate fails a failing check *as an outcome*, not an
 //!    error;
-//! 4. teardown is idempotent and prepare restores a working environment.
+//! 4. teardown is idempotent and prepare restores a working environment;
+//! 5. every curated broken input classifies to its expected
+//!    [taxonomy] bucket (never `Unknown`), identically
+//!    via `execute` and `execute_prepared`.
 //!
 //! The crate's integration tests run this against all three backends; new
 //! backends get their contract checked by adding one fixture.
 
+use crate::taxonomy::{self, Bucket};
 use crate::{ExecError, Substrate};
+
+/// One curated broken input with its expected taxonomy bucket.
+#[derive(Debug, Clone)]
+pub struct TaxonomyCase {
+    /// What is broken (diagnostic label for assertion messages).
+    pub label: &'static str,
+    /// The broken candidate.
+    pub manifest: String,
+    /// The check to run it under.
+    pub check: String,
+    /// The bucket the failure must classify to (never [`Bucket::Unknown`]).
+    pub expected: Bucket,
+}
 
 /// Per-backend inputs for the shared conformance assertions.
 #[derive(Debug, Clone)]
@@ -29,6 +46,8 @@ pub struct Fixture {
     pub passing_check: String,
     /// A check that runs cleanly against `good_manifest` but fails.
     pub failing_check: String,
+    /// Curated broken inputs with pinned taxonomy buckets.
+    pub taxonomy_cases: Vec<TaxonomyCase>,
 }
 
 /// Conformance fixture for [`ShellSubstrate`](crate::ShellSubstrate).
@@ -38,7 +57,52 @@ pub fn shell_fixture() -> Fixture {
         bad_manifest: "kind: [unclosed\n  flow: {\n".into(),
         passing_check: "kubectl apply -f labeled_code.yaml\nkubectl wait --for=condition=Ready pod -l app=conf --timeout=60s && echo unit_test_passed".into(),
         failing_check: "kubectl apply -f labeled_code.yaml\nphase=$(kubectl get pod web -o jsonpath={.status.phase})\nif [ \"$phase\" == \"Succeeded\" ]; then echo unit_test_passed; fi".into(),
+        taxonomy_cases: shell_taxonomy_cases(),
     }
+}
+
+fn shell_taxonomy_cases() -> Vec<TaxonomyCase> {
+    let apply_check = "kubectl apply -f labeled_code.yaml && echo unit_test_passed";
+    vec![
+        TaxonomyCase {
+            label: "bad yaml",
+            manifest: "kind: [unclosed\n  flow: {\n".into(),
+            check: apply_check.into(),
+            expected: Bucket::YamlSyntax,
+        },
+        TaxonomyCase {
+            label: "unknown field",
+            manifest: "apiVersion: v1\nkind: Pod\nmetadata:\n  name: web\nspec:\n  containerz: []\n".into(),
+            check: apply_check.into(),
+            expected: Bucket::SchemaViolation,
+        },
+        TaxonomyCase {
+            label: "dangling selector",
+            manifest: "apiVersion: apps/v1\nkind: Deployment\nmetadata:\n  name: web\nspec:\n  replicas: 1\n  selector:\n    matchLabels:\n      app: web\n  template:\n    metadata:\n      labels:\n        app: other\n    spec:\n      containers:\n      - name: c\n        image: nginx\n".into(),
+            check: apply_check.into(),
+            expected: Bucket::SelectorMismatch,
+        },
+        TaxonomyCase {
+            label: "missing image",
+            manifest: "apiVersion: v1\nkind: Pod\nmetadata:\n  name: web\nspec:\n  containers:\n  - name: c\n    image: no-such-image:v1\n".into(),
+            // The wait times out (symptom); the final `get` surfaces the
+            // ImagePullBackOff cause, which must win classification.
+            check: "kubectl apply -f labeled_code.yaml\nkubectl wait --for=condition=Ready pod web --timeout=30s && echo unit_test_passed\nkubectl get pod web".into(),
+            expected: Bucket::MissingResource,
+        },
+        TaxonomyCase {
+            label: "failing probe",
+            manifest: "apiVersion: v1\nkind: Pod\nmetadata:\n  name: web\nspec:\n  containers:\n  - name: c\n    image: nginx\n".into(),
+            check: "kubectl apply -f labeled_code.yaml\nphase=$(kubectl get pod web -o jsonpath={.status.phase})\nif [ \"$phase\" == \"Succeeded\" ]; then echo unit_test_passed; fi".into(),
+            expected: Bucket::ProbeFailed,
+        },
+        TaxonomyCase {
+            label: "wait deadline",
+            manifest: "apiVersion: v1\nkind: Pod\nmetadata:\n  name: web\n  labels:\n    app: web\nspec:\n  containers:\n  - name: c\n    image: nginx\n".into(),
+            check: "kubectl apply -f labeled_code.yaml\nkubectl wait --for=condition=Ready pod -l app=ghost --timeout=30s && echo unit_test_passed".into(),
+            expected: Bucket::ProbeTimeout,
+        },
+    ]
 }
 
 /// Conformance fixture for [`KubeSubstrate`](crate::KubeSubstrate).
@@ -49,7 +113,64 @@ pub fn kube_fixture() -> Fixture {
         bad_manifest: "apiVersion: v1\nkind: Pod\nmetadata:\n  name: web\nspec:\n  containerz: []\n".into(),
         passing_check: "advance 10000\nexpect pod web {.status.phase} == Running".into(),
         failing_check: "expect pod web {.metadata.name} == not-web".into(),
+        taxonomy_cases: kube_taxonomy_cases(),
     }
+}
+
+fn kube_taxonomy_cases() -> Vec<TaxonomyCase> {
+    let pod = "apiVersion: v1\nkind: Pod\nmetadata:\n  name: web\nspec:\n  containers:\n  - name: c\n    image: nginx\n";
+    vec![
+        TaxonomyCase {
+            label: "bad yaml",
+            manifest: "kind: [unclosed\n  flow: {\n".into(),
+            check: "exists pod web".into(),
+            expected: Bucket::YamlSyntax,
+        },
+        TaxonomyCase {
+            label: "unknown field",
+            manifest: "apiVersion: v1\nkind: Pod\nmetadata:\n  name: web\nspec:\n  containerz: []\n".into(),
+            check: "exists pod web".into(),
+            expected: Bucket::SchemaViolation,
+        },
+        TaxonomyCase {
+            label: "dangling selector",
+            manifest: "apiVersion: apps/v1\nkind: Deployment\nmetadata:\n  name: web\nspec:\n  replicas: 1\n  selector:\n    matchLabels:\n      app: web\n  template:\n    metadata:\n      labels:\n        app: other\n    spec:\n      containers:\n      - name: c\n        image: nginx\n".into(),
+            check: "exists deployment web".into(),
+            expected: Bucket::SelectorMismatch,
+        },
+        TaxonomyCase {
+            label: "missing image",
+            manifest: "apiVersion: v1\nkind: Pod\nmetadata:\n  name: web\nspec:\n  containers:\n  - name: c\n    image: no-such-image:v1\n".into(),
+            check: "advance 30000\nexpect pod web {.status.containerStatuses[0].state.waiting.reason} == none".into(),
+            expected: Bucket::MissingResource,
+        },
+        TaxonomyCase {
+            label: "dangling volume mount",
+            manifest: "apiVersion: v1\nkind: Pod\nmetadata:\n  name: web\nspec:\n  containers:\n  - name: c\n    image: nginx\n    volumeMounts:\n    - name: cfg\n      mountPath: /etc/cfg\n".into(),
+            check: "exists pod web".into(),
+            expected: Bucket::BadReference,
+        },
+        TaxonomyCase {
+            label: "quota exhausted",
+            manifest: format!(
+                "apiVersion: v1\nkind: ResourceQuota\nmetadata:\n  name: team-quota\nspec:\n  hard:\n    pods: \"0\"\n---\n{pod}"
+            ),
+            check: "exists pod web".into(),
+            expected: Bucket::QuotaExceeded,
+        },
+        TaxonomyCase {
+            label: "missing resource",
+            manifest: pod.into(),
+            check: "expect pod ghost {.status.phase} == Running".into(),
+            expected: Bucket::MissingResource,
+        },
+        TaxonomyCase {
+            label: "failing probe",
+            manifest: pod.into(),
+            check: "expect pod web {.metadata.name} == not-web".into(),
+            expected: Bucket::ProbeFailed,
+        },
+    ]
 }
 
 /// Conformance fixture for [`EnvoySubstrate`](crate::EnvoySubstrate).
@@ -60,7 +181,38 @@ pub fn envoy_fixture() -> Fixture {
             .replace("cluster: service_backend", "cluster: missing_cluster"),
         passing_check: "listeners 1\nroute 10000 example.com / => cluster service_backend".into(),
         failing_check: "route 10000 example.com / => cluster wrong_cluster".into(),
+        taxonomy_cases: envoy_taxonomy_cases(),
     }
+}
+
+fn envoy_taxonomy_cases() -> Vec<TaxonomyCase> {
+    vec![
+        TaxonomyCase {
+            label: "bad yaml",
+            manifest: "::: not yaml {{{\n  - [".into(),
+            check: "listeners 1".into(),
+            expected: Bucket::YamlSyntax,
+        },
+        TaxonomyCase {
+            label: "missing static_resources",
+            manifest: "admin:\n  access_log_path: /dev/null\n".into(),
+            check: "listeners 1".into(),
+            expected: Bucket::SchemaViolation,
+        },
+        TaxonomyCase {
+            label: "dangling cluster reference",
+            manifest: envoysim::SAMPLE_CONFIG
+                .replace("cluster: service_backend", "cluster: missing_cluster"),
+            check: "listeners 1".into(),
+            expected: Bucket::BadReference,
+        },
+        TaxonomyCase {
+            label: "failing probe",
+            manifest: envoysim::SAMPLE_CONFIG.to_owned(),
+            check: "route 10000 example.com / => cluster wrong_cluster".into(),
+            expected: Bucket::ProbeFailed,
+        },
+    ]
 }
 
 /// Runs the conformance assertions; panics with a diagnostic on the first
@@ -155,7 +307,39 @@ pub fn run<S: Substrate>(substrate: &mut S, fixture: &Fixture) {
         (a, b) => panic!("[{name}] bad manifest accepted somewhere: text {a:?}, prepared {b:?}"),
     }
 
-    // 7. Hermeticity: state from one prepare does not leak into the next.
+    // 7. Taxonomy: every curated broken input fails and classifies to its
+    //    pinned non-Unknown bucket, with identical classification whether
+    //    the candidate travelled through execute or execute_prepared.
+    for case in &fixture.taxonomy_cases {
+        let label = case.label;
+        let from_text = substrate.execute(&case.manifest, &case.check);
+        let diagnosis = taxonomy::classify_result(&from_text)
+            .unwrap_or_else(|| panic!("[{name}] taxonomy case {label:?} unexpectedly passed"));
+        assert_eq!(
+            diagnosis.bucket, case.expected,
+            "[{name}] taxonomy case {label:?} classified as {} (raw: {}), expected {}",
+            diagnosis.bucket, diagnosis.raw, case.expected
+        );
+        assert_ne!(
+            diagnosis.bucket,
+            Bucket::Unknown,
+            "[{name}] taxonomy case {label:?} must not pin the Unknown bucket"
+        );
+        let from_doc = substrate.execute_prepared(
+            &yamlkit::PreparedDoc::new(case.manifest.as_str()),
+            &case.check,
+        );
+        let prepared_diagnosis = taxonomy::classify_result(&from_doc).unwrap_or_else(|| {
+            panic!("[{name}] taxonomy case {label:?} passed via execute_prepared")
+        });
+        assert_eq!(
+            (diagnosis.bucket, &diagnosis.subject),
+            (prepared_diagnosis.bucket, &prepared_diagnosis.subject),
+            "[{name}] taxonomy case {label:?} classification differs between execute and execute_prepared"
+        );
+    }
+
+    // 8. Hermeticity: state from one prepare does not leak into the next.
     substrate.prepare();
     match substrate.assert_check(&fixture.passing_check) {
         Ok(outcome) => assert!(

@@ -65,6 +65,7 @@ pub mod conformance;
 mod envoy;
 mod kube;
 mod shell;
+pub mod taxonomy;
 
 pub use envoy::EnvoySubstrate;
 pub use kube::KubeSubstrate;
@@ -131,6 +132,14 @@ impl ExecError {
     /// rejection) rather than to the harness (probe).
     pub fn is_candidate_fault(&self) -> bool {
         !matches!(self, ExecError::Probe(_))
+    }
+
+    /// Whether resubmitting the same candidate could plausibly change the
+    /// result. Delegates to the taxonomy so the two layers can never
+    /// disagree: a [`taxonomy::Bucket::QuotaExceeded`] rejection is
+    /// retryable, a [`taxonomy::Bucket::SchemaViolation`] never is.
+    pub fn retryable(&self) -> bool {
+        taxonomy::classify_error(self).bucket.retryable()
     }
 }
 
