@@ -1,0 +1,84 @@
+//! The parse engine benchmark: legacy boxed-tree parser vs the arena +
+//! interner path, over the full generated corpus (labeled references
+//! plus clean references — the exact texts every scoring session
+//! parses). Acceptance floor for the refactor: arena ≥ 1.5x legacy in
+//! the same run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// Every YAML text the pipeline parses per session: the labeled
+/// reference and the clean reference of each generated problem.
+fn corpus() -> Vec<String> {
+    let ds = cedataset::Dataset::generate();
+    ds.problems()
+        .iter()
+        .flat_map(|p| [p.labeled_reference.clone(), p.clean_reference()])
+        .collect()
+}
+
+fn bench_parse_engine(c: &mut Criterion) {
+    let texts = corpus();
+    let bytes: usize = texts.iter().map(String::len).sum();
+    eprintln!(
+        "parse_engine corpus: {} documents, {} bytes",
+        texts.len(),
+        bytes
+    );
+    let mut group = c.benchmark_group("parse_engine");
+    group.sample_size(20);
+    // Baseline leg: the pre-arena parser, retained verbatim.
+    group.bench_function("legacy_full_corpus", |b| {
+        b.iter(|| {
+            let mut leaves = 0usize;
+            for text in &texts {
+                if let Ok(nodes) = yamlkit::parse_legacy(black_box(text)) {
+                    leaves += nodes.len();
+                }
+            }
+            leaves
+        })
+    });
+    // The arena path as PreparedDoc consumes it: spans + interner + flat
+    // node table, no boxed trees materialized.
+    group.bench_function("arena_full_corpus", |b| {
+        b.iter(|| {
+            let mut leaves = 0usize;
+            for text in &texts {
+                let doc = yamlkit::ArenaDoc::parse(black_box(text.as_str()));
+                if doc.error().is_none() {
+                    leaves += doc.leaf_count();
+                }
+            }
+            leaves
+        })
+    });
+    // The compatibility wrapper (arena parse + Node materialization):
+    // what callers of the public `parse()` front door pay.
+    group.bench_function("arena_materialized_full_corpus", |b| {
+        b.iter(|| {
+            let mut leaves = 0usize;
+            for text in &texts {
+                if let Ok(nodes) = yamlkit::parse(black_box(text)) {
+                    leaves += nodes.len();
+                }
+            }
+            leaves
+        })
+    });
+    // End-to-end document preparation: arena parse + leaf count + content
+    // hash, i.e. one PreparedDoc per corpus text.
+    group.bench_function("prepared_doc_full_corpus", |b| {
+        b.iter(|| {
+            let mut leaves = 0usize;
+            for text in &texts {
+                let doc = yamlkit::PreparedDoc::new(black_box(text.as_str()));
+                leaves += doc.leaf_count();
+            }
+            leaves
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse_engine);
+criterion_main!(benches);

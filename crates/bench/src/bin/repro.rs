@@ -186,6 +186,8 @@ fn main() {
     for target in &targets {
         let started = std::time::Instant::now();
         let output = match target.as_str() {
+            "parse" => cloudeval_bench::parsebench::parse_report(),
+            "bench" => cloudeval_bench::parsebench::bench_report(),
             "serve" => cloudeval_bench::serve::serve_report(&ServeOptions {
                 port,
                 workers,
@@ -232,8 +234,8 @@ fn main() {
 }
 
 const ALL_TARGETS: &[&str] = &[
-    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
-    "fig5", "fig6", "fig7", "fig8", "fig9", "grid", "pipeline", "repair", "serve",
+    "parse", "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
+    "table9", "fig5", "fig6", "fig7", "fig8", "fig9", "grid", "pipeline", "repair", "serve",
 ];
 
 fn parse_variants(list: &str) -> Result<Vec<Variant>, String> {
@@ -256,7 +258,9 @@ fn print_usage() {
     eprintln!(
         "usage: repro [--stride N] [--workers N] [--variants LIST] [--channel-bound N] [--live-latency MS] [--prepared on|off] [--rounds N] [--feedback full|bucket-only|none] [--port N] [--requests N] [--clients N] [--conns N] [--memo PATH] <target>..."
     );
-    eprintln!("targets: {} | all", ALL_TARGETS.join(" | "));
+    eprintln!("targets: {} | all | bench", ALL_TARGETS.join(" | "));
+    eprintln!("parse: legacy-vs-arena YAML parse A/B with 1.5x verdict");
+    eprintln!("bench: run every criterion engine group, refreshing BENCH_*.json at the repo root (not part of `all`)");
     eprintln!("variants: original,simplified,translated (grid/pipeline targets)");
     eprintln!("channel-bound: stage-graph backpressure depth (pipeline target)");
     eprintln!("prepared: parse-once document model A/B (pipeline target)");

@@ -9,4 +9,5 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod parsebench;
 pub mod serve;

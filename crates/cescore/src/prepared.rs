@@ -135,7 +135,9 @@ impl PreparedRef {
                 issue: Some(issue),
             };
         }
-        let trees: Vec<MatchTree> = labeled.nodes().iter().map(MatchTree::from_node).collect();
+        // Label trees come straight off the arena backing store — the
+        // labeled reference never materializes its boxed `Node` trees.
+        let trees: Vec<MatchTree> = labeled.match_trees();
         let ref_leaves = trees.iter().map(MatchTree::leaf_count).sum();
         // The cleaned text is parse→emit of the labeled reference — then
         // prepared in turn, so kv-exact and the text metrics read cached

@@ -2,8 +2,7 @@
 //! match. Both load documents into order-insensitive structures instead of
 //! comparing text, so cosmetic reordering does not hurt the score.
 
-use yamlkit::labels::MatchTree;
-use yamlkit::{parse, Node, Yaml};
+use yamlkit::{ArenaDoc, PreparedDoc, Yaml};
 
 /// Key-value exact match: 1 when both texts parse as YAML and every
 /// document compares equal as an (unordered) dictionary, else 0.
@@ -17,19 +16,23 @@ use yamlkit::{parse, Node, Yaml};
 /// assert_eq!(cescore::kv_exact_match(reference, "a: 1\n"), 0.0);
 /// ```
 pub fn kv_exact_match(reference: &str, candidate: &str) -> f64 {
-    let Ok(ref_docs) = parse(reference) else {
-        return 0.0;
-    };
-    let Ok(cand_docs) = parse(candidate) else {
-        return 0.0;
-    };
-    if ref_docs.is_empty() || ref_docs.len() != cand_docs.len() {
+    let ref_doc = ArenaDoc::parse(reference);
+    if ref_doc.error().is_some() {
         return 0.0;
     }
+    let cand_doc = ArenaDoc::parse(candidate);
+    if cand_doc.error().is_some() {
+        return 0.0;
+    }
+    if ref_doc.doc_count() == 0 || ref_doc.doc_count() != cand_doc.doc_count() {
+        return 0.0;
+    }
+    let ref_docs = ref_doc.materialize_values();
+    let cand_docs = cand_doc.materialize_values();
     let all_equal = ref_docs
         .iter()
         .zip(&cand_docs)
-        .all(|(r, c)| r.to_value().eq_unordered(&c.to_value()));
+        .all(|(r, c)| r.eq_unordered(c));
     if all_equal {
         1.0
     } else {
@@ -51,24 +54,25 @@ pub fn kv_exact_match(reference: &str, candidate: &str) -> f64 {
 /// assert_eq!(cescore::kv_wildcard_match(reference, candidate), 1.0);
 /// ```
 pub fn kv_wildcard_match(reference: &str, candidate: &str) -> f64 {
-    let Ok(ref_docs) = parse(reference) else {
-        return 0.0;
-    };
-    let Ok(cand_docs) = parse(candidate) else {
-        return 0.0;
-    };
-    if ref_docs.is_empty() {
+    // Match trees read the reference's arena directly (no boxed `Node`
+    // trees), and the candidate's leaf count comes off its arena walk.
+    let reference = PreparedDoc::new(reference);
+    if !reference.parses() {
         return 0.0;
     }
-    let cand_values: Vec<Yaml> = cand_docs.iter().map(Node::to_value).collect();
+    let cand_doc = ArenaDoc::parse(candidate);
+    if cand_doc.error().is_some() {
+        return 0.0;
+    }
+    let trees = reference.match_trees();
+    if trees.is_empty() {
+        return 0.0;
+    }
+    let cand_values: Vec<Yaml> = cand_doc.materialize_values();
+    let cand_leaves = cand_doc.leaf_count();
     let mut matched = 0usize;
     let mut ref_leaves = 0usize;
-    let mut cand_leaves: usize = cand_values.iter().map(Yaml::leaf_count).sum();
-    if cand_docs.is_empty() {
-        cand_leaves = 0;
-    }
-    for (i, ref_doc) in ref_docs.iter().enumerate() {
-        let tree = MatchTree::from_node(ref_doc);
+    for (i, tree) in trees.iter().enumerate() {
         ref_leaves += tree.leaf_count();
         if let Some(cand) = cand_values.get(i) {
             matched += tree.matched_leaves(cand);

@@ -1,0 +1,1291 @@
+//! The arena parse path: a span-based single-pass scanner feeding a flat
+//! node table with interned strings.
+//!
+//! The legacy parser ([`crate::parser::parse_legacy`]) allocates
+//! aggressively on the hot path: two `String`s per physical line at scan
+//! time, a fresh clone of the current line at every dispatch decision, a
+//! `String` per scalar occurrence and per mapping key, and a boxed
+//! `Node`/`Vec<Node>` tree as output. This module is the same algorithm —
+//! byte-for-byte identical documents, comments, line numbers and error
+//! diagnostics, proved by `tests/arena_equivalence.rs` — rebuilt around
+//! three allocation-free ideas:
+//!
+//! * **byte-span tokens**: the scanner produces `(offset, len)` spans
+//!   into the source buffer (the private `SLine`) instead of owned
+//!   per-line `String`s, and every dispatch reads a borrowed slice;
+//! * **string interning**: scalar text, mapping keys and comments go
+//!   through a per-document [`StrInterner`], so the ~20 ubiquitous
+//!   Kubernetes keys are stored once per document no matter how often
+//!   they repeat;
+//! * **a flat arena**: nodes live in one `Vec<ArenaNode>` with child
+//!   *index ranges* into shared side tables ([`ArenaDoc`]), not a boxed
+//!   tree — one allocation class that grows geometrically and drops in
+//!   O(1).
+//!
+//! Anchors resolve through a small linear-probe vector keyed by interned
+//! symbol (the private `AnchorTable`) instead of a `HashMap`: real
+//! manifests carry
+//! fewer than four anchors per document, and the hash map showed up in
+//! parse profiles purely as allocation and hashing overhead.
+//!
+//! [`crate::parse`] is a thin wrapper: arena-parse then materialize
+//! `Node`s. [`crate::doc::PreparedDoc`] keeps the arena as its backing
+//! store and materializes `Node`/`Yaml` views only on demand.
+
+use crate::intern::{StrInterner, Sym};
+use crate::parser::{
+    fold_lines, plain_scalar_kind, split_key, unescape_double_quoted, unescape_single_quoted,
+    unquote_key_text, BlockScalarHeader, Chomp, Node, NodeKind, ParseYamlError, PlainKind,
+};
+use crate::value::Yaml;
+
+/// A scalar leaf in the arena: typed values inline, strings as interned
+/// symbols.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArenaScalar {
+    /// The null value.
+    Null,
+    /// A boolean scalar.
+    Bool(bool),
+    /// An integer scalar.
+    Int(i64),
+    /// A float scalar.
+    Float(f64),
+    /// A string scalar, interned.
+    Str(Sym),
+}
+
+/// Structure of an [`ArenaNode`]: a scalar, or an index range into the
+/// arena's shared child tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArenaKind {
+    /// A scalar leaf.
+    Scalar(ArenaScalar),
+    /// A sequence: `len` node ids starting at `start` in the sequence
+    /// child table.
+    Seq {
+        /// First index in the sequence child table.
+        start: u32,
+        /// Number of children.
+        len: u32,
+    },
+    /// A mapping: `len` `(key, node)` pairs starting at `start` in the
+    /// mapping entry table.
+    Map {
+        /// First index in the mapping entry table.
+        start: u32,
+        /// Number of entries.
+        len: u32,
+    },
+}
+
+/// One node of the flat parse tree: structure + the trailing comment that
+/// annotated it (interned) + the 1-based source line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArenaNode {
+    /// The node's structure.
+    pub kind: ArenaKind,
+    /// Trailing `# ...` comment on the line that introduced this node.
+    pub comment: Option<Sym>,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// The flat output of an arena parse: node table, child tables, document
+/// roots and the interner, with no references back into the source text.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ArenaParts {
+    pub(crate) nodes: Vec<ArenaNode>,
+    pub(crate) seq_children: Vec<u32>,
+    pub(crate) map_entries: Vec<(Sym, u32)>,
+    pub(crate) roots: Vec<u32>,
+    pub(crate) interner: StrInterner,
+}
+
+impl ArenaParts {
+    fn push(&mut self, kind: ArenaKind, comment: Option<Sym>, line: u32) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(ArenaNode {
+            kind,
+            comment,
+            line,
+        });
+        id
+    }
+
+    pub(crate) fn node_to_node(&self, id: u32) -> Node {
+        let n = &self.nodes[id as usize];
+        let comment = n.comment.map(|s| self.interner.resolve(s).to_owned());
+        let line = n.line as usize;
+        let kind = match n.kind {
+            ArenaKind::Scalar(s) => NodeKind::Scalar(self.scalar_to_yaml(s)),
+            ArenaKind::Seq { start, len } => NodeKind::Seq(
+                self.seq_children[start as usize..(start + len) as usize]
+                    .iter()
+                    .map(|&c| self.node_to_node(c))
+                    .collect(),
+            ),
+            ArenaKind::Map { start, len } => NodeKind::Map(
+                self.map_entries[start as usize..(start + len) as usize]
+                    .iter()
+                    .map(|&(k, c)| (self.interner.resolve(k).to_owned(), self.node_to_node(c)))
+                    .collect(),
+            ),
+        };
+        Node {
+            kind,
+            comment,
+            line,
+        }
+    }
+
+    pub(crate) fn node_to_value(&self, id: u32) -> Yaml {
+        let n = &self.nodes[id as usize];
+        match n.kind {
+            ArenaKind::Scalar(s) => self.scalar_to_yaml(s),
+            ArenaKind::Seq { start, len } => Yaml::Seq(
+                self.seq_children[start as usize..(start + len) as usize]
+                    .iter()
+                    .map(|&c| self.node_to_value(c))
+                    .collect(),
+            ),
+            ArenaKind::Map { start, len } => Yaml::Map(
+                self.map_entries[start as usize..(start + len) as usize]
+                    .iter()
+                    .map(|&(k, c)| (self.interner.resolve(k).to_owned(), self.node_to_value(c)))
+                    .collect(),
+            ),
+        }
+    }
+
+    pub(crate) fn scalar_to_yaml(&self, s: ArenaScalar) -> Yaml {
+        match s {
+            ArenaScalar::Null => Yaml::Null,
+            ArenaScalar::Bool(b) => Yaml::Bool(b),
+            ArenaScalar::Int(i) => Yaml::Int(i),
+            ArenaScalar::Float(f) => Yaml::Float(f),
+            ArenaScalar::Str(sym) => Yaml::Str(self.interner.resolve(sym).to_owned()),
+        }
+    }
+
+    /// Scalar-leaf count of a subtree, mirroring [`Yaml::leaf_count`]
+    /// (empty containers count once) without materializing values.
+    pub(crate) fn leaf_count(&self, id: u32) -> usize {
+        match self.nodes[id as usize].kind {
+            ArenaKind::Scalar(_) => 1,
+            ArenaKind::Seq { len: 0, .. } | ArenaKind::Map { len: 0, .. } => 1,
+            ArenaKind::Seq { start, len } => self.seq_children
+                [start as usize..(start + len) as usize]
+                .iter()
+                .map(|&c| self.leaf_count(c))
+                .sum(),
+            ArenaKind::Map { start, len } => self.map_entries
+                [start as usize..(start + len) as usize]
+                .iter()
+                .map(|&(_, c)| self.leaf_count(c))
+                .sum(),
+        }
+    }
+}
+
+/// A YAML stream parsed into the arena representation, owning its source.
+///
+/// Construction never fails: unparseable text records the
+/// [`error`](ArenaDoc::error) with an empty node table, mirroring
+/// [`crate::doc::PreparedDoc`]'s contract.
+///
+/// # Examples
+///
+/// ```
+/// use yamlkit::arena::ArenaDoc;
+/// let doc = ArenaDoc::parse("kind: Pod\nmetadata:\n  name: web\n");
+/// assert!(doc.error().is_none());
+/// assert_eq!(doc.doc_count(), 1);
+/// assert_eq!(doc.leaf_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArenaDoc {
+    source: String,
+    parts: ArenaParts,
+    error: Option<ParseYamlError>,
+}
+
+impl ArenaDoc {
+    /// Parses `source` into the arena. A malformed stream yields an
+    /// [`ArenaDoc`] with the error recorded and no documents.
+    pub fn parse(source: impl Into<String>) -> ArenaDoc {
+        let source = source.into();
+        match parse_arena(&source) {
+            Ok(parts) => ArenaDoc {
+                source,
+                parts,
+                error: None,
+            },
+            Err(e) => ArenaDoc {
+                source,
+                parts: ArenaParts::default(),
+                error: Some(e),
+            },
+        }
+    }
+
+    /// The original text, untouched.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The parse error, when the text did not parse.
+    pub fn error(&self) -> Option<&ParseYamlError> {
+        self.error.as_ref()
+    }
+
+    /// Number of documents in the stream (0 when the text did not parse).
+    pub fn doc_count(&self) -> usize {
+        self.parts.roots.len()
+    }
+
+    /// Root node ids, one per document.
+    pub fn roots(&self) -> &[u32] {
+        &self.parts.roots
+    }
+
+    /// The node behind an id.
+    pub fn node(&self, id: u32) -> &ArenaNode {
+        &self.parts.nodes[id as usize]
+    }
+
+    /// Children of a sequence node's range.
+    pub fn seq_children(&self, start: u32, len: u32) -> &[u32] {
+        &self.parts.seq_children[start as usize..(start + len) as usize]
+    }
+
+    /// Entries of a mapping node's range.
+    pub fn map_entries(&self, start: u32, len: u32) -> &[(Sym, u32)] {
+        &self.parts.map_entries[start as usize..(start + len) as usize]
+    }
+
+    /// The text behind an interned symbol.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.parts.interner.resolve(sym)
+    }
+
+    /// The trailing comment of a node, resolved.
+    pub fn comment_str(&self, id: u32) -> Option<&str> {
+        self.parts.nodes[id as usize]
+            .comment
+            .map(|s| self.parts.interner.resolve(s))
+    }
+
+    /// A scalar lifted to a plain [`Yaml`] value (allocates for strings).
+    pub fn scalar_value(&self, s: ArenaScalar) -> Yaml {
+        self.parts.scalar_to_yaml(s)
+    }
+
+    /// Materializes the legacy annotated node trees, one per document —
+    /// exactly what [`crate::parse`] returns for this source.
+    pub fn materialize_nodes(&self) -> Vec<Node> {
+        self.parts
+            .roots
+            .iter()
+            .map(|&r| self.parts.node_to_node(r))
+            .collect()
+    }
+
+    /// Materializes the plain values, one per document.
+    pub fn materialize_values(&self) -> Vec<Yaml> {
+        self.parts
+            .roots
+            .iter()
+            .map(|&r| self.parts.node_to_value(r))
+            .collect()
+    }
+
+    /// Total scalar-leaf count across documents (see
+    /// [`Yaml::leaf_count`]), computed on the arena without
+    /// materialization.
+    pub fn leaf_count(&self) -> usize {
+        self.parts
+            .roots
+            .iter()
+            .map(|&r| self.parts.leaf_count(r))
+            .sum()
+    }
+
+    /// Distinct strings interned while parsing (keys + string scalars +
+    /// comments).
+    pub fn interned_strings(&self) -> usize {
+        self.parts.interner.len()
+    }
+}
+
+/// Anchor/alias table: a linear-probe vector keyed by interned symbol.
+/// Anchors are rare (fewer than four per document across the corpus), so
+/// a probe over a dense `Vec` beats a `HashMap`'s hashing + allocation on
+/// every parse that defines none.
+#[derive(Debug, Default)]
+struct AnchorTable {
+    entries: Vec<(Sym, u32)>,
+}
+
+impl AnchorTable {
+    fn get(&self, key: Sym) -> Option<u32> {
+        self.entries
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|&(_, id)| id)
+    }
+
+    fn insert(&mut self, key: Sym, id: u32) {
+        for entry in &mut self.entries {
+            if entry.0 == key {
+                entry.1 = id;
+                return;
+            }
+        }
+        self.entries.push((key, id));
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// A physical line as byte spans into the source: indentation width,
+/// trimmed content span, and the detached trailing comment span (present
+/// but empty for a bare `#`).
+#[derive(Debug, Clone, Copy)]
+struct SLine {
+    number: u32,
+    indent: u32,
+    content: (u32, u32),
+    comment: Option<(u32, u32)>,
+}
+
+impl SLine {
+    fn is_blank(&self) -> bool {
+        self.content.0 == self.content.1
+    }
+}
+
+/// Finds the byte offset of a comment `#` in a line body (respecting
+/// quotes), mirroring the legacy `detach_comment` state machine.
+fn find_comment_start(body: &str) -> Option<usize> {
+    let mut in_single = false;
+    let mut in_double = false;
+    let mut prev: Option<char> = None;
+    let mut it = body.char_indices();
+    while let Some((idx, c)) = it.next() {
+        match c {
+            '\'' if !in_double => in_single = !in_single,
+            '"' if !in_single => in_double = !in_double,
+            '#' if !in_single && !in_double => {
+                let at_start = idx == 0;
+                let after_space = prev.is_some_and(|p| p == ' ' || p == '\t');
+                if at_start || after_space {
+                    return Some(idx);
+                }
+            }
+            '\\' if in_double => {
+                // Skip the escaped character entirely.
+                it.next();
+                prev = Some('\\');
+                continue;
+            }
+            _ => {}
+        }
+        prev = Some(c);
+    }
+    None
+}
+
+/// Splits source into span [`SLine`]s — the zero-copy sibling of the
+/// legacy `split_lines` — rejecting tab indentation with the same
+/// diagnostics.
+fn scan_lines(source: &str) -> Result<Vec<SLine>, ParseYamlError> {
+    let bytes = source.as_bytes();
+    let mut out = Vec::with_capacity(source.len() / 24 + 1);
+    let mut line_start = 0usize;
+    let mut number = 0u32;
+    while line_start <= bytes.len() {
+        // Match `str::lines`: split at '\n', strip one preceding '\r',
+        // final line ending optional.
+        let nl = bytes[line_start..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|p| line_start + p);
+        let (raw_end, next) = match nl {
+            Some(p) => {
+                let end = if p > line_start && bytes[p - 1] == b'\r' {
+                    p - 1
+                } else {
+                    p
+                };
+                (end, p + 1)
+            }
+            None => {
+                if line_start == bytes.len() {
+                    break;
+                }
+                (bytes.len(), bytes.len() + 1)
+            }
+        };
+        number += 1;
+        let raw = &source[line_start..raw_end];
+        let indent = raw.bytes().take_while(|&b| b == b' ').count();
+        let head = &raw.as_bytes()[..raw.len().min(indent + 1)];
+        if head.contains(&b'\t') && !raw.trim().is_empty() {
+            // A tab before content is illegal YAML indentation.
+            let before_end = raw
+                .bytes()
+                .position(|b| b != b' ' && b != b'\t')
+                .unwrap_or(raw.len());
+            if raw.as_bytes()[..before_end].contains(&b'\t') {
+                return Err(ParseYamlError::new(
+                    number as usize,
+                    "tab used for indentation",
+                ));
+            }
+        }
+        let body_start = line_start + indent;
+        let body = &source[body_start..raw_end];
+        let (content_end, comment) = match find_comment_start(body) {
+            Some(idx) => {
+                let c = body[idx + 1..].trim();
+                let c_start = body_start
+                    + idx
+                    + 1
+                    + (body[idx + 1..].len() - body[idx + 1..].trim_start().len());
+                (
+                    body_start + body[..idx].trim_end().len(),
+                    Some((c_start as u32, (c_start + c.len()) as u32)),
+                )
+            }
+            None => (body_start + body.trim_end().len(), None),
+        };
+        out.push(SLine {
+            number,
+            indent: indent as u32,
+            content: (body_start as u32, content_end as u32),
+            comment,
+        });
+        line_start = next;
+    }
+    Ok(out)
+}
+
+/// Parses a whole YAML stream into arena parts. Mirrors the legacy
+/// [`crate::parser::parse_legacy`] document-splitting loop exactly.
+pub(crate) fn parse_arena(source: &str) -> Result<ArenaParts, ParseYamlError> {
+    let lines = scan_lines(source)?;
+    let mut out = ArenaParts::default();
+    let mut parser = ArenaParser {
+        source,
+        lines: Vec::new(),
+        pos: 0,
+        out: &mut out,
+        anchors: AnchorTable::default(),
+    };
+    let mut chunk: Vec<SLine> = Vec::new();
+    for line in lines {
+        let content = parser.text(line.content).trim_end();
+        if line.indent == 0 && (content == "---" || content.starts_with("--- ")) {
+            parser.flush(&mut chunk)?;
+            // `--- value` puts an inline document on the separator line;
+            // recompute the remainder's span relative to the source.
+            let mut rest = content;
+            while let Some(stripped) = rest.strip_prefix("---") {
+                rest = stripped;
+            }
+            let rest = rest.trim_start();
+            if !rest.is_empty() {
+                let start = line.content.0 + (content.len() - rest.len()) as u32;
+                let mut inline = line;
+                inline.content = (start, start + rest.len() as u32);
+                inline.indent = 4; // synthetic; only relative depth matters
+                chunk.push(inline);
+            }
+            continue;
+        }
+        if line.indent == 0 && content == "..." {
+            parser.flush(&mut chunk)?;
+            continue;
+        }
+        if line.indent == 0 && content.starts_with('%') && chunk.is_empty() {
+            continue; // %YAML / %TAG directives
+        }
+        chunk.push(line);
+    }
+    parser.flush(&mut chunk)?;
+    Ok(out)
+}
+
+struct ArenaParser<'s, 'o> {
+    source: &'s str,
+    lines: Vec<SLine>,
+    pos: usize,
+    out: &'o mut ArenaParts,
+    anchors: AnchorTable,
+}
+
+impl<'s, 'o> ArenaParser<'s, 'o> {
+    fn text(&self, span: (u32, u32)) -> &'s str {
+        &self.source[span.0 as usize..span.1 as usize]
+    }
+
+    fn intern_span(&mut self, span: (u32, u32)) -> Sym {
+        self.out
+            .interner
+            .intern(&self.source[span.0 as usize..span.1 as usize])
+    }
+
+    fn comment_sym(&mut self, line: &SLine) -> Option<Sym> {
+        line.comment.map(|span| self.intern_span(span))
+    }
+
+    /// Parses the accumulated chunk as one document, if it has content.
+    fn flush(&mut self, chunk: &mut Vec<SLine>) -> Result<(), ParseYamlError> {
+        if chunk.iter().any(|l| !l.is_blank()) {
+            self.lines = std::mem::take(chunk);
+            self.pos = 0;
+            self.anchors.clear();
+            let root = self.parse_document()?;
+            self.out.roots.push(root);
+        } else {
+            chunk.clear();
+        }
+        Ok(())
+    }
+
+    fn parse_document(&mut self) -> Result<u32, ParseYamlError> {
+        self.skip_blanks();
+        if self.pos >= self.lines.len() {
+            return Ok(self.out.push(ArenaKind::Scalar(ArenaScalar::Null), None, 1));
+        }
+        let indent = self.lines[self.pos].indent;
+        let node = self.parse_block(indent)?;
+        self.skip_blanks();
+        if let Some(line) = self.lines.get(self.pos) {
+            return Err(ParseYamlError::new(
+                line.number as usize,
+                format!(
+                    "unexpected content after document: {:?}",
+                    self.text(line.content)
+                ),
+            ));
+        }
+        Ok(node)
+    }
+
+    fn skip_blanks(&mut self) {
+        while self.lines.get(self.pos).is_some_and(SLine::is_blank) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<SLine> {
+        self.skip_blanks();
+        self.lines.get(self.pos).copied()
+    }
+
+    /// Parses a block node whose first line sits at exactly `indent`.
+    fn parse_block(&mut self, indent: u32) -> Result<u32, ParseYamlError> {
+        let line = match self.peek() {
+            Some(l) if l.indent == indent => l,
+            Some(l) => {
+                return Err(ParseYamlError::new(
+                    l.number as usize,
+                    format!("expected indent {indent}, found {}", l.indent),
+                ))
+            }
+            None => {
+                return Ok(self.out.push(ArenaKind::Scalar(ArenaScalar::Null), None, 0));
+            }
+        };
+        let content = self.text(line.content);
+        if content == "-" || content.starts_with("- ") {
+            self.parse_sequence(indent)
+        } else if split_key(content).is_some() {
+            self.parse_mapping(indent)
+        } else {
+            // A bare scalar document (possibly multi-line plain scalar).
+            self.pos += 1;
+            let comment = self.comment_sym(&line);
+            self.parse_scalar_token(content, line.number, comment)
+        }
+    }
+
+    fn parse_sequence(&mut self, indent: u32) -> Result<u32, ParseYamlError> {
+        let mut items: Vec<u32> = Vec::new();
+        let first_line = self.peek().map(|l| l.number).unwrap_or(0);
+        loop {
+            let line = match self.peek() {
+                Some(l)
+                    if l.indent == indent && {
+                        let c = self.text(l.content);
+                        c == "-" || c.starts_with("- ")
+                    } =>
+                {
+                    l
+                }
+                Some(l) if l.indent > indent => {
+                    return Err(ParseYamlError::new(
+                        l.number as usize,
+                        "bad indentation inside sequence",
+                    ))
+                }
+                _ => break,
+            };
+            let content = self.text(line.content);
+            let after = if content == "-" {
+                ""
+            } else {
+                content[2..].trim_start()
+            };
+            if after.is_empty() {
+                // Item body is the nested block (if any) at deeper indent.
+                self.pos += 1;
+                match self.peek() {
+                    Some(next) if next.indent > indent => {
+                        let child_indent = next.indent;
+                        items.push(self.parse_block(child_indent)?);
+                    }
+                    _ => {
+                        let comment = self.comment_sym(&line);
+                        items.push(self.out.push(
+                            ArenaKind::Scalar(ArenaScalar::Null),
+                            comment,
+                            line.number,
+                        ));
+                    }
+                }
+            } else if let Some(header) = BlockScalarHeader::parse(after) {
+                self.pos += 1;
+                let text = self.parse_block_scalar(indent, header)?;
+                let sym = self.out.interner.intern(&text);
+                let comment = self.comment_sym(&line);
+                items.push(self.out.push(
+                    ArenaKind::Scalar(ArenaScalar::Str(sym)),
+                    comment,
+                    line.number,
+                ));
+            } else {
+                // Re-indent the content after `- ` and parse it as a block
+                // that may continue on following, deeper-indented lines.
+                let consumed = (content.len() - after.len()) as u32;
+                let inner_indent = indent + consumed;
+                let rewritten = &mut self.lines[self.pos];
+                rewritten.indent = inner_indent;
+                rewritten.content = (rewritten.content.0 + consumed, rewritten.content.1);
+                items.push(self.parse_block(inner_indent)?);
+            }
+        }
+        let start = self.out.seq_children.len() as u32;
+        self.out.seq_children.extend_from_slice(&items);
+        Ok(self.out.push(
+            ArenaKind::Seq {
+                start,
+                len: items.len() as u32,
+            },
+            None,
+            first_line,
+        ))
+    }
+
+    fn parse_mapping(&mut self, indent: u32) -> Result<u32, ParseYamlError> {
+        let mut entries: Vec<(Sym, u32)> = Vec::new();
+        let first_line = self.peek().map(|l| l.number).unwrap_or(0);
+        loop {
+            let line = match self.peek() {
+                Some(l) if l.indent == indent => l,
+                Some(l) if l.indent > indent => {
+                    return Err(ParseYamlError::new(
+                        l.number as usize,
+                        "bad indentation inside mapping",
+                    ))
+                }
+                _ => break,
+            };
+            let content = self.text(line.content);
+            let Some((key, rest)) = split_key(content) else {
+                break;
+            };
+            let key = unquote_key_text(key, line.number as usize)?;
+            let key_sym = self.out.interner.intern(&key);
+            self.pos += 1;
+            let rest = rest.trim();
+            let node = if rest.is_empty() {
+                // Value is a nested block, or null when nothing deeper follows.
+                match self.peek() {
+                    Some(next) if next.indent > indent => {
+                        let child = next.indent;
+                        let node = self.parse_block(child)?;
+                        if self.out.nodes[node as usize].comment.is_none() {
+                            self.out.nodes[node as usize].comment = self.comment_sym(&line);
+                        }
+                        node
+                    }
+                    // `key:` followed by a sequence at the *same* indent is
+                    // legal YAML (common in hand-written manifests).
+                    Some(next)
+                        if next.indent == indent && {
+                            let c = self.text(next.content);
+                            c == "-" || c.starts_with("- ")
+                        } =>
+                    {
+                        self.parse_sequence(indent)?
+                    }
+                    _ => {
+                        let comment = self.comment_sym(&line);
+                        self.out
+                            .push(ArenaKind::Scalar(ArenaScalar::Null), comment, line.number)
+                    }
+                }
+            } else if let Some(header) = BlockScalarHeader::parse(rest) {
+                let text = self.parse_block_scalar(indent, header)?;
+                let sym = self.out.interner.intern(&text);
+                let comment = self.comment_sym(&line);
+                self.out.push(
+                    ArenaKind::Scalar(ArenaScalar::Str(sym)),
+                    comment,
+                    line.number,
+                )
+            } else {
+                let comment = self.comment_sym(&line);
+                self.parse_scalar_token(rest, line.number, comment)?
+            };
+            entries.push((key_sym, node));
+        }
+        if entries.is_empty() {
+            let n = self.lines.get(self.pos).map(|l| l.number).unwrap_or(0);
+            return Err(ParseYamlError::new(n as usize, "expected mapping entry"));
+        }
+        let start = self.out.map_entries.len() as u32;
+        self.out.map_entries.extend_from_slice(&entries);
+        Ok(self.out.push(
+            ArenaKind::Map {
+                start,
+                len: entries.len() as u32,
+            },
+            None,
+            first_line,
+        ))
+    }
+
+    /// Reads the body of a `|` / `>` block scalar: all following lines
+    /// that are blank or indented deeper than the key line.
+    fn parse_block_scalar(
+        &mut self,
+        key_indent: u32,
+        header: BlockScalarHeader,
+    ) -> Result<String, ParseYamlError> {
+        let mut raw: Vec<(usize, String)> = Vec::new();
+        while let Some(l) = self.lines.get(self.pos).copied() {
+            if l.is_blank() {
+                raw.push((usize::MAX, String::new()));
+                self.pos += 1;
+                continue;
+            }
+            if l.indent <= key_indent {
+                break;
+            }
+            // Comments are content inside block scalars: reassemble.
+            let mut text = self.text(l.content).to_owned();
+            if let Some(span) = l.comment {
+                let c = self.text(span);
+                if c.is_empty() {
+                    text.push_str(" #");
+                } else {
+                    text.push_str(" # ");
+                    text.push_str(c);
+                }
+            }
+            raw.push((l.indent as usize, text));
+            self.pos += 1;
+        }
+        // Trim trailing blank markers; they matter only for keep-chomping.
+        let mut trailing_blanks = 0;
+        while raw.last().is_some_and(|(i, _)| *i == usize::MAX) {
+            raw.pop();
+            trailing_blanks += 1;
+        }
+        let base = raw
+            .iter()
+            .filter(|(i, _)| *i != usize::MAX)
+            .map(|(i, _)| *i)
+            .min()
+            .unwrap_or(key_indent as usize + 1);
+        let lines: Vec<String> = raw
+            .into_iter()
+            .map(|(i, text)| {
+                if i == usize::MAX {
+                    String::new()
+                } else {
+                    format!("{}{}", " ".repeat(i - base), text)
+                }
+            })
+            .collect();
+        let mut body = if header.folded {
+            fold_lines(&lines)
+        } else {
+            lines.join("\n")
+        };
+        match header.chomp {
+            Chomp::Strip => {}
+            Chomp::Clip => {
+                if !body.is_empty() {
+                    body.push('\n');
+                }
+            }
+            Chomp::Keep => {
+                body.push('\n');
+                for _ in 0..trailing_blanks {
+                    body.push('\n');
+                }
+            }
+        }
+        Ok(body)
+    }
+
+    /// Parses an inline scalar or flow-collection token into an arena
+    /// node carrying `comment`/`line` — the arena analogue of the legacy
+    /// `parse_scalar_token` + `Node::from_value` pair.
+    fn parse_scalar_token(
+        &mut self,
+        token: &str,
+        line: u32,
+        comment: Option<Sym>,
+    ) -> Result<u32, ParseYamlError> {
+        let id = self.parse_scalar_value(token, line)?;
+        self.out.nodes[id as usize].comment = comment;
+        Ok(id)
+    }
+
+    /// Parses a scalar/flow token into a (comment-free) arena node.
+    fn parse_scalar_value(&mut self, token: &str, line: u32) -> Result<u32, ParseYamlError> {
+        let token = token.trim();
+        // Anchor definition: `&name value`
+        if let Some(rest) = token.strip_prefix('&') {
+            let (name, rest) = rest
+                .split_once(char::is_whitespace)
+                .map(|(n, r)| (n, r.trim()))
+                .unwrap_or((rest, ""));
+            let id = if rest.is_empty() {
+                self.out
+                    .push(ArenaKind::Scalar(ArenaScalar::Null), None, line)
+            } else {
+                self.parse_scalar_value(rest, line)?
+            };
+            let name_sym = self.out.interner.intern(name);
+            self.anchors.insert(name_sym, id);
+            return Ok(id);
+        }
+        // Alias: `*name`
+        if let Some(name) = token.strip_prefix('*') {
+            let name_sym = self.out.interner.intern(name.trim());
+            let Some(src) = self.anchors.get(name_sym) else {
+                return Err(ParseYamlError::new(
+                    line as usize,
+                    format!("unknown alias *{name}"),
+                ));
+            };
+            return Ok(self.copy_for_alias(src, line));
+        }
+        // Tag: `!!str 5` — strip and reparse.
+        if token.starts_with("!!") {
+            if let Some((tag, rest)) = token.split_once(char::is_whitespace) {
+                let v = self.parse_scalar_value(rest.trim(), line)?;
+                return Ok(self.coerce_tag(tag, v, line));
+            }
+            return Ok(self
+                .out
+                .push(ArenaKind::Scalar(ArenaScalar::Null), None, line));
+        }
+        if token.starts_with('[') {
+            let (id, used) = self.parse_flow(token, line)?;
+            if used != token.len() {
+                return Err(ParseYamlError::new(
+                    line as usize,
+                    "trailing characters after flow sequence",
+                ));
+            }
+            return Ok(id);
+        }
+        if token.starts_with('{') {
+            let (id, used) = self.parse_flow(token, line)?;
+            if used != token.len() {
+                return Err(ParseYamlError::new(
+                    line as usize,
+                    "trailing characters after flow mapping",
+                ));
+            }
+            return Ok(id);
+        }
+        if token.starts_with('"') {
+            let s = unescape_double_quoted(token, line as usize)?;
+            let sym = self.out.interner.intern(&s);
+            return Ok(self
+                .out
+                .push(ArenaKind::Scalar(ArenaScalar::Str(sym)), None, line));
+        }
+        if token.starts_with('\'') {
+            let s = unescape_single_quoted(token, line as usize)?;
+            let sym = self.out.interner.intern(&s);
+            return Ok(self
+                .out
+                .push(ArenaKind::Scalar(ArenaScalar::Str(sym)), None, line));
+        }
+        let scalar = self.plain(token);
+        Ok(self.out.push(ArenaKind::Scalar(scalar), None, line))
+    }
+
+    /// Types a plain scalar, interning only when it stays a string.
+    fn plain(&mut self, token: &str) -> ArenaScalar {
+        match plain_scalar_kind(token) {
+            PlainKind::Null => ArenaScalar::Null,
+            PlainKind::Bool(b) => ArenaScalar::Bool(b),
+            PlainKind::Int(i) => ArenaScalar::Int(i),
+            PlainKind::Float(f) => ArenaScalar::Float(f),
+            PlainKind::Str => ArenaScalar::Str(self.out.interner.intern(token)),
+        }
+    }
+
+    /// Deep-copies an anchored subtree for an alias occurrence: comments
+    /// reset and lines rebased, mirroring the legacy `to_value` →
+    /// `from_value` round trip an alias performs.
+    fn copy_for_alias(&mut self, src: u32, line: u32) -> u32 {
+        match self.out.nodes[src as usize].kind {
+            ArenaKind::Scalar(s) => self.out.push(ArenaKind::Scalar(s), None, line),
+            ArenaKind::Seq { start, len } => {
+                let kids: Vec<u32> =
+                    self.out.seq_children[start as usize..(start + len) as usize].to_vec();
+                let copied: Vec<u32> = kids
+                    .into_iter()
+                    .map(|c| self.copy_for_alias(c, line))
+                    .collect();
+                let new_start = self.out.seq_children.len() as u32;
+                self.out.seq_children.extend_from_slice(&copied);
+                self.out.push(
+                    ArenaKind::Seq {
+                        start: new_start,
+                        len: copied.len() as u32,
+                    },
+                    None,
+                    line,
+                )
+            }
+            ArenaKind::Map { start, len } => {
+                let entries: Vec<(Sym, u32)> =
+                    self.out.map_entries[start as usize..(start + len) as usize].to_vec();
+                let copied: Vec<(Sym, u32)> = entries
+                    .into_iter()
+                    .map(|(k, c)| (k, self.copy_for_alias(c, line)))
+                    .collect();
+                let new_start = self.out.map_entries.len() as u32;
+                self.out.map_entries.extend_from_slice(&copied);
+                self.out.push(
+                    ArenaKind::Map {
+                        start: new_start,
+                        len: copied.len() as u32,
+                    },
+                    None,
+                    line,
+                )
+            }
+        }
+    }
+
+    /// `!!tag` coercion on an already-parsed node, mirroring the legacy
+    /// `coerce_tag` (which renders the value to text and re-types it).
+    fn coerce_tag(&mut self, tag: &str, id: u32, line: u32) -> u32 {
+        let value = self.out.node_to_value(id);
+        let coerced = crate::parser::coerce_tag(tag, value);
+        self.build_from_yaml(&coerced, line)
+    }
+
+    /// Lifts a plain [`Yaml`] into arena nodes (tag-coercion only; the
+    /// rare path).
+    fn build_from_yaml(&mut self, v: &Yaml, line: u32) -> u32 {
+        match v {
+            Yaml::Null => self
+                .out
+                .push(ArenaKind::Scalar(ArenaScalar::Null), None, line),
+            Yaml::Bool(b) => self
+                .out
+                .push(ArenaKind::Scalar(ArenaScalar::Bool(*b)), None, line),
+            Yaml::Int(i) => self
+                .out
+                .push(ArenaKind::Scalar(ArenaScalar::Int(*i)), None, line),
+            Yaml::Float(f) => self
+                .out
+                .push(ArenaKind::Scalar(ArenaScalar::Float(*f)), None, line),
+            Yaml::Str(s) => {
+                let sym = self.out.interner.intern(s);
+                self.out
+                    .push(ArenaKind::Scalar(ArenaScalar::Str(sym)), None, line)
+            }
+            Yaml::Seq(items) => {
+                let kids: Vec<u32> = items
+                    .iter()
+                    .map(|i| self.build_from_yaml(i, line))
+                    .collect();
+                let start = self.out.seq_children.len() as u32;
+                self.out.seq_children.extend_from_slice(&kids);
+                self.out.push(
+                    ArenaKind::Seq {
+                        start,
+                        len: kids.len() as u32,
+                    },
+                    None,
+                    line,
+                )
+            }
+            Yaml::Map(entries) => {
+                let built: Vec<(Sym, u32)> = entries
+                    .iter()
+                    .map(|(k, v)| {
+                        let sym = self.out.interner.intern(k);
+                        (sym, self.build_from_yaml(v, line))
+                    })
+                    .collect();
+                let start = self.out.map_entries.len() as u32;
+                self.out.map_entries.extend_from_slice(&built);
+                self.out.push(
+                    ArenaKind::Map {
+                        start,
+                        len: built.len() as u32,
+                    },
+                    None,
+                    line,
+                )
+            }
+        }
+    }
+
+    /// Parses a flow collection starting at byte 0 of `s`; returns the
+    /// node and how many bytes were consumed.
+    fn parse_flow(&mut self, s: &str, line: u32) -> Result<(u32, usize), ParseYamlError> {
+        let bytes = s.as_bytes();
+        match bytes.first() {
+            Some(b'[') => {
+                let mut items: Vec<u32> = Vec::new();
+                let mut i = 1;
+                loop {
+                    i = skip_ws(s, i);
+                    if i >= s.len() {
+                        return Err(ParseYamlError::new(
+                            line as usize,
+                            "unterminated flow sequence",
+                        ));
+                    }
+                    if bytes[i] == b']' {
+                        return Ok((self.finish_flow_seq(items, line), i + 1));
+                    }
+                    let (v, used) = self.parse_flow_value(&s[i..], line)?;
+                    items.push(v);
+                    i = skip_ws(s, i + used);
+                    match bytes.get(i) {
+                        Some(b',') => i += 1,
+                        Some(b']') => return Ok((self.finish_flow_seq(items, line), i + 1)),
+                        _ => {
+                            return Err(ParseYamlError::new(
+                                line as usize,
+                                "expected , or ] in flow sequence",
+                            ))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                let mut entries: Vec<(Sym, u32)> = Vec::new();
+                let mut i = 1;
+                loop {
+                    i = skip_ws(s, i);
+                    if i >= s.len() {
+                        return Err(ParseYamlError::new(
+                            line as usize,
+                            "unterminated flow mapping",
+                        ));
+                    }
+                    if bytes[i] == b'}' {
+                        return Ok((self.finish_flow_map(entries, line), i + 1));
+                    }
+                    let colon = crate::parser::find_flow_colon(&s[i..]).ok_or_else(|| {
+                        ParseYamlError::new(line as usize, "expected key: value in flow mapping")
+                    })?;
+                    let key = unquote_key_text(s[i..i + colon].trim(), line as usize)?;
+                    let key_sym = self.out.interner.intern(&key);
+                    i = skip_ws(s, i + colon + 1);
+                    let (v, used) = if matches!(bytes.get(i), Some(b',') | Some(b'}')) {
+                        (
+                            self.out
+                                .push(ArenaKind::Scalar(ArenaScalar::Null), None, line),
+                            0,
+                        )
+                    } else {
+                        self.parse_flow_value(&s[i..], line)?
+                    };
+                    entries.push((key_sym, v));
+                    i = skip_ws(s, i + used);
+                    match bytes.get(i) {
+                        Some(b',') => i += 1,
+                        Some(b'}') => return Ok((self.finish_flow_map(entries, line), i + 1)),
+                        _ => {
+                            return Err(ParseYamlError::new(
+                                line as usize,
+                                "expected , or } in flow mapping",
+                            ))
+                        }
+                    }
+                }
+            }
+            _ => Err(ParseYamlError::new(line as usize, "not a flow collection")),
+        }
+    }
+
+    fn finish_flow_seq(&mut self, items: Vec<u32>, line: u32) -> u32 {
+        let start = self.out.seq_children.len() as u32;
+        self.out.seq_children.extend_from_slice(&items);
+        self.out.push(
+            ArenaKind::Seq {
+                start,
+                len: items.len() as u32,
+            },
+            None,
+            line,
+        )
+    }
+
+    fn finish_flow_map(&mut self, entries: Vec<(Sym, u32)>, line: u32) -> u32 {
+        let start = self.out.map_entries.len() as u32;
+        self.out.map_entries.extend_from_slice(&entries);
+        self.out.push(
+            ArenaKind::Map {
+                start,
+                len: entries.len() as u32,
+            },
+            None,
+            line,
+        )
+    }
+
+    /// Parses one value inside a flow collection; returns bytes consumed.
+    fn parse_flow_value(&mut self, s: &str, line: u32) -> Result<(u32, usize), ParseYamlError> {
+        let bytes = s.as_bytes();
+        match bytes.first() {
+            Some(b'[') | Some(b'{') => self.parse_flow(s, line),
+            Some(b'"') => {
+                let end = crate::parser::find_quote_end(s, '"', line as usize)?;
+                let text = unescape_double_quoted(&s[..=end], line as usize)?;
+                let sym = self.out.interner.intern(&text);
+                Ok((
+                    self.out
+                        .push(ArenaKind::Scalar(ArenaScalar::Str(sym)), None, line),
+                    end + 1,
+                ))
+            }
+            Some(b'\'') => {
+                let end = crate::parser::find_quote_end(s, '\'', line as usize)?;
+                let text = unescape_single_quoted(&s[..=end], line as usize)?;
+                let sym = self.out.interner.intern(&text);
+                Ok((
+                    self.out
+                        .push(ArenaKind::Scalar(ArenaScalar::Str(sym)), None, line),
+                    end + 1,
+                ))
+            }
+            _ => {
+                // Plain scalar: up to , ] } at depth 0.
+                let mut i = 0;
+                while i < bytes.len() && !matches!(bytes[i], b',' | b']' | b'}') {
+                    i += 1;
+                }
+                let scalar = self.plain(s[..i].trim());
+                Ok((self.out.push(ArenaKind::Scalar(scalar), None, line), i))
+            }
+        }
+    }
+}
+
+fn skip_ws(s: &str, mut i: usize) -> usize {
+    let bytes = s.as_bytes();
+    while i < bytes.len() && (bytes[i] == b' ' || bytes[i] == b'\t') {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_matches_legacy_on_representative_manifest() {
+        let src = "\
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: web # *
+  labels:
+    app: web
+spec:
+  replicas: 3
+  containers:
+  - name: c
+    image: nginx:latest
+    ports: [80, 443]
+    env:
+    - {name: A, value: \"1\"}
+  script: |
+    echo hi # kept
+";
+        let legacy = crate::parser::parse_legacy(src).unwrap();
+        let arena = ArenaDoc::parse(src);
+        assert!(arena.error().is_none());
+        assert_eq!(arena.materialize_nodes(), legacy);
+        assert_eq!(
+            arena.materialize_values(),
+            legacy.iter().map(Node::to_value).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn interner_dedups_repeated_keys() {
+        let src = "a:\n- name: x\n- name: y\n- name: z\n";
+        let arena = ArenaDoc::parse(src);
+        // "a", "name", "x", "y", "z" — "name" stored once.
+        assert_eq!(arena.interned_strings(), 5);
+    }
+
+    #[test]
+    fn leaf_count_matches_values() {
+        for src in [
+            "a: 1\n",
+            "a: 1\n---\nb:\n- x\n- y\n",
+            "m: {}\ns: []\n",
+            "deep:\n  nest:\n  - 1\n  - q: 2\n",
+        ] {
+            let arena = ArenaDoc::parse(src);
+            let want: usize = arena
+                .materialize_values()
+                .iter()
+                .map(Yaml::leaf_count)
+                .sum();
+            assert_eq!(arena.leaf_count(), want, "on {src:?}");
+        }
+    }
+
+    #[test]
+    fn parse_error_is_recorded() {
+        let arena = ArenaDoc::parse("a: [1,\n");
+        assert!(arena.error().is_some());
+        assert_eq!(arena.doc_count(), 0);
+    }
+
+    #[test]
+    fn anchor_table_last_insert_wins() {
+        let src = "a: &x 1\nb: &x 2\nc: *x\n";
+        let arena = ArenaDoc::parse(src);
+        let values = arena.materialize_values();
+        assert_eq!(values[0].get("c"), Some(&Yaml::Int(2)));
+    }
+}

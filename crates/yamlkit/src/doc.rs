@@ -24,7 +24,9 @@
 
 use std::sync::{Arc, OnceLock};
 
-use crate::parser::{parse, Node, ParseYamlError};
+use crate::arena::{parse_arena, ArenaParts};
+use crate::labels::MatchTree;
+use crate::parser::{Node, ParseYamlError};
 use crate::value::Yaml;
 
 /// 64-bit FNV-1a hash of a byte string — the content-addressing hash the
@@ -130,9 +132,16 @@ fn line_spans(text: &str) -> Vec<(usize, usize)> {
 #[derive(Debug, Clone)]
 pub struct PreparedDoc {
     source: String,
-    nodes: Arc<Vec<Node>>,
-    values: Arc<Vec<Yaml>>,
+    /// The arena parse is the backing store: a flat node table with
+    /// interned strings (see [`crate::arena`]). Everything structural —
+    /// leaf counts, match trees, the `Node`/`Yaml` views — reads from it.
+    arena: ArenaParts,
     error: Option<ParseYamlError>,
+    /// `Node`/`Yaml` tree views, materialized from the arena on first
+    /// use: consumers that stay on the arena (leaf counts, match trees)
+    /// or only need text-level views never build the boxed trees at all.
+    nodes: OnceLock<Arc<Vec<Node>>>,
+    values: OnceLock<Arc<Vec<Yaml>>>,
     /// Token/line span tables, computed on first use: documents that only
     /// ever reach a substrate (pass@k samples, batch jobs) never pay the
     /// tokenization scans; documents that reach static scoring compute
@@ -144,20 +153,20 @@ pub struct PreparedDoc {
 }
 
 impl PreparedDoc {
-    /// Parses `source` once and caches every derived view.
+    /// Parses `source` once (into the arena) and caches every derived view.
     pub fn new(source: impl Into<String>) -> PreparedDoc {
         let source = source.into();
-        let (nodes, error) = match parse(&source) {
-            Ok(nodes) => (nodes, None),
-            Err(e) => (Vec::new(), Some(e)),
+        let (arena, error) = match parse_arena(&source) {
+            Ok(parts) => (parts, None),
+            Err(e) => (ArenaParts::default(), Some(e)),
         };
-        let values: Vec<Yaml> = nodes.iter().map(Node::to_value).collect();
-        let leaf_count = values.iter().map(Yaml::leaf_count).sum();
+        let leaf_count = arena.roots.iter().map(|&r| arena.leaf_count(r)).sum();
         let hash = content_hash(&source);
         PreparedDoc {
-            nodes: Arc::new(nodes),
-            values: Arc::new(values),
+            arena,
             error,
+            nodes: OnceLock::new(),
+            values: OnceLock::new(),
             tokens: OnceLock::new(),
             lines: OnceLock::new(),
             leaf_count,
@@ -188,22 +197,54 @@ impl PreparedDoc {
     }
 
     /// The parsed node trees (comments attached), one per document in the
-    /// stream; empty when the text did not parse.
+    /// stream; empty when the text did not parse. Materialized from the
+    /// arena on first use, then cached.
     pub fn nodes(&self) -> &[Node] {
-        &self.nodes
+        self.nodes.get_or_init(|| {
+            Arc::new(
+                self.arena
+                    .roots
+                    .iter()
+                    .map(|&r| self.arena.node_to_node(r))
+                    .collect(),
+            )
+        })
     }
 
     /// The plain values, one per document; empty when the text did not
-    /// parse.
+    /// parse. Materialized from the arena on first use, then cached.
     pub fn values(&self) -> &[Yaml] {
-        &self.values
+        self.values_arc()
+    }
+
+    fn values_arc(&self) -> &Arc<Vec<Yaml>> {
+        self.values.get_or_init(|| {
+            Arc::new(
+                self.arena
+                    .roots
+                    .iter()
+                    .map(|&r| self.arena.node_to_value(r))
+                    .collect(),
+            )
+        })
     }
 
     /// The values behind their shared allocation — hand this to another
     /// component (e.g. a simulated cluster's parse store) without deep
     /// copying the trees.
     pub fn values_shared(&self) -> Arc<Vec<Yaml>> {
-        Arc::clone(&self.values)
+        Arc::clone(self.values_arc())
+    }
+
+    /// The reference match trees (one per document), built by walking the
+    /// arena directly — label scoring never needs the boxed [`Node`]
+    /// trees. Empty when the text did not parse.
+    pub fn match_trees(&self) -> Vec<MatchTree> {
+        self.arena
+            .roots
+            .iter()
+            .map(|&r| MatchTree::from_parts(&self.arena, r))
+            .collect()
     }
 
     /// The cached BLEU token stream as slices of [`text`](PreparedDoc::text)

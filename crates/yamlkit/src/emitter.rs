@@ -21,7 +21,7 @@ pub fn emit(value: &Yaml) -> String {
     match value {
         Yaml::Seq(_) | Yaml::Map(_) => emit_block(value, 0, &mut out),
         scalar => {
-            out.push_str(&emit_scalar(scalar));
+            out.push_str(&emit_scalar_ref(scalar));
             out.push('\n');
         }
     }
@@ -68,7 +68,7 @@ fn emit_block(value: &Yaml, indent: usize, out: &mut String) {
         }
         scalar => {
             out.push_str(&pad);
-            out.push_str(&emit_scalar(scalar));
+            out.push_str(&emit_scalar_ref(scalar));
             out.push('\n');
         }
     }
@@ -93,7 +93,7 @@ fn emit_value_after_key(value: &Yaml, indent: usize, out: &mut String) {
         Yaml::Str(s) if s.contains('\n') => emit_literal_block(s, indent + 1, out),
         scalar => {
             out.push(' ');
-            out.push_str(&emit_scalar(scalar));
+            out.push_str(&emit_scalar_ref(scalar));
             out.push('\n');
         }
     }
@@ -124,7 +124,7 @@ fn emit_seq_item(item: &Yaml, indent: usize, out: &mut String) {
         Yaml::Str(s) if s.contains('\n') => emit_literal_block(s, indent + 1, out),
         scalar => {
             out.push(' ');
-            out.push_str(&emit_scalar(scalar));
+            out.push_str(&emit_scalar_ref(scalar));
             out.push('\n');
         }
     }
@@ -186,16 +186,26 @@ fn emit_key(key: &str) -> String {
 /// Emits a scalar, quoting strings that would otherwise change type or
 /// structure when re-parsed.
 pub fn emit_scalar(value: &Yaml) -> String {
+    emit_scalar_ref(value).into_owned()
+}
+
+/// [`emit_scalar`] without the allocation for plain strings: unquoted
+/// string scalars (the common case in k8s manifests) borrow straight
+/// from the `Yaml` value, so `out.push_str(&emit_scalar_ref(v))` copies
+/// the bytes exactly once.
+pub fn emit_scalar_ref(value: &Yaml) -> std::borrow::Cow<'_, str> {
+    use std::borrow::Cow;
     match value {
-        Yaml::Null => "null".to_owned(),
-        Yaml::Bool(b) => b.to_string(),
-        Yaml::Int(i) => i.to_string(),
-        Yaml::Float(f) => format_float(*f),
+        Yaml::Null => Cow::Borrowed("null"),
+        Yaml::Bool(true) => Cow::Borrowed("true"),
+        Yaml::Bool(false) => Cow::Borrowed("false"),
+        Yaml::Int(i) => Cow::Owned(i.to_string()),
+        Yaml::Float(f) => Cow::Owned(format_float(*f)),
         Yaml::Str(s) => {
             if needs_quoting(s) {
-                quote(s)
+                Cow::Owned(quote(s))
             } else {
-                s.clone()
+                Cow::Borrowed(s.as_str())
             }
         }
         Yaml::Seq(_) | Yaml::Map(_) => unreachable!("collections handled by emit_block"),

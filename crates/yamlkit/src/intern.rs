@@ -1,0 +1,208 @@
+//! Per-document string interning for the arena parse path.
+//!
+//! Kubernetes manifests draw their keys from a tiny repeated vocabulary
+//! (`apiVersion`, `kind`, `metadata`, `name`, `spec`, `containers`, …) and
+//! repeat many scalar values (`v1`, image names, label values). The legacy
+//! parser allocated a fresh `String` for every occurrence; the arena
+//! parser routes every scalar/key/comment through a [`StrInterner`]
+//! instead, so each distinct text is stored **once per document** in a
+//! single growable buffer and everything else carries a 4-byte [`Sym`].
+//!
+//! The interner is deliberately per-document, not global: documents are
+//! parsed concurrently on every pipeline stage, a process-global table
+//! would need locking on the hottest path in the system, and the k8s key
+//! vocabulary is small enough that per-document deduplication already
+//! captures nearly all of the win while keeping the arena trivially
+//! droppable in one free.
+//!
+//! No external deps, no unsafe: the probe table is open-addressed linear
+//! probing over FNV-1a hashes, the same hash family the content-addressed
+//! score memo uses.
+
+/// An interned string: an index into the owning [`StrInterner`]'s span
+/// table. `Sym`s are only meaningful together with the interner that
+/// produced them. Ids are dense and assignment-ordered: the first
+/// distinct string interned is `Sym(0)`, the next `Sym(1)`, and re-interning
+/// a seen string returns its original id (id stability — asserted by the
+/// interner stress test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(pub u32);
+
+/// FNV-1a over a byte string, the hash the probe table is keyed on.
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// A deduplicating string arena: one append-only byte buffer, a span
+/// table, and an FNV-keyed linear-probe index.
+///
+/// # Examples
+///
+/// ```
+/// use yamlkit::intern::StrInterner;
+/// let mut interner = StrInterner::new();
+/// let a = interner.intern("metadata");
+/// let b = interner.intern("metadata");
+/// assert_eq!(a, b); // deduplicated
+/// assert_eq!(interner.resolve(a), "metadata");
+/// assert_eq!(interner.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StrInterner {
+    /// Every distinct interned string, concatenated.
+    buf: String,
+    /// `(start, len)` byte spans into `buf`, indexed by `Sym`.
+    spans: Vec<(u32, u32)>,
+    /// Open-addressed probe table of `Sym` indices (`EMPTY_SLOT` = free).
+    /// Capacity is always a power of two; resized at 3/4 load.
+    table: Vec<u32>,
+}
+
+impl StrInterner {
+    /// An empty interner (no table allocated until the first intern).
+    pub fn new() -> StrInterner {
+        StrInterner::default()
+    }
+
+    /// An empty interner with room for roughly `capacity` distinct
+    /// strings before the probe table rehashes.
+    pub fn with_capacity(capacity: usize) -> StrInterner {
+        let slots = (capacity.max(4) * 4 / 3).next_power_of_two();
+        StrInterner {
+            buf: String::new(),
+            spans: Vec::with_capacity(capacity),
+            table: vec![EMPTY_SLOT; slots],
+        }
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total bytes of distinct string data held (the arena footprint).
+    pub fn buffer_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Current probe-table slot count (for load-factor assertions).
+    pub fn table_capacity(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Interns `s`, returning its stable [`Sym`]: the existing id when the
+    /// exact text was seen before, a fresh dense id otherwise.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if self.table.is_empty() {
+            self.table = vec![EMPTY_SLOT; 16];
+        } else if (self.spans.len() + 1) * 4 > self.table.len() * 3 {
+            self.grow();
+        }
+        let mask = self.table.len() - 1;
+        let mut slot = (fnv1a(s.as_bytes()) as usize) & mask;
+        loop {
+            let idx = self.table[slot];
+            if idx == EMPTY_SLOT {
+                let sym = Sym(self.spans.len() as u32);
+                let start = self.buf.len() as u32;
+                self.buf.push_str(s);
+                self.spans.push((start, s.len() as u32));
+                self.table[slot] = sym.0;
+                return sym;
+            }
+            if self.resolve(Sym(idx)) == s {
+                return Sym(idx);
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// The text behind a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` did not come from this interner.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        let (start, len) = self.spans[sym.0 as usize];
+        &self.buf[start as usize..(start + len) as usize]
+    }
+
+    /// Doubles the probe table and reinserts every span. Spans and the
+    /// buffer are untouched, so every issued [`Sym`] stays valid.
+    fn grow(&mut self) {
+        let new_cap = (self.table.len() * 2).max(16);
+        let mut table = vec![EMPTY_SLOT; new_cap];
+        let mask = new_cap - 1;
+        for (i, &(start, len)) in self.spans.iter().enumerate() {
+            let text = &self.buf[start as usize..(start + len) as usize];
+            let mut slot = (fnv1a(text.as_bytes()) as usize) & mask;
+            while table[slot] != EMPTY_SLOT {
+                slot = (slot + 1) & mask;
+            }
+            table[slot] = i as u32;
+        }
+        self.table = table;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates_and_resolves() {
+        let mut i = StrInterner::new();
+        let a = i.intern("apiVersion");
+        let b = i.intern("kind");
+        let c = i.intern("apiVersion");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "apiVersion");
+        assert_eq!(i.resolve(b), "kind");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn empty_string_interns_once() {
+        let mut i = StrInterner::new();
+        let a = i.intern("");
+        let b = i.intern("");
+        assert_eq!(a, b);
+        assert_eq!(i.resolve(a), "");
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_assignment_ordered() {
+        let mut i = StrInterner::new();
+        for n in 0..100 {
+            let sym = i.intern(&format!("key-{n}"));
+            assert_eq!(sym, Sym(n));
+        }
+    }
+
+    #[test]
+    fn growth_preserves_symbols() {
+        let mut i = StrInterner::with_capacity(4);
+        let syms: Vec<Sym> = (0..1000).map(|n| i.intern(&format!("s{n}"))).collect();
+        for (n, sym) in syms.iter().enumerate() {
+            assert_eq!(i.resolve(*sym), format!("s{n}"));
+            assert_eq!(i.intern(&format!("s{n}")), *sym);
+        }
+        // Load factor stays under 3/4 after growth.
+        assert!(i.table_capacity() * 3 >= i.len() * 4);
+    }
+}

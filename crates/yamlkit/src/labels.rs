@@ -13,6 +13,7 @@
 //! ("a tree with leaf nodes marked in exact/set/wildcard match and then
 //! calculate the IoU of dictionaries").
 
+use crate::arena::{ArenaKind, ArenaParts};
 use crate::parser::{parse_one, Node, NodeKind};
 use crate::value::Yaml;
 
@@ -58,15 +59,15 @@ impl MatchRule {
                 };
                 let Some(varying) = options
                     .iter()
-                    .map(Yaml::render_scalar)
-                    .find(|o| !o.is_empty() && reference.contains(o.as_str()))
+                    .map(Yaml::render_scalar_ref)
+                    .find(|o| !o.is_empty() && reference.contains(o.as_ref()))
                 else {
                     return false;
                 };
                 options
                     .iter()
-                    .map(Yaml::render_scalar)
-                    .any(|o| reference.replace(&varying, &o) == *candidate)
+                    .map(Yaml::render_scalar_ref)
+                    .any(|o| reference.replace(varying.as_ref(), o.as_ref()) == *candidate)
             }
         }
     }
@@ -106,6 +107,37 @@ impl MatchTree {
                 entries
                     .iter()
                     .map(|(k, v)| (k.clone(), MatchTree::from_node(v)))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Builds a match tree by walking an arena subtree directly — the
+    /// path `PreparedDoc::match_trees` uses, skipping `Node`
+    /// materialization entirely.
+    pub(crate) fn from_parts(parts: &ArenaParts, id: u32) -> MatchTree {
+        let node = &parts.nodes[id as usize];
+        match node.kind {
+            ArenaKind::Scalar(s) => {
+                let value = parts.scalar_to_yaml(s);
+                let comment = node.comment.map(|c| parts.interner.resolve(c));
+                MatchTree::Leaf(parse_label(comment, &value))
+            }
+            ArenaKind::Seq { start, len } => MatchTree::Seq(
+                parts.seq_children[start as usize..(start + len) as usize]
+                    .iter()
+                    .map(|&c| MatchTree::from_parts(parts, c))
+                    .collect(),
+            ),
+            ArenaKind::Map { start, len } => MatchTree::Map(
+                parts.map_entries[start as usize..(start + len) as usize]
+                    .iter()
+                    .map(|&(k, c)| {
+                        (
+                            parts.interner.resolve(k).to_owned(),
+                            MatchTree::from_parts(parts, c),
+                        )
+                    })
                     .collect(),
             ),
         }

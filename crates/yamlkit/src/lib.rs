@@ -29,17 +29,20 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod arena;
 pub mod doc;
 pub mod emitter;
+pub mod intern;
 pub mod json;
 pub mod labels;
 pub mod parser;
 pub mod path;
 mod value;
 
+pub use arena::ArenaDoc;
 pub use doc::PreparedDoc;
 pub use emitter::{emit, emit_all};
-pub use parser::{parse, parse_one, Node, NodeKind, ParseYamlError};
+pub use parser::{parse, parse_legacy, parse_one, Node, NodeKind, ParseYamlError};
 pub use value::Yaml;
 
 /// Canonicalizes YAML text: parse then emit. Returns `None` when the text

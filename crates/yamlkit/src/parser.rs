@@ -25,7 +25,7 @@ pub struct ParseYamlError {
 }
 
 impl ParseYamlError {
-    fn new(line: usize, message: impl Into<String>) -> Self {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
         ParseYamlError {
             line,
             message: message.into(),
@@ -139,6 +139,12 @@ impl Node {
 
 /// Parses every document in a YAML stream.
 ///
+/// Since the arena refactor this is a thin wrapper: the stream is parsed
+/// once by the span-based arena path ([`crate::arena`]) and the annotated
+/// [`Node`] trees are materialized from it. Output is identical to
+/// [`parse_legacy`] (proved by the proptest equivalence suite), without
+/// the per-line/per-token `String` churn.
+///
 /// # Errors
 ///
 /// Returns [`ParseYamlError`] on malformed input: bad indentation, unclosed
@@ -152,6 +158,20 @@ impl Node {
 /// # Ok::<(), yamlkit::ParseYamlError>(())
 /// ```
 pub fn parse(source: &str) -> Result<Vec<Node>, ParseYamlError> {
+    let parts = crate::arena::parse_arena(source)?;
+    Ok(parts.roots.iter().map(|&r| parts.node_to_node(r)).collect())
+}
+
+/// The pre-arena recursive-descent parser, retained verbatim as the
+/// correctness oracle for the equivalence suite and as the baseline leg
+/// of the `parse_engine` criterion group. Semantics are identical to
+/// [`parse`]; allocation behavior is not (per-line `String`s, per-token
+/// `String`s, boxed `Node` trees).
+///
+/// # Errors
+///
+/// Same failure modes and diagnostics as [`parse`].
+pub fn parse_legacy(source: &str) -> Result<Vec<Node>, ParseYamlError> {
     let lines = split_lines(source)?;
     let mut docs = Vec::new();
     let mut start = 0;
@@ -452,7 +472,7 @@ impl Parser {
             let Some((key, rest)) = split_key(&line.content) else {
                 break;
             };
-            let key = unquote_key(key, line.number)?;
+            let key = unquote_key_text(key, line.number)?;
             self.pos += 1;
             let rest = rest.trim();
             let node = if rest.is_empty() {
@@ -574,7 +594,7 @@ impl Parser {
 
 /// Folds lines the way `>` block scalars do: single newlines become spaces,
 /// blank lines become newlines, more-indented lines stay literal.
-fn fold_lines(lines: &[String]) -> String {
+pub(crate) fn fold_lines(lines: &[String]) -> String {
     let mut out = String::new();
     let mut prev_blank = true;
     let mut prev_indented = false;
@@ -600,19 +620,19 @@ fn fold_lines(lines: &[String]) -> String {
 }
 
 #[derive(Clone, Copy)]
-enum Chomp {
+pub(crate) enum Chomp {
     Strip,
     Clip,
     Keep,
 }
 
-struct BlockScalarHeader {
-    folded: bool,
-    chomp: Chomp,
+pub(crate) struct BlockScalarHeader {
+    pub(crate) folded: bool,
+    pub(crate) chomp: Chomp,
 }
 
 impl BlockScalarHeader {
-    fn parse(token: &str) -> Option<Self> {
+    pub(crate) fn parse(token: &str) -> Option<Self> {
         let mut chars = token.chars();
         let folded = match chars.next()? {
             '|' => false,
@@ -634,7 +654,7 @@ impl BlockScalarHeader {
 
 /// Splits a mapping line into key and the remainder after `: `.
 /// Returns `None` if the line is not a mapping entry.
-fn split_key(content: &str) -> Option<(&str, &str)> {
+pub(crate) fn split_key(content: &str) -> Option<(&str, &str)> {
     let bytes = content.as_bytes();
     let mut in_single = false;
     let mut in_double = false;
@@ -673,14 +693,13 @@ fn split_key(content: &str) -> Option<(&str, &str)> {
     None
 }
 
-fn unquote_key(key: &str, line: usize) -> Result<String, ParseYamlError> {
-    if (key.starts_with('"') && key.ends_with('"') && key.len() >= 2)
-        || (key.starts_with('\'') && key.ends_with('\'') && key.len() >= 2)
-    {
-        match parse_scalar_token(key, line, &mut HashMap::new())? {
-            Yaml::Str(s) => Ok(s),
-            other => Ok(other.render_scalar()),
-        }
+/// Unquotes a mapping key: quoted keys are unescaped, bare keys pass
+/// through. Shared between the legacy and arena paths.
+pub(crate) fn unquote_key_text(key: &str, line: usize) -> Result<String, ParseYamlError> {
+    if key.starts_with('"') && key.ends_with('"') && key.len() >= 2 {
+        unescape_double_quoted(key, line)
+    } else if key.starts_with('\'') && key.ends_with('\'') && key.len() >= 2 {
+        unescape_single_quoted(key, line)
     } else {
         Ok(key.to_owned())
     }
@@ -751,7 +770,7 @@ fn parse_scalar_token(
     Ok(plain_scalar(token))
 }
 
-fn coerce_tag(tag: &str, v: Yaml) -> Yaml {
+pub(crate) fn coerce_tag(tag: &str, v: Yaml) -> Yaml {
     match tag {
         "!!str" => Yaml::Str(v.render_scalar()),
         "!!int" => v.render_scalar().parse::<i64>().map(Yaml::Int).unwrap_or(v),
@@ -769,38 +788,61 @@ fn coerce_tag(tag: &str, v: Yaml) -> Yaml {
     }
 }
 
-/// Types a plain (unquoted) scalar per YAML 1.2 core schema conventions.
-pub fn plain_scalar(token: &str) -> Yaml {
+/// The type a plain scalar resolves to, with `Str` left unallocated so
+/// the arena path can intern the source slice directly.
+pub(crate) enum PlainKind {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str,
+}
+
+/// Classifies a plain (unquoted) scalar per YAML 1.2 core schema
+/// conventions without allocating. Single source of truth for both the
+/// legacy and arena paths.
+pub(crate) fn plain_scalar_kind(token: &str) -> PlainKind {
     match token {
-        "" | "~" | "null" | "Null" | "NULL" => return Yaml::Null,
-        "true" | "True" | "TRUE" => return Yaml::Bool(true),
-        "false" | "False" | "FALSE" => return Yaml::Bool(false),
-        ".inf" | "+.inf" | ".Inf" => return Yaml::Float(f64::INFINITY),
-        "-.inf" | "-.Inf" => return Yaml::Float(f64::NEG_INFINITY),
-        ".nan" | ".NaN" => return Yaml::Float(f64::NAN),
+        "" | "~" | "null" | "Null" | "NULL" => return PlainKind::Null,
+        "true" | "True" | "TRUE" => return PlainKind::Bool(true),
+        "false" | "False" | "FALSE" => return PlainKind::Bool(false),
+        ".inf" | "+.inf" | ".Inf" => return PlainKind::Float(f64::INFINITY),
+        "-.inf" | "-.Inf" => return PlainKind::Float(f64::NEG_INFINITY),
+        ".nan" | ".NaN" => return PlainKind::Float(f64::NAN),
         _ => {}
     }
     if let Some(hex) = token.strip_prefix("0x") {
         if let Ok(i) = i64::from_str_radix(hex, 16) {
-            return Yaml::Int(i);
+            return PlainKind::Int(i);
         }
     }
     if let Some(oct) = token.strip_prefix("0o") {
         if let Ok(i) = i64::from_str_radix(oct, 8) {
-            return Yaml::Int(i);
+            return PlainKind::Int(i);
         }
     }
     if looks_like_int(token) {
         if let Ok(i) = token.parse::<i64>() {
-            return Yaml::Int(i);
+            return PlainKind::Int(i);
         }
     }
     if looks_like_float(token) {
         if let Ok(f) = token.parse::<f64>() {
-            return Yaml::Float(f);
+            return PlainKind::Float(f);
         }
     }
-    Yaml::Str(token.to_owned())
+    PlainKind::Str
+}
+
+/// Types a plain (unquoted) scalar per YAML 1.2 core schema conventions.
+pub fn plain_scalar(token: &str) -> Yaml {
+    match plain_scalar_kind(token) {
+        PlainKind::Null => Yaml::Null,
+        PlainKind::Bool(b) => Yaml::Bool(b),
+        PlainKind::Int(i) => Yaml::Int(i),
+        PlainKind::Float(f) => Yaml::Float(f),
+        PlainKind::Str => Yaml::Str(token.to_owned()),
+    }
 }
 
 fn looks_like_int(token: &str) -> bool {
@@ -836,6 +878,12 @@ fn looks_like_float(token: &str) -> bool {
 }
 
 fn parse_double_quoted(token: &str, line: usize) -> Result<Yaml, ParseYamlError> {
+    unescape_double_quoted(token, line).map(Yaml::Str)
+}
+
+/// Unescapes a `"..."` token (quotes included) into its text. Shared
+/// between the legacy and arena paths.
+pub(crate) fn unescape_double_quoted(token: &str, line: usize) -> Result<String, ParseYamlError> {
     let inner = token
         .strip_prefix('"')
         .and_then(|t| t.strip_suffix('"'))
@@ -870,15 +918,21 @@ fn parse_double_quoted(token: &str, line: usize) -> Result<Yaml, ParseYamlError>
             None => return Err(ParseYamlError::new(line, "dangling escape")),
         }
     }
-    Ok(Yaml::Str(out))
+    Ok(out)
 }
 
 fn parse_single_quoted(token: &str, line: usize) -> Result<Yaml, ParseYamlError> {
+    unescape_single_quoted(token, line).map(Yaml::Str)
+}
+
+/// Unescapes a `'...'` token (quotes included) into its text. Shared
+/// between the legacy and arena paths.
+pub(crate) fn unescape_single_quoted(token: &str, line: usize) -> Result<String, ParseYamlError> {
     let inner = token
         .strip_prefix('\'')
         .and_then(|t| t.strip_suffix('\''))
         .ok_or_else(|| ParseYamlError::new(line, "unterminated single-quoted string"))?;
-    Ok(Yaml::Str(inner.replace("''", "'")))
+    Ok(inner.replace("''", "'"))
 }
 
 /// Parses a flow collection starting at byte 0 of `s`; returns the value and
@@ -926,7 +980,7 @@ fn parse_flow(s: &str, line: usize) -> Result<(Yaml, usize), ParseYamlError> {
                 let colon = find_flow_colon(&s[i..]).ok_or_else(|| {
                     ParseYamlError::new(line, "expected key: value in flow mapping")
                 })?;
-                let key = unquote_key(s[i..i + colon].trim(), line)?;
+                let key = unquote_key_text(s[i..i + colon].trim(), line)?;
                 i = skip_ws(s, i + colon + 1);
                 let (v, used) = if matches!(bytes.get(i), Some(b',') | Some(b'}')) {
                     (Yaml::Null, 0)
@@ -955,7 +1009,7 @@ fn skip_ws(s: &str, mut i: usize) -> usize {
 }
 
 /// Finds the `:` separating key from value inside a flow mapping entry.
-fn find_flow_colon(s: &str) -> Option<usize> {
+pub(crate) fn find_flow_colon(s: &str) -> Option<usize> {
     let bytes = s.as_bytes();
     let mut in_single = false;
     let mut in_double = false;
@@ -1000,7 +1054,7 @@ fn parse_flow_value(s: &str, line: usize) -> Result<(Yaml, usize), ParseYamlErro
     }
 }
 
-fn find_quote_end(s: &str, quote: char, line: usize) -> Result<usize, ParseYamlError> {
+pub(crate) fn find_quote_end(s: &str, quote: char, line: usize) -> Result<usize, ParseYamlError> {
     let bytes = s.as_bytes();
     let q = quote as u8;
     let mut i = 1;

@@ -187,13 +187,23 @@ impl Yaml {
     /// Renders the scalar the way `kubectl -o jsonpath` renders leaf values.
     /// Collections render as compact JSON.
     pub fn render_scalar(&self) -> String {
+        self.render_scalar_ref().into_owned()
+    }
+
+    /// [`render_scalar`](Yaml::render_scalar) without the unconditional
+    /// allocation: string scalars borrow, everything else renders into an
+    /// owned `Cow`. This is the fast path for label matching, which
+    /// renders the same option lists against every candidate leaf.
+    pub fn render_scalar_ref(&self) -> std::borrow::Cow<'_, str> {
+        use std::borrow::Cow;
         match self {
-            Yaml::Null => String::new(),
-            Yaml::Bool(b) => b.to_string(),
-            Yaml::Int(i) => i.to_string(),
-            Yaml::Float(f) => format_float(*f),
-            Yaml::Str(s) => s.clone(),
-            other => crate::json::to_json(other),
+            Yaml::Null => Cow::Borrowed(""),
+            Yaml::Bool(true) => Cow::Borrowed("true"),
+            Yaml::Bool(false) => Cow::Borrowed("false"),
+            Yaml::Int(i) => Cow::Owned(i.to_string()),
+            Yaml::Float(f) => Cow::Owned(format_float(*f)),
+            Yaml::Str(s) => Cow::Borrowed(s.as_str()),
+            other => Cow::Owned(crate::json::to_json(other)),
         }
     }
 
