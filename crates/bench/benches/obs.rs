@@ -1,0 +1,69 @@
+//! The `obs_engine` bench group: the price of the observability layer.
+//!
+//! Two complementary measurements:
+//!
+//! * `streamed-grid` — one model's streamed evaluation grid with the
+//!   global metrics registry live (the shipping default) vs disabled
+//!   through the kill switch. The two must be within noise of each
+//!   other: recording is a handful of relaxed atomic RMWs per sample,
+//!   and the span collector is off unless something turns it on.
+//! * `record` — the raw per-sample cost of one histogram record with
+//!   the registry enabled and disabled, isolating the instrumentation
+//!   primitive from pipeline noise.
+//!
+//! CI runs this group non-gating with `CRITERION_JSON=BENCH_obs.json`
+//! to record the overhead trajectory.
+
+use std::sync::Arc;
+
+use cedataset::{Dataset, Variant};
+use cloudeval_core::harness::{evaluate, EvalOptions};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use llmsim::{ModelProfile, SimulatedModel};
+
+fn bench_obs_engine(c: &mut Criterion) {
+    let dataset = Arc::new(Dataset::generate());
+    let model = SimulatedModel::new(
+        ModelProfile::by_name("gpt-4").unwrap(),
+        Arc::clone(&dataset),
+    );
+    let options = EvalOptions {
+        variants: Variant::ALL.to_vec(),
+        stride: 6,
+        workers: 8,
+        ..EvalOptions::default()
+    };
+    let mut group = c.benchmark_group("obs_engine");
+    group.sample_size(10);
+    for (label, enabled) in [("instrumented", true), ("uninstrumented", false)] {
+        group.bench_with_input(
+            BenchmarkId::new("streamed-grid", label),
+            &enabled,
+            |b, &enabled| {
+                obs::global().set_enabled(enabled);
+                b.iter(|| black_box(evaluate(&model, &dataset, &options)));
+                obs::global().set_enabled(true);
+            },
+        );
+    }
+    let hist = obs::global().histogram("obs_bench_record_us", &[], "obs_engine micro-bench series");
+    for (label, enabled) in [("enabled", true), ("disabled", false)] {
+        group.bench_with_input(
+            BenchmarkId::new("record", label),
+            &enabled,
+            |b, &enabled| {
+                obs::global().set_enabled(enabled);
+                let mut us = 0u64;
+                b.iter(|| {
+                    us = us.wrapping_add(17) % 1_000_000;
+                    hist.record_us(black_box(us));
+                });
+                obs::global().set_enabled(true);
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_engine);
+criterion_main!(benches);

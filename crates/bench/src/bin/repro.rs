@@ -212,6 +212,7 @@ fn main() {
             "fig8" => context(&mut experiments, stride, workers).fig8(16),
             "fig9" => context(&mut experiments, stride, workers).fig9(),
             "grid" => context(&mut experiments, stride, workers).grid(&variants),
+            "trace" => context(&mut experiments, stride, workers).trace(&variants),
             "repair" => context(&mut experiments, stride, workers).repair(rounds, feedback),
             "pipeline" => context(&mut experiments, stride, workers).pipeline(
                 &variants,
@@ -235,7 +236,8 @@ fn main() {
 
 const ALL_TARGETS: &[&str] = &[
     "parse", "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
-    "table9", "fig5", "fig6", "fig7", "fig8", "fig9", "grid", "pipeline", "repair", "serve",
+    "table9", "fig5", "fig6", "fig7", "fig8", "fig9", "grid", "trace", "pipeline", "repair",
+    "serve",
 ];
 
 fn parse_variants(list: &str) -> Result<Vec<Variant>, String> {
@@ -261,7 +263,8 @@ fn print_usage() {
     eprintln!("targets: {} | all | bench", ALL_TARGETS.join(" | "));
     eprintln!("parse: legacy-vs-arena YAML parse A/B with 1.5x verdict");
     eprintln!("bench: run every criterion engine group, refreshing BENCH_*.json at the repo root (not part of `all`)");
-    eprintln!("variants: original,simplified,translated (grid/pipeline targets)");
+    eprintln!("variants: original,simplified,translated (grid/trace/pipeline targets)");
+    eprintln!("trace: per-stage time breakdown of one grid run from the obs layer, plus one repair attempt's span tree");
     eprintln!("channel-bound: stage-graph backpressure depth (pipeline target)");
     eprintln!("prepared: parse-once document model A/B (pipeline target)");
     eprintln!("rounds/feedback: fail-learn-refine loop knobs (repair target)");

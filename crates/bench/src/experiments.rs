@@ -327,6 +327,153 @@ impl Experiments {
         out
     }
 
+    /// The `repro trace` target: one model's grid run with the global
+    /// metrics registry snapshotted before and after, rendered as a
+    /// per-series time-breakdown table (deltas only, so registry warmth
+    /// from earlier targets never pollutes the numbers), plus one traced
+    /// repair attempt reconstructed as a span tree from the span ring.
+    pub fn trace(&self, variants: &[Variant]) -> String {
+        use std::collections::HashMap;
+
+        use obs::{HistogramSnapshot, MetricSnapshot, MetricValue, SpanRecord};
+
+        let series_key = |s: &MetricSnapshot| -> String {
+            if s.labels.is_empty() {
+                s.name.clone()
+            } else {
+                let labels: Vec<String> =
+                    s.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                format!("{}{{{}}}", s.name, labels.join(","))
+            }
+        };
+        let histograms = |snaps: Vec<MetricSnapshot>| -> Vec<(String, String, HistogramSnapshot)> {
+            snaps
+                .into_iter()
+                .filter_map(|s| {
+                    let k = series_key(&s);
+                    match s.value {
+                        MetricValue::Histogram(h) => Some((s.name, k, h)),
+                        _ => None,
+                    }
+                })
+                .collect()
+        };
+
+        let registry = obs::global();
+        let model = self.model("gpt-4");
+        let mut out = String::from("Per-stage time breakdown (obs layer, one grid run)\n");
+        out.push_str(&format!(
+            "model: {} | variants: {} | stride: {} | workers: {}\n",
+            model.profile().name,
+            variants
+                .iter()
+                .map(|v| v.label())
+                .collect::<Vec<_>>()
+                .join(","),
+            self.stride,
+            self.workers,
+        ));
+
+        let before: HashMap<String, HistogramSnapshot> = histograms(registry.snapshot())
+            .into_iter()
+            .map(|(_, k, h)| (k, h))
+            .collect();
+        let started = std::time::Instant::now();
+        let records = self.eval(model, variants.to_vec(), 0);
+        let wall = started.elapsed();
+
+        out.push_str(&format!(
+            "  {:<44} {:>7} {:>10} {:>9} {:>9} {:>9}\n",
+            "series", "count", "total ms", "mean us", "p50 us", "p99 us"
+        ));
+        let mut consistent = true;
+        // Per stage-pool invariant: each of the run's `workers` threads
+        // can be busy for at most the run's wall-clock, so one series'
+        // recorded service time can never exceed wall x workers (5%
+        // slack for clock edges).
+        let budget_us = wall.as_secs_f64() * 1e6 * self.workers as f64 * 1.05 + 1.0;
+        for (name, key, now) in histograms(registry.snapshot()) {
+            let delta = match before.get(&key) {
+                Some(earlier) => now.delta_since(earlier),
+                None => now,
+            };
+            if delta.count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {:<44} {:>7} {:>10.2} {:>9.1} {:>9.1} {:>9.1}\n",
+                key,
+                delta.count,
+                delta.sum_us as f64 / 1e3,
+                delta.mean_us(),
+                delta.p50_us(),
+                delta.p99_us(),
+            ));
+            if name == "stage_service_us" {
+                consistent &= (delta.sum_us as f64) <= budget_us;
+            }
+        }
+        out.push_str(&format!(
+            "grid: {} records in {:.2}s\n",
+            records.len(),
+            wall.as_secs_f64(),
+        ));
+        out.push_str(&format!(
+            "consistency: per-stage service time vs wall x {} workers -> {}\n",
+            self.workers,
+            if consistent { "consistent" } else { "VIOLATED" },
+        ));
+
+        // One traced repair attempt: flip the span ring on for a
+        // single-round repair pass and reconstruct the last attempt's
+        // generation -> extraction -> scoring tree, plus its verdict.
+        let collector = obs::spans();
+        collector.set_enabled(true);
+        let _ = collector.drain();
+        let repair = evaluate_repair(
+            model,
+            &self.dataset,
+            &self.options(vec![Variant::Original], 0),
+            1,
+            FeedbackMode::Full,
+        );
+        collector.set_enabled(false);
+        let spans = collector.drain();
+        out.push_str(&format!(
+            "span ring: {} spans captured over a 1-round repair pass ({} records, ring capacity {})\n",
+            spans.len(),
+            repair.total(),
+            collector.capacity(),
+        ));
+        fn render_tree(out: &mut String, spans: &[SpanRecord], node: &SpanRecord, depth: usize) {
+            let tags: String = node.tags.iter().map(|(k, v)| format!(" {k}={v}")).collect();
+            out.push_str(&format!(
+                "{}{} {}us{}\n",
+                "  ".repeat(depth),
+                node.name,
+                node.duration_us(),
+                tags,
+            ));
+            for child in spans.iter().filter(|s| s.parent == node.id) {
+                render_tree(out, spans, child, depth + 1);
+            }
+        }
+        if let Some(attempt) = spans
+            .iter()
+            .rev()
+            .find(|s| s.name == "repair_attempt" && s.parent == 0)
+        {
+            out.push_str("one traced attempt (same trace id across spans):\n");
+            for root in spans
+                .iter()
+                .filter(|s| s.trace == attempt.trace && s.parent == 0)
+            {
+                render_tree(&mut out, &spans, root, 1);
+            }
+        }
+        out
+    }
+
     /// Table 1: practical data augmentation statistics.
     pub fn table1(&self) -> String {
         cedataset::stats::table1(&self.dataset)
@@ -558,6 +705,19 @@ mod tests {
             };
             assert!(count("r2") > count("r0"), "no repair gain on row: {line}");
         }
+    }
+
+    #[test]
+    fn trace_breaks_down_stage_time_and_reconstructs_an_attempt() {
+        let e = Experiments::with_workers(24, 4);
+        let out = e.trace(&[Variant::Original]);
+        assert!(out.contains("stage_service_us{stage=extract}"), "{out}");
+        assert!(out.contains("stage_service_us{stage=score}"), "{out}");
+        assert!(out.contains("-> consistent"), "{out}");
+        assert!(!out.contains("VIOLATED"), "{out}");
+        assert!(out.contains("span ring: "), "{out}");
+        assert!(out.contains("repair_attempt"), "{out}");
+        assert!(out.contains("generate"), "{out}");
     }
 
     #[test]

@@ -101,6 +101,7 @@ pub const ENGINE_BENCHES: &[(&str, &str, &str)] = &[
     ("scoring", "score_engine", "BENCH_score.json"),
     ("repair", "repair_engine", "BENCH_repair.json"),
     ("serve", "serve_engine", "BENCH_serve.json"),
+    ("obs", "obs_engine", "BENCH_obs.json"),
 ];
 
 /// The repository root, resolved from this crate's manifest directory

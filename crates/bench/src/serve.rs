@@ -142,6 +142,7 @@ pub fn serve_report(options: &ServeOptions) -> String {
     }
 
     let stats = loadgen::fetch_stats(addr).unwrap_or(Yaml::Null);
+    let metrics = loadgen::fetch_metrics(addr).unwrap_or_default();
     server.shutdown().expect("clean shutdown");
 
     let mut out = String::new();
@@ -159,6 +160,11 @@ pub fn serve_report(options: &ServeOptions) -> String {
         report.transport_errors,
         failures,
     ));
+    out.push_str(&format!(
+        "client latency: p50 {:.2}ms, p99 {:.2}ms\n",
+        report.latency_p50().as_secs_f64() * 1e3,
+        report.latency_p99().as_secs_f64() * 1e3,
+    ));
     let stat = |path: &[&str]| -> i64 { stats.get_path(path).and_then(Yaml::as_i64).unwrap_or(-1) };
     out.push_str(&format!(
         "memo: {} entries, {} hits / {} misses; response cache: {} entries, {} hits\n",
@@ -173,6 +179,14 @@ pub fn serve_report(options: &ServeOptions) -> String {
         stat(&["stages", "completed"]),
         stat(&["connections", "rejected_busy"]),
     ));
+    // One real series line from /v1/metrics, verbatim: CI greps the
+    // serve output for `http_request_us_count` to prove the exposition
+    // endpoint served a request-latency histogram during the smoke.
+    let sample = metrics
+        .lines()
+        .find(|line| line.starts_with("http_request_us_count{endpoint=\"evaluate\"}"))
+        .unwrap_or("http_request_us MISSING from /v1/metrics");
+    out.push_str(&format!("metrics sample: {sample}\n"));
     out.push_str(&format!(
         "verification vs direct pipeline + pre-refactor text path: {verified} identical, {} DIVERGED -> {}\n",
         diverged + text_diverged,
@@ -205,5 +219,10 @@ mod tests {
         let report = smoke(24);
         assert!(report.contains("-> identical"), "{report}");
         assert!(report.contains("served 24 requests"), "{report}");
+        assert!(report.contains("client latency: p50 "), "{report}");
+        assert!(
+            report.contains("metrics sample: http_request_us_count{endpoint=\"evaluate\"}"),
+            "{report}"
+        );
     }
 }

@@ -51,6 +51,124 @@ impl ResponseSink for BufSink<'_> {
 /// Most items accepted in one `/v1/batch` request.
 pub const MAX_BATCH_ITEMS: usize = 4096;
 
+/// Longest accepted `x-request-id` value.
+const MAX_REQUEST_ID: usize = 128;
+
+/// Wire labels of the service's endpoints — the `endpoint` label values
+/// on `http_requests_total` and `http_request_us`.
+const ENDPOINTS: [&str; 6] = ["problems", "stats", "metrics", "evaluate", "batch", "other"];
+
+fn endpoint_index(path: &str) -> usize {
+    match path {
+        "/v1/problems" => 0,
+        "/v1/stats" => 1,
+        "/v1/metrics" => 2,
+        "/v1/evaluate" => 3,
+        "/v1/batch" => 4,
+        _ => 5,
+    }
+}
+
+fn id_value_ok(value: &str) -> bool {
+    !value.is_empty()
+        && value.len() <= MAX_REQUEST_ID
+        && value.bytes().all(|b| (0x21..=0x7e).contains(&b))
+}
+
+/// The request's `x-request-id` header value, when present and wire-safe
+/// (visible ASCII, at most `MAX_REQUEST_ID` = 128 bytes). The service echoes
+/// it verbatim on every response to the request, so client-side and
+/// server-side observations of one request correlate.
+pub fn request_id(request: &Request) -> Option<&str> {
+    request.header("x-request-id").filter(|v| id_value_ok(v))
+}
+
+/// Scans raw (possibly incomplete) request bytes for an `x-request-id`
+/// header, so responses sent before a request finishes parsing (408
+/// timeout, 400 parse failure, 503 shed) still correlate.
+pub fn scan_request_id(bytes: &[u8]) -> Option<String> {
+    let text = String::from_utf8_lossy(bytes);
+    for line in text.split(['\r', '\n']) {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("x-request-id") {
+            let value = value.trim();
+            return id_value_ok(value).then(|| value.to_owned());
+        }
+    }
+    None
+}
+
+/// Pre-resolved handles into this service's private metrics registry, so
+/// the per-request hot path pays atomic increments, never a registry
+/// lookup. Serving metrics (`http_*`) live here, isolated per
+/// [`Service`]; engine metrics (`stage_*`, `memo_*`, `substrate_*`, ...)
+/// live in [`obs::global`] — `GET /v1/metrics` renders both.
+pub struct HttpMetrics {
+    registry: obs::Registry,
+    pub(crate) request_us: [obs::Histogram; ENDPOINTS.len()],
+    pub(crate) requests_total: [obs::Counter; ENDPOINTS.len()],
+    pub(crate) accept_to_first_byte_us: obs::Histogram,
+    pub(crate) assembly_us: obs::Histogram,
+    pub(crate) handler_us: obs::Histogram,
+    pub(crate) queue_wait_us: obs::Histogram,
+    pub(crate) write_drain_us: obs::Histogram,
+    pub(crate) bytes_in: obs::Counter,
+    pub(crate) bytes_out: obs::Counter,
+}
+
+impl HttpMetrics {
+    fn new() -> HttpMetrics {
+        let registry = obs::Registry::new();
+        let request_us = ENDPOINTS.map(|e| {
+            registry.histogram(
+                "http_request_us",
+                &[("endpoint", e)],
+                "end-to-end handler latency of one request",
+            )
+        });
+        let requests_total = ENDPOINTS.map(|e| {
+            registry.counter(
+                "http_requests_total",
+                &[("endpoint", e)],
+                "requests answered, by endpoint",
+            )
+        });
+        let phase = |p| {
+            registry.histogram(
+                "http_phase_us",
+                &[("phase", p)],
+                "time one request spent in one serving phase",
+            )
+        };
+        let bytes = |d| {
+            registry.counter(
+                "http_bytes_total",
+                &[("direction", d)],
+                "request and response bytes moved",
+            )
+        };
+        HttpMetrics {
+            request_us,
+            requests_total,
+            accept_to_first_byte_us: phase("accept_to_first_byte"),
+            assembly_us: phase("assembly"),
+            handler_us: phase("handler"),
+            queue_wait_us: phase("queue_wait"),
+            write_drain_us: phase("write_drain"),
+            bytes_in: bytes("in"),
+            bytes_out: bytes("out"),
+            registry,
+        }
+    }
+
+    /// The registry behind this service's `http_*` series.
+    pub fn registry(&self) -> &obs::Registry {
+        &self.registry
+    }
+}
+
 /// Most entries held in the in-process response cache before it resets.
 const MAX_RESPONSE_CACHE: usize = 65_536;
 
@@ -86,6 +204,8 @@ pub struct ServiceStats {
     pub batch_requests: AtomicUsize,
     /// `GET /v1/stats` requests.
     pub stats_requests: AtomicUsize,
+    /// `GET /v1/metrics` requests.
+    pub metrics_requests: AtomicUsize,
     /// Requests answered with a 4xx error.
     pub client_errors: AtomicUsize,
     /// Individual records streamed through `/v1/batch`.
@@ -143,6 +263,7 @@ pub struct Service {
     refs: RefCache,
     gauges: StageGauges,
     stats: ServiceStats,
+    metrics: HttpMetrics,
     workers: usize,
     started: Instant,
 }
@@ -165,6 +286,7 @@ impl Service {
             refs: RefCache::new(),
             gauges: StageGauges::new(),
             stats: ServiceStats::default(),
+            metrics: HttpMetrics::new(),
             workers: workers.max(1),
             started: Instant::now(),
         }
@@ -183,6 +305,11 @@ impl Service {
     /// Live statistics counters.
     pub fn stats(&self) -> &ServiceStats {
         &self.stats
+    }
+
+    /// Serving-layer metrics (`http_*` series) for this service.
+    pub fn metrics(&self) -> &HttpMetrics {
+        &self.metrics
     }
 
     /// Looks a problem up by id.
@@ -387,8 +514,28 @@ fn stats_body(service: &Service) -> String {
     };
     let count = |a: &AtomicUsize| i64::try_from(a.load(Ordering::Relaxed)).unwrap_or(0);
     let g = &service.gauges;
+    let m = &service.metrics;
+    let latency: Yaml = Yaml::Map(
+        ENDPOINTS
+            .iter()
+            .zip(&m.request_us)
+            .map(|(endpoint, hist)| {
+                let snap = hist.snapshot();
+                (
+                    (*endpoint).to_string(),
+                    ymap! {
+                        "count" => i64::try_from(snap.count).unwrap_or(i64::MAX),
+                        "mean_us" => snap.mean_us(),
+                        "p50_us" => snap.p50_us(),
+                        "p99_us" => snap.p99_us(),
+                    },
+                )
+            })
+            .collect(),
+    );
     yamlkit::json::to_json(&ymap! {
         "uptime_ms" => i64::try_from(service.started.elapsed().as_millis()).unwrap_or(i64::MAX),
+        "uptime_seconds" => i64::try_from(service.started.elapsed().as_secs()).unwrap_or(i64::MAX),
         "workers" => i64::try_from(service.workers).unwrap_or(0),
         "requests" => ymap! {
             "total" => count(&s.requests),
@@ -396,8 +543,14 @@ fn stats_body(service: &Service) -> String {
             "evaluate" => count(&s.evaluate_requests),
             "batch" => count(&s.batch_requests),
             "stats" => count(&s.stats_requests),
+            "metrics" => count(&s.metrics_requests),
             "errors_4xx" => count(&s.client_errors),
         },
+        "bytes" => ymap! {
+            "in" => i64::try_from(m.bytes_in.get()).unwrap_or(i64::MAX),
+            "out" => i64::try_from(m.bytes_out.get()).unwrap_or(i64::MAX),
+        },
+        "latency" => latency,
         "connections" => ymap! {
             "active" => count(&s.connections),
             "accept_queue_depth" => count(&s.queue_depth),
@@ -435,6 +588,17 @@ fn stats_body(service: &Service) -> String {
     })
 }
 
+/// `GET /v1/metrics`: Prometheus text exposition — this service's
+/// `http_*` series followed by the process-wide engine series
+/// (`stage_*`, `shard_*`, `memo_*`, `substrate_*`, `llm_*`). The two
+/// registries use disjoint metric names, so the concatenation never
+/// duplicates a series.
+fn metrics_body(service: &Service) -> String {
+    let mut text = obs::expo::render(&service.metrics.registry.snapshot());
+    text.push_str(&obs::expo::render(&obs::global().snapshot()));
+    text
+}
+
 /// `POST /v1/evaluate`.
 fn evaluate_body(service: &Service, request: &Request) -> Result<String, ApiError> {
     let value = decode_body(request.body())?;
@@ -466,6 +630,7 @@ fn batch_stream<S: ResponseSink>(
     service: &Service,
     request: &Request,
     sink: &mut S,
+    extra_headers: &[(&str, &str)],
 ) -> Result<bool, ApiError> {
     let value = decode_body(request.body())?;
     let items = match value.get("items") {
@@ -511,7 +676,12 @@ fn batch_stream<S: ResponseSink>(
 
     // From here on the status line is committed; a vanished client just
     // stops the stream (`alive` flips false and writes become no-ops).
-    let head = http::encode_chunked_head(200, "application/x-ndjson", request.keep_alive);
+    let head = http::encode_chunked_head_with(
+        200,
+        "application/x-ndjson",
+        request.keep_alive,
+        extra_headers,
+    );
     let writer = Mutex::new((sink, true));
     if !{
         let mut guard = writer.lock().expect("batch writer poisoned");
@@ -578,63 +748,140 @@ pub fn needs_worker(request: &Request) -> bool {
 
 /// Routes one request and queues the response into `sink`. Returns
 /// whether the connection may serve another request.
+///
+/// Wraps the dispatch with the serving-layer observability: per-endpoint
+/// request counters and latency histograms, byte accounting, an
+/// `http_request` trace span, and the `x-request-id` echo.
 pub fn handle<S: ResponseSink>(service: &Service, request: &Request, sink: &mut S) -> bool {
-    service.stats.requests.fetch_add(1, Ordering::Relaxed);
-    let outcome: Result<Option<String>, ApiError> = match (request.method(), request.path()) {
-        ("GET", "/v1/problems") => {
-            service
-                .stats
-                .problems_requests
-                .fetch_add(1, Ordering::Relaxed);
-            Ok(Some(problems_body(service)))
+    let started = Instant::now();
+    let m = &service.metrics;
+    let endpoint = endpoint_index(request.path());
+    m.requests_total[endpoint].inc();
+    m.bytes_in.add(request.wire_len() as u64);
+    let id = request_id(request);
+    let trace = id.map_or_else(obs::TraceId::new, obs::TraceId::from_label);
+    let mut span = obs::Span::start("http_request", trace);
+    if span.is_recording() {
+        span.tag("endpoint", ENDPOINTS[endpoint]);
+        span.tag("method", request.method().to_owned());
+        if let Some(id) = id {
+            span.tag("request_id", id.to_owned());
         }
-        ("GET", "/v1/stats") => {
-            service.stats.stats_requests.fetch_add(1, Ordering::Relaxed);
-            Ok(Some(stats_body(service)))
-        }
-        ("POST", "/v1/evaluate") => {
-            service
-                .stats
-                .evaluate_requests
-                .fetch_add(1, Ordering::Relaxed);
-            evaluate_body(service, request).map(Some)
-        }
-        ("POST", "/v1/batch") => {
-            service.stats.batch_requests.fetch_add(1, Ordering::Relaxed);
-            match batch_stream(service, request, sink) {
-                Ok(keep) => return keep && request.keep_alive,
-                Err(e) => Err(e),
-            }
-        }
-        (method, "/v1/problems" | "/v1/stats" | "/v1/evaluate" | "/v1/batch") => Err(ApiError {
-            status: 405,
-            code: "method_not_allowed",
-            message: format!("{method} is not supported on {}", request.path()),
-        }),
-        (_, path) => Err(ApiError {
-            status: 404,
-            code: "not_found",
-            message: format!("no such endpoint {path:?}"),
-        }),
+    }
+    let mut counting = CountingSink {
+        inner: sink,
+        bytes_out: &m.bytes_out,
     };
+    let keep = dispatch(service, request, &mut counting, &mut span);
+    m.request_us[endpoint].record(started.elapsed());
+    keep
+}
+
+/// A [`ResponseSink`] wrapper that accumulates
+/// `http_bytes_total{direction="out"}` for every framed byte it forwards.
+struct CountingSink<'a, S: ResponseSink> {
+    inner: &'a mut S,
+    bytes_out: &'a obs::Counter,
+}
+
+impl<S: ResponseSink> ResponseSink for CountingSink<'_, S> {
+    fn send(&mut self, bytes: Vec<u8>) -> bool {
+        self.bytes_out.add(bytes.len() as u64);
+        self.inner.send(bytes)
+    }
+}
+
+/// The routing core behind [`handle`].
+fn dispatch<S: ResponseSink>(
+    service: &Service,
+    request: &Request,
+    sink: &mut S,
+    span: &mut obs::Span<'static>,
+) -> bool {
+    let echo: Vec<(&str, &str)> = request_id(request)
+        .map(|v| ("x-request-id", v))
+        .into_iter()
+        .collect();
+    service.stats.requests.fetch_add(1, Ordering::Relaxed);
+    let outcome: Result<Option<(&'static str, String)>, ApiError> =
+        match (request.method(), request.path()) {
+            ("GET", "/v1/problems") => {
+                service
+                    .stats
+                    .problems_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(Some(("application/json", problems_body(service))))
+            }
+            ("GET", "/v1/stats") => {
+                service.stats.stats_requests.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(("application/json", stats_body(service))))
+            }
+            ("GET", "/v1/metrics") => {
+                service
+                    .stats
+                    .metrics_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(Some((obs::expo::CONTENT_TYPE, metrics_body(service))))
+            }
+            ("POST", "/v1/evaluate") => {
+                service
+                    .stats
+                    .evaluate_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                evaluate_body(service, request).map(|body| Some(("application/json", body)))
+            }
+            ("POST", "/v1/batch") => {
+                service.stats.batch_requests.fetch_add(1, Ordering::Relaxed);
+                match batch_stream(service, request, sink, &echo) {
+                    Ok(keep) => {
+                        if span.is_recording() {
+                            span.tag("status", "200");
+                        }
+                        return keep && request.keep_alive;
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            (
+                method,
+                "/v1/problems" | "/v1/stats" | "/v1/metrics" | "/v1/evaluate" | "/v1/batch",
+            ) => Err(ApiError {
+                status: 405,
+                code: "method_not_allowed",
+                message: format!("{method} is not supported on {}", request.path()),
+            }),
+            (_, path) => Err(ApiError {
+                status: 404,
+                code: "not_found",
+                message: format!("no such endpoint {path:?}"),
+            }),
+        };
     match outcome {
-        Ok(Some(body)) => {
-            let sent = sink.send(http::encode_response(
+        Ok(Some((content_type, body))) => {
+            if span.is_recording() {
+                span.tag("status", "200");
+            }
+            let sent = sink.send(http::encode_response_with(
                 200,
-                "application/json",
+                content_type,
                 &body,
                 request.keep_alive,
+                &echo,
             ));
             sent && request.keep_alive
         }
         Ok(None) => request.keep_alive,
         Err(e) => {
+            if span.is_recording() {
+                span.tag("status", e.status.to_string());
+            }
             service.stats.client_errors.fetch_add(1, Ordering::Relaxed);
-            let sent = sink.send(http::encode_response(
+            let sent = sink.send(http::encode_response_with(
                 e.status,
                 "application/json",
                 &e.body(),
                 request.keep_alive,
+                &echo,
             ));
             sent && request.keep_alive
         }

@@ -59,6 +59,12 @@ impl Request {
         self.span(&self.body)
     }
 
+    /// Total bytes this request occupied on the wire (head + body) —
+    /// what the `http_bytes_total{direction="in"}` counter accumulates.
+    pub fn wire_len(&self) -> usize {
+        self.bytes.len()
+    }
+
     /// Header `(name, value)` pairs in wire order, names lowercased.
     pub fn headers(&self) -> impl Iterator<Item = (&str, &str)> {
         self.headers
@@ -167,6 +173,13 @@ impl RequestParser {
     /// Bytes buffered but not yet consumed by a completed request.
     pub fn buffered(&self) -> usize {
         self.buf.len()
+    }
+
+    /// The raw buffered bytes themselves. Error paths that answer before
+    /// a request completes (408 timeout, 400 parse failure) scan these
+    /// for an `x-request-id` header so even those responses correlate.
+    pub fn buffered_bytes(&self) -> &[u8] {
+        &self.buf
     }
 
     /// Tries to complete one request from the buffered bytes.
@@ -452,16 +465,33 @@ pub fn reason(status: u16) -> &'static str {
 
 /// Frames one fixed-length response as wire bytes.
 pub fn encode_response(status: u16, content_type: &str, body: &str, keep_alive: bool) -> Vec<u8> {
+    encode_response_with(status, content_type, body, keep_alive, &[])
+}
+
+/// [`encode_response`] with extra response headers (e.g. the echoed
+/// `x-request-id`). Header names and values must already be wire-safe —
+/// no CR/LF; the service only passes values it validated on ingress.
+pub fn encode_response_with(
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> Vec<u8> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     let mut out = Vec::with_capacity(128 + body.len());
     out.extend_from_slice(
         format!(
-            "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+            "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
             reason(status),
             body.len(),
         )
         .as_bytes(),
     );
+    for (name, value) in extra_headers {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
     out.extend_from_slice(body.as_bytes());
     out
 }
@@ -469,12 +499,29 @@ pub fn encode_response(status: u16, content_type: &str, body: &str, keep_alive: 
 /// Frames the head of a chunked-transfer response (the `/v1/batch`
 /// stream).
 pub fn encode_chunked_head(status: u16, content_type: &str, keep_alive: bool) -> Vec<u8> {
+    encode_chunked_head_with(status, content_type, keep_alive, &[])
+}
+
+/// [`encode_chunked_head`] with extra response headers (e.g. the echoed
+/// `x-request-id`). Same wire-safety contract as
+/// [`encode_response_with`].
+pub fn encode_chunked_head_with(
+    status: u16,
+    content_type: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> Vec<u8> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
-    format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ntransfer-encoding: chunked\r\nconnection: {connection}\r\n\r\n",
+    let mut out = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ntransfer-encoding: chunked\r\nconnection: {connection}\r\n",
         reason(status),
     )
-    .into_bytes()
+    .into_bytes();
+    for (name, value) in extra_headers {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out
 }
 
 /// Frames one chunk. Empty input frames to nothing — a zero-length

@@ -67,6 +67,10 @@ pub struct LoadOutcome {
     pub status: u16,
     /// Parsed response body.
     pub body: Yaml,
+    /// Client-observed latency of the successful attempt: first request
+    /// byte written to last response byte read (retries restart the
+    /// clock — this measures the request the server actually answered).
+    pub latency: Duration,
 }
 
 /// Aggregate result of a load-generation run.
@@ -87,6 +91,30 @@ impl LoadReport {
             return 0.0;
         }
         self.outcomes.len() as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Client-observed latency at quantile `q` (`0.0..=1.0`) across the
+    /// completed requests, nearest-rank. Zero when nothing completed.
+    pub fn latency_quantile(&self, q: f64) -> Duration {
+        if self.outcomes.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut latencies: Vec<Duration> = self.outcomes.iter().map(|o| o.latency).collect();
+        latencies.sort_unstable();
+        let rank = ((q.clamp(0.0, 1.0) * latencies.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(latencies.len() - 1);
+        latencies[rank]
+    }
+
+    /// Median client-observed latency.
+    pub fn latency_p50(&self) -> Duration {
+        self.latency_quantile(0.50)
+    }
+
+    /// Tail (p99) client-observed latency.
+    pub fn latency_p99(&self) -> Duration {
+        self.latency_quantile(0.99)
     }
 }
 
@@ -247,8 +275,10 @@ pub fn run(
                         let Some((stream, reader)) = conns[slot].as_mut() else {
                             continue;
                         };
+                        let attempt_started = Instant::now();
                         match one_request(stream, reader, &corpus[index]) {
                             Ok(response) => {
+                                let latency = attempt_started.elapsed();
                                 let body = yamlkit::parse_one(&response.body)
                                     .map(|n| n.to_value())
                                     .unwrap_or(Yaml::Null);
@@ -256,6 +286,7 @@ pub fn run(
                                     corpus_index: index,
                                     status: response.status,
                                     body,
+                                    latency,
                                 });
                                 completed = true;
                                 break;
@@ -286,6 +317,18 @@ pub fn run(
         transport_errors,
         wall: started.elapsed(),
     })
+}
+
+/// Fetches the Prometheus text exposition from `GET /v1/metrics` on a
+/// running server.
+pub fn fetch_metrics(addr: SocketAddr) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut reader = BufReader::new(stream.try_clone()?);
+    http::write_request(&mut stream, "GET", "/v1/metrics", None)?;
+    let response = http::read_response(&mut reader)
+        .map_err(|e| io::Error::other(format!("bad metrics response: {e:?}")))?;
+    Ok(response.body)
 }
 
 /// Fetches and parses `GET /v1/stats` from a running server.

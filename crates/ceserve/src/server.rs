@@ -218,6 +218,8 @@ pub fn spawn(
 struct Job {
     token: Token,
     request: http::Request,
+    /// When the event loop enqueued it, for `http_phase_us{phase="queue_wait"}`.
+    queued_at: Instant,
 }
 
 /// What workers push back through the completion channel.
@@ -293,13 +295,22 @@ fn worker_loop(service: &Service, job_rx: &Mutex<Receiver<Job>>, done_tx: Sender
         let claimed = job_rx.lock().expect("dispatch queue poisoned").recv();
         let Ok(job) = claimed else { return };
         service.stats().queue_depth.fetch_sub(1, Ordering::Relaxed);
+        service
+            .metrics()
+            .queue_wait_us
+            .record(job.queued_at.elapsed());
         service.stats().busy_workers.fetch_add(1, Ordering::Relaxed);
         let mut sink = CompletionSink {
             tx: &done_tx,
             token: job.token,
             alive: true,
         };
+        let handler_started = Instant::now();
         let keep = api::handle(service, &job.request, &mut sink);
+        service
+            .metrics()
+            .handler_us
+            .record(handler_started.elapsed());
         service.stats().busy_workers.fetch_sub(1, Ordering::Relaxed);
         let _ = done_tx.send(Completion::Done(job.token, keep));
     }
@@ -327,6 +338,20 @@ struct Conn {
     /// When the socket first refused pending writes, for the
     /// write-stall deadline.
     write_stalled_since: Option<Instant>,
+    /// When the connection was accepted, for
+    /// `http_phase_us{phase="accept_to_first_byte"}`.
+    accepted: Instant,
+    /// The first request byte has arrived (accept-to-first-byte has been
+    /// recorded; it is a per-connection phase, not per-request).
+    first_byte_seen: bool,
+    /// When the in-flight request's first bytes arrived, for
+    /// `http_phase_us{phase="assembly"}`. Taken when the request
+    /// completes; pipelined successors parsed from the same tick's bytes
+    /// contribute no sample.
+    request_started: Option<Instant>,
+    /// When the current response backlog first waited on the socket, for
+    /// `http_phase_us{phase="write_drain"}`.
+    drain_started: Option<Instant>,
 }
 
 impl Conn {
@@ -341,6 +366,10 @@ impl Conn {
             peer_closed: false,
             last_activity: now,
             write_stalled_since: None,
+            accepted: now,
+            first_byte_seen: false,
+            request_started: None,
+            drain_started: None,
         }
     }
 
@@ -493,6 +522,14 @@ fn pump_conn(
         let mut chunk = [0u8; READ_CHUNK];
         match poll::read_step(&mut conn.stream, &mut chunk) {
             Ok(ReadStep::Data(n)) => {
+                if !conn.first_byte_seen {
+                    conn.first_byte_seen = true;
+                    service
+                        .metrics()
+                        .accept_to_first_byte_us
+                        .record(now.duration_since(conn.accepted));
+                }
+                conn.request_started.get_or_insert(now);
                 conn.parser.feed(&chunk[..n]);
                 conn.last_activity = now;
                 progress = true;
@@ -516,6 +553,12 @@ fn pump_conn(
         match conn.parser.try_next() {
             Ok(Some(request)) => {
                 progress = true;
+                if let Some(started) = conn.request_started.take() {
+                    service
+                        .metrics()
+                        .assembly_us
+                        .record(now.duration_since(started));
+                }
                 route(service, conn, token, request, job_tx);
             }
             Ok(None) => break,
@@ -529,6 +572,7 @@ fn pump_conn(
 
     // Flush phase.
     if conn.pending_out() > 0 {
+        conn.drain_started.get_or_insert(now);
         loop {
             match poll::write_step(&mut conn.stream, &conn.out[conn.written..]) {
                 Ok(WriteStep::Wrote(n)) => {
@@ -539,6 +583,12 @@ fn pump_conn(
                     if conn.written == conn.out.len() {
                         conn.out.clear();
                         conn.written = 0;
+                        if let Some(started) = conn.drain_started.take() {
+                            service
+                                .metrics()
+                                .write_drain_us
+                                .record(now.duration_since(started));
+                        }
                         break;
                     }
                 }
@@ -579,12 +629,24 @@ fn pump_conn(
                     .stats()
                     .client_errors
                     .fetch_add(1, Ordering::Relaxed);
-                conn.out.extend_from_slice(&http::encode_response(
+                // The request never completed, so scan the raw buffered
+                // head for an x-request-id to echo: the timeout stays
+                // attributable client-side.
+                let id = api::scan_request_id(conn.parser.buffered_bytes());
+                let extra: Vec<(&str, &str)> = id
+                    .as_deref()
+                    .map(|v| ("x-request-id", v))
+                    .into_iter()
+                    .collect();
+                let bytes = http::encode_response_with(
                     408,
                     "application/json",
                     &api::timeout_body(),
                     false,
-                ));
+                    &extra,
+                );
+                service.metrics().bytes_out.add(bytes.len() as u64);
+                conn.out.extend_from_slice(&bytes);
                 conn.close_after_flush = true;
             } else if flushed {
                 // Idle keep-alive connection: close silently.
@@ -606,21 +668,32 @@ fn route(
 ) {
     if api::needs_worker(&request) {
         service.stats().queue_depth.fetch_add(1, Ordering::Relaxed);
-        match job_tx.try_send(Job { token, request }) {
+        match job_tx.try_send(Job {
+            token,
+            request,
+            queued_at: Instant::now(),
+        }) {
             Ok(()) => conn.awaiting = true,
-            Err(TrySendError::Full(_job)) => {
+            Err(TrySendError::Full(job)) => {
                 // Bounded dispatch queue full: shed load with a typed 503.
                 service.stats().queue_depth.fetch_sub(1, Ordering::Relaxed);
                 service
                     .stats()
                     .rejected_busy
                     .fetch_add(1, Ordering::Relaxed);
-                conn.out.extend_from_slice(&http::encode_response(
+                let extra: Vec<(&str, &str)> = api::request_id(&job.request)
+                    .map(|v| ("x-request-id", v))
+                    .into_iter()
+                    .collect();
+                let bytes = http::encode_response_with(
                     503,
                     "application/json",
                     &api::busy_body(),
                     false,
-                ));
+                    &extra,
+                );
+                service.metrics().bytes_out.add(bytes.len() as u64);
+                conn.out.extend_from_slice(&bytes);
                 conn.close_after_flush = true;
             }
             Err(TrySendError::Disconnected(_job)) => {
@@ -629,10 +702,15 @@ fn route(
             }
         }
     } else {
+        let handler_started = Instant::now();
         let keep = {
             let mut sink = api::BufSink(&mut conn.out);
             api::handle(service, &request, &mut sink)
         };
+        service
+            .metrics()
+            .handler_us
+            .record(handler_started.elapsed());
         if !keep {
             conn.close_after_flush = true;
         }
@@ -659,12 +737,16 @@ fn respond_parse_error(service: &Service, conn: &mut Conn, error: &RequestError)
         .stats()
         .client_errors
         .fetch_add(1, Ordering::Relaxed);
-    conn.out.extend_from_slice(&http::encode_response(
-        status,
-        "application/json",
-        &body,
-        false,
-    ));
+    // No parsed request to consult; scan the raw bytes for the id echo.
+    let id = api::scan_request_id(conn.parser.buffered_bytes());
+    let extra: Vec<(&str, &str)> = id
+        .as_deref()
+        .map(|v| ("x-request-id", v))
+        .into_iter()
+        .collect();
+    let bytes = http::encode_response_with(status, "application/json", &body, false, &extra);
+    service.metrics().bytes_out.add(bytes.len() as u64);
+    conn.out.extend_from_slice(&bytes);
     conn.close_after_flush = true;
 }
 
@@ -678,7 +760,14 @@ fn shed(service: &Service, mut stream: TcpStream) {
         .stats()
         .rejected_busy
         .fetch_add(1, Ordering::Relaxed);
-    let bytes = http::encode_response(503, "application/json", &api::busy_body(), false);
+    let id = scan_shed_request_id(&mut stream);
+    let extra: Vec<(&str, &str)> = id
+        .as_deref()
+        .map(|v| ("x-request-id", v))
+        .into_iter()
+        .collect();
+    let bytes =
+        http::encode_response_with(503, "application/json", &api::busy_body(), false, &extra);
     let mut written = 0;
     while written < bytes.len() {
         match poll::write_step(&mut stream, &bytes[written..]) {
@@ -686,6 +775,38 @@ fn shed(service: &Service, mut stream: TcpStream) {
             Ok(WriteStep::NotReady) | Err(_) => break,
         }
     }
+    service.metrics().bytes_out.add(written as u64);
+}
+
+/// Best-effort `x-request-id` recovery on a connection being shed: the
+/// client usually sent its request head before the accept, so a short
+/// bounded read (≤ 25 ms, ≤ 4 KiB, stopping at end-of-head) recovers the
+/// id for the `503` echo. The stall is a deliberate tradeoff — the loop
+/// is already rejecting under overload, and a rejection the client can
+/// correlate beats an anonymous one; the bound keeps it from becoming a
+/// slowloris lever.
+fn scan_shed_request_id(stream: &mut TcpStream) -> Option<String> {
+    let deadline = Instant::now() + Duration::from_millis(25);
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        match poll::read_step(stream, &mut chunk) {
+            Ok(ReadStep::Data(n)) => {
+                head.extend_from_slice(&chunk[..n]);
+                if head.len() >= 4096 || head.windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Ok(ReadStep::NotReady) => {
+                if Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Ok(ReadStep::Closed) | Err(_) => break,
+        }
+    }
+    api::scan_request_id(&head)
 }
 
 #[cfg(test)]

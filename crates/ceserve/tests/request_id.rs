@@ -1,0 +1,255 @@
+//! Observability conformance at the HTTP boundary: the `x-request-id`
+//! echo on every response path (success, client error, shed, timeout),
+//! the Prometheus text exposition of `/v1/metrics`, and the bound on the
+//! span ring under sustained traffic.
+
+use std::collections::HashSet;
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cedataset::Dataset;
+use ceserve::{http, ServerConfig};
+
+fn boot(dataset: &Arc<Dataset>, config: ServerConfig) -> ceserve::ServerHandle {
+    ceserve::spawn("127.0.0.1:0", Arc::clone(dataset), config).expect("bind ephemeral port")
+}
+
+fn connect(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.set_nodelay(true).unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+/// One raw round-trip with an explicit header block.
+fn round_trip(
+    addr: std::net::SocketAddr,
+    raw_request: &str,
+) -> Result<http::Response, http::RequestError> {
+    let (mut stream, mut reader) = connect(addr);
+    stream.write_all(raw_request.as_bytes()).unwrap();
+    http::read_response(&mut reader)
+}
+
+#[test]
+fn request_id_is_echoed_on_success_and_client_errors() {
+    let dataset = Arc::new(Dataset::generate());
+    let server = boot(&dataset, ServerConfig::default());
+    let addr = server.addr();
+
+    // Inline success path (GET answered by the event loop).
+    let response = round_trip(
+        addr,
+        "GET /v1/stats HTTP/1.1\r\nx-request-id: req-ok-1\r\n\r\n",
+    )
+    .expect("stats response");
+    assert_eq!(response.status, 200);
+    assert_eq!(response.header("x-request-id"), Some("req-ok-1"));
+
+    // Worker success path (POST scored off the dispatch queue).
+    let body = r#"{"problem_id":"pod-000","candidate":"kind: Pod"}"#;
+    let request = format!(
+        "POST /v1/evaluate HTTP/1.1\r\nx-request-id: req-ok-2\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let response = round_trip(addr, &request).expect("evaluate response");
+    assert_eq!(response.status, 200);
+    assert_eq!(response.header("x-request-id"), Some("req-ok-2"));
+
+    // Routed 4xx (the request parsed; the handler rejected it).
+    let response = round_trip(addr, "GET /nope HTTP/1.1\r\nx-request-id: req-404\r\n\r\n")
+        .expect("404 response");
+    assert_eq!(response.status, 404);
+    assert_eq!(response.header("x-request-id"), Some("req-404"));
+
+    // Parse-error 4xx: no `Request` was ever built, so the echo comes
+    // from scanning the raw buffered head.
+    let response = round_trip(
+        addr,
+        "POST /v1/evaluate HTTP/1.1\r\nx-request-id: req-400\r\n\
+         content-length: 4, 5\r\n\r\nabcd",
+    )
+    .expect("400 response");
+    assert_eq!(response.status, 400);
+    assert_eq!(response.header("x-request-id"), Some("req-400"));
+
+    // A wire-unsafe id (here: far over the length bound) is dropped,
+    // not echoed back.
+    let oversized = format!(
+        "GET /v1/stats HTTP/1.1\r\nx-request-id: {}\r\n\r\n",
+        "a".repeat(200)
+    );
+    let response = round_trip(addr, &oversized).expect("stats response");
+    assert_eq!(response.status, 200);
+    assert_eq!(response.header("x-request-id"), None);
+
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn request_id_is_echoed_on_408_timeout() {
+    let dataset = Arc::new(Dataset::generate());
+    let server = boot(
+        &dataset,
+        ServerConfig {
+            read_timeout: Duration::from_millis(150),
+            ..ServerConfig::default()
+        },
+    );
+    // Head fully delivered (id included), body stalls: the 408 must
+    // still carry the id scanned from the unfinished request's bytes.
+    let (mut stream, mut reader) = connect(server.addr());
+    stream
+        .write_all(
+            b"POST /v1/evaluate HTTP/1.1\r\nx-request-id: req-stall\r\n\
+              content-length: 10\r\n\r\nabc",
+        )
+        .unwrap();
+    let response = http::read_response(&mut reader).expect("408 response");
+    assert_eq!(response.status, 408);
+    assert_eq!(response.header("x-request-id"), Some("req-stall"));
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn request_id_is_echoed_on_503_shed() {
+    let dataset = Arc::new(Dataset::generate());
+    let server = boot(
+        &dataset,
+        ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        },
+    );
+    // First connection holds the only slot.
+    let (_held_stream, _held_reader) = connect(server.addr());
+    std::thread::sleep(Duration::from_millis(50)); // let the accept land
+    let response = round_trip(
+        server.addr(),
+        "GET /v1/stats HTTP/1.1\r\nx-request-id: req-shed\r\n\r\n",
+    )
+    .expect("503 response");
+    assert_eq!(response.status, 503);
+    assert_eq!(response.header("x-request-id"), Some("req-shed"));
+    server.shutdown().expect("clean shutdown");
+}
+
+/// One Prometheus text line: `name{labels} value` (or `name value`),
+/// returning the full series identity and whether the value parses.
+fn parse_series_line(line: &str) -> (String, bool) {
+    let (series, value) = match line.rfind(' ') {
+        Some(at) => (&line[..at], &line[at + 1..]),
+        None => return (line.to_owned(), false),
+    };
+    let name_end = series.find('{').unwrap_or(series.len());
+    let name = &series[..name_end];
+    let name_ok = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':');
+    let braces_ok = match series.find('{') {
+        None => true,
+        Some(_) => series.ends_with('}') && series.matches('{').count() == 1,
+    };
+    let value_ok = value == "+Inf" || value.parse::<f64>().is_ok();
+    (series.to_owned(), name_ok && braces_ok && value_ok)
+}
+
+#[test]
+fn metrics_exposition_conforms_and_has_no_duplicate_series() {
+    let dataset = Arc::new(Dataset::generate());
+    let server = boot(&dataset, ServerConfig::default());
+    let addr = server.addr();
+
+    // Warm a few endpoints so the exposition has non-trivial series.
+    for path in ["/v1/stats", "/v1/problems", "/v1/stats"] {
+        let response = round_trip(addr, &format!("GET {path} HTTP/1.1\r\n\r\n")).expect("warmup");
+        assert_eq!(response.status, 200);
+    }
+
+    let (mut stream, mut reader) = connect(addr);
+    stream
+        .write_all(b"GET /v1/metrics HTTP/1.1\r\n\r\n")
+        .unwrap();
+    let response = http::read_response(&mut reader).expect("metrics response");
+    assert_eq!(response.status, 200);
+    assert_eq!(
+        response.header("content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut series_lines = 0usize;
+    for line in response.body.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        series_lines += 1;
+        let (series, well_formed) = parse_series_line(line);
+        assert!(well_formed, "malformed exposition line: {line:?}");
+        assert!(seen.insert(series), "duplicate series: {line:?}");
+    }
+    assert!(series_lines > 10, "suspiciously sparse exposition");
+
+    // The request-latency histogram must expose the full triplet with a
+    // closing +Inf bucket.
+    let stats = "http_request_us_bucket{endpoint=\"stats\"";
+    assert!(response.body.contains(stats), "{}", response.body);
+    assert!(
+        response
+            .body
+            .contains("http_request_us_bucket{endpoint=\"stats\",le=\"+Inf\"}"),
+        "{}",
+        response.body
+    );
+    assert!(response
+        .body
+        .contains("http_request_us_sum{endpoint=\"stats\"}"));
+    assert!(response
+        .body
+        .contains("http_request_us_count{endpoint=\"stats\"}"));
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn span_ring_stays_bounded_under_a_thousand_requests() {
+    let dataset = Arc::new(Dataset::generate());
+    let server = boot(&dataset, ServerConfig::default());
+    let addr = server.addr();
+
+    let collector = obs::spans();
+    collector.set_enabled(true);
+    // 1000 keep-alive requests, pipelined in bursts so the test is not
+    // bound by per-request round-trip latency.
+    let (mut stream, mut reader) = connect(addr);
+    for burst in 0..10 {
+        for i in 0..100 {
+            let request =
+                format!("GET /v1/stats HTTP/1.1\r\nx-request-id: ring-{burst}-{i}\r\n\r\n");
+            stream.write_all(request.as_bytes()).unwrap();
+        }
+        for i in 0..100 {
+            let response = http::read_response(&mut reader)
+                .unwrap_or_else(|e| panic!("burst {burst} response {i}: {e:?}"));
+            assert_eq!(response.status, 200);
+        }
+    }
+    collector.set_enabled(false);
+    let buffered = collector.len();
+    assert!(
+        buffered <= collector.capacity(),
+        "span ring overflowed: {buffered} > {}",
+        collector.capacity()
+    );
+    let spans = collector.drain();
+    assert!(
+        spans.iter().any(|s| s.name == "http_request"),
+        "no http_request spans were captured"
+    );
+    server.shutdown().expect("clean shutdown");
+}

@@ -31,6 +31,7 @@ use llmsim::{
     extract_yaml, AnswerCategory, FeedbackMode, GenParams, LanguageModel, QueryConfig,
     SimulatedModel,
 };
+use obs::{Span, TraceId};
 
 use crate::pipeline::{Pipeline, Stage, DEFAULT_CHANNEL_BOUND};
 
@@ -229,6 +230,9 @@ struct ExtractStage {
 impl Stage for ExtractStage {
     type In = String;
     type Out = String;
+    fn name(&self) -> &'static str {
+        "extract"
+    }
     fn workers(&self) -> usize {
         self.workers
     }
@@ -259,6 +263,9 @@ struct ScoreStage<'a> {
 impl Stage for ScoreStage<'_> {
     type In = String;
     type Out = (String, Scores);
+    fn name(&self) -> &'static str {
+        "score"
+    }
     fn workers(&self) -> usize {
         self.workers
     }
@@ -589,10 +596,14 @@ pub fn evaluate_repair(
     rounds: usize,
     feedback: FeedbackMode,
 ) -> RepairReport {
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
     let (coords, prompts) = plan(dataset, options);
     let n = coords.len();
     let rounds_per = rounds + 1;
+    // Distinct nonce per repair run so span trace ids from concurrent or
+    // successive runs never collide (`TraceId::for_record(run, slot)`).
+    static RUN_NONCE: AtomicU64 = AtomicU64::new(1);
+    let run_nonce = RUN_NONCE.fetch_add(1, Ordering::Relaxed);
     let workers = options.workers.max(1);
     let local_memo = ScoreMemo::new();
     let memo = options.memo_or(&local_memo);
@@ -647,6 +658,22 @@ pub fn evaluate_repair(
             run_jobs_stream(job_rx, workers, memo, |flat, result| {
                 let (slot, round) = (flat / rounds_per, flat % rounds_per);
                 let diagnosis = result.diagnosis;
+                // The verdict leg of the attempt's trace: round number and
+                // taxonomy bucket, correlated by the shared trace id.
+                let mut verdict_span =
+                    Span::start("repair_verdict", TraceId::for_record(run_nonce, slot));
+                if verdict_span.is_recording() {
+                    verdict_span.tag("round", round.to_string());
+                    verdict_span.tag("passed", result.passed.to_string());
+                    verdict_span.tag(
+                        "bucket",
+                        diagnosis
+                            .as_ref()
+                            .map_or("none", |d| d.bucket.label())
+                            .to_owned(),
+                    );
+                }
+                verdict_span.finish();
                 *outcomes[flat].lock().expect("outcome slot poisoned") =
                     Some((result.passed, diagnosis.clone()));
                 if !result.passed && round < rounds {
@@ -685,10 +712,29 @@ pub fn evaluate_repair(
                     break;
                 };
                 let (problem, variant) = coords[slot];
-                let raw = model.generate(&prompt, &options.params);
-                let doc = PreparedDoc::shared(extract_yaml(&raw));
+                // One span per attempt, child spans per stage — the
+                // generation→extraction→scoring path of this round,
+                // correlated with its verdict leg by the trace id.
+                let mut attempt =
+                    Span::start("repair_attempt", TraceId::for_record(run_nonce, slot));
+                if attempt.is_recording() {
+                    attempt.tag("round", round.to_string());
+                    attempt.tag("problem", problem.id.clone());
+                }
+                let raw = {
+                    let _gen = attempt.child("generate");
+                    model.generate(&prompt, &options.params)
+                };
+                let doc = {
+                    let _extract = attempt.child("extract");
+                    PreparedDoc::shared(extract_yaml(&raw))
+                };
                 let reference = refs.prepare(&problem.labeled_reference);
-                let scores = score_pair_prepared(&reference, &doc);
+                let scores = {
+                    let _score = attempt.child("score");
+                    score_pair_prepared(&reference, &doc)
+                };
+                attempt.finish();
                 let flat = slot * rounds_per + round;
                 *statics[flat].lock().expect("statics slot poisoned") =
                     Some((doc.text().to_owned(), scores));
@@ -1190,6 +1236,63 @@ mod tests {
                 ..EvalOptions::default()
             },
         )
+    }
+
+    #[test]
+    fn repair_spans_reconstruct_the_attempt_tree() {
+        let dataset = Arc::new(Dataset::generate());
+        let model = SimulatedModel::new(
+            ModelProfile::by_name("llama-7b").unwrap(),
+            Arc::clone(&dataset),
+        );
+        obs::spans().set_enabled(true);
+        let report = evaluate_repair(
+            &model,
+            &dataset,
+            &EvalOptions {
+                stride: 40,
+                workers: 4,
+                ..EvalOptions::default()
+            },
+            1,
+            FeedbackMode::Full,
+        );
+        obs::spans().set_enabled(false);
+        let spans = obs::spans().drain();
+        assert!(!report.traces.is_empty());
+        // Every attempt root carries round + problem tags and owns
+        // generate/extract/score children parented to it.
+        let attempts: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "repair_attempt")
+            .collect();
+        assert!(!attempts.is_empty());
+        for root in &attempts {
+            assert_eq!(root.parent, 0);
+            assert!(root.tags.iter().any(|(k, _)| *k == "round"));
+            assert!(root.tags.iter().any(|(k, _)| *k == "problem"));
+            for child in ["generate", "extract", "score"] {
+                assert!(
+                    spans.iter().any(|s| s.name == child
+                        && s.parent == root.id
+                        && s.trace == root.trace
+                        && s.start_us >= root.start_us),
+                    "missing {child} child for trace {:?}",
+                    root.trace
+                );
+            }
+        }
+        // Verdict legs share the attempt's trace id and carry the
+        // taxonomy bucket.
+        let verdicts: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "repair_verdict")
+            .collect();
+        assert!(!verdicts.is_empty());
+        for v in &verdicts {
+            assert!(v.tags.iter().any(|(k, _)| *k == "bucket"));
+            assert!(attempts.iter().any(|a| a.trace == v.trace));
+        }
     }
 
     #[test]

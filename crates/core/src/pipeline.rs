@@ -48,6 +48,7 @@
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::Scope;
+use std::time::Instant;
 
 /// Default bound of every inter-stage channel: deep enough to absorb
 /// jitter between stages of different speeds, shallow enough that a
@@ -73,6 +74,14 @@ pub trait Stage: Sync {
     /// Worker-pool width for this stage (default 1; clamped to ≥ 1).
     fn workers(&self) -> usize {
         1
+    }
+
+    /// Stable name of this stage, used as the `stage` label of the
+    /// per-stage latency series in the global [`obs`] registry
+    /// (`stage_queue_wait_us{stage=…}` / `stage_service_us{stage=…}`).
+    /// Stages that keep the default share one anonymous series.
+    fn name(&self) -> &'static str {
+        "stage"
     }
 
     /// Transforms one record. `index` is the record's position in the
@@ -118,6 +127,21 @@ impl<S: Stage> Link for StageLink<S> {
         bound: usize,
     ) -> Receiver<(usize, Self::Out)> {
         let (tx, out) = sync_channel(bound.max(1));
+        // Per-stage latency series, resolved once per spawn so the worker
+        // loop records lock-free: queue wait is the worker's blocking
+        // time on the upstream handoff (starvation), service time is the
+        // `process` call itself.
+        let labels = [("stage", self.stage.name())];
+        let queue_wait = obs::global().histogram(
+            "stage_queue_wait_us",
+            &labels,
+            "time a stage worker spent blocked waiting for its next record",
+        );
+        let service = obs::global().histogram(
+            "stage_service_us",
+            &labels,
+            "time a stage worker spent processing one record",
+        );
         // Workers share the upstream receiver; the lock is held only for
         // the blocking handoff, never across `process`.
         let input = Arc::new(Mutex::new(input));
@@ -125,10 +149,16 @@ impl<S: Stage> Link for StageLink<S> {
             let input = Arc::clone(&input);
             let tx = tx.clone();
             let stage = &self.stage;
+            let queue_wait = queue_wait.clone();
+            let service = service.clone();
             scope.spawn(move || loop {
+                let idle_from = Instant::now();
                 let received = input.lock().expect("stage input poisoned").recv();
                 let Ok((index, record)) = received else { break };
+                queue_wait.record(idle_from.elapsed());
+                let started = Instant::now();
                 let out = stage.process(index, record);
+                service.record(started.elapsed());
                 if tx.send((index, out)).is_err() {
                     break; // downstream hung up; stop early
                 }
@@ -346,6 +376,37 @@ mod tests {
     fn empty_input_is_fine() {
         let p = Pipeline::new(AddOne { workers: 4 }).then(SlowSquare);
         assert!(p.run(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn stage_latency_series_record_every_record() {
+        struct Named;
+        impl Stage for Named {
+            type In = u64;
+            type Out = u64;
+            fn workers(&self) -> usize {
+                2
+            }
+            fn name(&self) -> &'static str {
+                "test_named_stage"
+            }
+            fn process(&self, _index: usize, input: u64) -> u64 {
+                input
+            }
+        }
+        let out = Pipeline::new(Named).run((0..50).collect());
+        assert_eq!(out.len(), 50);
+        // The stage name is unique to this test, so the global series
+        // counts exactly this run's records.
+        let labels = [("stage", "test_named_stage")];
+        let service = obs::global()
+            .histogram_snapshot("stage_service_us", &labels)
+            .expect("service series registered");
+        assert_eq!(service.count, 50);
+        let wait = obs::global()
+            .histogram_snapshot("stage_queue_wait_us", &labels)
+            .expect("queue-wait series registered");
+        assert_eq!(wait.count, 50);
     }
 
     #[test]

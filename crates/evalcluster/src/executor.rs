@@ -264,10 +264,7 @@ pub fn run_jobs_cached(jobs: &[UnitTestJob], workers: usize, memo: &ScoreMemo) -
             continue;
         }
         // A retry job treats a memoized retryable failure as stale.
-        if let Some(verdict) = memo
-            .get(key)
-            .filter(|v| !(job.is_retry() && v.retryable_failure()))
-        {
+        if let Some(verdict) = memo.get_fresh(key, job.is_retry()) {
             plans.push(Plan::Memoized(verdict));
             continue;
         }
@@ -385,9 +382,8 @@ where
                 // A retry job treats a memoized retryable failure as
                 // stale and falls through to re-execute; any other
                 // memoized verdict answers it like a normal job.
-                let fresh = |v: &CachedVerdict| !(job.is_retry() && v.retryable_failure());
                 // Fast path: a finished verdict in the memo.
-                if let Some(v) = memo.get(key).filter(&fresh) {
+                if let Some(v) = memo.get_fresh(key, job.is_retry()) {
                     cache_hits.fetch_add(1, Ordering::Relaxed);
                     emit(idx, cached_result(job.problem_id, v));
                     continue;
@@ -405,7 +401,7 @@ where
                     }
                     // The key may have completed between the memo probe and
                     // taking the table lock; re-check before claiming it.
-                    if let Some(v) = memo.get(key).filter(&fresh) {
+                    if let Some(v) = memo.get_fresh(key, job.is_retry()) {
                         cache_hits.fetch_add(1, Ordering::Relaxed);
                         emit(idx, cached_result(job.problem_id, v));
                         continue;

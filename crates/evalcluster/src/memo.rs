@@ -25,7 +25,7 @@ use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 use substrate::content_hash;
 use substrate::taxonomy::{Bucket, Diagnosis};
@@ -86,6 +86,29 @@ pub struct ScoreMemo {
     map: Mutex<HashMap<(u64, u64), CachedVerdict>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    stale_retries: AtomicUsize,
+}
+
+/// Process-wide memo traffic counters in the global obs registry,
+/// resolved once so the lookup path pays only atomic increments.
+fn obs_counters() -> &'static (obs::Counter, obs::Counter, obs::Counter) {
+    static COUNTERS: OnceLock<(obs::Counter, obs::Counter, obs::Counter)> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let registry = obs::global();
+        (
+            registry.counter(
+                "memo_hits_total",
+                &[],
+                "score-memo lookups answered from cache",
+            ),
+            registry.counter("memo_misses_total", &[], "score-memo lookups that missed"),
+            registry.counter(
+                "memo_stale_retries_total",
+                &[],
+                "memoized retryable failures bypassed because the lookup was a repair retry",
+            ),
+        )
+    })
 }
 
 impl ScoreMemo {
@@ -102,16 +125,36 @@ impl ScoreMemo {
     /// Looks up a verdict, counting a hit or miss.
     pub fn get(&self, key: (u64, u64)) -> Option<CachedVerdict> {
         let found = self.map.lock().expect("memo poisoned").get(&key).cloned();
+        let (hits, misses, _) = obs_counters();
         match found {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                hits.inc();
                 Some(v)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                misses.inc();
                 None
             }
         }
+    }
+
+    /// Looks up a verdict with the repair-loop staleness rule applied:
+    /// on a retry (`is_retry`), a memoized *retryable* failure is treated
+    /// as stale — the caller should re-execute rather than trust a verdict
+    /// the resubmission could plausibly change. Counts a hit or miss like
+    /// [`get`](ScoreMemo::get) (a stale hit is still a hit — the cache
+    /// answered; policy rejected it), plus a stale-retry when the
+    /// staleness rule fires.
+    pub fn get_fresh(&self, key: (u64, u64), is_retry: bool) -> Option<CachedVerdict> {
+        let verdict = self.get(key)?;
+        if is_retry && verdict.retryable_failure() {
+            self.stale_retries.fetch_add(1, Ordering::Relaxed);
+            obs_counters().2.inc();
+            return None;
+        }
+        Some(verdict)
     }
 
     /// Looks up a verdict **without** touching the hit/miss counters.
@@ -147,6 +190,12 @@ impl ScoreMemo {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Cached retryable failures bypassed by retry lookups
+    /// ([`get_fresh`](ScoreMemo::get_fresh) with `is_retry`).
+    pub fn stale_retries(&self) -> usize {
+        self.stale_retries.load(Ordering::Relaxed)
+    }
+
     /// All stored `(key, verdict)` pairs, sorted by key so callers (and
     /// the persisted JSONL file) see a deterministic order.
     pub fn snapshot(&self) -> Vec<((u64, u64), CachedVerdict)> {
@@ -161,12 +210,14 @@ impl ScoreMemo {
         entries
     }
 
-    /// Drops every stored verdict and zeroes the hit/miss counters
-    /// (used by benchmarks to measure cold-cache behavior in place).
+    /// Drops every stored verdict and zeroes the hit/miss/stale-retry
+    /// counters (used by benchmarks to measure cold-cache behavior in
+    /// place).
     pub fn clear(&self) {
         self.map.lock().expect("memo poisoned").clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.stale_retries.store(0, Ordering::Relaxed);
     }
 }
 
@@ -294,6 +345,26 @@ mod tests {
         assert_eq!(memo.get(key), Some(CachedVerdict::bare(false, 3)));
         assert_eq!((memo.hits(), memo.misses(), memo.len()), (1, 1, 1));
         assert!(!memo.is_empty());
+    }
+
+    #[test]
+    fn get_fresh_bypasses_retryable_failures_on_retry_only() {
+        let memo = ScoreMemo::new();
+        let key = ScoreMemo::key("kind: Pod", "script");
+        memo.insert(key, CachedVerdict::bare(false, 3)); // no diagnosis: retryable
+                                                         // First attempt trusts the cache; a retry treats it as stale.
+        assert!(memo.get_fresh(key, false).is_some());
+        assert!(memo.get_fresh(key, true).is_none());
+        assert_eq!(memo.stale_retries(), 1);
+        // Terminal failures and passes survive retries.
+        let pass = ScoreMemo::key("kind: Pod", "pass");
+        memo.insert(pass, CachedVerdict::bare(true, 1));
+        assert!(memo.get_fresh(pass, true).is_some());
+        assert_eq!(memo.stale_retries(), 1);
+        // Both stale-retry lookups above were hits at the cache layer.
+        assert_eq!(memo.hits(), 3);
+        memo.clear();
+        assert_eq!(memo.stale_retries(), 0);
     }
 
     #[test]

@@ -23,6 +23,9 @@ use std::sync::Mutex;
 pub struct ShardedQueue {
     shards: Vec<Mutex<VecDeque<usize>>>,
     stolen: AtomicUsize,
+    // Per-victim-shard steal counters in the global obs registry,
+    // resolved at construction so the pop path records lock-free.
+    steal_series: Vec<obs::Counter>,
 }
 
 impl ShardedQueue {
@@ -40,9 +43,19 @@ impl ShardedQueue {
             queue.extend(next..next + take);
             next += take;
         }
+        let steal_series = (0..shards)
+            .map(|s| {
+                obs::global().counter(
+                    "shard_steals_total",
+                    &[("shard", &s.to_string())],
+                    "jobs stolen from this shard by other workers",
+                )
+            })
+            .collect();
         ShardedQueue {
             shards: queues.into_iter().map(Mutex::new).collect(),
             stolen: AtomicUsize::new(0),
+            steal_series,
         }
     }
 
@@ -85,6 +98,7 @@ impl ShardedQueue {
             let (s, _) = victim?;
             if let Some(idx) = self.shards[s].lock().expect("shard poisoned").pop_back() {
                 self.stolen.fetch_add(1, Ordering::Relaxed);
+                self.steal_series[s].inc();
                 return Some(idx);
             }
             // The victim drained between the scan and the steal; rescan.
@@ -111,16 +125,24 @@ where
 {
     let workers = workers.clamp(1, jobs.max(1));
     let queue = ShardedQueue::new(jobs, workers);
+    let job_latency = obs::global().histogram(
+        "shard_job_us",
+        &[],
+        "wall-clock latency of one job on the sharded executor",
+    );
     let mut collected: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let queue = &queue;
                 let run = &run;
+                let job_latency = job_latency.clone();
                 scope.spawn(move || {
                     let mut local = Vec::new();
                     while let Some(idx) = queue.pop(w) {
+                        let started = std::time::Instant::now();
                         local.push((idx, run(w, idx)));
+                        job_latency.record(started.elapsed());
                     }
                     local
                 })

@@ -271,6 +271,23 @@ impl LanguageModel for SimulatedModel {
     }
 
     fn generate(&self, prompt: &str, params: &GenParams) -> String {
+        let started = std::time::Instant::now();
+        let text = self.generate_text(prompt, params);
+        obs::global()
+            .histogram(
+                "llm_generation_us",
+                &[("model", self.profile.name)],
+                "wall-clock latency of one simulated-model generation",
+            )
+            .record(started.elapsed());
+        text
+    }
+}
+
+impl SimulatedModel {
+    /// The uninstrumented generation path ([`LanguageModel::generate`]
+    /// wraps this with the `llm_generation_us{model=...}` histogram).
+    fn generate_text(&self, prompt: &str, params: &GenParams) -> String {
         let Some((idx, problem, variant, shots)) = self.identify(prompt) else {
             // Unknown prompt: a generic, useless-but-plausible reply.
             return "Here is a general example:\napiVersion: v1\nkind: ConfigMap\nmetadata:\n  name: example\n".to_owned();

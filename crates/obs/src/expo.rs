@@ -1,0 +1,199 @@
+//! Prometheus text-format exposition (format version 0.0.4) of a
+//! registry snapshot.
+//!
+//! Counters and gauges render as `name{labels} value`; histograms render
+//! the conventional triple — cumulative `name_bucket{le="…"}` series (in
+//! **seconds**, Prometheus's base unit, up to the last occupied bucket
+//! plus `+Inf`), `name_sum` (seconds), and `name_count` — so any scraper
+//! can compute rates and quantiles. Series are unique by construction:
+//! registration is idempotent on `(name, labels)`.
+
+use crate::hist::{bucket_upper_edge_us, HistogramSnapshot};
+use crate::registry::{Labels, MetricSnapshot, MetricValue};
+
+/// The content type of the rendered exposition.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+fn escape_label_value(v: &str, out: &mut String) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders `{k="v",…}` (empty string for no labels); `extra` is appended
+/// after the registered labels (used for histogram `le`).
+fn render_labels(labels: &Labels, extra: Option<(&str, &str)>, out: &mut String) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_label_value(v, out);
+        out.push('"');
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_label_value(v, out);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// Formats an `le` edge (µs → seconds) without scientific notation.
+fn le_value(edge_us: f64) -> String {
+    if edge_us.is_infinite() {
+        return "+Inf".to_owned();
+    }
+    let secs = edge_us / 1e6;
+    // Bucket edges are k·2^n µs, so 9 decimal places are exact enough
+    // and trailing zeros trim cleanly.
+    let mut s = format!("{secs:.9}");
+    while s.ends_with('0') {
+        s.pop();
+    }
+    if s.ends_with('.') {
+        s.push('0');
+    }
+    s
+}
+
+fn render_histogram(name: &str, labels: &Labels, h: &HistogramSnapshot, out: &mut String) {
+    let last_occupied = h.buckets.iter().rposition(|&c| c > 0);
+    let mut cumulative = 0u64;
+    if let Some(last) = last_occupied {
+        for (i, &c) in h.buckets.iter().enumerate().take(last + 1) {
+            cumulative += c;
+            out.push_str(name);
+            out.push_str("_bucket");
+            render_labels(
+                labels,
+                Some(("le", &le_value(bucket_upper_edge_us(i)))),
+                out,
+            );
+            out.push(' ');
+            out.push_str(&cumulative.to_string());
+            out.push('\n');
+        }
+    }
+    out.push_str(name);
+    out.push_str("_bucket");
+    render_labels(labels, Some(("le", "+Inf")), out);
+    out.push(' ');
+    out.push_str(&h.count.to_string());
+    out.push('\n');
+    out.push_str(name);
+    out.push_str("_sum");
+    render_labels(labels, None, out);
+    out.push_str(&format!(" {}\n", h.sum_us as f64 / 1e6));
+    out.push_str(name);
+    out.push_str("_count");
+    render_labels(labels, None, out);
+    out.push_str(&format!(" {}\n", h.count));
+}
+
+/// Renders a registry snapshot as Prometheus text format.
+///
+/// `# HELP` / `# TYPE` headers are emitted once per metric name, before
+/// its first series.
+pub fn render(snapshot: &[MetricSnapshot]) -> String {
+    let mut out = String::new();
+    let mut announced: Vec<&str> = Vec::new();
+    for m in snapshot {
+        if !announced.contains(&m.name.as_str()) {
+            announced.push(&m.name);
+            let kind = match m.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "histogram",
+            };
+            if !m.help.is_empty() {
+                out.push_str(&format!("# HELP {} {}\n", m.name, m.help));
+            }
+            out.push_str(&format!("# TYPE {} {kind}\n", m.name));
+        }
+        match &m.value {
+            MetricValue::Counter(v) => {
+                out.push_str(&m.name);
+                render_labels(&m.labels, None, &mut out);
+                out.push_str(&format!(" {v}\n"));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&m.name);
+                render_labels(&m.labels, None, &mut out);
+                out.push_str(&format!(" {v}\n"));
+            }
+            MetricValue::Histogram(h) => render_histogram(&m.name, &m.labels, h, &mut out),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        let r = Registry::new();
+        r.counter("reqs_total", &[("endpoint", "evaluate")], "requests")
+            .add(3);
+        r.gauge("depth", &[], "queue depth").set(-2);
+        let h = r.histogram("lat_us", &[("stage", "score")], "latency");
+        h.record_us(100);
+        h.record_us(2_000_000);
+        let text = render(&r.snapshot());
+        assert!(text.contains("# TYPE reqs_total counter"));
+        assert!(text.contains("reqs_total{endpoint=\"evaluate\"} 3"));
+        assert!(text.contains("depth -2"));
+        assert!(text.contains("# TYPE lat_us histogram"));
+        assert!(text.contains("lat_us_bucket{stage=\"score\",le=\"+Inf\"} 2"));
+        assert!(text.contains("lat_us_count{stage=\"score\"} 2"));
+        assert!(text.contains("lat_us_sum{stage=\"score\"} 2.0001"));
+    }
+
+    #[test]
+    fn bucket_series_are_cumulative_and_end_at_count() {
+        let r = Registry::new();
+        let h = r.histogram("x_us", &[], "");
+        for us in [1u64, 10, 100, 1000, 10_000] {
+            h.record_us(us);
+        }
+        let text = render(&r.snapshot());
+        let mut last = 0u64;
+        let mut inf = None;
+        for line in text.lines().filter(|l| l.starts_with("x_us_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "buckets must be cumulative: {line}");
+            last = v;
+            if line.contains("+Inf") {
+                inf = Some(v);
+            }
+        }
+        assert_eq!(inf, Some(5));
+    }
+
+    #[test]
+    fn le_values_are_plain_decimals() {
+        assert_eq!(le_value(f64::INFINITY), "+Inf");
+        assert_eq!(le_value(1.5), "0.0000015");
+        assert_eq!(le_value(2_000_000.0), "2.0");
+        assert_eq!(le_value(1_500_000.0), "1.5");
+    }
+}

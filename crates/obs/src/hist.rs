@@ -1,0 +1,379 @@
+//! Log-bucketed latency histograms: HDR-style bucket layout with ~2
+//! buckets per octave from 1 µs to 60 s, lock-free recording (a handful
+//! of relaxed atomic RMWs), and mergeable plain-value snapshots with
+//! quantile estimation.
+//!
+//! # Bucket layout
+//!
+//! Values are microseconds. Each power-of-two octave `[2^k, 2^(k+1))` is
+//! split at its midpoint into two buckets, `[2^k, 1.5·2^k)` and
+//! `[1.5·2^k, 2^(k+1))` — the one-sub-bucket-bit HDR scheme, giving a
+//! worst-case quantile error of ~33% of the value (one half-octave).
+//! Octaves 0..=25 cover 1 µs up to 2^26 µs ≈ 67 s (so the nominal 60 s
+//! ceiling lands inside the last regular bucket); everything above goes
+//! to a final overflow bucket. Exact `min`/`max`/`sum`/`count` are
+//! tracked alongside, so means are exact and quantile estimates are
+//! clamped into `[min, max]`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Highest split octave: buckets cover `[1, 2^(OCTAVES+1))` µs.
+const OCTAVES: usize = 26;
+
+/// Total bucket count: two per octave plus the overflow bucket.
+pub const NUM_BUCKETS: usize = 2 * OCTAVES + 1;
+
+/// Bucket index for a recorded value in microseconds.
+#[inline]
+fn bucket_index(us: u64) -> usize {
+    if us < 2 {
+        // 0 µs and 1 µs both land in the first bucket.
+        return 0;
+    }
+    let k = 63 - us.leading_zeros() as usize; // floor(log2(us)), >= 1
+    if k >= OCTAVES {
+        return NUM_BUCKETS - 1;
+    }
+    let half = ((us >> (k - 1)) & 1) as usize; // above the octave midpoint?
+    2 * k + half
+}
+
+/// Inclusive-exclusive upper edge of bucket `i`, in microseconds
+/// (`f64::INFINITY` for the overflow bucket).
+pub fn bucket_upper_edge_us(i: usize) -> f64 {
+    if i >= NUM_BUCKETS - 1 {
+        return f64::INFINITY;
+    }
+    let k = (i / 2) as u32;
+    if i.is_multiple_of(2) {
+        1.5 * f64::from(2u32).powi(k as i32)
+    } else {
+        f64::from(2u32).powi(k as i32 + 1)
+    }
+}
+
+/// Inclusive lower edge of bucket `i`, in microseconds.
+pub fn bucket_lower_edge_us(i: usize) -> f64 {
+    if i == 0 {
+        return 0.0;
+    }
+    bucket_upper_edge_us(i - 1)
+}
+
+/// A lock-free log-bucketed latency histogram.
+///
+/// Recording is a fixed handful of `Relaxed` atomic read-modify-writes
+/// (bucket, count, sum, min, max) — no locks, no allocation — so it is
+/// safe on the hottest paths. Reads go through [`LatencyHistogram::snapshot`],
+/// which materializes a plain-value [`HistogramSnapshot`].
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    min_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            min_us: AtomicU64::new(u64::MAX),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value in microseconds.
+    #[inline]
+    pub fn record_us(&self, us: u64) {
+        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.min_us.fetch_min(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Records one duration (saturating at `u64::MAX` µs).
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.record_us(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Materializes a plain-value snapshot of the current state.
+    ///
+    /// Buckets are read individually (not under a lock), so a snapshot
+    /// taken during concurrent recording is a consistent-enough view for
+    /// monitoring: every bucket value is monotone, and the invariant
+    /// checks in [`HistogramSnapshot`] tolerate in-flight records.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            // Derive count/sum from what we saw; the independent `count`
+            // atomic may be ahead or behind mid-record.
+            count: buckets.iter().sum(),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            min_us: self.min_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A plain-value copy of a histogram: mergeable, subtractable, and the
+/// basis for quantile estimation and exposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (see the module docs for the layout).
+    pub buckets: Vec<u64>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values, µs (exact).
+    pub sum_us: u64,
+    /// Smallest recorded value, µs (`u64::MAX` when empty).
+    pub min_us: u64,
+    /// Largest recorded value, µs (0 when empty).
+    pub max_us: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (useful as a merge identity).
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum_us: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+        }
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Merges another snapshot into this one: counts add bucket-wise,
+    /// the extrema combine. The merged snapshot describes the union of
+    /// the two recorded populations exactly (up to bucket resolution).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// The recordings that happened *since* `earlier` (bucket-wise
+    /// saturating subtraction of two snapshots of the same histogram).
+    /// The delta's extrema are re-derived from its occupied bucket edges
+    /// — the exact min/max of the interval is not recoverable from two
+    /// endpoint snapshots.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .zip(&earlier.buckets)
+            .map(|(a, b)| a.saturating_sub(*b))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let first = buckets.iter().position(|&c| c > 0);
+        let last = buckets.iter().rposition(|&c| c > 0);
+        HistogramSnapshot {
+            count,
+            sum_us: self.sum_us.saturating_sub(earlier.sum_us),
+            min_us: first.map_or(u64::MAX, |i| bucket_lower_edge_us(i) as u64),
+            max_us: last.map_or(0, |i| {
+                let edge = bucket_upper_edge_us(i);
+                if edge.is_finite() {
+                    edge as u64
+                } else {
+                    self.max_us
+                }
+            }),
+            buckets,
+        }
+    }
+
+    /// Mean recorded value in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) in microseconds from the
+    /// bucket counts, clamped into `[min_us, max_us]`. Returns 0 for an
+    /// empty snapshot.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target value, 1-based; ceil so q=1.0 maps to the
+        // last recorded value and q=0.0 to the first.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        let mut idx = self.buckets.len() - 1;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                idx = i;
+                break;
+            }
+        }
+        // Report the bucket's upper edge (the conservative estimate),
+        // clamped into the exactly-tracked extrema.
+        let edge = bucket_upper_edge_us(idx);
+        let est = if edge.is_finite() {
+            edge
+        } else {
+            self.max_us as f64
+        };
+        est.clamp(self.min_us as f64, self.max_us as f64)
+    }
+
+    /// p50 in microseconds.
+    pub fn p50_us(&self) -> f64 {
+        self.quantile_us(0.50)
+    }
+
+    /// p90 in microseconds.
+    pub fn p90_us(&self) -> f64 {
+        self.quantile_us(0.90)
+    }
+
+    /// p99 in microseconds.
+    pub fn p99_us(&self) -> f64 {
+        self.quantile_us(0.99)
+    }
+
+    /// p99.9 in microseconds.
+    pub fn p999_us(&self) -> f64 {
+        self.quantile_us(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut last = 0usize;
+        for shift in 0..40u32 {
+            for base in [1u64 << shift, (1u64 << shift) + (1u64 << shift) / 2] {
+                let idx = bucket_index(base);
+                assert!(idx < NUM_BUCKETS);
+                assert!(idx >= last, "bucket index regressed at {base}");
+                last = idx;
+            }
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn edges_bracket_their_bucket() {
+        for us in [1u64, 2, 3, 7, 100, 1000, 1_000_000, 59_000_000] {
+            let i = bucket_index(us);
+            assert!(
+                (us as f64) < bucket_upper_edge_us(i),
+                "{us} >= upper edge of bucket {i}"
+            );
+            assert!(
+                us as f64 >= bucket_lower_edge_us(i) || us < 2,
+                "{us} < lower edge of bucket {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn record_and_quantiles() {
+        let h = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            h.record_us(us);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min_us, 1);
+        assert_eq!(s.max_us, 1000);
+        assert_eq!(s.sum_us, 500_500);
+        let p50 = s.p50_us();
+        // Within one half-octave of the true median.
+        assert!((300.0..=1000.0).contains(&p50), "p50 {p50}");
+        assert!(s.p99_us() >= p50);
+        assert!(s.p999_us() <= 1000.0);
+        assert!((s.mean_us() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_preserves_count_and_extrema() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record_us(5);
+        a.record_us(10_000);
+        b.record_us(70_000_000); // overflow bucket
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 3);
+        assert_eq!(m.min_us, 5);
+        assert_eq!(m.max_us, 70_000_000);
+        assert_eq!(m.sum_us, 70_010_005);
+    }
+
+    #[test]
+    fn delta_since_subtracts() {
+        let h = LatencyHistogram::new();
+        h.record_us(100);
+        let before = h.snapshot();
+        h.record_us(200);
+        h.record_us(300);
+        let delta = h.snapshot().delta_since(&before);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.sum_us, 500);
+        assert!(delta.min_us <= 200);
+        assert!(delta.max_us >= 300);
+    }
+
+    #[test]
+    fn empty_snapshot_is_identity() {
+        let h = LatencyHistogram::new();
+        h.record_us(42);
+        let mut s = h.snapshot();
+        let orig = s.clone();
+        s.merge(&HistogramSnapshot::empty());
+        assert_eq!(s, orig);
+        assert_eq!(HistogramSnapshot::empty().quantile_us(0.5), 0.0);
+    }
+}

@@ -1,0 +1,440 @@
+//! Trace spans: a `Span` RAII guard with monotonic timestamps and a
+//! per-record/per-request [`TraceId`], collected into a bounded
+//! in-memory ring plus an optional JSONL sink.
+//!
+//! Collection is **off by default**: [`Span::start`] against a disabled
+//! collector costs one relaxed atomic load and allocates nothing. When
+//! enabled (by `repro trace`, tests, or an operator), each finished span
+//! is pushed into the ring — oldest evicted first, so memory stays
+//! bounded no matter how long the process serves — and appended to the
+//! sink if one is attached.
+//!
+//! Spans that share a [`TraceId`] belong to one logical unit of work
+//! (one evaluation record, one HTTP request); `parent` links make the
+//! generation → extraction → scoring → substrate → (repair-round) path
+//! reconstructable as a tree.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default capacity of the global span ring.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// Microseconds elapsed since the process-wide monotonic epoch (first
+/// call). Every span timestamp uses this clock, so spans from different
+/// threads order consistently.
+pub fn now_us() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Identifies one logical unit of work (an evaluation record, an HTTP
+/// request). All spans of the unit carry the same id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// A fresh process-unique trace id.
+    pub fn new() -> TraceId {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        TraceId(mix(NEXT.fetch_add(1, Ordering::Relaxed)))
+    }
+
+    /// A trace id derived deterministically from an external correlation
+    /// label (an `x-request-id` header, say): the same label always maps
+    /// to the same id.
+    pub fn from_label(label: &str) -> TraceId {
+        // FNV-1a, the workspace's canonical content hash.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in label.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TraceId(h)
+    }
+
+    /// A trace id derived from a run nonce and a record index — every
+    /// record of one evaluation run gets its own stable trace.
+    pub fn for_record(run: u64, index: usize) -> TraceId {
+        TraceId(mix(run ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+    }
+}
+
+impl Default for TraceId {
+    fn default() -> Self {
+        TraceId::new()
+    }
+}
+
+/// splitmix64 finalizer: spreads sequential ids across the u64 space.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The trace this span belongs to.
+    pub trace: u64,
+    /// This span's id (unique within the process).
+    pub id: u64,
+    /// Parent span id; 0 for a root span.
+    pub parent: u64,
+    /// Operation name.
+    pub name: &'static str,
+    /// Start, µs since the process epoch ([`now_us`]).
+    pub start_us: u64,
+    /// End, µs since the process epoch.
+    pub end_us: u64,
+    /// Free-form tags (`round`, `bucket`, `endpoint`, `request_id`, …).
+    pub tags: Vec<(&'static str, String)>,
+}
+
+impl SpanRecord {
+    /// Span duration in microseconds.
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+
+    /// This span as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"trace\":{},\"id\":{},\"parent\":{},\"name\":\"{}\",\"start_us\":{},\"end_us\":{}",
+            self.trace, self.id, self.parent, self.name, self.start_us, self.end_us
+        );
+        if !self.tags.is_empty() {
+            out.push_str(",\"tags\":{");
+            for (i, (k, v)) in self.tags.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(k);
+                out.push_str("\":\"");
+                for c in v.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A bounded span collector: in-memory ring plus optional JSONL sink.
+#[derive(Debug)]
+pub struct Collector {
+    enabled: AtomicBool,
+    capacity: usize,
+    ring: Mutex<VecDeque<SpanRecord>>,
+    sink: Mutex<Option<BufWriter<File>>>,
+}
+
+impl Collector {
+    /// A disabled collector with the given ring capacity.
+    pub fn new(capacity: usize) -> Collector {
+        Collector {
+            enabled: AtomicBool::new(false),
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::new()),
+            sink: Mutex::new(None),
+        }
+    }
+
+    /// Turns span collection on or off. While off, starting a span is a
+    /// single relaxed load and finished spans are discarded unrecorded.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether spans are being collected.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Ring capacity (spans beyond it evict the oldest).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Spans currently buffered.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("span ring poisoned").len()
+    }
+
+    /// True when no spans are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the buffered spans (oldest first) without draining.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.ring
+            .lock()
+            .expect("span ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Removes and returns the buffered spans (oldest first).
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        self.ring
+            .lock()
+            .expect("span ring poisoned")
+            .drain(..)
+            .collect()
+    }
+
+    /// Attaches a JSONL sink: every finished span is appended to `path`
+    /// as one JSON object per line (buffered; flushed on every push so a
+    /// crash loses at most the OS buffer).
+    pub fn set_sink(&self, path: &Path) -> std::io::Result<()> {
+        let file = File::create(path)?;
+        *self.sink.lock().expect("span sink poisoned") = Some(BufWriter::new(file));
+        Ok(())
+    }
+
+    /// Detaches the JSONL sink, flushing buffered lines.
+    pub fn clear_sink(&self) {
+        if let Some(mut w) = self.sink.lock().expect("span sink poisoned").take() {
+            let _ = w.flush();
+        }
+    }
+
+    fn push(&self, record: SpanRecord) {
+        if let Some(w) = self.sink.lock().expect("span sink poisoned").as_mut() {
+            let _ = writeln!(w, "{}", record.to_json());
+            let _ = w.flush();
+        }
+        let mut ring = self.ring.lock().expect("span ring poisoned");
+        while ring.len() >= self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+}
+
+/// The process-wide span collector (capacity
+/// [`DEFAULT_RING_CAPACITY`], disabled until something enables it).
+pub fn spans() -> &'static Collector {
+    static GLOBAL: OnceLock<Collector> = OnceLock::new();
+    GLOBAL.get_or_init(|| Collector::new(DEFAULT_RING_CAPACITY))
+}
+
+/// An in-flight span: records its duration into the collector when
+/// dropped (or when [`Span::finish`] is called for an explicit end).
+///
+/// Against a disabled collector this is a no-op shell — no allocation,
+/// no timestamps recorded on drop.
+#[derive(Debug)]
+pub struct Span<'c> {
+    collector: Option<&'c Collector>,
+    trace: u64,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start_us: u64,
+    tags: Vec<(&'static str, String)>,
+}
+
+fn next_span_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+impl<'c> Span<'c> {
+    /// Starts a root span of `trace` against the global collector.
+    pub fn start(name: &'static str, trace: TraceId) -> Span<'static> {
+        Span::start_in(spans(), name, trace)
+    }
+
+    /// Starts a root span against an explicit collector.
+    pub fn start_in(collector: &'c Collector, name: &'static str, trace: TraceId) -> Span<'c> {
+        if !collector.is_enabled() {
+            return Span {
+                collector: None,
+                trace: 0,
+                id: 0,
+                parent: 0,
+                name,
+                start_us: 0,
+                tags: Vec::new(),
+            };
+        }
+        Span {
+            collector: Some(collector),
+            trace: trace.0,
+            id: next_span_id(),
+            parent: 0,
+            name,
+            start_us: now_us(),
+            tags: Vec::new(),
+        }
+    }
+
+    /// Starts a child span (same trace, this span as parent).
+    pub fn child(&self, name: &'static str) -> Span<'c> {
+        let Some(collector) = self.collector else {
+            return Span {
+                collector: None,
+                trace: 0,
+                id: 0,
+                parent: 0,
+                name,
+                start_us: 0,
+                tags: Vec::new(),
+            };
+        };
+        Span {
+            collector: Some(collector),
+            trace: self.trace,
+            id: next_span_id(),
+            parent: self.id,
+            name,
+            start_us: now_us(),
+            tags: Vec::new(),
+        }
+    }
+
+    /// Attaches a tag (no-op on a disabled span).
+    pub fn tag(&mut self, key: &'static str, value: impl Into<String>) {
+        if self.collector.is_some() {
+            self.tags.push((key, value.into()));
+        }
+    }
+
+    /// Whether this span is actually recording (collector enabled at
+    /// start time).
+    pub fn is_recording(&self) -> bool {
+        self.collector.is_some()
+    }
+
+    /// Ends the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some(collector) = self.collector else {
+            return;
+        };
+        collector.push(SpanRecord {
+            trace: self.trace,
+            id: self.id,
+            parent: self.parent,
+            name: self.name,
+            start_us: self.start_us,
+            end_us: now_us(),
+            tags: std::mem::take(&mut self.tags),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let c = Collector::new(8);
+        {
+            let mut s = Span::start_in(&c, "work", TraceId::new());
+            s.tag("k", "v");
+            assert!(!s.is_recording());
+        }
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn spans_form_a_tree_and_order_by_time() {
+        let c = Collector::new(64);
+        c.set_enabled(true);
+        let trace = TraceId::new();
+        {
+            let mut root = Span::start_in(&c, "request", trace);
+            root.tag("round", "1");
+            {
+                let _child = root.child("score");
+            }
+        }
+        let spans = c.snapshot();
+        assert_eq!(spans.len(), 2);
+        // Children finish first.
+        let child = &spans[0];
+        let root = &spans[1];
+        assert_eq!(child.name, "score");
+        assert_eq!(child.parent, root.id);
+        assert_eq!(child.trace, root.trace);
+        assert_eq!(root.parent, 0);
+        assert!(root.start_us <= child.start_us);
+        assert!(root.end_us >= child.end_us);
+        assert_eq!(root.tags, vec![("round", "1".to_owned())]);
+    }
+
+    #[test]
+    fn ring_stays_bounded() {
+        let c = Collector::new(16);
+        c.set_enabled(true);
+        for i in 0..100 {
+            let mut s = Span::start_in(&c, "op", TraceId::new());
+            s.tag("i", i.to_string());
+        }
+        assert_eq!(c.len(), 16);
+        // Oldest evicted: the survivors are the last 16.
+        let spans = c.drain();
+        assert_eq!(spans[0].tags[0].1, "84");
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_span() {
+        let path = std::env::temp_dir().join(format!("obs_span_sink_{}.jsonl", std::process::id()));
+        let c = Collector::new(8);
+        c.set_enabled(true);
+        c.set_sink(&path).unwrap();
+        {
+            let mut s = Span::start_in(&c, "op", TraceId::from_label("req-1"));
+            s.tag("note", "a \"quoted\"\nvalue");
+        }
+        c.clear_sink();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        assert!(lines[0].contains("\"name\":\"op\""));
+        assert!(lines[0].contains("\\\"quoted\\\"\\n"));
+    }
+
+    #[test]
+    fn trace_ids_are_stable_per_label() {
+        assert_eq!(TraceId::from_label("abc"), TraceId::from_label("abc"));
+        assert_ne!(TraceId::from_label("abc"), TraceId::from_label("abd"));
+        assert_ne!(TraceId::new(), TraceId::new());
+        assert_eq!(TraceId::for_record(7, 3), TraceId::for_record(7, 3));
+        assert_ne!(TraceId::for_record(7, 3), TraceId::for_record(7, 4));
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the log-bucketed latency histogram: the invariants
+//! any monitoring consumer relies on — counts survive merges exactly,
+//! bucket indices are monotone in the recorded value, cumulative bucket
+//! series are monotone, and quantile estimates stay inside the recorded
+//! extrema.
+
+// The vendored proptest! macro expands tests recursively; five property
+// tests in one block need a deeper expansion budget than the default.
+#![recursion_limit = "1024"]
+
+use obs::hist::{bucket_lower_edge_us, bucket_upper_edge_us, NUM_BUCKETS};
+use obs::{HistogramSnapshot, LatencyHistogram};
+use proptest::prelude::*;
+
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    // Spread across the full dynamic range: sub-µs, mid-range, and
+    // beyond-60s overflow values.
+    prop::collection::vec(
+        prop_oneof![
+            0u64..4,
+            1u64..1_000,
+            1_000u64..1_000_000,
+            1_000_000u64..100_000_000,
+        ],
+        0..200,
+    )
+}
+
+fn record_all(values: &[u64]) -> HistogramSnapshot {
+    let h = LatencyHistogram::new();
+    for &v in values {
+        h.record_us(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Merging two snapshots preserves the recorded count, the sum, and
+    /// the extrema exactly — merge order included.
+    #[test]
+    fn merge_preserves_population(a in arb_values(), b in arb_values()) {
+        let sa = record_all(&a);
+        let sb = record_all(&b);
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.count, (a.len() + b.len()) as u64);
+        prop_assert_eq!(ab.sum_us, a.iter().sum::<u64>() + b.iter().sum::<u64>());
+        let combined = record_all(&a.iter().chain(&b).copied().collect::<Vec<_>>());
+        prop_assert_eq!(&ab, &combined);
+    }
+
+    /// Bucket assignment is monotone: a larger value never lands in an
+    /// earlier bucket, and every edge pair brackets its bucket.
+    #[test]
+    fn buckets_are_monotone(values in arb_values()) {
+        let mut values = values;
+        values.sort_unstable();
+        let mut last_first_occupied = 0usize;
+        for &v in &values {
+            let h = LatencyHistogram::new();
+            h.record_us(v);
+            let s = h.snapshot();
+            let idx = s.buckets.iter().position(|&c| c == 1).unwrap();
+            prop_assert!(idx >= last_first_occupied, "value {} regressed to bucket {}", v, idx);
+            last_first_occupied = idx;
+            prop_assert!(bucket_lower_edge_us(idx) <= v.max(1) as f64);
+            prop_assert!((v as f64) < bucket_upper_edge_us(idx));
+        }
+    }
+
+    /// The cumulative bucket series is monotone and totals the count —
+    /// the property Prometheus `_bucket` exposition depends on.
+    #[test]
+    fn cumulative_series_is_monotone(values in arb_values()) {
+        let s = record_all(&values);
+        let mut cumulative = 0u64;
+        for &c in &s.buckets {
+            let next = cumulative + c;
+            prop_assert!(next >= cumulative);
+            cumulative = next;
+        }
+        prop_assert_eq!(cumulative, s.count);
+        prop_assert_eq!(s.buckets.len(), NUM_BUCKETS);
+    }
+
+    /// Every quantile estimate lies within the exactly-tracked recorded
+    /// extrema, and quantiles are monotone in q.
+    #[test]
+    fn quantiles_stay_within_extrema(values in arb_values(), qs in prop::collection::vec(0.0f64..1.0, 1..8)) {
+        if values.is_empty() {
+            return;
+        }
+        let s = record_all(&values);
+        let min = *values.iter().min().unwrap() as f64;
+        let max = *values.iter().max().unwrap() as f64;
+        for &q in &qs {
+            let est = s.quantile_us(q);
+            prop_assert!(est >= min, "q={} est={} min={}", q, est, min);
+            prop_assert!(est <= max, "q={} est={} max={}", q, est, max);
+        }
+        let mut sorted = qs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let ests: Vec<f64> = sorted.iter().map(|&q| s.quantile_us(q)).collect();
+        for w in ests.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles must be monotone: {:?}", ests);
+        }
+    }
+
+    /// A snapshot delta between two points in time describes exactly the
+    /// values recorded in between.
+    #[test]
+    fn delta_counts_the_interval(a in arb_values(), b in arb_values()) {
+        let h = LatencyHistogram::new();
+        for &v in &a {
+            h.record_us(v);
+        }
+        let before = h.snapshot();
+        for &v in &b {
+            h.record_us(v);
+        }
+        let delta = h.snapshot().delta_since(&before);
+        prop_assert_eq!(delta.count, b.len() as u64);
+        prop_assert_eq!(delta.sum_us, b.iter().sum::<u64>());
+        prop_assert_eq!(&delta.buckets, &record_all(&b).buckets);
+    }
+}

@@ -201,14 +201,19 @@ pub trait Substrate {
 
     /// Full lifecycle for one candidate: prepare, apply, assert, teardown.
     ///
+    /// Wall-clock time for the whole lifecycle is recorded to the
+    /// `substrate_exec_us{backend=...}` histogram in [`obs::global`].
+    ///
     /// # Errors
     ///
     /// Propagates the first [`ExecError`] from apply or assert; teardown
     /// runs regardless.
     fn execute(&mut self, manifest: &str, check: &str) -> Result<ExecOutcome, ExecError> {
+        let started = std::time::Instant::now();
         self.prepare();
         let result = self.apply(manifest).and_then(|()| self.assert_check(check));
         self.teardown();
+        record_exec(self.name(), started);
         result
     }
 
@@ -224,13 +229,28 @@ pub trait Substrate {
         doc: &yamlkit::PreparedDoc,
         check: &str,
     ) -> Result<ExecOutcome, ExecError> {
+        let started = std::time::Instant::now();
         self.prepare();
         let result = self
             .apply_prepared(doc)
             .and_then(|()| self.assert_check(check));
         self.teardown();
+        record_exec(self.name(), started);
         result
     }
+}
+
+/// Records one full substrate lifecycle to `substrate_exec_us`, labelled
+/// by backend. Handle resolution is idempotent and cheap next to running
+/// a unit-test script, so no per-backend caching is needed here.
+fn record_exec(backend: &'static str, started: std::time::Instant) {
+    obs::global()
+        .histogram(
+            "substrate_exec_us",
+            &[("backend", backend)],
+            "wall-clock latency of one prepare/apply/assert/teardown lifecycle",
+        )
+        .record(started.elapsed());
 }
 
 /// 64-bit FNV-1a hash of a byte string.
