@@ -127,6 +127,105 @@ fn bench_score_engine(c: &mut Criterion) {
             acc
         })
     });
+    // Kernel-level series over the same pass@k pairs, everything
+    // prepared up front so each series times exactly one metric: the
+    // symbol-interned kernels against the legacy string-slice kernels
+    // they replaced (`repro score` prints the same A/B with a PASS/MISS
+    // floor and an identical-scores check).
+    let prepared: Vec<(cescore::PreparedRef, Vec<cescore::PreparedDoc>)> = workload
+        .iter()
+        .map(|(reference, candidates)| {
+            (
+                cescore::PreparedRef::new(reference),
+                candidates
+                    .iter()
+                    .map(|c| cescore::PreparedDoc::new(c.as_str()))
+                    .collect(),
+            )
+        })
+        .collect();
+    let kernel_refs: Vec<(cescore::RefNgrams, cescore::RefLineIndex)> = prepared
+        .iter()
+        .map(|(r, _)| {
+            (
+                cescore::RefNgrams::build(r.clean_doc().sym_stream()),
+                cescore::RefLineIndex::build(&r.clean_doc().lines()),
+            )
+        })
+        .collect();
+    // Warm every lazy per-document cache (sym streams, line hashes,
+    // token/line span tables) so the series time kernels, not caching.
+    for (r, docs) in &prepared {
+        r.clean_doc().sym_stream();
+        r.clean_doc().line_hashes();
+        for d in docs {
+            d.sym_stream();
+            d.line_hashes();
+        }
+    }
+    group.bench_function("bleu_kernel", |b| {
+        let mut scratch = cescore::ScoreScratch::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for ((r, docs), (ngrams, _)) in prepared.iter().zip(&kernel_refs) {
+                for d in docs {
+                    acc += cescore::bleu_kernel(
+                        r.clean_doc().sym_stream(),
+                        black_box(ngrams),
+                        d.sym_stream(),
+                        &mut scratch,
+                        cescore::Smoothing::Epsilon,
+                    );
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("bleu_legacy", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (r, docs) in &prepared {
+                let ref_tokens = r.clean_doc().tokens();
+                for d in docs {
+                    acc += cescore::bleu_tokens_ref(
+                        black_box(&ref_tokens),
+                        &d.tokens(),
+                        cescore::Smoothing::Epsilon,
+                    );
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("editdist_kernel", |b| {
+        let mut scratch = cescore::ScoreScratch::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for ((_, docs), (_, index)) in prepared.iter().zip(&kernel_refs) {
+                for d in docs {
+                    acc += cescore::edit_distance_score_kernel(
+                        black_box(index),
+                        &d.lines(),
+                        d.line_hashes(),
+                        &mut scratch,
+                    );
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("editdist_legacy", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (r, docs) in &prepared {
+                let ref_lines = r.clean_doc().lines();
+                for d in docs {
+                    acc += cescore::edit_distance_score_lines(black_box(&ref_lines), &d.lines());
+                }
+            }
+            acc
+        })
+    });
     group.finish();
 }
 

@@ -187,6 +187,7 @@ fn main() {
         let started = std::time::Instant::now();
         let output = match target.as_str() {
             "parse" => cloudeval_bench::parsebench::parse_report(),
+            "score" => cloudeval_bench::parsebench::score_report(),
             "bench" => cloudeval_bench::parsebench::bench_report(),
             "serve" => cloudeval_bench::serve::serve_report(&ServeOptions {
                 port,
@@ -235,9 +236,9 @@ fn main() {
 }
 
 const ALL_TARGETS: &[&str] = &[
-    "parse", "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
-    "table9", "fig5", "fig6", "fig7", "fig8", "fig9", "grid", "trace", "pipeline", "repair",
-    "serve",
+    "parse", "score", "table1", "table2", "table3", "table4", "table5", "table6", "table7",
+    "table8", "table9", "fig5", "fig6", "fig7", "fig8", "fig9", "grid", "trace", "pipeline",
+    "repair", "serve",
 ];
 
 fn parse_variants(list: &str) -> Result<Vec<Variant>, String> {
@@ -262,6 +263,7 @@ fn print_usage() {
     );
     eprintln!("targets: {} | all | bench", ALL_TARGETS.join(" | "));
     eprintln!("parse: legacy-vs-arena YAML parse A/B with 1.5x verdict");
+    eprintln!("score: symbol-interned vs legacy scoring-kernel A/B with identical-scores check and 1.5x verdict");
     eprintln!("bench: run every criterion engine group, refreshing BENCH_*.json at the repo root (not part of `all`)");
     eprintln!("variants: original,simplified,translated (grid/trace/pipeline targets)");
     eprintln!("trace: per-stage time breakdown of one grid run from the obs layer, plus one repair attempt's span tree");

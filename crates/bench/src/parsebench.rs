@@ -1,9 +1,15 @@
-//! The `repro parse` and `repro bench` targets.
+//! The `repro parse`, `repro score`, and `repro bench` targets.
 //!
 //! `parse` is a self-contained A/B of the legacy boxed-tree parser
 //! against the arena + interner path over the full generated corpus —
 //! no criterion harness, so it runs in seconds and prints a PASS/MISS
 //! verdict against the 1.5x acceptance floor.
+//!
+//! `score` is the same shape for the scoring engine: the
+//! symbol-interned kernels (rolling-hash BLEU + bit-parallel edit
+//! distance) against the kept legacy string-slice kernels on the pass@k
+//! workload, with a bit-for-bit identical-scores check and a PASS/MISS
+//! verdict on the same 1.5x floor.
 //!
 //! `bench` drives every criterion engine group and writes each one's
 //! machine-readable report to `BENCH_<name>.json` at the repository
@@ -88,6 +94,98 @@ pub fn parse_report() -> String {
         mbps(arena),
         materialized.as_secs_f64() * 1e3,
         mbps(materialized),
+    )
+}
+
+/// Kernel-vs-legacy static scoring over the pass@k workload (the same
+/// reference × k-candidate shape the `score_engine` criterion group
+/// uses), with the bit-for-bit identity check and the 1.5x acceptance
+/// verdict. Returned as a printable report; CI greps it for
+/// `identical` and `PASS`.
+pub fn score_report() -> String {
+    const REPS: usize = 7;
+    const K: usize = 8;
+    let ds = cedataset::Dataset::generate();
+    // Every 6th problem, each with k near-miss candidate variants —
+    // identical to the score_engine bench workload.
+    let workload: Vec<(cescore::PreparedRef, Vec<cescore::PreparedDoc>)> = ds
+        .problems()
+        .iter()
+        .step_by(6)
+        .map(|p| {
+            let base = p.clean_reference();
+            let candidates = (0..K)
+                .map(|k| match k % 4 {
+                    0 => base.clone(),
+                    1 => base.replace("latest", "1.25"),
+                    2 => format!("{base}extra-{k}: {k}\n"),
+                    _ => base.replace("name:", "name: variant-"),
+                })
+                .map(|c| cescore::PreparedDoc::new(c.as_str()))
+                .collect();
+            (cescore::PreparedRef::new(&p.labeled_reference), candidates)
+        })
+        .collect();
+    let pairs: usize = workload.iter().map(|(_, cands)| cands.len()).sum();
+
+    // Identity first: every pair, every static metric, bit for bit.
+    let mut scratch = cescore::ScoreScratch::new();
+    for (reference, candidates) in &workload {
+        for doc in candidates {
+            let kernel = cescore::score_pair_prepared_with(reference, doc, &mut scratch);
+            let legacy = cescore::score_pair_prepared_legacy(reference, doc);
+            assert_eq!(
+                kernel, legacy,
+                "kernel/legacy divergence — scoring is broken, not just slow"
+            );
+        }
+    }
+
+    // A fingerprint of all five metric bit patterns, so the timed runs
+    // also prove both paths compute the same numbers.
+    let fingerprint = |s: &cescore::Scores| {
+        s.static_metrics()
+            .iter()
+            .fold(0usize, |acc, v| acc.rotate_left(7) ^ v.to_bits() as usize)
+    };
+    let (legacy, legacy_check) = best_of(REPS, || {
+        workload
+            .iter()
+            .flat_map(|(reference, candidates)| {
+                candidates
+                    .iter()
+                    .map(|doc| fingerprint(&cescore::score_pair_prepared_legacy(reference, doc)))
+            })
+            .fold(0usize, usize::wrapping_add)
+    });
+    let mut scratch = cescore::ScoreScratch::new();
+    let (kernel, kernel_check) = best_of(REPS, || {
+        let mut acc = 0usize;
+        for (reference, candidates) in &workload {
+            for doc in candidates {
+                acc = acc.wrapping_add(fingerprint(&cescore::score_pair_prepared_with(
+                    reference,
+                    doc,
+                    &mut scratch,
+                )));
+            }
+        }
+        acc
+    });
+    assert_eq!(legacy_check, kernel_check, "timed runs disagree");
+    let speedup = legacy.as_secs_f64() / kernel.as_secs_f64();
+    let verdict = if speedup >= 1.5 { "PASS" } else { "MISS" };
+    format!(
+        "scoring kernel A/B — {} references x {K} candidates ({pairs} pairs), best of {REPS}\n\
+         legacy string-slice kernels   {:>9.3} ms  {:>7.1} us/pair\n\
+         symbol-interned kernels       {:>9.3} ms  {:>7.1} us/pair\n\
+         scores: identical across {pairs} pairs (all five static metrics, bit-for-bit)\n\
+         speedup (kernel vs legacy): {speedup:.2}x — {verdict} (floor 1.5x)\n",
+        workload.len(),
+        legacy.as_secs_f64() * 1e3,
+        legacy.as_secs_f64() * 1e6 / pairs as f64,
+        kernel.as_secs_f64() * 1e3,
+        kernel.as_secs_f64() * 1e6 / pairs as f64,
     )
 }
 

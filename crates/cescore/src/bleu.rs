@@ -100,11 +100,16 @@ pub fn bleu(reference: &str, candidate: &str, smoothing: Smoothing) -> f64 {
 
 /// BLEU over pre-tokenized owned sequences. Kept for compatibility with
 /// callers that hold `Vec<String>` tokens; forwards to
-/// [`bleu_tokens_ref`].
+/// [`bleu_tokens_ref`] through a single borrowed-token buffer shared by
+/// both sides.
 pub fn bleu_tokens(reference: &[String], candidate: &[String], smoothing: Smoothing) -> f64 {
-    let reference: Vec<&str> = reference.iter().map(String::as_str).collect();
-    let candidate: Vec<&str> = candidate.iter().map(String::as_str).collect();
-    bleu_tokens_ref(&reference, &candidate, smoothing)
+    let borrowed: Vec<&str> = reference
+        .iter()
+        .chain(candidate)
+        .map(String::as_str)
+        .collect();
+    let (reference, candidate) = borrowed.split_at(reference.len());
+    bleu_tokens_ref(reference, candidate, smoothing)
 }
 
 /// BLEU over borrowed token sequences (the allocation-free hot path).
@@ -155,7 +160,9 @@ pub fn bleu_tokens_ref(reference: &[&str], candidate: &[&str], smoothing: Smooth
     bp * mean_log.exp()
 }
 
-fn brevity_penalty(ref_len: usize, cand_len: usize) -> f64 {
+/// NLTK's brevity penalty, shared with the symbol-interned kernel in
+/// [`crate::kernel`] so both paths run the identical float expression.
+pub(crate) fn brevity_penalty(ref_len: usize, cand_len: usize) -> f64 {
     if cand_len >= ref_len {
         1.0
     } else if cand_len == 0 {

@@ -30,6 +30,7 @@
 
 mod bleu;
 mod editdist;
+mod kernel;
 mod prepared;
 mod yamlaware;
 
@@ -37,7 +38,14 @@ pub use bleu::{bleu, bleu_tokens, bleu_tokens_ref, tokenize, tokenize_ref, Smoot
 pub use editdist::{
     edit_distance_score, edit_distance_score_lines, line_edit_distance, line_edit_distance_lines,
 };
-pub use prepared::{score_pair_prepared, PreparedRef, RefCache, ScoreIssue};
+pub use kernel::{
+    bleu_kernel, edit_distance_kernel, edit_distance_score_kernel, RefLineIndex, RefNgrams,
+    ScoreScratch,
+};
+pub use prepared::{
+    score_pair_prepared, score_pair_prepared_legacy, score_pair_prepared_with, PreparedRef,
+    RefCache, ScoreIssue,
+};
 pub use yamlaware::{kv_exact_match, kv_wildcard_match};
 pub use yamlkit::PreparedDoc;
 

@@ -22,13 +22,18 @@
 //! typed [`ScoreIssue`] on the [`PreparedRef`], logged once per problem,
 //! which the harness and service layers attach to their verdicts.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 use yamlkit::labels::MatchTree;
 use yamlkit::PreparedDoc;
 
+use crate::kernel::{
+    bleu_kernel, edit_distance_score_kernel, RefLineIndex, RefNgrams, ScoreScratch,
+};
 use crate::{normalized_eq, Scores, Smoothing};
 
 /// A defect in the benchmark inputs (not the candidate) detected during
@@ -107,6 +112,12 @@ pub struct PreparedRef {
     trees: Vec<MatchTree>,
     /// Total reference-side leaf count across the trees.
     ref_leaves: usize,
+    /// The cleaned reference's 1–4-gram count tables, built once here so
+    /// every pass@k candidate scores BLEU against shared tables.
+    ngrams: RefNgrams,
+    /// The cleaned reference's interned line table, the reference side
+    /// of the bit-parallel edit-distance kernel.
+    line_index: RefLineIndex,
     issue: Option<ScoreIssue>,
 }
 
@@ -124,14 +135,19 @@ impl PreparedRef {
             if issue_logged_once(labeled_hash) {
                 eprintln!("cescore: benchmark bug: {issue}");
             }
+            // The text path falls back to the raw labeled text for
+            // text-level metrics; mirror it exactly.
+            let clean = labeled;
+            let ngrams = RefNgrams::build(clean.sym_stream());
+            let line_index = RefLineIndex::build(&clean.lines());
             return PreparedRef {
                 labeled_hash,
                 labeled_parses: false,
-                // The text path falls back to the raw labeled text for
-                // text-level metrics; mirror it exactly.
-                clean: labeled,
+                clean,
                 trees: Vec::new(),
                 ref_leaves: 0,
+                ngrams,
+                line_index,
                 issue: Some(issue),
             };
         }
@@ -143,12 +159,19 @@ impl PreparedRef {
         // prepared in turn, so kv-exact and the text metrics read cached
         // views instead of re-parsing per candidate.
         let clean = PreparedDoc::new(yamlkit::emit_all(labeled.values()));
+        // The scoring-kernel reference sides: n-gram count tables over
+        // the clean document's interned token stream and the interned
+        // line table, both built exactly once per reference.
+        let ngrams = RefNgrams::build(clean.sym_stream());
+        let line_index = RefLineIndex::build(&clean.lines());
         PreparedRef {
             labeled_hash,
             labeled_parses: true,
             clean,
             trees,
             ref_leaves,
+            ngrams,
+            line_index,
             issue: None,
         }
     }
@@ -279,12 +302,102 @@ fn kv_wildcard_prepared(reference: &PreparedRef, candidate: &PreparedDoc) -> f64
     }
 }
 
+/// Pre-resolved `score_kernel_us{metric}` histogram handles in
+/// [`obs::global`] — (bleu, editdist). Resolved once per process;
+/// recording through a handle is lock-free.
+fn kernel_hists() -> &'static (obs::Histogram, obs::Histogram) {
+    static HISTS: OnceLock<(obs::Histogram, obs::Histogram)> = OnceLock::new();
+    HISTS.get_or_init(|| {
+        let registry = obs::global();
+        (
+            registry.histogram(
+                "score_kernel_us",
+                &[("metric", "bleu")],
+                "latency of the symbol-interned BLEU kernel, per scored pair",
+            ),
+            registry.histogram(
+                "score_kernel_us",
+                &[("metric", "editdist")],
+                "latency of the bit-parallel edit-distance kernel, per scored pair",
+            ),
+        )
+    })
+}
+
 /// Computes the five static metrics from prepared views — the hot path
 /// every driver runs on. Score-identical to [`crate::score_pair`] on the
-/// corresponding texts (which is now a thin wrapper over this), but with
-/// zero parsing: the reference was prepared once per session and the
-/// candidate once per evaluation.
+/// corresponding texts (which is a thin wrapper over this) and to
+/// [`score_pair_prepared_legacy`], but BLEU and edit distance run on the
+/// symbol-interned kernels against the reference tables precomputed in
+/// [`PreparedRef::new`].
+///
+/// Kernel scratch is kept per thread; workers that want explicit
+/// ownership (the harness's scoring pools, benches) should hold a
+/// [`ScoreScratch`] and call [`score_pair_prepared_with`] directly.
 pub fn score_pair_prepared(reference: &PreparedRef, candidate: &PreparedDoc) -> Scores {
+    thread_local! {
+        static SCRATCH: RefCell<ScoreScratch> = RefCell::new(ScoreScratch::new());
+    }
+    SCRATCH
+        .with(|scratch| score_pair_prepared_with(reference, candidate, &mut scratch.borrow_mut()))
+}
+
+/// [`score_pair_prepared`] with caller-owned kernel scratch: count
+/// tables, translation buffers, and LCS bit vectors are reused across
+/// calls, so a long-lived scoring worker allocates nothing per record in
+/// steady state.
+///
+/// Kernel latencies are recorded to the `score_kernel_us{metric}`
+/// histograms in [`obs::global`] when recording is enabled.
+pub fn score_pair_prepared_with(
+    reference: &PreparedRef,
+    candidate: &PreparedDoc,
+    scratch: &mut ScoreScratch,
+) -> Scores {
+    let timed = obs::global().is_enabled();
+    let started = timed.then(Instant::now);
+    let bleu_score = bleu_kernel(
+        reference.clean.sym_stream(),
+        &reference.ngrams,
+        candidate.sym_stream(),
+        scratch,
+        Smoothing::Epsilon,
+    );
+    let mid = timed.then(Instant::now);
+    let edit = edit_distance_score_kernel(
+        &reference.line_index,
+        &candidate.lines(),
+        candidate.line_hashes(),
+        scratch,
+    );
+    if let (Some(started), Some(mid)) = (started, mid) {
+        let (bleu_hist, edit_hist) = kernel_hists();
+        bleu_hist.record(mid.duration_since(started));
+        edit_hist.record(mid.elapsed());
+    }
+    let exact = if normalized_eq(reference.clean_text(), candidate.text()) {
+        1.0
+    } else {
+        0.0
+    };
+    Scores {
+        bleu: bleu_score,
+        edit_distance: edit,
+        exact_match: exact,
+        kv_exact: kv_exact_prepared(&reference.clean, candidate),
+        kv_wildcard: kv_wildcard_prepared(reference, candidate),
+        unit_test: 0.0,
+    }
+}
+
+/// The pre-kernel prepared scoring path, kept verbatim as the
+/// equivalence oracle for the symbol-interned kernels (the
+/// `kernel_equivalence` proptest suite pins
+/// [`score_pair_prepared`] == `score_pair_prepared_legacy` on arbitrary
+/// pairs) and as the legacy side of the `repro score` A/B report: BLEU
+/// re-hashes `&[&str]` n-gram windows per pair and edit distance runs
+/// the O(n·m) string-comparing LCS.
+pub fn score_pair_prepared_legacy(reference: &PreparedRef, candidate: &PreparedDoc) -> Scores {
     let ref_tokens = reference.clean.tokens();
     let cand_tokens = candidate.tokens();
     let bleu_score = crate::bleu_tokens_ref(&ref_tokens, &cand_tokens, Smoothing::Epsilon);
@@ -341,6 +454,38 @@ spec:
             let want = score_pair_text(REF, &candidate);
             assert_eq!(got, want, "diverged on candidate {candidate:?}");
         }
+    }
+
+    #[test]
+    fn kernel_path_matches_legacy_path() {
+        let prepared = PreparedRef::new(REF);
+        let mut scratch = crate::ScoreScratch::new();
+        for candidate in [
+            crate::strip_label_comments(REF),
+            crate::strip_label_comments(REF).replace("nginx-service", "my-svc"),
+            "totally different\nprose lines\n".to_owned(),
+            "not: [valid\n".to_owned(),
+            String::new(),
+        ] {
+            let doc = PreparedDoc::new(candidate.as_str());
+            let kernel = score_pair_prepared_with(&prepared, &doc, &mut scratch);
+            let legacy = score_pair_prepared_legacy(&prepared, &doc);
+            assert_eq!(kernel, legacy, "kernel diverged on {candidate:?}");
+        }
+    }
+
+    #[test]
+    fn kernel_latency_lands_in_obs_histograms() {
+        let prepared = PreparedRef::new(REF);
+        let before = obs::global()
+            .histogram_snapshot("score_kernel_us", &[("metric", "bleu")])
+            .map_or(0, |s| s.count);
+        score_pair_prepared(&prepared, &PreparedDoc::new("a: 1\n"));
+        let after = obs::global()
+            .histogram_snapshot("score_kernel_us", &[("metric", "bleu")])
+            .expect("histogram registered")
+            .count;
+        assert!(after > before, "bleu kernel histogram did not record");
     }
 
     #[test]

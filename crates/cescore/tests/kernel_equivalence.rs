@@ -1,0 +1,258 @@
+//! Equivalence proofs for the symbol-interned scoring kernels: the
+//! kernel path (`score_pair_prepared` / `bleu_kernel` /
+//! `edit_distance_kernel`) must be **bit-identical** to the kept legacy
+//! kernels (`score_pair_prepared_legacy`, `bleu_tokens_ref`, the
+//! string-comparing LCS) and to the pre-refactor `score_pair_text` — on
+//! arbitrary valid YAML, malformed YAML, prose, and the pinned
+//! adversarial shapes (10k-line documents, all-identical lines, fully
+//! disjoint vocabularies).
+
+use std::time::Instant;
+
+use proptest::prelude::*;
+
+use cescore::{
+    bleu_kernel, edit_distance_kernel, score_pair_prepared_legacy, score_pair_prepared_with,
+    PreparedDoc, PreparedRef, RefLineIndex, RefNgrams, ScoreScratch, Smoothing,
+};
+
+fn arb_yaml_text() -> impl Strategy<Value = String> {
+    // Small random mappings emitted through yamlkit guarantee valid YAML.
+    prop::collection::vec(("[a-z]{1,6}", "[a-z0-9:/.-]{0,8}"), 1..6).prop_map(|pairs| {
+        let mut seen = std::collections::HashSet::new();
+        let map = yamlkit::Yaml::Map(
+            pairs
+                .into_iter()
+                .filter(|(k, _)| seen.insert(k.clone()))
+                .map(|(k, v)| (k, yamlkit::Yaml::Str(v)))
+                .collect(),
+        );
+        yamlkit::emit(&map)
+    })
+}
+
+/// Arbitrary model-output-shaped text: sometimes valid YAML, sometimes
+/// prose, sometimes broken flow collections — the full domain the
+/// kernels must be total (and exact) over.
+fn arb_any_text() -> impl Strategy<Value = String> {
+    prop_oneof![
+        arb_yaml_text(),
+        "[a-zA-Z0-9 :#\\n\\[\\]{},'\"-]{0,80}".prop_map(|s| s),
+        // Guaranteed-broken YAML: unclosed flow sequence.
+        "[a-z]{1,6}".prop_map(|k| format!("{k}: [1,\n")),
+        Just(String::new()),
+    ]
+}
+
+/// Asserts every static metric of the kernel path equals the legacy
+/// prepared path and the pre-refactor text path, bit for bit.
+fn assert_paths_identical(reference: &str, candidate: &str, scratch: &mut ScoreScratch) {
+    let prepared = PreparedRef::new(reference);
+    let doc = PreparedDoc::new(candidate);
+    let kernel = score_pair_prepared_with(&prepared, &doc, scratch);
+    let legacy = score_pair_prepared_legacy(&prepared, &doc);
+    let text = cescore::score_pair_text(reference, candidate);
+    assert_eq!(
+        kernel, legacy,
+        "kernel != legacy on ref {reference:?} cand {candidate:?}"
+    );
+    assert_eq!(
+        kernel, text,
+        "kernel != text path on ref {reference:?} cand {candidate:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// THE kernel contract: on arbitrary reference/candidate pairs —
+    /// valid, malformed, prose, empty — the symbol-interned path scores
+    /// bit-identically to both oracles, through one continuously reused
+    /// scratch (so purity of scratch reuse is proven en passant).
+    #[test]
+    fn kernel_scores_bit_identical_to_both_oracles(
+        r in arb_any_text(),
+        cands in prop::collection::vec(arb_any_text(), 1..4),
+    ) {
+        let mut scratch = ScoreScratch::new();
+        for c in &cands {
+            assert_paths_identical(&r, c, &mut scratch);
+        }
+    }
+
+    /// The raw BLEU kernel against the raw legacy token function, bit
+    /// for bit, for both smoothing modes.
+    #[test]
+    fn bleu_kernel_matches_token_oracle(r in arb_any_text(), c in arb_any_text()) {
+        let rd = PreparedDoc::new(r.as_str());
+        let cd = PreparedDoc::new(c.as_str());
+        let ngrams = RefNgrams::build(rd.sym_stream());
+        let mut scratch = ScoreScratch::new();
+        for smoothing in [Smoothing::Epsilon, Smoothing::None] {
+            let kernel = bleu_kernel(rd.sym_stream(), &ngrams, cd.sym_stream(), &mut scratch, smoothing);
+            let legacy = cescore::bleu_tokens_ref(&rd.tokens(), &cd.tokens(), smoothing);
+            prop_assert_eq!(
+                kernel.to_bits(),
+                legacy.to_bits(),
+                "bleu diverged ({:?}): ref {:?} cand {:?}",
+                smoothing, r, c
+            );
+        }
+    }
+
+    /// The raw edit-distance kernel against the O(n·m) LCS oracle.
+    #[test]
+    fn edit_kernel_matches_dp_oracle(r in arb_any_text(), c in arb_any_text()) {
+        let rd = PreparedDoc::new(r.as_str());
+        let cd = PreparedDoc::new(c.as_str());
+        let index = RefLineIndex::build(&rd.lines());
+        let mut scratch = ScoreScratch::new();
+        let kernel = edit_distance_kernel(&index, &cd.lines(), cd.line_hashes(), &mut scratch);
+        let legacy = cescore::line_edit_distance_lines(&rd.lines(), &cd.lines());
+        prop_assert_eq!(kernel, legacy, "edit distance diverged: ref {:?} cand {:?}", r, c);
+    }
+}
+
+/// All-identical lines: the match-mask row for the single distinct line
+/// id is all ones, the worst case for the carry chain. Also a dense-BLEU
+/// stress (every window matches).
+#[test]
+fn adversarial_all_identical_lines() {
+    let mut scratch = ScoreScratch::new();
+    let reference = "same: line\n".repeat(300);
+    for cand_len in [0usize, 1, 64, 65, 128, 299, 300, 301, 400] {
+        let candidate = "same: line\n".repeat(cand_len);
+        assert_paths_identical(&reference, &candidate, &mut scratch);
+    }
+}
+
+/// Fully disjoint vocabularies: every candidate token misses the
+/// reference interner (the `UNSEEN` sentinel path), every line mask is
+/// empty, and BLEU exercises the epsilon-smoothing branch throughout.
+#[test]
+fn adversarial_fully_disjoint_token_sets() {
+    let mut scratch = ScoreScratch::new();
+    let reference: String = (0..200).map(|i| format!("ref{i}: alpha{i}\n")).collect();
+    let candidate: String = (0..250).map(|i| format!("cand{i} beta{i}\n")).collect();
+    assert_paths_identical(&reference, &candidate, &mut scratch);
+    assert_paths_identical(&candidate, &reference, &mut scratch);
+}
+
+/// 10k-line documents with a realistic mutation pattern. The O(n·m)
+/// string-comparing oracle would take ~10^8 cell compares in a debug
+/// build, so this case proves the kernels against *known closed-form*
+/// answers instead, plus a wall-clock sanity bound: the whole scoring
+/// run (two 10k-line pairs) must finish in seconds, which the legacy
+/// path could not.
+#[test]
+fn adversarial_10k_line_documents_with_wall_clock_bound() {
+    let n = 10_000usize;
+    let reference: String = (0..n).map(|i| format!("key{i}: value{i}\n")).collect();
+    // Mutate every 100th line: 100 changed lines → distance 200.
+    let mutated: String = (0..n)
+        .map(|i| {
+            if i % 100 == 0 {
+                format!("key{i}: CHANGED\n")
+            } else {
+                format!("key{i}: value{i}\n")
+            }
+        })
+        .collect();
+    let started = Instant::now();
+    let rd = PreparedDoc::new(reference.as_str());
+    let index = RefLineIndex::build(&rd.lines());
+    let ngrams = RefNgrams::build(rd.sym_stream());
+    let mut scratch = ScoreScratch::new();
+
+    // Identity: distance 0, BLEU exactly 1.
+    let self_doc = PreparedDoc::new(reference.as_str());
+    assert_eq!(
+        edit_distance_kernel(
+            &index,
+            &self_doc.lines(),
+            self_doc.line_hashes(),
+            &mut scratch
+        ),
+        0
+    );
+    let self_bleu = bleu_kernel(
+        rd.sym_stream(),
+        &ngrams,
+        self_doc.sym_stream(),
+        &mut scratch,
+        Smoothing::Epsilon,
+    );
+    assert!((self_bleu - 1.0).abs() < 1e-9, "self-BLEU {self_bleu}");
+
+    // Every 100th line changed: the untouched 9900 lines are the LCS
+    // (100 substitutions = 100 deletions + 100 insertions).
+    let mut_doc = PreparedDoc::new(mutated.as_str());
+    assert_eq!(
+        edit_distance_kernel(
+            &index,
+            &mut_doc.lines(),
+            mut_doc.line_hashes(),
+            &mut scratch
+        ),
+        200
+    );
+    let mut_bleu = bleu_kernel(
+        rd.sym_stream(),
+        &ngrams,
+        mut_doc.sym_stream(),
+        &mut scratch,
+        Smoothing::Epsilon,
+    );
+    assert!(
+        mut_bleu > 0.9 && mut_bleu < 1.0,
+        "1% line churn should stay near 1: {mut_bleu}"
+    );
+
+    // Reversed line order: same line multiset, so the edit distance is
+    // bounded by 2·(n-1) and BLEU's unigram precision stays perfect.
+    let reversed: String = (0..n)
+        .rev()
+        .map(|i| format!("key{i}: value{i}\n"))
+        .collect();
+    let rev_doc = PreparedDoc::new(reversed.as_str());
+    let rev_dist = edit_distance_kernel(
+        &index,
+        &rev_doc.lines(),
+        rev_doc.line_hashes(),
+        &mut scratch,
+    );
+    // LCS of a sequence of distinct lines vs its reversal is exactly 1.
+    assert_eq!(rev_dist, 2 * (n - 1));
+
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed.as_secs() < 30,
+        "10k-line adversarial scoring took {elapsed:?} — kernel perf regressed"
+    );
+}
+
+/// The 10k shape cross-checked against the legacy oracle on a prefix
+/// small enough for the O(n·m) DP (1k lines), so the closed-form
+/// answers above are themselves anchored to the oracle.
+#[test]
+fn adversarial_1k_prefix_cross_checked_against_oracle() {
+    let n = 1_000usize;
+    let reference: String = (0..n).map(|i| format!("key{i}: value{i}\n")).collect();
+    let mutated: String = (0..n)
+        .map(|i| {
+            if i % 100 == 0 {
+                format!("key{i}: CHANGED\n")
+            } else {
+                format!("key{i}: value{i}\n")
+            }
+        })
+        .collect();
+    let reversed: String = (0..n)
+        .rev()
+        .map(|i| format!("key{i}: value{i}\n"))
+        .collect();
+    let mut scratch = ScoreScratch::new();
+    for candidate in [&reference, &mutated, &reversed] {
+        assert_paths_identical(&reference, candidate, &mut scratch);
+    }
+}

@@ -533,6 +533,27 @@ fn stats_body(service: &Service) -> String {
             })
             .collect(),
     );
+    // The scoring-kernel histograms live in the process-global obs
+    // registry (cescore registers them on first score), not the
+    // service's own: absent until the first evaluation is scored.
+    let score_kernels: Yaml = Yaml::Map(
+        ["bleu", "editdist"]
+            .iter()
+            .filter_map(|metric| {
+                let snap =
+                    obs::global().histogram_snapshot("score_kernel_us", &[("metric", metric)])?;
+                Some((
+                    (*metric).to_string(),
+                    ymap! {
+                        "count" => i64::try_from(snap.count).unwrap_or(i64::MAX),
+                        "mean_us" => snap.mean_us(),
+                        "p50_us" => snap.p50_us(),
+                        "p99_us" => snap.p99_us(),
+                    },
+                ))
+            })
+            .collect(),
+    );
     yamlkit::json::to_json(&ymap! {
         "uptime_ms" => i64::try_from(service.started.elapsed().as_millis()).unwrap_or(i64::MAX),
         "uptime_seconds" => i64::try_from(service.started.elapsed().as_secs()).unwrap_or(i64::MAX),
@@ -551,6 +572,7 @@ fn stats_body(service: &Service) -> String {
             "out" => i64::try_from(m.bytes_out.get()).unwrap_or(i64::MAX),
         },
         "latency" => latency,
+        "score_kernels" => score_kernels,
         "connections" => ymap! {
             "active" => count(&s.connections),
             "accept_queue_depth" => count(&s.queue_depth),

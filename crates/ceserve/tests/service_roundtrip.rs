@@ -99,6 +99,15 @@ fn loadgen_scores_are_byte_identical_to_direct_pipeline() {
         .and_then(Yaml::as_i64)
         .expect("requests.evaluate");
     assert_eq!(served, 120);
+    // Every evaluate ran the scoring kernels, so their latency
+    // histograms must be populated and surfaced under score_kernels.
+    for metric in ["bleu", "editdist"] {
+        let recorded = stats
+            .get_path(&["score_kernels", metric, "count"])
+            .and_then(Yaml::as_i64)
+            .unwrap_or_else(|| panic!("score_kernels.{metric}.count missing: {stats}"));
+        assert!(recorded > 0, "score_kernels.{metric} never recorded");
+    }
     server.shutdown().expect("clean shutdown");
 }
 

@@ -24,7 +24,9 @@ use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Mutex};
 
 use cedataset::{Category, Dataset, Problem, Variant};
-use cescore::{score_pair_prepared, PreparedDoc, RefCache, Scores};
+use cescore::{
+    score_pair_prepared, score_pair_prepared_with, PreparedDoc, RefCache, ScoreScratch, Scores,
+};
 use evalcluster::executor::{run_jobs_cached, run_jobs_stream, UnitTestJob};
 use evalcluster::memo::ScoreMemo;
 use llmsim::{
@@ -283,6 +285,9 @@ impl Stage for ScoreStage<'_> {
                     UnitTestJob::prepared(problem_id, problem.unit_test.clone(), Arc::clone(&doc));
                 let _ = self.jobs.send((index, job));
                 let reference = refs.prepare(&problem.labeled_reference);
+                // Stage workers are long-lived pool threads, so the
+                // thread-local kernel scratch inside score_pair_prepared
+                // is reused across every record this worker scores.
                 let scores = score_pair_prepared(&reference, &doc);
                 (doc.text().to_owned(), scores)
             }
@@ -1157,43 +1162,49 @@ where
         for _ in 0..workers.min(hw).max(1) {
             let job_tx = job_tx.clone();
             let next = &next;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let sub = &submissions[i];
-                let doc = {
-                    let _g = GaugeGuard::enter(&gauges.extracting);
-                    let yaml = match &sub.extracted {
-                        Some(done) => done.clone(),
-                        None => extract_yaml(&sub.raw),
+            scope.spawn(move || {
+                // One kernel scratch per scoring worker: count tables,
+                // translation buffers, and LCS bit vectors are reused
+                // across every record this worker scores.
+                let mut scratch = ScoreScratch::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let sub = &submissions[i];
+                    let doc = {
+                        let _g = GaugeGuard::enter(&gauges.extracting);
+                        let yaml = match &sub.extracted {
+                            Some(done) => done.clone(),
+                            None => extract_yaml(&sub.raw),
+                        };
+                        PreparedDoc::shared(yaml)
                     };
-                    PreparedDoc::shared(yaml)
-                };
-                let reference = refs.prepare(&sub.problem.labeled_reference);
-                let scores = {
-                    let _g = GaugeGuard::enter(&gauges.scoring);
-                    score_pair_prepared(&reference, &doc)
-                };
-                let cached = memo
-                    .peek((
-                        doc.content_hash(),
-                        substrate::content_hash(&sub.problem.unit_test),
-                    ))
-                    .is_some();
-                let job = UnitTestJob::prepared(
-                    format!("{}@{:?}", sub.problem.id, sub.variant),
-                    sub.problem.unit_test.clone(),
-                    Arc::clone(&doc),
-                );
-                *statics[i].lock().expect("statics slot poisoned") =
-                    Some((doc, scores, cached, reference));
-                gauges.executing.fetch_add(1, Ordering::Relaxed);
-                // A send error means the execution stage tore down early;
-                // nothing to do but stop feeding.
-                if job_tx.send((i, job)).is_err() {
-                    break;
+                    let reference = refs.prepare(&sub.problem.labeled_reference);
+                    let scores = {
+                        let _g = GaugeGuard::enter(&gauges.scoring);
+                        score_pair_prepared_with(&reference, &doc, &mut scratch)
+                    };
+                    let cached = memo
+                        .peek((
+                            doc.content_hash(),
+                            substrate::content_hash(&sub.problem.unit_test),
+                        ))
+                        .is_some();
+                    let job = UnitTestJob::prepared(
+                        format!("{}@{:?}", sub.problem.id, sub.variant),
+                        sub.problem.unit_test.clone(),
+                        Arc::clone(&doc),
+                    );
+                    *statics[i].lock().expect("statics slot poisoned") =
+                        Some((doc, scores, cached, reference));
+                    gauges.executing.fetch_add(1, Ordering::Relaxed);
+                    // A send error means the execution stage tore down
+                    // early; nothing to do but stop feeding.
+                    if job_tx.send((i, job)).is_err() {
+                        break;
+                    }
                 }
             });
         }

@@ -25,9 +25,56 @@
 use std::sync::{Arc, OnceLock};
 
 use crate::arena::{parse_arena, ArenaParts};
+use crate::intern::{fnv1a, StrInterner, Sym};
 use crate::labels::MatchTree;
 use crate::parser::{Node, ParseYamlError};
 use crate::value::Yaml;
+
+/// The BLEU token stream of one document as dense interned symbols: a
+/// per-document [`StrInterner`] plus one [`Sym`] per token, in stream
+/// order. Scoring kernels run on the `u32` ids instead of `&str` slices
+/// — n-gram windows pack into fixed-width integers and line/token
+/// equality becomes an integer compare. Symbols are only meaningful
+/// against [`SymStream::interner`]; cross-document comparison goes
+/// through [`StrInterner::lookup`] on the *other* side's interner.
+#[derive(Debug, Clone)]
+pub struct SymStream {
+    interner: StrInterner,
+    syms: Vec<Sym>,
+}
+
+impl SymStream {
+    /// Interns every token of `text` (per [`token_spans`] segmentation)
+    /// into a fresh per-document interner.
+    fn from_spans(text: &str, spans: &[(usize, usize)]) -> SymStream {
+        let mut interner = StrInterner::with_capacity(32);
+        let syms = spans
+            .iter()
+            .map(|&(s, e)| interner.intern(&text[s..e]))
+            .collect();
+        SymStream { interner, syms }
+    }
+
+    /// The per-document interner the symbols resolve against.
+    pub fn interner(&self) -> &StrInterner {
+        &self.interner
+    }
+
+    /// The token stream as symbols, one per token.
+    pub fn syms(&self) -> &[Sym] {
+        &self.syms
+    }
+
+    /// Number of tokens in the stream.
+    pub fn len(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// Whether the document tokenizes to nothing.
+    pub fn is_empty(&self) -> bool {
+        self.syms.is_empty()
+    }
+}
 
 /// 64-bit FNV-1a hash of a byte string — the content-addressing hash the
 /// whole pipeline keys caches on. Stable across processes and platforms
@@ -148,6 +195,13 @@ pub struct PreparedDoc {
     /// them once and reuse them for every metric thereafter.
     tokens: OnceLock<Vec<(usize, usize)>>,
     lines: OnceLock<Vec<(usize, usize)>>,
+    /// The interned token stream, built over the token spans on first
+    /// use — the symbol-level view the scoring kernels run on.
+    syms: OnceLock<SymStream>,
+    /// FNV-1a hash of each line (same segmentation as `lines`), computed
+    /// once — the edit-distance kernel probes a reference's line index
+    /// with these instead of re-hashing the candidate per pair.
+    line_hashes: OnceLock<Vec<u64>>,
     leaf_count: usize,
     hash: u64,
 }
@@ -169,6 +223,8 @@ impl PreparedDoc {
             values: OnceLock::new(),
             tokens: OnceLock::new(),
             lines: OnceLock::new(),
+            syms: OnceLock::new(),
+            line_hashes: OnceLock::new(),
             leaf_count,
             hash,
             source,
@@ -267,6 +323,30 @@ impl PreparedDoc {
             .collect()
     }
 
+    /// The interned symbol view of the token stream (built once, on
+    /// first use): token text resolves through the stream's per-document
+    /// interner, and `syms()[i]` corresponds 1:1 to `tokens()[i]`.
+    pub fn sym_stream(&self) -> &SymStream {
+        self.syms.get_or_init(|| {
+            let spans = self.tokens.get_or_init(|| token_spans(&self.source));
+            SymStream::from_spans(&self.source, spans)
+        })
+    }
+
+    /// FNV-1a hash of each line of [`lines`](PreparedDoc::lines)
+    /// (hashed once, on first use) — pre-hashed probes for
+    /// [`crate::intern::StrInterner::lookup_hashed`] against a
+    /// reference-side line index.
+    pub fn line_hashes(&self) -> &[u64] {
+        self.line_hashes.get_or_init(|| {
+            self.lines
+                .get_or_init(|| line_spans(&self.source))
+                .iter()
+                .map(|&(s, e)| fnv1a(&self.source.as_bytes()[s..e]))
+                .collect()
+        })
+    }
+
     /// Total scalar-leaf count across all documents (the wildcard
     /// metric's candidate-side union term).
     pub fn leaf_count(&self) -> usize {
@@ -352,6 +432,34 @@ mod tests {
             doc.tokens(),
             vec!["name", ":", "web", "ports", ":", "[", "80", ",", "443", "]"]
         );
+    }
+
+    #[test]
+    fn sym_stream_mirrors_tokens() {
+        let doc = PreparedDoc::new("name: web\nname: web\nports: [80, 443]");
+        let tokens = doc.tokens();
+        let stream = doc.sym_stream();
+        assert_eq!(stream.len(), tokens.len());
+        for (sym, token) in stream.syms().iter().zip(&tokens) {
+            assert_eq!(stream.interner().resolve(*sym), *token);
+        }
+        // Repeated tokens share one symbol.
+        assert_eq!(stream.syms()[0], stream.syms()[3], "name == name");
+        assert!(stream.interner().len() < tokens.len());
+        assert!(!stream.is_empty());
+        assert!(PreparedDoc::new("").sym_stream().is_empty());
+    }
+
+    #[test]
+    fn line_hashes_match_line_table() {
+        let doc = PreparedDoc::new("a: 1\r\nb: 2\na: 1\n");
+        let lines = doc.lines();
+        let hashes = doc.line_hashes();
+        assert_eq!(hashes.len(), lines.len());
+        for (h, l) in hashes.iter().zip(&lines) {
+            assert_eq!(*h, crate::intern::fnv1a(l.as_bytes()));
+        }
+        assert_eq!(hashes[0], hashes[2], "identical lines hash identically");
     }
 
     #[test]

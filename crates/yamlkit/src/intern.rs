@@ -28,9 +28,12 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Sym(pub u32);
 
-/// FNV-1a over a byte string, the hash the probe table is keyed on.
+/// FNV-1a over a byte string — the hash every [`StrInterner`] probe
+/// table is keyed on. Public so callers can pre-hash once (e.g. the
+/// per-line hashes `PreparedDoc` caches) and probe many interners with
+/// [`StrInterner::lookup_hashed`] without re-scanning the text.
 #[inline]
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);
@@ -130,6 +133,46 @@ impl StrInterner {
         }
     }
 
+    /// Read-only probe: the [`Sym`] of `s` **if** this interner has seen
+    /// it, without interning. This is how scoring maps one document's
+    /// vocabulary into another's symbol space (candidate tokens into the
+    /// reference's interner) with zero mutation, so lookups are safe on
+    /// a shared reference-side interner.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use yamlkit::intern::StrInterner;
+    /// let mut i = StrInterner::new();
+    /// let a = i.intern("spec");
+    /// assert_eq!(i.lookup("spec"), Some(a));
+    /// assert_eq!(i.lookup("unseen"), None);
+    /// ```
+    pub fn lookup(&self, s: &str) -> Option<Sym> {
+        self.lookup_hashed(fnv1a(s.as_bytes()), s)
+    }
+
+    /// [`StrInterner::lookup`] with the caller-supplied FNV-1a hash of
+    /// `s` (from [`fnv1a`]) — the hot-path variant for callers that
+    /// cached the hash (e.g. per-line hashes probed once per candidate).
+    pub fn lookup_hashed(&self, hash: u64, s: &str) -> Option<Sym> {
+        if self.table.is_empty() {
+            return None;
+        }
+        let mask = self.table.len() - 1;
+        let mut slot = (hash as usize) & mask;
+        loop {
+            let idx = self.table[slot];
+            if idx == EMPTY_SLOT {
+                return None;
+            }
+            if self.resolve(Sym(idx)) == s {
+                return Some(Sym(idx));
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
     /// The text behind a symbol.
     ///
     /// # Panics
@@ -192,6 +235,19 @@ mod tests {
             let sym = i.intern(&format!("key-{n}"));
             assert_eq!(sym, Sym(n));
         }
+    }
+
+    #[test]
+    fn lookup_is_read_only_and_exact() {
+        let mut i = StrInterner::new();
+        assert_eq!(i.lookup("anything"), None, "empty interner finds nothing");
+        let a = i.intern("metadata");
+        let before = i.len();
+        assert_eq!(i.lookup("metadata"), Some(a));
+        assert_eq!(i.lookup("metadat"), None);
+        assert_eq!(i.lookup(""), None);
+        assert_eq!(i.len(), before, "lookup must not intern");
+        assert_eq!(i.lookup_hashed(fnv1a(b"metadata"), "metadata"), Some(a));
     }
 
     #[test]
